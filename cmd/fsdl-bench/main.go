@@ -1,0 +1,54 @@
+// Command fsdl-bench runs the reproduction experiments E1–E8 (see
+// DESIGN.md and EXPERIMENTS.md) and prints their reports.
+//
+// Usage:
+//
+//	fsdl-bench [-exp E1|E2|...|all] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fsdl/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fsdl-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("fsdl-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run (E1..E13, or 'all')")
+	quick := fs.Bool("quick", false, "shrink instance sizes for a fast smoke run")
+	seed := fs.Int64("seed", 1, "random seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-4s %-45s %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+	cfg := experiments.Config{Out: out, Quick: *quick, Seed: *seed}
+	if strings.EqualFold(*exp, "all") {
+		return experiments.RunAll(cfg)
+	}
+	e, ok := experiments.Find(strings.ToUpper(*exp))
+	if !ok {
+		var ids []string
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+		return fmt.Errorf("unknown experiment %q (have %s)", *exp, strings.Join(ids, ", "))
+	}
+	fmt.Fprintf(out, "== %s: %s ==\nclaim: %s\n\n", e.ID, e.Title, e.Claim)
+	return e.Run(cfg)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runToFile runs the bench CLI capturing output through a temp file (run
+// takes *os.File for streaming).
+func runToFile(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestBenchSingleExperiment(t *testing.T) {
+	out, err := runToFile(t, "-exp", "E6", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E6: Lower bound") {
+		t.Errorf("missing experiment header:\n%s", out)
+	}
+	if !strings.Contains(out, "exact match: true") {
+		t.Errorf("missing reconstruction result:\n%s", out)
+	}
+}
+
+func TestBenchLowercaseID(t *testing.T) {
+	if _, err := runToFile(t, "-exp", "e6", "-quick"); err != nil {
+		t.Errorf("lowercase id should work: %v", err)
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	out, err := runToFile(t, "-exp", "E99")
+	if err == nil {
+		t.Errorf("unknown experiment must error; output:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "E1") {
+		t.Errorf("error should list valid ids: %v", err)
+	}
+}
+
+func TestBenchBadFlag(t *testing.T) {
+	if _, err := runToFile(t, "-bogus"); err == nil {
+		t.Error("bad flag must error")
+	}
+}

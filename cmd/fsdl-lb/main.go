@@ -1,0 +1,87 @@
+// Command fsdl-lb demonstrates the Theorem 3.1 lower bound: it prints the
+// counting table for the family 𝓕_{n,α} over a sweep of (p,d), then mounts
+// the adjacency-reconstruction attack against this library's own labeling
+// scheme on a random family member, recovering the graph bit for bit.
+//
+// Usage:
+//
+//	fsdl-lb [-p 3] [-d 2] [-seed 1] [-skip-attack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"fsdl/internal/lowerbound"
+	"fsdl/internal/oracle"
+	"fsdl/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fsdl-lb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fsdl-lb", flag.ContinueOnError)
+	p := fs.Int("p", 3, "grid side p for the attack instance")
+	d := fs.Int("d", 2, "grid dimension d for the attack instance (even)")
+	seed := fs.Int64("seed", 1, "random seed")
+	skipAttack := fs.Bool("skip-attack", false, "print only the counting table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	table := stats.NewTable("p", "d", "n", "alpha", "|E(G)|", "|E(H)|", "free",
+		"bits/label >=", "2^{alpha/2}")
+	for _, pd := range [][2]int{{4, 2}, {8, 2}, {16, 2}, {2, 4}, {3, 4}, {2, 6}} {
+		b, err := lowerbound.CountingBound(pd[0], pd[1])
+		if err != nil {
+			return err
+		}
+		table.AddRow(b.P, b.D, b.N, b.Alpha, b.GridEdges, b.SpannerEdges, b.FreeEdges,
+			b.BitsPerLabel, math.Pow(2, float64(b.Alpha)/2))
+	}
+	fmt.Fprintln(out, "Theorem 3.1 counting bound over the family F_{n,alpha} (subgraphs of G_{p,d} containing H_{p,d}):")
+	fmt.Fprint(out, table.String())
+	if *skipAttack {
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	member, chosen, err := lowerbound.RandomFamilyMember(*p, *d, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nattack instance: F_{%d,%d} member, n=%d, m=%d (%d random free edges chosen)\n",
+		*p, *d, member.NumVertices(), member.NumEdges(), len(chosen))
+	o, err := oracle.BuildStatic(member, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "labeling-scheme oracle built: %d labels, %d total bits\n",
+		o.NumVertices(), o.SizeBits())
+	rec, err := lowerbound.ReconstructAdjacency(member.NumVertices(), o)
+	if err != nil {
+		return err
+	}
+	missing := 0
+	member.ForEachEdge(func(u, v int) {
+		if !rec.HasEdge(u, v) {
+			missing++
+		}
+	})
+	extra := rec.NumEdges() - (member.NumEdges() - missing)
+	fmt.Fprintf(out, "reconstruction via 'everywhere failure' queries F(i,j) = V \\ {i,j}: %d/%d edges recovered, %d spurious\n",
+		member.NumEdges()-missing, member.NumEdges(), extra)
+	if missing == 0 && extra == 0 {
+		fmt.Fprintln(out, "=> the oracle's answers encode the whole graph: the labels of ANY forbidden-set connectivity scheme carry >= log2|F_{n,alpha}| = (free edges) bits in total.")
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLBCountingTableOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-skip-attack"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Theorem 3.1", "alpha", "2^{alpha/2}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "attack instance") {
+		t.Error("-skip-attack should skip the attack")
+	}
+}
+
+func TestLBAttack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-p", "3", "-d", "2", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "reconstruction via 'everywhere failure' queries") {
+		t.Errorf("missing attack section:\n%s", out)
+	}
+	if !strings.Contains(out, "0 spurious") {
+		t.Errorf("attack should recover exactly:\n%s", out)
+	}
+}
+
+func TestLBRejectsOddD(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-p", "3", "-d", "3"}, &buf); err == nil {
+		t.Error("odd d must error (H_{p,d} undefined)")
+	}
+}
+
+func TestLBBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("bad flag must error")
+	}
+}

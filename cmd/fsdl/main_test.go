@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func genGraphFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if _, err := runCLI(t, "gen", "-kind", "grid", "-size", "6", "-out", path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIMissingSubcommand(t *testing.T) {
+	if _, err := runCLI(t); err == nil {
+		t.Error("no subcommand must error")
+	}
+	if _, err := runCLI(t, "bogus"); err == nil {
+		t.Error("unknown subcommand must error")
+	}
+}
+
+func TestCLIGenAllKinds(t *testing.T) {
+	for _, kind := range []string{"grid", "path", "cycle", "rgg", "road", "tree"} {
+		out, err := runCLI(t, "gen", "-kind", kind, "-size", "8")
+		if err != nil {
+			t.Fatalf("gen %s: %v", kind, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("gen %s produced no output", kind)
+		}
+	}
+	if _, err := runCLI(t, "gen", "-kind", "nope"); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestCLIStats(t *testing.T) {
+	path := genGraphFile(t)
+	out, err := runCLI(t, "stats", "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"n=36", "doubling dimension", "label bits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLILabel(t *testing.T) {
+	path := genGraphFile(t)
+	out, err := runCLI(t, "label", "-in", path, "-v", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "label of 7") {
+		t.Errorf("label output wrong:\n%s", out)
+	}
+	if _, err := runCLI(t, "label", "-in", path, "-v", "99"); err == nil {
+		t.Error("out-of-range vertex must error")
+	}
+}
+
+func TestCLIQuery(t *testing.T) {
+	path := genGraphFile(t)
+	out, err := runCLI(t, "query", "-in", path, "-s", "0", "-t", "35", "-fail", "7,14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "estimated distance") {
+		t.Errorf("query output wrong:\n%s", out)
+	}
+	// Sealed corner reports disconnection.
+	out, err = runCLI(t, "query", "-in", path, "-s", "0", "-t", "35", "-fail", "1,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DISCONNECTED") {
+		t.Errorf("expected disconnection report:\n%s", out)
+	}
+	if _, err := runCLI(t, "query", "-in", path, "-fail", "xyz"); err == nil {
+		t.Error("bad fault list must error")
+	}
+	if _, err := runCLI(t, "query", "-in", path, "-failedge", "1"); err == nil {
+		t.Error("bad edge fault must error")
+	}
+}
+
+func TestCLIRoute(t *testing.T) {
+	path := genGraphFile(t)
+	out, err := runCLI(t, "route", "-in", path, "-s", "0", "-t", "35", "-fail", "14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "route 0 -> 35") {
+		t.Errorf("route output wrong:\n%s", out)
+	}
+}
+
+func TestCLIVerify(t *testing.T) {
+	path := genGraphFile(t)
+	out, err := runCLI(t, "verify", "-in", path, "-queries", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "all guarantees hold") {
+		t.Errorf("verify output wrong:\n%s", out)
+	}
+}
+
+func TestCLILabelsAndQueryDB(t *testing.T) {
+	gpath := genGraphFile(t)
+	dbPath := filepath.Join(t.TempDir(), "labels.fsdl")
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", dbPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dbPath); err != nil {
+		t.Fatal("label store not written")
+	}
+	out, err := runCLI(t, "querydb", "-db", dbPath, "-s", "0", "-t", "35", "-fail", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "answered offline") {
+		t.Errorf("querydb output wrong:\n%s", out)
+	}
+	// Region bundle: out-of-region queries error.
+	regPath := filepath.Join(t.TempDir(), "region.fsdl")
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", regPath, "-region", "14", "-radius", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "querydb", "-db", regPath, "-s", "0", "-t", "35"); err == nil {
+		t.Error("out-of-region query must error")
+	}
+}
+
+func TestCLITrace(t *testing.T) {
+	out, err := runCLI(t, "trace", "-size", "7", "-fail", "24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"estimate", "S", "T", "X", "waypoints"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIReadsStdinFallbackError(t *testing.T) {
+	// Missing file errors cleanly.
+	if _, err := runCLI(t, "stats", "-in", "/nonexistent/file.txt"); err == nil {
+		t.Error("missing input file must error")
+	}
+}
+
+func TestCLIBuildSchemeAndQueryScheme(t *testing.T) {
+	gpath := genGraphFile(t)
+	spath := filepath.Join(t.TempDir(), "s.fsdls")
+	out, err := runCLI(t, "buildscheme", "-in", gpath, "-out", spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "preprocessed scheme") {
+		t.Errorf("buildscheme output wrong:\n%s", out)
+	}
+	out, err = runCLI(t, "query", "-scheme", spath, "-s", "0", "-t", "35", "-fail", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "estimated distance") {
+		t.Errorf("scheme-backed query wrong:\n%s", out)
+	}
+	if _, err := runCLI(t, "query", "-scheme", "/nonexistent.fsdls", "-s", "0", "-t", "1"); err == nil {
+		t.Error("missing scheme file must error")
+	}
+}
+
+func TestCLIWQuery(t *testing.T) {
+	grPath := filepath.Join(t.TempDir(), "mini.gr")
+	gr := "c test\np sp 4 6\na 1 2 3\na 2 3 5\na 3 4 2\na 4 1 7\na 1 3 1\na 2 4 9\n"
+	if err := os.WriteFile(grPath, []byte(gr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "wquery", "-in", grPath, "-s", "0", "-t", "3", "-fail", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "estimated travel cost") {
+		t.Errorf("wquery output wrong:\n%s", out)
+	}
+	// Disconnect junction 3 entirely: faults on all its neighbors.
+	out, err = runCLI(t, "wquery", "-in", grPath, "-s", "0", "-t", "3", "-fail", "1,2", "-failedge", "0-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DISCONNECTED") {
+		t.Errorf("expected disconnection:\n%s", out)
+	}
+	if _, err := runCLI(t, "wquery", "-in", "/nonexistent.gr"); err == nil {
+		t.Error("missing file must error")
+	}
+}

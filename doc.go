@@ -1,0 +1,61 @@
+// Package fsdl is a Go implementation of forbidden-set distance labels for
+// graphs of bounded doubling dimension, after Abraham, Chechik, Gavoille
+// and Peleg, "Forbidden-set distance labels for graphs of bounded doubling
+// dimension" (PODC 2010; ACM Transactions on Algorithms 12(2), 2016).
+//
+// Given an unweighted graph G of doubling dimension α and a precision
+// parameter ε > 0, the library assigns every vertex a label of
+// O(1+1/ε)^{2α}·log²n bits such that, from the labels of two vertices s, t
+// and of a set F of forbidden ("failed") vertices and/or edges alone, a
+// decoder computes a distance estimate δ with
+//
+//	d_{G\F}(s,t) ≤ δ ≤ (1+ε)·d_{G\F}(s,t)
+//
+// in O(1+1/ε)^{2α}·|F|²·log n time — without recomputing anything when
+// failures occur, and independently of how many failures must be
+// tolerated.
+//
+// # Quick start
+//
+//	g := fsdl.NewGraphBuilder(4)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(2, 3)
+//	g.AddEdge(3, 0)
+//	graph, err := g.Build()
+//	// handle err
+//	scheme, err := fsdl.Build(graph, 0.5) // stretch 1.5
+//	// handle err
+//	faults := fsdl.NewFaultSet()
+//	faults.AddVertex(1)
+//	d, ok := scheme.Distance(0, 2, faults) // ≈ d_{G\{1}}(0,2) = 2
+//
+// # What is in the box
+//
+//   - The forbidden-set (1+ε)-approximate distance labeling scheme
+//     (Theorem 2.1): Build, Scheme, Label, Query.
+//   - The failure-free scheme of Section 2.1: BuildFailureFree, FFDistance
+//     — much smaller labels, no fault tolerance.
+//   - The forbidden-set compact routing scheme (Theorem 2.7):
+//     BuildRouting, including the adaptive failure-discovery routing loop
+//     from the paper's Applications section.
+//   - Centralized packagings: BuildStaticOracle (the table of all labels)
+//     and NewDynamicOracle (the fully dynamic (1+ε) distance oracle per
+//     the Abraham–Chechik–Gavoille 2012 transform).
+//   - Weighted (road-network) graphs via the subdivision reduction:
+//     NewWeightedGraph, BuildWeighted.
+//   - A discrete-event simulation of the paper's distributed
+//     failure-recovery protocol (flooding, piggybacking, contact
+//     discovery): NewNetworkSimulator.
+//   - Persistence: SaveScheme/LoadScheme amortize preprocessing to a
+//     one-time cost; label stores and region bundles live in the CLI
+//     (fsdl labels / fsdl querydb).
+//   - The Section 3 lower-bound machinery and an experiment harness that
+//     measures every bound of the paper (see cmd/fsdl-bench and
+//     EXPERIMENTS.md).
+//
+// Labels are self-contained, bit-serializable values: Label.Encode and
+// DecodeLabel round-trip them through plain byte strings, so they can be
+// shipped to the hand-held device or router that answers queries locally,
+// exactly as the paper's model demands.
+package fsdl

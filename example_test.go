@@ -1,0 +1,181 @@
+package fsdl_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"fsdl"
+)
+
+// Example demonstrates the core flow: preprocess once, then answer
+// distance queries under arbitrary failures from labels alone.
+func Example() {
+	g := fsdl.GridGraph2D(5, 5) // vertex (x,y) = y*5+x
+	scheme, err := fsdl.Build(g, 2)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	d, ok := scheme.Distance(0, 24, nil)
+	fmt.Println(d, ok)
+
+	faults := fsdl.FaultVertices(6, 12, 18) // fail the diagonal
+	d, ok = scheme.Distance(0, 24, faults)
+	fmt.Println(d, ok)
+	// Output:
+	// 8 true
+	// 8 true
+}
+
+// ExampleBuild shows the derived scheme parameters.
+func ExampleBuild() {
+	g := fsdl.PathGraph(1024)
+	scheme, err := fsdl.Build(g, 1.5)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	p := scheme.Params()
+	fmt.Println(p.C, p.LowestLevel(), p.MaxLevel)
+	// Output:
+	// 2 3 10
+}
+
+// ExampleQuery_Distance answers a query from serialized labels — the
+// distributed data-structure contract.
+func ExampleQuery_Distance() {
+	g := fsdl.GridGraph2D(4, 4)
+	scheme, err := fsdl.Build(g, 2)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	// Ship the labels as plain bytes…
+	bufS, bitsS := scheme.Label(0).Encode()
+	bufT, bitsT := scheme.Label(15).Encode()
+	// …and decode them wherever the query is answered.
+	ls, _ := fsdl.DecodeLabel(bufS, bitsS)
+	lt, _ := fsdl.DecodeLabel(bufT, bitsT)
+	q := &fsdl.Query{S: ls, T: lt}
+	d, ok := q.Distance()
+	fmt.Println(d, ok)
+	// Output:
+	// 6 true
+}
+
+// ExampleBuildRouting routes a packet around a failed router.
+func ExampleBuildRouting() {
+	g := fsdl.GridGraph2D(3, 3)
+	scheme, err := fsdl.Build(g, 2)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	router := fsdl.BuildRouting(scheme)
+	route, ok := router.RouteWithFaults(0, 8, fsdl.FaultVertices(4))
+	fmt.Println(ok, route.Length)
+	// Output:
+	// true 4
+}
+
+// ExampleNewDynamicOracle fails and recovers a vertex online.
+func ExampleNewDynamicOracle() {
+	g := fsdl.PathGraph(6)
+	oracle, err := fsdl.NewDynamicOracle(g, 2, 0)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	_, ok := oracle.Distance(0, 5)
+	fmt.Println(ok)
+	oracle.FailVertex(3)
+	_, ok = oracle.Distance(0, 5)
+	fmt.Println(ok)
+	oracle.RecoverVertex(3)
+	_, ok = oracle.Distance(0, 5)
+	fmt.Println(ok)
+	// Output:
+	// true
+	// false
+	// true
+}
+
+// ExampleBuildFailureFree shows the cheap no-fault scheme of Section 2.1.
+func ExampleBuildFailureFree() {
+	g := fsdl.PathGraph(100)
+	ff, err := fsdl.BuildFailureFree(g, 0.1)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	d, ok := fsdl.FFDistance(ff.Label(10), ff.Label(90))
+	fmt.Println(d, ok)
+	// Output:
+	// 80 true
+}
+
+// ExampleNewNetworkSimulator replays a failure + packet trace through the
+// distributed recovery protocol.
+func ExampleNewNetworkSimulator() {
+	g := fsdl.GridGraph2D(6, 6)
+	scheme, err := fsdl.Build(g, 2)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	sim := fsdl.NewNetworkSimulator(scheme, fsdl.SimConfig{})
+	sim.FailVertexAt(0, 14) // a router dies silently
+	sim.InjectPacketAt(1, 0, 35)
+	m := sim.Run(1 << 20)
+	fmt.Println(m.Delivered, m.Dropped)
+	// Output:
+	// 1 0
+}
+
+// ExampleBuildWeighted answers a weighted road-network query under a road
+// closure.
+func ExampleBuildWeighted() {
+	roads := fsdl.NewWeightedGraph(3)
+	roads.AddEdge(0, 1, 4) // slow road
+	roads.AddEdge(1, 2, 4)
+	roads.AddEdge(0, 2, 2) // shortcut
+	scheme, err := fsdl.BuildWeighted(roads, 2)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	d, ok := scheme.Distance(0, 2, nil)
+	fmt.Println(d, ok)
+	closure := fsdl.NewFaultSet()
+	closure.AddEdge(0, 2) // shortcut closed
+	d, ok = scheme.Distance(0, 2, closure)
+	fmt.Println(d, ok)
+	// Output:
+	// 2 true
+	// 8 true
+}
+
+// ExampleSaveScheme persists preprocessing and reopens it.
+func ExampleSaveScheme() {
+	g := fsdl.PathGraph(32)
+	scheme, err := fsdl.Build(g, 2)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := fsdl.SaveScheme(&buf, scheme); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+	reopened, err := fsdl.LoadScheme(&buf)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	d1, _ := scheme.Distance(0, 31, nil)
+	d2, _ := reopened.Distance(0, 31, nil)
+	fmt.Println(d1 == d2)
+	// Output:
+	// true
+}

@@ -1,0 +1,95 @@
+// Network simulation: the full distributed story from the paper's
+// Applications section, end to end — routers hold labels and private
+// forbidden sets, failures are silent until a packet bumps into one, the
+// discovering router floods an announcement and reroutes the packet from
+// its own knowledge, with no global route recomputation ever.
+//
+// The demo compares two runs on the same failure/traffic trace: flooding
+// on (knowledge propagates) vs flooding off (every packet rediscovers the
+// failures), showing what the propagation protocol buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const side = 12
+	g := fsdl.GridGraph2D(side, side)
+	n := g.NumVertices()
+	scheme, err := fsdl.Build(g, 2)
+	if err != nil {
+		return err
+	}
+	scheme.SetCacheLimit(4096)
+	fmt.Printf("network: %dx%d grid of routers (n=%d), stretch guarantee 1+%g\n\n",
+		side, side, n, scheme.Params().Epsilon)
+
+	trace := buildTrace(n, side)
+	for _, flooding := range []bool{true, false} {
+		sim := fsdl.NewNetworkSimulator(scheme, fsdl.SimConfig{DisableFlooding: !flooding})
+		for _, f := range trace.failures {
+			if err := sim.FailVertexAt(f.at, f.v); err != nil {
+				return err
+			}
+		}
+		for _, p := range trace.packets {
+			if err := sim.InjectPacketAt(p.at, p.src, p.dst); err != nil {
+				return err
+			}
+		}
+		m := sim.Run(1 << 30)
+		mode := "flooding ON "
+		if !flooding {
+			mode = "flooding OFF"
+		}
+		fmt.Printf("%s: injected %d, delivered %d, dropped %d\n", mode, m.Injected, m.Delivered, m.Dropped)
+		fmt.Printf("             data hops %d, in-flight reroutes %d, control messages %d, mean stretch %.3f\n\n",
+			m.DataHops, m.Reroutes, m.ControlMessages, m.MeanStretch())
+	}
+	fmt.Println("with flooding, later packets start with the failures already in their source's")
+	fmt.Println("forbidden set and sail around them; without it, every packet pays discovery")
+	fmt.Println("reroutes itself — the trade the Applications section describes.")
+	return nil
+}
+
+type failure struct {
+	at int64
+	v  int
+}
+
+type injection struct {
+	at       int64
+	src, dst int
+}
+
+type traceSpec struct {
+	failures []failure
+	packets  []injection
+}
+
+// buildTrace plants a wall of failures early, then a steady packet flow
+// crossing it.
+func buildTrace(n, side int) traceSpec {
+	rng := rand.New(rand.NewSource(5))
+	var tr traceSpec
+	for y := 1; y < side-1; y++ {
+		tr.failures = append(tr.failures, failure{at: 0, v: y*side + side/2})
+	}
+	for i := 0; i < 40; i++ {
+		src := rng.Intn(n/2/side)*side + rng.Intn(side/2)                 // west side
+		dst := (side/2+rng.Intn(side/2))*side + side/2 + rng.Intn(side/2) // east side
+		tr.packets = append(tr.packets, injection{at: int64(5 + i*3), src: src, dst: dst})
+	}
+	return tr
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small graph, preprocess it into a forbidden-set
+// distance labeling scheme, and answer distance queries before and after
+// failures — all through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 10x10 grid "city": vertex (x,y) has index y*10+x.
+	g := fsdl.GridGraph2D(10, 10)
+	fmt.Printf("graph: %d vertices, %d edges, diameter %d\n",
+		g.NumVertices(), g.NumEdges(), g.Diameter())
+
+	// Preprocess once; stretch guarantee 1+eps.
+	const eps = 1.5
+	scheme, err := fsdl.Build(g, eps)
+	if err != nil {
+		return err
+	}
+	p := scheme.Params()
+	fmt.Printf("scheme: eps=%g, c=%d, levels %d..%d\n",
+		p.Epsilon, p.C, p.LowestLevel(), p.MaxLevel)
+
+	src, dst := 0, 99 // opposite corners, true distance 18
+	d, ok := scheme.Distance(src, dst, nil)
+	fmt.Printf("no failures:        d(%d,%d) ≈ %d (ok=%v, true 18, bound %.0f)\n",
+		src, dst, d, ok, (1+eps)*18)
+
+	// Three routers in the middle of the city fail.
+	faults := fsdl.FaultVertices(44, 45, 54)
+	d, ok = scheme.Distance(src, dst, faults)
+	fmt.Printf("3 failed vertices:  d(%d,%d) ≈ %d (ok=%v)\n", src, dst, d, ok)
+
+	// A link is cut too.
+	faults.AddEdge(0, 1)
+	d, ok = scheme.Distance(src, dst, faults)
+	fmt.Printf("plus 1 failed edge: d(%d,%d) ≈ %d (ok=%v)\n", src, dst, d, ok)
+
+	// Labels are plain bit strings: ship them anywhere, decode, query.
+	buf, nbits := scheme.Label(src).Encode()
+	fmt.Printf("label of %d: %d bits (%d bytes serialized)\n", src, nbits, len(buf))
+	ls, err := fsdl.DecodeLabel(buf, nbits)
+	if err != nil {
+		return err
+	}
+	q := &fsdl.Query{S: ls, T: scheme.Label(dst)}
+	d2, _ := q.Distance()
+	fmt.Printf("query answered from serialized labels alone: %d\n", d2)
+
+	// Cutting every way out of the corner is detected as disconnection.
+	sealed := fsdl.FaultVertices(1, 10)
+	if _, ok := scheme.Distance(src, dst, sealed); !ok {
+		fmt.Println("sealed corner: correctly reported DISCONNECTED")
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Routing policy: the paper's second application — a router that forbids
+// part of the network for policy (security, economics) reasons and
+// immediately routes around it, plus the failure-discovery loop where a
+// packet learns about unknown failures en route and reroutes without any
+// global route maintenance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fsdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(11))
+	// An ISP-like topology: a connected random geometric graph (low
+	// doubling dimension, like real router meshes).
+	net, _, err := fsdl.RandomGeometricGraph(400, 0.08, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %d routers, %d links\n", net.NumVertices(), net.NumEdges())
+
+	scheme, err := fsdl.Build(net, 2)
+	if err != nil {
+		return err
+	}
+	router := fsdl.BuildRouting(scheme)
+
+	// Route between two far-apart routers so policies and failures have
+	// something to bite on.
+	src := 0
+	dst := src
+	distFromSrc := net.BFS(src)
+	for v, d := range distFromSrc {
+		if d > distFromSrc[dst] {
+			dst = v
+		}
+	}
+	r, ok := router.RouteWithFaults(src, dst, nil)
+	if !ok {
+		return fmt.Errorf("no route %d -> %d", src, dst)
+	}
+	fmt.Printf("default route %d -> %d: %d hops via %d waypoints\n",
+		src, dst, r.Length, len(r.Waypoints))
+
+	// Policy: router src refuses to transit through the middle third of
+	// the default path (say, a distrusted autonomous system).
+	policy := fsdl.NewFaultSet()
+	for i := 2 * len(r.Path) / 5; i < 3*len(r.Path)/5; i++ {
+		if v := r.Path[i]; v != src && v != dst {
+			policy.AddVertex(v)
+		}
+	}
+	fmt.Printf("policy forbids %d transit routers\n", policy.Size())
+	pr, ok := router.RouteWithFaults(src, dst, policy)
+	if !ok {
+		fmt.Println("policy makes the destination unreachable")
+	} else {
+		fmt.Printf("policy-compliant route: %d hops (was %d)\n", pr.Length, r.Length)
+		for _, v := range pr.Path {
+			if policy.HasVertex(v) {
+				return fmt.Errorf("policy violated at router %d", v)
+			}
+		}
+		fmt.Println("verified: the policy route avoids every forbidden router")
+	}
+
+	// Failure discovery: routers on the default path silently die; the
+	// source does not know. The packet discovers failures on contact,
+	// each discovering router updates its forbidden set and reroutes
+	// immediately.
+	failures := fsdl.NewFaultSet()
+	for i := 2; i < len(r.Path)-1 && failures.Size() < 3; i += len(r.Path) / 4 {
+		failures.AddVertex(r.Path[i])
+	}
+	for failures.Size() < 5 {
+		v := rng.Intn(net.NumVertices())
+		if v != src && v != dst {
+			failures.AddVertex(v)
+		}
+	}
+	known := fsdl.NewFaultSet()
+	ar, ok := router.AdaptiveRoute(src, dst, failures, known)
+	if !ok {
+		fmt.Println("failures disconnected the destination")
+		return nil
+	}
+	fmt.Printf("\n%d silent failures: packet delivered in %d hops after %d in-flight reroutes\n",
+		failures.Size(), ar.Length, ar.Recomputes)
+	fmt.Printf("failures discovered en route: %d of %d\n", known.Size(), failures.Size())
+	return nil
+}

@@ -1,0 +1,212 @@
+package fsdl_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fsdl"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way the
+// package documentation advertises it.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := fsdl.GridGraph2D(8, 8)
+	scheme, err := fsdl.Build(g, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain distance query.
+	d, ok := scheme.Distance(0, 63, nil)
+	if !ok || d < 14 {
+		t.Fatalf("Distance(0,63) = (%d,%v), true distance 14", d, ok)
+	}
+	if float64(d) > 2.5*14 {
+		t.Fatalf("Distance(0,63) = %d exceeds stretch bound", d)
+	}
+
+	// Forbidden-set query.
+	f := fsdl.FaultVertices(9, 18, 27)
+	df, ok := scheme.Distance(0, 63, f)
+	if !ok || df < 14 {
+		t.Fatalf("faulted Distance = (%d,%v)", df, ok)
+	}
+
+	// Labels serialize and decode back; queries work from decoded labels.
+	buf, nbits := scheme.Label(0).Encode()
+	l0, err := fsdl.DecodeLabel(buf, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &fsdl.Query{S: l0, T: scheme.Label(63)}
+	if d2, ok := q.Distance(); !ok || d2 != d {
+		t.Fatalf("query from serialized label = (%d,%v), want (%d,true)", d2, ok, d)
+	}
+}
+
+func TestPublicAPIRouting(t *testing.T) {
+	g := fsdl.GridGraph2D(7, 7)
+	scheme, err := fsdl.Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := fsdl.BuildRouting(scheme)
+	f := fsdl.FaultVertices(24)
+	r, ok := router.RouteWithFaults(0, 48, f)
+	if !ok {
+		t.Fatal("route failed")
+	}
+	if r.Path[0] != 0 || r.Path[len(r.Path)-1] != 48 {
+		t.Fatalf("route endpoints: %v", r.Path)
+	}
+	for _, v := range r.Path {
+		if f.HasVertex(v) {
+			t.Fatalf("route passes failed vertex %d", v)
+		}
+	}
+}
+
+func TestPublicAPIOracles(t *testing.T) {
+	g := fsdl.GridGraph2D(5, 5)
+	so, err := fsdl.BuildStaticOracle(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := so.Distance(0, 24, nil); !ok || d < 8 {
+		t.Fatalf("static oracle Distance = (%d,%v)", d, ok)
+	}
+	if so.SizeBits() <= 0 {
+		t.Fatal("oracle must report its size")
+	}
+
+	dy, err := fsdl.NewDynamicOracle(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dy.FailVertex(12); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dy.Distance(12, 0); ok {
+		t.Fatal("failed vertex must be unreachable")
+	}
+	if err := dy.RecoverVertex(12); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dy.Distance(12, 0); !ok {
+		t.Fatal("recovered vertex must answer")
+	}
+}
+
+func TestPublicAPIFailureFree(t *testing.T) {
+	g := fsdl.PathGraph(50)
+	ff, err := fsdl.BuildFailureFree(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := fsdl.FFDistance(ff.Label(0), ff.Label(49))
+	if !ok || d < 49 || float64(d) > 1.5*49+1e-9 {
+		t.Fatalf("FFDistance = (%d,%v), want within [49, 73.5]", d, ok)
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := fsdl.PathGraph(10); g.NumVertices() != 10 {
+		t.Error("PathGraph size")
+	}
+	if g, err := fsdl.GridGraph([]int{3, 3, 3}); err != nil || g.NumVertices() != 27 {
+		t.Error("GridGraph size")
+	}
+	if g, _, err := fsdl.RandomGeometricGraph(100, 0.15, rng); err != nil || !g.IsConnected() {
+		t.Error("RandomGeometricGraph must be connected")
+	}
+	if g, err := fsdl.RoadNetworkGraph(8, 8, 0.1, 4, rng); err != nil || !g.IsConnected() {
+		t.Error("RoadNetworkGraph must be connected")
+	}
+	est := fsdl.EstimateDoublingDimension(fsdl.GridGraph2D(12, 12), 6, rng)
+	if est.Dimension <= 0 {
+		t.Error("doubling estimate must be positive for a grid")
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	g := fsdl.GridGraph2D(4, 3)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := fsdl.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed the graph")
+	}
+	if _, err := fsdl.GraphFromEdges(3, [][2]int{{0, 1}, {1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIWeighted(t *testing.T) {
+	wg := fsdl.NewWeightedGraph(4)
+	for _, e := range [][3]int32{{0, 1, 3}, {1, 2, 2}, {2, 3, 1}, {3, 0, 4}} {
+		if err := wg.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := fsdl.BuildWeighted(wg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := s.Distance(0, 2, nil)
+	if !ok || d < 5 { // true weighted distance: 0-1-2 = 5
+		t.Fatalf("weighted Distance(0,2) = (%d,%v), want >= 5", d, ok)
+	}
+	f := fsdl.FaultVertices(1)
+	d, ok = s.Distance(0, 2, f)
+	if !ok || d < 5 { // detour 0-3-2 = 5
+		t.Fatalf("weighted faulted Distance = (%d,%v), want >= 5", d, ok)
+	}
+}
+
+func TestPublicAPINetworkSimulator(t *testing.T) {
+	g := fsdl.GridGraph2D(6, 6)
+	s, err := fsdl.Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := fsdl.NewNetworkSimulator(s, fsdl.SimConfig{})
+	if err := sim.FailVertexAt(0, 14); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 0, 35); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 1 {
+		t.Fatalf("simulator metrics = %+v", m)
+	}
+}
+
+func TestPublicAPIRouteHeader(t *testing.T) {
+	g := fsdl.GridGraph2D(5, 5)
+	s, err := fsdl.Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := fsdl.BuildRouting(s)
+	h, ok := router.HeaderFor(0, 24, fsdl.FaultVertices(12))
+	if !ok {
+		t.Fatal("header failed")
+	}
+	buf, nbits := h.Encode()
+	h2, err := fsdl.DecodeRouteHeader(buf, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := router.FollowHeader(h2)
+	if !ok || r.Path[len(r.Path)-1] != 24 {
+		t.Fatalf("FollowHeader = (%+v,%v)", r, ok)
+	}
+}

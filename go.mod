@@ -1,0 +1,3 @@
+module fsdl
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package asciiviz renders grid-graph queries as ASCII art: faults,
+// protected regions, and the routed path — a terminal rendition of the
+// paper's Figure 1. Only graphs with a known w×h grid layout (vertex
+// (x,y) = y*w+x) are renderable; everything else falls back to textual
+// traces.
+package asciiviz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell glyphs, in increasing precedence (later overwrite earlier).
+const (
+	glyphEmpty    = '.'
+	glyphPath     = '*'
+	glyphWaypoint = 'O'
+	glyphFault    = 'X'
+	glyphSource   = 'S'
+	glyphTarget   = 'T'
+)
+
+// GridCanvas accumulates markings over a w×h grid.
+type GridCanvas struct {
+	w, h  int
+	cells []rune
+	rank  []uint8 // precedence of the current glyph
+}
+
+// NewGridCanvas returns an empty canvas for a w×h grid.
+func NewGridCanvas(w, h int) (*GridCanvas, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("asciiviz: invalid grid %dx%d", w, h)
+	}
+	c := &GridCanvas{w: w, h: h, cells: make([]rune, w*h), rank: make([]uint8, w*h)}
+	for i := range c.cells {
+		c.cells[i] = glyphEmpty
+	}
+	return c, nil
+}
+
+func (c *GridCanvas) mark(v int, glyph rune, rank uint8) error {
+	if v < 0 || v >= c.w*c.h {
+		return fmt.Errorf("asciiviz: vertex %d outside %dx%d grid", v, c.w, c.h)
+	}
+	if rank >= c.rank[v] {
+		c.cells[v] = glyph
+		c.rank[v] = rank
+	}
+	return nil
+}
+
+// MarkPath marks the vertices of a routed path.
+func (c *GridCanvas) MarkPath(path []int) error {
+	for _, v := range path {
+		if err := c.mark(v, glyphPath, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarkWaypoints marks sketch-path waypoints.
+func (c *GridCanvas) MarkWaypoints(ws []int32) error {
+	for _, v := range ws {
+		if err := c.mark(int(v), glyphWaypoint, 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarkFaults marks forbidden vertices.
+func (c *GridCanvas) MarkFaults(vs []int) error {
+	for _, v := range vs {
+		if err := c.mark(v, glyphFault, 3); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarkEndpoints marks the query source and target.
+func (c *GridCanvas) MarkEndpoints(src, dst int) error {
+	if err := c.mark(src, glyphSource, 4); err != nil {
+		return err
+	}
+	return c.mark(dst, glyphTarget, 4)
+}
+
+// String renders the canvas, row 0 at the top, with a legend.
+func (c *GridCanvas) String() string {
+	var b strings.Builder
+	for y := 0; y < c.h; y++ {
+		for x := 0; x < c.w; x++ {
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteRune(c.cells[y*c.w+x])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("S=source T=target X=fault O=waypoint *=path .=other\n")
+	return b.String()
+}
+
+// RenderQuery draws a full query picture in one call.
+func RenderQuery(w, h, src, dst int, faults []int, waypoints []int32, path []int) (string, error) {
+	c, err := NewGridCanvas(w, h)
+	if err != nil {
+		return "", err
+	}
+	if err := c.MarkPath(path); err != nil {
+		return "", err
+	}
+	if err := c.MarkWaypoints(waypoints); err != nil {
+		return "", err
+	}
+	if err := c.MarkFaults(faults); err != nil {
+		return "", err
+	}
+	if err := c.MarkEndpoints(src, dst); err != nil {
+		return "", err
+	}
+	return c.String(), nil
+}

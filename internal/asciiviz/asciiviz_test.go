@@ -1,0 +1,77 @@
+package asciiviz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderQueryBasic(t *testing.T) {
+	out, err := RenderQuery(4, 3, 0, 11, []int{5}, []int32{0, 6, 11}, []int{0, 1, 2, 6, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 rows + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Row 0: S * * .
+	if lines[0] != "S * * ." {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	// Row 1: . X O .   (fault at 5 overrides, waypoint at 6)
+	if lines[1] != ". X O ." {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Row 2: . . * T
+	if lines[2] != ". . * T" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	c, err := NewGridCanvas(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkFaults([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// A path mark must not overwrite a fault mark.
+	if err := c.MarkPath([]int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c.String(), "X") {
+		t.Errorf("fault glyph lost: %q", c.String())
+	}
+	// But an endpoint does overwrite.
+	if err := c.MarkEndpoints(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c.String(), "S") {
+		t.Errorf("endpoint glyph should win: %q", c.String())
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := NewGridCanvas(0, 5); err == nil {
+		t.Error("zero width must fail")
+	}
+	c, _ := NewGridCanvas(2, 2)
+	if err := c.MarkPath([]int{7}); err == nil {
+		t.Error("out-of-range vertex must fail")
+	}
+	if _, err := RenderQuery(2, 2, 0, 9, nil, nil, nil); err == nil {
+		t.Error("out-of-range endpoint must fail")
+	}
+}
+
+func TestEmptyCanvas(t *testing.T) {
+	c, err := NewGridCanvas(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.HasPrefix(out, ". . .\n. . .\n") {
+		t.Errorf("empty canvas rendered as %q", out)
+	}
+}

@@ -1,0 +1,135 @@
+// Package baseline implements the comparison points the experiments
+// measure the labeling scheme against:
+//
+//   - Exact: recompute-from-scratch — a BFS on G\F per query. Always
+//     exact, no preprocessing, but query time grows with the graph, not
+//     with |F|; this is the baseline the paper's "recover without delay"
+//     motivation argues against.
+//   - APSPMatrix: the classic exact failure-free distance oracle (a full
+//     n×n matrix), the size yardstick for the oracle-size experiment.
+//   - NaiveFF: the failure-free labeling scheme used *despite* faults —
+//     the correctness foil: it happily reports distances through failed
+//     vertices, demonstrating why forbidden-set labels are needed.
+package baseline
+
+import (
+	"fmt"
+
+	"fsdl/internal/bitio"
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+)
+
+// Exact answers forbidden-set distance queries by recomputation.
+type Exact struct {
+	G *graph.Graph
+}
+
+// Distance returns the exact d_{G\F}(u,v); ok=false when disconnected.
+func (e Exact) Distance(u, v int, faults *graph.FaultSet) (int64, bool) {
+	d := e.G.DistAvoiding(u, v, faults)
+	if !graph.Reachable(d) {
+		return 0, false
+	}
+	return int64(d), true
+}
+
+// SizeBits returns the storage the recompute baseline needs: the graph
+// itself (an edge list at 2⌈log₂ n⌉ bits per edge).
+func (e Exact) SizeBits() int64 {
+	n := e.G.NumVertices()
+	bitsPerID := 1
+	for 1<<uint(bitsPerID) < n {
+		bitsPerID++
+	}
+	return int64(e.G.NumEdges()) * int64(2*bitsPerID)
+}
+
+// APSPMatrix is the exact failure-free all-pairs distance oracle.
+type APSPMatrix struct {
+	n    int
+	dist [][]int32
+}
+
+// BuildAPSP computes the full distance matrix (n BFS runs).
+func BuildAPSP(g *graph.Graph) *APSPMatrix {
+	n := g.NumVertices()
+	m := &APSPMatrix{n: n, dist: make([][]int32, n)}
+	for v := 0; v < n; v++ {
+		m.dist[v] = g.BFS(v)
+	}
+	return m
+}
+
+// Distance returns the exact failure-free distance.
+func (m *APSPMatrix) Distance(u, v int) (int64, bool) {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		return 0, false
+	}
+	d := m.dist[u][v]
+	if !graph.Reachable(d) {
+		return 0, false
+	}
+	return int64(d), true
+}
+
+// SizeBits returns the matrix storage: each entry gamma-coded (the honest
+// compressed size of the classical oracle).
+func (m *APSPMatrix) SizeBits() int64 {
+	var total int64
+	for _, row := range m.dist {
+		for _, d := range row {
+			v := uint64(0)
+			if graph.Reachable(d) {
+				v = uint64(d) + 1
+			}
+			total += int64(bitio.GammaLen(v))
+		}
+	}
+	return total
+}
+
+// NaiveFF wraps the failure-free labeling scheme and (incorrectly) answers
+// forbidden-set queries by ignoring F.
+type NaiveFF struct {
+	s *core.FFScheme
+}
+
+// NewNaiveFF builds the foil over g at precision ε.
+func NewNaiveFF(g *graph.Graph, epsilon float64) (*NaiveFF, error) {
+	s, err := core.BuildFFScheme(g, epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return &NaiveFF{s: s}, nil
+}
+
+// Distance ignores the fault set entirely — that is the point.
+func (nf *NaiveFF) Distance(u, v int, _ *graph.FaultSet) (int64, bool) {
+	return core.FFDistance(nf.s.Label(u), nf.s.Label(v))
+}
+
+// ViolatesSafety reports whether the naive baseline under-reports the true
+// surviving distance for the query — i.e., whether its answer routes
+// through the fault set. The experiments use this to count how often
+// ignoring failures gives wrong (too small or falsely connected) answers.
+func (nf *NaiveFF) ViolatesSafety(g *graph.Graph, u, v int, faults *graph.FaultSet) bool {
+	est, ok := nf.Distance(u, v, faults)
+	truth := g.DistAvoiding(u, v, faults)
+	if !graph.Reachable(truth) {
+		return ok // claiming any distance across a disconnection is a violation
+	}
+	return !ok || est < int64(truth)
+}
+
+// DistanceBidir is Distance computed with the bidirectional search: the
+// answers are identical (the equivalence is property-tested in
+// internal/graph), the work is roughly the square root of a full BFS on
+// graphs with room between the endpoints.
+func (e Exact) DistanceBidir(u, v int, faults *graph.FaultSet) (int64, bool) {
+	d := e.G.DistAvoidingBidir(u, v, faults)
+	if !graph.Reachable(d) {
+		return 0, false
+	}
+	return int64(d), true
+}

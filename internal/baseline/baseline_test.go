@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+func TestExactMatchesBFS(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	e := Exact{G: g}
+	f := graph.FaultVertices(14, 21)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		u, v := rng.Intn(36), rng.Intn(36)
+		want := g.DistAvoiding(u, v, f)
+		got, ok := e.Distance(u, v, f)
+		if graph.Reachable(want) != ok {
+			t.Fatalf("(%d,%d): ok=%v, want %v", u, v, ok, graph.Reachable(want))
+		}
+		if ok && got != int64(want) {
+			t.Fatalf("(%d,%d): got %d, want %d", u, v, got, want)
+		}
+	}
+	if e.SizeBits() <= 0 {
+		t.Error("exact baseline size must be positive")
+	}
+}
+
+func TestAPSPMatrix(t *testing.T) {
+	g := gen.Grid2D(5, 4)
+	m := BuildAPSP(g)
+	for u := 0; u < 20; u++ {
+		dist := g.BFS(u)
+		for v := 0; v < 20; v++ {
+			got, ok := m.Distance(u, v)
+			if !ok || got != int64(dist[v]) {
+				t.Fatalf("APSP(%d,%d) = (%d,%v), want %d", u, v, got, ok, dist[v])
+			}
+		}
+	}
+	if _, ok := m.Distance(-1, 0); ok {
+		t.Error("out-of-range must fail")
+	}
+	if m.SizeBits() <= 0 {
+		t.Error("APSP size must be positive")
+	}
+}
+
+func TestAPSPDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	m := BuildAPSP(g)
+	if _, ok := m.Distance(0, 3); ok {
+		t.Error("cross-component APSP query must fail")
+	}
+}
+
+func TestNaiveFFIsUnsafeUnderFaults(t *testing.T) {
+	// On a path, cutting the middle makes the naive baseline claim a
+	// finite distance across the cut — a safety violation.
+	g := gen.Path(20)
+	nf, err := NewNaiveFF(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := graph.FaultVertices(10)
+	if !nf.ViolatesSafety(g, 0, 19, f) {
+		t.Error("naive baseline should violate safety across a cut")
+	}
+	// But it is fine without faults.
+	if nf.ViolatesSafety(g, 0, 19, nil) {
+		t.Error("naive baseline must be safe in the failure-free case")
+	}
+}
+
+func TestNaiveFFUnderReportsDetours(t *testing.T) {
+	// 9x9 grid with a wall: naive answer stays ~8 while truth detours.
+	w, h := 9, 9
+	b := graph.NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				b.AddEdge(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	g := b.MustBuild()
+	nf, err := NewNaiveFF(g, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := graph.NewFaultSet()
+	for y := 1; y < h; y++ {
+		f.AddVertex(y*w + 4)
+	}
+	if !nf.ViolatesSafety(g, 4*w+0, 4*w+8, f) {
+		t.Error("naive baseline should under-report the detour distance")
+	}
+}
+
+func TestDistanceBidirMatchesDistance(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	e := Exact{G: g}
+	f := graph.FaultVertices(27, 28)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		u, v := rng.Intn(64), rng.Intn(64)
+		d1, ok1 := e.Distance(u, v, f)
+		d2, ok2 := e.DistanceBidir(u, v, f)
+		if d1 != d2 || ok1 != ok2 {
+			t.Fatalf("(%d,%d): uni (%d,%v), bidir (%d,%v)", u, v, d1, ok1, d2, ok2)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package bitio implements bit-granular encoding used to serialize vertex
+// labels, so that the label-length accounting of the experiments is exact in
+// bits rather than rounded to machine words. It provides a bit writer and
+// reader with fixed-width fields, LEB-style varints, and Elias gamma/delta
+// universal codes for small nonnegative integers.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrOutOfBounds is returned when a read runs past the end of the stream.
+var ErrOutOfBounds = errors.New("bitio: read past end of stream")
+
+// Writer accumulates bits most-significant-first into a byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // total bits written
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the encoded bytes; the final partial byte (if any) is
+// zero-padded. The returned slice aliases internal storage.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b != 0 {
+		w.buf[w.nbit/8] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low `width` bits of v, most significant first.
+// width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("bitio: invalid width %d", width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUvarint appends v in a 7-bits-per-group varint (bit-granular LEB128).
+// Each group is prefixed by a continuation bit.
+func (w *Writer) WriteUvarint(v uint64) {
+	for {
+		group := v & 0x7f
+		v >>= 7
+		if v == 0 {
+			w.WriteBit(0)
+			w.WriteBits(group, 7)
+			return
+		}
+		w.WriteBit(1)
+		w.WriteBits(group, 7)
+	}
+}
+
+// WriteGamma appends v >= 0 in Elias gamma code (encodes v+1 so zero is
+// representable). Gamma uses 2*floor(log2(v+1))+1 bits.
+func (w *Writer) WriteGamma(v uint64) {
+	x := v + 1
+	nb := bits.Len64(x) // number of significant bits
+	for i := 0; i < nb-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, nb)
+}
+
+// WriteDelta appends v >= 0 in Elias delta code (encodes v+1). Delta is
+// asymptotically shorter than gamma for large values.
+func (w *Writer) WriteDelta(v uint64) {
+	x := v + 1
+	nb := bits.Len64(x)
+	w.WriteGamma(uint64(nb - 1))
+	// Emit the nb-1 low bits (the leading 1 is implied by the length).
+	w.WriteBits(x&((1<<uint(nb-1))-1), nb-1)
+}
+
+// Reader consumes bits most-significant-first from a byte buffer.
+type Reader struct {
+	buf  []byte
+	pos  int // bit cursor
+	nbit int // total readable bits
+}
+
+// NewReader returns a reader over the first nbits bits of buf. Pass
+// 8*len(buf) to read everything.
+func NewReader(buf []byte, nbits int) *Reader {
+	if nbits > 8*len(buf) {
+		nbits = 8 * len(buf)
+	}
+	return &Reader{buf: buf, nbit: nbits}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.nbit - r.pos }
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.nbit {
+		return 0, ErrOutOfBounds
+	}
+	b := (r.buf[r.pos/8] >> (7 - uint(r.pos%8))) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits reads a width-bit unsigned value, most significant bit first.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	if width < 0 || width > 64 {
+		return 0, fmt.Errorf("bitio: invalid width %d", width)
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUvarint reads a value written by WriteUvarint.
+func (r *Reader) ReadUvarint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		if shift > 63 {
+			return 0, errors.New("bitio: varint overflows uint64")
+		}
+		cont, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		group, err := r.ReadBits(7)
+		if err != nil {
+			return 0, err
+		}
+		v |= group << shift
+		if cont == 0 {
+			return v, nil
+		}
+	}
+}
+
+// ReadGamma reads a value written by WriteGamma.
+func (r *Reader) ReadGamma() (uint64, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 63 {
+			return 0, errors.New("bitio: gamma prefix too long")
+		}
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<uint(zeros) | rest) - 1, nil
+}
+
+// ReadDelta reads a value written by WriteDelta.
+func (r *Reader) ReadDelta() (uint64, error) {
+	nbMinus1, err := r.ReadGamma()
+	if err != nil {
+		return 0, err
+	}
+	if nbMinus1 > 63 {
+		return 0, errors.New("bitio: delta length too long")
+	}
+	low, err := r.ReadBits(int(nbMinus1))
+	if err != nil {
+		return 0, err
+	}
+	return (1<<nbMinus1 | low) - 1, nil
+}
+
+// GammaLen returns the number of bits WriteGamma(v) emits.
+func GammaLen(v uint64) int {
+	nb := bits.Len64(v + 1)
+	return 2*nb - 1
+}
+
+// DeltaLen returns the number of bits WriteDelta(v) emits.
+func DeltaLen(v uint64) int {
+	nb := bits.Len64(v + 1)
+	return GammaLen(uint64(nb-1)) + nb - 1
+}

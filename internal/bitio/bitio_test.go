@@ -1,0 +1,187 @@
+package bitio
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0, 3)
+	w.WriteBits(0xffff, 16)
+	if w.Len() != 23 {
+		t.Fatalf("Len = %d, want 23", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Errorf("first field = %b, want 1011", v)
+	}
+	if v, _ := r.ReadBits(3); v != 0 {
+		t.Errorf("second field = %b, want 0", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xffff {
+		t.Errorf("third field = %x, want ffff", v)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	var w Writer
+	w.WriteBits(5, 3)
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadBits(4); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("err = %v, want ErrOutOfBounds", err)
+	}
+}
+
+func TestZeroWidth(t *testing.T) {
+	var w Writer
+	w.WriteBits(123, 0)
+	if w.Len() != 0 {
+		t.Errorf("zero-width write emitted %d bits", w.Len())
+	}
+	r := NewReader(nil, 0)
+	if v, err := r.ReadBits(0); err != nil || v != 0 {
+		t.Errorf("zero-width read = (%d,%v), want (0,nil)", v, err)
+	}
+}
+
+func TestGammaKnownValues(t *testing.T) {
+	// gamma(v) encodes v+1: value 0 -> "1" (1 bit), value 1 -> "010",
+	// value 2 -> "011", value 3 -> "00100".
+	cases := []struct {
+		v    uint64
+		bits int
+	}{{0, 1}, {1, 3}, {2, 3}, {3, 5}, {6, 5}, {7, 7}, {100, 13}}
+	for _, c := range cases {
+		var w Writer
+		w.WriteGamma(c.v)
+		if w.Len() != c.bits {
+			t.Errorf("gamma(%d) used %d bits, want %d", c.v, w.Len(), c.bits)
+		}
+		if got := GammaLen(c.v); got != c.bits {
+			t.Errorf("GammaLen(%d) = %d, want %d", c.v, got, c.bits)
+		}
+	}
+}
+
+func TestRoundTripAllCodes(t *testing.T) {
+	values := []uint64{0, 1, 2, 3, 7, 8, 127, 128, 1 << 20, 1<<40 + 12345, 1<<63 - 1}
+	var w Writer
+	for _, v := range values {
+		w.WriteUvarint(v)
+		w.WriteGamma(v % (1 << 32)) // keep gamma prefixes sane
+		w.WriteDelta(v)
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for _, v := range values {
+		if got, err := r.ReadUvarint(); err != nil || got != v {
+			t.Fatalf("uvarint(%d) round trip = (%d,%v)", v, got, err)
+		}
+		if got, err := r.ReadGamma(); err != nil || got != v%(1<<32) {
+			t.Fatalf("gamma(%d) round trip = (%d,%v)", v, got, err)
+		}
+		if got, err := r.ReadDelta(); err != nil || got != v {
+			t.Fatalf("delta(%d) round trip = (%d,%v)", v, got, err)
+		}
+	}
+}
+
+func TestDeltaShorterThanGammaForLarge(t *testing.T) {
+	for _, v := range []uint64{1 << 10, 1 << 20, 1 << 30} {
+		if DeltaLen(v) >= GammaLen(v) {
+			t.Errorf("delta(%d)=%d bits should beat gamma=%d bits",
+				v, DeltaLen(v), GammaLen(v))
+		}
+	}
+}
+
+func TestLenFunctionsMatchWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		v := uint64(rng.Int63()) >> uint(rng.Intn(60))
+		var wg, wd Writer
+		wg.WriteGamma(v)
+		wd.WriteDelta(v)
+		if wg.Len() != GammaLen(v) {
+			t.Fatalf("GammaLen(%d) = %d, writer used %d", v, GammaLen(v), wg.Len())
+		}
+		if wd.Len() != DeltaLen(v) {
+			t.Fatalf("DeltaLen(%d) = %d, writer used %d", v, DeltaLen(v), wd.Len())
+		}
+	}
+}
+
+// Property: any interleaved sequence of writes reads back identically.
+func TestInterleavedRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type op struct {
+			kind  int
+			v     uint64
+			width int
+		}
+		n := 1 + rng.Intn(60)
+		ops := make([]op, n)
+		var w Writer
+		for i := range ops {
+			o := op{kind: rng.Intn(4)}
+			switch o.kind {
+			case 0:
+				o.width = rng.Intn(65)
+				o.v = uint64(rng.Int63())
+				if o.width < 64 {
+					o.v &= (1 << uint(o.width)) - 1
+				}
+				w.WriteBits(o.v, o.width)
+			case 1:
+				o.v = uint64(rng.Int63()) >> uint(rng.Intn(63))
+				w.WriteUvarint(o.v)
+			case 2:
+				o.v = uint64(rng.Intn(1 << 20))
+				w.WriteGamma(o.v)
+			case 3:
+				o.v = uint64(rng.Int63()) >> uint(rng.Intn(63))
+				w.WriteDelta(o.v)
+			}
+			ops[i] = o
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for _, o := range ops {
+			var got uint64
+			var err error
+			switch o.kind {
+			case 0:
+				got, err = r.ReadBits(o.width)
+			case 1:
+				got, err = r.ReadUvarint()
+			case 2:
+				got, err = r.ReadGamma()
+			case 3:
+				got, err = r.ReadDelta()
+			}
+			if err != nil || got != o.v {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderTruncatedBuffer(t *testing.T) {
+	var w Writer
+	w.WriteDelta(1 << 30)
+	// Hand the reader fewer bits than written: must error, not loop.
+	r := NewReader(w.Bytes(), w.Len()-5)
+	if _, err := r.ReadDelta(); err == nil {
+		t.Error("expected error reading truncated delta")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+// Ablation 1: shrinking the label ball radii r_i below the paper's values
+// must shrink labels, must preserve safety (estimates never drop below the
+// true surviving distance), and is expected to break completeness — some
+// connected queries come back disconnected or over the stretch bound.
+func TestAblationRShrinkPreservesSafety(t *testing.T) {
+	g := gridGraph(t, 12, 12)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(17))
+	for _, shrink := range []int{1, 2} {
+		s, err := BuildSchemeAblated(g, 2, shrink)
+		if err != nil {
+			t.Fatalf("shrink %d: %v", shrink, err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			f := graph.NewFaultSet()
+			for f.Size() < 3 {
+				v := rng.Intn(n)
+				if v != src && v != dst {
+					f.AddVertex(v)
+				}
+			}
+			truth := g.DistAvoiding(src, dst, f)
+			est, ok := s.Distance(src, dst, f)
+			if !graph.Reachable(truth) {
+				if ok {
+					t.Fatalf("shrink %d: claimed distance across a disconnection", shrink)
+				}
+				continue
+			}
+			// Completeness may fail (ok=false or large estimate), but
+			// safety must not.
+			if ok && est < int64(truth) {
+				t.Fatalf("shrink %d: estimate %d below true %d — safety broken", shrink, est, truth)
+			}
+		}
+	}
+}
+
+func TestAblationRShrinkShrinksLabels(t *testing.T) {
+	// Savings show on graphs whose diameter exceeds the level radii
+	// (long paths); small grids saturate (every ball is the whole graph)
+	// and shrink little — that saturation is itself the E1/E2 finding.
+	b := graph.NewBuilder(512)
+	for i := 0; i+1 < 512; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	full, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := BuildSchemeAblated(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.NumVertices() / 2
+	fb, sb := full.LabelBits(v), shrunk.LabelBits(v)
+	if float64(sb) > 0.7*float64(fb) {
+		t.Errorf("shrunk label %d bits vs full %d bits — expected substantial savings on a path", sb, fb)
+	}
+}
+
+func TestAblationRShrinkBreaksCompleteness(t *testing.T) {
+	// With shrunk balls the guarantee "connected in G\F ⇒ path in H"
+	// (Lemma 2.4) must fail somewhere — otherwise the paper's radii would
+	// be pure waste. Cycles exhibit it: the detour around a fault crosses
+	// regions that no owner ball covers at the needed level.
+	b := graph.NewBuilder(512)
+	for i := 0; i < 512; i++ {
+		b.AddEdge(i, (i+1)%512)
+	}
+	g := b.MustBuild()
+	s, err := BuildSchemeAblated(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	broken, trials := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		f := graph.NewFaultSet()
+		for f.Size() < 4 {
+			v := rng.Intn(n)
+			if v != src && v != dst {
+				f.AddVertex(v)
+			}
+		}
+		truth := g.DistAvoiding(src, dst, f)
+		if !graph.Reachable(truth) {
+			continue
+		}
+		trials++
+		est, ok := s.Distance(src, dst, f)
+		if !ok || float64(est) > 3*float64(truth)+1e-9 {
+			broken++
+		}
+	}
+	if trials < 20 {
+		t.Fatalf("only %d usable trials", trials)
+	}
+	if broken == 0 {
+		t.Errorf("rShrink=2 never violated the guarantee in %d trials on C_512 — ablation has no bite", trials)
+	}
+}
+
+// Ablation 2: disabling the protected-ball filter must break safety —
+// estimates drop below the surviving distance because virtual edges whose
+// shortest paths run through faults get admitted.
+func TestAblationNoProtectedBallsBreaksSafety(t *testing.T) {
+	g := pathGraph(t, 40)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the path in the middle: truth = disconnected; without protected
+	// balls the decoder happily bridges the cut with a virtual edge.
+	q, err := s.NewQuery(0, 39, graph.FaultVertices(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.UnsafeIgnoreProtectedBalls = true
+	if _, ok := q.Distance(); !ok {
+		t.Error("without protected balls the decoder should (wrongly) claim connectivity across the cut")
+	}
+	// Sanity: the honest decoder refuses.
+	q2, _ := s.NewQuery(0, 39, graph.FaultVertices(20))
+	if _, ok := q2.Distance(); ok {
+		t.Error("honest decoder must report disconnection")
+	}
+}
+
+func TestAblationNoProtectedBallsUnderestimatesDetours(t *testing.T) {
+	w, h := 11, 11
+	g := gridGraph(t, w, h)
+	s, _ := BuildScheme(g, 2)
+	f := graph.NewFaultSet()
+	for y := 1; y < h; y++ {
+		f.AddVertex(y*w + 5)
+	}
+	src, dst := 5*w+0, 5*w+10
+	truth := g.DistAvoiding(src, dst, f)
+	q, err := s.NewQuery(src, dst, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.UnsafeIgnoreProtectedBalls = true
+	est, ok := q.Distance()
+	if !ok {
+		t.Fatal("ablated decoder should still answer")
+	}
+	if est >= int64(truth) {
+		t.Errorf("ablated estimate %d did not under-report true detour %d — expected a safety breach", est, truth)
+	}
+}
+
+func TestAblatedLabelRoundTripKeepsRShrink(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s, err := BuildSchemeAblated(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Label(10)
+	if l.RShrink != 2 {
+		t.Fatalf("label RShrink = %d, want 2", l.RShrink)
+	}
+	buf, nbits := l.Encode()
+	got, err := DecodeLabel(buf, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RShrink != 2 {
+		t.Errorf("decoded RShrink = %d, want 2", got.RShrink)
+	}
+	// Mixing ablated and normal labels must be rejected.
+	full, _ := BuildScheme(g, 2)
+	q := &Query{S: l, T: full.Label(20)}
+	if err := q.Validate(); err == nil {
+		t.Error("mixed RShrink labels must fail validation")
+	}
+}
+
+func TestBuildSchemeAblatedRejectsNegative(t *testing.T) {
+	g := pathGraph(t, 8)
+	if _, err := BuildSchemeAblated(g, 2, -1); err == nil {
+		t.Error("negative rShrink must be rejected")
+	}
+}

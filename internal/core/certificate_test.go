@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+// These tests pin down mayBeInPB — the decoder's conservative certificate
+// for "the owner vertex is outside the protected ball PB_ℓ(f)" — since the
+// entire safety argument for owner edges rests on it.
+
+func TestMayBeInPBExactForNetPointOwner(t *testing.T) {
+	g := pathGraph(t, 64)
+	s, _ := BuildScheme(g, 2)
+	p := s.Params()
+	h := s.Hierarchy()
+	// Find a vertex that is a net point at some level > lowest.
+	level := p.LowestLevel() + 1
+	netLvl := clampNetLevel(h, p.NetLevel(level))
+	owner := -1
+	for v := 0; v < 64; v++ {
+		if h.InNet(v, netLvl) {
+			owner = v
+			break
+		}
+	}
+	if owner < 0 {
+		t.Skip("no net point at the level")
+	}
+	lambda := p.Lambda(level)
+	lo := s.Label(owner)
+	for _, f := range []int{0, 16, 32, 63} {
+		if f == owner {
+			continue
+		}
+		lf := s.Label(f)
+		got := mayBeInPB(lo, lf, level)
+		want := g.Dist(owner, f) <= lambda
+		if got != want {
+			t.Errorf("net-point owner %d vs fault %d at level %d: mayBeInPB=%v, exact=%v",
+				owner, f, level, got, want)
+		}
+	}
+}
+
+func TestMayBeInPBSoundness(t *testing.T) {
+	// Soundness: whenever the certificate says "certainly outside"
+	// (false), the owner really is outside the protected ball.
+	g := gridGraph(t, 10, 10)
+	s, _ := BuildScheme(g, 2)
+	p := s.Params()
+	for _, fv := range []int{0, 44, 99} {
+		lf := s.Label(fv)
+		distF := g.BFS(fv)
+		for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
+			lambda := p.Lambda(level)
+			for owner := 0; owner < 100; owner += 7 {
+				if owner == fv {
+					continue
+				}
+				lo := s.Label(owner)
+				if !mayBeInPB(lo, lf, level) && distF[owner] <= lambda {
+					t.Fatalf("UNSOUND: owner %d certified outside PB_%d(%d) but d=%d <= lambda=%d",
+						owner, level, fv, distF[owner], lambda)
+				}
+			}
+		}
+	}
+}
+
+func TestMayBeInPBCompleteness(t *testing.T) {
+	// Completeness where the analysis needs it: d(owner, f) > μ_ℓ must be
+	// certified outside (otherwise the stretch proof's owner edges get
+	// rejected).
+	g := gridGraph(t, 12, 12)
+	s, _ := BuildScheme(g, 2)
+	p := s.Params()
+	for _, fv := range []int{0, 77} {
+		lf := s.Label(fv)
+		distF := g.BFS(fv)
+		for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
+			mu := p.Mu(level)
+			for owner := 0; owner < 144; owner += 5 {
+				if owner == fv || distF[owner] <= mu {
+					continue
+				}
+				lo := s.Label(owner)
+				if mayBeInPB(lo, lf, level) {
+					t.Fatalf("INCOMPLETE: owner %d at d=%d > mu_%d=%d from fault %d not certified outside",
+						owner, distF[owner], level, mu, fv)
+				}
+			}
+		}
+	}
+}
+
+func TestMayBeInPBFaultIsOwner(t *testing.T) {
+	// A fault is always inside its own protected ball.
+	g := pathGraph(t, 32)
+	s, _ := BuildScheme(g, 2)
+	p := s.Params()
+	lf := s.Label(10)
+	for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
+		if !mayBeInPB(lf, lf, level) {
+			t.Errorf("fault not inside its own PB at level %d", level)
+		}
+	}
+}
+
+func TestMayBeInPBOtherComponent(t *testing.T) {
+	// Owner and fault in different components: the certificate must say
+	// outside (the fault's nearest net point is unreachable from the
+	// owner, i.e. absent from its ball).
+	b := graph.NewBuilder(16)
+	for i := 0; i+1 < 8; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(8+i, 8+i+1)
+	}
+	g := b.MustBuild()
+	s, _ := BuildScheme(g, 2)
+	p := s.Params()
+	lo := s.Label(0)
+	lf := s.Label(12)
+	outsideSomewhere := false
+	for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
+		if !mayBeInPB(lo, lf, level) {
+			outsideSomewhere = true
+		}
+	}
+	if !outsideSomewhere {
+		t.Error("cross-component owner never certified outside — edges near it would all be rejected")
+	}
+}

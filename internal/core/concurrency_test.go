@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+// The Scheme documents itself as safe for concurrent label extraction;
+// these tests back that claim (run with -race in CI).
+
+func TestConcurrentLabelExtraction(t *testing.T) {
+	g := gridGraph(t, 10, 10)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				v := (seed*31 + i*7) % 100
+				l := s.Label(v)
+				if l.V != int32(v) {
+					errs <- "wrong label returned"
+					return
+				}
+				if _, bits := l.Encode(); bits <= 0 {
+					errs <- "empty label"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := gridGraph(t, 9, 9)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				src := (seed + i*13) % 81
+				dst := (seed*17 + i) % 81
+				f := graph.NewFaultSet()
+				fv := (seed*7 + i*29) % 81
+				if fv != src && fv != dst {
+					f.AddVertex(fv)
+				}
+				truth := g.DistAvoiding(src, dst, f)
+				est, ok := s.Distance(src, dst, f)
+				if graph.Reachable(truth) != ok {
+					fail <- "connectivity mismatch under concurrency"
+					return
+				}
+				if ok && est < int64(truth) {
+					fail <- "safety violated under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(fail)
+	for e := range fail {
+		t.Fatal(e)
+	}
+}
+
+// Queries are symmetric: H(s,t,F) = H(t,s,F), so the estimates must match.
+func TestQuerySymmetry(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s, _ := BuildScheme(g, 2)
+	f := graph.FaultVertices(27, 36)
+	for src := 0; src < 64; src += 5 {
+		for dst := 0; dst < 64; dst += 7 {
+			d1, ok1 := s.Distance(src, dst, f)
+			d2, ok2 := s.Distance(dst, src, f)
+			if d1 != d2 || ok1 != ok2 {
+				t.Fatalf("asymmetric: (%d,%d)=(%d,%v), (%d,%d)=(%d,%v)",
+					src, dst, d1, ok1, dst, src, d2, ok2)
+			}
+		}
+	}
+}
+
+// Repeated identical queries are deterministic.
+func TestQueryDeterminism(t *testing.T) {
+	g := gridGraph(t, 7, 7)
+	s, _ := BuildScheme(g, 2)
+	f := graph.FaultVertices(24)
+	d0, ok0 := s.Distance(0, 48, f)
+	for i := 0; i < 5; i++ {
+		d, ok := s.Distance(0, 48, f)
+		if d != d0 || ok != ok0 {
+			t.Fatalf("nondeterministic answer: (%d,%v) vs (%d,%v)", d, ok, d0, ok0)
+		}
+	}
+}

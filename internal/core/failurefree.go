@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fsdl/internal/bitio"
+	"fsdl/internal/graph"
+	"fsdl/internal/nets"
+)
+
+// FFScheme is the failure-free (1+ε)-approximate distance labeling scheme
+// described in the overview of Section 2.1. It is both a pedagogical
+// stepping stone to the forbidden-set scheme and the cheap baseline of the
+// experiments: its labels are far smaller, but it tolerates no faults.
+//
+// The label of v stores, for each level i ∈ {c, …, L} with
+// c = max(⌈log₂(2/ε)⌉, 0), the net points of N_{i-c} within the ball
+// B(v, 2^{i+1}−1), with exact distances. A query scans for the smallest
+// level at which the nearest net point of t appears in s's ball and returns
+// the summed distances through it.
+type FFScheme struct {
+	g        *graph.Graph
+	h        *nets.Hierarchy
+	epsilon  float64
+	c        int
+	maxLevel int
+}
+
+// FFLabel is a failure-free distance label.
+type FFLabel struct {
+	V        int32
+	C        int
+	MaxLevel int
+	// Levels[k] lists the net points of N_{(c+k)-c} = N_k within
+	// B(v, 2^{c+k+1}−1), sorted by vertex id, with distances from v.
+	Levels [][]PointEntry
+}
+
+// BuildFFScheme preprocesses g into a failure-free labeling scheme with
+// stretch 1+ε.
+func BuildFFScheme(g *graph.Graph, epsilon float64) (*FFScheme, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("core: epsilon must be positive, got %g", epsilon)
+	}
+	c := 0
+	if need := int(math.Ceil(math.Log2(2 / epsilon))); need > c {
+		c = need
+	}
+	l := nets.NumLevels(g.NumVertices()) - 1
+	if l < c {
+		l = c
+	}
+	h, err := nets.Build(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
+	}
+	return &FFScheme{g: g, h: h, epsilon: epsilon, c: c, maxLevel: l}, nil
+}
+
+// Epsilon returns the scheme's precision parameter.
+func (s *FFScheme) Epsilon() float64 { return s.epsilon }
+
+// C returns the derived constant c.
+func (s *FFScheme) C() int { return s.c }
+
+// Label extracts the failure-free label of v.
+func (s *FFScheme) Label(v int) *FFLabel {
+	l := &FFLabel{V: int32(v), C: s.c, MaxLevel: s.maxLevel}
+	scratch := graph.NewBFSScratch(s.g.NumVertices())
+	for i := s.c; i <= s.maxLevel; i++ {
+		netLvl := clampNetLevel(s.h, i-s.c)
+		radius := int32(1)<<uint(i+1) - 1
+		var pts []PointEntry
+		scratch.TruncatedBFS(s.g, v, radius, func(w, d int32) {
+			if s.h.InNet(int(w), netLvl) {
+				pts = append(pts, PointEntry{X: w, D: d})
+			}
+		})
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		l.Levels = append(l.Levels, pts)
+	}
+	return l
+}
+
+// LabelBits returns the serialized size of the failure-free label of v in
+// bits.
+func (s *FFScheme) LabelBits(v int) int {
+	_, bits := s.Label(v).Encode()
+	return bits
+}
+
+// FFDistance answers a failure-free query from two labels alone: it
+// returns a distance estimate δ with d ≤ δ ≤ (1+ε)d, or ok = false when s
+// and t are disconnected.
+func FFDistance(ls, lt *FFLabel) (int64, bool) {
+	if ls.V == lt.V {
+		return 0, true
+	}
+	if ls.C != lt.C || ls.MaxLevel != lt.MaxLevel {
+		return 0, false
+	}
+	for k := range lt.Levels {
+		// M_{i-c}(t): the nearest level-(i-c) net point to t.
+		pts := lt.Levels[k]
+		if len(pts) == 0 {
+			continue
+		}
+		m := pts[0]
+		for _, pe := range pts[1:] {
+			if pe.D < m.D {
+				m = pe
+			}
+		}
+		if k >= len(ls.Levels) {
+			break
+		}
+		if ds, ok := ffDistTo(ls.Levels[k], m.X); ok {
+			return int64(ds) + int64(m.D), true
+		}
+	}
+	return 0, false
+}
+
+func ffDistTo(pts []PointEntry, x int32) (int32, bool) {
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
+	if i < len(pts) && pts[i].X == x {
+		return pts[i].D, true
+	}
+	return 0, false
+}
+
+// Encode serializes the label to a bit string (same coding conventions as
+// the forbidden-set labels).
+func (l *FFLabel) Encode() ([]byte, int) {
+	var w bitio.Writer
+	w.WriteUvarint(uint64(l.V))
+	w.WriteUvarint(uint64(l.C))
+	w.WriteUvarint(uint64(l.MaxLevel))
+	for _, pts := range l.Levels {
+		w.WriteDelta(uint64(len(pts)))
+		prev := int64(-1)
+		for _, pe := range pts {
+			w.WriteDelta(uint64(int64(pe.X) - prev - 1))
+			prev = int64(pe.X)
+			w.WriteGamma(uint64(pe.D))
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+// DecodeFFLabel parses a label serialized by FFLabel.Encode.
+func DecodeFFLabel(buf []byte, nbits int) (*FFLabel, error) {
+	r := bitio.NewReader(buf, nbits)
+	l := &FFLabel{}
+	v, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode ff label vertex: %w", err)
+	}
+	l.V = int32(v)
+	c, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode ff label c: %w", err)
+	}
+	l.C = int(c)
+	maxLevel, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode ff label max level: %w", err)
+	}
+	l.MaxLevel = int(maxLevel)
+	numLevels := l.MaxLevel - l.C + 1
+	if numLevels < 0 || numLevels > 64 {
+		return nil, fmt.Errorf("core: decode ff label: implausible level count %d", numLevels)
+	}
+	for k := 0; k < numLevels; k++ {
+		np, err := r.ReadDelta()
+		if err != nil {
+			return nil, fmt.Errorf("core: decode ff level %d: %w", k, err)
+		}
+		if np > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("core: decode ff level %d: point count %d exceeds payload", k, np)
+		}
+		pts := make([]PointEntry, np)
+		prev := int64(-1)
+		for i := range pts {
+			gap, err := r.ReadDelta()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode ff point gap: %w", err)
+			}
+			prev += int64(gap) + 1
+			d, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode ff point dist: %w", err)
+			}
+			pts[i] = PointEntry{X: int32(prev), D: int32(d)}
+		}
+		l.Levels = append(l.Levels, pts)
+	}
+	return l, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsdl/internal/graph"
+)
+
+func checkFFQuery(t *testing.T, g *graph.Graph, s *FFScheme, src, dst int) float64 {
+	t.Helper()
+	want := g.Dist(src, dst)
+	got, ok := FFDistance(s.Label(src), s.Label(dst))
+	if !graph.Reachable(want) {
+		if ok {
+			t.Fatalf("ff query (%d,%d): reported %d but disconnected", src, dst, got)
+		}
+		return 1
+	}
+	if !ok {
+		t.Fatalf("ff query (%d,%d): reported disconnected, want %d", src, dst, want)
+	}
+	if got < int64(want) {
+		t.Fatalf("ff query (%d,%d): %d below true %d", src, dst, got, want)
+	}
+	if want > 0 && float64(got) > (1+s.Epsilon())*float64(want)+1e-9 {
+		t.Fatalf("ff query (%d,%d): %d exceeds (1+%g)·%d", src, dst, got, s.Epsilon(), want)
+	}
+	if want == 0 {
+		return 1
+	}
+	return float64(got) / float64(want)
+}
+
+func TestFFSchemeGrid(t *testing.T) {
+	g := gridGraph(t, 9, 8)
+	s, err := BuildFFScheme(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 72; src += 5 {
+		for dst := 0; dst < 72; dst += 7 {
+			checkFFQuery(t, g, s, src, dst)
+		}
+	}
+}
+
+func TestFFSchemePathExactishForTinyEps(t *testing.T) {
+	g := pathGraph(t, 64)
+	s, err := BuildFFScheme(g, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		checkFFQuery(t, g, s, rng.Intn(64), rng.Intn(64))
+	}
+}
+
+func TestFFSchemeDisconnected(t *testing.T) {
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	s, _ := BuildFFScheme(g, 1)
+	if _, ok := FFDistance(s.Label(0), s.Label(3)); ok {
+		t.Error("cross-component ff query must fail")
+	}
+	checkFFQuery(t, g, s, 0, 1)
+}
+
+func TestFFSchemeSameVertex(t *testing.T) {
+	g := pathGraph(t, 5)
+	s, _ := BuildFFScheme(g, 1)
+	if d, ok := FFDistance(s.Label(2), s.Label(2)); !ok || d != 0 {
+		t.Errorf("self distance = (%d,%v), want (0,true)", d, ok)
+	}
+}
+
+func TestFFSchemeRejectsBadEpsilon(t *testing.T) {
+	g := pathGraph(t, 5)
+	if _, err := BuildFFScheme(g, 0); err == nil {
+		t.Error("eps=0 should fail")
+	}
+}
+
+func TestFFLabelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnected(t, 70, 90, rng)
+	s, _ := BuildFFScheme(g, 0.5)
+	for _, v := range []int{0, 35, 69} {
+		l := s.Label(v)
+		buf, nbits := l.Encode()
+		if nbits != s.LabelBits(v) {
+			t.Fatalf("LabelBits mismatch for %d", v)
+		}
+		got, err := DecodeFFLabel(buf, nbits)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.V != l.V || got.C != l.C || got.MaxLevel != l.MaxLevel {
+			t.Fatal("header mismatch")
+		}
+		if len(got.Levels) != len(l.Levels) {
+			t.Fatalf("level count %d -> %d", len(l.Levels), len(got.Levels))
+		}
+		for k := range l.Levels {
+			if len(got.Levels[k]) != len(l.Levels[k]) {
+				t.Fatalf("level %d size mismatch", k)
+			}
+			for i := range l.Levels[k] {
+				if got.Levels[k][i] != l.Levels[k][i] {
+					t.Fatalf("level %d point %d mismatch", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFFMismatchedSchemes(t *testing.T) {
+	g := pathGraph(t, 32)
+	s1, _ := BuildFFScheme(g, 0.5)
+	s2, _ := BuildFFScheme(g, 4)
+	if _, ok := FFDistance(s1.Label(0), s2.Label(31)); ok {
+		t.Error("mismatched ff labels must not answer")
+	}
+}
+
+// FF labels are much smaller than forbidden-set labels: the price of fault
+// tolerance (edges between net points) is real.
+func TestFFLabelsSmallerThanFSLabels(t *testing.T) {
+	g := gridGraph(t, 10, 10)
+	ff, _ := BuildFFScheme(g, 1.5)
+	fs, _ := BuildScheme(g, 1.5)
+	v := 55
+	if ffBits, fsBits := ff.LabelBits(v), fs.LabelBits(v); ffBits >= fsBits {
+		t.Errorf("ff label %d bits >= fs label %d bits", ffBits, fsBits)
+	}
+}
+
+// Property: stretch bound on random graphs and precisions.
+func TestFFStretchProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		g := randomConnected(t, n, rng.Intn(n), rng)
+		eps := []float64{0.25, 0.5, 1, 2}[rng.Intn(4)]
+		s, err := BuildFFScheme(g, eps)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 8; trial++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			want := g.Dist(src, dst)
+			got, ok := FFDistance(s.Label(src), s.Label(dst))
+			if !ok || got < int64(want) {
+				return false
+			}
+			if want > 0 && float64(got) > (1+eps)*float64(want)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

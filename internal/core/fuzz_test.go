@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+// FuzzDecodeLabel asserts DecodeLabel never panics on arbitrary input and
+// that valid labels round-trip through a decode→encode→decode cycle.
+func FuzzDecodeLabel(f *testing.F) {
+	// Seed with real labels of a small grid and a path.
+	g := gridGraphF(6, 5)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, v := range []int{0, 7, 29} {
+		buf, nbits := s.Label(v).Encode()
+		f.Add(buf, nbits)
+	}
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0x00, 0xff}, 24)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > 8*len(data) {
+			nbits = 8 * len(data)
+		}
+		l, err := DecodeLabel(data, nbits)
+		if err != nil {
+			return // malformed input rejected cleanly — fine
+		}
+		// A successfully decoded label must re-encode and decode to an
+		// equivalent label.
+		buf2, n2 := l.Encode()
+		l2, err := DecodeLabel(buf2, n2)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded label failed: %v", err)
+		}
+		if l2.V != l.V || l2.C != l.C || l2.MaxLevel != l.MaxLevel || len(l2.Levels) != len(l.Levels) {
+			t.Fatal("re-encoded label differs structurally")
+		}
+		for k := range l.Levels {
+			if len(l2.Levels[k].Points) != len(l.Levels[k].Points) ||
+				len(l2.Levels[k].Edges) != len(l.Levels[k].Edges) {
+				t.Fatalf("level %d size mismatch after round trip", k)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFFLabel mirrors FuzzDecodeLabel for the failure-free labels.
+func FuzzDecodeFFLabel(f *testing.F) {
+	g := gridGraphF(5, 5)
+	s, err := BuildFFScheme(g, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, v := range []int{0, 12, 24} {
+		buf, nbits := s.Label(v).Encode()
+		f.Add(buf, nbits)
+	}
+	f.Add([]byte{0x80}, 8)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > 8*len(data) {
+			nbits = 8 * len(data)
+		}
+		l, err := DecodeFFLabel(data, nbits)
+		if err != nil {
+			return
+		}
+		buf2, n2 := l.Encode()
+		if _, err := DecodeFFLabel(buf2, n2); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+// FuzzQueryDistance drives the decoder with decoded-from-bytes labels; it
+// must never panic regardless of label content mutations.
+func FuzzQueryDistance(f *testing.F) {
+	g := gridGraphF(5, 5)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bufS, nS := s.Label(0).Encode()
+	bufT, nT := s.Label(24).Encode()
+	bufF, nF := s.Label(12).Encode()
+	f.Add(bufS, nS, bufT, nT, bufF, nF)
+	f.Fuzz(func(t *testing.T, ds []byte, ns int, dt []byte, nt int, df []byte, nf int) {
+		clamp := func(n, limit int) int {
+			if n < 0 || n > limit {
+				return limit
+			}
+			return n
+		}
+		ls, err := DecodeLabel(ds, clamp(ns, 8*len(ds)))
+		if err != nil {
+			return
+		}
+		lt, err := DecodeLabel(dt, clamp(nt, 8*len(dt)))
+		if err != nil {
+			return
+		}
+		lf, err := DecodeLabel(df, clamp(nf, 8*len(df)))
+		if err != nil {
+			return
+		}
+		q := &Query{S: ls, T: lt, VertexFaults: []*Label{lf}}
+		q.Distance() // must not panic; the answer is unspecified for corrupt labels
+	})
+}
+
+// gridGraphF builds a grid without a testing.T (fuzz seeds run outside a
+// test context).
+func gridGraphF(w, h int) *graph.Graph {
+	b := graph.NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				b.AddEdge(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fsdl/internal/bitio"
+	"fsdl/internal/graph"
+)
+
+// Label is the self-contained forbidden-set distance label L(v) of one
+// vertex. Given only the labels of s, t and the forbidden set F, the
+// decoder (see Query) answers (1+ε)-approximate distance queries on G\F.
+//
+// Levels[k] holds the level-(c+1+k) graph H_ℓ(v): the net points of
+// N_{ℓ-c-1} within r_ℓ of v with their exact distances from v, and the
+// short edges between them. At the lowest level the edges are the original
+// unit-weight graph edges inside the ball.
+type Label struct {
+	// V is the labeled vertex.
+	V int32
+	// Epsilon, C, MaxLevel and RShrink echo the scheme parameters so that
+	// a label is interpretable on its own (and so the decoder can
+	// cross-check that all labels of a query come from compatible
+	// schemes). RShrink matters for soundness: the decoder's
+	// "outside the protected ball" certificates depend on the ball radius
+	// the label was extracted with.
+	Epsilon  float64
+	C        int
+	MaxLevel int
+	RShrink  int
+	// Levels[k] is the level-(c+1+k) content.
+	Levels []LevelLabel
+}
+
+// LevelLabel is the per-level slice of a label.
+type LevelLabel struct {
+	// Points lists the net points x of this level's ball around v,
+	// sorted by vertex id, with D = d_G(v, x) ≤ r_ℓ.
+	Points []PointEntry
+	// Edges lists the short edges between points: indices into Points and
+	// the exact distance D = d_G(x,y) ≤ λ_ℓ (D = 1 at the lowest level,
+	// where edges are original graph edges).
+	Edges []EdgeEntry
+}
+
+// PointEntry is a net point of a label ball and its distance from the
+// labeled vertex.
+type PointEntry struct {
+	X int32 // vertex id
+	D int32 // d_G(v, X)
+}
+
+// EdgeEntry is a short edge between two points of the same level, stored
+// as indices into the Points slice (XI < YI), with its exact length.
+type EdgeEntry struct {
+	XI, YI int32
+	D      int32
+}
+
+// Level returns the scheme level of Levels[k], namely c+1+k.
+func (l *Label) Level(k int) int { return l.C + 1 + k }
+
+// DistTo returns d_G(v, x) if x is a point of level ℓ's ball, with
+// ok = false when x is outside the ball (distance > r_ℓ).
+func (l *Label) DistTo(level int, x int32) (int32, bool) {
+	k := level - l.C - 1
+	if k < 0 || k >= len(l.Levels) {
+		return 0, false
+	}
+	pts := l.Levels[k].Points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
+	if i < len(pts) && pts[i].X == x {
+		return pts[i].D, true
+	}
+	return 0, false
+}
+
+// InProtectedBall reports whether x lies in the level-ℓ protected ball
+// PB_ℓ(v) = B(v, λ_ℓ) around this label's vertex. As the paper observes,
+// the label data suffices: r_ℓ > λ_ℓ, so any x missing from the ball list
+// is certainly outside PB_ℓ(v).
+func (l *Label) InProtectedBall(level int, x int32) bool {
+	if x == l.V {
+		return true
+	}
+	d, ok := l.DistTo(level, x)
+	return ok && d <= lambdaOf(level)
+}
+
+func lambdaOf(level int) int32 { return 1 << uint(level+1) }
+
+// NumPoints returns the total number of point entries across levels.
+func (l *Label) NumPoints() int {
+	total := 0
+	for _, lv := range l.Levels {
+		total += len(lv.Points)
+	}
+	return total
+}
+
+// NumEdges returns the total number of edge entries across levels.
+func (l *Label) NumEdges() int {
+	total := 0
+	for _, lv := range l.Levels {
+		total += len(lv.Edges)
+	}
+	return total
+}
+
+// Validate checks the structural invariants a well-formed label satisfies:
+// consistent level count, strictly sorted point lists, in-range edge
+// indices with XI < YI, and distances within the level bounds (points
+// within r_ℓ of v, edges within λ_ℓ). DecodeLabel applies it, making
+// decoded labels trustworthy structurally (their distances may still be
+// semantically wrong if the producer lied — the decoder's guarantees are
+// only as good as the marker that produced the labels, exactly as in the
+// paper's model).
+func (l *Label) Validate() error {
+	if l.C < 2 {
+		return fmt.Errorf("core: label c = %d < 2", l.C)
+	}
+	if len(l.Levels) != l.MaxLevel-l.C {
+		return fmt.Errorf("core: label has %d levels, want %d", len(l.Levels), l.MaxLevel-l.C)
+	}
+	if l.RShrink < 0 || l.RShrink > 32 {
+		return fmt.Errorf("core: label r-shrink %d out of range", l.RShrink)
+	}
+	for k := range l.Levels {
+		level := l.Level(k)
+		lv := &l.Levels[k]
+		r := labelBallRadius(l.C, level, l.RShrink)
+		lambda := lambdaOf(level)
+		var prev int32 = -1
+		for i, pe := range lv.Points {
+			if pe.X <= prev {
+				return fmt.Errorf("core: level %d point %d not strictly sorted", level, i)
+			}
+			prev = pe.X
+			if pe.D < 0 || pe.D > r {
+				return fmt.Errorf("core: level %d point %d distance %d outside [0,%d]",
+					level, i, pe.D, r)
+			}
+		}
+		maxEdgeLen := lambda
+		if level == l.C+1 {
+			maxEdgeLen = 1 // lowest level stores original unit edges
+		}
+		for i, e := range lv.Edges {
+			if e.XI < 0 || e.YI < 0 || int(e.XI) >= len(lv.Points) || int(e.YI) >= len(lv.Points) {
+				return fmt.Errorf("core: level %d edge %d index out of range", level, i)
+			}
+			if e.XI >= e.YI {
+				return fmt.Errorf("core: level %d edge %d has XI >= YI", level, i)
+			}
+			if e.D <= 0 || e.D > maxEdgeLen {
+				return fmt.Errorf("core: level %d edge %d length %d outside (0,%d]",
+					level, i, e.D, maxEdgeLen)
+			}
+		}
+	}
+	return nil
+}
+
+// extractLabel materializes the label of v from the shared store: one
+// truncated BFS of radius r_ℓ per level discovers the ball (points and
+// their distances); edges are then read off the store's net graph (or, at
+// the lowest level, off the original graph).
+func (st *levelStore) extractLabel(v int, scratch *graph.BFSScratch) *Label {
+	p := st.params
+	l := &Label{
+		V:        int32(v),
+		Epsilon:  p.Epsilon,
+		C:        p.C,
+		MaxLevel: p.MaxLevel,
+		RShrink:  p.RShrink,
+		Levels:   make([]LevelLabel, p.NumLevelRange()),
+	}
+	for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
+		k := st.levelIndex(level)
+		sl := &st.levels[k]
+		r := p.R(level)
+		var pts []PointEntry
+		inBall := make(map[int32]int32) // vertex -> index in pts
+		scratch.TruncatedBFS(st.g, v, r, func(w, d int32) {
+			if sl.isNet[w] {
+				inBall[w] = int32(len(pts))
+				pts = append(pts, PointEntry{X: w, D: d})
+			}
+		})
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		for i, pe := range pts {
+			inBall[pe.X] = int32(i)
+		}
+		var edges []EdgeEntry
+		if level == p.LowestLevel() {
+			// Original graph edges with both endpoints inside the ball.
+			for i, pe := range pts {
+				for _, w := range st.g.Neighbors(int(pe.X)) {
+					j, ok := inBall[w]
+					if ok && int32(i) < j {
+						edges = append(edges, EdgeEntry{XI: int32(i), YI: j, D: 1})
+					}
+				}
+			}
+		} else {
+			for i, pe := range pts {
+				for _, nb := range sl.adj[pe.X] {
+					j, ok := inBall[nb.x]
+					if ok && int32(i) < j {
+						edges = append(edges, EdgeEntry{XI: int32(i), YI: j, D: nb.d})
+					}
+				}
+			}
+		}
+		l.Levels[k] = LevelLabel{Points: pts, Edges: edges}
+	}
+	return l
+}
+
+// Encode serializes the label to a bit string. The encoding is
+// self-delimiting and uses Elias gamma/delta codes so that the measured
+// label length in bits reflects the paper's accounting (ids and distances
+// cost O(log n) bits each).
+func (l *Label) Encode() ([]byte, int) {
+	var w bitio.Writer
+	w.WriteUvarint(uint64(l.V))
+	// ε is stored as a rational with 2^16 denominator — enough for any
+	// precision the scheme distinguishes (only c matters operationally).
+	w.WriteUvarint(uint64(l.Epsilon * 65536))
+	w.WriteUvarint(uint64(l.C))
+	w.WriteUvarint(uint64(l.MaxLevel))
+	w.WriteUvarint(uint64(l.RShrink))
+	for _, lv := range l.Levels {
+		w.WriteDelta(uint64(len(lv.Points)))
+		prev := int64(-1)
+		for _, pe := range lv.Points {
+			w.WriteDelta(uint64(int64(pe.X) - prev - 1)) // gap code
+			prev = int64(pe.X)
+			w.WriteGamma(uint64(pe.D))
+		}
+		w.WriteDelta(uint64(len(lv.Edges)))
+		var prevXI, prevYI int64
+		for _, e := range lv.Edges {
+			// Edges are sorted by (XI, YI); gap-code XI and, within a run
+			// of equal XI, gap-code YI.
+			dx := int64(e.XI) - prevXI
+			w.WriteGamma(uint64(dx))
+			if dx != 0 {
+				prevYI = 0
+			}
+			w.WriteGamma(uint64(int64(e.YI) - prevYI))
+			prevXI, prevYI = int64(e.XI), int64(e.YI)
+			w.WriteGamma(uint64(e.D))
+		}
+	}
+	return w.Bytes(), w.Len()
+}
+
+// DecodeLabel parses a label serialized by Encode. nbits is the exact bit
+// length returned by Encode.
+func DecodeLabel(buf []byte, nbits int) (*Label, error) {
+	r := bitio.NewReader(buf, nbits)
+	l := &Label{}
+	v, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode label vertex: %w", err)
+	}
+	l.V = int32(v)
+	epsQ, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode label epsilon: %w", err)
+	}
+	l.Epsilon = float64(epsQ) / 65536
+	c, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode label c: %w", err)
+	}
+	l.C = int(c)
+	maxLevel, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode label max level: %w", err)
+	}
+	l.MaxLevel = int(maxLevel)
+	rShrink, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: decode label r-shrink: %w", err)
+	}
+	if rShrink > 32 {
+		return nil, fmt.Errorf("core: decode label: implausible r-shrink %d", rShrink)
+	}
+	l.RShrink = int(rShrink)
+	numLevels := l.MaxLevel - l.C
+	if numLevels < 0 || numLevels > 64 {
+		return nil, fmt.Errorf("core: decode label: implausible level count %d", numLevels)
+	}
+	l.Levels = make([]LevelLabel, numLevels)
+	for k := range l.Levels {
+		np, err := r.ReadDelta()
+		if err != nil {
+			return nil, fmt.Errorf("core: decode level %d points: %w", k, err)
+		}
+		// Each point costs at least 2 bits (a delta gap and a gamma
+		// distance), so a count beyond the remaining bits is corrupt —
+		// reject it before allocating.
+		if np > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("core: decode level %d: point count %d exceeds payload", k, np)
+		}
+		pts := make([]PointEntry, np)
+		prev := int64(-1)
+		for i := range pts {
+			gap, err := r.ReadDelta()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode point gap: %w", err)
+			}
+			prev += int64(gap) + 1
+			d, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode point dist: %w", err)
+			}
+			pts[i] = PointEntry{X: int32(prev), D: int32(d)}
+		}
+		ne, err := r.ReadDelta()
+		if err != nil {
+			return nil, fmt.Errorf("core: decode level %d edges: %w", k, err)
+		}
+		// Each edge costs at least 3 bits (two gamma indices and a gamma
+		// distance).
+		if ne > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("core: decode level %d: edge count %d exceeds payload", k, ne)
+		}
+		edges := make([]EdgeEntry, ne)
+		var prevXI, prevYI int64
+		for i := range edges {
+			dx, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode edge xi: %w", err)
+			}
+			xi := prevXI + int64(dx)
+			if dx != 0 {
+				prevYI = 0
+			}
+			dy, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode edge yi: %w", err)
+			}
+			yi := prevYI + int64(dy)
+			d, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("core: decode edge dist: %w", err)
+			}
+			if xi >= int64(len(pts)) || yi >= int64(len(pts)) {
+				return nil, fmt.Errorf("core: decode edge index out of range")
+			}
+			edges[i] = EdgeEntry{XI: int32(xi), YI: int32(yi), D: int32(d)}
+			prevXI, prevYI = xi, yi
+		}
+		l.Levels[k] = LevelLabel{Points: pts, Edges: edges}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bits after label", r.Remaining())
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

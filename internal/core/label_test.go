@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/graph"
+	"fsdl/internal/nets"
+)
+
+func pathGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+func gridGraph(t testing.TB, w, h int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				b.AddEdge(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomConnected(t testing.TB, n, extra int, rng *rand.Rand) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	added := map[[2]int]bool{}
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || added[[2]int{u, v}] {
+			return
+		}
+		added[[2]int{u, v}] = true
+		b.AddEdge(u, v)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < extra; i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return b.MustBuild()
+}
+
+// TestLabelContentAgainstBruteForce verifies the label of every vertex of a
+// small graph against a direct implementation of the paper's definitions:
+// points are exactly N_{ℓ-c-1} ∩ B(v, r_ℓ) with exact distances, edges at
+// the lowest level are exactly the graph edges inside the ball, and edges
+// at higher levels are exactly the point pairs at distance ≤ λ_ℓ.
+func TestLabelContentAgainstBruteForce(t *testing.T) {
+	g := gridGraph(t, 7, 6)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Params()
+	h := s.Hierarchy()
+	n := g.NumVertices()
+	allDist := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		allDist[v] = g.BFS(v)
+	}
+	for v := 0; v < n; v++ {
+		l := s.Label(v)
+		if l.V != int32(v) || l.C != p.C || l.MaxLevel != p.MaxLevel {
+			t.Fatalf("label header mismatch for %d", v)
+		}
+		for k := range l.Levels {
+			level := l.Level(k)
+			netLvl := clampNetLevel(h, p.NetLevel(level))
+			r := p.R(level)
+			lambda := p.Lambda(level)
+			// Expected points.
+			wantPts := map[int32]int32{}
+			for u := 0; u < n; u++ {
+				if h.InNet(u, netLvl) && graph.Reachable(allDist[v][u]) && allDist[v][u] <= r {
+					wantPts[int32(u)] = allDist[v][u]
+				}
+			}
+			got := l.Levels[k]
+			if len(got.Points) != len(wantPts) {
+				t.Fatalf("v=%d level %d: %d points, want %d", v, level, len(got.Points), len(wantPts))
+			}
+			for _, pe := range got.Points {
+				if wantPts[pe.X] != pe.D {
+					t.Fatalf("v=%d level %d point %d: dist %d, want %d",
+						v, level, pe.X, pe.D, wantPts[pe.X])
+				}
+			}
+			// Expected edges.
+			wantEdges := map[[2]int32]int32{}
+			if level == p.LowestLevel() {
+				g.ForEachEdge(func(a, b int) {
+					if _, oka := wantPts[int32(a)]; !oka {
+						return
+					}
+					if _, okb := wantPts[int32(b)]; !okb {
+						return
+					}
+					wantEdges[[2]int32{int32(a), int32(b)}] = 1
+				})
+			} else {
+				for x := range wantPts {
+					for y := range wantPts {
+						if x < y && allDist[x][y] <= lambda {
+							wantEdges[[2]int32{x, y}] = allDist[x][y]
+						}
+					}
+				}
+			}
+			if len(got.Edges) != len(wantEdges) {
+				t.Fatalf("v=%d level %d: %d edges, want %d", v, level, len(got.Edges), len(wantEdges))
+			}
+			for _, e := range got.Edges {
+				x, y := got.Points[e.XI].X, got.Points[e.YI].X
+				if x > y {
+					x, y = y, x
+				}
+				if wantEdges[[2]int32{x, y}] != e.D {
+					t.Fatalf("v=%d level %d edge (%d,%d): dist %d, want %d",
+						v, level, x, y, e.D, wantEdges[[2]int32{x, y}])
+				}
+			}
+		}
+	}
+}
+
+func TestLabelEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomConnected(t, 60, 80, rng)
+	s, err := BuildScheme(g, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 13, 59} {
+		l := s.Label(v)
+		buf, nbits := l.Encode()
+		got, err := DecodeLabel(buf, nbits)
+		if err != nil {
+			t.Fatalf("decode label %d: %v", v, err)
+		}
+		if got.V != l.V || got.C != l.C || got.MaxLevel != l.MaxLevel {
+			t.Fatalf("label %d header mismatch after round trip", v)
+		}
+		if math.Abs(got.Epsilon-l.Epsilon) > 1e-4 {
+			t.Fatalf("label %d epsilon %g -> %g", v, l.Epsilon, got.Epsilon)
+		}
+		if len(got.Levels) != len(l.Levels) {
+			t.Fatalf("label %d level count %d -> %d", v, len(l.Levels), len(got.Levels))
+		}
+		for k := range l.Levels {
+			a, b := l.Levels[k], got.Levels[k]
+			if len(a.Points) != len(b.Points) || len(a.Edges) != len(b.Edges) {
+				t.Fatalf("label %d level %d size mismatch", v, k)
+			}
+			for i := range a.Points {
+				if a.Points[i] != b.Points[i] {
+					t.Fatalf("label %d level %d point %d mismatch", v, k, i)
+				}
+			}
+			for i := range a.Edges {
+				if a.Edges[i] != b.Edges[i] {
+					t.Fatalf("label %d level %d edge %d mismatch", v, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeLabelRejectsGarbage(t *testing.T) {
+	if _, err := DecodeLabel([]byte{0xff, 0xff}, 16); err == nil {
+		t.Error("garbage should not decode")
+	}
+	if _, err := DecodeLabel(nil, 0); err == nil {
+		t.Error("empty buffer should not decode")
+	}
+}
+
+func TestInProtectedBallMatchesTrueDistances(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s, _ := BuildScheme(g, 2)
+	p := s.Params()
+	f := 27 // interior vertex
+	lf := s.Label(f)
+	distF := g.BFS(f)
+	for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
+		lambda := p.Lambda(level)
+		netLvl := clampNetLevel(s.Hierarchy(), p.NetLevel(level))
+		for x := 0; x < g.NumVertices(); x++ {
+			if !s.Hierarchy().InNet(x, netLvl) && x != f {
+				continue
+			}
+			want := distF[x] <= lambda
+			if got := lf.InProtectedBall(level, int32(x)); got != want {
+				t.Errorf("level %d x=%d: InProtectedBall = %v, want %v (d=%d, lambda=%d)",
+					level, x, got, want, distF[x], lambda)
+			}
+		}
+	}
+}
+
+func TestLabelBitsPositiveAndConsistent(t *testing.T) {
+	g := pathGraph(t, 40)
+	s, _ := BuildScheme(g, 2)
+	for v := 0; v < 40; v += 7 {
+		bits := s.LabelBits(v)
+		if bits <= 0 {
+			t.Fatalf("LabelBits(%d) = %d", v, bits)
+		}
+		buf, n := s.Label(v).Encode()
+		if n != bits {
+			t.Fatalf("LabelBits(%d) = %d, Encode says %d", v, bits, n)
+		}
+		if len(buf)*8 < n {
+			t.Fatalf("buffer too short: %d bytes for %d bits", len(buf), n)
+		}
+	}
+}
+
+func TestTopLevelBallCoversComponent(t *testing.T) {
+	// Claim 1(b): N_{L-c-1} ⊆ B_L(v) for every v — the top-level label
+	// sees every top-net point of the component.
+	g := gridGraph(t, 10, 10)
+	s, _ := BuildScheme(g, 2)
+	p := s.Params()
+	h := s.Hierarchy()
+	netLvl := clampNetLevel(h, p.NetLevel(p.MaxLevel))
+	want := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if h.InNet(v, netLvl) {
+			want++
+		}
+	}
+	for _, v := range []int{0, 45, 99} {
+		l := s.Label(v)
+		got := len(l.Levels[len(l.Levels)-1].Points)
+		if got != want {
+			t.Errorf("v=%d: top level has %d points, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSchemeCache(t *testing.T) {
+	g := pathGraph(t, 30)
+	s, _ := BuildScheme(g, 2)
+	l1 := s.Label(5)
+	l2 := s.Label(5)
+	if l1 != l2 {
+		t.Error("cached label should be returned")
+	}
+	s.SetCacheLimit(0)
+	l3 := s.Label(5)
+	l4 := s.Label(5)
+	if l3 == l4 {
+		t.Error("cache disabled: fresh labels expected")
+	}
+	// Content must be identical regardless of caching.
+	if l3.NumPoints() != l1.NumPoints() || l3.NumEdges() != l1.NumEdges() {
+		t.Error("extraction must be deterministic")
+	}
+}
+
+func TestHierarchyReuse(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	s, _ := BuildScheme(g, 2)
+	h := s.Hierarchy()
+	if err := h.VerifyInvariants(); err != nil {
+		t.Errorf("scheme hierarchy invalid: %v", err)
+	}
+	var _ *nets.Hierarchy = h
+}
+
+func TestLabelValidateAcceptsRealLabels(t *testing.T) {
+	g := gridGraph(t, 7, 7)
+	for _, eps := range []float64{2, 1} {
+		s, err := BuildScheme(g, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 49; v += 6 {
+			if err := s.Label(v).Validate(); err != nil {
+				t.Fatalf("eps=%g v=%d: real label rejected: %v", eps, v, err)
+			}
+		}
+	}
+	ab, err := BuildSchemeAblated(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.Label(24).Validate(); err != nil {
+		t.Fatalf("ablated label rejected: %v", err)
+	}
+}
+
+func TestLabelValidateRejectsCorruption(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	s, _ := BuildScheme(g, 2)
+	fresh := func() *Label {
+		buf, n := s.Label(14).Encode()
+		l, err := DecodeLabel(buf, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	cases := []struct {
+		name    string
+		corrupt func(l *Label)
+	}{
+		{"unsorted points", func(l *Label) {
+			pts := l.Levels[0].Points
+			if len(pts) >= 2 {
+				pts[0], pts[1] = pts[1], pts[0]
+			}
+		}},
+		{"distance beyond r", func(l *Label) {
+			l.Levels[0].Points[0].D = 1 << 30
+		}},
+		{"edge index out of range", func(l *Label) {
+			if len(l.Levels[0].Edges) > 0 {
+				l.Levels[0].Edges[0].YI = 1 << 20
+			}
+		}},
+		{"edge too long", func(l *Label) {
+			if len(l.Levels[0].Edges) > 0 {
+				l.Levels[0].Edges[0].D = 1 << 20
+			}
+		}},
+		{"level count mismatch", func(l *Label) {
+			l.Levels = l.Levels[:len(l.Levels)-1]
+		}},
+		{"bad c", func(l *Label) { l.C = 0 }},
+	}
+	for _, c := range cases {
+		l := fresh()
+		c.corrupt(l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+		}
+	}
+}

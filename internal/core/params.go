@@ -1,0 +1,123 @@
+// Package core implements the paper's primary contribution: the
+// forbidden-set (1+ε)-approximate distance labeling scheme for unweighted
+// graphs of bounded doubling dimension (Abraham, Chechik, Gavoille, Peleg;
+// PODC 2010 / ACM TALG 2016, Theorem 2.1), together with the failure-free
+// scheme of Section 2.1 used as an overview and baseline.
+//
+// The label L(v) of a vertex v consists of one level-ℓ graph per level
+// ℓ ∈ I = {c+1, …, L}: the net points of N_{ℓ-c-1} within distance r_ℓ of v
+// (with their exact distances from v) and all "short" edges — net-point
+// pairs at graph distance ≤ λ_ℓ — between them, weighted by exact graph
+// distance. The lowest level ℓ = c+1 instead stores the original unit-weight
+// graph edges inside the ball. A query (s,t,F) assembles a sketch graph H
+// from the labels of s, t and all faults, keeps only safe edges (edges not
+// inside any protected ball PB_ℓ(f) = B(f, λ_ℓ)), and runs Dijkstra.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fsdl/internal/nets"
+)
+
+// Params carries the scheme's derived parameters, following the paper
+// exactly: c = max(⌈log₂(6/ε)⌉, 2), ρ_i = 2^{i-c}, λ_i = 2^{i+1},
+// μ_i = ρ_i + λ_i, r_i = μ_{i+1} + 2^i + ρ_{i+1}.
+type Params struct {
+	// Epsilon is the precision parameter; queries return distances within
+	// a factor 1+ε of the true surviving distance.
+	Epsilon float64
+	// C is the paper's constant c ≥ 2.
+	C int
+	// MaxLevel is L, the index of the highest level. Levels range over
+	// I = {C+1, …, MaxLevel}; L = max(⌈log₂ n⌉, C+1) so that I is never
+	// empty and the top-level ball covers the whole graph.
+	MaxLevel int
+	// NumVertices is the n the parameters were derived for.
+	NumVertices int
+	// RShrink is an ablation knob: the label ball radius r_i is halved
+	// RShrink times below the paper's value (but never below λ_i + 1,
+	// which the decoder's protected-ball membership test needs). 0 is the
+	// paper's setting; positive values shrink labels below what the
+	// stretch proof requires, so the (1+ε) guarantee may fail — that is
+	// the point of the ablation experiment. Safety (estimates never below
+	// the true distance) is preserved at any setting.
+	RShrink int
+}
+
+// NewParams derives the scheme parameters for an n-vertex graph at
+// precision ε. ε must be positive; values above 6 are allowed (c clamps
+// at 2, so precision never degrades past c = 2).
+func NewParams(epsilon float64, n int) (Params, error) {
+	if epsilon <= 0 {
+		return Params{}, fmt.Errorf("core: epsilon must be positive, got %g", epsilon)
+	}
+	if n < 0 {
+		return Params{}, fmt.Errorf("core: negative vertex count %d", n)
+	}
+	c := 2
+	if need := int(math.Ceil(math.Log2(6 / epsilon))); need > c {
+		c = need
+	}
+	l := nets.NumLevels(n) - 1 // ⌈log₂ n⌉
+	if l < c+1 {
+		l = c + 1
+	}
+	return Params{Epsilon: epsilon, C: c, MaxLevel: l, NumVertices: n}, nil
+}
+
+// LowestLevel returns c+1, the first level of the range I.
+func (p Params) LowestLevel() int { return p.C + 1 }
+
+// NumLevelRange returns |I|, the number of levels stored per label.
+func (p Params) NumLevelRange() int { return p.MaxLevel - p.C }
+
+// Rho returns ρ_i = 2^{i-c}, the domination radius of the net used one
+// level up. Defined for i ≥ C.
+func (p Params) Rho(i int) int32 { return 1 << uint(i-p.C) }
+
+// Lambda returns λ_i = 2^{i+1}, the maximum length of edges stored at
+// level i, which is also the protected-ball radius at level i.
+func (p Params) Lambda(i int) int32 { return 1 << uint(i+1) }
+
+// Mu returns μ_i = ρ_i + λ_i, the fault-distance threshold that decides a
+// vertex's level i(v).
+func (p Params) Mu(i int) int32 { return p.Rho(i) + p.Lambda(i) }
+
+// R returns r_i = μ_{i+1} + 2^i + ρ_{i+1}, the label ball radius at level
+// i (halved RShrink times for ablation runs, floored at λ_i + 1).
+func (p Params) R(i int) int32 {
+	r := p.Mu(i+1) + 1<<uint(i) + p.Rho(i+1)
+	if p.RShrink > 0 {
+		r >>= uint(p.RShrink)
+		if min := p.Lambda(i) + 1; r < min {
+			r = min
+		}
+	}
+	return r
+}
+
+// NetLevel returns the net hierarchy level whose points are stored at
+// scheme level i, namely i−c−1.
+func (p Params) NetLevel(i int) int { return i - p.C - 1 }
+
+// Validate checks the internal consistency constraints the correctness
+// proof relies on (Claim 1(a): λ_i ≥ ρ_i + ρ_{i+1} + 2^i, and r_i > λ_i).
+func (p Params) Validate() error {
+	if p.C < 2 {
+		return fmt.Errorf("core: c = %d < 2", p.C)
+	}
+	if p.MaxLevel < p.C+1 {
+		return fmt.Errorf("core: max level %d < c+1 = %d", p.MaxLevel, p.C+1)
+	}
+	for i := p.LowestLevel(); i <= p.MaxLevel; i++ {
+		if p.Lambda(i) < p.Rho(i)+p.Rho(i+1)+1<<uint(i) {
+			return fmt.Errorf("core: claim 1(a) fails at level %d", i)
+		}
+		if p.R(i) <= p.Lambda(i) {
+			return fmt.Errorf("core: r_%d = %d <= lambda_%d = %d", i, p.R(i), i, p.Lambda(i))
+		}
+	}
+	return nil
+}

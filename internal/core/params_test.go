@@ -1,0 +1,117 @@
+package core
+
+import "testing"
+
+func TestNewParamsDerivesC(t *testing.T) {
+	cases := []struct {
+		eps   float64
+		wantC int
+	}{
+		{6, 2},    // log2(1) = 0 -> clamp 2
+		{3, 2},    // log2(2) = 1 -> clamp 2
+		{1.5, 2},  // log2(4) = 2
+		{1.4, 3},  // log2(4.28) = 2.1 -> ceil 3
+		{1, 3},    // log2(6) = 2.58 -> 3
+		{0.75, 3}, // log2(8) = 3
+		{0.5, 4},  // log2(12) = 3.58 -> 4
+		{0.1, 6},  // log2(60) = 5.9 -> 6
+		{100, 2},  // very coarse still clamps at 2
+	}
+	for _, c := range cases {
+		p, err := NewParams(c.eps, 1000)
+		if err != nil {
+			t.Fatalf("NewParams(%g): %v", c.eps, err)
+		}
+		if p.C != c.wantC {
+			t.Errorf("eps=%g: c = %d, want %d", c.eps, p.C, c.wantC)
+		}
+	}
+}
+
+func TestNewParamsRejectsBadEpsilon(t *testing.T) {
+	if _, err := NewParams(0, 10); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := NewParams(-1, 10); err == nil {
+		t.Error("eps<0 should fail")
+	}
+	if _, err := NewParams(1, -5); err == nil {
+		t.Error("negative n should fail")
+	}
+}
+
+func TestParamsMaxLevel(t *testing.T) {
+	p, _ := NewParams(2, 1024)
+	if p.MaxLevel != 10 {
+		t.Errorf("MaxLevel = %d, want 10 for n=1024", p.MaxLevel)
+	}
+	// Tiny n: level range must still be non-empty (L >= c+1).
+	p2, _ := NewParams(2, 4)
+	if p2.MaxLevel != p2.C+1 {
+		t.Errorf("tiny graph MaxLevel = %d, want c+1 = %d", p2.MaxLevel, p2.C+1)
+	}
+	if p2.NumLevelRange() != 1 {
+		t.Errorf("tiny graph NumLevelRange = %d, want 1", p2.NumLevelRange())
+	}
+}
+
+func TestParamsFormulas(t *testing.T) {
+	p := Params{Epsilon: 1.5, C: 2, MaxLevel: 10, NumVertices: 1024}
+	// rho_i = 2^{i-c}, lambda_i = 2^{i+1}, mu_i = rho+lambda,
+	// r_i = mu_{i+1} + 2^i + rho_{i+1}.
+	if got := p.Rho(5); got != 8 {
+		t.Errorf("Rho(5) = %d, want 8", got)
+	}
+	if got := p.Lambda(5); got != 64 {
+		t.Errorf("Lambda(5) = %d, want 64", got)
+	}
+	if got := p.Mu(5); got != 72 {
+		t.Errorf("Mu(5) = %d, want 72", got)
+	}
+	// r_5 = mu_6 + 32 + rho_6 = (16+128) + 32 + 16 = 192.
+	if got := p.R(5); got != 192 {
+		t.Errorf("R(5) = %d, want 192", got)
+	}
+	if got := p.NetLevel(5); got != 2 {
+		t.Errorf("NetLevel(5) = %d, want 2", got)
+	}
+	if got := p.LowestLevel(); got != 3 {
+		t.Errorf("LowestLevel = %d, want 3", got)
+	}
+}
+
+// Claim 1(a) of the paper: λ_i ≥ ρ_i + ρ_{i+1} + 2^i for all levels, for
+// every c ≥ 2. Validate enforces it; check a spread of parameter sets.
+func TestParamsValidateClaim1(t *testing.T) {
+	for _, eps := range []float64{0.25, 0.5, 1, 2, 4} {
+		for _, n := range []int{2, 10, 100, 100000} {
+			p, err := NewParams(eps, n)
+			if err != nil {
+				t.Fatalf("NewParams(%g,%d): %v", eps, n, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("Validate(eps=%g,n=%d): %v", eps, n, err)
+			}
+		}
+	}
+}
+
+func TestParamsValidateRejectsBroken(t *testing.T) {
+	if err := (Params{C: 1, MaxLevel: 5}).Validate(); err == nil {
+		t.Error("c=1 should fail validation")
+	}
+	if err := (Params{C: 3, MaxLevel: 3}).Validate(); err == nil {
+		t.Error("MaxLevel <= c should fail validation")
+	}
+}
+
+// r_i must always exceed λ_i (the label ball must contain the protected
+// ball, so that protected-ball membership is decidable from a label).
+func TestRadiusDominatesLambda(t *testing.T) {
+	p, _ := NewParams(1, 1<<20)
+	for i := p.LowestLevel(); i <= p.MaxLevel; i++ {
+		if p.R(i) <= p.Lambda(i) {
+			t.Errorf("level %d: r=%d <= lambda=%d", i, p.R(i), p.Lambda(i))
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+func TestSchemeSaveLoadRoundTrip(t *testing.T) {
+	g := gridGraph(t, 9, 8)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveScheme(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScheme(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, lp := s.Params(), loaded.Params()
+	if p.C != lp.C || p.MaxLevel != lp.MaxLevel || p.RShrink != lp.RShrink {
+		t.Fatalf("params changed: %+v -> %+v", p, lp)
+	}
+	// Labels must be bit-identical.
+	for _, v := range []int{0, 31, 71} {
+		a, abits := s.Label(v).Encode()
+		b, bbits := loaded.Label(v).Encode()
+		if abits != bbits || !bytes.Equal(a[:(abits+7)/8], b[:(bbits+7)/8]) {
+			t.Fatalf("label %d differs after scheme round trip", v)
+		}
+	}
+	// Queries must agree.
+	f := graph.FaultVertices(30, 40)
+	d1, ok1 := s.Distance(0, 71, f)
+	d2, ok2 := loaded.Distance(0, 71, f)
+	if d1 != d2 || ok1 != ok2 {
+		t.Fatalf("query differs: (%d,%v) vs (%d,%v)", d1, ok1, d2, ok2)
+	}
+}
+
+func TestSchemeSaveLoadAblated(t *testing.T) {
+	g := pathGraph(t, 80)
+	s, err := BuildSchemeAblated(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveScheme(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScheme(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Params().RShrink != 2 {
+		t.Fatalf("RShrink lost: %d", loaded.Params().RShrink)
+	}
+	a, abits := s.Label(40).Encode()
+	b, bbits := loaded.Label(40).Encode()
+	if abits != bbits || !bytes.Equal(a[:(abits+7)/8], b[:(bbits+7)/8]) {
+		t.Fatal("ablated label differs after round trip")
+	}
+}
+
+func TestSchemeLoadRejectsCorruption(t *testing.T) {
+	g := pathGraph(t, 20)
+	s, _ := BuildScheme(g, 2)
+	var buf bytes.Buffer
+	if err := SaveScheme(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := LoadScheme(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream must fail")
+	}
+	if _, err := LoadScheme(bytes.NewReader([]byte("NOTASCHEME"))); err == nil {
+		t.Error("bad magic must fail")
+	}
+	if _, err := LoadScheme(bytes.NewReader(good[:len(good)/3])); err == nil {
+		t.Error("truncated stream must fail")
+	}
+}
+
+func TestSchemeRoundTripRandomGraphQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomConnected(t, 70, 90, rng)
+	s, err := BuildScheme(g, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveScheme(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScheme(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		u, v := rng.Intn(70), rng.Intn(70)
+		f := graph.NewFaultSet()
+		for i := 0; i < rng.Intn(4); i++ {
+			x := rng.Intn(70)
+			if x != u && x != v {
+				f.AddVertex(x)
+			}
+		}
+		d1, ok1 := s.Distance(u, v, f)
+		d2, ok2 := loaded.Distance(u, v, f)
+		if d1 != d2 || ok1 != ok2 {
+			t.Fatalf("trial %d (%d,%d): (%d,%v) vs (%d,%v)", trial, u, v, d1, ok1, d2, ok2)
+		}
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StoreStats()
+	if len(st.Levels) != s.Params().NumLevelRange() {
+		t.Fatalf("levels = %d, want %d", len(st.Levels), s.Params().NumLevelRange())
+	}
+	if st.Levels[0].NetPoints != 64 {
+		t.Errorf("lowest level net points = %d, want n=64 (N_0 = V)", st.Levels[0].NetPoints)
+	}
+	if st.Levels[0].NetEdges != 0 {
+		t.Errorf("lowest level should have no net graph, got %d edges", st.Levels[0].NetEdges)
+	}
+	if st.TotalNetEdges <= 0 {
+		t.Error("store must have net edges at higher levels")
+	}
+	for i := 1; i < len(st.Levels); i++ {
+		if st.Levels[i].NetPoints > st.Levels[i-1].NetPoints {
+			t.Errorf("net points must shrink with level: %d -> %d",
+				st.Levels[i-1].NetPoints, st.Levels[i].NetPoints)
+		}
+	}
+	// Stats must survive persistence.
+	var buf bytes.Buffer
+	if err := SaveScheme(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScheme(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := loaded.StoreStats()
+	if lst.TotalNetEdges != st.TotalNetEdges {
+		t.Errorf("TotalNetEdges %d -> %d after round trip", st.TotalNetEdges, lst.TotalNetEdges)
+	}
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+
+	"fsdl/internal/graph"
+)
+
+// Query is a forbidden-set distance query (s, t, F), holding nothing but
+// labels — decoding reads no global state, which is the distributed
+// data-structure contract of the paper: the answer is computed from
+// L(s), L(t) and {L(f) : f ∈ F} alone.
+type Query struct {
+	// S and T are the labels of the query endpoints.
+	S, T *Label
+	// VertexFaults are the labels of forbidden vertices.
+	VertexFaults []*Label
+	// EdgeFaults are the label pairs (L(a), L(b)) of forbidden edges
+	// (a,b); per the paper, a forbidden edge is specified by the labels of
+	// its two endpoints.
+	EdgeFaults [][2]*Label
+	// UnsafeIgnoreProtectedBalls is an ablation knob: it disables the
+	// protected-ball filter of Lemma 2.3, admitting every stored edge
+	// whose endpoints are not themselves forbidden. The resulting sketch
+	// can contain edges whose underlying shortest paths run through
+	// faults, so estimates may drop below the true surviving distance —
+	// the ablation experiment measures exactly how often. Never set this
+	// outside experiments.
+	UnsafeIgnoreProtectedBalls bool
+}
+
+// SketchEdge is one edge of the query-time sketch graph H, reported by
+// Sketch for tests and traces. X, Y are global vertex ids; W is the edge
+// weight (an exact G-distance); Level is the scheme level that contributed
+// the edge.
+type SketchEdge struct {
+	X, Y  int32
+	W     int64
+	Level int
+}
+
+// Trace records how a query was answered, used by the Figure-1/Claim-2
+// experiment (E8) and for debugging.
+type Trace struct {
+	// NumHVertices and NumHEdges are the sketch graph dimensions (after
+	// deduplication).
+	NumHVertices, NumHEdges int
+	// AdmittedPerLevel and RejectedPerLevel count candidate edges per
+	// scheme level (index 0 ↔ level c+1).
+	AdmittedPerLevel, RejectedPerLevel []int
+	// Path is the winning sketch path as global vertex ids (s..t), with
+	// PathWeights the corresponding edge weights. Empty when disconnected.
+	Path        []int32
+	PathWeights []int64
+}
+
+// Distance decodes the query: it assembles the sketch graph H from the
+// labels, keeping only safe edges, and returns the s-t distance in H.
+// ok is false when no path exists, which (by the scheme's safety and
+// stretch guarantees) happens exactly when s and t are disconnected in
+// G\F.
+func (q *Query) Distance() (int64, bool) {
+	d, _, _, err := q.decode(nil)
+	if err != nil || d < 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// DistanceWithTrace is Distance, additionally filling tr with the sketch
+// construction details and the winning path.
+func (q *Query) DistanceWithTrace(tr *Trace) (int64, bool) {
+	d, _, _, err := q.decode(tr)
+	if err != nil || d < 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// Sketch returns every admitted sketch edge (deduplicated to the lightest
+// parallel edge, annotated with the lowest contributing level). Exposed so
+// tests can verify the safety invariant: every sketch edge is realizable
+// in G\F at exactly its weight.
+func (q *Query) Sketch() ([]SketchEdge, error) {
+	_, edges, _, err := q.decode(nil)
+	return edges, err
+}
+
+// Validate checks that all labels of the query are present and mutually
+// compatible (same scheme parameters).
+func (q *Query) Validate() error {
+	if q.S == nil || q.T == nil {
+		return fmt.Errorf("core: query missing endpoint label")
+	}
+	check := func(l *Label) error {
+		if l == nil {
+			return fmt.Errorf("core: query contains nil fault label")
+		}
+		if l.C != q.S.C || l.MaxLevel != q.S.MaxLevel || l.RShrink != q.S.RShrink {
+			return fmt.Errorf("core: label of %d has params (c=%d,L=%d,rs=%d), want (c=%d,L=%d,rs=%d)",
+				l.V, l.C, l.MaxLevel, l.RShrink, q.S.C, q.S.MaxLevel, q.S.RShrink)
+		}
+		return nil
+	}
+	if err := check(q.T); err != nil {
+		return err
+	}
+	for _, f := range q.VertexFaults {
+		if err := check(f); err != nil {
+			return err
+		}
+		if f.V == q.S.V || f.V == q.T.V {
+			return fmt.Errorf("core: endpoint %d is itself forbidden", f.V)
+		}
+	}
+	for _, ef := range q.EdgeFaults {
+		if err := check(ef[0]); err != nil {
+			return err
+		}
+		if err := check(ef[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decode builds the sketch graph H and runs Dijkstra. It returns the s-t
+// distance (-1 when unreachable), the admitted edges, and the number of H
+// vertices.
+func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, nil, 0, err
+	}
+	if q.S.V == q.T.V {
+		return 0, nil, 1, nil
+	}
+	lowest := q.S.C + 1
+	numLevels := len(q.S.Levels)
+
+	// Owners: F̄ = {s,t} ∪ F (for edge faults, both endpoint labels).
+	owners := make([]*Label, 0, 2+len(q.VertexFaults)+2*len(q.EdgeFaults))
+	seenOwner := map[int32]bool{}
+	addOwner := func(l *Label) {
+		if !seenOwner[l.V] {
+			seenOwner[l.V] = true
+			owners = append(owners, l)
+		}
+	}
+	addOwner(q.S)
+	addOwner(q.T)
+	// Protected-ball centers: the faulty vertices and the endpoints of
+	// faulty edges. An edge of H survives level ℓ only if at least one of
+	// its endpoints is outside PB_ℓ(f) for every center f.
+	var centers []*Label
+	seenCenter := map[int32]bool{}
+	forbiddenV := map[int32]bool{}
+	for _, f := range q.VertexFaults {
+		addOwner(f)
+		forbiddenV[f.V] = true
+		if !seenCenter[f.V] {
+			seenCenter[f.V] = true
+			centers = append(centers, f)
+		}
+	}
+	forbiddenE := map[uint64]bool{}
+	for _, ef := range q.EdgeFaults {
+		forbiddenE[unorderedKey(ef[0].V, ef[1].V)] = true
+		for _, l := range ef {
+			addOwner(l)
+			if !seenCenter[l.V] {
+				seenCenter[l.V] = true
+				centers = append(centers, l)
+			}
+		}
+	}
+
+	if tr != nil {
+		tr.AdmittedPerLevel = make([]int, numLevels)
+		tr.RejectedPerLevel = make([]int, numLevels)
+	}
+
+	// Accumulate the lightest parallel edge per vertex pair.
+	type edgeInfo struct {
+		w     int64
+		level int
+	}
+	best := map[uint64]edgeInfo{}
+	admit := func(x, y int32, w int64, level int) {
+		if x == y {
+			return
+		}
+		k := unorderedKey(x, y)
+		if cur, ok := best[k]; !ok || w < cur.w {
+			best[k] = edgeInfo{w: w, level: level}
+		}
+		if tr != nil {
+			tr.AdmittedPerLevel[level-lowest]++
+		}
+	}
+	reject := func(level int) {
+		if tr != nil {
+			tr.RejectedPerLevel[level-lowest]++
+		}
+	}
+	// Per-center per-level protected-ball membership, hash-indexed — the
+	// "perfect hashing" step of Lemma 2.6 that makes each check O(1).
+	// pbIndex[fi][k] maps a vertex to true iff it lies in PB_ℓ(f): within
+	// λ_ℓ of the center per the center's own ball list (plus the center
+	// itself). Absence is an exact "outside" because r_ℓ > λ_ℓ.
+	pbIndex := make([][]map[int32]bool, len(centers))
+	for fi, f := range centers {
+		pbIndex[fi] = make([]map[int32]bool, numLevels)
+		for k := 0; k < numLevels; k++ {
+			level := lowest + k
+			lambda := lambdaOf(level)
+			idx := make(map[int32]bool)
+			idx[f.V] = true
+			if k < len(f.Levels) {
+				for _, pe := range f.Levels[k].Points {
+					if pe.D <= lambda {
+						idx[pe.X] = true
+					}
+				}
+			}
+			pbIndex[fi][k] = idx
+		}
+	}
+	// safe reports whether an edge with endpoints x, y survives every
+	// protected ball at the given level: for each center f, at least one
+	// endpoint must be outside PB_ℓ(f). Both endpoints here are net points
+	// of the level, so membership is decidable exactly from f's label.
+	safe := func(level int, x, y int32) bool {
+		if q.UnsafeIgnoreProtectedBalls {
+			return true
+		}
+		k := level - lowest
+		for fi := range centers {
+			idx := pbIndex[fi][k]
+			if idx[x] && idx[y] {
+				return false
+			}
+		}
+		return true
+	}
+	// ownerMayBeInPB[oi][fi][k] caches, for owner oi, center fi and level
+	// index k, whether the owner vertex could lie inside PB_ℓ(f): the
+	// owner is usually not a net point, so exact membership is not
+	// label-decidable; instead we certify "outside" via the triangle
+	// inequality through f's nearest net point m of the level:
+	// d(o,f) ≥ d(o,m) − d(f,m). Since d(f,m) ≤ 2^{ℓ-c-1}−1, the
+	// certificate fires whenever d(o,F) > μ_ℓ — exactly the condition
+	// under which the stretch analysis needs owner edges admitted.
+	ownerMayBeInPB := make([][][]bool, len(owners))
+	for oi, o := range owners {
+		ownerMayBeInPB[oi] = make([][]bool, len(centers))
+		for fi, f := range centers {
+			row := make([]bool, numLevels)
+			for k := 0; k < numLevels; k++ {
+				row[k] = mayBeInPB(o, f, lowest+k)
+			}
+			ownerMayBeInPB[oi][fi] = row
+		}
+	}
+	// ownerSafe reports whether the owner edge (o.V, x) survives every
+	// protected ball at the given level.
+	ownerSafe := func(oi, level int, x int32) bool {
+		if q.UnsafeIgnoreProtectedBalls {
+			return true
+		}
+		k := level - lowest
+		for fi := range centers {
+			if pbIndex[fi][k][x] && ownerMayBeInPB[oi][fi][k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for oi, o := range owners {
+		for k := 0; k < numLevels; k++ {
+			level := lowest + k
+			lv := &o.Levels[k]
+			lambda := lambdaOf(level)
+			if level == lowest {
+				// Unit-weight original graph edges: admitted when neither
+				// endpoint nor the edge itself is forbidden.
+				for _, e := range lv.Edges {
+					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
+					if forbiddenV[x] || forbiddenV[y] || forbiddenE[unorderedKey(x, y)] {
+						reject(level)
+						continue
+					}
+					admit(x, y, int64(e.D), level)
+				}
+			} else {
+				// Net-point pair edges, protected-ball checked. (The
+				// explicit forbidden-endpoint test is subsumed by the
+				// protected balls — a fault sits at the center of its own
+				// ball — but must stand on its own for ablation runs.)
+				for _, e := range lv.Edges {
+					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
+					if forbiddenV[x] || forbiddenV[y] || !safe(level, x, y) {
+						reject(level)
+						continue
+					}
+					admit(x, y, int64(e.D), level)
+				}
+			}
+			// Edges from the labeled vertex itself to nearby points
+			// ("between v and the net-points"), protected-ball checked at
+			// every level. A forbidden owner's self edges always fail the
+			// check (the owner sits at the center of its own protected
+			// ball), so skip them outright.
+			if forbiddenV[o.V] {
+				continue
+			}
+			for _, pe := range lv.Points {
+				if pe.D > lambda || pe.X == o.V {
+					continue
+				}
+				if forbiddenV[pe.X] {
+					reject(level)
+					continue
+				}
+				if !ownerSafe(oi, level, pe.X) {
+					reject(level)
+					continue
+				}
+				admit(o.V, pe.X, int64(pe.D), level)
+			}
+		}
+	}
+
+	// Map the touched vertices densely and run Dijkstra.
+	idOf := map[int32]int32{}
+	ids := []int32{}
+	ensure := func(v int32) int32 {
+		if id, ok := idOf[v]; ok {
+			return id
+		}
+		id := int32(len(ids))
+		idOf[v] = id
+		ids = append(ids, v)
+		return id
+	}
+	ensure(q.S.V)
+	ensure(q.T.V)
+	var edges []SketchEdge
+	for k, info := range best {
+		x, y := int32(k>>32), int32(k&0xffffffff)
+		edges = append(edges, SketchEdge{X: x, Y: y, W: info.w, Level: info.level})
+		ensure(x)
+		ensure(y)
+	}
+	h := graph.NewWeighted(len(ids))
+	for _, e := range edges {
+		h.AddEdge(int(idOf[e.X]), int(idOf[e.Y]), e.W)
+	}
+	dist, path := h.ShortestPath(int(idOf[q.S.V]), int(idOf[q.T.V]))
+	if tr != nil {
+		tr.NumHVertices = len(ids)
+		tr.NumHEdges = len(edges)
+		tr.Path = nil
+		tr.PathWeights = nil
+		if dist != graph.WeightedInfinity {
+			var prev int32 = -1
+			for _, hv := range path {
+				gv := ids[hv]
+				tr.Path = append(tr.Path, gv)
+				if prev >= 0 {
+					tr.PathWeights = append(tr.PathWeights, best[unorderedKey(prev, gv)].w)
+				}
+				prev = gv
+			}
+		}
+	}
+	if dist == graph.WeightedInfinity {
+		return -1, edges, len(ids), nil
+	}
+	return dist, edges, len(ids), nil
+}
+
+// mayBeInPB conservatively decides whether the owner vertex of label o
+// could lie inside the level-ℓ protected ball of center f, using label data
+// only. It returns false only when d(o,f) > λ_ℓ is provable:
+//
+//   - if o is itself a net point of the level, membership is exact via
+//     f's label (absence from f's ball list means d > r_ℓ > λ_ℓ);
+//   - otherwise, let m be f's nearest net point of the level (d(f,m) ≤
+//     2^{ℓ-c-1}−1, present in f's list). By the triangle inequality
+//     d(o,f) ≥ d(o,m) − d(f,m), and d(o,m) is exact in o's list (absence
+//     means d(o,m) > r_ℓ, hence d(o,f) > r_ℓ − 2^{ℓ-c-1} > λ_ℓ).
+//
+// The certificate is sound always, and complete whenever d(o,F) > μ_ℓ —
+// which is precisely when the stretch analysis requires owner edges to be
+// admitted (μ_ℓ − 2·(2^{ℓ-c-1}−1) = λ_ℓ + 2 > λ_ℓ).
+func mayBeInPB(o, f *Label, level int) bool {
+	lambda := lambdaOf(level)
+	if d, ok := o.DistTo(level, o.V); ok && d == 0 {
+		return f.InProtectedBall(level, o.V)
+	}
+	k := level - f.C - 1
+	if k < 0 || k >= len(f.Levels) {
+		return true
+	}
+	pts := f.Levels[k].Points
+	if len(pts) == 0 {
+		return true
+	}
+	m := pts[0]
+	for _, pe := range pts[1:] {
+		if pe.D < m.D {
+			m = pe
+		}
+	}
+	do, ok := o.DistTo(level, m.X)
+	if !ok {
+		// m is outside o's level ball, so d(o,m) > r_ℓ and hence
+		// d(o,f) > r_ℓ − d(f,m). With the paper's radii this certifies
+		// "outside"; with ablation-shrunk radii it may not, in which case
+		// stay conservative.
+		r := labelBallRadius(o.C, level, o.RShrink)
+		return r-m.D <= lambda
+	}
+	return do-m.D <= lambda
+}
+
+// labelBallRadius reconstructs the r_ℓ a label was extracted with from its
+// self-described parameters.
+func labelBallRadius(c, level, rShrink int) int32 {
+	p := Params{C: c, RShrink: rShrink}
+	return p.R(level)
+}
+
+func unorderedKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}

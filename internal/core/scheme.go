@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fsdl/internal/graph"
+	"fsdl/internal/nets"
+)
+
+// Scheme is the preprocessed labeling scheme for one graph: the net
+// hierarchy plus the shared per-level structures from which the label of
+// any vertex can be extracted. Extraction is deterministic, so a Scheme is
+// exactly the paper's marker function L(·), evaluated lazily.
+//
+// A Scheme is safe for concurrent label extraction.
+type Scheme struct {
+	g      *graph.Graph
+	h      *nets.Hierarchy
+	params Params
+	store  *levelStore
+
+	mu    sync.Mutex
+	cache map[int32]*Label
+	// cacheLimit bounds the number of cached labels (0 disables caching).
+	cacheLimit int
+}
+
+// BuildScheme preprocesses g into a forbidden-set distance labeling scheme
+// with stretch 1+ε. Preprocessing is polynomial: it builds the net
+// hierarchy and, per level, one truncated BFS of radius λ_ℓ from each net
+// point.
+func BuildScheme(g *graph.Graph, epsilon float64) (*Scheme, error) {
+	params, err := NewParams(epsilon, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := nets.Build(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
+	}
+	return &Scheme{
+		g:          g,
+		h:          h,
+		params:     params,
+		store:      buildStore(g, h, params),
+		cache:      make(map[int32]*Label),
+		cacheLimit: 64,
+	}, nil
+}
+
+// BuildSchemeAblated is BuildScheme with the RShrink ablation knob: the
+// label ball radii r_i are halved rShrink times below the paper's values.
+// Safety still holds, but the (1+ε) stretch guarantee may not — the
+// ablation experiment measures the damage. rShrink = 0 is BuildScheme.
+func BuildSchemeAblated(g *graph.Graph, epsilon float64, rShrink int) (*Scheme, error) {
+	if rShrink < 0 {
+		return nil, fmt.Errorf("core: negative rShrink %d", rShrink)
+	}
+	params, err := NewParams(epsilon, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	params.RShrink = rShrink
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := nets.Build(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
+	}
+	return &Scheme{
+		g:          g,
+		h:          h,
+		params:     params,
+		store:      buildStore(g, h, params),
+		cache:      make(map[int32]*Label),
+		cacheLimit: 64,
+	}, nil
+}
+
+// Params returns the derived scheme parameters.
+func (s *Scheme) Params() Params { return s.params }
+
+// Graph returns the underlying graph.
+func (s *Scheme) Graph() *graph.Graph { return s.g }
+
+// Hierarchy returns the net hierarchy (exposed for the routing scheme and
+// for tests that verify the analysis' net-point arguments).
+func (s *Scheme) Hierarchy() *nets.Hierarchy { return s.h }
+
+// SetCacheLimit bounds the internal label cache (0 disables caching).
+func (s *Scheme) SetCacheLimit(limit int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheLimit = limit
+	if limit == 0 {
+		s.cache = make(map[int32]*Label)
+	}
+}
+
+// Label extracts (or returns the cached) label of v.
+func (s *Scheme) Label(v int) *Label {
+	s.mu.Lock()
+	if l, ok := s.cache[int32(v)]; ok {
+		s.mu.Unlock()
+		return l
+	}
+	s.mu.Unlock()
+	l := s.store.extractLabel(v, graph.NewBFSScratch(s.g.NumVertices()))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cacheLimit > 0 {
+		if len(s.cache) >= s.cacheLimit {
+			// Evict an arbitrary entry; labels are cheap to re-extract and
+			// query working sets are tiny, so plain random-ish eviction is
+			// plenty.
+			for k := range s.cache {
+				delete(s.cache, k)
+				break
+			}
+		}
+		s.cache[int32(v)] = l
+	}
+	return l
+}
+
+// LabelBits returns the exact serialized size of L(v) in bits.
+func (s *Scheme) LabelBits(v int) int {
+	_, bits := s.Label(v).Encode()
+	return bits
+}
+
+// Distance answers the forbidden-set query (s,t,F) end to end: it extracts
+// the needed labels and decodes them. ok is false when s and t are
+// disconnected in G\F (or an endpoint is itself forbidden).
+func (s *Scheme) Distance(src, dst int, faults *graph.FaultSet) (int64, bool) {
+	q, err := s.NewQuery(src, dst, faults)
+	if err != nil {
+		return 0, false
+	}
+	return q.Distance()
+}
+
+// NewQuery assembles the label-only query object for (src, dst, F). The
+// returned Query holds nothing but labels: decoding uses no part of the
+// scheme or graph, which is the distributed-data-structure contract of the
+// paper.
+func (s *Scheme) NewQuery(src, dst int, faults *graph.FaultSet) (*Query, error) {
+	n := s.g.NumVertices()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("core: query endpoints (%d,%d) out of range [0,%d)", src, dst, n)
+	}
+	if faults.HasVertex(src) || faults.HasVertex(dst) {
+		return nil, fmt.Errorf("core: query endpoint is itself forbidden")
+	}
+	q := &Query{S: s.Label(src), T: s.Label(dst)}
+	for _, f := range faults.Vertices() {
+		q.VertexFaults = append(q.VertexFaults, s.Label(f))
+	}
+	for _, e := range faults.Edges() {
+		if !s.g.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("core: forbidden edge (%d,%d) is not a graph edge", e[0], e[1])
+		}
+		q.EdgeFaults = append(q.EdgeFaults, [2]*Label{s.Label(e[0]), s.Label(e[1])})
+	}
+	return q, nil
+}
+
+// StoreStats describes the shared level store — the preprocessed state
+// behind label extraction — for observability (`fsdl stats`) and the
+// preprocessing experiment.
+type StoreStats struct {
+	// Levels has one entry per scheme level, lowest first.
+	Levels []LevelStats
+	// TotalNetEdges sums the per-level net-graph edge counts.
+	TotalNetEdges int64
+}
+
+// LevelStats describes one level of the store.
+type LevelStats struct {
+	// Level is the scheme level ℓ.
+	Level int
+	// NetPoints is |N_{ℓ-c-1}| (clamped at the hierarchy top).
+	NetPoints int
+	// NetEdges counts the level net graph's edges (0 at the lowest level,
+	// which reuses the original graph).
+	NetEdges int64
+}
+
+// StoreStats reports the sizes of the shared per-level structures.
+func (s *Scheme) StoreStats() StoreStats {
+	var out StoreStats
+	for li := range s.store.levels {
+		sl := &s.store.levels[li]
+		ls := LevelStats{Level: sl.level}
+		for v := range sl.isNet {
+			if sl.isNet[v] {
+				ls.NetPoints++
+				if sl.adj != nil {
+					ls.NetEdges += int64(len(sl.adj[v]))
+				}
+			}
+		}
+		ls.NetEdges /= 2 // adjacency stores both directions
+		out.TotalNetEdges += ls.NetEdges
+		out.Levels = append(out.Levels, ls)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"fsdl/internal/graph"
+	"fsdl/internal/nets"
+)
+
+// levelStore holds the shared per-level structures from which per-vertex
+// labels are extracted. Every label's content is derivable from it, and a
+// Label, once extracted, is fully self-contained — the decoder never touches
+// the store. Sharing exists purely because materializing all n labels
+// eagerly would cost Θ(n) times the (large-constant) per-label size.
+type levelStore struct {
+	params Params
+	g      *graph.Graph
+	h      *nets.Hierarchy
+	// levels[k] describes scheme level ℓ = c+1+k.
+	levels []storeLevel
+}
+
+// storeLevel is the shared structure of one scheme level ℓ > c+1: the net
+// points of N_{ℓ-c-1} and the "net graph" — for each net point, all other
+// net points within graph distance λ_ℓ, with exact distances. For the
+// lowest level ℓ = c+1 the net graph is empty (labels store original graph
+// edges there instead).
+type storeLevel struct {
+	level int
+	// isNet[v] reports whether v is a net point of this level.
+	isNet []bool
+	// adj[v] lists, for a net point v, the net points within λ_ℓ of v with
+	// their distances, sorted by vertex id. Nil for non-net vertices.
+	adj [][]pointDist
+}
+
+// pointDist is a (vertex, distance) pair.
+type pointDist struct {
+	x int32
+	d int32
+}
+
+// buildStore constructs the shared level structures. Cost: for each level,
+// one truncated BFS of radius λ_ℓ from every net point of that level. The
+// per-point searches are independent, so they run on a worker pool sized
+// to the machine; the result is deterministic regardless of parallelism
+// (each worker writes only its own point's sorted adjacency).
+func buildStore(g *graph.Graph, h *nets.Hierarchy, p Params) *levelStore {
+	st := &levelStore{params: p, g: g, h: h}
+	n := g.NumVertices()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
+		sl := storeLevel{level: level, isNet: make([]bool, n)}
+		netLvl := clampNetLevel(h, p.NetLevel(level))
+		members := h.Level(netLvl)
+		for _, v := range members {
+			sl.isNet[v] = true
+		}
+		if level > p.LowestLevel() {
+			// Net graph: all net-point pairs within λ_ℓ.
+			sl.adj = make([][]pointDist, n)
+			lambda := p.Lambda(level)
+			var wg sync.WaitGroup
+			next := make(chan int32, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					scratch := graph.NewBFSScratch(n)
+					for src := range next {
+						var nbrs []pointDist
+						scratch.TruncatedBFS(g, int(src), lambda, func(w, d int32) {
+							if w != src && sl.isNet[w] {
+								nbrs = append(nbrs, pointDist{x: w, d: d})
+							}
+						})
+						sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].x < nbrs[j].x })
+						sl.adj[src] = nbrs
+					}
+				}()
+			}
+			for _, src := range members {
+				next <- src
+			}
+			close(next)
+			wg.Wait()
+		}
+		st.levels = append(st.levels, sl)
+	}
+	return st
+}
+
+// levelIndex maps a scheme level ℓ to its index in st.levels.
+func (st *levelStore) levelIndex(level int) int { return level - st.params.LowestLevel() }
+
+// clampNetLevel clamps a requested net level to the hierarchy's range: for
+// tiny graphs the scheme's level range extends above ⌈log₂ n⌉ (because
+// L = max(⌈log₂ n⌉, c+1)), and any level above the top behaves like the
+// top (the nets are nested, so this preserves every containment the
+// decoder relies on).
+func clampNetLevel(h *nets.Hierarchy, j int) int {
+	if j > h.MaxLevel() {
+		return h.MaxLevel()
+	}
+	return j
+}

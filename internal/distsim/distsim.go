@@ -1,0 +1,401 @@
+// Package distsim simulates the distributed failure-recovery protocol the
+// paper's Applications section sketches: every router holds its label,
+// port table, and a private set F_u of failures it knows about; failures
+// are discovered on contact (a packet about to step onto a dead neighbor),
+// announced by flooding, and packets are rerouted *immediately* by the
+// discovering router from its own forbidden set — no global route
+// recomputation ever happens.
+//
+// The simulator is a discrete-event loop over integer ticks: packet hops
+// and flood messages each take one tick per link. It reports delivery,
+// stretch against the optimal surviving route at injection time, control
+// message counts, and reroute counts — the measurable content of the
+// paper's "recover without delay" story.
+package distsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+	"fsdl/internal/routing"
+)
+
+// Config tunes the simulation.
+type Config struct {
+	// MaxHopsPerPacket drops packets exceeding this hop budget
+	// (loop/livelock protection). ≤ 0 selects 8·n.
+	MaxHopsPerPacket int
+	// DisableFlooding turns failure announcements off: only the router
+	// that bumps into a failure learns about it. The contrast shows what
+	// the propagation buys.
+	DisableFlooding bool
+	// EnablePiggyback turns on the paper's second propagation mechanism:
+	// failure knowledge rides on data packets, and every router a packet
+	// visits merges knowledge with it (both directions).
+	EnablePiggyback bool
+}
+
+// Metrics accumulates simulation outcomes.
+type Metrics struct {
+	// Injected, Delivered, Dropped count packets; Dropped includes both
+	// genuine disconnections and hop-budget exhaustion.
+	Injected, Delivered, Dropped int
+	// DataHops counts packet-forwarding link traversals.
+	DataHops int
+	// ControlMessages counts flood announcements sent.
+	ControlMessages int
+	// Reroutes counts in-flight header recomputations.
+	Reroutes int
+	// PiggybackTransfers counts fault facts moved between packets and
+	// routers by piggybacking.
+	PiggybackTransfers int
+	// StretchSum / StretchCount aggregate delivered-packet stretch
+	// against the optimal surviving route at injection time.
+	StretchSum   float64
+	StretchCount int
+}
+
+// MeanStretch returns the average delivered stretch (1 when nothing was
+// measured).
+func (m Metrics) MeanStretch() float64 {
+	if m.StretchCount == 0 {
+		return 1
+	}
+	return m.StretchSum / float64(m.StretchCount)
+}
+
+// Simulator is a single-run discrete-event network simulation.
+type Simulator struct {
+	g   *graph.Graph
+	rs  *routing.Scheme
+	cfg Config
+
+	now    int64
+	seq    int64
+	events eventHeap
+
+	truth   *graph.FaultSet // ground-truth failed vertices and edges
+	routers []routerState
+	metrics Metrics
+}
+
+type routerState struct {
+	known *graph.FaultSet
+}
+
+type packet struct {
+	id        int
+	src, dst  int
+	waypoints []int32
+	wpIndex   int // next waypoint to reach
+	hops      int
+	optimal   int32 // d_{G\F}(src,dst) at injection, Infinity if none
+	// carried is the fault knowledge the packet piggybacks (nil unless
+	// Config.EnablePiggyback).
+	carried *graph.FaultSet
+}
+
+type event struct {
+	at   int64
+	seq  int64
+	kind eventKind
+	// packet events
+	pkt *packet
+	at2 int // router holding the packet / flood receiver
+	// failure events
+	vertex  int
+	vertex2 int // second endpoint for edge failures
+	// flood events: recovered=false announces a failure, true a recovery
+	from      int
+	recovered bool
+}
+
+type eventKind int
+
+const (
+	evFail eventKind = iota + 1
+	evFailEdge
+	evRecover
+	evPacket
+	evFlood
+)
+
+// New creates a simulator over a prebuilt labeling scheme.
+func New(cs *core.Scheme, cfg Config) *Simulator {
+	g := cs.Graph()
+	if cfg.MaxHopsPerPacket <= 0 {
+		cfg.MaxHopsPerPacket = 8 * g.NumVertices()
+	}
+	routers := make([]routerState, g.NumVertices())
+	for i := range routers {
+		routers[i] = routerState{known: graph.NewFaultSet()}
+	}
+	return &Simulator{
+		g:       g,
+		rs:      routing.New(cs),
+		cfg:     cfg,
+		truth:   graph.NewFaultSet(),
+		routers: routers,
+	}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Metrics returns the accumulated metrics.
+func (s *Simulator) Metrics() Metrics { return s.metrics }
+
+// KnownFaults returns how many failures router v currently knows about.
+func (s *Simulator) KnownFaults(v int) int { return s.routers[v].known.Size() }
+
+// FailVertexAt schedules a silent failure of v at time t.
+func (s *Simulator) FailVertexAt(t int64, v int) error {
+	if v < 0 || v >= s.g.NumVertices() {
+		return fmt.Errorf("distsim: vertex %d out of range", v)
+	}
+	s.push(event{at: t, kind: evFail, vertex: v})
+	return nil
+}
+
+// RecoverVertexAt schedules a recovery of v at time t: the router comes
+// back and (per the Applications section: routers are "routinely updated
+// about the operational status (failures and recoveries)") floods a
+// recovery announcement so peers remove it from their forbidden sets.
+func (s *Simulator) RecoverVertexAt(t int64, v int) error {
+	if v < 0 || v >= s.g.NumVertices() {
+		return fmt.Errorf("distsim: vertex %d out of range", v)
+	}
+	s.push(event{at: t, kind: evRecover, vertex: v})
+	return nil
+}
+
+// FailEdgeAt schedules a silent failure of the link (u,v) at time t.
+func (s *Simulator) FailEdgeAt(t int64, u, v int) error {
+	if u < 0 || u >= s.g.NumVertices() || v < 0 || v >= s.g.NumVertices() {
+		return fmt.Errorf("distsim: edge endpoints (%d,%d) out of range", u, v)
+	}
+	if !s.g.HasEdge(u, v) {
+		return fmt.Errorf("distsim: (%d,%d) is not a link", u, v)
+	}
+	s.push(event{at: t, kind: evFailEdge, vertex: u, vertex2: v})
+	return nil
+}
+
+// InjectPacketAt schedules a packet from src to dst at time t.
+func (s *Simulator) InjectPacketAt(t int64, src, dst int) error {
+	if src < 0 || src >= s.g.NumVertices() || dst < 0 || dst >= s.g.NumVertices() {
+		return fmt.Errorf("distsim: packet endpoints (%d,%d) out of range", src, dst)
+	}
+	s.push(event{at: t, kind: evPacket, pkt: &packet{id: -1, src: src, dst: dst}, at2: src})
+	return nil
+}
+
+// Run processes events until the queue is empty or the time horizon is
+// passed, and returns the metrics.
+func (s *Simulator) Run(until int64) Metrics {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.at > until {
+			break
+		}
+		s.now = e.at
+		switch e.kind {
+		case evFail:
+			s.truth.AddVertex(e.vertex)
+		case evFailEdge:
+			s.truth.AddEdge(e.vertex, e.vertex2)
+		case evRecover:
+			s.truth.RemoveVertex(e.vertex)
+			// The recovered router knows its own status and floods it.
+			s.routers[e.vertex].known.RemoveVertex(e.vertex)
+			s.flood(e.vertex, e.vertex, true)
+		case evFlood:
+			s.handleFlood(e)
+		case evPacket:
+			s.handlePacket(e)
+		}
+	}
+	return s.metrics
+}
+
+func (s *Simulator) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// handleFlood delivers a status announcement to a router, which updates
+// its forbidden set and forwards the announcement if the information was
+// new.
+func (s *Simulator) handleFlood(e event) {
+	r := e.at2
+	if s.truth.HasVertex(r) {
+		return // dead routers neither learn nor forward
+	}
+	known := s.routers[r].known
+	if e.recovered {
+		if !known.HasVertex(e.vertex) {
+			return // nothing to retract
+		}
+		known.RemoveVertex(e.vertex)
+	} else {
+		if known.HasVertex(e.vertex) {
+			return
+		}
+		known.AddVertex(e.vertex)
+	}
+	s.flood(r, e.vertex, e.recovered)
+}
+
+// flood sends a status announcement about the given vertex from r to all
+// alive neighbors.
+func (s *Simulator) flood(r, subject int, recovered bool) {
+	if s.cfg.DisableFlooding {
+		return
+	}
+	for _, nb := range s.g.Neighbors(r) {
+		if s.truth.HasVertex(int(nb)) || int(nb) == subject {
+			continue
+		}
+		s.metrics.ControlMessages++
+		s.push(event{at: s.now + 1, kind: evFlood, at2: int(nb), vertex: subject, recovered: recovered})
+	}
+}
+
+// handlePacket advances one packet sitting at router e.at2.
+func (s *Simulator) handlePacket(e event) {
+	pkt, r := e.pkt, e.at2
+	if pkt.id == -1 {
+		// Fresh injection: measure the optimum and build the header.
+		pkt.id = s.metrics.Injected
+		s.metrics.Injected++
+		pkt.optimal = s.g.DistAvoiding(pkt.src, pkt.dst, s.truth)
+		if s.truth.HasVertex(pkt.src) {
+			s.metrics.Dropped++
+			return
+		}
+		if !s.computeHeader(pkt, r) {
+			s.metrics.Dropped++
+			return
+		}
+	}
+	if s.cfg.EnablePiggyback {
+		s.exchangeKnowledge(pkt, r)
+	}
+	if r == pkt.dst {
+		s.metrics.Delivered++
+		if graph.Reachable(pkt.optimal) && pkt.optimal > 0 {
+			s.metrics.StretchSum += float64(pkt.hops) / float64(pkt.optimal)
+			s.metrics.StretchCount++
+		}
+		return
+	}
+	if pkt.hops >= s.cfg.MaxHopsPerPacket {
+		s.metrics.Dropped++
+		return
+	}
+	next, ok := s.nextHop(pkt, r)
+	if !ok {
+		s.metrics.Dropped++
+		return
+	}
+	if s.truth.HasVertex(next) {
+		// Contact discovery: r learns about the failure, floods it, and
+		// reroutes from its own (updated) forbidden set.
+		s.routers[r].known.AddVertex(next)
+		s.flood(r, next, false)
+		s.metrics.Reroutes++
+		if !s.computeHeader(pkt, r) {
+			s.metrics.Dropped++
+			return
+		}
+		// Retry from the same router on the next tick.
+		s.push(event{at: s.now + 1, kind: evPacket, pkt: pkt, at2: r})
+		return
+	}
+	if s.truth.HasEdge(r, next) {
+		// The link is down: r discovers it directly (link-layer probe)
+		// and reroutes. Link failures are local knowledge — flooding in
+		// this simulator announces vertex failures only, matching the
+		// paper's "failure of some router v" propagation story.
+		s.routers[r].known.AddEdge(r, next)
+		s.metrics.Reroutes++
+		if !s.computeHeader(pkt, r) {
+			s.metrics.Dropped++
+			return
+		}
+		s.push(event{at: s.now + 1, kind: evPacket, pkt: pkt, at2: r})
+		return
+	}
+	pkt.hops++
+	s.metrics.DataHops++
+	s.push(event{at: s.now + 1, kind: evPacket, pkt: pkt, at2: next})
+}
+
+// exchangeKnowledge merges fault knowledge between a packet and the
+// router it is visiting, in both directions — the piggybacking mechanism
+// of the Applications section ("all routers on this path will learn about
+// the failure").
+func (s *Simulator) exchangeKnowledge(pkt *packet, r int) {
+	if pkt.carried == nil {
+		pkt.carried = graph.NewFaultSet()
+	}
+	for _, v := range pkt.carried.Vertices() {
+		if !s.routers[r].known.HasVertex(v) {
+			s.routers[r].known.AddVertex(v)
+			s.metrics.PiggybackTransfers++
+		}
+	}
+	for _, v := range s.routers[r].known.Vertices() {
+		if !pkt.carried.HasVertex(v) {
+			pkt.carried.AddVertex(v)
+			s.metrics.PiggybackTransfers++
+		}
+	}
+}
+
+// computeHeader recomputes the packet's waypoint list from router r's own
+// knowledge. Returns false when r's knowledge says dst is unreachable
+// (which, since known ⊆ truth, implies true unreachability).
+func (s *Simulator) computeHeader(pkt *packet, r int) bool {
+	h, ok := s.rs.HeaderFor(r, pkt.dst, s.routers[r].known)
+	if !ok {
+		return false
+	}
+	pkt.waypoints = h.Waypoints
+	pkt.wpIndex = 1
+	return true
+}
+
+// nextHop returns the next link the packet wants, advancing waypoints as
+// they are reached.
+func (s *Simulator) nextHop(pkt *packet, r int) (int, bool) {
+	for pkt.wpIndex < len(pkt.waypoints) && int(pkt.waypoints[pkt.wpIndex]) == r {
+		pkt.wpIndex++
+	}
+	if pkt.wpIndex >= len(pkt.waypoints) {
+		return 0, false
+	}
+	return s.rs.NextHop(r, int(pkt.waypoints[pkt.wpIndex]))
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

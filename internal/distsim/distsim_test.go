@@ -1,0 +1,371 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+func newSim(t testing.TB, g *graph.Graph, cfg Config) *Simulator {
+	t.Helper()
+	cs, err := core.BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.SetCacheLimit(4096)
+	return New(cs, cfg)
+}
+
+func TestPacketDeliveryNoFailures(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	sim := newSim(t, g, Config{})
+	if err := sim.InjectPacketAt(0, 0, 63); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Injected != 1 || m.Delivered != 1 || m.Dropped != 0 {
+		t.Fatalf("metrics = %+v, want 1 delivered", m)
+	}
+	if m.DataHops < 14 {
+		t.Errorf("DataHops = %d, want >= true distance 14", m.DataHops)
+	}
+	if m.MeanStretch() > 3+1e-9 {
+		t.Errorf("stretch %.3f exceeds 1+eps", m.MeanStretch())
+	}
+	if m.Reroutes != 0 || m.ControlMessages != 0 {
+		t.Errorf("failure-free run produced reroutes/control traffic: %+v", m)
+	}
+}
+
+func TestPacketReroutesAroundDiscoveredFailure(t *testing.T) {
+	// Wall in a grid, failing before injection: the packet discovers it
+	// on contact, floods, reroutes, and still arrives.
+	w, h := 9, 9
+	g := gen.Grid2D(w, h)
+	sim := newSim(t, g, Config{})
+	for y := 0; y < h-1; y++ {
+		if err := sim.FailVertexAt(0, y*w+4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.InjectPacketAt(1, 4*w+0, 4*w+8); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 1 {
+		t.Fatalf("packet not delivered: %+v", m)
+	}
+	if m.Reroutes == 0 {
+		t.Error("crossing a hidden wall must trigger at least one reroute")
+	}
+	if m.ControlMessages == 0 {
+		t.Error("discovery must flood announcements")
+	}
+}
+
+func TestDisconnectionDropsPacket(t *testing.T) {
+	g := gen.Path(10)
+	sim := newSim(t, g, Config{})
+	if err := sim.FailVertexAt(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 0 || m.Dropped != 1 {
+		t.Fatalf("cut path: metrics = %+v, want 1 dropped", m)
+	}
+}
+
+func TestFailedSourceAndDestination(t *testing.T) {
+	g := gen.Grid2D(5, 5)
+	sim := newSim(t, g, Config{})
+	if err := sim.FailVertexAt(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.FailVertexAt(0, 24); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 0, 12); err != nil { // dead source
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 12, 24); err != nil { // dead destination
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 0 || m.Dropped != 2 {
+		t.Fatalf("metrics = %+v, want 2 dropped", m)
+	}
+}
+
+func TestFloodingSpreadsKnowledge(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	sim := newSim(t, g, Config{})
+	if err := sim.FailVertexAt(0, 14); err != nil {
+		t.Fatal(err)
+	}
+	// A packet bumps into 14 and triggers the flood.
+	if err := sim.InjectPacketAt(1, 13, 15); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1 << 20)
+	informed := 0
+	for v := 0; v < 36; v++ {
+		if v != 14 && sim.KnownFaults(v) > 0 {
+			informed++
+		}
+	}
+	if informed < 30 {
+		t.Errorf("only %d/35 routers learned about the failure — flood did not spread", informed)
+	}
+}
+
+func TestDisableFloodingLimitsKnowledge(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	sim := newSim(t, g, Config{DisableFlooding: true})
+	if err := sim.FailVertexAt(0, 14); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 13, 15); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.ControlMessages != 0 {
+		t.Errorf("flooding disabled but %d control messages sent", m.ControlMessages)
+	}
+	informed := 0
+	for v := 0; v < 36; v++ {
+		if v != 14 && sim.KnownFaults(v) > 0 {
+			informed++
+		}
+	}
+	if informed > 3 {
+		t.Errorf("%d routers informed without flooding — expected only discoverers", informed)
+	}
+}
+
+func TestManyPacketsUnderChurnAllAccounted(t *testing.T) {
+	g := gen.Grid2D(10, 10)
+	sim := newSim(t, g, Config{})
+	rng := rand.New(rand.NewSource(7))
+	failures := 0
+	for v := 0; v < 100 && failures < 8; v++ {
+		if rng.Intn(10) == 0 {
+			if err := sim.FailVertexAt(int64(rng.Intn(50)), v); err != nil {
+				t.Fatal(err)
+			}
+			failures++
+		}
+	}
+	injected := 0
+	for i := 0; i < 30; i++ {
+		src, dst := rng.Intn(100), rng.Intn(100)
+		if src == dst {
+			continue
+		}
+		if err := sim.InjectPacketAt(int64(10+i*5), src, dst); err != nil {
+			t.Fatal(err)
+		}
+		injected++
+	}
+	m := sim.Run(1 << 30)
+	if m.Injected != injected {
+		t.Fatalf("injected %d, metrics say %d", injected, m.Injected)
+	}
+	if m.Delivered+m.Dropped != m.Injected {
+		t.Fatalf("packets unaccounted: %+v", m)
+	}
+	if m.Delivered == 0 {
+		t.Fatal("no packet delivered under mild churn")
+	}
+	if m.MeanStretch() > 10 {
+		t.Errorf("mean stretch %.2f implausibly high", m.MeanStretch())
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	g := gen.Path(4)
+	sim := newSim(t, g, Config{})
+	if err := sim.InjectPacketAt(0, -1, 2); err == nil {
+		t.Error("negative source must error")
+	}
+	if err := sim.FailVertexAt(0, 99); err == nil {
+		t.Error("out-of-range failure must error")
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	run := func() Metrics {
+		g := gen.Grid2D(7, 7)
+		sim := newSim(t, g, Config{})
+		sim.FailVertexAt(0, 24)
+		sim.InjectPacketAt(1, 0, 48)
+		sim.InjectPacketAt(1, 48, 0)
+		return sim.Run(1 << 20)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPiggybackSpreadsAlongPath(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	sim := newSim(t, g, Config{DisableFlooding: true, EnablePiggyback: true})
+	if err := sim.FailVertexAt(0, 27); err != nil {
+		t.Fatal(err)
+	}
+	// Packet crosses near the failure, discovers it, and carries the news
+	// to every router on the rest of its route.
+	if err := sim.InjectPacketAt(1, 26, 28); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 1 {
+		t.Fatalf("packet not delivered: %+v", m)
+	}
+	if m.PiggybackTransfers == 0 {
+		t.Error("piggybacking moved no knowledge")
+	}
+	if m.ControlMessages != 0 {
+		t.Error("flooding disabled: no control messages expected")
+	}
+	// The destination router must now know about the failure.
+	if sim.KnownFaults(28) == 0 {
+		t.Error("destination should have learned the failure via piggyback")
+	}
+}
+
+func TestPiggybackReducesRediscovery(t *testing.T) {
+	run := func(piggyback bool) Metrics {
+		g := gen.Grid2D(9, 9)
+		sim := newSim(t, g, Config{DisableFlooding: true, EnablePiggyback: piggyback})
+		for y := 0; y < 8; y++ {
+			sim.FailVertexAt(0, y*9+4)
+		}
+		// A convoy of packets from the same source across the wall: with
+		// piggybacking, later packets benefit from... nothing directly
+		// (knowledge lives in routers), but the routers along the shared
+		// route accumulate it, so later packets reroute less.
+		for i := 0; i < 6; i++ {
+			sim.InjectPacketAt(int64(1+i*200), 4*9+0, 4*9+8)
+		}
+		return sim.Run(1 << 30)
+	}
+	with := run(true)
+	without := run(false)
+	if with.Reroutes > without.Reroutes {
+		t.Errorf("piggyback reroutes %d > plain %d", with.Reroutes, without.Reroutes)
+	}
+	if with.Delivered < without.Delivered {
+		t.Errorf("piggyback delivered %d < plain %d", with.Delivered, without.Delivered)
+	}
+	if with.PiggybackTransfers == 0 {
+		t.Error("piggyback run moved no knowledge")
+	}
+}
+
+func TestEdgeFailureReroutes(t *testing.T) {
+	// C8: the packet's direct way is cut; it must discover the dead link
+	// and go the long way around.
+	g, err := gen.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := newSim(t, g, Config{})
+	if err := sim.FailEdgeAt(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 1 {
+		t.Fatalf("packet not delivered: %+v", m)
+	}
+	if m.DataHops != 7 {
+		t.Errorf("DataHops = %d, want 7 (the long way around)", m.DataHops)
+	}
+	if m.Reroutes == 0 {
+		t.Error("dead link must trigger a reroute")
+	}
+}
+
+func TestEdgeFailureDisconnects(t *testing.T) {
+	g := gen.Path(6)
+	sim := newSim(t, g, Config{})
+	if err := sim.FailEdgeAt(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 0 || m.Dropped != 1 {
+		t.Fatalf("cut bridge: %+v, want 1 dropped", m)
+	}
+}
+
+func TestFailEdgeValidation(t *testing.T) {
+	g := gen.Path(4)
+	sim := newSim(t, g, Config{})
+	if err := sim.FailEdgeAt(0, 0, 2); err == nil {
+		t.Error("non-link must be rejected")
+	}
+	if err := sim.FailEdgeAt(0, -1, 0); err == nil {
+		t.Error("out-of-range endpoint must be rejected")
+	}
+}
+
+func TestRecoveryRestoresRouting(t *testing.T) {
+	// Cut a path, then recover: a packet injected after the recovery
+	// must sail through even though routers learned the failure earlier.
+	g := gen.Path(10)
+	sim := newSim(t, g, Config{})
+	if err := sim.FailVertexAt(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// First packet hits the cut, spreads knowledge, drops.
+	if err := sim.InjectPacketAt(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RecoverVertexAt(500, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Second packet after recovery (and after the recovery flood).
+	if err := sim.InjectPacketAt(600, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 30)
+	if m.Delivered != 1 || m.Dropped != 1 {
+		t.Fatalf("metrics = %+v, want 1 delivered + 1 dropped", m)
+	}
+	// The recovery announcement must have cleared the stale knowledge.
+	for v := 0; v < 10; v++ {
+		if v != 5 && sim.KnownFaults(v) != 0 {
+			t.Errorf("router %d still believes in the recovered failure", v)
+		}
+	}
+}
+
+func TestRecoveryWithoutPriorFailureIsNoop(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	sim := newSim(t, g, Config{})
+	if err := sim.RecoverVertexAt(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(1, 0, 15); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 20)
+	if m.Delivered != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if err := sim.RecoverVertexAt(0, 99); err == nil {
+		t.Error("out-of-range recovery must error")
+	}
+}

@@ -1,0 +1,108 @@
+package doubling
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+func pathGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+func gridGraph(t testing.TB, w, h int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				b.AddEdge(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func starGraph(t testing.TB, leaves int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.MustBuild()
+}
+
+func TestPathHasLowDimension(t *testing.T) {
+	g := pathGraph(t, 200)
+	est := EstimateDimension(g, 10, rand.New(rand.NewSource(1)))
+	if est.Samples == 0 {
+		t.Fatal("no samples measured")
+	}
+	// A path is 1-dimensional: a ball of radius 2r (an interval of length
+	// 4r) needs ~3 intervals of length 2r; log2(3) < 2.
+	if est.Dimension > 2 {
+		t.Errorf("path dimension estimate %.2f, want <= 2", est.Dimension)
+	}
+}
+
+func TestGridDimensionBetweenPathAndStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := EstimateDimension(pathGraph(t, 256), 8, rng)
+	g := EstimateDimension(gridGraph(t, 16, 16), 8, rng)
+	s := EstimateDimension(starGraph(t, 256), 8, rng)
+	if !(p.Dimension < g.Dimension) {
+		t.Errorf("expected dim(path)=%.2f < dim(grid)=%.2f", p.Dimension, g.Dimension)
+	}
+	if !(g.Dimension < s.Dimension) {
+		t.Errorf("expected dim(grid)=%.2f < dim(star)=%.2f", g.Dimension, s.Dimension)
+	}
+	// A star has unbounded doubling dimension: covering B(center,2) by
+	// radius-1 balls needs ~leaves/1 balls... actually B(center,2)=whole
+	// star, radius-1 balls centered at leaves cover 2 vertices each. The
+	// estimate must be large.
+	if s.Dimension < 5 {
+		t.Errorf("star dimension estimate %.2f suspiciously low", s.Dimension)
+	}
+}
+
+func TestGridDimensionApproxTwo(t *testing.T) {
+	g := gridGraph(t, 24, 24)
+	est := EstimateDimension(g, 12, rand.New(rand.NewSource(3)))
+	// 2-D grid: expect estimate in [1.5, 4.5] (greedy is within a constant
+	// factor of true α = 2).
+	if est.Dimension < 1.5 || est.Dimension > 4.5 {
+		t.Errorf("grid dimension estimate %.2f outside [1.5, 4.5]", est.Dimension)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	empty := graph.NewBuilder(0).MustBuild()
+	if est := EstimateDimension(empty, 5, rand.New(rand.NewSource(4))); est.Samples != 0 {
+		t.Error("empty graph should yield no samples")
+	}
+	single := graph.NewBuilder(1).MustBuild()
+	est := EstimateDimension(single, 5, rand.New(rand.NewSource(5)))
+	if est.Dimension != 0 {
+		t.Errorf("singleton dimension = %.2f, want 0", est.Dimension)
+	}
+	if est := EstimateDimension(pathGraph(t, 10), 0, rand.New(rand.NewSource(6))); est.Samples != 0 {
+		t.Error("zero centers should yield no samples")
+	}
+}
+
+func TestTinyGraphStillSamples(t *testing.T) {
+	g := pathGraph(t, 3) // eccentricity 2 from the middle, 2r <= ecc only for r=1
+	est := EstimateDimension(g, 4, rand.New(rand.NewSource(7)))
+	if est.Samples == 0 {
+		t.Error("tiny graph should still be sampled via the fallback radius")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsdl/internal/core"
+	"fsdl/internal/doubling"
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+	"fsdl/internal/stats"
+	"fsdl/internal/treelabel"
+)
+
+// RunE10TreewidthComparison positions the paper against its predecessor
+// (Courcelle–Twigg 2007, exact forbidden-set labels parameterized by
+// treewidth): on trees (treewidth 1), the CT-style exact scheme produces
+// tiny O(log²n)-bit labels, while the doubling-dimension scheme still
+// answers correctly but pays label length proportional to its
+// 2^{O(α)} constants — and on bounded-doubling graphs with unbounded
+// treewidth (grids: treewidth Θ(√n)) the comparison reverses, which is
+// precisely the niche the paper carves out.
+func RunE10TreewidthComparison(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + 10))
+	sizes := []int{64, 256, 1024}
+	queries := 60
+	if cfg.Quick {
+		sizes = []int{32, 128}
+		queries = 15
+	}
+
+	table := stats.NewTable("tree", "n", "alpha-hat", "CT bits (avg)", "FSDL bits (avg)", "ratio",
+		"CT exact", "FSDL within 1+eps")
+	for _, n := range sizes {
+		for _, kind := range []string{"path", "random", "binary"} {
+			var g *graph.Graph
+			switch kind {
+			case "path":
+				g = gen.Path(n)
+			case "random":
+				g = gen.RandomTree(n, rng)
+			case "binary":
+				levels := 1
+				for (1<<uint(levels))-1 < n {
+					levels++
+				}
+				bt, err := gen.BalancedBinaryTree(levels)
+				if err != nil {
+					return err
+				}
+				g = bt
+			}
+			ct, err := treelabel.Build(g)
+			if err != nil {
+				return err
+			}
+			fs, err := core.BuildScheme(g, 2)
+			if err != nil {
+				return err
+			}
+			fs.SetCacheLimit(256)
+			nn := g.NumVertices()
+			est := doubling.EstimateDimension(g, 5, rng)
+
+			var ctBits, fsBits stats.Summary
+			for _, v := range sampleVertices(nn, 10, rng) {
+				ctBits.Add(float64(ct.LabelBits(v)))
+				fsBits.Add(float64(fs.LabelBits(v)))
+			}
+			ctExact, fsOK := 0, 0
+			total := 0
+			for q := 0; q < queries; q++ {
+				u, v := rng.Intn(nn), rng.Intn(nn)
+				if u == v {
+					continue
+				}
+				f := gen.RandomVertexFaults(g, 2, []int{u, v}, rng)
+				truth := g.DistAvoiding(u, v, f)
+				total++
+				var vf []*treelabel.Label
+				for _, x := range f.Vertices() {
+					vf = append(vf, ct.Label(x))
+				}
+				ctD, ctConn := treelabel.Query(ct.Label(u), ct.Label(v), vf, nil)
+				if ctConn == graph.Reachable(truth) && (!ctConn || ctD == truth) {
+					ctExact++
+				}
+				fsD, fsConn := fs.Distance(u, v, f)
+				if fsConn == graph.Reachable(truth) &&
+					(!fsConn || (fsD >= int64(truth) && float64(fsD) <= 3*float64(truth)+1e-9)) {
+					fsOK++
+				}
+			}
+			table.AddRow(kind, nn, fmt.Sprintf("%.1f", est.Dimension),
+				ctBits.Mean(), fsBits.Mean(), fsBits.Mean()/ctBits.Mean(),
+				fmt.Sprintf("%d/%d", ctExact, total), fmt.Sprintf("%d/%d", fsOK, total))
+		}
+	}
+	fmt.Fprint(cfg.Out, table.String())
+	fmt.Fprintln(cfg.Out, "expectation: on treewidth-1 inputs the CT-style exact labels are orders of magnitude smaller (and exact); both schemes stay correct. The doubling scheme's niche is graphs with small alpha but large treewidth (grids), where no CT-style scheme applies — and the binary tree (alpha ~ log n) is hard for BOTH parameterizations, as the theory predicts.")
+	return nil
+}

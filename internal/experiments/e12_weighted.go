@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsdl/internal/graph"
+	"fsdl/internal/stats"
+	"fsdl/internal/wgraph"
+)
+
+// RunE12WeightedRoads exercises the weighted extension (the road-network
+// setting the Applications section motivates): integer edge weights are
+// handled by the subdivision reduction, and the (1+ε) guarantee must hold
+// for weighted surviving distances under vertex and edge faults.
+func RunE12WeightedRoads(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + 12))
+	side := 14
+	queries := 80
+	maxW := int32(5)
+	if cfg.Quick {
+		side = 7
+		queries = 15
+		maxW = 3
+	}
+	// A weighted road grid: travel times 1..maxW per segment.
+	wg := wgraph.NewWeightedGraph(side * side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			if x+1 < side {
+				if err := wg.AddEdge(y*side+x, y*side+x+1, 1+rng.Int31n(maxW)); err != nil {
+					return err
+				}
+			}
+			if y+1 < side {
+				if err := wg.AddEdge(y*side+x, (y+1)*side+x, 1+rng.Int31n(maxW)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s, err := wgraph.BuildScheme(wg, 2)
+	if err != nil {
+		return err
+	}
+	sub, err := wg.Subdivide()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "weighted road grid %dx%d: %d junctions, %d segments (weights 1..%d), subdivision %d vertices\n",
+		side, side, wg.NumVertices(), wg.NumEdges(), maxW, s.SubdividedSize())
+
+	table := stats.NewTable("|F_v|", "|F_e|", "queries", "disconn", "mean stretch", "max stretch", "violations")
+	for _, fc := range [][2]int{{0, 0}, {2, 0}, {0, 2}, {3, 3}} {
+		var stretch stats.Summary
+		violations, disconnected := 0, 0
+		for qi := 0; qi < queries; qi++ {
+			u, v := rng.Intn(side*side), rng.Intn(side*side)
+			if u == v {
+				continue
+			}
+			f := graph.NewFaultSet()
+			for f.NumVertices() < fc[0] {
+				x := rng.Intn(side * side)
+				if x != u && x != v {
+					f.AddVertex(x)
+				}
+			}
+			for f.NumEdges() < fc[1] {
+				gx, gy := rng.Intn(side), rng.Intn(side)
+				x := gy*side + gx
+				if rng.Intn(2) == 0 && gx+1 < side {
+					f.AddEdge(x, x+1)
+				} else if gy+1 < side {
+					f.AddEdge(x, x+side)
+				}
+			}
+			truth, reachable := sub.ExactDistance(u, v, f)
+			est, ok := s.Distance(u, v, f)
+			if !reachable {
+				disconnected++
+				if ok {
+					violations++
+				}
+				continue
+			}
+			if !ok || est < truth || (truth > 0 && float64(est) > 3*float64(truth)+1e-9) {
+				violations++
+				continue
+			}
+			if truth > 0 {
+				stretch.Add(float64(est) / float64(truth))
+			}
+		}
+		table.AddRow(fc[0], fc[1], stretch.N(), disconnected, stretch.Mean(), stretch.Max(), violations)
+	}
+	fmt.Fprint(cfg.Out, table.String())
+	fmt.Fprintln(cfg.Out, "expectation: 0 violations — the subdivision reduction carries the guarantee to weighted surviving distances (with constants inflated by the O(log W) dimension increase).")
+	return nil
+}

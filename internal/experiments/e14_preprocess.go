@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"fsdl/internal/core"
+	"fsdl/internal/stats"
+)
+
+// RunE14Preprocessing measures the other half of Theorem 2.1: "All the
+// labels can be computed in polynomial time." It times scheme construction
+// (net hierarchy + per-level net graphs) across an n sweep, reports the
+// store sizes, and measures the persistence round trip (SaveScheme /
+// LoadScheme) — the deployment path that amortizes preprocessing to a
+// one-time cost.
+func RunE14Preprocessing(cfg Config) error {
+	sides := []int{8, 16, 24, 32, 48}
+	if cfg.Quick {
+		sides = []int{6, 10}
+	}
+	table := stats.NewTable("grid", "n", "build ms", "net edges (store)", "save KiB",
+		"save ms", "load ms", "queries agree")
+	var xs, ys []float64
+	for _, side := range sides {
+		w := gridWorkload(side)
+		n := w.g.NumVertices()
+
+		t0 := time.Now()
+		s, err := core.BuildScheme(w.g, 2)
+		if err != nil {
+			return err
+		}
+		buildMS := float64(time.Since(t0).Microseconds()) / 1000
+
+		st := s.StoreStats()
+
+		var buf bytes.Buffer
+		t1 := time.Now()
+		if err := core.SaveScheme(&buf, s); err != nil {
+			return err
+		}
+		saveMS := float64(time.Since(t1).Microseconds()) / 1000
+		saveKiB := float64(buf.Len()) / 1024
+
+		t2 := time.Now()
+		loaded, err := core.LoadScheme(&buf)
+		if err != nil {
+			return err
+		}
+		loadMS := float64(time.Since(t2).Microseconds()) / 1000
+
+		agree := true
+		for _, pair := range [][2]int{{0, n - 1}, {n / 3, 2 * n / 3}} {
+			d1, ok1 := s.Distance(pair[0], pair[1], nil)
+			d2, ok2 := loaded.Distance(pair[0], pair[1], nil)
+			if d1 != d2 || ok1 != ok2 {
+				agree = false
+			}
+		}
+		table.AddRow(w.name, n, buildMS, st.TotalNetEdges, saveKiB, saveMS, loadMS, agree)
+		xs = append(xs, float64(n))
+		ys = append(ys, buildMS)
+	}
+	fmt.Fprint(cfg.Out, table.String())
+	if _, slope, ok := stats.FitPowerLaw(xs, ys); ok {
+		fmt.Fprintf(cfg.Out, "build time ~ n^%.2f — comfortably polynomial (Theorem 2.1's preprocessing claim)\n", slope)
+	}
+	fmt.Fprintln(cfg.Out, "expectation: near-linear build at these scales (O(n log n · 2^{O(alpha+c)}) truncated-BFS work); persistence reloads in a fraction of the build time with bit-identical answers.")
+	return nil
+}

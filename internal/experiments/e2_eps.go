@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsdl/internal/core"
+	"fsdl/internal/doubling"
+	"fsdl/internal/gen"
+	"fsdl/internal/stats"
+)
+
+// RunE2LabelLengthVsEpsilon measures label length as a function of the
+// precision ε and of the dimension of the underlying family (grids of
+// dimension 1, 2 and 3). Lemma 2.5 predicts (O(1+1/ε))^{2α}·log²n: the
+// per-ε growth should be steeper for higher-dimensional families.
+func RunE2LabelLengthVsEpsilon(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	type family struct {
+		name string
+		dims []int
+	}
+	families := []family{
+		{name: "path (dim 1)", dims: []int{1024}},
+		{name: "grid (dim 2)", dims: []int{32, 32}},
+		{name: "grid (dim 3)", dims: []int{10, 10, 10}},
+	}
+	epsilons := []float64{3, 1.5, 1, 0.5} // c = 2, 2, 3, 4
+	samples := 12
+	if cfg.Quick {
+		families = []family{
+			{name: "path (dim 1)", dims: []int{128}},
+			{name: "grid (dim 2)", dims: []int{12, 12}},
+		}
+		epsilons = []float64{3, 1}
+		samples = 4
+	}
+
+	table := stats.NewTable("family", "n", "alpha-hat", "eps", "c", "avg bits", "growth", "ff bits", "ff growth")
+	for _, fam := range families {
+		g, err := gen.Grid(fam.dims)
+		if err != nil {
+			return err
+		}
+		est := doubling.EstimateDimension(g, 6, rng)
+		var base, ffBase float64
+		for _, eps := range epsilons {
+			s, err := core.BuildScheme(g, eps)
+			if err != nil {
+				return err
+			}
+			s.SetCacheLimit(0)
+			ff, err := core.BuildFFScheme(g, eps)
+			if err != nil {
+				return err
+			}
+			var sum, ffSum stats.Summary
+			for _, v := range sampleVertices(g.NumVertices(), samples, rng) {
+				sum.Add(float64(s.LabelBits(v)))
+				ffSum.Add(float64(ff.LabelBits(v)))
+			}
+			if base == 0 {
+				base = sum.Mean()
+				ffBase = ffSum.Mean()
+			}
+			table.AddRow(fam.name, g.NumVertices(), fmt.Sprintf("%.1f", est.Dimension),
+				eps, s.Params().C, sum.Mean(), sum.Mean()/base,
+				ffSum.Mean(), ffSum.Mean()/ffBase)
+		}
+	}
+	fmt.Fprint(cfg.Out, table.String())
+	fmt.Fprintln(cfg.Out, "expectation: growth columns rise as eps shrinks, faster for higher-dimensional families (the 2^{O(alpha c)} regime). The forbidden-set labels saturate once the level radii exceed the graph diameter (labels then already contain everything nearby) — the paper's huge constants made visible; the failure-free scheme's smaller constants keep its eps growth clean at these n.")
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fsdl/internal/baseline"
+	"fsdl/internal/core"
+	"fsdl/internal/stats"
+)
+
+// RunE4QueryTime measures decode time as a function of |F| on a fixed
+// graph, against the recompute-from-scratch baseline. Lemma 2.6 predicts
+// decode time O(1+1/ε)^{2α}·|F|²·log n — superlinear growth in |F| but
+// independent of n once the labels are in hand, whereas the baseline pays
+// Θ(n+m) per query regardless of |F|. The table also reports the label
+// fetch (extraction) time separately: in the paper's model labels are
+// already distributed, so decode time is the quantity Lemma 2.6 bounds.
+func RunE4QueryTime(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	const epsilon = 2.0
+	side := 48
+	faultSizes := []int{1, 2, 4, 8, 16, 32}
+	queries := 12
+	if cfg.Quick {
+		side = 12
+		faultSizes = []int{1, 4}
+		queries = 3
+	}
+	w := gridWorkload(side)
+	n := w.g.NumVertices()
+	s, err := core.BuildScheme(w.g, epsilon)
+	if err != nil {
+		return err
+	}
+	s.SetCacheLimit(4096)
+	exact := baseline.Exact{G: w.g}
+
+	table := stats.NewTable("|F|", "decode ms (p50)", "decode ms (p95)", "fetch ms (p50)",
+		"exact BFS ms (p50)", "bidir BFS ms (p50)", "H vertices", "H edges")
+	xs, ys := []float64{}, []float64{}
+	for _, fs := range faultSizes {
+		var decodeMS, fetchMS, exactMS, bidirMS, hV, hE stats.Summary
+		for qi := 0; qi < queries; qi++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			f := randomFaultSet(n, fs, src, dst, rng)
+
+			t0 := time.Now()
+			q, err := s.NewQuery(src, dst, f)
+			if err != nil {
+				return err
+			}
+			fetchMS.Add(float64(time.Since(t0).Microseconds()) / 1000)
+
+			var tr core.Trace
+			t1 := time.Now()
+			q.DistanceWithTrace(&tr)
+			decodeMS.Add(float64(time.Since(t1).Microseconds()) / 1000)
+			hV.Add(float64(tr.NumHVertices))
+			hE.Add(float64(tr.NumHEdges))
+
+			t2 := time.Now()
+			exact.Distance(src, dst, f)
+			exactMS.Add(float64(time.Since(t2).Microseconds()) / 1000)
+
+			t3 := time.Now()
+			exact.DistanceBidir(src, dst, f)
+			bidirMS.Add(float64(time.Since(t3).Microseconds()) / 1000)
+		}
+		table.AddRow(fs, decodeMS.P50(), decodeMS.P95(), fetchMS.P50(), exactMS.P50(),
+			bidirMS.P50(), hV.Mean(), hE.Mean())
+		xs = append(xs, float64(fs))
+		ys = append(ys, decodeMS.P50())
+	}
+	fmt.Fprintf(cfg.Out, "workload: %s (n=%d), eps=%g\n", w.name, n, epsilon)
+	fmt.Fprint(cfg.Out, table.String())
+	if _, slope, ok := stats.FitPowerLaw(xs, ys); ok {
+		fmt.Fprintf(cfg.Out, "decode time ~ |F|^%.2f (Lemma 2.6 allows up to |F|^2; the |F|^2 term dominates only once the per-fault label scans saturate)\n", slope)
+	}
+	fmt.Fprintln(cfg.Out, "expectation: decode grows with |F| (toward quadratic), exact BFS stays flat in |F| but scales with n — the labeling wins for small |F| on large graphs.")
+	return nil
+}

@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsdl/internal/graph"
+)
+
+// Fault-set generators: the adversarial and stochastic failure models the
+// experiments sweep. All generators avoid the protected vertices (usually
+// the query endpoints).
+
+// RandomVertexFaults draws k distinct failed vertices uniformly, avoiding
+// the protected set.
+func RandomVertexFaults(g *graph.Graph, k int, protected []int, rng *rand.Rand) *graph.FaultSet {
+	n := g.NumVertices()
+	avoid := toSet(protected)
+	f := graph.NewFaultSet()
+	for f.NumVertices() < k && f.NumVertices() < n-len(avoid) {
+		v := rng.Intn(n)
+		if !avoid[v] {
+			f.AddVertex(v)
+		}
+	}
+	return f
+}
+
+// ClusteredFaults fails the k vertices nearest to a random center — the
+// "regional outage" model (a data-center fire, a flooded neighborhood).
+func ClusteredFaults(g *graph.Graph, k int, protected []int, rng *rand.Rand) *graph.FaultSet {
+	n := g.NumVertices()
+	avoid := toSet(protected)
+	f := graph.NewFaultSet()
+	if n == 0 || k <= 0 {
+		return f
+	}
+	center := rng.Intn(n)
+	g.TruncatedBFS(center, int32(n), func(v, _ int32) {
+		if f.NumVertices() < k && !avoid[int(v)] {
+			f.AddVertex(int(v))
+		}
+	})
+	return f
+}
+
+// CutFaults targets articulation points — the adversarial model that
+// disconnects queries with the fewest failures. It fails up to k cut
+// vertices (uniformly among them); if the graph has none, it falls back to
+// random faults.
+func CutFaults(g *graph.Graph, k int, protected []int, rng *rand.Rand) *graph.FaultSet {
+	avoid := toSet(protected)
+	var candidates []int
+	for _, v := range g.ArticulationPoints() {
+		if !avoid[v] {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return RandomVertexFaults(g, k, protected, rng)
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	return graph.FaultVertices(candidates[:k]...)
+}
+
+// BridgeFaults fails up to k bridge edges — the edge-fault analogue of
+// CutFaults. Falls back to random edge faults when the graph has no
+// bridges.
+func BridgeFaults(g *graph.Graph, k int, rng *rand.Rand) *graph.FaultSet {
+	bridges := g.Bridges()
+	f := graph.NewFaultSet()
+	if len(bridges) == 0 {
+		return RandomEdgeFaults(g, k, rng)
+	}
+	rng.Shuffle(len(bridges), func(i, j int) { bridges[i], bridges[j] = bridges[j], bridges[i] })
+	if k > len(bridges) {
+		k = len(bridges)
+	}
+	for _, e := range bridges[:k] {
+		f.AddEdge(e[0], e[1])
+	}
+	return f
+}
+
+// RandomEdgeFaults fails k distinct uniform random edges.
+func RandomEdgeFaults(g *graph.Graph, k int, rng *rand.Rand) *graph.FaultSet {
+	var edges [][2]int
+	g.ForEachEdge(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	if k > len(edges) {
+		k = len(edges)
+	}
+	f := graph.NewFaultSet()
+	for _, e := range edges[:k] {
+		f.AddEdge(e[0], e[1])
+	}
+	return f
+}
+
+// WallFaults fails a column of a w×h grid, leaving gapRows rows open —
+// the forced-detour workload. Vertex (x,y) must have index y*w+x.
+func WallFaults(w, h, column int, gapRows []int, protected []int) (*graph.FaultSet, error) {
+	if column < 0 || column >= w {
+		return nil, fmt.Errorf("gen: wall column %d out of [0,%d)", column, w)
+	}
+	gaps := toSet(gapRows)
+	avoid := toSet(protected)
+	f := graph.NewFaultSet()
+	for y := 0; y < h; y++ {
+		v := y*w + column
+		if !gaps[y] && !avoid[v] {
+			f.AddVertex(v)
+		}
+	}
+	return f, nil
+}
+
+// MixedFaults combines kv random vertex faults with ke random edge faults.
+func MixedFaults(g *graph.Graph, kv, ke int, protected []int, rng *rand.Rand) *graph.FaultSet {
+	f := RandomVertexFaults(g, kv, protected, rng)
+	for _, e := range RandomEdgeFaults(g, ke, rng).Edges() {
+		f.AddEdge(e[0], e[1])
+	}
+	return f
+}
+
+func toSet(vs []int) map[int]bool {
+	m := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}

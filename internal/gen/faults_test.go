@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+func TestRandomVertexFaults(t *testing.T) {
+	g := Grid2D(6, 6)
+	rng := rand.New(rand.NewSource(1))
+	f := RandomVertexFaults(g, 5, []int{0, 35}, rng)
+	if f.NumVertices() != 5 {
+		t.Fatalf("got %d faults, want 5", f.NumVertices())
+	}
+	if f.HasVertex(0) || f.HasVertex(35) {
+		t.Error("protected vertices must not fail")
+	}
+}
+
+func TestRandomVertexFaultsCapped(t *testing.T) {
+	g := Path(4)
+	rng := rand.New(rand.NewSource(2))
+	f := RandomVertexFaults(g, 100, []int{0}, rng)
+	if f.NumVertices() != 3 {
+		t.Errorf("capped faults = %d, want 3 (n - protected)", f.NumVertices())
+	}
+}
+
+func TestClusteredFaultsAreClustered(t *testing.T) {
+	g := Grid2D(12, 12)
+	rng := rand.New(rand.NewSource(3))
+	f := ClusteredFaults(g, 9, nil, rng)
+	if f.NumVertices() != 9 {
+		t.Fatalf("got %d faults, want 9", f.NumVertices())
+	}
+	// All faults fit inside a small ball: max pairwise distance of 9
+	// BFS-closest vertices in a grid is small.
+	vs := f.Vertices()
+	maxD := int32(0)
+	for _, a := range vs {
+		dist := g.BFS(a)
+		for _, b := range vs {
+			if dist[b] > maxD {
+				maxD = dist[b]
+			}
+		}
+	}
+	if maxD > 6 {
+		t.Errorf("cluster diameter %d too large for 9 vertices in a grid", maxD)
+	}
+}
+
+func TestCutFaultsDisconnect(t *testing.T) {
+	g := Path(10)
+	rng := rand.New(rand.NewSource(4))
+	f := CutFaults(g, 1, []int{0, 9}, rng)
+	if f.NumVertices() != 1 {
+		t.Fatalf("got %d faults, want 1", f.NumVertices())
+	}
+	if g.ConnectedAvoiding(0, 9, f) {
+		t.Error("failing a path cut vertex must disconnect the endpoints")
+	}
+}
+
+func TestCutFaultsFallbackOnCycle(t *testing.T) {
+	g, err := Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	f := CutFaults(g, 2, nil, rng)
+	if f.NumVertices() != 2 {
+		t.Errorf("fallback should produce 2 random faults, got %d", f.NumVertices())
+	}
+}
+
+func TestBridgeFaults(t *testing.T) {
+	g := Path(8)
+	rng := rand.New(rand.NewSource(6))
+	f := BridgeFaults(g, 2, rng)
+	if f.NumEdges() != 2 {
+		t.Fatalf("got %d edge faults, want 2", f.NumEdges())
+	}
+	for _, e := range f.Edges() {
+		ef := graph.NewFaultSet()
+		ef.AddEdge(e[0], e[1])
+		if g.ConnectedAvoiding(e[0], e[1], ef) {
+			t.Errorf("edge %v is not a bridge", e)
+		}
+	}
+}
+
+func TestBridgeFaultsFallback(t *testing.T) {
+	g, _ := Cycle(8)
+	rng := rand.New(rand.NewSource(7))
+	f := BridgeFaults(g, 3, rng)
+	if f.NumEdges() != 3 {
+		t.Errorf("fallback random edge faults = %d, want 3", f.NumEdges())
+	}
+}
+
+func TestRandomEdgeFaultsDistinct(t *testing.T) {
+	g := Grid2D(5, 5)
+	rng := rand.New(rand.NewSource(8))
+	f := RandomEdgeFaults(g, 10, rng)
+	if f.NumEdges() != 10 {
+		t.Fatalf("got %d, want 10", f.NumEdges())
+	}
+	for _, e := range f.Edges() {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("fault %v is not a graph edge", e)
+		}
+	}
+	// Asking for more than m caps at m.
+	f2 := RandomEdgeFaults(g, 10000, rng)
+	if f2.NumEdges() != g.NumEdges() {
+		t.Errorf("capped edge faults = %d, want %d", f2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestWallFaults(t *testing.T) {
+	f, err := WallFaults(9, 9, 4, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVertices() != 8 {
+		t.Fatalf("wall size = %d, want 8", f.NumVertices())
+	}
+	g := Grid2D(9, 9)
+	// With the row-0 gap the grid stays connected.
+	if !g.ConnectedAvoiding(4*9+0, 4*9+8, f) {
+		t.Error("gap should keep sides connected")
+	}
+	full, err := WallFaults(9, 9, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ConnectedAvoiding(4*9+0, 4*9+8, full) {
+		t.Error("full wall must disconnect the sides")
+	}
+	if _, err := WallFaults(9, 9, 9, nil, nil); err == nil {
+		t.Error("out-of-range column must error")
+	}
+}
+
+func TestMixedFaults(t *testing.T) {
+	g := Grid2D(6, 6)
+	rng := rand.New(rand.NewSource(9))
+	f := MixedFaults(g, 3, 2, []int{0}, rng)
+	if f.NumVertices() != 3 || f.NumEdges() != 2 {
+		t.Errorf("mixed = (%d,%d), want (3,2)", f.NumVertices(), f.NumEdges())
+	}
+}

@@ -1,0 +1,343 @@
+// Package gen generates the synthetic graph families used as workloads in
+// the experiments: paths, cycles, trees, d-dimensional grids and tori
+// (bounded doubling dimension), random geometric graphs (the canonical
+// low-doubling-dimension random family), perturbed-grid "road networks"
+// (the Applications-section motivation), and Erdős–Rényi graphs (the
+// high-doubling-dimension contrast).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fsdl/internal/graph"
+)
+
+// Path returns the n-vertex path P_n.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the n-vertex cycle C_n (n ≥ 3).
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: cycle needs n >= 3, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Grid2D returns the w×h grid graph (4-neighbor adjacency). Vertex (x,y)
+// has index y*w + x.
+func Grid2D(w, h int) *graph.Graph {
+	g, err := Grid([]int{w, h})
+	if err != nil {
+		panic(err) // only on non-positive dims; Grid2D callers pass sizes
+	}
+	return g
+}
+
+// Grid returns the d-dimensional grid graph with the given side lengths:
+// vertices are coordinate tuples, adjacent when they differ by exactly 1 in
+// exactly one coordinate. Doubling dimension is Θ(d). Index layout is
+// row-major with dims[0] fastest.
+func Grid(dims []int) (*graph.Graph, error) {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("gen: grid dimension %d must be positive", d)
+		}
+		if n > (1<<31)/d {
+			return nil, fmt.Errorf("gen: grid too large")
+		}
+		n *= d
+	}
+	b := graph.NewBuilder(n)
+	stride := 1
+	for _, d := range dims {
+		for v := 0; v < n; v++ {
+			coord := (v / stride) % d
+			if coord+1 < d {
+				b.AddEdge(v, v+stride)
+			}
+		}
+		stride *= d
+	}
+	return b.Build()
+}
+
+// Torus2D returns the w×h torus (grid with wraparound), a vertex-transitive
+// bounded-doubling-dimension family. Requires w, h ≥ 3.
+func Torus2D(w, h int) (*graph.Graph, error) {
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("gen: torus needs sides >= 3, got %d x %d", w, h)
+	}
+	b := graph.NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.AddEdge(id(x, y), id((x+1)%w, y))
+			b.AddEdge(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random attachment sequence (each new vertex attaches to a uniform earlier
+// vertex — a random recursive tree; cheap, connected, low diameter).
+func RandomTree(n int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, rng.Intn(i))
+	}
+	return b.MustBuild()
+}
+
+// BalancedBinaryTree returns the complete binary tree with the given number
+// of levels (level 1 = single root).
+func BalancedBinaryTree(levels int) (*graph.Graph, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("gen: tree needs >= 1 level, got %d", levels)
+	}
+	n := (1 << uint(levels)) - 1
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, (i-1)/2)
+	}
+	return b.Build()
+}
+
+// RandomGeometric returns a random geometric graph: n points uniform in the
+// unit square, edges between pairs at Euclidean distance ≤ radius. Isolated
+// clusters are stitched to the nearest cluster so the result is connected
+// (keeping the doubling dimension low). The point coordinates are returned
+// for visual debugging and road-network-style workloads.
+func RandomGeometric(n int, radius float64, rng *rand.Rand) (*graph.Graph, [][2]float64, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("gen: rgg needs n > 0, got %d", n)
+	}
+	if radius <= 0 {
+		return nil, nil, fmt.Errorf("gen: rgg needs radius > 0, got %g", radius)
+	}
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	// Grid-bucket the points so edge generation is O(n · pts-per-cell).
+	cell := radius
+	buckets := make(map[[2]int][]int)
+	for i, p := range pts {
+		key := [2]int{int(p[0] / cell), int(p[1] / cell)}
+		buckets[key] = append(buckets[key], i)
+	}
+	b := graph.NewBuilder(n)
+	added := make(map[uint64]bool)
+	addEdge := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(v)
+		if u == v || added[k] {
+			return
+		}
+		added[k] = true
+		b.AddEdge(u, v)
+	}
+	r2 := radius * radius
+	for key, members := range buckets {
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				other := buckets[[2]int{key[0] + dx, key[1] + dy}]
+				for _, i := range members {
+					for _, j := range other {
+						if i < j && dist2(pts[i], pts[j]) <= r2 {
+							addEdge(i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Stitch components: connect each non-primary component to the
+	// geometrically nearest vertex of the primary one.
+	g0 := mustBuildStitched(b, pts)
+	return g0, pts, nil
+}
+
+// mustBuildStitched finalizes the RGG builder, stitching components by
+// nearest point pairs until connected. It rebuilds the graph at most
+// #components times; RGGs at sensible radii have few components.
+func mustBuildStitched(b *graph.Builder, pts [][2]float64) *graph.Graph {
+	g := b.MustBuild()
+	for {
+		comp, k := g.Components()
+		if k <= 1 {
+			return g
+		}
+		// Find the closest pair across the two largest components — simply
+		// pick: nearest pair (u,v) with comp[u]=0, comp[v]!=0.
+		bestU, bestV, bestD := -1, -1, math.Inf(1)
+		for u := range pts {
+			if comp[u] != 0 {
+				continue
+			}
+			for v := range pts {
+				if comp[v] == 0 {
+					continue
+				}
+				if d := dist2(pts[u], pts[v]); d < bestD {
+					bestD, bestU, bestV = d, u, v
+				}
+			}
+		}
+		nb := graph.NewBuilder(len(pts))
+		g.ForEachEdge(func(u, v int) { nb.AddEdge(u, v) })
+		nb.AddEdge(bestU, bestV)
+		g = nb.MustBuild()
+	}
+}
+
+// RoadNetwork returns a perturbed w×h grid meant to mimic a road network:
+// each grid edge is kept with probability keep (default candidates removed
+// only when both endpoints stay connected is NOT checked here; instead we
+// delete random non-bridge edges), and a few diagonal shortcut edges are
+// added. The result is connected and has low doubling dimension.
+func RoadNetwork(w, h int, removeFrac float64, shortcuts int, rng *rand.Rand) (*graph.Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("gen: road network needs w,h >= 2, got %d x %d", w, h)
+	}
+	if removeFrac < 0 || removeFrac >= 1 {
+		return nil, fmt.Errorf("gen: removeFrac %g out of [0,1)", removeFrac)
+	}
+	g := Grid2D(w, h)
+	var edges [][2]int
+	g.ForEachEdge(func(u, v int) { edges = append(edges, [2]int{u, v}) })
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	toRemove := int(removeFrac * float64(len(edges)))
+	removed := make(map[[2]int]bool)
+	for _, e := range edges {
+		if toRemove == 0 {
+			break
+		}
+		// Tentatively remove e; keep removal only if still connected.
+		removed[e] = true
+		if roadConnected(g, removed) {
+			toRemove--
+		} else {
+			delete(removed, e)
+		}
+	}
+	nb := graph.NewBuilder(w * h)
+	g.ForEachEdge(func(u, v int) {
+		if !removed[[2]int{u, v}] {
+			nb.AddEdge(u, v)
+		}
+	})
+	id := func(x, y int) int { return y*w + x }
+	dupe := make(map[[2]int]bool)
+	g.ForEachEdge(func(u, v int) {
+		if !removed[[2]int{u, v}] {
+			dupe[[2]int{u, v}] = true
+		}
+	})
+	for s := 0; s < shortcuts; s++ {
+		x, y := rng.Intn(w-1), rng.Intn(h-1)
+		u, v := id(x, y), id(x+1, y+1)
+		if u > v {
+			u, v = v, u
+		}
+		if !dupe[[2]int{u, v}] {
+			dupe[[2]int{u, v}] = true
+			nb.AddEdge(u, v)
+		}
+	}
+	return nb.Build()
+}
+
+func roadConnected(g *graph.Graph, removed map[[2]int]bool) bool {
+	f := graph.NewFaultSet()
+	for e := range removed {
+		f.AddEdge(e[0], e[1])
+	}
+	d := g.BFSAvoiding(0, f)
+	for _, dd := range d {
+		if !graph.Reachable(dd) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErdosRenyi returns G(n, m): n vertices and m uniform random edges (no
+// duplicates). High doubling dimension with high probability — used as the
+// contrast family in the experiments.
+func ErdosRenyi(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	maxM := n * (n - 1) / 2
+	if m < 0 || m > maxM {
+		return nil, fmt.Errorf("gen: m = %d out of [0, %d]", m, maxM)
+	}
+	b := graph.NewBuilder(n)
+	added := make(map[uint64]bool, m)
+	for len(added) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(v)
+		if added[k] {
+			continue
+		}
+		added[k] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// ConnectedErdosRenyi returns a connected n-vertex graph with ~m edges: a
+// random spanning tree plus random extra edges.
+func ConnectedErdosRenyi(n, m int, rng *rand.Rand) (*graph.Graph, error) {
+	if m < n-1 {
+		return nil, fmt.Errorf("gen: connected graph needs m >= n-1 (%d < %d)", m, n-1)
+	}
+	b := graph.NewBuilder(n)
+	added := make(map[uint64]bool, m)
+	add := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(v)
+		if u == v || added[k] {
+			return false
+		}
+		added[k] = true
+		b.AddEdge(u, v)
+		return true
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i], perm[rng.Intn(i)])
+	}
+	for len(added) < m {
+		if !add(rng.Intn(n), rng.Intn(n)) && len(added) >= n*(n-1)/2 {
+			break
+		}
+	}
+	return b.Build()
+}
+
+func dist2(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return dx*dx + dy*dy
+}

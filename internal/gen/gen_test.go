@@ -1,0 +1,240 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(10)
+	if g.NumVertices() != 10 || g.NumEdges() != 9 {
+		t.Fatalf("path size = (%d,%d), want (10,9)", g.NumVertices(), g.NumEdges())
+	}
+	if g.Diameter() != 9 {
+		t.Errorf("path diameter = %d, want 9", g.Diameter())
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 8 {
+		t.Errorf("cycle edges = %d, want 8", g.NumEdges())
+	}
+	for v := 0; v < 8; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("C8 diameter = %d, want 4", g.Diameter())
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2) should fail")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(5, 4)
+	if g.NumVertices() != 20 {
+		t.Fatalf("n = %d, want 20", g.NumVertices())
+	}
+	// Edges: 4*4 horizontal rows *4? horizontal: (5-1)*4 = 16, vertical: 5*(4-1) = 15.
+	if g.NumEdges() != 31 {
+		t.Errorf("m = %d, want 31", g.NumEdges())
+	}
+	// Manhattan distances.
+	if d := g.Dist(0, 19); d != 4+3 {
+		t.Errorf("corner distance = %d, want 7", d)
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g, err := Grid([]int{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 27 {
+		t.Fatalf("n = %d, want 27", g.NumVertices())
+	}
+	// m = 3 * (2*3*3) = 54 edges.
+	if g.NumEdges() != 54 {
+		t.Errorf("m = %d, want 54", g.NumEdges())
+	}
+	if d := g.Dist(0, 26); d != 6 {
+		t.Errorf("main diagonal distance = %d, want 6", d)
+	}
+	if _, err := Grid([]int{3, 0}); err == nil {
+		t.Error("zero dimension should fail")
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	g, err := Torus2D(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 72 {
+		t.Errorf("m = %d, want 72", g.NumEdges())
+	}
+	for v := 0; v < 36; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	// Wraparound: (0,0) to (5,0) is 1 step.
+	if d := g.Dist(0, 5); d != 1 {
+		t.Errorf("wrap distance = %d, want 1", d)
+	}
+	if _, err := Torus2D(2, 5); err == nil {
+		t.Error("small torus should fail")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomTree(50, rng)
+	if g.NumEdges() != 49 {
+		t.Errorf("tree edges = %d, want 49", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Error("tree must be connected")
+	}
+}
+
+func TestBalancedBinaryTree(t *testing.T) {
+	g, err := BalancedBinaryTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 15 || g.NumEdges() != 14 {
+		t.Fatalf("size = (%d,%d), want (15,14)", g.NumVertices(), g.NumEdges())
+	}
+	if d := g.Dist(7, 14); d != 6 {
+		t.Errorf("leaf-to-leaf = %d, want 6", d)
+	}
+	if _, err := BalancedBinaryTree(0); err == nil {
+		t.Error("zero levels should fail")
+	}
+}
+
+func TestRandomGeometricConnectedAndGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, pts, err := RandomGeometric(300, 0.08, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 300 || g.NumVertices() != 300 {
+		t.Fatalf("n mismatch")
+	}
+	if !g.IsConnected() {
+		t.Error("stitched RGG must be connected")
+	}
+	// Every non-stitch edge joins points within the radius. Stitch edges
+	// are rare; verify at least 95% satisfy the radius bound.
+	within, total := 0, 0
+	g.ForEachEdge(func(u, v int) {
+		total++
+		if dist2(pts[u], pts[v]) <= 0.08*0.08+1e-12 {
+			within++
+		}
+	})
+	if total == 0 {
+		t.Fatal("rgg has no edges")
+	}
+	if float64(within) < 0.95*float64(total) {
+		t.Errorf("only %d/%d edges within radius", within, total)
+	}
+}
+
+func TestRandomGeometricRejectsBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, _, err := RandomGeometric(0, 0.1, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, _, err := RandomGeometric(10, 0, rng); err == nil {
+		t.Error("radius=0 should fail")
+	}
+}
+
+func TestRoadNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := RoadNetwork(12, 12, 0.15, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("road network must be connected")
+	}
+	grid := Grid2D(12, 12)
+	if g.NumEdges() >= grid.NumEdges()+10 {
+		t.Errorf("road network has %d edges, too many vs grid %d + 10 shortcuts",
+			g.NumEdges(), grid.NumEdges())
+	}
+	if _, err := RoadNetwork(1, 5, 0.1, 0, rng); err == nil {
+		t.Error("degenerate road network should fail")
+	}
+	if _, err := RoadNetwork(5, 5, 1.0, 0, rng); err == nil {
+		t.Error("removeFrac=1 should fail")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := ErdosRenyi(30, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 100 {
+		t.Errorf("m = %d, want 100", g.NumEdges())
+	}
+	if _, err := ErdosRenyi(5, 11, rng); err == nil {
+		t.Error("m > max should fail")
+	}
+}
+
+func TestConnectedErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := ConnectedErdosRenyi(40, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("must be connected")
+	}
+	if g.NumEdges() != 80 {
+		t.Errorf("m = %d, want 80", g.NumEdges())
+	}
+	if _, err := ConnectedErdosRenyi(10, 5, rng); err == nil {
+		t.Error("m < n-1 should fail")
+	}
+}
+
+func TestGeneratorsProduceSimpleGraphs(t *testing.T) {
+	// The builder rejects duplicates/self-loops, so a successful build is
+	// already a simplicity certificate; spot-check degrees anyway.
+	rng := rand.New(rand.NewSource(7))
+	graphs := []*graph.Graph{
+		Path(20),
+		Grid2D(6, 6),
+		RandomTree(25, rng),
+	}
+	for gi, g := range graphs {
+		for v := 0; v < g.NumVertices(); v++ {
+			seen := map[int32]bool{}
+			for _, w := range g.Neighbors(v) {
+				if int(w) == v {
+					t.Fatalf("graph %d: self loop at %d", gi, v)
+				}
+				if seen[w] {
+					t.Fatalf("graph %d: duplicate neighbor %d of %d", gi, w, v)
+				}
+				seen[w] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package graph
+
+// ArticulationPoints returns the cut vertices of the graph — the vertices
+// whose removal increases the number of connected components — via an
+// iterative Tarjan lowlink DFS (iterative so deep paths do not overflow
+// the stack). Used by the adversarial fault generators: failing a cut
+// vertex is the cheapest way to disconnect queries.
+func (g *Graph) ArticulationPoints() []int {
+	n := g.NumVertices()
+	disc := make([]int32, n) // discovery time, 0 = unvisited
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	isCut := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var timer int32
+	type frame struct {
+		v       int32
+		nextIdx int32 // index into Neighbors(v) to resume at
+		kids    int32 // DFS children (for the root rule)
+	}
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack = append(stack[:0], frame{v: int32(start)})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			nb := g.Neighbors(int(top.v))
+			advanced := false
+			for top.nextIdx < int32(len(nb)) {
+				w := nb[top.nextIdx]
+				top.nextIdx++
+				if disc[w] == 0 {
+					parent[w] = top.v
+					top.kids++
+					timer++
+					disc[w] = timer
+					low[w] = timer
+					stack = append(stack, frame{v: w})
+					advanced = true
+					break
+				}
+				if w != parent[top.v] && disc[w] < low[top.v] {
+					low[top.v] = disc[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: fold v's lowlink into its parent and apply the
+			// articulation rules.
+			v := top.v
+			kids := top.kids
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p >= 0 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if int(p) != start && low[v] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+			if int(v) == start && kids >= 2 {
+				isCut[v] = true
+			}
+		}
+	}
+	var cuts []int
+	for v, c := range isCut {
+		if c {
+			cuts = append(cuts, v)
+		}
+	}
+	return cuts
+}
+
+// Bridges returns the cut edges of the graph (edges whose removal
+// disconnects their endpoints), as (u,v) pairs with u < v, via the same
+// lowlink machinery.
+func (g *Graph) Bridges() [][2]int {
+	n := g.NumVertices()
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var timer int32
+	var bridges [][2]int
+	type frame struct {
+		v         int32
+		nextIdx   int32
+		parentDup bool // whether one parallel edge back to parent was skipped
+	}
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack = append(stack[:0], frame{v: int32(start)})
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			nb := g.Neighbors(int(top.v))
+			advanced := false
+			for top.nextIdx < int32(len(nb)) {
+				w := nb[top.nextIdx]
+				top.nextIdx++
+				if disc[w] == 0 {
+					parent[w] = top.v
+					timer++
+					disc[w] = timer
+					low[w] = timer
+					stack = append(stack, frame{v: w})
+					advanced = true
+					break
+				}
+				if w == parent[top.v] && !top.parentDup {
+					// Skip the single tree edge back to the parent (the
+					// builder rejects parallel edges, so one skip is
+					// exactly right).
+					top.parentDup = true
+					continue
+				}
+				if disc[w] < low[top.v] {
+					low[top.v] = disc[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			v := top.v
+			stack = stack[:len(stack)-1]
+			p := parent[v]
+			if p >= 0 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] > disc[p] {
+					a, b := int(p), int(v)
+					if a > b {
+						a, b = b, a
+					}
+					bridges = append(bridges, [2]int{a, b})
+				}
+			}
+		}
+	}
+	return bridges
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveArticulationPoints removes each vertex and counts components.
+func naiveArticulationPoints(t testing.TB, g *Graph) []int {
+	t.Helper()
+	_, base := g.Components()
+	var cuts []int
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		// Count components of G \ {v} among the other vertices.
+		seen := make([]bool, n)
+		seen[v] = true
+		comps := 0
+		var queue []int32
+		for s := 0; s < n; s++ {
+			if seen[s] {
+				continue
+			}
+			comps++
+			seen[s] = true
+			queue = append(queue[:0], int32(s))
+			for head := 0; head < len(queue); head++ {
+				for _, w := range g.Neighbors(int(queue[head])) {
+					if !seen[w] {
+						seen[w] = true
+						queue = append(queue, w)
+					}
+				}
+			}
+		}
+		// Removing v removes one vertex; it is a cut vertex if the rest
+		// splits into more components than before (accounting for v
+		// possibly being an isolated vertex or a whole component).
+		expected := base
+		if g.Degree(v) == 0 {
+			expected--
+		}
+		if comps > expected {
+			cuts = append(cuts, v)
+		}
+	}
+	return cuts
+}
+
+func naiveBridges(t testing.TB, g *Graph) [][2]int {
+	t.Helper()
+	var bridges [][2]int
+	g.ForEachEdge(func(u, v int) {
+		f := NewFaultSet()
+		f.AddEdge(u, v)
+		if !Reachable(g.DistAvoiding(u, v, f)) {
+			bridges = append(bridges, [2]int{u, v})
+		}
+	})
+	return bridges
+}
+
+func TestArticulationPath(t *testing.T) {
+	g := path(t, 6)
+	cuts := g.ArticulationPoints()
+	sort.Ints(cuts)
+	want := []int{1, 2, 3, 4} // all interior vertices
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+}
+
+func TestArticulationCycleHasNone(t *testing.T) {
+	b := NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		b.AddEdge(i, (i+1)%8)
+	}
+	g := b.MustBuild()
+	if cuts := g.ArticulationPoints(); len(cuts) != 0 {
+		t.Errorf("cycle has cut vertices %v", cuts)
+	}
+	if br := g.Bridges(); len(br) != 0 {
+		t.Errorf("cycle has bridges %v", br)
+	}
+}
+
+func TestBridgesPath(t *testing.T) {
+	g := path(t, 5)
+	br := g.Bridges()
+	if len(br) != 4 {
+		t.Fatalf("path bridges = %v, want all 4 edges", br)
+	}
+}
+
+func TestArticulationBarbell(t *testing.T) {
+	// Two triangles joined by a path: the joint vertices are cuts, the
+	// connecting edges are bridges.
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0) // triangle A at {0,1,2}
+	b.AddEdge(2, 3) // bridge
+	b.AddEdge(3, 4) // bridge
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 4) // triangle B at {4,5,6}
+	g := b.MustBuild()
+	cuts := g.ArticulationPoints()
+	sort.Ints(cuts)
+	if len(cuts) != 3 || cuts[0] != 2 || cuts[1] != 3 || cuts[2] != 4 {
+		t.Errorf("cuts = %v, want [2 3 4]", cuts)
+	}
+	br := g.Bridges()
+	if len(br) != 2 {
+		t.Errorf("bridges = %v, want the two path edges", br)
+	}
+}
+
+// Property: the lowlink implementations agree with brute force on random
+// graphs (connected and disconnected alike).
+func TestArticulationAgainstNaiveProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		b := NewBuilder(n)
+		added := map[uint64]bool{}
+		for i := 0; i < rng.Intn(2*n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || added[edgeKey(u, v)] {
+				continue
+			}
+			added[edgeKey(u, v)] = true
+			b.AddEdge(u, v)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		got := g.ArticulationPoints()
+		want := naiveArticulationPoints(t, g)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		gotBr := g.Bridges()
+		wantBr := naiveBridges(t, g)
+		sortPairs := func(ps [][2]int) {
+			sort.Slice(ps, func(i, j int) bool {
+				if ps[i][0] != ps[j][0] {
+					return ps[i][0] < ps[j][0]
+				}
+				return ps[i][1] < ps[j][1]
+			})
+		}
+		sortPairs(gotBr)
+		sortPairs(wantBr)
+		if len(gotBr) != len(wantBr) {
+			return false
+		}
+		for i := range gotBr {
+			if gotBr[i] != wantBr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArticulationDeepPathNoStackOverflow(t *testing.T) {
+	g := path(t, 100000)
+	cuts := g.ArticulationPoints()
+	if len(cuts) != 99998 {
+		t.Errorf("deep path cuts = %d, want 99998", len(cuts))
+	}
+	if br := g.Bridges(); len(br) != 99999 {
+		t.Errorf("deep path bridges = %d, want 99999", len(br))
+	}
+}

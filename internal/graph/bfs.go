@@ -1,0 +1,174 @@
+package graph
+
+// BFS computes single-source shortest-path distances from src in the
+// unweighted graph. Unreachable vertices get Infinity.
+func (g *Graph) BFS(src int) []int32 {
+	dist := newDistSlice(g.NumVertices())
+	q := make([]int32, 0, g.NumVertices())
+	dist[src] = 0
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u]
+		for _, w := range g.Neighbors(int(u)) {
+			if dist[w] == Infinity {
+				dist[w] = du + 1
+				q = append(q, w)
+			}
+		}
+	}
+	return dist
+}
+
+// TruncatedBFS explores vertices at distance at most radius from src and
+// calls visit(v, d) once per discovered vertex (including src at d=0) in
+// nondecreasing order of d. It allocates O(visited) rather than O(n) when
+// the caller supplies a reusable scratch; see NewBFSScratch.
+func (g *Graph) TruncatedBFS(src int, radius int32, visit func(v, d int32)) {
+	s := NewBFSScratch(g.NumVertices())
+	s.TruncatedBFS(g, src, radius, visit)
+}
+
+// BFSScratch holds reusable state for repeated truncated BFS runs over the
+// same graph size. It resets only the vertices touched by the previous run,
+// making many small-ball searches cheap.
+type BFSScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+// NewBFSScratch returns scratch state for graphs with n vertices.
+func NewBFSScratch(n int) *BFSScratch {
+	return &BFSScratch{dist: newDistSlice(n)}
+}
+
+// TruncatedBFS runs a radius-bounded BFS from src using the scratch state.
+// visit is called once per vertex within the radius, in nondecreasing
+// distance order, with its distance. The scratch is cleaned before
+// returning, so it is immediately reusable.
+func (s *BFSScratch) TruncatedBFS(g *Graph, src int, radius int32, visit func(v, d int32)) {
+	s.queue = s.queue[:0]
+	s.dist[src] = 0
+	s.queue = append(s.queue, int32(src))
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		du := s.dist[u]
+		visit(u, du)
+		if du == radius {
+			continue
+		}
+		for _, w := range g.Neighbors(int(u)) {
+			if s.dist[w] == Infinity {
+				s.dist[w] = du + 1
+				s.queue = append(s.queue, w)
+			}
+		}
+	}
+	for _, v := range s.queue {
+		s.dist[v] = Infinity
+	}
+}
+
+// MultiSourceBFS computes, for every vertex, the distance to the nearest
+// source and that source's identity. Vertices unreachable from all sources
+// get distance Infinity and source -1.
+func (g *Graph) MultiSourceBFS(sources []int) (dist []int32, nearest []int32) {
+	n := g.NumVertices()
+	dist = newDistSlice(n)
+	nearest = make([]int32, n)
+	for i := range nearest {
+		nearest[i] = -1
+	}
+	q := make([]int32, 0, n)
+	for _, s := range sources {
+		if dist[s] == Infinity {
+			dist[s] = 0
+			nearest[s] = int32(s)
+			q = append(q, int32(s))
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u]
+		for _, w := range g.Neighbors(int(u)) {
+			if dist[w] == Infinity {
+				dist[w] = du + 1
+				nearest[w] = nearest[u]
+				q = append(q, w)
+			}
+		}
+	}
+	return dist, nearest
+}
+
+// BFSAvoiding computes shortest-path distances from src in G \ F where the
+// forbidden set F is given as forbidden vertices and forbidden edges. If src
+// itself is forbidden, every vertex (including src) is Infinity.
+func (g *Graph) BFSAvoiding(src int, forbidden *FaultSet) []int32 {
+	dist := newDistSlice(g.NumVertices())
+	if forbidden.HasVertex(src) {
+		return dist
+	}
+	q := make([]int32, 0, g.NumVertices())
+	dist[src] = 0
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u]
+		for _, w := range g.Neighbors(int(u)) {
+			if dist[w] != Infinity || forbidden.HasVertex(int(w)) || forbidden.HasEdge(int(u), int(w)) {
+				continue
+			}
+			dist[w] = du + 1
+			q = append(q, w)
+		}
+	}
+	return dist
+}
+
+// DistAvoiding returns d_{G\F}(s,t), or Infinity when s and t are
+// disconnected in the surviving graph (or either endpoint is forbidden).
+func (g *Graph) DistAvoiding(s, t int, forbidden *FaultSet) int32 {
+	if forbidden.HasVertex(s) || forbidden.HasVertex(t) {
+		return Infinity
+	}
+	// Bidirectional would be faster, but exactness and simplicity win here:
+	// this is the ground-truth baseline the whole evaluation trusts.
+	return g.BFSAvoiding(s, forbidden)[t]
+}
+
+// Dist returns d_G(s,t) in the fault-free graph.
+func (g *Graph) Dist(s, t int) int32 { return g.BFS(s)[t] }
+
+// Eccentricity returns the greatest finite distance from v, i.e. the
+// eccentricity of v within its connected component.
+func (g *Graph) Eccentricity(v int) int32 {
+	var ecc int32
+	for _, d := range g.BFS(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the diameter of the graph (greatest finite pairwise
+// distance within components). It runs n BFS traversals; intended for tests
+// and generators on modest graphs.
+func (g *Graph) Diameter() int32 {
+	var diam int32
+	for v := 0; v < g.NumVertices(); v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+func newDistSlice(n int) []int32 {
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	return dist
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := path(t, 10)
+	dist := g.BFS(3)
+	for v := 0; v < 10; v++ {
+		want := v - 3
+		if want < 0 {
+			want = -want
+		}
+		if dist[v] != int32(want) {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+func TestBFSGridManhattan(t *testing.T) {
+	g := grid(t, 8, 6)
+	dist := g.BFS(0)
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 8; x++ {
+			if got, want := dist[y*8+x], int32(x+y); got != want {
+				t.Errorf("dist(0 -> (%d,%d)) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g, err := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFS(0)
+	if Reachable(dist[2]) || Reachable(dist[3]) {
+		t.Error("other component should be unreachable")
+	}
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %d, want 1", dist[1])
+	}
+}
+
+func TestTruncatedBFSMatchesFullBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnected(t, 60, 60, rng)
+		src := rng.Intn(60)
+		radius := int32(rng.Intn(6))
+		full := g.BFS(src)
+		got := map[int32]int32{}
+		g.TruncatedBFS(src, radius, func(v, d int32) {
+			if prev, dup := got[v]; dup {
+				t.Fatalf("vertex %d visited twice (d=%d then %d)", v, prev, d)
+			}
+			got[v] = d
+		})
+		for v := 0; v < 60; v++ {
+			inRange := Reachable(full[v]) && full[v] <= radius
+			d, present := got[int32(v)]
+			if inRange != present {
+				t.Fatalf("radius %d: vertex %d presence=%v, want %v", radius, v, present, inRange)
+			}
+			if present && d != full[v] {
+				t.Fatalf("vertex %d: truncated d=%d, full d=%d", v, d, full[v])
+			}
+		}
+	}
+}
+
+func TestBFSScratchReusable(t *testing.T) {
+	g := grid(t, 10, 10)
+	s := NewBFSScratch(g.NumVertices())
+	for trial := 0; trial < 5; trial++ {
+		count := 0
+		s.TruncatedBFS(g, 55, 2, func(v, d int32) { count++ })
+		// Ball of radius 2 in the interior of a 2-D grid has 13 vertices.
+		if count != 13 {
+			t.Fatalf("trial %d: ball size = %d, want 13", trial, count)
+		}
+	}
+}
+
+func TestTruncatedBFSNondecreasingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnected(t, 80, 150, rng)
+	last := int32(-1)
+	g.TruncatedBFS(17, 5, func(v, d int32) {
+		if d < last {
+			t.Fatalf("visit order regressed: %d after %d", d, last)
+		}
+		last = d
+	})
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := path(t, 11)
+	dist, nearest := g.MultiSourceBFS([]int{0, 10})
+	if dist[5] != 5 {
+		t.Errorf("dist[5] = %d, want 5", dist[5])
+	}
+	if dist[2] != 2 || nearest[2] != 0 {
+		t.Errorf("vertex 2: got (d=%d, src=%d), want (2, 0)", dist[2], nearest[2])
+	}
+	if dist[8] != 2 || nearest[8] != 10 {
+		t.Errorf("vertex 8: got (d=%d, src=%d), want (2, 10)", dist[8], nearest[8])
+	}
+}
+
+func TestMultiSourceBFSAgainstMinOfBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomConnected(t, 70, 100, rng)
+	sources := []int{3, 31, 59}
+	dist, nearest := g.MultiSourceBFS(sources)
+	per := make([][]int32, len(sources))
+	for i, s := range sources {
+		per[i] = g.BFS(s)
+	}
+	for v := 0; v < 70; v++ {
+		best := Infinity
+		for i := range sources {
+			if Reachable(per[i][v]) && (!Reachable(best) || per[i][v] < best) {
+				best = per[i][v]
+			}
+		}
+		if dist[v] != best {
+			t.Fatalf("vertex %d: multi-source %d, want %d", v, dist[v], best)
+		}
+		if Reachable(best) {
+			// nearest must achieve the min.
+			found := false
+			for i, s := range sources {
+				if int32(s) == nearest[v] && per[i][v] == best {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("vertex %d: nearest=%d does not achieve min dist", v, nearest[v])
+			}
+		}
+	}
+}
+
+func TestBFSAvoidingVertex(t *testing.T) {
+	g := grid(t, 5, 5) // 0..24, vertex (x,y) = y*5+x
+	// Block the middle column except the top row: distances must detour.
+	f := FaultVertices(2+1*5, 2+2*5, 2+3*5, 2+4*5)
+	d := g.DistAvoiding(0+2*5, 4+2*5, f) // (0,2) -> (4,2)
+	// Must go up to row 0 to cross: (0,2)->(0,0)->(4,0)->(4,2) = 2+4+2 = 8.
+	if d != 8 {
+		t.Errorf("detour distance = %d, want 8", d)
+	}
+}
+
+func TestBFSAvoidingEdge(t *testing.T) {
+	g := path(t, 4)
+	f := NewFaultSet()
+	f.AddEdge(1, 2)
+	if Reachable(g.DistAvoiding(0, 3, f)) {
+		t.Error("cutting the bridge must disconnect the path")
+	}
+	c4, _ := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if d := c4.DistAvoiding(0, 2, f); d != 2 {
+		t.Errorf("C4 avoiding (1,2): d = %d, want 2", d)
+	}
+	f2 := NewFaultSet()
+	f2.AddEdge(0, 1)
+	if d := c4.DistAvoiding(0, 1, f2); d != 3 {
+		t.Errorf("C4 avoiding edge (0,1): d(0,1) = %d, want 3", d)
+	}
+}
+
+func TestBFSAvoidingForbiddenEndpoint(t *testing.T) {
+	g := path(t, 3)
+	f := FaultVertices(0)
+	if Reachable(g.DistAvoiding(0, 2, f)) {
+		t.Error("forbidden source must be unreachable")
+	}
+	if Reachable(g.DistAvoiding(2, 0, f)) {
+		t.Error("forbidden target must be unreachable")
+	}
+}
+
+// Property: BFS distances obey the triangle-ish BFS invariant — neighbors
+// differ by at most 1, and every reachable non-source vertex has a neighbor
+// exactly one closer.
+func TestBFSInvariantProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		g := randomConnected(t, n, rng.Intn(2*n), rng)
+		src := rng.Intn(n)
+		dist := g.BFS(src)
+		for v := 0; v < n; v++ {
+			if v == src {
+				if dist[v] != 0 {
+					return false
+				}
+				continue
+			}
+			if !Reachable(dist[v]) {
+				return false // connected graph: everything reachable
+			}
+			hasParent := false
+			for _, w := range g.Neighbors(v) {
+				diff := dist[v] - dist[w]
+				if diff > 1 || diff < -1 {
+					return false
+				}
+				if diff == 1 {
+					hasParent = true
+				}
+			}
+			if !hasParent {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := path(t, 9)
+	if e := g.Eccentricity(4); e != 4 {
+		t.Errorf("Eccentricity(middle) = %d, want 4", e)
+	}
+	if d := g.Diameter(); d != 8 {
+		t.Errorf("Diameter = %d, want 8", d)
+	}
+	gr := grid(t, 4, 4)
+	if d := gr.Diameter(); d != 6 {
+		t.Errorf("grid Diameter = %d, want 6", d)
+	}
+}

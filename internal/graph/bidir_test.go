@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBidirMatchesUnidirectionalBasics(t *testing.T) {
+	g := grid(t, 9, 7)
+	f := FaultVertices(22, 31, 40)
+	for s := 0; s < 63; s += 5 {
+		for d := 0; d < 63; d += 7 {
+			want := g.DistAvoiding(s, d, f)
+			got := g.DistAvoidingBidir(s, d, f)
+			if got != want {
+				t.Fatalf("(%d,%d): bidir %d, unidir %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestBidirForbiddenEndpoints(t *testing.T) {
+	g := path(t, 6)
+	f := FaultVertices(0)
+	if Reachable(g.DistAvoidingBidir(0, 5, f)) {
+		t.Error("forbidden source must be unreachable")
+	}
+	if Reachable(g.DistAvoidingBidir(5, 0, f)) {
+		t.Error("forbidden target must be unreachable")
+	}
+	if d := g.DistAvoidingBidir(3, 3, FaultVertices(1)); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+}
+
+func TestBidirEdgeFaults(t *testing.T) {
+	c4, _ := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	f := NewFaultSet()
+	f.AddEdge(0, 1)
+	if d := c4.DistAvoidingBidir(0, 1, f); d != 3 {
+		t.Errorf("C4 minus edge: d = %d, want 3", d)
+	}
+	p := path(t, 8)
+	fb := NewFaultSet()
+	fb.AddEdge(3, 4)
+	if Reachable(p.DistAvoidingBidir(0, 7, fb)) {
+		t.Error("cut bridge must disconnect")
+	}
+}
+
+func TestBidirDisconnectedGraph(t *testing.T) {
+	g, _ := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	if Reachable(g.DistAvoidingBidir(0, 5, nil)) {
+		t.Error("cross-component must be unreachable")
+	}
+	if d := g.DistAvoidingBidir(0, 2, nil); d != 2 {
+		t.Errorf("within component d = %d, want 2", d)
+	}
+}
+
+// Property: bidirectional equals unidirectional on random graphs with
+// random fault sets — the load-bearing equivalence.
+func TestBidirEquivalenceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(70)
+		g := randomConnected(t, n, rng.Intn(2*n), rng)
+		for trial := 0; trial < 12; trial++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			f := NewFaultSet()
+			for i := 0; i < rng.Intn(5); i++ {
+				f.AddVertex(rng.Intn(n))
+			}
+			for i := 0; i < rng.Intn(3); i++ {
+				u := rng.Intn(n)
+				nb := g.Neighbors(u)
+				if len(nb) > 0 {
+					f.AddEdge(u, int(nb[rng.Intn(len(nb))]))
+				}
+			}
+			if g.DistAvoiding(s, d, f) != g.DistAvoidingBidir(s, d, f) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidirLongPath(t *testing.T) {
+	g := path(t, 5000)
+	if d := g.DistAvoidingBidir(0, 4999, nil); d != 4999 {
+		t.Errorf("long path d = %d, want 4999", d)
+	}
+	f := FaultVertices(2500)
+	if Reachable(g.DistAvoidingBidir(0, 4999, f)) {
+		t.Error("cut long path must disconnect")
+	}
+}

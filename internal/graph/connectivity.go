@@ -1,0 +1,92 @@
+package graph
+
+// DSU is a disjoint-set union (union-find) structure with path halving and
+// union by size.
+type DSU struct {
+	parent []int32
+	size   []int32
+	count  int
+}
+
+// NewDSU returns a DSU over n singleton sets.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int32, n), size: make([]int32, n), count: n}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	r := int32(x)
+	for d.parent[r] != r {
+		d.parent[r] = d.parent[d.parent[r]]
+		r = d.parent[r]
+	}
+	return int(r)
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false if they were already together).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := int32(d.Find(x)), int32(d.Find(y))
+	if rx == ry {
+		return false
+	}
+	if d.size[rx] < d.size[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	d.size[rx] += d.size[ry]
+	d.count--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (d *DSU) Connected(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// Components returns, for each vertex, a component id in [0, k) where k is
+// the number of connected components, plus k itself.
+func (g *Graph) Components() (comp []int32, k int) {
+	n := g.NumVertices()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var q []int32
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = int32(k)
+		q = append(q[:0], int32(s))
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, w := range g.Neighbors(int(u)) {
+				if comp[w] == -1 {
+					comp[w] = int32(k)
+					q = append(q, w)
+				}
+			}
+		}
+		k++
+	}
+	return comp, k
+}
+
+// IsConnected reports whether the graph is connected (the empty graph is
+// considered connected).
+func (g *Graph) IsConnected() bool {
+	_, k := g.Components()
+	return k <= 1
+}
+
+// ConnectedAvoiding reports whether s and t are connected in G \ F.
+func (g *Graph) ConnectedAvoiding(s, t int, forbidden *FaultSet) bool {
+	return Reachable(g.DistAvoiding(s, t, forbidden))
+}

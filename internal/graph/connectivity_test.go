@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDSUBasics(t *testing.T) {
+	d := NewDSU(5)
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	if !d.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if d.Union(1, 0) {
+		t.Error("repeated union should not merge")
+	}
+	d.Union(2, 3)
+	if d.Connected(0, 2) {
+		t.Error("0 and 2 should be separate")
+	}
+	d.Union(1, 3)
+	if !d.Connected(0, 2) {
+		t.Error("0 and 2 should now be connected")
+	}
+	if d.Count() != 2 {
+		t.Errorf("Count = %d, want 2", d.Count())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g, err := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, k := g.Components()
+	if k != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] {
+		t.Error("component ids within a component must match")
+	}
+	if comp[0] == comp[3] || comp[5] == comp[6] {
+		t.Error("distinct components must differ")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !path(t, 6).IsConnected() {
+		t.Error("path should be connected")
+	}
+	g, _ := FromEdges(3, [][2]int{{0, 1}})
+	if g.IsConnected() {
+		t.Error("graph with isolated vertex is not connected")
+	}
+}
+
+// Property: DSU over the edges agrees with BFS components on random graphs.
+func TestDSUAgreesWithComponents(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		b := NewBuilder(n)
+		seen := map[uint64]bool{}
+		for i := 0; i < rng.Intn(2*n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || seen[edgeKey(u, v)] {
+				continue
+			}
+			seen[edgeKey(u, v)] = true
+			b.AddEdge(u, v)
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		d := NewDSU(n)
+		g.ForEachEdge(func(u, v int) { d.Union(u, v) })
+		comp, k := g.Components()
+		if d.Count() != k {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if (comp[u] == comp[v]) != d.Connected(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnectedAvoiding(t *testing.T) {
+	g := path(t, 5)
+	if !g.ConnectedAvoiding(0, 4, nil) {
+		t.Error("nil fault set: path endpoints connected")
+	}
+	if g.ConnectedAvoiding(0, 4, FaultVertices(2)) {
+		t.Error("cutting middle vertex disconnects path")
+	}
+	if !g.ConnectedAvoiding(0, 1, FaultVertices(2)) {
+		t.Error("0 and 1 remain connected")
+	}
+}

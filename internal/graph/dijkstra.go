@@ -1,0 +1,134 @@
+package graph
+
+import "container/heap"
+
+// WeightedInfinity marks an unreachable vertex in weighted distance slices.
+const WeightedInfinity int64 = -1
+
+// Weighted is a mutable edge-weighted undirected multigraph used for the
+// query-time sketch graphs H(s,t,F). Vertices are dense integers in [0, n);
+// parallel edges are permitted (the lightest one wins during search).
+type Weighted struct {
+	n    int
+	head []int32 // per-vertex head of the arc list, -1 terminated
+	next []int32 // arc -> next arc of the same vertex
+	to   []int32 // arc -> target vertex
+	wt   []int64 // arc -> weight
+}
+
+// NewWeighted returns an empty weighted multigraph on n vertices.
+func NewWeighted(n int) *Weighted {
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &Weighted{n: n, head: head}
+}
+
+// NumVertices returns the number of vertices.
+func (w *Weighted) NumVertices() int { return w.n }
+
+// NumEdges returns the number of undirected edges added so far.
+func (w *Weighted) NumEdges() int { return len(w.to) / 2 }
+
+// AddEdge inserts the undirected edge (u,v) with the given nonnegative
+// weight. It panics on negative weights or out-of-range endpoints: the
+// sketch construction is the only caller and feeds it graph distances.
+func (w *Weighted) AddEdge(u, v int, weight int64) {
+	if weight < 0 {
+		panic("graph: negative edge weight")
+	}
+	if u < 0 || u >= w.n || v < 0 || v >= w.n {
+		panic("graph: weighted edge endpoint out of range")
+	}
+	w.addArc(u, v, weight)
+	w.addArc(v, u, weight)
+}
+
+func (w *Weighted) addArc(u, v int, weight int64) {
+	w.next = append(w.next, w.head[u])
+	w.to = append(w.to, int32(v))
+	w.wt = append(w.wt, weight)
+	w.head[u] = int32(len(w.to) - 1)
+}
+
+// Dijkstra computes single-source shortest-path distances from src.
+// Unreachable vertices get WeightedInfinity.
+func (w *Weighted) Dijkstra(src int) []int64 {
+	dist, _ := w.dijkstra(src, -1)
+	return dist
+}
+
+// ShortestPath returns d(src,dst) and one shortest path (as a vertex
+// sequence src..dst). The path is nil when dst is unreachable.
+func (w *Weighted) ShortestPath(src, dst int) (int64, []int) {
+	dist, parent := w.dijkstra(src, dst)
+	if dist[dst] == WeightedInfinity {
+		return WeightedInfinity, nil
+	}
+	var rev []int
+	for v := dst; v != src; v = int(parent[v]) {
+		rev = append(rev, v)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return dist[dst], rev
+}
+
+// Dist returns d(src,dst), or WeightedInfinity when unreachable. The search
+// terminates as soon as dst is settled.
+func (w *Weighted) Dist(src, dst int) int64 {
+	dist, _ := w.dijkstra(src, dst)
+	return dist[dst]
+}
+
+func (w *Weighted) dijkstra(src, stopAt int) (dist []int64, parent []int32) {
+	dist = make([]int64, w.n)
+	parent = make([]int32, w.n)
+	for i := range dist {
+		dist[i] = WeightedInfinity
+		parent[i] = -1
+	}
+	pq := &distHeap{}
+	dist[src] = 0
+	heap.Push(pq, distEntry{v: int32(src), d: 0})
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(distEntry)
+		if e.d != dist[e.v] {
+			continue // stale entry
+		}
+		if int(e.v) == stopAt {
+			return dist, parent
+		}
+		for arc := w.head[e.v]; arc != -1; arc = w.next[arc] {
+			t, nd := w.to[arc], e.d+w.wt[arc]
+			if dist[t] == WeightedInfinity || nd < dist[t] {
+				dist[t] = nd
+				parent[t] = e.v
+				heap.Push(pq, distEntry{v: t, d: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+type distEntry struct {
+	v int32
+	d int64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

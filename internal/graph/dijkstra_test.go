@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedBasics(t *testing.T) {
+	w := NewWeighted(4)
+	w.AddEdge(0, 1, 5)
+	w.AddEdge(1, 2, 3)
+	w.AddEdge(0, 2, 10)
+	w.AddEdge(2, 3, 1)
+	if w.NumVertices() != 4 || w.NumEdges() != 4 {
+		t.Fatalf("size = (%d,%d), want (4,4)", w.NumVertices(), w.NumEdges())
+	}
+	dist := w.Dijkstra(0)
+	want := []int64{0, 5, 8, 9}
+	for v, d := range want {
+		if dist[v] != d {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], d)
+		}
+	}
+}
+
+func TestWeightedParallelEdgesLightestWins(t *testing.T) {
+	w := NewWeighted(2)
+	w.AddEdge(0, 1, 7)
+	w.AddEdge(0, 1, 3)
+	w.AddEdge(0, 1, 9)
+	if d := w.Dist(0, 1); d != 3 {
+		t.Errorf("Dist = %d, want 3 (lightest parallel edge)", d)
+	}
+}
+
+func TestWeightedUnreachable(t *testing.T) {
+	w := NewWeighted(3)
+	w.AddEdge(0, 1, 1)
+	if d := w.Dist(0, 2); d != WeightedInfinity {
+		t.Errorf("Dist to isolated vertex = %d, want WeightedInfinity", d)
+	}
+	if d, p := w.ShortestPath(0, 2); d != WeightedInfinity || p != nil {
+		t.Errorf("ShortestPath = (%d,%v), want (inf,nil)", d, p)
+	}
+}
+
+func TestWeightedShortestPathIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 15 + rng.Intn(30)
+		w := NewWeighted(n)
+		type edge struct {
+			u, v int
+			wt   int64
+		}
+		edges := map[[2]int]int64{}
+		for i := 1; i < n; i++ {
+			u, wt := rng.Intn(i), int64(1+rng.Intn(20))
+			w.AddEdge(u, i, wt)
+			edges[[2]int{min2(u, i), max2(u, i)}] = wt
+		}
+		s, d := rng.Intn(n), rng.Intn(n)
+		got, pathVerts := w.ShortestPath(s, d)
+		if got == WeightedInfinity {
+			t.Fatalf("tree must be connected")
+		}
+		if pathVerts[0] != s || pathVerts[len(pathVerts)-1] != d {
+			t.Fatalf("path endpoints %v, want %d..%d", pathVerts, s, d)
+		}
+		var sum int64
+		for i := 1; i < len(pathVerts); i++ {
+			a, b := pathVerts[i-1], pathVerts[i]
+			wt, ok := edges[[2]int{min2(a, b), max2(a, b)}]
+			if !ok {
+				t.Fatalf("path uses nonexistent edge (%d,%d)", a, b)
+			}
+			sum += wt
+		}
+		if sum != got {
+			t.Fatalf("path weight %d != reported dist %d", sum, got)
+		}
+	}
+}
+
+func TestWeightedPanicsNegativeWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	NewWeighted(2).AddEdge(0, 1, -1)
+}
+
+// Property: Dijkstra on a unit-weighted copy of an unweighted graph equals
+// BFS. This ties the two search routines together.
+func TestDijkstraEqualsBFSOnUnitWeights(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		g := randomConnected(t, n, rng.Intn(n), rng)
+		w := NewWeighted(n)
+		g.ForEachEdge(func(u, v int) { w.AddEdge(u, v, 1) })
+		src := rng.Intn(n)
+		bd := g.BFS(src)
+		dd := w.Dijkstra(src)
+		for v := 0; v < n; v++ {
+			if int64(bd[v]) != dd[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedEarlyStopMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 50
+	w := NewWeighted(n)
+	for i := 1; i < n; i++ {
+		w.AddEdge(rng.Intn(i), i, int64(1+rng.Intn(9)))
+	}
+	for extra := 0; extra < 40; extra++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			w.AddEdge(u, v, int64(1+rng.Intn(9)))
+		}
+	}
+	full := w.Dijkstra(0)
+	for dst := 0; dst < n; dst++ {
+		if got := w.Dist(0, dst); got != full[dst] {
+			t.Fatalf("early-stop Dist(0,%d) = %d, full = %d", dst, got, full[dst])
+		}
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

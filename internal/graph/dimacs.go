@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS parses the DIMACS shortest-path format (the format of the
+// 9th DIMACS Implementation Challenge road networks, ".gr" files):
+//
+//	c <comment>
+//	p sp <n> <m>
+//	a <u> <v> <weight>     (1-indexed, directed arcs)
+//
+// Arcs are folded into undirected edges (road networks list both
+// directions; duplicates collapse, keeping the first weight). Returns the
+// unweighted topology and the per-edge weights keyed by canonical (u<v)
+// 0-indexed endpoints. Use internal/wgraph to run the weighted scheme over
+// the result.
+func ReadDIMACS(r io.Reader) (*Graph, map[[2]int]int32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var b *Builder
+	n := -1
+	weights := map[[2]int]int32{}
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			continue
+		case "p":
+			if n >= 0 {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: duplicate problem line", line)
+			}
+			if len(fields) != 4 || fields[1] != "sp" {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: want 'p sp n m'", line)
+			}
+			pn, err := strconv.Atoi(fields[2])
+			if err != nil || pn < 0 || pn > MaxReadVertices {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: bad n %q", line, fields[2])
+			}
+			n = pn
+			b = NewBuilder(n)
+		case "a":
+			if b == nil {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: arc before problem line", line)
+			}
+			if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: want 'a u v w'", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: bad arc", line)
+			}
+			if u < 1 || u > n || v < 1 || v > n {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: endpoint out of [1,%d]", line, n)
+			}
+			if w <= 0 || w > 1<<30 {
+				return nil, nil, fmt.Errorf("graph: dimacs line %d: weight %d out of range", line, w)
+			}
+			if u == v {
+				continue // ignore self-loop arcs
+			}
+			a, c := u-1, v-1
+			if a > c {
+				a, c = c, a
+			}
+			key := [2]int{a, c}
+			if _, dup := weights[key]; dup {
+				continue // reverse arc of an already-seen edge
+			}
+			weights[key] = int32(w)
+			b.AddEdge(a, c)
+		default:
+			return nil, nil, fmt.Errorf("graph: dimacs line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: dimacs scan: %w", err)
+	}
+	if b == nil {
+		return nil, nil, fmt.Errorf("graph: dimacs input has no problem line")
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: dimacs build: %w", err)
+	}
+	return g, weights, nil
+}
+
+// WriteDIMACS writes the graph in DIMACS .gr format with the given edge
+// weights (nil means all weights 1). Each undirected edge is written as
+// two arcs, as road-network files do.
+func WriteDIMACS(w io.Writer, g *Graph, weights map[[2]int]int32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), 2*g.NumEdges()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.ForEachEdge(func(u, v int) {
+		if writeErr != nil {
+			return
+		}
+		wt := int32(1)
+		if weights != nil {
+			if stored, ok := weights[[2]int{u, v}]; ok {
+				wt = stored
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "a %d %d %d\na %d %d %d\n", u+1, v+1, wt, v+1, u+1, wt); err != nil {
+			writeErr = err
+		}
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleGR = `c a little road network
+p sp 4 10
+a 1 2 3
+a 2 1 3
+a 2 3 5
+a 3 2 5
+a 3 4 2
+a 4 3 2
+a 4 1 7
+a 1 4 7
+a 1 3 1
+a 3 1 1
+`
+
+func TestReadDIMACS(t *testing.T) {
+	g, weights, err := ReadDIMACS(strings.NewReader(sampleGR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("size = (%d,%d), want (4,5)", g.NumVertices(), g.NumEdges())
+	}
+	want := map[[2]int]int32{
+		{0, 1}: 3, {1, 2}: 5, {2, 3}: 2, {0, 3}: 7, {0, 2}: 1,
+	}
+	for k, w := range want {
+		if weights[k] != w {
+			t.Errorf("weight%v = %d, want %d", k, weights[k], w)
+		}
+		if !g.HasEdge(k[0], k[1]) {
+			t.Errorf("edge %v missing", k)
+		}
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem":     "a 1 2 3\n",
+		"bad problem":    "p xx 3 3\n",
+		"double problem": "p sp 2 0\np sp 2 0\n",
+		"bad arc arity":  "p sp 2 1\na 1 2\n",
+		"out of range":   "p sp 2 1\na 1 5 1\n",
+		"bad weight":     "p sp 2 1\na 1 2 0\n",
+		"unknown record": "p sp 2 0\nz 1\n",
+		"empty":          "",
+	}
+	for name, input := range cases {
+		if _, _, err := ReadDIMACS(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadDIMACSIgnoresSelfLoopsAndComments(t *testing.T) {
+	in := "c hi\np sp 3 3\na 1 1 5\na 1 2 2\nc mid\na 2 1 2\n"
+	g, weights, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || weights[[2]int{0, 1}] != 2 {
+		t.Fatalf("got %d edges, weights %v", g.NumEdges(), weights)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g, weights, err := ReadDIMACS(strings.NewReader(sampleGR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, weights); err != nil {
+		t.Fatal(err)
+	}
+	g2, weights2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d -> %d", g.NumEdges(), g2.NumEdges())
+	}
+	for k, w := range weights {
+		if weights2[k] != w {
+			t.Errorf("weight%v %d -> %d", k, w, weights2[k])
+		}
+	}
+}
+
+func TestWriteDIMACSDefaultWeights(t *testing.T) {
+	g := path(t, 3)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, weights, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range weights {
+		if w != 1 {
+			t.Errorf("default weight%v = %d, want 1", k, w)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestFaultSetNilIsEmpty(t *testing.T) {
+	var f *FaultSet
+	if f.HasVertex(3) || f.HasEdge(1, 2) {
+		t.Error("nil fault set should contain nothing")
+	}
+	if f.Size() != 0 || f.NumVertices() != 0 || f.NumEdges() != 0 {
+		t.Error("nil fault set should have size 0")
+	}
+	if f.Vertices() != nil || f.Edges() != nil {
+		t.Error("nil fault set enumerations should be nil")
+	}
+	c := f.Clone()
+	if c == nil || c.Size() != 0 {
+		t.Error("Clone of nil should be empty non-nil set")
+	}
+}
+
+func TestFaultSetVertices(t *testing.T) {
+	f := FaultVertices(3, 1, 3) // duplicate collapses
+	if f.NumVertices() != 2 {
+		t.Errorf("NumVertices = %d, want 2", f.NumVertices())
+	}
+	if !f.HasVertex(1) || !f.HasVertex(3) || f.HasVertex(2) {
+		t.Error("membership wrong")
+	}
+	vs := f.Vertices()
+	sort.Ints(vs)
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 3 {
+		t.Errorf("Vertices = %v, want [1 3]", vs)
+	}
+}
+
+func TestFaultSetEdgesOrderInsensitive(t *testing.T) {
+	f := NewFaultSet()
+	f.AddEdge(7, 2)
+	if !f.HasEdge(2, 7) || !f.HasEdge(7, 2) {
+		t.Error("edge membership must be order-insensitive")
+	}
+	if f.HasEdge(2, 8) {
+		t.Error("absent edge reported present")
+	}
+	es := f.Edges()
+	if len(es) != 1 || es[0] != [2]int{2, 7} {
+		t.Errorf("Edges = %v, want [[2 7]]", es)
+	}
+}
+
+func TestFaultSetRemove(t *testing.T) {
+	f := FaultVertices(5)
+	f.AddEdge(1, 2)
+	f.RemoveVertex(5)
+	f.RemoveEdge(2, 1)
+	if f.Size() != 0 {
+		t.Errorf("Size = %d after removals, want 0", f.Size())
+	}
+	f.RemoveVertex(99) // no-op on absent
+	f.RemoveEdge(3, 4)
+}
+
+func TestFaultSetCloneIndependent(t *testing.T) {
+	f := FaultVertices(1)
+	f.AddEdge(2, 3)
+	c := f.Clone()
+	c.AddVertex(9)
+	c.RemoveEdge(2, 3)
+	if f.HasVertex(9) {
+		t.Error("mutating clone leaked into original (vertex)")
+	}
+	if !f.HasEdge(2, 3) {
+		t.Error("mutating clone leaked into original (edge)")
+	}
+	if c.Size() != 2 {
+		t.Errorf("clone Size = %d, want 2", c.Size())
+	}
+}
+
+func TestEdgeKeySymmetric(t *testing.T) {
+	if edgeKey(3, 9) != edgeKey(9, 3) {
+		t.Error("edgeKey must be symmetric")
+	}
+	if edgeKey(3, 9) == edgeKey(3, 8) {
+		t.Error("distinct edges must have distinct keys")
+	}
+}

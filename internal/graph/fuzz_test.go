@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the graph text parser never panics and that parsed
+// graphs round-trip through WriteTo.
+func FuzzRead(f *testing.F) {
+	f.Add("3 2\n0 1\n1 2\n")
+	f.Add("0 0\n")
+	f.Add("2 1\n0 0\n")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("write of parsed graph failed: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package graph provides the compact graph substrate used throughout the
+// repository: an immutable unweighted undirected graph in CSR (compressed
+// sparse row) form, builders, breadth-first searches (full, truncated,
+// multi-source, and fault-avoiding), a small weighted multigraph with
+// Dijkstra for query-time sketch graphs, and connectivity utilities.
+//
+// Vertices are dense integers in [0, n). The package is deliberately free of
+// any labeling-scheme logic; it is the substrate every other package builds
+// on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Infinity marks an unreachable vertex in distance slices returned by the
+// search routines. It is negative so that any comparison "dist <= r" on
+// reachable radii is naturally false for unreachable vertices only when the
+// caller checks for it explicitly; use Reachable to test.
+const Infinity int32 = -1
+
+// Reachable reports whether a distance value produced by this package
+// denotes a reachable vertex.
+func Reachable(d int32) bool { return d >= 0 }
+
+// Graph is an immutable unweighted undirected simple graph in CSR form.
+// The zero value is an empty graph with no vertices.
+type Graph struct {
+	offsets []int32 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32
+}
+
+// NumVertices returns the number of vertices n.
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the number of undirected edges m.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns a read-only view of the neighbors of v in increasing
+// order. The returned slice aliases internal storage and must not be
+// modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the edge (u,v) is present. It runs in
+// O(log deg(u)) time.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= int32(v) })
+	return i < len(nb) && nb[i] == int32(v)
+}
+
+// ForEachEdge calls fn once per undirected edge with u < v.
+func (g *Graph) ForEachEdge(fn func(u, v int)) {
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, w := range g.Neighbors(u) {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are rejected at Build time with a descriptive error.
+type Builder struct {
+	n     int
+	us    []int32
+	vs    []int32
+	valid bool
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, valid: true}
+}
+
+// AddEdge records the undirected edge (u,v). Order of endpoints is
+// irrelevant. It panics if either endpoint is out of range, since that is a
+// programming error at the call site, never a data error.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+}
+
+// Build finalizes the builder into an immutable Graph. It returns an error
+// on self-loops or duplicate edges. The builder can not be reused after
+// Build.
+func (b *Builder) Build() (*Graph, error) {
+	if !b.valid {
+		return nil, fmt.Errorf("graph: builder reused after Build")
+	}
+	b.valid = false
+	deg := make([]int32, b.n+1)
+	for i := range b.us {
+		if b.us[i] == b.vs[i] {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", b.us[i])
+		}
+		deg[b.us[i]+1]++
+		deg[b.vs[i]+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		deg[i] += deg[i-1]
+	}
+	adj := make([]int32, 2*len(b.us))
+	next := make([]int32, b.n)
+	copy(next, deg[:b.n])
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		adj[next[u]] = v
+		next[u]++
+		adj[next[v]] = u
+		next[v]++
+	}
+	g := &Graph{offsets: deg, adj: adj}
+	for v := 0; v < b.n; v++ {
+		nb := adj[deg[v]:deg[v+1]]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		for i := 1; i < len(nb); i++ {
+			if nb[i] == nb[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, nb[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build for graphs constructed from trusted generators; it
+// panics on error. Intended for tests and generators whose inputs are
+// correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

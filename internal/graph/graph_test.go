@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func path(t testing.TB, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build path: %v", err)
+	}
+	return g
+}
+
+func grid(t testing.TB, w, h int) *Graph {
+	t.Helper()
+	b := NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build grid: %v", err)
+	}
+	return g
+}
+
+// randomConnected returns a random connected graph: a random spanning tree
+// plus extra random edges.
+func randomConnected(t testing.TB, n, extra int, rng *rand.Rand) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	seen := map[uint64]bool{}
+	add := func(u, v int) bool {
+		if u == v {
+			return false
+		}
+		k := edgeKey(u, v)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		b.AddEdge(u, v)
+		return true
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		add(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < extra; i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build random: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := path(t, 5)
+	if got := g.NumVertices(); got != 5 {
+		t.Errorf("NumVertices = %d, want 5", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	if got := g.Degree(0); got != 1 {
+		t.Errorf("Degree(0) = %d, want 1", got)
+	}
+	if got := g.Degree(2); got != 2 {
+		t.Errorf("Degree(2) = %d, want 2", got)
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("HasEdge(1,2) should hold in both orders")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) should be false")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+}
+
+func TestBuilderRejectsDuplicate(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected duplicate-edge error")
+	}
+}
+
+func TestBuilderRejectsReuse(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("first build: %v", err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected reuse error")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 2)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(t, 100, 300, rng)
+	for v := 0; v < g.NumVertices(); v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("neighbors of %d not strictly sorted: %v", v, nb)
+			}
+		}
+	}
+}
+
+func TestForEachEdgeCountsEachOnce(t *testing.T) {
+	g := grid(t, 7, 5)
+	count := 0
+	g.ForEachEdge(func(u, v int) {
+		if u >= v {
+			t.Fatalf("ForEachEdge gave u=%d >= v=%d", u, v)
+		}
+		count++
+	})
+	if count != g.NumEdges() {
+		t.Errorf("ForEachEdge visited %d edges, want %d", count, g.NumEdges())
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.Dist(0, 2) != 2 {
+		t.Errorf("Dist(0,2) = %d, want 2 on C4", g.Dist(0, 2))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Error("zero Graph should be empty")
+	}
+	b := NewBuilder(0)
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatalf("build empty: %v", err)
+	}
+	if g2.NumVertices() != 0 {
+		t.Error("empty build should have 0 vertices")
+	}
+	if !g2.IsConnected() {
+		t.Error("empty graph is connected by convention")
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g, err := FromEdges(5, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(4) != 0 {
+		t.Error("vertex 4 should be isolated")
+	}
+	if Reachable(g.Dist(0, 4)) {
+		t.Error("isolated vertex should be unreachable")
+	}
+}

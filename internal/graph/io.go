@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteTo serializes the graph in a minimal text format:
+//
+//	n m
+//	u v        (one line per undirected edge, u < v)
+//
+// The format is stable and intended for the CLI tools and test fixtures.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	var writeErr error
+	g.ForEachEdge(func(u, v int) {
+		if writeErr != nil {
+			return
+		}
+		n, err := fmt.Fprintf(bw, "%d %d\n", u, v)
+		total += int64(n)
+		writeErr = err
+	})
+	if writeErr != nil {
+		return total, writeErr
+	}
+	return total, bw.Flush()
+}
+
+// MaxReadVertices bounds the vertex count Read accepts — an
+// anti-amplification limit so a tiny header cannot demand a giant
+// allocation. 16M vertices is far beyond anything this repository
+// processes.
+const MaxReadVertices = 1 << 24
+
+// Read parses the text format produced by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: read header: %w", err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative header values n=%d m=%d", n, m)
+	}
+	if n > MaxReadVertices {
+		return nil, fmt.Errorf("graph: header n=%d exceeds limit %d", n, MaxReadVertices)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		var u, v int
+		if _, err := fmt.Fscan(br, &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: read edge %d: %w", i, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d,%d) out of range [0,%d)", i, u, v, n)
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}

@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(t, 40, 60, rng)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	g.ForEachEdge(func(u, v int) {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+		}
+	})
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a graph")); err == nil {
+		t.Error("expected error on garbage header")
+	}
+	if _, err := Read(strings.NewReader("-1 0\n")); err == nil {
+		t.Error("expected error on negative n")
+	}
+}
+
+func TestReadRejectsOutOfRangeEdge(t *testing.T) {
+	if _, err := Read(strings.NewReader("2 1\n0 5\n")); err == nil {
+		t.Error("expected error on out-of-range edge")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	if _, err := Read(strings.NewReader("3 2\n0 1\n")); err == nil {
+		t.Error("expected error on missing edge line")
+	}
+}

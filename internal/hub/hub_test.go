@@ -1,0 +1,114 @@
+package hub
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+func TestExactOnGrid(t *testing.T) {
+	g := gen.Grid2D(7, 6)
+	l := Build(g)
+	for u := 0; u < 42; u++ {
+		dist := g.BFS(u)
+		for v := 0; v < 42; v++ {
+			got, ok := l.Dist(u, v)
+			if !ok || got != dist[v] {
+				t.Fatalf("Dist(%d,%d) = (%d,%v), want %d", u, v, got, ok, dist[v])
+			}
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	l := Build(g)
+	if _, ok := l.Dist(0, 3); ok {
+		t.Error("cross-component hub query must fail")
+	}
+	if d, ok := l.Dist(0, 1); !ok || d != 1 {
+		t.Errorf("Dist(0,1) = (%d,%v)", d, ok)
+	}
+	if d, ok := l.Dist(4, 4); !ok || d != 0 {
+		t.Errorf("isolated self distance = (%d,%v)", d, ok)
+	}
+}
+
+// Property: exactness on random connected graphs.
+func TestExactnessProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		g, err := gen.ConnectedErdosRenyi(n, n-1+rng.Intn(n), rng)
+		if err != nil {
+			return false
+		}
+		l := Build(g)
+		for trial := 0; trial < 15; trial++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			want := g.Dist(u, v)
+			got, ok := l.Dist(u, v)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pruning must keep labels far below the trivial n entries on structured
+// graphs.
+func TestPruningEffective(t *testing.T) {
+	g := gen.Grid2D(12, 12)
+	l := Build(g)
+	n := g.NumVertices()
+	avg := float64(l.TotalEntries()) / float64(n)
+	if avg > float64(n)/4 {
+		t.Errorf("average hub count %.1f — pruning ineffective (n=%d)", avg, n)
+	}
+	for v := 0; v < n; v++ {
+		if l.NumEntries(v) == 0 {
+			t.Fatalf("vertex %d has no hubs", v)
+		}
+	}
+}
+
+func TestLabelBitsPositiveAndOrdered(t *testing.T) {
+	g := gen.Path(50)
+	l := Build(g)
+	for v := 0; v < 50; v += 7 {
+		if l.LabelBits(v) <= 0 {
+			t.Fatalf("LabelBits(%d) = %d", v, l.LabelBits(v))
+		}
+		lab := l.labels[v]
+		for i := 1; i < len(lab); i++ {
+			if lab[i-1].Rank >= lab[i].Rank {
+				t.Fatalf("label of %d not rank-sorted", v)
+			}
+		}
+	}
+}
+
+func TestHubLabelsSmallOnPath(t *testing.T) {
+	// Paths: PLL gives O(log n) hubs per vertex.
+	g := gen.Path(256)
+	l := Build(g)
+	maxHubs := 0
+	for v := 0; v < 256; v++ {
+		if h := l.NumEntries(v); h > maxHubs {
+			maxHubs = h
+		}
+	}
+	if maxHubs > 24 { // ~ 2 log2(256) + slack
+		t.Errorf("max hubs on P_256 = %d, expected logarithmic", maxHubs)
+	}
+}

@@ -1,0 +1,42 @@
+package labelstore
+
+import (
+	"bytes"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+)
+
+// FuzzLoad asserts Load never panics or over-allocates on arbitrary input.
+func FuzzLoad(f *testing.F) {
+	b := graph.NewBuilder(9)
+	for i := 0; i+1 < 9; i++ {
+		b.AddEdge(i, i+1)
+	}
+	s, err := core.BuildScheme(b.MustBuild(), 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("FSDL1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A loaded store must answer membership and size queries and
+		// decode labels without panicking.
+		st.SizeBits()
+		for v := 0; v < st.NumVertices() && v < 16; v++ {
+			if st.Has(v) {
+				st.Label(v)
+			}
+		}
+	})
+}

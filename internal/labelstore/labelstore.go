@@ -1,0 +1,287 @@
+// Package labelstore persists serialized labels: the deployment artifact
+// of the paper's model, where a device (a phone with a map region, a
+// router) downloads only the labels it needs and answers every distance
+// query locally, offline, from those labels alone.
+//
+// A store file is a simple container:
+//
+//	magic "FSDL1", version byte
+//	uvarint n            (vertex-id space of the graph)
+//	uvarint count        (number of labels stored)
+//	count × records:     uvarint vertex, uvarint bitLen, bytes ⌈bitLen/8⌉
+//
+// Stores can hold all n labels (the full oracle) or any subset — e.g. a
+// region bundle produced by SaveRegion.
+package labelstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+)
+
+var magic = []byte("FSDL1")
+
+// Save writes the labels of the given vertices (all vertices when nil) to
+// w. Labels are extracted from the scheme on the fly, so memory stays
+// bounded by one label.
+func Save(w io.Writer, s *core.Scheme, vertices []int) error {
+	n := s.Graph().NumVertices()
+	if vertices == nil {
+		vertices = make([]int, n)
+		for i := range vertices {
+			vertices[i] = i
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return fmt.Errorf("labelstore: write magic: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:k])
+		return err
+	}
+	if err := writeUvarint(uint64(n)); err != nil {
+		return fmt.Errorf("labelstore: write n: %w", err)
+	}
+	if err := writeUvarint(uint64(len(vertices))); err != nil {
+		return fmt.Errorf("labelstore: write count: %w", err)
+	}
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return fmt.Errorf("labelstore: vertex %d out of range [0,%d)", v, n)
+		}
+		buf, nbits := s.Label(v).Encode()
+		if err := writeUvarint(uint64(v)); err != nil {
+			return fmt.Errorf("labelstore: write vertex: %w", err)
+		}
+		if err := writeUvarint(uint64(nbits)); err != nil {
+			return fmt.Errorf("labelstore: write bit length: %w", err)
+		}
+		if _, err := bw.Write(buf[:(nbits+7)/8]); err != nil {
+			return fmt.Errorf("labelstore: write label: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveRegion writes the labels of every vertex within the given radius of
+// center — the "download the data structure for your region" bundle.
+func SaveRegion(w io.Writer, s *core.Scheme, center int, radius int32) error {
+	var region []int
+	s.Graph().TruncatedBFS(center, radius, func(v, _ int32) {
+		region = append(region, int(v))
+	})
+	return Save(w, s, region)
+}
+
+// Store is a loaded label container. Labels are kept serialized and
+// decoded on demand, so a Store costs what the file costs.
+type Store struct {
+	n      int
+	labels map[int32]record
+}
+
+type record struct {
+	bits int
+	data []byte
+}
+
+// Load reads a store produced by Save.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("labelstore: read magic: %w", err)
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("labelstore: bad magic %q", head)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("labelstore: read n: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("labelstore: read count: %w", err)
+	}
+	if count > n {
+		return nil, fmt.Errorf("labelstore: count %d exceeds n %d", count, n)
+	}
+	st := &Store{n: int(n), labels: make(map[int32]record, count)}
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: read vertex (record %d): %w", i, err)
+		}
+		if v >= n {
+			return nil, fmt.Errorf("labelstore: vertex %d out of range", v)
+		}
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: read bit length (record %d): %w", i, err)
+		}
+		if bits > 1<<40 {
+			return nil, fmt.Errorf("labelstore: implausible label size %d bits", bits)
+		}
+		data := make([]byte, (bits+7)/8)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("labelstore: read label bytes (record %d): %w", i, err)
+		}
+		st.labels[int32(v)] = record{bits: int(bits), data: data}
+	}
+	return st, nil
+}
+
+// NumVertices returns the vertex-id space of the underlying graph.
+func (st *Store) NumVertices() int { return st.n }
+
+// NumLabels returns how many labels the store holds.
+func (st *Store) NumLabels() int { return len(st.labels) }
+
+// Has reports whether the label of v is present.
+func (st *Store) Has(v int) bool {
+	_, ok := st.labels[int32(v)]
+	return ok
+}
+
+// SizeBits returns the total stored label payload in bits.
+func (st *Store) SizeBits() int64 {
+	var total int64
+	for _, rec := range st.labels {
+		total += int64(rec.bits)
+	}
+	return total
+}
+
+// Label decodes the label of v.
+func (st *Store) Label(v int) (*core.Label, error) {
+	rec, ok := st.labels[int32(v)]
+	if !ok {
+		return nil, fmt.Errorf("labelstore: no label for vertex %d", v)
+	}
+	return core.DecodeLabel(rec.data, rec.bits)
+}
+
+// Distance answers the forbidden-set query (src, dst, F) from stored
+// labels only. It fails with an error when a needed label is missing from
+// the store (e.g. a query leaving the downloaded region).
+func (st *Store) Distance(src, dst int, faults *graph.FaultSet) (int64, bool, error) {
+	if faults.HasVertex(src) || faults.HasVertex(dst) {
+		return 0, false, nil
+	}
+	ls, err := st.Label(src)
+	if err != nil {
+		return 0, false, err
+	}
+	lt, err := st.Label(dst)
+	if err != nil {
+		return 0, false, err
+	}
+	q := &core.Query{S: ls, T: lt}
+	for _, f := range faults.Vertices() {
+		lf, err := st.Label(f)
+		if err != nil {
+			return 0, false, err
+		}
+		q.VertexFaults = append(q.VertexFaults, lf)
+	}
+	for _, e := range faults.Edges() {
+		la, err := st.Label(e[0])
+		if err != nil {
+			return 0, false, err
+		}
+		lb, err := st.Label(e[1])
+		if err != nil {
+			return 0, false, err
+		}
+		q.EdgeFaults = append(q.EdgeFaults, [2]*core.Label{la, lb})
+	}
+	d, ok := q.Distance()
+	return d, ok, nil
+}
+
+// Merge combines label stores over the same graph (e.g. two adjacent
+// region bundles downloaded separately) into one. Overlapping labels must
+// be identical; conflicting stores (different graphs or schemes) are
+// rejected.
+func Merge(stores ...*Store) (*Store, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("labelstore: nothing to merge")
+	}
+	out := &Store{n: stores[0].n, labels: map[int32]record{}}
+	for si, st := range stores {
+		if st.n != out.n {
+			return nil, fmt.Errorf("labelstore: store %d has n=%d, want %d", si, st.n, out.n)
+		}
+		for v, rec := range st.labels {
+			if prev, ok := out.labels[v]; ok {
+				if prev.bits != rec.bits || !bytesEqual(prev.data, rec.data) {
+					return nil, fmt.Errorf("labelstore: conflicting labels for vertex %d", v)
+				}
+				continue
+			}
+			out.labels[v] = rec
+		}
+	}
+	return out, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Save writes the store back out in the container format, so merged
+// bundles can be redistributed.
+func (st *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return fmt.Errorf("labelstore: write magic: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:k])
+		return err
+	}
+	if err := writeUvarint(uint64(st.n)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(st.labels))); err != nil {
+		return err
+	}
+	// Deterministic order: ascending vertex id.
+	ids := make([]int, 0, len(st.labels))
+	for v := range st.labels {
+		ids = append(ids, int(v))
+	}
+	sort.Ints(ids)
+	for _, v := range ids {
+		rec := st.labels[int32(v)]
+		if err := writeUvarint(uint64(v)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(rec.bits)); err != nil {
+			return err
+		}
+		if _, err := bw.Write(rec.data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

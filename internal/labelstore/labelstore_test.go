@@ -1,0 +1,239 @@
+package labelstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+func buildScheme(t testing.TB, g *graph.Graph) *core.Scheme {
+	t.Helper()
+	s, err := core.BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadAllLabels(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices() != 36 || st.NumLabels() != 36 {
+		t.Fatalf("store = (%d,%d), want (36,36)", st.NumVertices(), st.NumLabels())
+	}
+	if st.SizeBits() <= 0 {
+		t.Fatal("store must report its size")
+	}
+	// Every stored label decodes and matches the scheme's.
+	for v := 0; v < 36; v += 7 {
+		got, err := st.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.Label(v)
+		if got.V != want.V || got.NumPoints() != want.NumPoints() || got.NumEdges() != want.NumEdges() {
+			t.Fatalf("label %d differs after round trip", v)
+		}
+	}
+}
+
+func TestStoreQueriesMatchScheme(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := graph.FaultVertices(14, 21)
+	f.AddEdge(0, 1)
+	gotD, gotOK, err := st.Distance(0, 35, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD, wantOK := s.Distance(0, 35, f)
+	if gotD != wantD || gotOK != wantOK {
+		t.Fatalf("store query = (%d,%v), scheme = (%d,%v)", gotD, gotOK, wantD, wantOK)
+	}
+	if _, ok, err := st.Distance(0, 35, graph.FaultVertices(0)); err != nil || ok {
+		t.Errorf("forbidden endpoint: got (%v,%v)", ok, err)
+	}
+}
+
+func TestRegionBundle(t *testing.T) {
+	g := gen.Grid2D(10, 10)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	center, radius := 55, int32(3)
+	if err := SaveRegion(&buf, s, center, radius); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A radius-3 interior ball in a grid has 25 vertices.
+	if st.NumLabels() != 25 {
+		t.Fatalf("region has %d labels, want 25", st.NumLabels())
+	}
+	if !st.Has(center) || !st.Has(center+3) {
+		t.Error("region must contain its center and boundary")
+	}
+	if st.Has(0) {
+		t.Error("corner is outside the region")
+	}
+	// In-region query works, out-of-region query errors cleanly.
+	if _, _, err := st.Distance(center, center+3, nil); err != nil {
+		t.Errorf("in-region query failed: %v", err)
+	}
+	if _, _, err := st.Distance(center, 0, nil); err == nil {
+		t.Error("out-of-region query must error")
+	}
+	if !strings.Contains(strBundleErr(st), "no label") {
+		t.Error("missing-label error should be descriptive")
+	}
+}
+
+func strBundleErr(st *Store) string {
+	_, _, err := st.Distance(0, 1, nil)
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestSaveSubsetValidation(t *testing.T) {
+	g := gen.Path(5)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, []int{0, 99}); err == nil {
+		t.Error("out-of-range vertex must be rejected")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	g := gen.Path(8)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := Load(bytes.NewReader([]byte("WRONG"))); err == nil {
+		t.Error("bad magic must fail")
+	}
+	if _, err := Load(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("truncated store must fail")
+	}
+	// Flip a byte inside a label payload: either the decode fails later
+	// (when the label is used) or the content differs; Load itself only
+	// guarantees structural integrity, so just ensure no panic.
+	mut := append([]byte(nil), good...)
+	mut[len(mut)-3] ^= 0xff
+	if st, err := Load(bytes.NewReader(mut)); err == nil {
+		for v := 0; v < 8; v++ {
+			st.Label(v) // must not panic
+		}
+	}
+}
+
+func TestStoreOnDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(8)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Distance(0, 3, nil); err != nil || ok {
+		t.Errorf("cross-component query = (%v,%v), want disconnected", ok, err)
+	}
+}
+
+func TestMergeRegionBundles(t *testing.T) {
+	g := gen.Grid2D(10, 10)
+	s := buildScheme(t, g)
+	load := func(center int, radius int32) *Store {
+		var buf bytes.Buffer
+		if err := SaveRegion(&buf, s, center, radius); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	west := load(33, 3)
+	east := load(66, 3) // overlapping middle
+	merged, err := Merge(west, east)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumLabels() >= west.NumLabels()+east.NumLabels() {
+		t.Errorf("merge did not dedupe the overlap: %d vs %d+%d",
+			merged.NumLabels(), west.NumLabels(), east.NumLabels())
+	}
+	// A query spanning the two regions now works.
+	if _, _, err := merged.Distance(33, 66, nil); err != nil {
+		t.Errorf("cross-region query after merge failed: %v", err)
+	}
+	// Merged bundle re-saves and reloads.
+	var buf bytes.Buffer
+	if err := merged.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumLabels() != merged.NumLabels() || again.SizeBits() != merged.SizeBits() {
+		t.Error("re-saved merged bundle differs")
+	}
+}
+
+func TestMergeRejectsMismatch(t *testing.T) {
+	gA := gen.Grid2D(5, 5)
+	gB := gen.Grid2D(6, 6)
+	sA, sB := buildScheme(t, gA), buildScheme(t, gB)
+	var a, b bytes.Buffer
+	if err := Save(&a, sA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, sB, nil); err != nil {
+		t.Fatal(err)
+	}
+	stA, _ := Load(&a)
+	stB, _ := Load(&b)
+	if _, err := Merge(stA, stB); err == nil {
+		t.Error("different graphs must not merge")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge must error")
+	}
+}

@@ -1,0 +1,258 @@
+// Package lowerbound implements the machinery of the paper's Section 3
+// (Theorem 3.1): the grid variants G_{p,d} and H_{p,d}, the graph family
+// 𝓕_{n,α} of all subgraphs of G_{p,d} containing H_{p,d}, the
+// adjacency-reconstruction attack that turns any forbidden-set
+// connectivity oracle into an encoding of its graph, and the resulting
+// information-theoretic counting: any forbidden-set connectivity labeling
+// scheme on doubling-dimension-α graphs needs Ω(2^{α/2} + log n)-bit
+// labels.
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsdl/internal/graph"
+)
+
+// GridPD returns G_{p,d}: vertices are the tuples (x_1,…,x_d) with
+// x_i ∈ {0,…,p−1}; two vertices are adjacent iff max_i |x_i−y_i| = 1
+// ("king moves"). The doubling dimension of G_{p,d} is at most d.
+func GridPD(p, d int) (*graph.Graph, error) {
+	return buildPD(p, d, func(delta []int) bool { return true })
+}
+
+// HPD returns H_{p,d}: adjacency additionally requires Σ_i |x_i−y_i| ≤ d/2.
+// H_{p,d} is a 2-spanner of G_{p,d} with at most half its edges. d must be
+// even.
+func HPD(p, d int) (*graph.Graph, error) {
+	if d%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: H_{p,d} needs even d, got %d", d)
+	}
+	return buildPD(p, d, func(delta []int) bool {
+		sum := 0
+		for _, x := range delta {
+			sum += x
+		}
+		return sum <= d/2
+	})
+}
+
+func buildPD(p, d int, keep func(delta []int) bool) (*graph.Graph, error) {
+	if p < 2 || d < 1 {
+		return nil, fmt.Errorf("lowerbound: need p >= 2, d >= 1, got p=%d d=%d", p, d)
+	}
+	n := 1
+	for i := 0; i < d; i++ {
+		if n > (1<<28)/p {
+			return nil, fmt.Errorf("lowerbound: p^d too large")
+		}
+		n *= p
+	}
+	b := graph.NewBuilder(n)
+	coord := make([]int, d)
+	delta := make([]int, d)
+	// Enumerate each vertex and its lexicographically-larger neighbors.
+	var rec func(axis, u, v int, any bool)
+	rec = func(axis, u, v int, any bool) {
+		if axis == d {
+			if any && v > u && keep(delta) {
+				b.AddEdge(u, v)
+			}
+			return
+		}
+		stride := 1
+		for i := 0; i < axis; i++ {
+			stride *= p
+		}
+		for dd := -1; dd <= 1; dd++ {
+			o := coord[axis] + dd
+			if o < 0 || o >= p {
+				continue
+			}
+			if dd < 0 {
+				delta[axis] = -dd
+			} else {
+				delta[axis] = dd
+			}
+			rec(axis+1, u, v+o*stride, any || dd != 0)
+		}
+	}
+	for u := 0; u < n; u++ {
+		x := u
+		for i := 0; i < d; i++ {
+			coord[i] = x % p
+			x /= p
+		}
+		rec(0, u, 0, false)
+	}
+	return b.Build()
+}
+
+// FreeEdges returns E(G_{p,d}) \ E(H_{p,d}) — the edges a family member is
+// free to include or exclude. Each subset of these edges added to H_{p,d}
+// is a distinct member of 𝓕_{n,α}, so |𝓕| = 2^{|FreeEdges|}.
+func FreeEdges(p, d int) ([][2]int, error) {
+	g, err := GridPD(p, d)
+	if err != nil {
+		return nil, err
+	}
+	h, err := HPD(p, d)
+	if err != nil {
+		return nil, err
+	}
+	var free [][2]int
+	g.ForEachEdge(func(u, v int) {
+		if !h.HasEdge(u, v) {
+			free = append(free, [2]int{u, v})
+		}
+	})
+	return free, nil
+}
+
+// RandomFamilyMember samples a uniform member of 𝓕_{n,α}: H_{p,d} plus an
+// independent coin flip per free edge. It returns the graph and the chosen
+// free-edge subset (the "message" the reconstruction attack recovers).
+func RandomFamilyMember(p, d int, rng *rand.Rand) (*graph.Graph, map[[2]int]bool, error) {
+	h, err := HPD(p, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	free, err := FreeEdges(p, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	chosen := map[[2]int]bool{}
+	b := graph.NewBuilder(h.NumVertices())
+	h.ForEachEdge(func(u, v int) { b.AddEdge(u, v) })
+	for _, e := range free {
+		if rng.Intn(2) == 1 {
+			chosen[e] = true
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, chosen, nil
+}
+
+// ConnOracle is any forbidden-set connectivity oracle: Connected must
+// report whether u and v lie in the same component of G \ F.
+type ConnOracle interface {
+	Connected(u, v int, faults *graph.FaultSet) bool
+}
+
+// ExactConnOracle answers connectivity queries by direct search on the
+// graph — the information-theoretic adversary's "free" oracle, used to
+// validate the attack and to drive large instances.
+type ExactConnOracle struct {
+	G *graph.Graph
+}
+
+// Connected implements ConnOracle exactly.
+func (o ExactConnOracle) Connected(u, v int, faults *graph.FaultSet) bool {
+	if u == v {
+		return !faults.HasVertex(u)
+	}
+	return o.G.ConnectedAvoiding(u, v, faults)
+}
+
+// ReconstructAdjacency mounts the Theorem 3.1 attack: for every vertex
+// pair (i,j) it issues the "everywhere failure" query F(i,j) = V \ {i,j};
+// the answer is true iff (i,j) is an edge. The oracle's answers therefore
+// encode the whole graph, so the oracle (and hence n times the label
+// length) must have at least log₂|𝓕| bits on some member of the family.
+func ReconstructAdjacency(n int, o ConnOracle) (*graph.Graph, error) {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			f := graph.NewFaultSet()
+			for v := 0; v < n; v++ {
+				if v != i && v != j {
+					f.AddVertex(v)
+				}
+			}
+			if o.Connected(i, j, f) {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Bound is the counting lower bound instantiated for concrete (p,d).
+type Bound struct {
+	P, D int
+	// N is the number of vertices p^d; Alpha = 2d is the doubling
+	// dimension bound of the family.
+	N, Alpha int
+	// GridEdges and SpannerEdges are |E(G_{p,d})| and |E(H_{p,d})|.
+	GridEdges, SpannerEdges int
+	// FreeEdges = GridEdges − SpannerEdges = log₂|𝓕_{n,α}|.
+	FreeEdges int
+	// BitsPerLabel is the per-label lower bound FreeEdges / N — the
+	// quantity Theorem 3.1 shows is Ω(2^{α/2}).
+	BitsPerLabel float64
+}
+
+// CountingBound computes the Theorem 3.1 counting quantities for (p,d).
+func CountingBound(p, d int) (Bound, error) {
+	g, err := GridPD(p, d)
+	if err != nil {
+		return Bound{}, err
+	}
+	h, err := HPD(p, d)
+	if err != nil {
+		return Bound{}, err
+	}
+	bnd := Bound{
+		P:            p,
+		D:            d,
+		N:            g.NumVertices(),
+		Alpha:        2 * d,
+		GridEdges:    g.NumEdges(),
+		SpannerEdges: h.NumEdges(),
+		FreeEdges:    g.NumEdges() - h.NumEdges(),
+	}
+	bnd.BitsPerLabel = float64(bnd.FreeEdges) / float64(bnd.N)
+	return bnd, nil
+}
+
+// VerifySpanner checks that H_{p,d} is a 2-spanner of G_{p,d}: every grid
+// edge's endpoints are at distance ≤ 2 in H. Returns the first violation.
+func VerifySpanner(p, d int) error {
+	g, err := GridPD(p, d)
+	if err != nil {
+		return err
+	}
+	h, err := HPD(p, d)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for u := 0; u < g.NumVertices() && firstErr == nil; u++ {
+		distH := h.BFS(u)
+		for _, v := range g.Neighbors(u) {
+			if !graph.Reachable(distH[v]) || distH[v] > 2 {
+				firstErr = fmt.Errorf("lowerbound: edge (%d,%d) stretched to %d in H_{%d,%d}",
+					u, v, distH[v], p, d)
+				break
+			}
+		}
+	}
+	return firstErr
+}
+
+// DistinctLabels counts the number of distinct label bit strings in the
+// given encoded label set. Theorem 3.1's final argument shows any
+// forbidden-set connectivity labeling on P_n needs at least n−2 distinct
+// labels.
+func DistinctLabels(encoded [][]byte) int {
+	seen := map[string]bool{}
+	for _, b := range encoded {
+		seen[string(b)] = true
+	}
+	return len(seen)
+}

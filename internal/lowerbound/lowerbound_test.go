@@ -1,0 +1,265 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+	"fsdl/internal/oracle"
+)
+
+func TestGridPDSmall(t *testing.T) {
+	// G_{3,1} is the path P3 with no diagonal (d=1): edges (0,1),(1,2).
+	g, err := GridPD(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("G_{3,1} = (%d,%d), want (3,2)", g.NumVertices(), g.NumEdges())
+	}
+	// G_{2,2}: the 2x2 king graph = K4.
+	g22, err := GridPD(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g22.NumVertices() != 4 || g22.NumEdges() != 6 {
+		t.Fatalf("G_{2,2} = (%d,%d), want (4,6)", g22.NumVertices(), g22.NumEdges())
+	}
+}
+
+func TestGridPDDegreeInterior(t *testing.T) {
+	// Interior vertices of G_{p,d} have degree 3^d - 1.
+	g, err := GridPD(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := 2 + 2*5
+	if got := g.Degree(center); got != 8 {
+		t.Errorf("interior degree = %d, want 8", got)
+	}
+	if got := g.Degree(0); got != 3 {
+		t.Errorf("corner degree = %d, want 3", got)
+	}
+}
+
+func TestHPDIsSubgraphAndHalf(t *testing.T) {
+	for _, pd := range [][2]int{{3, 2}, {4, 2}, {2, 4}, {3, 4}} {
+		p, d := pd[0], pd[1]
+		g, err := GridPD(p, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := HPD(p, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.ForEachEdge(func(u, v int) {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("H_{%d,%d} edge (%d,%d) not in G", p, d, u, v)
+			}
+		})
+		if h.NumEdges() >= g.NumEdges() {
+			t.Errorf("H_{%d,%d} must be a proper subgraph (%d vs %d edges)",
+				p, d, h.NumEdges(), g.NumEdges())
+		}
+		// |E(H)| ≤ |E(G)|/2 is asymptotic in p (boundary vertices favor
+		// low-weight moves); it is already exact for d = 2 at any p.
+		if d == 2 && 2*h.NumEdges() > g.NumEdges()+g.NumVertices() {
+			t.Errorf("H_{%d,2} has %d edges vs G's %d — not ≤ half",
+				p, h.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+func TestHPDRejectsOddD(t *testing.T) {
+	if _, err := HPD(3, 3); err == nil {
+		t.Error("odd d must be rejected")
+	}
+}
+
+func TestHPDFor2DIsAxisGrid(t *testing.T) {
+	// For d=2, sum|delta| <= 1 keeps only axis moves: H_{p,2} is the
+	// ordinary p×p grid.
+	h, err := HPD(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gen.Grid2D(4, 4)
+	if h.NumEdges() != want.NumEdges() {
+		t.Fatalf("H_{4,2} edges = %d, grid = %d", h.NumEdges(), want.NumEdges())
+	}
+	want.ForEachEdge(func(u, v int) {
+		if !h.HasEdge(u, v) {
+			t.Fatalf("H_{4,2} missing grid edge (%d,%d)", u, v)
+		}
+	})
+}
+
+func TestSpannerProperty(t *testing.T) {
+	for _, pd := range [][2]int{{3, 2}, {4, 2}, {5, 2}, {2, 4}, {3, 4}} {
+		if err := VerifySpanner(pd[0], pd[1]); err != nil {
+			t.Errorf("p=%d d=%d: %v", pd[0], pd[1], err)
+		}
+	}
+}
+
+func TestFamilyMembersConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		g, _, err := RandomFamilyMember(3, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsConnected() {
+			t.Fatal("family members contain H_{p,d} and must be connected")
+		}
+	}
+}
+
+func TestReconstructionExactOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, _, err := RandomFamilyMember(3, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReconstructAdjacency(g.NumVertices(), ExactConnOracle{G: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumEdges() != g.NumEdges() {
+		t.Fatalf("reconstruction has %d edges, want %d", rec.NumEdges(), g.NumEdges())
+	}
+	g.ForEachEdge(func(u, v int) {
+		if !rec.HasEdge(u, v) {
+			t.Fatalf("reconstruction missing edge (%d,%d)", u, v)
+		}
+	})
+}
+
+// The attack works against our labeling scheme's oracle too: the labels of
+// a family member encode its adjacency completely.
+func TestReconstructionThroughLabelingScheme(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, chosen, err := RandomFamilyMember(3, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := oracle.BuildStatic(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReconstructAdjacency(g.NumVertices(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full adjacency recovered…
+	if rec.NumEdges() != g.NumEdges() {
+		t.Fatalf("reconstruction has %d edges, want %d", rec.NumEdges(), g.NumEdges())
+	}
+	// …including the random free-edge subset (the encoded "message").
+	free, err := FreeEdges(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range free {
+		if rec.HasEdge(e[0], e[1]) != chosen[e] {
+			t.Fatalf("free edge %v: reconstructed %v, chosen %v",
+				e, rec.HasEdge(e[0], e[1]), chosen[e])
+		}
+	}
+}
+
+func TestCountingBoundGrowsWithAlpha(t *testing.T) {
+	b2, err := CountingBound(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := CountingBound(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Alpha != 4 || b4.Alpha != 8 {
+		t.Fatalf("alphas = %d,%d, want 4,8", b2.Alpha, b4.Alpha)
+	}
+	if b2.FreeEdgesCheck() != nil || b4.FreeEdgesCheck() != nil {
+		t.Fatal("internal consistency")
+	}
+	// Per-label bits must grow with α — the Ω(2^{α/2}) shape.
+	if !(b4.BitsPerLabel > b2.BitsPerLabel) {
+		t.Errorf("bits/label: α=8 gives %.2f, α=4 gives %.2f — no growth",
+			b4.BitsPerLabel, b2.BitsPerLabel)
+	}
+	// And the growth should be at least ~2^{Δα/2}/slack: 2^{(8-4)/2} = 4.
+	if b4.BitsPerLabel < 2*b2.BitsPerLabel {
+		t.Errorf("bits/label growth %.2f -> %.2f weaker than expected",
+			b2.BitsPerLabel, b4.BitsPerLabel)
+	}
+}
+
+func TestCountingBoundMatchesPaperFormula(t *testing.T) {
+	// m_{p,d} = Ω(2^d p^d): check the fraction free/total is around 1/2
+	// and bits/label ≈ 2^{α/2}·Θ(1).
+	b, err := CountingBound(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(b.FreeEdges) / float64(b.GridEdges)
+	if frac < 0.3 || frac > 0.8 {
+		t.Errorf("free-edge fraction %.2f outside [0.3, 0.8]", frac)
+	}
+	ratio := b.BitsPerLabel / math.Pow(2, float64(b.Alpha)/2)
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("bits/label / 2^{α/2} = %.2f outside [0.1, 10]", ratio)
+	}
+}
+
+// Theorem 3.1's final argument: on P_n, any forbidden-set connectivity
+// labeling needs ≥ n−2 distinct labels. Our scheme's labels on P_n are in
+// fact all distinct.
+func TestPathLabelsAreDistinct(t *testing.T) {
+	n := 24
+	g := gen.Path(n)
+	s, err := core.BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var encoded [][]byte
+	for v := 0; v < n; v++ {
+		buf, _ := s.Label(v).Encode()
+		encoded = append(encoded, buf)
+	}
+	if got := DistinctLabels(encoded); got < n-2 {
+		t.Errorf("only %d distinct labels on P_%d, need >= %d", got, n, n-2)
+	}
+}
+
+func TestDistinctLabelsCounts(t *testing.T) {
+	if got := DistinctLabels([][]byte{{1}, {1}, {2}, nil}); got != 3 {
+		t.Errorf("DistinctLabels = %d, want 3", got)
+	}
+	if got := DistinctLabels(nil); got != 0 {
+		t.Errorf("DistinctLabels(nil) = %d, want 0", got)
+	}
+}
+
+// FreeEdgesCheck cross-checks the Bound fields (test helper defined on the
+// type here to keep the production struct lean).
+func (b Bound) FreeEdgesCheck() error {
+	if b.FreeEdges != b.GridEdges-b.SpannerEdges {
+		return errInconsistent
+	}
+	return nil
+}
+
+var errInconsistent = graphError("inconsistent bound")
+
+type graphError string
+
+func (e graphError) Error() string { return string(e) }
+
+var _ ConnOracle = ExactConnOracle{}
+var _ ConnOracle = (*oracle.Static)(nil)
+var _ = graph.NewFaultSet

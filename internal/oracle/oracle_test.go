@@ -1,0 +1,254 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+func gridGraph(t testing.TB, w, h int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				b.AddEdge(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestStaticOracleMatchesExact(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	o, err := BuildStatic(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		f := graph.NewFaultSet()
+		for i := 0; i < rng.Intn(4); i++ {
+			f.AddVertex(rng.Intn(36))
+		}
+		u, v := rng.Intn(36), rng.Intn(36)
+		if f.HasVertex(u) || f.HasVertex(v) {
+			continue
+		}
+		want := g.DistAvoiding(u, v, f)
+		got, ok := o.Distance(u, v, f)
+		if graph.Reachable(want) != ok {
+			t.Fatalf("(%d,%d,|F|=%d): ok=%v, want reachable=%v", u, v, f.Size(), ok, graph.Reachable(want))
+		}
+		if ok && (got < int64(want) || float64(got) > 3*float64(want)+1e-9) {
+			t.Fatalf("(%d,%d): got %d, true %d (eps=2)", u, v, got, want)
+		}
+	}
+}
+
+func TestStaticOracleSize(t *testing.T) {
+	g := gridGraph(t, 5, 5)
+	o, _ := BuildStatic(g, 2)
+	if o.NumVertices() != 25 {
+		t.Fatalf("NumVertices = %d", o.NumVertices())
+	}
+	if o.SizeBits() <= 0 || o.MaxLabelBits() <= 0 {
+		t.Fatal("oracle size must be positive")
+	}
+	if o.SizeBits() > int64(o.NumVertices())*int64(o.MaxLabelBits()) {
+		t.Fatal("total size cannot exceed n × max label length")
+	}
+}
+
+func TestStaticOracleConnected(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	o, _ := BuildStatic(g, 2)
+	if !o.Connected(0, 15, nil) {
+		t.Error("grid corners connected")
+	}
+	// Seal corner 0 (neighbors 1 and 4).
+	if o.Connected(0, 15, graph.FaultVertices(1, 4)) {
+		t.Error("sealed corner must be disconnected")
+	}
+	if o.Connected(0, 15, graph.FaultVertices(15)) {
+		t.Error("failed endpoint is never connected")
+	}
+	if !o.Connected(3, 3, nil) {
+		t.Error("vertex is connected to itself")
+	}
+}
+
+func TestStaticOracleEverywhereFailure(t *testing.T) {
+	// The Theorem 3.1 attack pattern: F(i,j) = V \ {i,j} reduces a
+	// connectivity query to adjacency.
+	g := gridGraph(t, 3, 3)
+	o, _ := BuildStatic(g, 2)
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			f := graph.NewFaultSet()
+			for v := 0; v < 9; v++ {
+				if v != i && v != j {
+					f.AddVertex(v)
+				}
+			}
+			if got, want := o.Connected(i, j, f), g.HasEdge(i, j); got != want {
+				t.Errorf("everywhere-failure query (%d,%d) = %v, adjacency = %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDynamicOracleBasic(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	d, err := NewDynamic(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Distance(0, 35); !ok || got < 10 || got > 30 {
+		t.Fatalf("initial Distance(0,35) = (%d,%v)", got, ok)
+	}
+	if err := d.FailVertex(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Distance(7, 0); ok {
+		t.Error("failed vertex must be unreachable")
+	}
+	if err := d.RecoverVertex(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Distance(7, 0); !ok {
+		t.Error("recovered vertex must answer again")
+	}
+}
+
+func TestDynamicOracleMatchesExactUnderChurn(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	d, err := NewDynamic(g, 2, 3) // tiny threshold to force rebuilds
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := graph.NewFaultSet() // mirror of the failed set
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 60; step++ {
+		v := rng.Intn(36)
+		if rng.Intn(2) == 0 {
+			if err := d.FailVertex(v); err != nil {
+				t.Fatal(err)
+			}
+			live.AddVertex(v)
+		} else {
+			if err := d.RecoverVertex(v); err != nil {
+				t.Fatal(err)
+			}
+			live.RemoveVertex(v)
+		}
+		u, w := rng.Intn(36), rng.Intn(36)
+		want := g.DistAvoiding(u, w, live)
+		got, ok := d.Distance(u, w)
+		if graph.Reachable(want) != ok {
+			t.Fatalf("step %d: (%d,%d) ok=%v, want reachable=%v (|F|=%d)",
+				step, u, w, ok, graph.Reachable(want), live.Size())
+		}
+		if ok && (got < int64(want) || float64(got) > 3*float64(want)+1e-9) {
+			t.Fatalf("step %d: (%d,%d) got %d, true %d", step, u, w, got, want)
+		}
+	}
+	if d.Rebuilds() == 0 {
+		t.Error("churn past the threshold must trigger rebuilds")
+	}
+}
+
+func TestDynamicOracleEdges(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	d, err := NewDynamic(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Distance(0, 15); ok {
+		t.Error("sealed corner must disconnect")
+	}
+	if err := d.RecoverEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Distance(0, 15); !ok || got < 6 {
+		t.Errorf("after recovery Distance(0,15) = (%d,%v)", got, ok)
+	}
+	if err := d.FailEdge(0, 9); err == nil {
+		t.Error("failing a non-edge must error")
+	}
+}
+
+func TestDynamicOracleRecoverBakedInFailure(t *testing.T) {
+	g := gridGraph(t, 5, 5)
+	d, err := NewDynamic(g, 2, 1) // threshold 1: second failure rebuilds
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{6, 7, 8} {
+		if err := d.FailVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Rebuilds() == 0 {
+		t.Fatal("expected a rebuild after exceeding threshold 1")
+	}
+	// 6 was baked into the rebuild; recovering it must rebuild again and
+	// restore correct answers.
+	before := d.Rebuilds()
+	if err := d.RecoverVertex(6); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rebuilds() <= before {
+		t.Error("recovering a baked-in failure must rebuild")
+	}
+	live := graph.FaultVertices(7, 8)
+	want := g.DistAvoiding(0, 24, live)
+	got, ok := d.Distance(0, 24)
+	if !ok || got < int64(want) {
+		t.Fatalf("post-recovery Distance(0,24) = (%d,%v), true %d", got, ok, want)
+	}
+}
+
+func TestDynamicOracleOutOfRange(t *testing.T) {
+	g := gridGraph(t, 3, 3)
+	d, _ := NewDynamic(g, 2, 0)
+	if err := d.FailVertex(100); err == nil {
+		t.Error("out-of-range failure must error")
+	}
+	if _, ok := d.Distance(-1, 0); ok {
+		t.Error("out-of-range query must not answer")
+	}
+}
+
+func TestDynamicOracleIdempotentUpdates(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	d, _ := NewDynamic(g, 2, 10)
+	if err := d.FailVertex(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailVertex(5); err != nil {
+		t.Fatal(err)
+	}
+	if d.DeltaSize() != 1 {
+		t.Errorf("DeltaSize = %d after duplicate failure, want 1", d.DeltaSize())
+	}
+	if err := d.RecoverVertex(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RecoverVertex(5); err != nil {
+		t.Fatal(err)
+	}
+	if d.DeltaSize() != 0 {
+		t.Errorf("DeltaSize = %d after recovery, want 0", d.DeltaSize())
+	}
+}

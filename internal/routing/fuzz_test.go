@@ -1,0 +1,30 @@
+package routing
+
+import "testing"
+
+// FuzzDecodeHeader asserts DecodeHeader never panics or over-allocates on
+// arbitrary input, and that valid headers survive re-encoding.
+func FuzzDecodeHeader(f *testing.F) {
+	h := &Header{Waypoints: []int32{3, 99, 4}, PolicyBits: []byte{1, 2, 3}}
+	buf, nbits := h.Encode()
+	f.Add(buf, nbits)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0x0f}, 12)
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > 8*len(data) {
+			nbits = 8 * len(data)
+		}
+		got, err := DecodeHeader(data, nbits)
+		if err != nil {
+			return
+		}
+		buf2, n2 := got.Encode()
+		again, err := DecodeHeader(buf2, n2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Waypoints) != len(got.Waypoints) || len(again.PolicyBits) != len(got.PolicyBits) {
+			t.Fatal("header changed across re-encode")
+		}
+	})
+}

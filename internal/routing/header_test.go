@@ -1,0 +1,154 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsdl/internal/graph"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := &Header{Waypoints: []int32{0, 17, 395, 2}, PolicyBits: []byte("deny-as-666")}
+	buf, nbits := h.Encode()
+	got, err := DecodeHeader(buf, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Waypoints) != len(h.Waypoints) {
+		t.Fatalf("waypoints %v -> %v", h.Waypoints, got.Waypoints)
+	}
+	for i := range h.Waypoints {
+		if got.Waypoints[i] != h.Waypoints[i] {
+			t.Fatalf("waypoint %d: %d -> %d", i, h.Waypoints[i], got.Waypoints[i])
+		}
+	}
+	if string(got.PolicyBits) != string(h.PolicyBits) {
+		t.Fatalf("policy %q -> %q", h.PolicyBits, got.PolicyBits)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := &Header{}
+		for i := 0; i < rng.Intn(20); i++ {
+			h.Waypoints = append(h.Waypoints, int32(rng.Intn(1<<20)))
+		}
+		if rng.Intn(2) == 1 {
+			h.PolicyBits = make([]byte, rng.Intn(32))
+			rng.Read(h.PolicyBits)
+		}
+		buf, nbits := h.Encode()
+		got, err := DecodeHeader(buf, nbits)
+		if err != nil || len(got.Waypoints) != len(h.Waypoints) || len(got.PolicyBits) != len(h.PolicyBits) {
+			return false
+		}
+		for i := range h.Waypoints {
+			if got.Waypoints[i] != h.Waypoints[i] {
+				return false
+			}
+		}
+		for i := range h.PolicyBits {
+			if got.PolicyBits[i] != h.PolicyBits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHeaderRejectsGarbage(t *testing.T) {
+	if _, err := DecodeHeader(nil, 0); err == nil {
+		t.Error("empty header must not decode")
+	}
+	if _, err := DecodeHeader([]byte{0xff, 0xff, 0xff}, 24); err == nil {
+		t.Error("garbage header must not decode")
+	}
+}
+
+func TestHeaderForAndFollow(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s := buildScheme(t, g, 2)
+	f := graph.FaultVertices(27, 36)
+	h, ok := s.HeaderFor(0, 63, f)
+	if !ok {
+		t.Fatal("header construction failed")
+	}
+	if h.Waypoints[0] != 0 || h.Waypoints[len(h.Waypoints)-1] != 63 {
+		t.Fatalf("waypoints endpoints wrong: %v", h.Waypoints)
+	}
+	// A header survives serialization and still routes the packet.
+	buf, nbits := h.Encode()
+	h2, err := DecodeHeader(buf, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.FollowHeader(h2)
+	if !ok {
+		t.Fatal("follow failed")
+	}
+	if r.Path[0] != 0 || r.Path[len(r.Path)-1] != 63 {
+		t.Fatalf("routed path endpoints wrong: %v", r.Path)
+	}
+	for i := 1; i < len(r.Path); i++ {
+		if !g.HasEdge(r.Path[i-1], r.Path[i]) {
+			t.Fatalf("hop (%d,%d) not an edge", r.Path[i-1], r.Path[i])
+		}
+		if f.HasVertex(r.Path[i]) {
+			t.Fatalf("routed through failed vertex %d", r.Path[i])
+		}
+	}
+	// Header size: O(|waypoints| log n) — sanity bound, 64 bits per hop.
+	if nbits > 64*(len(h.Waypoints)+2) {
+		t.Errorf("header %d bits for %d waypoints — too large", nbits, len(h.Waypoints))
+	}
+}
+
+func TestHeaderForSelf(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	s := buildScheme(t, g, 2)
+	h, ok := s.HeaderFor(5, 5, nil)
+	if !ok || len(h.Waypoints) != 1 {
+		t.Fatalf("self header = (%v,%v)", h, ok)
+	}
+	r, ok := s.FollowHeader(h)
+	if !ok || r.Length != 0 {
+		t.Fatalf("self follow = (%+v,%v)", r, ok)
+	}
+}
+
+func TestHeaderForDisconnected(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	s := buildScheme(t, g, 2)
+	if _, ok := s.HeaderFor(0, 15, graph.FaultVertices(1, 4)); ok {
+		t.Error("sealed corner must not produce a header")
+	}
+	if _, ok := s.FollowHeader(&Header{}); ok {
+		t.Error("empty header must not route")
+	}
+}
+
+func TestHeaderMatchesRouteWithFaults(t *testing.T) {
+	g := gridGraph(t, 7, 7)
+	s := buildScheme(t, g, 2)
+	f := graph.FaultVertices(24)
+	h, ok := s.HeaderFor(0, 48, f)
+	if !ok {
+		t.Fatal("header failed")
+	}
+	viaHeader, ok := s.FollowHeader(h)
+	if !ok {
+		t.Fatal("follow failed")
+	}
+	direct, ok := s.RouteWithFaults(0, 48, f)
+	if !ok {
+		t.Fatal("direct route failed")
+	}
+	if viaHeader.Length != direct.Length {
+		t.Errorf("header route %d hops, direct %d hops", viaHeader.Length, direct.Length)
+	}
+}

@@ -1,0 +1,344 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+)
+
+func gridGraph(t testing.TB, w, h int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				b.AddEdge(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func buildScheme(t testing.TB, g *graph.Graph, eps float64) *Scheme {
+	t.Helper()
+	cs, err := core.BuildScheme(g, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cs)
+}
+
+// checkRoute verifies a routed path: starts at src, ends at dst, every hop
+// is a real edge, no hop touches a fault, and the length is within (1+ε)
+// of d_{G\F}.
+func checkRoute(t *testing.T, g *graph.Graph, s *Scheme, r Route, src, dst int, f *graph.FaultSet) {
+	t.Helper()
+	if len(r.Path) == 0 || r.Path[0] != src || r.Path[len(r.Path)-1] != dst {
+		t.Fatalf("route endpoints wrong: %v (want %d..%d)", r.Path, src, dst)
+	}
+	for i := 1; i < len(r.Path); i++ {
+		u, v := r.Path[i-1], r.Path[i]
+		if !g.HasEdge(u, v) {
+			t.Fatalf("route uses nonexistent edge (%d,%d)", u, v)
+		}
+		if f.HasVertex(v) || f.HasVertex(u) {
+			t.Fatalf("route visits failed vertex (hop %d-%d)", u, v)
+		}
+		if f.HasEdge(u, v) {
+			t.Fatalf("route uses failed edge (%d,%d)", u, v)
+		}
+	}
+	want := g.DistAvoiding(src, dst, f)
+	if !graph.Reachable(want) {
+		t.Fatalf("route delivered despite disconnection")
+	}
+	eps := s.Core().Params().Epsilon
+	if want > 0 && float64(r.Length) > (1+eps)*float64(want)+1e-9 {
+		t.Fatalf("route length %d exceeds (1+%g)·%d", r.Length, eps, want)
+	}
+}
+
+func TestRouteNoFaults(t *testing.T) {
+	g := gridGraph(t, 7, 7)
+	s := buildScheme(t, g, 2)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		src, dst := rng.Intn(49), rng.Intn(49)
+		r, ok := s.RouteWithFaults(src, dst, nil)
+		if !ok {
+			t.Fatalf("route (%d,%d) failed", src, dst)
+		}
+		checkRoute(t, g, s, r, src, dst, nil)
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	s := buildScheme(t, g, 2)
+	r, ok := s.RouteWithFaults(5, 5, nil)
+	if !ok || r.Length != 0 || len(r.Path) != 1 {
+		t.Fatalf("self route = (%+v,%v)", r, ok)
+	}
+}
+
+func TestRouteAroundFaults(t *testing.T) {
+	w, h := 9, 9
+	g := gridGraph(t, w, h)
+	s := buildScheme(t, g, 2)
+	f := graph.NewFaultSet()
+	for y := 1; y < h-1; y++ {
+		f.AddVertex(y*w + 4)
+	}
+	src, dst := 4*w+0, 4*w+8
+	r, ok := s.RouteWithFaults(src, dst, f)
+	if !ok {
+		t.Fatal("route should exist around the wall")
+	}
+	checkRoute(t, g, s, r, src, dst, f)
+	if r.Length <= 8 {
+		t.Errorf("route length %d suspiciously short for a detour", r.Length)
+	}
+}
+
+func TestRouteDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for i := 0; i+1 < 6; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	s := buildScheme(t, g, 2)
+	if _, ok := s.RouteWithFaults(0, 5, graph.FaultVertices(3)); ok {
+		t.Error("route across a cut vertex must fail")
+	}
+}
+
+func TestRouteEdgeFaults(t *testing.T) {
+	b := graph.NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		b.AddEdge(i, (i+1)%8)
+	}
+	g := b.MustBuild()
+	s := buildScheme(t, g, 2)
+	f := graph.NewFaultSet()
+	f.AddEdge(0, 1)
+	r, ok := s.RouteWithFaults(0, 1, f)
+	if !ok {
+		t.Fatal("cycle minus one edge stays connected")
+	}
+	checkRoute(t, g, s, r, 0, 1, f)
+	if r.Length != 7 {
+		t.Errorf("route length %d, want 7 (the long way around)", r.Length)
+	}
+}
+
+func TestNextHopDecreasesDistance(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	s := buildScheme(t, g, 2)
+	dist := g.BFS(35)
+	for v := 0; v < 36; v++ {
+		if v == 35 {
+			continue
+		}
+		next, ok := s.NextHop(v, 35)
+		if !ok {
+			t.Fatalf("NextHop(%d,35) failed", v)
+		}
+		if dist[next] != dist[v]-1 {
+			t.Fatalf("NextHop(%d,35) = %d does not decrease distance", v, next)
+		}
+	}
+}
+
+func TestTableBitsExceedLabelBits(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s := buildScheme(t, g, 2)
+	for _, v := range []int{0, 27, 63} {
+		table := s.TableBits(v)
+		label := s.Core().LabelBits(v)
+		if table <= label {
+			t.Errorf("v=%d: table %d bits should exceed label %d bits", v, table, label)
+		}
+		// Ports add at most a log-degree factor on the point count.
+		if table > 2*label+64*s.Core().Label(v).NumPoints() {
+			t.Errorf("v=%d: table %d bits implausibly large vs label %d", v, table, label)
+		}
+	}
+}
+
+func TestAdaptiveRouteDiscoversFaults(t *testing.T) {
+	w, h := 9, 9
+	g := gridGraph(t, w, h)
+	s := buildScheme(t, g, 2)
+	f := graph.NewFaultSet()
+	for y := 1; y < h-1; y++ {
+		f.AddVertex(y*w + 4)
+	}
+	src, dst := 4*w+0, 4*w+8
+	known := graph.NewFaultSet()
+	r, ok := s.AdaptiveRoute(src, dst, f, known)
+	if !ok {
+		t.Fatal("adaptive route should eventually deliver")
+	}
+	if r.Path[0] != src || r.Path[len(r.Path)-1] != dst {
+		t.Fatalf("adaptive route endpoints wrong: %v", r.Path)
+	}
+	for i := 1; i < len(r.Path); i++ {
+		u, v := r.Path[i-1], r.Path[i]
+		if !g.HasEdge(u, v) {
+			t.Fatalf("adaptive route uses nonexistent edge (%d,%d)", u, v)
+		}
+		if f.HasVertex(v) || f.HasEdge(u, v) {
+			t.Fatalf("adaptive route stepped onto a fault at (%d,%d)", u, v)
+		}
+	}
+	if r.Recomputes < 1 {
+		t.Error("blind packet crossing a wall must recompute at least once")
+	}
+	if known.Size() == 0 {
+		t.Error("adaptive routing must have discovered faults")
+	}
+}
+
+func TestAdaptiveRouteNoFaults(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	s := buildScheme(t, g, 2)
+	r, ok := s.AdaptiveRoute(0, 35, graph.NewFaultSet(), nil)
+	if !ok {
+		t.Fatal("fault-free adaptive route failed")
+	}
+	if r.Recomputes != 0 {
+		t.Errorf("fault-free adaptive route recomputed %d times", r.Recomputes)
+	}
+	if r.Length != 10 {
+		t.Errorf("corner-to-corner length %d, want shortest path 10 within stretch", r.Length)
+	}
+}
+
+func TestAdaptiveRouteDisconnected(t *testing.T) {
+	g := gridGraph(t, 5, 5)
+	s := buildScheme(t, g, 2)
+	f := graph.FaultVertices(1, 5) // seal corner 0
+	if _, ok := s.AdaptiveRoute(0, 24, f, nil); ok {
+		t.Error("sealed corner: adaptive route must fail")
+	}
+	if _, ok := s.AdaptiveRoute(0, 24, graph.FaultVertices(24), nil); ok {
+		t.Error("failed destination: adaptive route must fail")
+	}
+}
+
+func TestAdaptiveRouteStretchVsFullKnowledge(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s := buildScheme(t, g, 2)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		f := graph.NewFaultSet()
+		for i := 0; i < 4; i++ {
+			f.AddVertex(rng.Intn(64))
+		}
+		src, dst := rng.Intn(64), rng.Intn(64)
+		if f.HasVertex(src) || f.HasVertex(dst) || src == dst {
+			continue
+		}
+		want := g.DistAvoiding(src, dst, f)
+		r, ok := s.AdaptiveRoute(src, dst, f, nil)
+		if !graph.Reachable(want) {
+			if ok {
+				t.Fatalf("adaptive route delivered across a disconnection")
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("adaptive route (%d,%d) failed though connected", src, dst)
+		}
+		// Adaptive routes may backtrack, so no (1+eps) bound, but they
+		// must be loop-bounded: each recompute adds knowledge.
+		if r.Recomputes > f.Size() {
+			t.Fatalf("recomputes %d > |F| = %d", r.Recomputes, f.Size())
+		}
+	}
+}
+
+// Section 2.2's structural claim: shortest paths under sketch edges carry
+// the edge endpoints in their labels (for net-point endpoints).
+func TestLabelContainmentOnSketchEdges(t *testing.T) {
+	g := gridGraph(t, 8, 8)
+	s := buildScheme(t, g, 2)
+	f := graph.FaultVertices(27)
+	q, err := s.Core().NewQuery(0, 63, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := q.Sketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range edges {
+		if e.W <= 1 {
+			continue // unit edges route directly
+		}
+		if err := s.VerifyLabelContainment(e); err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		if checked >= 40 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Skip("no long sketch edges to check")
+	}
+}
+
+func TestPortTableMatchesNextHop(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	s := buildScheme(t, g, 2)
+	v := 14
+	table := s.PortTable(v)
+	if len(table) == 0 {
+		t.Fatal("empty port table")
+	}
+	distV := g.BFS(v)
+	for x, port := range table {
+		// The port must be a neighbor strictly closer to the target.
+		if !g.HasEdge(v, int(port)) {
+			t.Fatalf("port %d toward %d is not a neighbor of %d", port, x, v)
+		}
+		if g.BFS(int(port))[x] != distV[x]-1 {
+			t.Fatalf("port %d toward %d does not decrease the distance", port, x)
+		}
+	}
+	// Every label vertex (same component) must have a port.
+	l := s.Core().Label(v)
+	for _, lv := range l.Levels {
+		for _, pe := range lv.Points {
+			if int(pe.X) == v {
+				continue
+			}
+			if _, ok := table[pe.X]; !ok {
+				t.Fatalf("label vertex %d missing from port table", pe.X)
+			}
+		}
+	}
+}
+
+func TestPortTableOmitsOtherComponents(t *testing.T) {
+	b := graph.NewBuilder(8)
+	for i := 0; i+1 < 4; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(4+i, 4+i+1)
+	}
+	g := b.MustBuild()
+	s := buildScheme(t, g, 2)
+	table := s.PortTable(0)
+	for x := range table {
+		if x >= 4 {
+			t.Fatalf("port table contains unreachable target %d", x)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package stats provides the small measurement kit shared by the
+// experiment harness: streaming summaries (mean/min/max/percentiles),
+// least-squares power-law fits for verifying scaling shapes, and plain-text
+// table rendering for the experiment reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates observations and reports order statistics. The zero
+// value is ready to use.
+type Summary struct {
+	values []float64
+	sum    float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.quantile(0) }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.quantile(1) }
+
+// P50 returns the median.
+func (s *Summary) P50() float64 { return s.quantile(0.50) }
+
+// P95 returns the 95th percentile.
+func (s *Summary) P95() float64 { return s.quantile(0.95) }
+
+// Quantile returns the q-quantile for q in [0,1] (nearest-rank).
+func (s *Summary) Quantile(q float64) float64 { return s.quantile(q) }
+
+func (s *Summary) quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	idx := int(q*float64(len(s.values))) - 1
+	if q == 0 {
+		idx = 0
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.values) {
+		idx = len(s.values) - 1
+	}
+	return s.values[idx]
+}
+
+// Stddev returns the sample standard deviation (0 for < 2 observations).
+func (s *Summary) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// FitPowerLaw fits y ≈ a·x^b by least squares on (log x, log y) and
+// returns the exponent b and coefficient a. Points with non-positive x or
+// y are skipped. It returns ok=false with fewer than two usable points.
+func FitPowerLaw(xs, ys []float64) (a, b float64, ok bool) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0, false
+	}
+	slope, intercept, fitOK := linearFit(lx, ly)
+	if !fitOK {
+		return 0, 0, false
+	}
+	return math.Exp(intercept), slope, true
+}
+
+// linearFit returns the least-squares slope and intercept of y over x.
+func linearFit(xs, ys []float64) (slope, intercept float64, ok bool) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, true
+}
+
+// Table renders aligned plain-text tables for the experiment reports.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted), for piping experiment output into other tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

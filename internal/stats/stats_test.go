@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-3.875) > 1e-12 {
+		t.Errorf("Mean = %g, want 3.875", got)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g, want 1/9", s.Min(), s.Max())
+	}
+	if s.P50() < 2 || s.P50() > 5 {
+		t.Errorf("P50 = %g outside plausible band", s.P50())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Error("empty summary must report zeros")
+	}
+}
+
+func TestSummaryInterleavedAddAndQuery(t *testing.T) {
+	var s Summary
+	s.Add(5)
+	if s.Max() != 5 {
+		t.Fatal("max after one add")
+	}
+	s.Add(10) // must invalidate sorted cache
+	if s.Max() != 10 {
+		t.Fatal("max not updated after interleaved add")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Stddev = %g, want ~2.138", got)
+	}
+}
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x // a=3, b=2
+	}
+	a, b, ok := FitPowerLaw(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(b-2) > 1e-9 || math.Abs(a-3) > 1e-9 {
+		t.Errorf("fit = %g·x^%g, want 3·x^2", a, b)
+	}
+}
+
+func TestFitPowerLawSkipsNonPositive(t *testing.T) {
+	if _, _, ok := FitPowerLaw([]float64{0, -1}, []float64{1, 2}); ok {
+		t.Error("fit on no usable points must fail")
+	}
+	a, b, ok := FitPowerLaw([]float64{0, 1, 2, 4}, []float64{5, 2, 4, 8})
+	if !ok {
+		t.Fatal("fit should use the positive points")
+	}
+	if math.Abs(b-1) > 1e-9 || math.Abs(a-2) > 1e-9 {
+		t.Errorf("fit = %g·x^%g, want 2·x^1", a, b)
+	}
+}
+
+// Property: fitting data generated from a power law recovers the exponent.
+func TestFitPowerLawProperty(t *testing.T) {
+	check := func(expRaw, coefRaw uint8) bool {
+		b := float64(expRaw%5) * 0.5 // 0..2
+		a := 1 + float64(coefRaw%10)
+		xs := []float64{1, 2, 3, 5, 8, 13, 21}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a * math.Pow(x, b)
+		}
+		ga, gb, ok := FitPowerLaw(xs, ys)
+		return ok && math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "bits", "note")
+	tb.AddRow(1024, 52341.0, "grid")
+	tb.AddRow(64, 3.14159, "rgg")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "n") || !strings.Contains(lines[0], "bits") {
+		t.Errorf("header line malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "52341") {
+		t.Errorf("integral float should render without decimals: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "3.142") {
+		t.Errorf("small float should render with 3 decimals: %q", lines[3])
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("Q(0) = %g, want 1", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Errorf("Q(1) = %g, want 100", q)
+	}
+	if q := s.P95(); q < 90 || q > 100 {
+		t.Errorf("P95 = %g outside [90,100]", q)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("plain", 1)
+	tb.AddRow("with,comma", 2.5)
+	tb.AddRow(`with"quote`, 3)
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != `"with,comma",2.500` {
+		t.Errorf("comma row = %q", lines[2])
+	}
+	if lines[3] != `"with""quote",3` {
+		t.Errorf("quote row = %q", lines[3])
+	}
+}

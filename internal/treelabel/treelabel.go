@@ -1,0 +1,366 @@
+// Package treelabel implements an exact forbidden-set distance labeling
+// scheme for trees — the treewidth-1 instance of the Courcelle–Twigg
+// (STACS 2007) scheme that the paper generalizes from. It serves as the
+// related-work comparison point: on trees, exact O(log²n)-bit forbidden-set
+// labels exist, while the doubling-dimension scheme pays for generality
+// with much larger (and merely (1+ε)-approximate) labels.
+//
+// Construction: root the tree, record preorder intervals and depths (for
+// ancestor tests), and a centroid-decomposition ancestor list with exact
+// distances (for distance queries). A query (u,v,F) is answered from
+// labels alone:
+//
+//   - d_T(u,v) = min over shared centroid ancestors c of d(u,c)+d(c,v);
+//   - a vertex f lies on the unique u–v path iff f is an ancestor of
+//     exactly one endpoint, or f is the LCA (ancestor of both with
+//     depth(f) = depth(LCA) — equivalently d(u,f)+d(f,v) = d(u,v));
+//   - the tree edge (a,b) (b the deeper endpoint) lies on the path iff
+//     b does and b's subtree contains exactly one endpoint;
+//   - u,v are connected in T\F iff no forbidden vertex/edge lies on the
+//     path, in which case the distance is unchanged.
+package treelabel
+
+import (
+	"fmt"
+
+	"fsdl/internal/bitio"
+	"fsdl/internal/graph"
+)
+
+// Scheme holds the labels of one tree.
+type Scheme struct {
+	n      int
+	labels []Label
+}
+
+// Label is an exact forbidden-set distance label for a tree vertex.
+type Label struct {
+	// V is the labeled vertex.
+	V int32
+	// In and Out delimit v's preorder interval: u is in v's subtree iff
+	// In(v) ≤ In(u) < Out(v).
+	In, Out int32
+	// Depth is the distance from the root.
+	Depth int32
+	// Parent is v's tree parent (-1 at the root) — enough to identify
+	// the edge toward the root, so edge faults can be tested.
+	Parent int32
+	// Centroids lists v's centroid-decomposition ancestors, outermost
+	// first, with exact tree distances d_T(v, c).
+	Centroids []CentroidEntry
+}
+
+// CentroidEntry is one centroid ancestor with its exact distance.
+type CentroidEntry struct {
+	C int32
+	D int32
+}
+
+// Build constructs the scheme. The graph must be a tree (connected,
+// m = n−1); otherwise an error is returned.
+func Build(g *graph.Graph) (*Scheme, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return &Scheme{}, nil
+	}
+	if g.NumEdges() != n-1 {
+		return nil, fmt.Errorf("treelabel: graph has %d edges, a tree on %d vertices has %d",
+			g.NumEdges(), n, n-1)
+	}
+	if !g.IsConnected() {
+		return nil, fmt.Errorf("treelabel: graph is not connected")
+	}
+	s := &Scheme{n: n, labels: make([]Label, n)}
+	for v := range s.labels {
+		s.labels[v].V = int32(v)
+		s.labels[v].Parent = -1
+	}
+
+	// Preorder intervals and depths via iterative DFS from root 0.
+	timer := int32(0)
+	type dfsFrame struct {
+		v, parent int32
+		idx       int
+	}
+	stack := []dfsFrame{{v: 0, parent: -1}}
+	s.labels[0].In = 0
+	visited := make([]bool, n)
+	visited[0] = true
+	s.labels[0].Depth = 0
+	timer = 1
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		nb := g.Neighbors(int(top.v))
+		if top.idx < len(nb) {
+			w := nb[top.idx]
+			top.idx++
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			s.labels[w].In = timer
+			s.labels[w].Depth = s.labels[top.v].Depth + 1
+			s.labels[w].Parent = top.v
+			timer++
+			stack = append(stack, dfsFrame{v: w, parent: top.v})
+			continue
+		}
+		s.labels[top.v].Out = timer
+		stack = stack[:len(stack)-1]
+	}
+
+	// Centroid decomposition: repeatedly find the centroid of each
+	// component, record exact distances from it to its component, recurse.
+	removed := make([]bool, n)
+	size := make([]int32, n)
+	var queue []int32
+	componentOf := func(start int32) []int32 {
+		queue = queue[:0]
+		queue = append(queue, start)
+		seen := map[int32]bool{start: true}
+		for head := 0; head < len(queue); head++ {
+			for _, w := range g.Neighbors(int(queue[head])) {
+				if !removed[w] && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		return append([]int32(nil), queue...)
+	}
+	var decompose func(start int32)
+	decompose = func(start int32) {
+		comp := componentOf(start)
+		// Subtree sizes within the component (BFS order trick: comp is in
+		// BFS order from start, so process in reverse).
+		parent := map[int32]int32{comp[0]: -1}
+		orderC := comp
+		for _, v := range orderC {
+			size[v] = 1
+		}
+		// Rebuild BFS parents.
+		for head := 0; head < len(orderC); head++ {
+			v := orderC[head]
+			for _, w := range g.Neighbors(int(v)) {
+				if !removed[w] && w != parent[v] {
+					if _, ok := parent[w]; !ok {
+						parent[w] = v
+					}
+				}
+			}
+		}
+		for i := len(orderC) - 1; i >= 1; i-- {
+			size[parent[orderC[i]]] += size[orderC[i]]
+		}
+		total := size[comp[0]]
+		// Find the centroid: the vertex whose largest piece is ≤ total/2.
+		centroid := comp[0]
+		for {
+			var heavy int32 = -1
+			for _, w := range g.Neighbors(int(centroid)) {
+				if removed[w] || w == parent[centroid] {
+					continue
+				}
+				if heavy == -1 || size[w] > size[heavy] {
+					heavy = w
+				}
+			}
+			if heavy != -1 && size[heavy] > total/2 {
+				// Move toward the heavy child; sizes flip along the move.
+				size[centroid] = total - size[heavy]
+				parent[heavy] = centroid
+				centroid = heavy
+				continue
+			}
+			break
+		}
+		// Record distances from the centroid to the whole component.
+		queue = queue[:0]
+		dist := map[int32]int32{centroid: 0}
+		queue = append(queue, centroid)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			s.labels[v].Centroids = append(s.labels[v].Centroids, CentroidEntry{C: centroid, D: dist[v]})
+			for _, w := range g.Neighbors(int(v)) {
+				if _, ok := dist[w]; !removed[w] && !ok {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		removed[centroid] = true
+		for _, w := range g.Neighbors(int(centroid)) {
+			if !removed[w] {
+				decompose(w)
+			}
+		}
+	}
+	decompose(0)
+	return s, nil
+}
+
+// Label returns the label of v.
+func (s *Scheme) Label(v int) *Label { return &s.labels[v] }
+
+// LabelBits returns the serialized size of L(v) in bits.
+func (s *Scheme) LabelBits(v int) int {
+	_, bits := s.labels[v].Encode()
+	return bits
+}
+
+// isAncestor reports whether a's subtree contains u, from labels alone.
+func isAncestor(a, u *Label) bool {
+	return a.In <= u.In && u.In < a.Out
+}
+
+// onPath reports whether vertex f lies on the unique u–v tree path.
+func onPath(f, u, v *Label) bool {
+	au, av := isAncestor(f, u), isAncestor(f, v)
+	if au != av {
+		return true // f separates: ancestor of exactly one endpoint
+	}
+	if !au {
+		return false
+	}
+	// f is an ancestor of both: it is on the path iff it is the LCA,
+	// i.e. no deeper than the path's top. Equivalent label-only test:
+	// d(u,f) + d(f,v) == d(u,v).
+	du, ok1 := DistFromLabels(u, f)
+	dv, ok2 := DistFromLabels(f, v)
+	duv, ok3 := DistFromLabels(u, v)
+	return ok1 && ok2 && ok3 && du+dv == duv
+}
+
+// DistFromLabels returns the exact fault-free tree distance between the
+// labeled vertices, via their outermost-shared centroid list. ok is false
+// only for labels from different schemes.
+func DistFromLabels(u, v *Label) (int32, bool) {
+	if u.V == v.V {
+		return 0, true
+	}
+	best := int32(-1)
+	i, j := 0, 0
+	// Centroid lists are ordered outermost-first; shared prefixes end
+	// where the decomposition separates u and v, but any shared centroid
+	// gives a valid upper bound and the true distance is achieved at one
+	// of them. Lists are short (O(log n)); scan all pairs cheaply.
+	for i < len(u.Centroids) {
+		for j = 0; j < len(v.Centroids); j++ {
+			if u.Centroids[i].C == v.Centroids[j].C {
+				d := u.Centroids[i].D + v.Centroids[j].D
+				if best < 0 || d < best {
+					best = d
+				}
+			}
+		}
+		i++
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Query answers the forbidden-set query (u,v,F) exactly from labels:
+// the returned distance is d_{T\F}(u,v) and ok=false means disconnected.
+// Faulty edges are given by their endpoint label pairs.
+func Query(u, v *Label, vertexFaults []*Label, edgeFaults [][2]*Label) (int32, bool) {
+	if u.V == v.V {
+		for _, f := range vertexFaults {
+			if f.V == u.V {
+				return 0, false
+			}
+		}
+		return 0, true
+	}
+	for _, f := range vertexFaults {
+		if f.V == u.V || f.V == v.V || onPath(f, u, v) {
+			return 0, false
+		}
+	}
+	for _, ef := range edgeFaults {
+		a, b := ef[0], ef[1]
+		// Identify the deeper endpoint (the child of the tree edge).
+		child := a
+		if b.Depth > a.Depth {
+			child = b
+		}
+		// The edge (parent(child), child) is on the path iff child is an
+		// ancestor of exactly one endpoint.
+		if isAncestor(child, u) != isAncestor(child, v) {
+			return 0, false
+		}
+	}
+	d, ok := DistFromLabels(u, v)
+	if !ok {
+		return 0, false
+	}
+	return d, true
+}
+
+// Encode serializes the label (bit-exact accounting, like the core labels).
+func (l *Label) Encode() ([]byte, int) {
+	var w bitio.Writer
+	w.WriteUvarint(uint64(l.V))
+	w.WriteUvarint(uint64(l.In))
+	w.WriteUvarint(uint64(l.Out))
+	w.WriteUvarint(uint64(l.Depth))
+	w.WriteUvarint(uint64(l.Parent + 1))
+	w.WriteDelta(uint64(len(l.Centroids)))
+	for _, ce := range l.Centroids {
+		w.WriteUvarint(uint64(ce.C))
+		w.WriteGamma(uint64(ce.D))
+	}
+	return w.Bytes(), w.Len()
+}
+
+// DecodeLabel parses a label serialized by Encode.
+func DecodeLabel(buf []byte, nbits int) (*Label, error) {
+	r := bitio.NewReader(buf, nbits)
+	l := &Label{}
+	fields := []*int32{&l.V, &l.In, &l.Out, &l.Depth, &l.Parent}
+	for i, dst := range fields {
+		v, err := r.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("treelabel: decode field %d: %w", i, err)
+		}
+		*dst = int32(v)
+	}
+	l.Parent--
+	count, err := r.ReadDelta()
+	if err != nil {
+		return nil, fmt.Errorf("treelabel: decode centroid count: %w", err)
+	}
+	if count > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("treelabel: centroid count %d exceeds payload", count)
+	}
+	l.Centroids = make([]CentroidEntry, count)
+	for i := range l.Centroids {
+		c, err := r.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("treelabel: decode centroid %d: %w", i, err)
+		}
+		d, err := r.ReadGamma()
+		if err != nil {
+			return nil, fmt.Errorf("treelabel: decode centroid dist %d: %w", i, err)
+		}
+		l.Centroids[i] = CentroidEntry{C: int32(c), D: int32(d)}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("treelabel: %d trailing bits", r.Remaining())
+	}
+	return l, nil
+}
+
+// MaxCentroidListLen returns the longest centroid list in the scheme —
+// O(log n) by the centroid decomposition's halving guarantee; exposed so
+// tests can assert the logarithmic depth.
+func (s *Scheme) MaxCentroidListLen() int {
+	maxLen := 0
+	for i := range s.labels {
+		if len(s.labels[i].Centroids) > maxLen {
+			maxLen = len(s.labels[i].Centroids)
+		}
+	}
+	return maxLen
+}

@@ -1,0 +1,246 @@
+package treelabel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+// queryAgainstTruth checks one query against exact recomputation.
+func queryAgainstTruth(t *testing.T, g *graph.Graph, s *Scheme, u, v int, f *graph.FaultSet) {
+	t.Helper()
+	var vf []*Label
+	for _, x := range f.Vertices() {
+		vf = append(vf, s.Label(x))
+	}
+	var ef [][2]*Label
+	for _, e := range f.Edges() {
+		ef = append(ef, [2]*Label{s.Label(e[0]), s.Label(e[1])})
+	}
+	got, ok := Query(s.Label(u), s.Label(v), vf, ef)
+	want := g.DistAvoiding(u, v, f)
+	if graph.Reachable(want) != ok {
+		t.Fatalf("query (%d,%d,F=%v/%v): ok=%v, want reachable=%v",
+			u, v, f.Vertices(), f.Edges(), ok, graph.Reachable(want))
+	}
+	if ok && got != want {
+		t.Fatalf("query (%d,%d): got %d, want %d (exact scheme!)", u, v, got, want)
+	}
+}
+
+func TestBuildRejectsNonTrees(t *testing.T) {
+	if _, err := Build(gen.Grid2D(3, 3)); err == nil {
+		t.Error("grid must be rejected")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	// 4 vertices, 2 edges: not a tree (m != n-1).
+	if _, err := Build(b.MustBuild()); err == nil {
+		t.Error("forest must be rejected")
+	}
+	// n-1 edges but disconnected (has a cycle + isolated vertex).
+	b2 := graph.NewBuilder(4)
+	b2.AddEdge(0, 1)
+	b2.AddEdge(1, 2)
+	b2.AddEdge(2, 0)
+	if _, err := Build(b2.MustBuild()); err == nil {
+		t.Error("cycle + isolated vertex must be rejected")
+	}
+}
+
+func TestExactDistancesPath(t *testing.T) {
+	g := gen.Path(30)
+	s, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 30; u += 3 {
+		for v := 0; v < 30; v += 4 {
+			d, ok := DistFromLabels(s.Label(u), s.Label(v))
+			if !ok || int(d) != abs(u-v) {
+				t.Fatalf("d(%d,%d) = (%d,%v), want %d", u, v, d, ok, abs(u-v))
+			}
+		}
+	}
+}
+
+func TestExactDistancesRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(80)
+		g := gen.RandomTree(n, rng)
+		s, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 30; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			want := g.Dist(u, v)
+			got, ok := DistFromLabels(s.Label(u), s.Label(v))
+			if !ok || got != want {
+				t.Fatalf("n=%d: d(%d,%d) = (%d,%v), want %d", n, u, v, got, ok, want)
+			}
+		}
+	}
+}
+
+func TestVertexFaultQueries(t *testing.T) {
+	g := gen.Path(20)
+	s, _ := Build(g)
+	queryAgainstTruth(t, g, s, 0, 19, graph.FaultVertices(10)) // disconnects
+	queryAgainstTruth(t, g, s, 0, 9, graph.FaultVertices(15))  // unaffected
+	queryAgainstTruth(t, g, s, 5, 5, graph.FaultVertices(5))   // failed self
+	tree, _ := gen.BalancedBinaryTree(5)
+	st, err := Build(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryAgainstTruth(t, tree, st, 15, 16, graph.FaultVertices(7)) // siblings lose parent
+	queryAgainstTruth(t, tree, st, 15, 3, graph.FaultVertices(16))
+}
+
+func TestEdgeFaultQueries(t *testing.T) {
+	g := gen.Path(12)
+	s, _ := Build(g)
+	f := graph.NewFaultSet()
+	f.AddEdge(5, 6)
+	queryAgainstTruth(t, g, s, 0, 11, f) // cut
+	queryAgainstTruth(t, g, s, 0, 5, f)  // same side
+	queryAgainstTruth(t, g, s, 6, 11, f) // other side
+}
+
+// Property: on random trees with random fault sets, the scheme is exact.
+func TestExactnessProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		g := gen.RandomTree(n, rng)
+		s, err := Build(g)
+		if err != nil {
+			return false
+		}
+		for q := 0; q < 12; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			f := graph.NewFaultSet()
+			for i := 0; i < rng.Intn(4); i++ {
+				f.AddVertex(rng.Intn(n))
+			}
+			if rng.Intn(2) == 1 && n > 1 {
+				x := 1 + rng.Intn(n-1)
+				f.AddEdge(x, int(s.Label(x).Parent))
+			}
+			if f.HasVertex(u) || f.HasVertex(v) {
+				continue
+			}
+			var vf []*Label
+			for _, x := range f.Vertices() {
+				vf = append(vf, s.Label(x))
+			}
+			var ef [][2]*Label
+			for _, e := range f.Edges() {
+				ef = append(ef, [2]*Label{s.Label(e[0]), s.Label(e[1])})
+			}
+			got, ok := Query(s.Label(u), s.Label(v), vf, ef)
+			want := g.DistAvoiding(u, v, f)
+			if graph.Reachable(want) != ok {
+				return false
+			}
+			if ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroidListLogarithmic(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		g := gen.Path(n)
+		s, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := int(math.Log2(float64(n))) + 2
+		if got := s.MaxCentroidListLen(); got > bound {
+			t.Errorf("n=%d: centroid list %d > log bound %d", n, got, bound)
+		}
+	}
+}
+
+func TestLabelBitsPolylog(t *testing.T) {
+	// O(log^2 n)-bit labels: measure the growth.
+	bits := map[int]float64{}
+	for _, n := range []int{128, 1024, 8192} {
+		g := gen.Path(n)
+		s, _ := Build(g)
+		total := 0
+		for v := 0; v < n; v += n / 32 {
+			total += s.LabelBits(v)
+		}
+		bits[n] = float64(total) / 32
+	}
+	// log²(8192)/log²(128) ≈ 3.45: allow up to 6x growth across 64x n.
+	if bits[8192] > 6*bits[128] {
+		t.Errorf("label bits grew %0.f -> %0.f across 64x n — not polylog",
+			bits[128], bits[8192])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.RandomTree(50, rng)
+	s, _ := Build(g)
+	for _, v := range []int{0, 17, 49} {
+		buf, nbits := s.Label(v).Encode()
+		got, err := DecodeLabel(buf, nbits)
+		if err != nil {
+			t.Fatalf("decode %d: %v", v, err)
+		}
+		want := s.Label(v)
+		if got.V != want.V || got.In != want.In || got.Out != want.Out ||
+			got.Depth != want.Depth || got.Parent != want.Parent {
+			t.Fatalf("label %d scalar fields differ after round trip", v)
+		}
+		if len(got.Centroids) != len(want.Centroids) {
+			t.Fatalf("label %d centroid count differs", v)
+		}
+		for i := range want.Centroids {
+			if got.Centroids[i] != want.Centroids[i] {
+				t.Fatalf("label %d centroid %d differs", v, i)
+			}
+		}
+	}
+	if _, err := DecodeLabel([]byte{0xff}, 8); err == nil {
+		t.Error("garbage must not decode")
+	}
+}
+
+func TestTinyTrees(t *testing.T) {
+	single := graph.NewBuilder(1).MustBuild()
+	s, err := Build(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := Query(s.Label(0), s.Label(0), nil, nil); !ok || d != 0 {
+		t.Errorf("singleton self query = (%d,%v)", d, ok)
+	}
+	empty := graph.NewBuilder(0).MustBuild()
+	if _, err := Build(empty); err != nil {
+		t.Errorf("empty graph should build trivially: %v", err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

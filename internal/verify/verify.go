@@ -1,0 +1,232 @@
+// Package verify implements an end-to-end checker for the scheme's
+// guarantees on a concrete graph: it compares forbidden-set queries (and
+// optionally routes) against exact recomputation over enumerated or
+// sampled (s, t, F) triples, and reports every violation of
+//
+//   - safety: estimates below the true surviving distance,
+//   - connectivity: ok-flag disagreeing with true reachability,
+//   - stretch: estimates above (1+ε)·d_{G\F},
+//   - routing: undelivered or fault-touching or over-long routes.
+//
+// It backs the `fsdl verify` CLI command and the cross-package integration
+// tests; on small graphs with MaxFaults ≤ 2 the check is exhaustive.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+	"fsdl/internal/routing"
+)
+
+// Options configures a verification run.
+type Options struct {
+	// Epsilon is the scheme precision (required, > 0).
+	Epsilon float64
+	// MaxFaults bounds the fault-set sizes exercised (vertex faults; edge
+	// faults get MaxFaults/2, rounded up when MaxFaults ≥ 1).
+	MaxFaults int
+	// MaxQueries caps the total number of (s,t,F) triples; beyond the
+	// exhaustive budget the checker samples. ≤ 0 means 2000.
+	MaxQueries int
+	// CheckRouting also routes every connected query and validates the
+	// path.
+	CheckRouting bool
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Violation describes one failed check.
+type Violation struct {
+	Kind     string
+	Src, Dst int
+	Faults   []int
+	Detail   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: (%d,%d) F=%v: %s", v.Kind, v.Src, v.Dst, v.Faults, v.Detail)
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	Queries    int
+	Routes     int
+	Violations []Violation
+}
+
+// OK reports whether no violation was found.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Scheme verifies a graph end to end.
+func Scheme(g *graph.Graph, opts Options) (*Report, error) {
+	if opts.Epsilon <= 0 {
+		return nil, fmt.Errorf("verify: epsilon must be positive")
+	}
+	if opts.MaxQueries <= 0 {
+		opts.MaxQueries = 2000
+	}
+	s, err := core.BuildScheme(g, opts.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	s.SetCacheLimit(4096)
+	if err := s.Hierarchy().VerifyInvariants(); err != nil {
+		return nil, fmt.Errorf("verify: net hierarchy broken: %w", err)
+	}
+	// Label integrity: every label validates structurally and survives a
+	// serialization round trip (sampled on large graphs).
+	step := 1
+	if n := g.NumVertices(); n > 256 {
+		step = n / 256
+	}
+	for v := 0; v < g.NumVertices(); v += step {
+		l := s.Label(v)
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("verify: label %d invalid: %w", v, err)
+		}
+		buf, nbits := l.Encode()
+		if _, err := core.DecodeLabel(buf, nbits); err != nil {
+			return nil, fmt.Errorf("verify: label %d round trip: %w", v, err)
+		}
+	}
+	var rs *routing.Scheme
+	if opts.CheckRouting {
+		rs = routing.New(s)
+	}
+	rep := &Report{}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := g.NumVertices()
+	budget := opts.MaxQueries
+
+	check := func(src, dst int, f *graph.FaultSet) {
+		if budget <= 0 || f.HasVertex(src) || f.HasVertex(dst) {
+			return
+		}
+		budget--
+		rep.Queries++
+		truth := g.DistAvoiding(src, dst, f)
+		est, ok := s.Distance(src, dst, f)
+		faults := f.Vertices()
+		for _, e := range f.Edges() {
+			faults = append(faults, e[0], e[1])
+		}
+		if !graph.Reachable(truth) {
+			if ok {
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: "connectivity", Src: src, Dst: dst, Faults: faults,
+					Detail: fmt.Sprintf("reported %d but truly disconnected", est),
+				})
+			}
+			return
+		}
+		if !ok {
+			rep.Violations = append(rep.Violations, Violation{
+				Kind: "connectivity", Src: src, Dst: dst, Faults: faults,
+				Detail: fmt.Sprintf("reported disconnected, true distance %d", truth),
+			})
+			return
+		}
+		if est < int64(truth) {
+			rep.Violations = append(rep.Violations, Violation{
+				Kind: "safety", Src: src, Dst: dst, Faults: faults,
+				Detail: fmt.Sprintf("estimate %d < true %d", est, truth),
+			})
+		}
+		if truth > 0 && float64(est) > (1+opts.Epsilon)*float64(truth)+1e-9 {
+			rep.Violations = append(rep.Violations, Violation{
+				Kind: "stretch", Src: src, Dst: dst, Faults: faults,
+				Detail: fmt.Sprintf("estimate %d > (1+%g)*%d", est, opts.Epsilon, truth),
+			})
+		}
+		if rs != nil {
+			rep.Routes++
+			r, ok := rs.RouteWithFaults(src, dst, f)
+			if !ok {
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: "routing", Src: src, Dst: dst, Faults: faults,
+					Detail: "route not found though connected",
+				})
+				return
+			}
+			if verr := validRoute(g, r, src, dst, f); verr != "" {
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: "routing", Src: src, Dst: dst, Faults: faults, Detail: verr,
+				})
+				return
+			}
+			if truth > 0 && float64(r.Length) > (1+opts.Epsilon)*float64(truth)+1e-9 {
+				rep.Violations = append(rep.Violations, Violation{
+					Kind: "routing-stretch", Src: src, Dst: dst, Faults: faults,
+					Detail: fmt.Sprintf("route length %d > (1+%g)*%d", r.Length, opts.Epsilon, truth),
+				})
+			}
+		}
+	}
+
+	// Exhaustive over pairs with F = ∅ and |F| = 1 when the budget
+	// allows; otherwise sampled.
+	exhaustivePairs := n*n <= opts.MaxQueries/2
+	if exhaustivePairs {
+		for src := 0; src < n; src++ {
+			for dst := src + 1; dst < n; dst++ {
+				check(src, dst, nil)
+			}
+		}
+		if opts.MaxFaults >= 1 && n*n*n <= opts.MaxQueries {
+			for src := 0; src < n; src++ {
+				for dst := src + 1; dst < n; dst++ {
+					for fv := 0; fv < n; fv++ {
+						check(src, dst, graph.FaultVertices(fv))
+					}
+				}
+			}
+		}
+	}
+	for budget > 0 {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		f := graph.NewFaultSet()
+		if opts.MaxFaults > 0 {
+			for f.NumVertices() < rng.Intn(opts.MaxFaults+1) {
+				v := rng.Intn(n)
+				if v != src && v != dst {
+					f.AddVertex(v)
+				}
+			}
+			// Mix in edge faults on existing edges.
+			for i := 0; i < rng.Intn(opts.MaxFaults/2+1); i++ {
+				u := rng.Intn(n)
+				nb := g.Neighbors(u)
+				if len(nb) > 0 {
+					f.AddEdge(u, int(nb[rng.Intn(len(nb))]))
+				}
+			}
+		}
+		check(src, dst, f)
+	}
+	return rep, nil
+}
+
+func validRoute(g *graph.Graph, r routing.Route, src, dst int, f *graph.FaultSet) string {
+	if len(r.Path) == 0 || r.Path[0] != src || r.Path[len(r.Path)-1] != dst {
+		return fmt.Sprintf("path endpoints wrong: %v", r.Path)
+	}
+	for i := 1; i < len(r.Path); i++ {
+		u, v := r.Path[i-1], r.Path[i]
+		if !g.HasEdge(u, v) {
+			return fmt.Sprintf("hop (%d,%d) is not an edge", u, v)
+		}
+		if f.HasVertex(u) || f.HasVertex(v) {
+			return fmt.Sprintf("hop (%d,%d) touches a failed vertex", u, v)
+		}
+		if f.HasEdge(u, v) {
+			return fmt.Sprintf("hop (%d,%d) uses a failed edge", u, v)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,109 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+func TestVerifyGridClean(t *testing.T) {
+	rep, err := Scheme(gen.Grid2D(6, 6), Options{
+		Epsilon:      2,
+		MaxFaults:    2,
+		MaxQueries:   400,
+		CheckRouting: true,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if rep.Queries == 0 || rep.Routes == 0 {
+		t.Fatalf("verifier did nothing: %+v", rep)
+	}
+}
+
+func TestVerifyExhaustiveTinyGraph(t *testing.T) {
+	// 3x3 grid: exhaustive pairs + single faults fit the budget.
+	rep, err := Scheme(gen.Grid2D(3, 3), Options{
+		Epsilon:    2,
+		MaxFaults:  1,
+		MaxQueries: 2000,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations on tiny grid: %v", rep.Violations)
+	}
+	// 36 pairs + 36*9 single-fault triples + sampled remainder.
+	if rep.Queries < 300 {
+		t.Errorf("expected exhaustive coverage, got %d queries", rep.Queries)
+	}
+}
+
+func TestVerifyCatchesBadEpsilon(t *testing.T) {
+	if _, err := Scheme(gen.Path(5), Options{Epsilon: 0}); err == nil {
+		t.Error("epsilon 0 must error")
+	}
+}
+
+func TestVerifyDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i+1 < 5; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(5+i, 5+i+1)
+	}
+	rep, err := Scheme(b.MustBuild(), Options{Epsilon: 2, MaxFaults: 1, MaxQueries: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations on disconnected graph: %v", rep.Violations)
+	}
+}
+
+func TestVerifyCycleWithRouting(t *testing.T) {
+	c, err := gen.Cycle(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scheme(c, Options{Epsilon: 2, MaxFaults: 2, MaxQueries: 500, CheckRouting: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations on cycle: %v", rep.Violations)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "safety", Src: 1, Dst: 2, Faults: []int{3}, Detail: "x"}
+	s := v.String()
+	for _, want := range []string{"safety", "(1,2)", "[3]", "x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestVerifyTree(t *testing.T) {
+	tree, err := gen.BalancedBinaryTree(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scheme(tree, Options{Epsilon: 1.5, MaxFaults: 2, MaxQueries: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations on tree: %v", rep.Violations)
+	}
+}

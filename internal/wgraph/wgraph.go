@@ -1,0 +1,208 @@
+// Package wgraph extends the (unweighted) labeling scheme to graphs with
+// small integer edge weights — the road-network setting the paper's
+// Applications section motivates ("extend the notion of hub labels to
+// allow dynamic and forbidden-set distance labels... road closures,
+// accidents") — via the standard subdivision reduction: an edge of weight
+// w becomes a path of w unit edges through w−1 fresh vertices. For weights
+// bounded by W the doubling dimension grows by at most an O(log W)
+// additive term, so all of the scheme's guarantees carry over with the
+// corresponding constants.
+//
+// Faults translate exactly: a forbidden original vertex is forbidden in
+// the subdivision; a forbidden original edge forbids one of its
+// subdivision vertices (or the unit edge itself when w = 1).
+package wgraph
+
+import (
+	"fmt"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+)
+
+// WeightedGraph is an undirected graph with positive integer edge weights.
+type WeightedGraph struct {
+	n     int
+	edges []WeightedEdge
+	index map[[2]int32]int32 // canonical (u<v) -> index into edges
+}
+
+// WeightedEdge is one weighted edge.
+type WeightedEdge struct {
+	U, V   int
+	Weight int32
+}
+
+// NewWeightedGraph returns an empty weighted graph on n vertices.
+func NewWeightedGraph(n int) *WeightedGraph {
+	return &WeightedGraph{n: n, index: make(map[[2]int32]int32)}
+}
+
+// NumVertices returns the number of original vertices.
+func (w *WeightedGraph) NumVertices() int { return w.n }
+
+// NumEdges returns the number of weighted edges.
+func (w *WeightedGraph) NumEdges() int { return len(w.edges) }
+
+// AddEdge inserts the edge (u,v) with the given positive weight.
+func (w *WeightedGraph) AddEdge(u, v int, weight int32) error {
+	if u < 0 || u >= w.n || v < 0 || v >= w.n {
+		return fmt.Errorf("wgraph: edge (%d,%d) out of range [0,%d)", u, v, w.n)
+	}
+	if u == v {
+		return fmt.Errorf("wgraph: self-loop at %d", u)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("wgraph: weight %d must be positive", weight)
+	}
+	key := canonical(u, v)
+	if _, dup := w.index[key]; dup {
+		return fmt.Errorf("wgraph: duplicate edge (%d,%d)", u, v)
+	}
+	w.index[key] = int32(len(w.edges))
+	w.edges = append(w.edges, WeightedEdge{U: u, V: v, Weight: weight})
+	return nil
+}
+
+// Subdivision is the unit-edge expansion of a weighted graph, with the
+// bookkeeping to translate vertices and faults between the two worlds.
+type Subdivision struct {
+	// G is the subdivided unweighted graph. Original vertices keep their
+	// ids 0..n−1; subdivision vertices follow.
+	G *graph.Graph
+	// midpoints[i] lists the subdivision vertices of edge i, in order
+	// from U to V (empty for weight-1 edges).
+	midpoints [][]int32
+	index     map[[2]int32]int32
+	n         int
+}
+
+// Subdivide expands the weighted graph into unit edges.
+func (w *WeightedGraph) Subdivide() (*Subdivision, error) {
+	total := w.n
+	for _, e := range w.edges {
+		total += int(e.Weight) - 1
+	}
+	b := graph.NewBuilder(total)
+	midpoints := make([][]int32, len(w.edges))
+	next := w.n
+	for i, e := range w.edges {
+		prev := e.U
+		for k := int32(1); k < e.Weight; k++ {
+			midpoints[i] = append(midpoints[i], int32(next))
+			b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, e.V)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("wgraph: subdivide: %w", err)
+	}
+	return &Subdivision{G: g, midpoints: midpoints, index: w.index, n: w.n}, nil
+}
+
+// TranslateFaults maps a fault set over the weighted graph (original
+// vertex ids; edges as original endpoints) to a fault set over the
+// subdivision. An edge fault forbids its first subdivision vertex, or the
+// unit edge itself for weight-1 edges.
+func (s *Subdivision) TranslateFaults(f *graph.FaultSet) (*graph.FaultSet, error) {
+	out := graph.NewFaultSet()
+	if f == nil {
+		return out, nil
+	}
+	for _, v := range f.Vertices() {
+		if v < 0 || v >= s.n {
+			return nil, fmt.Errorf("wgraph: fault vertex %d is not an original vertex", v)
+		}
+		out.AddVertex(v)
+	}
+	for _, e := range f.Edges() {
+		idx, ok := s.index[canonical(e[0], e[1])]
+		if !ok {
+			return nil, fmt.Errorf("wgraph: fault edge (%d,%d) is not a weighted edge", e[0], e[1])
+		}
+		if mids := s.midpoints[idx]; len(mids) > 0 {
+			out.AddVertex(int(mids[0]))
+		} else {
+			out.AddEdge(e[0], e[1])
+		}
+	}
+	return out, nil
+}
+
+// Scheme is the forbidden-set distance labeling scheme for a weighted
+// graph: the core scheme built on the subdivision, plus the fault
+// translation.
+type Scheme struct {
+	sub  *Subdivision
+	core *core.Scheme
+}
+
+// BuildScheme preprocesses a weighted graph at precision ε.
+func BuildScheme(w *WeightedGraph, epsilon float64) (*Scheme, error) {
+	sub, err := w.Subdivide()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := core.BuildScheme(sub.G, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{sub: sub, core: cs}, nil
+}
+
+// Core exposes the underlying unweighted scheme (for label inspection).
+func (s *Scheme) Core() *core.Scheme { return s.core }
+
+// SubdividedSize returns the vertex count of the unit-edge expansion.
+func (s *Scheme) SubdividedSize() int { return s.sub.G.NumVertices() }
+
+// Distance answers the weighted forbidden-set query (u,v,F): u, v and the
+// faults are in original-graph terms; the answer is a (1+ε)-approximate
+// weighted distance in W\F. ok is false when disconnected.
+func (s *Scheme) Distance(u, v int, faults *graph.FaultSet) (int64, bool) {
+	if u < 0 || u >= s.sub.n || v < 0 || v >= s.sub.n {
+		return 0, false
+	}
+	tf, err := s.sub.TranslateFaults(faults)
+	if err != nil {
+		return 0, false
+	}
+	return s.core.Distance(u, v, tf)
+}
+
+// ExactDistance computes the true weighted surviving distance by Dijkstra
+// on the subdivision — the ground truth the tests and experiments compare
+// against.
+func (s *Subdivision) ExactDistance(u, v int, faults *graph.FaultSet) (int64, bool) {
+	tf, err := s.TranslateFaults(faults)
+	if err != nil {
+		return 0, false
+	}
+	d := s.G.DistAvoiding(u, v, tf)
+	if !graph.Reachable(d) {
+		return 0, false
+	}
+	return int64(d), true
+}
+
+func canonical(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
+// FromEdgeWeights builds a weighted graph from the (topology, weights)
+// pair produced by graph.ReadDIMACS.
+func FromEdgeWeights(n int, weights map[[2]int]int32) (*WeightedGraph, error) {
+	wg := NewWeightedGraph(n)
+	for e, w := range weights {
+		if err := wg.AddEdge(e[0], e[1], w); err != nil {
+			return nil, err
+		}
+	}
+	return wg, nil
+}

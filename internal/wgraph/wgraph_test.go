@@ -1,0 +1,250 @@
+package wgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsdl/internal/graph"
+)
+
+// weightedGrid builds a w×h grid with random weights in [1, maxW].
+func weightedGrid(t testing.TB, w, h int, maxW int32, rng *rand.Rand) *WeightedGraph {
+	t.Helper()
+	wg := NewWeightedGraph(w * h)
+	add := func(u, v int) {
+		if err := wg.AddEdge(u, v, 1+rng.Int31n(maxW)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				add(y*w+x, y*w+x+1)
+			}
+			if y+1 < h {
+				add(y*w+x, (y+1)*w+x)
+			}
+		}
+	}
+	return wg
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	wg := NewWeightedGraph(3)
+	if err := wg.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := wg.AddEdge(1, 0, 3); err == nil {
+		t.Error("duplicate edge must be rejected")
+	}
+	if err := wg.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop must be rejected")
+	}
+	if err := wg.AddEdge(0, 2, 0); err == nil {
+		t.Error("zero weight must be rejected")
+	}
+	if err := wg.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range endpoint must be rejected")
+	}
+}
+
+func TestSubdivideStructure(t *testing.T) {
+	wg := NewWeightedGraph(3)
+	wg.AddEdge(0, 1, 3) // path of 3 unit edges via 2 midpoints
+	wg.AddEdge(1, 2, 1) // stays a single edge
+	sub, err := wg.Subdivide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.G.NumVertices() != 5 { // 3 original + 2 midpoints
+		t.Fatalf("subdivision has %d vertices, want 5", sub.G.NumVertices())
+	}
+	if sub.G.NumEdges() != 4 {
+		t.Fatalf("subdivision has %d edges, want 4", sub.G.NumEdges())
+	}
+	if d := sub.G.Dist(0, 1); d != 3 {
+		t.Errorf("d(0,1) = %d in subdivision, want weight 3", d)
+	}
+	if d := sub.G.Dist(0, 2); d != 4 {
+		t.Errorf("d(0,2) = %d, want 4", d)
+	}
+}
+
+func TestTranslateFaults(t *testing.T) {
+	wg := NewWeightedGraph(3)
+	wg.AddEdge(0, 1, 3)
+	wg.AddEdge(1, 2, 1)
+	sub, _ := wg.Subdivide()
+
+	f := graph.FaultVertices(1)
+	f.AddEdge(0, 1) // weight 3: becomes a midpoint fault
+	f.AddEdge(1, 2) // weight 1: stays an edge fault
+	tf, err := sub.TranslateFaults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tf.HasVertex(1) {
+		t.Error("original vertex fault must carry over")
+	}
+	if tf.NumVertices() != 2 { // vertex 1 + one midpoint of (0,1)
+		t.Errorf("translated vertex faults = %d, want 2", tf.NumVertices())
+	}
+	if !tf.HasEdge(1, 2) {
+		t.Error("weight-1 edge fault must stay an edge fault")
+	}
+	// Unknown edges and subdivision vertices are rejected.
+	bad := graph.NewFaultSet()
+	bad.AddEdge(0, 2)
+	if _, err := sub.TranslateFaults(bad); err == nil {
+		t.Error("non-edge fault must be rejected")
+	}
+	bad2 := graph.FaultVertices(4) // a midpoint, not an original vertex
+	if _, err := sub.TranslateFaults(bad2); err == nil {
+		t.Error("midpoint vertex fault must be rejected")
+	}
+	if tf, err := sub.TranslateFaults(nil); err != nil || tf.Size() != 0 {
+		t.Error("nil faults must translate to empty")
+	}
+}
+
+func TestWeightedSchemeGuarantees(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wg := weightedGrid(t, 6, 6, 4, rng)
+	s, err := BuildScheme(wg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := wg.Subdivide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		u, v := rng.Intn(36), rng.Intn(36)
+		f := graph.NewFaultSet()
+		for i := 0; i < rng.Intn(4); i++ {
+			f.AddVertex(rng.Intn(36))
+		}
+		if rng.Intn(2) == 1 {
+			e := wgRandomEdge(wg, rng)
+			f.AddEdge(e.U, e.V)
+		}
+		if f.HasVertex(u) || f.HasVertex(v) {
+			continue
+		}
+		truth, reachable := sub.ExactDistance(u, v, f)
+		est, ok := s.Distance(u, v, f)
+		if reachable != ok {
+			t.Fatalf("(%d,%d): ok=%v, want %v", u, v, ok, reachable)
+		}
+		if !ok {
+			continue
+		}
+		if est < truth {
+			t.Fatalf("(%d,%d): estimate %d below true weighted distance %d", u, v, est, truth)
+		}
+		if truth > 0 && float64(est) > 3*float64(truth)+1e-9 {
+			t.Fatalf("(%d,%d): estimate %d exceeds 3x true %d", u, v, est, truth)
+		}
+	}
+}
+
+func wgRandomEdge(wg *WeightedGraph, rng *rand.Rand) WeightedEdge {
+	return wg.edges[rng.Intn(len(wg.edges))]
+}
+
+func TestWeightedEndpointFault(t *testing.T) {
+	wg := NewWeightedGraph(2)
+	wg.AddEdge(0, 1, 5)
+	s, err := BuildScheme(wg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := s.Distance(0, 1, nil); !ok || d < 5 {
+		t.Fatalf("Distance = (%d,%v), want >= 5", d, ok)
+	}
+	f := graph.NewFaultSet()
+	f.AddEdge(0, 1)
+	if _, ok := s.Distance(0, 1, f); ok {
+		t.Error("cutting the only (weighted) edge must disconnect")
+	}
+	if _, ok := s.Distance(0, 5, nil); ok {
+		t.Error("querying a subdivision vertex must fail")
+	}
+}
+
+// Property: on random weighted graphs, the weighted scheme matches the
+// subdivision ground truth within the stretch bound.
+func TestWeightedSchemeProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		wg := NewWeightedGraph(n)
+		// Random connected weighted graph: spanning tree + extras.
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			wg.AddEdge(perm[i], perm[rng.Intn(i)], 1+rng.Int31n(3))
+		}
+		for i := 0; i < n/2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				wg.AddEdge(u, v, 1+rng.Int31n(3)) // duplicate errors ignored
+			}
+		}
+		s, err := BuildScheme(wg, 2)
+		if err != nil {
+			return false
+		}
+		sub, err := wg.Subdivide()
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 6; trial++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			f := graph.NewFaultSet()
+			if rng.Intn(2) == 1 {
+				fv := rng.Intn(n)
+				if fv != u && fv != v {
+					f.AddVertex(fv)
+				}
+			}
+			truth, reachable := sub.ExactDistance(u, v, f)
+			est, ok := s.Distance(u, v, f)
+			if reachable != ok {
+				return false
+			}
+			if ok && (est < truth || (truth > 0 && float64(est) > 3*float64(truth)+1e-9)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromEdgeWeights(t *testing.T) {
+	weights := map[[2]int]int32{{0, 1}: 3, {1, 2}: 2}
+	wg, err := FromEdgeWeights(3, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wg.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", wg.NumEdges())
+	}
+	s, err := BuildScheme(wg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := s.Distance(0, 2, nil); !ok || d < 5 {
+		t.Fatalf("Distance(0,2) = (%d,%v), want >= 5", d, ok)
+	}
+	bad := map[[2]int]int32{{0, 9}: 1}
+	if _, err := FromEdgeWeights(3, bad); err == nil {
+		t.Error("out-of-range edge must be rejected")
+	}
+}
