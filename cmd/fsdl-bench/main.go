@@ -1,9 +1,10 @@
-// Command fsdl-bench runs the reproduction experiments E1–E8 (see
+// Command fsdl-bench runs the reproduction experiments E1–E15 (see
 // DESIGN.md and EXPERIMENTS.md) and prints their reports.
 //
 // Usage:
 //
 //	fsdl-bench [-exp E1|E2|...|all] [-quick] [-seed N]
+//	fsdl-bench -chaos [-quick] [-seed N]   # resilience scenario (alias for -exp E15)
 package main
 
 import (
@@ -24,12 +25,19 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("fsdl-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run (E1..E13, or 'all')")
+	exp := fs.String("exp", "all", "experiment to run (E1..E15, or 'all')")
 	quick := fs.Bool("quick", false, "shrink instance sizes for a fast smoke run")
 	seed := fs.Int64("seed", 1, "random seed")
 	list := fs.Bool("list", false, "list experiments and exit")
+	chaos := fs.Bool("chaos", false, "run the chaos/resilience scenario (alias for -exp E15)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos {
+		if *exp != "all" && !strings.EqualFold(*exp, "E15") {
+			return fmt.Errorf("-chaos conflicts with -exp %s", *exp)
+		}
+		*exp = "E15"
 	}
 	if *list {
 		for _, e := range experiments.All() {

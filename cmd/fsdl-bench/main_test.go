@@ -59,3 +59,25 @@ func TestBenchBadFlag(t *testing.T) {
 		t.Error("bad flag must error")
 	}
 }
+
+func TestBenchChaosFlag(t *testing.T) {
+	out, err := runToFile(t, "-chaos", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E15: Chaos resilience") {
+		t.Errorf("-chaos did not run E15:\n%s", out)
+	}
+	if !strings.Contains(out, "byte-for-byte identical") {
+		t.Errorf("chaos run not reproducible:\n%s", out)
+	}
+	if !strings.Contains(out, "0 safety violations") {
+		t.Errorf("degraded decoding violated safety:\n%s", out)
+	}
+}
+
+func TestBenchChaosConflictsWithExp(t *testing.T) {
+	if _, err := runToFile(t, "-chaos", "-exp", "E6"); err == nil {
+		t.Error("-chaos with a different -exp must error")
+	}
+}

@@ -37,6 +37,13 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Validate the attack parameters before producing ANY output: a
+	// malformed (p,d) must fail whole, not after the counting table.
+	if !*skipAttack {
+		if err := lowerbound.ValidateFamily(*p, *d); err != nil {
+			return fmt.Errorf("invalid attack instance: %w (use -skip-attack for the counting table alone)", err)
+		}
+	}
 
 	table := stats.NewTable("p", "d", "n", "alpha", "|E(G)|", "|E(H)|", "free",
 		"bits/label >=", "2^{alpha/2}")

@@ -41,6 +41,26 @@ func TestLBRejectsOddD(t *testing.T) {
 	if err := run([]string{"-p", "3", "-d", "3"}, &buf); err == nil {
 		t.Error("odd d must error (H_{p,d} undefined)")
 	}
+	// Malformed input must fail whole: no partial counting table.
+	if buf.Len() != 0 {
+		t.Errorf("odd d produced partial output before failing:\n%s", buf.String())
+	}
+}
+
+func TestLBRejectsMalformedWithoutPartialOutput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-p", "1", "-d", "2"},
+		{"-p", "3", "-d", "0"},
+		{"-p", "1000", "-d", "10"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v must error", args)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%v produced partial output before failing:\n%s", args, buf.String())
+		}
+	}
 }
 
 func TestLBBadFlag(t *testing.T) {

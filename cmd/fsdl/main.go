@@ -11,7 +11,7 @@
 //	fsdl route -in graph.txt -s 0 -t 99 [-eps 2] [-fail 5,17]
 //	fsdl verify -in graph.txt [-eps 2] [-maxfaults 3]
 //	fsdl labels -in graph.txt -out labels.fsdl [-region 12 -radius 5]
-//	fsdl querydb -db labels.fsdl -s 0 -t 99 [-fail 5,17]
+//	fsdl querydb -db labels.fsdl -s 0 -t 99 [-fail 5,17] [-salvage]
 //	fsdl trace -size 12 -s 0 [-fail 60,61,62]
 //	fsdl buildscheme -in graph.txt -out scheme.fsdls [-eps 2]
 //	fsdl wquery -in roads.gr -s 0 -t 99 [-fail 5,17]
@@ -170,6 +170,7 @@ func cmdQueryDB(args []string, out io.Writer) error {
 	dst := fs.Int("t", 0, "target vertex")
 	failList := fs.String("fail", "", "comma-separated failed vertices")
 	failEdges := fs.String("failedge", "", "comma-separated failed edges as u-v")
+	salvage := fs.Bool("salvage", false, "tolerate a damaged store: skip corrupt records and answer conservatively (safe upper bounds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,11 +179,37 @@ func cmdQueryDB(args []string, out io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	st, err := labelstore.Load(f)
+	faults, err := parseFaults(*failList, *failEdges)
 	if err != nil {
 		return err
 	}
-	faults, err := parseFaults(*failList, *failEdges)
+	if *salvage {
+		st, rep, err := labelstore.LoadPartial(f)
+		if err != nil {
+			return err
+		}
+		if rep.Lost() > 0 {
+			fmt.Fprintf(out, "salvage: kept %d/%d records (%d corrupt, truncated: %v)\n",
+				rep.Kept, rep.Total, len(rep.Corrupt), rep.Truncated)
+		}
+		res, err := st.DistanceRobust(*src, *dst, faults, 0)
+		if err != nil {
+			return err
+		}
+		if !res.OK {
+			fmt.Fprintf(out, "no answer for %d -> %d avoiding |F|=%d (disconnected, or endpoints unrecoverable)\n",
+				*src, *dst, faults.Size())
+			return nil
+		}
+		mode := "exact-mode"
+		if res.Degraded {
+			mode = fmt.Sprintf("DEGRADED upper bound (%d fault labels missing/corrupt)", len(res.MissingFaultLabels))
+		}
+		fmt.Fprintf(out, "estimated distance %d -> %d avoiding |F|=%d: %d — %s, from %d stored labels\n",
+			*src, *dst, faults.Size(), res.Dist, mode, st.NumLabels())
+		return nil
+	}
+	st, err := labelstore.Load(f)
 	if err != nil {
 		return err
 	}

@@ -148,6 +148,44 @@ func TestCLILabelsAndQueryDB(t *testing.T) {
 	}
 }
 
+func TestCLIQueryDBSalvage(t *testing.T) {
+	gpath := genGraphFile(t)
+	dbPath := filepath.Join(t.TempDir(), "labels.fsdl")
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", dbPath); err != nil {
+		t.Fatal(err)
+	}
+	// -salvage on an intact store answers in exact mode, no salvage banner.
+	out, err := runCLI(t, "querydb", "-db", dbPath, "-s", "0", "-t", "35", "-fail", "7", "-salvage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exact-mode") || strings.Contains(out, "salvage:") {
+		t.Errorf("intact-store salvage output wrong:\n%s", out)
+	}
+	// Corrupt one byte mid-file: strict load fails whole, salvage answers.
+	data, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x20
+	if err := os.WriteFile(dbPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "querydb", "-db", dbPath, "-s", "0", "-t", "35", "-fail", "7"); err == nil {
+		t.Error("strict querydb must fail on a corrupt store")
+	}
+	out, err = runCLI(t, "querydb", "-db", dbPath, "-s", "0", "-t", "35", "-fail", "7", "-salvage")
+	if err != nil {
+		t.Fatalf("salvage querydb failed: %v", err)
+	}
+	if !strings.Contains(out, "salvage: kept") {
+		t.Errorf("missing salvage banner:\n%s", out)
+	}
+	if !strings.Contains(out, "estimated distance") && !strings.Contains(out, "no answer") {
+		t.Errorf("salvage query produced no verdict:\n%s", out)
+	}
+}
+
 func TestCLITrace(t *testing.T) {
 	out, err := runCLI(t, "trace", "-size", "7", "-fail", "24")
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fsdl/internal/core"
 	"fsdl/internal/distsim"
 	"fsdl/internal/doubling"
+	"fsdl/internal/faultinject"
 	"fsdl/internal/gen"
 	"fsdl/internal/graph"
 	"fsdl/internal/oracle"
@@ -32,6 +33,10 @@ type (
 	Label = core.Label
 	// Query is a label-only forbidden-set distance query.
 	Query = core.Query
+	// QueryResult is the outcome of a robust (degraded-mode-capable)
+	// query: Query.DistanceRobust answers with a safe upper bound even
+	// when fault labels are missing or corrupt, and flags it Degraded.
+	QueryResult = core.Result
 	// Trace records how a query was answered (sketch sizes, the winning
 	// path).
 	Trace = core.Trace
@@ -68,6 +73,10 @@ type (
 	SimConfig = distsim.Config
 	// SimMetrics reports a simulation's outcomes.
 	SimMetrics = distsim.Metrics
+	// ChaosPlan is a seeded, reproducible fault-injection plan for a
+	// network simulation (transport drop/dup/delay, router
+	// crash/restart, partition/heal); set it as SimConfig.Chaos.
+	ChaosPlan = faultinject.Plan
 
 	// WeightedGraph is an integer-weighted graph, supported via the
 	// subdivision reduction (the road-network extension the Applications
@@ -138,6 +147,13 @@ func NewDynamicOracle(g *Graph, epsilon float64, threshold int) (*DynamicOracle,
 // distributed failure-recovery protocol over a preprocessed scheme.
 func NewNetworkSimulator(s *Scheme, cfg SimConfig) *NetworkSimulator {
 	return distsim.New(s, cfg)
+}
+
+// NewChaosSimulator builds a network simulation under a fault-injection
+// plan, validating the plan first. Identical (plan, workload) pairs
+// replay byte-for-byte.
+func NewChaosSimulator(s *Scheme, cfg SimConfig) (*NetworkSimulator, error) {
+	return distsim.NewChaos(s, cfg)
 }
 
 // NewWeightedGraph returns an empty integer-weighted graph on n vertices.

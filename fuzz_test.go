@@ -1,0 +1,62 @@
+package fsdl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fsdl"
+)
+
+// FuzzDecodeRouteHeader throws arbitrary bytes at the public route-header
+// decoder. The decoder is the one piece of the facade that parses data
+// straight off the wire (packet headers), so it must never panic, never
+// over-allocate from an attacker-chosen length field, and must round-trip
+// everything it accepts.
+func FuzzDecodeRouteHeader(f *testing.F) {
+	// A real header from the routing scheme.
+	g := fsdl.GridGraph2D(5, 5)
+	s, err := fsdl.Build(g, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := fsdl.BuildRouting(s)
+	if h, ok := r.HeaderFor(0, 24, fsdl.FaultVertices(12)); ok {
+		buf, nbits := h.Encode()
+		f.Add(buf, nbits)
+	}
+	// A header carrying a policy blob.
+	hp := &fsdl.RouteHeader{Waypoints: []int32{0, 7, 24}, PolicyBits: []byte("deny:12")}
+	buf, nbits := hp.Encode()
+	f.Add(buf, nbits)
+	// Degenerate and adversarial seeds.
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 48)
+	f.Add([]byte{0x00}, 8)
+	f.Add(buf[:len(buf)/2], nbits/2)
+
+	f.Fuzz(func(t *testing.T, data []byte, nbits int) {
+		if nbits < 0 || nbits > len(data)*8 {
+			return
+		}
+		h, err := fsdl.DecodeRouteHeader(data, nbits)
+		if err != nil {
+			return
+		}
+		// A length field must never allocate past the input: there are at
+		// most nbits bits of payload, so nothing decoded can exceed it.
+		if len(h.Waypoints) > nbits || len(h.PolicyBits)*8 > nbits {
+			t.Fatalf("decoded sizes exceed input: %d waypoints, %d policy bytes from %d bits",
+				len(h.Waypoints), len(h.PolicyBits), nbits)
+		}
+		// Accepted headers must round-trip exactly.
+		buf2, nbits2 := h.Encode()
+		h2, err := fsdl.DecodeRouteHeader(buf2, nbits2)
+		if err != nil {
+			t.Fatalf("re-decode of accepted header failed: %v", err)
+		}
+		buf3, nbits3 := h2.Encode()
+		if nbits2 != nbits3 || !bytes.Equal(buf2, buf3) {
+			t.Fatalf("header does not round-trip: %d/%d bits", nbits2, nbits3)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"fsdl/internal/graph"
 )
@@ -27,6 +28,50 @@ type Query struct {
 	// the ablation experiment measures exactly how often. Never set this
 	// outside experiments.
 	UnsafeIgnoreProtectedBalls bool
+
+	// Budget caps the number of candidate sketch edges decode examines
+	// (≤ 0 means unlimited). When the budget runs out the remaining
+	// candidates are simply not admitted, so H shrinks: the estimate stays
+	// an upper bound on d_{G\F} (safety is one-sided — omitting edges can
+	// only lengthen paths), but it may exceed (1+ε)·d or report
+	// disconnection spuriously. DistanceRobust surfaces the truncation via
+	// Result.BudgetExhausted; Distance simply reports ok=false when the
+	// truncated sketch disconnects s from t.
+	Budget int
+	// DegradedVertexFaults are forbidden vertices for which no usable
+	// label is available (missing from the store, failed Validate, or
+	// corrupt on the wire), identified by vertex id alone. The decoder
+	// treats each one's protected balls as maximal: every net-level and
+	// owner-ball edge is rejected, and only lowest-level unit edges whose
+	// endpoints avoid all forbidden vertices survive — each such edge
+	// exists verbatim in G\F, so the estimate remains an upper bound on
+	// d_{G\F} (the paper's safety direction) at the cost of stretch.
+	DegradedVertexFaults []int32
+	// DegradedEdgeFaults are forbidden edges (a,b) with at least one
+	// unusable endpoint label, identified by the endpoint vertex ids. Same
+	// maximal-protected-ball treatment as DegradedVertexFaults; the edge
+	// itself is additionally excluded from the unit-edge tier.
+	DegradedEdgeFaults [][2]int32
+}
+
+// Result is the outcome of a robust (degradation-tolerant) query.
+type Result struct {
+	// Dist is an upper bound on d_{G\F}(s,t); exact to within the scheme's
+	// (1+ε) stretch when Degraded is false. Meaningful only when OK.
+	Dist int64
+	// OK reports whether a finite bound was produced. False means the
+	// (possibly degraded or truncated) sketch disconnects s from t — under
+	// degradation this no longer certifies true disconnection.
+	OK bool
+	// Degraded is true when the answer was computed conservatively: some
+	// fault labels were unusable or the work budget was exhausted. The
+	// safety direction δ ≥ d_{G\F} still holds; the stretch bound may not.
+	Degraded bool
+	// MissingFaultLabels lists the forbidden vertices whose labels were
+	// missing or failed validation (sorted).
+	MissingFaultLabels []int32
+	// BudgetExhausted is true when Query.Budget truncated the sketch.
+	BudgetExhausted bool
 }
 
 // SketchEdge is one edge of the query-time sketch graph H, reported by
@@ -60,7 +105,7 @@ type Trace struct {
 // stretch guarantees) happens exactly when s and t are disconnected in
 // G\F.
 func (q *Query) Distance() (int64, bool) {
-	d, _, _, err := q.decode(nil)
+	d, _, _, _, err := q.decode(nil)
 	if err != nil || d < 0 {
 		return 0, false
 	}
@@ -70,11 +115,76 @@ func (q *Query) Distance() (int64, bool) {
 // DistanceWithTrace is Distance, additionally filling tr with the sketch
 // construction details and the winning path.
 func (q *Query) DistanceWithTrace(tr *Trace) (int64, bool) {
-	d, _, _, err := q.decode(tr)
+	d, _, _, _, err := q.decode(tr)
 	if err != nil || d < 0 {
 		return 0, false
 	}
 	return d, true
+}
+
+// DistanceRobust decodes the query tolerating unusable fault labels: any
+// vertex-fault label that is nil is rejected outright (its identity is
+// unknown, so no sound answer exists — callers that know the vertex id
+// should list it in DegradedVertexFaults instead), while a label that
+// fails Validate or mismatches the endpoint parameters is demoted to the
+// degraded tier by its id. Degraded decoding treats those faults'
+// protected balls as maximal, preserving the safety direction
+// δ ≥ d_{G\F} at the cost of the stretch bound; the Result says exactly
+// how much trust the number deserves.
+func (q *Query) DistanceRobust() Result {
+	var res Result
+	if q.S == nil || q.T == nil || q.S.Validate() != nil || q.T.Validate() != nil {
+		return res // no endpoint labels, no bound of any kind
+	}
+	usable := func(l *Label) bool {
+		return l != nil && l.Validate() == nil &&
+			l.C == q.S.C && l.MaxLevel == q.S.MaxLevel && l.RShrink == q.S.RShrink
+	}
+	rq := *q
+	rq.VertexFaults = nil
+	rq.EdgeFaults = nil
+	rq.DegradedVertexFaults = append([]int32(nil), q.DegradedVertexFaults...)
+	rq.DegradedEdgeFaults = append([][2]int32(nil), q.DegradedEdgeFaults...)
+	res.MissingFaultLabels = append([]int32(nil), q.DegradedVertexFaults...)
+	for _, f := range q.VertexFaults {
+		switch {
+		case usable(f):
+			rq.VertexFaults = append(rq.VertexFaults, f)
+		case f == nil:
+			return res
+		default:
+			rq.DegradedVertexFaults = append(rq.DegradedVertexFaults, f.V)
+			res.MissingFaultLabels = append(res.MissingFaultLabels, f.V)
+		}
+	}
+	for _, ef := range q.EdgeFaults {
+		switch {
+		case usable(ef[0]) && usable(ef[1]):
+			rq.EdgeFaults = append(rq.EdgeFaults, ef)
+		case ef[0] == nil || ef[1] == nil:
+			return res
+		default:
+			rq.DegradedEdgeFaults = append(rq.DegradedEdgeFaults, [2]int32{ef[0].V, ef[1].V})
+			for _, l := range ef {
+				if !usable(l) {
+					res.MissingFaultLabels = append(res.MissingFaultLabels, l.V)
+				}
+			}
+		}
+	}
+	sort.Slice(res.MissingFaultLabels, func(i, j int) bool {
+		return res.MissingFaultLabels[i] < res.MissingFaultLabels[j]
+	})
+	res.Degraded = len(rq.DegradedVertexFaults) > 0 || len(rq.DegradedEdgeFaults) > 0
+	d, _, _, exhausted, err := rq.decode(nil)
+	res.BudgetExhausted = exhausted
+	res.Degraded = res.Degraded || exhausted
+	if err != nil || d < 0 {
+		return res
+	}
+	res.Dist = d
+	res.OK = true
+	return res
 }
 
 // Sketch returns every admitted sketch edge (deduplicated to the lightest
@@ -82,7 +192,7 @@ func (q *Query) DistanceWithTrace(tr *Trace) (int64, bool) {
 // tests can verify the safety invariant: every sketch edge is realizable
 // in G\F at exactly its weight.
 func (q *Query) Sketch() ([]SketchEdge, error) {
-	_, edges, _, err := q.decode(nil)
+	_, edges, _, _, err := q.decode(nil)
 	return edges, err
 }
 
@@ -121,18 +231,23 @@ func (q *Query) Validate() error {
 			return err
 		}
 	}
+	for _, v := range q.DegradedVertexFaults {
+		if v == q.S.V || v == q.T.V {
+			return fmt.Errorf("core: endpoint %d is itself forbidden (degraded)", v)
+		}
+	}
 	return nil
 }
 
 // decode builds the sketch graph H and runs Dijkstra. It returns the s-t
-// distance (-1 when unreachable), the admitted edges, and the number of H
-// vertices.
-func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
+// distance (-1 when unreachable), the admitted edges, the number of H
+// vertices, and whether Query.Budget truncated the sketch.
+func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 	if err := q.Validate(); err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, false, err
 	}
 	if q.S.V == q.T.V {
-		return 0, nil, 1, nil
+		return 0, nil, 1, false, nil
 	}
 	lowest := q.S.C + 1
 	numLevels := len(q.S.Levels)
@@ -172,6 +287,31 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
 				centers = append(centers, l)
 			}
 		}
+	}
+	// Degraded faults have no labels, so their protected balls cannot be
+	// tested — treat them as maximal: reject every net-level and
+	// owner-ball edge, keeping only lowest-level unit edges that avoid all
+	// forbidden vertices and edges (see the field docs for the safety
+	// argument).
+	degraded := len(q.DegradedVertexFaults) > 0 || len(q.DegradedEdgeFaults) > 0
+	for _, v := range q.DegradedVertexFaults {
+		forbiddenV[v] = true
+	}
+	for _, ef := range q.DegradedEdgeFaults {
+		forbiddenE[unorderedKey(ef[0], ef[1])] = true
+	}
+
+	// Budget accounting: each candidate edge examined costs one unit; once
+	// the budget is spent the remaining candidates are skipped (H shrinks,
+	// the estimate stays an upper bound).
+	examined, exhausted := 0, false
+	allow := func() bool {
+		if q.Budget > 0 && examined >= q.Budget {
+			exhausted = true
+			return false
+		}
+		examined++
+		return true
 	}
 
 	if tr != nil {
@@ -230,6 +370,9 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
 	// endpoint must be outside PB_ℓ(f). Both endpoints here are net points
 	// of the level, so membership is decidable exactly from f's label.
 	safe := func(level int, x, y int32) bool {
+		if degraded {
+			return false // maximal protected balls reject everything
+		}
 		if q.UnsafeIgnoreProtectedBalls {
 			return true
 		}
@@ -285,6 +428,9 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
 				// Unit-weight original graph edges: admitted when neither
 				// endpoint nor the edge itself is forbidden.
 				for _, e := range lv.Edges {
+					if !allow() {
+						break
+					}
 					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
 					if forbiddenV[x] || forbiddenV[y] || forbiddenE[unorderedKey(x, y)] {
 						reject(level)
@@ -298,6 +444,9 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
 				// protected balls — a fault sits at the center of its own
 				// ball — but must stand on its own for ablation runs.)
 				for _, e := range lv.Edges {
+					if !allow() {
+						break
+					}
 					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
 					if forbiddenV[x] || forbiddenV[y] || !safe(level, x, y) {
 						reject(level)
@@ -318,11 +467,22 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
 				if pe.D > lambda || pe.X == o.V {
 					continue
 				}
+				if !allow() {
+					break
+				}
 				if forbiddenV[pe.X] {
 					reject(level)
 					continue
 				}
-				if !ownerSafe(oi, level, pe.X) {
+				if degraded {
+					// Maximal protected balls veto every owner-ball edge
+					// except an actual graph edge (weight 1) that is not
+					// itself forbidden — it survives verbatim in G\F.
+					if pe.D != 1 || forbiddenE[unorderedKey(o.V, pe.X)] {
+						reject(level)
+						continue
+					}
+				} else if !ownerSafe(oi, level, pe.X) {
 					reject(level)
 					continue
 				}
@@ -345,8 +505,17 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
 	}
 	ensure(q.S.V)
 	ensure(q.T.V)
-	var edges []SketchEdge
-	for k, info := range best {
+	// Emit edges in sorted key order: map iteration order would otherwise
+	// leak into Dijkstra's tie-breaking and make equal-weight shortest
+	// paths (and hence routes) vary between runs.
+	keys := make([]uint64, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	edges := make([]SketchEdge, 0, len(keys))
+	for _, k := range keys {
+		info := best[k]
 		x, y := int32(k>>32), int32(k&0xffffffff)
 		edges = append(edges, SketchEdge{X: x, Y: y, W: info.w, Level: info.level})
 		ensure(x)
@@ -375,9 +544,9 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, error) {
 		}
 	}
 	if dist == graph.WeightedInfinity {
-		return -1, edges, len(ids), nil
+		return -1, edges, len(ids), exhausted, nil
 	}
-	return dist, edges, len(ids), nil
+	return dist, edges, len(ids), exhausted, nil
 }
 
 // mayBeInPB conservatively decides whether the owner vertex of label o

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"fsdl/internal/graph"
@@ -158,7 +159,9 @@ func (s *Scheme) NewQuery(src, dst int, faults *graph.FaultSet) (*Query, error) 
 		return nil, fmt.Errorf("core: query endpoint is itself forbidden")
 	}
 	q := &Query{S: s.Label(src), T: s.Label(dst)}
-	for _, f := range faults.Vertices() {
+	fv := faults.Vertices()
+	sort.Ints(fv) // deterministic label order → deterministic traces
+	for _, f := range fv {
 		q.VertexFaults = append(q.VertexFaults, s.Label(f))
 	}
 	for _, e := range faults.Edges() {

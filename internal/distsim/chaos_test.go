@@ -1,0 +1,283 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/faultinject"
+	"fsdl/internal/gen"
+)
+
+// canonicalPlan is the acceptance-criteria chaos scenario: 10% drops, 5%
+// duplicated announcements, a little delay jitter, one crash/restart, and
+// one partition+heal, all from one seed.
+func canonicalPlan(seed int64) *faultinject.Plan {
+	// Partition the left three columns of the 8x8 grid for 120 ticks.
+	var left []int
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 3; x++ {
+			left = append(left, y*8+x)
+		}
+	}
+	return &faultinject.Plan{
+		Seed:      seed,
+		DropProb:  0.10,
+		DupProb:   0.05,
+		DelayProb: 0.05,
+		Crashes:   []faultinject.Crash{{Router: 27, At: 150, RestartAt: 320}},
+		Partitions: []faultinject.Partition{
+			{Members: left, At: 430, HealAt: 550},
+		},
+	}
+}
+
+// canonicalRun builds the canonical scenario over an 8x8 grid: two real
+// vertex failures, then a seeded packet workload spread across the crash
+// and partition windows. Generous retry budget so transient faults are
+// ridden out rather than fatal.
+func canonicalRun(t testing.TB, cfg Config) Metrics {
+	t.Helper()
+	g := gen.Grid2D(8, 8)
+	cs, err := core.BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.SetCacheLimit(4096)
+	sim, err := NewChaos(cs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.FailVertexAt(0, 36); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.FailVertexAt(5, 44); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	avoid := map[int]bool{36: true, 44: true, 27: true}
+	injected := 0
+	for injected < 40 {
+		src, dst := rng.Intn(64), rng.Intn(64)
+		if src == dst || avoid[src] || avoid[dst] {
+			continue
+		}
+		if err := sim.InjectPacketAt(int64(10+injected*18), src, dst); err != nil {
+			t.Fatal(err)
+		}
+		injected++
+	}
+	return sim.Run(1 << 30)
+}
+
+// TestChaosCanonicalScenario verifies the PR's acceptance criteria: the
+// seeded scenario is reproducible byte for byte across two runs and
+// delivers at least 95% of the deliverable packets.
+func TestChaosCanonicalScenario(t *testing.T) {
+	cfg := Config{Chaos: canonicalPlan(2026), MaxRetries: 9, RetryBackoff: 2}
+	a := canonicalRun(t, cfg)
+	b := canonicalRun(t, cfg)
+	if a != b {
+		t.Fatalf("chaos run not reproducible:\n  %+v\nvs\n  %+v", a, b)
+	}
+	if a.Injected != 40 {
+		t.Fatalf("workload lost packets at injection: %+v", a)
+	}
+	if a.Delivered+a.Dropped != a.Injected {
+		t.Fatalf("packets unaccounted: %+v", a)
+	}
+	if a.Crashes != 1 || a.Restarts != 1 {
+		t.Errorf("crash/restart not executed: %+v", a)
+	}
+	if a.TransportDrops == 0 || a.DuplicatesInjected == 0 {
+		t.Errorf("chaos transport injected no faults: %+v", a)
+	}
+	if a.DedupSuppressed == 0 {
+		t.Errorf("duplicated announcements were never suppressed: %+v", a)
+	}
+	if rate := a.DeliveryRate(); rate < 0.95 {
+		t.Errorf("delivery rate %.3f < 0.95 (%d/%d delivered): %+v",
+			rate, a.Delivered, a.Deliverable, a)
+	}
+}
+
+// TestChaosMatrix runs the {flooding on/off} x {piggyback on/off} grid
+// under the same injected fault plan, asserting each combo is
+// deterministic, accounts for every packet, delivers at least 95% of
+// deliverable traffic, and keeps stretch within plausible bounds.
+func TestChaosMatrix(t *testing.T) {
+	combos := []struct {
+		name             string
+		flood, piggyback bool
+	}{
+		{"flooding+piggyback", true, true},
+		{"flooding only", true, false},
+		{"piggyback only", false, true},
+		{"contact only", false, false},
+	}
+	for _, c := range combos {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Config{
+				DisableFlooding: !c.flood,
+				EnablePiggyback: c.piggyback,
+				Chaos:           canonicalPlan(7),
+				MaxRetries:      9,
+				RetryBackoff:    2,
+			}
+			a := canonicalRun(t, cfg)
+			b := canonicalRun(t, cfg)
+			if a != b {
+				t.Fatalf("combo not deterministic:\n  %+v\nvs\n  %+v", a, b)
+			}
+			if a.Delivered+a.Dropped != a.Injected {
+				t.Fatalf("packets unaccounted: %+v", a)
+			}
+			if rate := a.DeliveryRate(); rate < 0.95 {
+				t.Errorf("delivery rate %.3f < 0.95: %+v", rate, a)
+			}
+			if ms := a.MeanStretch(); ms < 0.5 || ms > 10 {
+				t.Errorf("mean stretch %.2f implausible: %+v", ms, a)
+			}
+			if !c.flood && a.ControlMessages > a.HealReannouncements {
+				t.Errorf("flooding disabled but %d control messages beyond %d heal re-announcements",
+					a.ControlMessages, a.HealReannouncements)
+			}
+			if c.piggyback && a.PiggybackTransfers == 0 {
+				t.Errorf("piggyback enabled but no knowledge moved: %+v", a)
+			}
+		})
+	}
+}
+
+// TestRetriesRideOutPartition pins the graceful-degradation story on a
+// path graph: a packet that must cross an active partition survives via
+// bounded backoff and arrives after the heal; with retries disabled it is
+// lost.
+func TestRetriesRideOutPartition(t *testing.T) {
+	plan := &faultinject.Plan{
+		Partitions: []faultinject.Partition{
+			{Members: []int{0, 1, 2, 3, 4}, At: 0, HealAt: 120},
+		},
+	}
+	run := func(maxRetries int) Metrics {
+		g := gen.Path(10)
+		cs, err := core.BuildScheme(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewChaos(cs, Config{Chaos: plan, MaxRetries: maxRetries, RetryBackoff: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.InjectPacketAt(10, 0, 9); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(1 << 30)
+	}
+	patient := run(9) // backoff sum 2+4+...+512 > 120-tick partition
+	if patient.Delivered != 1 {
+		t.Errorf("patient sender should outlive the partition: %+v", patient)
+	}
+	if patient.Retries == 0 || patient.PartitionDrops == 0 {
+		t.Errorf("crossing an active partition must cost retries: %+v", patient)
+	}
+	impatient := run(-1) // retries disabled
+	if impatient.Delivered != 0 || impatient.Dropped != 1 {
+		t.Errorf("without retries the packet must be lost: %+v", impatient)
+	}
+}
+
+// TestCrashRestartAmnesia verifies the amnesia semantics: a router that
+// learned a fault before crashing restarts with an empty forbidden set.
+func TestCrashRestartAmnesia(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	cs, err := core.BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faultinject.Plan{Crashes: []faultinject.Crash{{Router: 20, At: 200, RestartAt: 400}}}
+	sim, err := NewChaos(cs, Config{Chaos: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.FailVertexAt(0, 14); err != nil {
+		t.Fatal(err)
+	}
+	// A packet bumps into 14 and floods the news to everyone, including 20.
+	if err := sim.InjectPacketAt(1, 13, 15); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 30)
+	if m.Crashes != 1 || m.Restarts != 1 {
+		t.Fatalf("crash schedule not executed: %+v", m)
+	}
+	if sim.KnownFaults(20) != 0 {
+		t.Errorf("router 20 restarted with %d remembered faults, want amnesia", sim.KnownFaults(20))
+	}
+	// A router that never crashed still remembers.
+	if sim.KnownFaults(0) == 0 {
+		t.Error("router 0 should still know the failure")
+	}
+}
+
+// TestHealReannouncement verifies that fault knowledge confined to one
+// side of a partition crosses the cut when the partition heals.
+func TestHealReannouncement(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	cs, err := core.BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition columns {0,1} from {2,3} from the start; heal at 500.
+	var left []int
+	for y := 0; y < 4; y++ {
+		left = append(left, y*4, y*4+1)
+	}
+	plan := &faultinject.Plan{Partitions: []faultinject.Partition{{Members: left, At: 0, HealAt: 500}}}
+	sim, err := NewChaos(cs, Config{Chaos: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 0 (left side) fails; a left-side packet discovers it. The
+	// flood cannot cross the active partition.
+	if err := sim.FailVertexAt(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.InjectPacketAt(10, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run(1 << 30)
+	if m.HealReannouncements == 0 {
+		t.Fatalf("heal produced no re-announcements: %+v", m)
+	}
+	informedRight := 0
+	for y := 0; y < 4; y++ {
+		for x := 2; x < 4; x++ {
+			if sim.KnownFaults(y*4+x) > 0 {
+				informedRight++
+			}
+		}
+	}
+	if informedRight == 0 {
+		t.Error("right side never learned the left-side failure after heal")
+	}
+}
+
+// TestNewChaosRejectsBadPlan verifies plan validation surfaces as an
+// error from NewChaos.
+func TestNewChaosRejectsBadPlan(t *testing.T) {
+	g := gen.Path(4)
+	cs, err := core.BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &faultinject.Plan{DropProb: 2}
+	if _, err := NewChaos(cs, Config{Chaos: bad}); err == nil {
+		t.Error("invalid plan must be rejected")
+	}
+	outOfRange := &faultinject.Plan{Crashes: []faultinject.Crash{{Router: 99, At: 1, RestartAt: 2}}}
+	if _, err := NewChaos(cs, Config{Chaos: outOfRange}); err == nil {
+		t.Error("out-of-range crash router must be rejected")
+	}
+}

@@ -11,13 +11,25 @@
 // stretch against the optimal surviving route at injection time, control
 // message counts, and reroute counts — the measurable content of the
 // paper's "recover without delay" story.
+//
+// Beyond the happy path, the simulator accepts a faultinject.Plan (see
+// Config.Chaos) that makes the infrastructure itself misbehave: messages
+// are dropped, duplicated, or delayed; routers crash and restart with
+// fault-set amnesia; the network partitions and heals. The protocol
+// degrades gracefully rather than failing: data hops retry with bounded
+// exponential backoff, announcements carry per-subject epochs so
+// duplicates and stale reorderings are suppressed, and healed partitions
+// trigger re-announcement of fault knowledge across the cut. See
+// docs/RESILIENCE.md.
 package distsim
 
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"fsdl/internal/core"
+	"fsdl/internal/faultinject"
 	"fsdl/internal/graph"
 	"fsdl/internal/routing"
 )
@@ -35,22 +47,53 @@ type Config struct {
 	// failure knowledge rides on data packets, and every router a packet
 	// visits merges knowledge with it (both directions).
 	EnablePiggyback bool
+	// Chaos injects transport and router faults from a seeded,
+	// reproducible plan. nil means a perfect network.
+	Chaos *faultinject.Plan
+	// MaxRetries bounds per-hop retransmissions after a transport loss
+	// (or, under chaos, after a header recomputation that fails on
+	// possibly-stale knowledge). 0 selects 3; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base backoff in ticks; retry k waits
+	// RetryBackoff·2^k. ≤ 0 selects 2.
+	RetryBackoff int
 }
 
 // Metrics accumulates simulation outcomes.
 type Metrics struct {
 	// Injected, Delivered, Dropped count packets; Dropped includes both
-	// genuine disconnections and hop-budget exhaustion.
+	// genuine disconnections and hop/retry-budget exhaustion.
 	Injected, Delivered, Dropped int
+	// Deliverable counts injected packets whose destination was reachable
+	// in G\F at injection time (both endpoints alive) — the denominator
+	// of the delivery-rate resilience metric.
+	Deliverable int
 	// DataHops counts packet-forwarding link traversals.
 	DataHops int
-	// ControlMessages counts flood announcements sent.
+	// ControlMessages counts flood announcements sent (including ones the
+	// transport subsequently lost).
 	ControlMessages int
 	// Reroutes counts in-flight header recomputations.
 	Reroutes int
 	// PiggybackTransfers counts fault facts moved between packets and
 	// routers by piggybacking.
 	PiggybackTransfers int
+	// Retries counts per-hop retransmissions scheduled after transport
+	// losses or stale-knowledge reroute failures.
+	Retries int
+	// TransportDrops counts messages randomly lost by the chaos
+	// transport; PartitionDrops counts messages blocked by an active
+	// partition.
+	TransportDrops, PartitionDrops int
+	// DuplicatesInjected counts flood announcements the chaos transport
+	// duplicated; DedupSuppressed counts announcements receivers
+	// discarded as duplicate or stale by epoch.
+	DuplicatesInjected, DedupSuppressed int
+	// Crashes and Restarts count scheduled router crash/restart events.
+	Crashes, Restarts int
+	// HealReannouncements counts fault facts re-sent across a healed
+	// partition cut.
+	HealReannouncements int
 	// StretchSum / StretchCount aggregate delivered-packet stretch
 	// against the optimal surviving route at injection time.
 	StretchSum   float64
@@ -66,23 +109,38 @@ func (m Metrics) MeanStretch() float64 {
 	return m.StretchSum / float64(m.StretchCount)
 }
 
+// DeliveryRate returns Delivered/Deliverable (1 when nothing was
+// deliverable) — the resilience headline number.
+func (m Metrics) DeliveryRate() float64 {
+	if m.Deliverable == 0 {
+		return 1
+	}
+	return float64(m.Delivered) / float64(m.Deliverable)
+}
+
 // Simulator is a single-run discrete-event network simulation.
 type Simulator struct {
 	g   *graph.Graph
 	rs  *routing.Scheme
 	cfg Config
+	inj *faultinject.Injector
 
 	now    int64
 	seq    int64
 	events eventHeap
 
 	truth   *graph.FaultSet // ground-truth failed vertices and edges
+	epoch   []int64         // per-vertex status version, bumped on every transition
 	routers []routerState
 	metrics Metrics
 }
 
 type routerState struct {
 	known *graph.FaultSet
+	// lastEpoch maps announcement subjects to the newest epoch this
+	// router has processed; older or equal epochs are duplicates or
+	// stale reorderings and are suppressed. Cleared on restart (amnesia).
+	lastEpoch map[int32]int64
 }
 
 type packet struct {
@@ -91,6 +149,7 @@ type packet struct {
 	waypoints []int32
 	wpIndex   int // next waypoint to reach
 	hops      int
+	retries   int   // consecutive failed transmissions from the current router
 	optimal   int32 // d_{G\F}(src,dst) at injection, Infinity if none
 	// carried is the fault knowledge the packet piggybacks (nil unless
 	// Config.EnablePiggyback).
@@ -107,9 +166,12 @@ type event struct {
 	// failure events
 	vertex  int
 	vertex2 int // second endpoint for edge failures
-	// flood events: recovered=false announces a failure, true a recovery
-	from      int
+	// flood events: recovered=false announces a failure, true a recovery;
+	// epoch versions the subject's status for dedup.
+	epoch     int64
 	recovered bool
+	// partIdx names the healing partition for evHeal.
+	partIdx int
 }
 
 type eventKind int
@@ -120,25 +182,64 @@ const (
 	evRecover
 	evPacket
 	evFlood
+	evCrash
+	evRestart
+	evHeal
 )
 
-// New creates a simulator over a prebuilt labeling scheme.
+// New creates a simulator over a prebuilt labeling scheme. It panics when
+// cfg.Chaos is an invalid plan; use NewChaos to handle plan errors
+// gracefully.
 func New(cs *core.Scheme, cfg Config) *Simulator {
+	s, err := NewChaos(cs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewChaos is New returning plan validation errors instead of panicking.
+func NewChaos(cs *core.Scheme, cfg Config) (*Simulator, error) {
 	g := cs.Graph()
 	if cfg.MaxHopsPerPacket <= 0 {
 		cfg.MaxHopsPerPacket = 8 * g.NumVertices()
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2
 	}
 	routers := make([]routerState, g.NumVertices())
 	for i := range routers {
 		routers[i] = routerState{known: graph.NewFaultSet()}
 	}
-	return &Simulator{
+	s := &Simulator{
 		g:       g,
 		rs:      routing.New(cs),
 		cfg:     cfg,
 		truth:   graph.NewFaultSet(),
+		epoch:   make([]int64, g.NumVertices()),
 		routers: routers,
 	}
+	if cfg.Chaos != nil {
+		inj, err := faultinject.NewInjector(*cfg.Chaos, g.NumVertices())
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+		plan := inj.Plan()
+		for _, c := range plan.Crashes {
+			s.push(event{at: c.At, kind: evCrash, vertex: c.Router})
+			s.push(event{at: c.RestartAt, kind: evRestart, vertex: c.Router})
+		}
+		for i, pt := range plan.Partitions {
+			s.push(event{at: pt.HealAt, kind: evHeal, partIdx: i})
+		}
+	}
+	return s, nil
 }
 
 // Now returns the current simulation time.
@@ -163,6 +264,7 @@ func (s *Simulator) FailVertexAt(t int64, v int) error {
 // back and (per the Applications section: routers are "routinely updated
 // about the operational status (failures and recoveries)") floods a
 // recovery announcement so peers remove it from their forbidden sets.
+// Recovering a vertex that never failed is a no-op.
 func (s *Simulator) RecoverVertexAt(t int64, v int) error {
 	if v < 0 || v >= s.g.NumVertices() {
 		return fmt.Errorf("distsim: vertex %d out of range", v)
@@ -203,14 +305,43 @@ func (s *Simulator) Run(until int64) Metrics {
 		s.now = e.at
 		switch e.kind {
 		case evFail:
-			s.truth.AddVertex(e.vertex)
+			if !s.truth.HasVertex(e.vertex) {
+				s.epoch[e.vertex]++
+				s.truth.AddVertex(e.vertex)
+			}
 		case evFailEdge:
 			s.truth.AddEdge(e.vertex, e.vertex2)
 		case evRecover:
+			if !s.truth.HasVertex(e.vertex) {
+				break // nothing failed: spurious recovery is a no-op
+			}
+			s.epoch[e.vertex]++
 			s.truth.RemoveVertex(e.vertex)
 			// The recovered router knows its own status and floods it.
 			s.routers[e.vertex].known.RemoveVertex(e.vertex)
-			s.flood(e.vertex, e.vertex, true)
+			s.noteSelfStatus(e.vertex)
+			s.flood(e.vertex, e.vertex, s.epoch[e.vertex], true)
+		case evCrash:
+			s.metrics.Crashes++
+			if !s.truth.HasVertex(e.vertex) {
+				s.epoch[e.vertex]++
+				s.truth.AddVertex(e.vertex)
+			}
+		case evRestart:
+			s.metrics.Restarts++
+			if s.truth.HasVertex(e.vertex) {
+				s.epoch[e.vertex]++
+				s.truth.RemoveVertex(e.vertex)
+			}
+			// Amnesia: the router restarts with an empty forbidden set and
+			// no memory of which announcements it has processed. It may
+			// route packets toward failures it once knew about and must
+			// rediscover them by contact or announcement.
+			s.routers[e.vertex] = routerState{known: graph.NewFaultSet()}
+			s.noteSelfStatus(e.vertex)
+			s.flood(e.vertex, e.vertex, s.epoch[e.vertex], true)
+		case evHeal:
+			s.healPartition(e.partIdx)
 		case evFlood:
 			s.handleFlood(e)
 		case evPacket:
@@ -226,32 +357,36 @@ func (s *Simulator) push(e event) {
 	heap.Push(&s.events, e)
 }
 
-// handleFlood delivers a status announcement to a router, which updates
-// its forbidden set and forwards the announcement if the information was
-// new.
+// handleFlood delivers a status announcement to a router. Announcements
+// are versioned by the subject's epoch: a router that has already
+// processed an equal or newer epoch for the subject discards the message
+// (transport duplicates and stale reorderings die here); otherwise it
+// updates its forbidden set and forwards the announcement.
 func (s *Simulator) handleFlood(e event) {
 	r := e.at2
 	if s.truth.HasVertex(r) {
 		return // dead routers neither learn nor forward
 	}
-	known := s.routers[r].known
-	if e.recovered {
-		if !known.HasVertex(e.vertex) {
-			return // nothing to retract
-		}
-		known.RemoveVertex(e.vertex)
-	} else {
-		if known.HasVertex(e.vertex) {
-			return
-		}
-		known.AddVertex(e.vertex)
+	rs := &s.routers[r]
+	if last, ok := rs.lastEpoch[int32(e.vertex)]; ok && e.epoch <= last {
+		s.metrics.DedupSuppressed++
+		return
 	}
-	s.flood(r, e.vertex, e.recovered)
+	if rs.lastEpoch == nil {
+		rs.lastEpoch = make(map[int32]int64)
+	}
+	rs.lastEpoch[int32(e.vertex)] = e.epoch
+	if e.recovered {
+		rs.known.RemoveVertex(e.vertex)
+	} else {
+		rs.known.AddVertex(e.vertex)
+	}
+	s.flood(r, e.vertex, e.epoch, e.recovered)
 }
 
 // flood sends a status announcement about the given vertex from r to all
 // alive neighbors.
-func (s *Simulator) flood(r, subject int, recovered bool) {
+func (s *Simulator) flood(r, subject int, epoch int64, recovered bool) {
 	if s.cfg.DisableFlooding {
 		return
 	}
@@ -259,9 +394,101 @@ func (s *Simulator) flood(r, subject int, recovered bool) {
 		if s.truth.HasVertex(int(nb)) || int(nb) == subject {
 			continue
 		}
-		s.metrics.ControlMessages++
-		s.push(event{at: s.now + 1, kind: evFlood, at2: int(nb), vertex: subject, recovered: recovered})
+		s.sendFlood(r, int(nb), subject, epoch, recovered)
 	}
+}
+
+// sendFlood transmits one announcement through the (possibly chaotic)
+// transport: it may be lost, duplicated, or delayed.
+func (s *Simulator) sendFlood(from, to, subject int, epoch int64, recovered bool) {
+	s.metrics.ControlMessages++
+	delay := int64(1)
+	if s.inj != nil {
+		out := s.inj.Judge(s.now, faultinject.Flood, from, to)
+		if !out.Deliver {
+			if out.PartitionDrop {
+				s.metrics.PartitionDrops++
+			} else {
+				s.metrics.TransportDrops++
+			}
+			return
+		}
+		delay += int64(out.Delay)
+		if out.Duplicate {
+			s.metrics.DuplicatesInjected++
+			s.metrics.ControlMessages++
+			s.push(event{at: s.now + delay + 1, kind: evFlood, at2: to, vertex: subject, epoch: epoch, recovered: recovered})
+		}
+	}
+	s.push(event{at: s.now + delay, kind: evFlood, at2: to, vertex: subject, epoch: epoch, recovered: recovered})
+}
+
+// noteSelfStatus stamps a router's own status epoch after a recovery or
+// restart, so stale in-flight announcements claiming the router itself is
+// failed are rejected rather than poisoning its forbidden set.
+func (s *Simulator) noteSelfStatus(v int) {
+	rs := &s.routers[v]
+	if rs.lastEpoch == nil {
+		rs.lastEpoch = make(map[int32]int64)
+	}
+	rs.lastEpoch[int32(v)] = s.epoch[v]
+}
+
+// learnByContact records at router r that subject is currently failed,
+// stamping the announcement epoch from the subject's true status (the
+// link layer is the authoritative source the router just probed).
+func (s *Simulator) learnByContact(r, subject int) {
+	rs := &s.routers[r]
+	rs.known.AddVertex(subject)
+	if rs.lastEpoch == nil {
+		rs.lastEpoch = make(map[int32]int64)
+	}
+	if ep := s.epoch[subject]; ep > rs.lastEpoch[int32(subject)] {
+		rs.lastEpoch[int32(subject)] = ep
+	}
+}
+
+// healPartition re-announces fault knowledge across a healed cut: every
+// alive router incident to a severed graph edge re-sends its known vertex
+// faults to the neighbor on the other side. Epoch dedup absorbs the
+// redundancy downstream; only genuinely new facts propagate further.
+func (s *Simulator) healPartition(pi int) {
+	for u := 0; u < s.g.NumVertices(); u++ {
+		if s.truth.HasVertex(u) {
+			continue
+		}
+		faults := s.routers[u].known.Vertices()
+		if len(faults) == 0 {
+			continue
+		}
+		sort.Ints(faults) // deterministic transmission order
+		for _, nb := range s.g.Neighbors(u) {
+			v := int(nb)
+			if !s.inj.CutEdge(pi, u, v) || s.truth.HasVertex(v) {
+				continue
+			}
+			for _, f := range faults {
+				if f == v {
+					continue // never tell a router that it itself is down
+				}
+				s.metrics.HealReannouncements++
+				s.sendFlood(u, v, f, s.routers[u].lastEpoch[int32(f)], false)
+			}
+		}
+	}
+}
+
+// retryPacket schedules a bounded exponential-backoff retransmission of
+// pkt from router r. Returns false when the retry budget is exhausted.
+func (s *Simulator) retryPacket(pkt *packet, r int) bool {
+	if pkt.retries >= s.cfg.MaxRetries {
+		return false
+	}
+	backoff := int64(s.cfg.RetryBackoff) << uint(pkt.retries)
+	pkt.retries++
+	s.metrics.Retries++
+	s.push(event{at: s.now + backoff, kind: evPacket, pkt: pkt, at2: r})
+	return true
 }
 
 // handlePacket advances one packet sitting at router e.at2.
@@ -272,6 +499,9 @@ func (s *Simulator) handlePacket(e event) {
 		pkt.id = s.metrics.Injected
 		s.metrics.Injected++
 		pkt.optimal = s.g.DistAvoiding(pkt.src, pkt.dst, s.truth)
+		if graph.Reachable(pkt.optimal) && !s.truth.HasVertex(pkt.src) && !s.truth.HasVertex(pkt.dst) {
+			s.metrics.Deliverable++
+		}
 		if s.truth.HasVertex(pkt.src) {
 			s.metrics.Dropped++
 			return
@@ -280,6 +510,11 @@ func (s *Simulator) handlePacket(e event) {
 			s.metrics.Dropped++
 			return
 		}
+	} else if s.truth.HasVertex(r) {
+		// The router died (failure or crash) with the packet parked or in
+		// flight: the packet is lost with it.
+		s.metrics.Dropped++
+		return
 	}
 	if s.cfg.EnablePiggyback {
 		s.exchangeKnowledge(pkt, r)
@@ -304,15 +539,12 @@ func (s *Simulator) handlePacket(e event) {
 	if s.truth.HasVertex(next) {
 		// Contact discovery: r learns about the failure, floods it, and
 		// reroutes from its own (updated) forbidden set.
-		s.routers[r].known.AddVertex(next)
-		s.flood(r, next, false)
+		s.learnByContact(r, next)
+		s.flood(r, next, s.epoch[next], false)
 		s.metrics.Reroutes++
-		if !s.computeHeader(pkt, r) {
+		if !s.rerouteOrRetry(pkt, r) {
 			s.metrics.Dropped++
-			return
 		}
-		// Retry from the same router on the next tick.
-		s.push(event{at: s.now + 1, kind: evPacket, pkt: pkt, at2: r})
 		return
 	}
 	if s.truth.HasEdge(r, next) {
@@ -322,16 +554,50 @@ func (s *Simulator) handlePacket(e event) {
 		// paper's "failure of some router v" propagation story.
 		s.routers[r].known.AddEdge(r, next)
 		s.metrics.Reroutes++
-		if !s.computeHeader(pkt, r) {
+		if !s.rerouteOrRetry(pkt, r) {
 			s.metrics.Dropped++
-			return
 		}
-		s.push(event{at: s.now + 1, kind: evPacket, pkt: pkt, at2: r})
 		return
 	}
+	// The hop itself rides the (possibly chaotic) transport.
+	extra := int64(0)
+	if s.inj != nil {
+		out := s.inj.Judge(s.now, faultinject.Data, r, next)
+		if !out.Deliver {
+			if out.PartitionDrop {
+				s.metrics.PartitionDrops++
+			} else {
+				s.metrics.TransportDrops++
+			}
+			if !s.retryPacket(pkt, r) {
+				s.metrics.Dropped++
+			}
+			return
+		}
+		extra = int64(out.Delay)
+	}
+	pkt.retries = 0
 	pkt.hops++
 	s.metrics.DataHops++
-	s.push(event{at: s.now + 1, kind: evPacket, pkt: pkt, at2: next})
+	s.push(event{at: s.now + 1 + extra, kind: evPacket, pkt: pkt, at2: next})
+}
+
+// rerouteOrRetry recomputes the packet's header after a discovery and, on
+// success, schedules a retry from the same router on the next tick. When
+// the router's knowledge says the destination is unreachable: without
+// chaos that knowledge is a subset of the truth, so the packet is
+// genuinely undeliverable and false is returned; under chaos the
+// knowledge may be stale (a lost recovery announcement), so the packet
+// waits out a bounded backoff and tries again.
+func (s *Simulator) rerouteOrRetry(pkt *packet, r int) bool {
+	if s.computeHeader(pkt, r) {
+		s.push(event{at: s.now + 1, kind: evPacket, pkt: pkt, at2: r})
+		return true
+	}
+	if s.inj != nil {
+		return s.retryPacket(pkt, r)
+	}
+	return false
 }
 
 // exchangeKnowledge merges fault knowledge between a packet and the
@@ -358,7 +624,7 @@ func (s *Simulator) exchangeKnowledge(pkt *packet, r int) {
 
 // computeHeader recomputes the packet's waypoint list from router r's own
 // knowledge. Returns false when r's knowledge says dst is unreachable
-// (which, since known ⊆ truth, implies true unreachability).
+// (which, absent chaos, implies true unreachability since known ⊆ truth).
 func (s *Simulator) computeHeader(pkt *packet, r int) bool {
 	h, ok := s.rs.HeaderFor(r, pkt.dst, s.routers[r].known)
 	if !ok {

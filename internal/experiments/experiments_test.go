@@ -22,8 +22,8 @@ func TestAllExperimentsHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(seen))
+	if len(seen) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(seen))
 	}
 }
 

@@ -1,0 +1,204 @@
+// Package faultinject provides seeded, reproducible fault plans for the
+// distributed simulation: per-message drop/duplicate/delay decisions,
+// router crash/restart schedules, and network partitions with heal times.
+//
+// A Plan is pure data; an Injector is the deterministic engine that turns
+// the plan into per-message outcomes. Determinism matters: the simulator
+// processes events in a fixed total order and consults the injector once
+// per transmission, so the same (plan, workload) pair replays the same
+// faults byte for byte — a chaos run that exposes a bug is a reproducer,
+// not an anecdote.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MessageClass distinguishes the two message kinds the simulator sends.
+type MessageClass int
+
+const (
+	// Data is a packet hop between adjacent routers.
+	Data MessageClass = iota
+	// Flood is a failure/recovery status announcement.
+	Flood
+)
+
+// Crash schedules one router crash and its restart. Between At and
+// RestartAt the router behaves like a failed vertex; at RestartAt it comes
+// back with total fault-set amnesia (empty forbidden set, no memory of
+// which announcements it has seen).
+type Crash struct {
+	Router    int
+	At        int64
+	RestartAt int64
+}
+
+// Partition splits the network into two sides between At and HealAt:
+// every message whose endpoints lie on different sides is dropped while
+// the partition is active. Members lists one side; all other routers form
+// the other side. At HealAt the simulator triggers re-announcement of
+// known faults across the healed cut.
+type Partition struct {
+	Members []int
+	At      int64
+	HealAt  int64
+}
+
+// Plan is a seeded, reproducible chaos scenario.
+type Plan struct {
+	// Seed drives every probabilistic decision of the injector.
+	Seed int64
+	// DropProb is the chance an individual transmission is lost. Data
+	// losses are retried by the simulator (bounded, with backoff); flood
+	// losses are silent.
+	DropProb float64
+	// DupProb is the chance a flood announcement is duplicated in flight
+	// (data packets are not duplicated; announcement duplicates are
+	// absorbed by the receivers' epoch dedup).
+	DupProb float64
+	// DelayProb is the chance a transmission is delayed by extra ticks
+	// drawn uniformly from [1, MaxDelay] — the reorder mechanism, since
+	// delayed messages are overtaken by later ones.
+	DelayProb float64
+	// MaxDelay bounds the extra delay ticks (≤ 0 selects 3).
+	MaxDelay int
+	// FloodDelay adds a fixed latency to every flood announcement,
+	// modeling slow control-plane propagation.
+	FloodDelay int
+	// Crashes lists router crash/restart events.
+	Crashes []Crash
+	// Partitions lists network partitions with heal times.
+	Partitions []Partition
+}
+
+// Validate checks the plan against a network of n routers.
+func (p *Plan) Validate(n int) error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"DropProb", p.DropProb}, {"DupProb", p.DupProb}, {"DelayProb", p.DelayProb}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faultinject: %s = %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("faultinject: negative MaxDelay %d", p.MaxDelay)
+	}
+	if p.FloodDelay < 0 {
+		return fmt.Errorf("faultinject: negative FloodDelay %d", p.FloodDelay)
+	}
+	for i, c := range p.Crashes {
+		if c.Router < 0 || c.Router >= n {
+			return fmt.Errorf("faultinject: crash %d router %d out of range [0,%d)", i, c.Router, n)
+		}
+		if c.RestartAt <= c.At {
+			return fmt.Errorf("faultinject: crash %d restarts at %d, not after crash at %d", i, c.RestartAt, c.At)
+		}
+	}
+	for i, pt := range p.Partitions {
+		if len(pt.Members) == 0 {
+			return fmt.Errorf("faultinject: partition %d has no members", i)
+		}
+		for _, v := range pt.Members {
+			if v < 0 || v >= n {
+				return fmt.Errorf("faultinject: partition %d member %d out of range [0,%d)", i, v, n)
+			}
+		}
+		if pt.HealAt <= pt.At {
+			return fmt.Errorf("faultinject: partition %d heals at %d, not after split at %d", i, pt.HealAt, pt.At)
+		}
+	}
+	return nil
+}
+
+// Outcome is the injector's verdict on one transmission.
+type Outcome struct {
+	// Deliver is false when the message is lost (randomly or because an
+	// active partition separates the endpoints).
+	Deliver bool
+	// PartitionDrop marks a loss caused by an active partition rather
+	// than random noise (the sender can expect it to heal).
+	PartitionDrop bool
+	// Duplicate requests a second copy of the message (floods only).
+	Duplicate bool
+	// Delay is the number of extra ticks to add to the delivery time.
+	Delay int
+}
+
+// Injector turns a Plan into deterministic per-message outcomes. It must
+// be consulted in a deterministic order (the simulator's event order) for
+// runs to be reproducible.
+type Injector struct {
+	plan  Plan
+	rng   *rand.Rand
+	sides [][]bool // per partition: membership of side A, indexed by router
+}
+
+// NewInjector validates the plan against n routers and builds the engine.
+func NewInjector(plan Plan, n int) (*Injector, error) {
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = 3
+	}
+	in := &Injector{
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		sides: make([][]bool, len(plan.Partitions)),
+	}
+	for i, pt := range plan.Partitions {
+		side := make([]bool, n)
+		for _, v := range pt.Members {
+			side[v] = true
+		}
+		in.sides[i] = side
+	}
+	return in, nil
+}
+
+// Plan returns the plan the injector was built from (with defaults
+// applied).
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Separated reports whether an active partition separates u and v at time
+// now.
+func (in *Injector) Separated(now int64, u, v int) bool {
+	for i, pt := range in.plan.Partitions {
+		if pt.At <= now && now < pt.HealAt && in.sides[i][u] != in.sides[i][v] {
+			return true
+		}
+	}
+	return false
+}
+
+// CutEdge reports whether partition index pi separates u and v (regardless
+// of time) — used by the simulator to find the healed cut edges.
+func (in *Injector) CutEdge(pi, u, v int) bool {
+	return in.sides[pi][u] != in.sides[pi][v]
+}
+
+// Judge decides the fate of one transmission from router `from` to router
+// `to` at time now. Each call consumes randomness, so callers must invoke
+// it exactly once per transmission, in deterministic order.
+func (in *Injector) Judge(now int64, class MessageClass, from, to int) Outcome {
+	out := Outcome{Deliver: true}
+	if in.Separated(now, from, to) {
+		return Outcome{PartitionDrop: true}
+	}
+	if in.plan.DropProb > 0 && in.rng.Float64() < in.plan.DropProb {
+		return Outcome{}
+	}
+	if class == Flood {
+		out.Delay += in.plan.FloodDelay
+		if in.plan.DupProb > 0 && in.rng.Float64() < in.plan.DupProb {
+			out.Duplicate = true
+		}
+	}
+	if in.plan.DelayProb > 0 && in.rng.Float64() < in.plan.DelayProb {
+		out.Delay += 1 + in.rng.Intn(in.plan.MaxDelay)
+	}
+	return out
+}

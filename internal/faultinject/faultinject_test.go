@@ -1,0 +1,118 @@
+package faultinject
+
+import "testing"
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"drop prob > 1", Plan{DropProb: 1.5}},
+		{"negative dup prob", Plan{DupProb: -0.1}},
+		{"delay prob > 1", Plan{DelayProb: 2}},
+		{"negative max delay", Plan{MaxDelay: -1}},
+		{"negative flood delay", Plan{FloodDelay: -2}},
+		{"crash router out of range", Plan{Crashes: []Crash{{Router: 99, At: 1, RestartAt: 2}}}},
+		{"restart before crash", Plan{Crashes: []Crash{{Router: 0, At: 5, RestartAt: 5}}}},
+		{"empty partition", Plan{Partitions: []Partition{{At: 1, HealAt: 2}}}},
+		{"partition member out of range", Plan{Partitions: []Partition{{Members: []int{-1}, At: 1, HealAt: 2}}}},
+		{"heal before split", Plan{Partitions: []Partition{{Members: []int{0}, At: 3, HealAt: 3}}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(10); err == nil {
+			t.Errorf("%s: Validate accepted a bad plan", c.name)
+		}
+	}
+	good := Plan{Seed: 1, DropProb: 0.1, DupProb: 0.05, DelayProb: 0.05,
+		Crashes:    []Crash{{Router: 3, At: 10, RestartAt: 20}},
+		Partitions: []Partition{{Members: []int{0, 1}, At: 5, HealAt: 15}}}
+	if err := good.Validate(10); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestJudgeDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, DropProb: 0.3, DupProb: 0.2, DelayProb: 0.2}
+	run := func() []Outcome {
+		in, err := NewInjector(plan, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outs []Outcome
+		for i := 0; i < 200; i++ {
+			outs = append(outs, in.Judge(int64(i), MessageClass(i%2), i%8, (i+1)%8))
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestJudgeRates(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 42, DropProb: 0.1, DupProb: 0.5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops, dups := 0, 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		out := in.Judge(0, Flood, 0, 1)
+		if !out.Deliver {
+			drops++
+		}
+		if out.Duplicate {
+			dups++
+		}
+	}
+	if drops < trials/20 || drops > trials/5 {
+		t.Errorf("drop rate %d/%d far from 10%%", drops, trials)
+	}
+	// Duplication applies only to delivered messages, so expect ~45%.
+	if dups < trials/3 || dups > trials*3/5 {
+		t.Errorf("dup rate %d/%d far from 45%%", dups, trials)
+	}
+}
+
+func TestPartitionSeparates(t *testing.T) {
+	plan := Plan{Partitions: []Partition{{Members: []int{0, 1, 2}, At: 100, HealAt: 200}}}
+	in, err := NewInjector(plan, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Separated(50, 0, 5) {
+		t.Error("partition active before At")
+	}
+	if !in.Separated(100, 0, 5) {
+		t.Error("partition inactive at At")
+	}
+	if in.Separated(150, 0, 1) {
+		t.Error("same-side routers separated")
+	}
+	if in.Separated(200, 0, 5) {
+		t.Error("partition active at HealAt")
+	}
+	out := in.Judge(150, Data, 2, 3)
+	if out.Deliver || !out.PartitionDrop {
+		t.Errorf("cross-partition message not dropped: %+v", out)
+	}
+	if !in.CutEdge(0, 2, 3) || in.CutEdge(0, 0, 1) {
+		t.Error("CutEdge misclassifies the cut")
+	}
+}
+
+func TestZeroPlanIsPerfect(t *testing.T) {
+	in, err := NewInjector(Plan{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		out := in.Judge(int64(i), Data, 0, 1)
+		if !out.Deliver || out.Duplicate || out.Delay != 0 {
+			t.Fatalf("zero plan produced chaos: %+v", out)
+		}
+	}
+}

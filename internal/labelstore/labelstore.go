@@ -3,12 +3,19 @@
 // router) downloads only the labels it needs and answers every distance
 // query locally, offline, from those labels alone.
 //
-// A store file is a simple container:
+// A store file is a simple container (current version "FSDL2"):
 //
-//	magic "FSDL1", version byte
+//	magic "FSDL2"
 //	uvarint n            (vertex-id space of the graph)
 //	uvarint count        (number of labels stored)
-//	count × records:     uvarint vertex, uvarint bitLen, bytes ⌈bitLen/8⌉
+//	count × records:     uvarint vertex, uvarint bitLen, bytes ⌈bitLen/8⌉,
+//	                     crc32 (IEEE, little-endian, over the record's
+//	                     vertex+bitLen varints and payload bytes)
+//
+// Version "FSDL1" is the same container without the per-record checksums;
+// Load and LoadPartial read both, Save always writes FSDL2. The checksums
+// turn silent bit rot into detected corruption: Load fails loudly, while
+// LoadPartial salvages every intact record and reports what was lost.
 //
 // Stores can hold all n labels (the full oracle) or any subset — e.g. a
 // region bundle produced by SaveRegion.
@@ -18,6 +25,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -25,7 +33,105 @@ import (
 	"fsdl/internal/graph"
 )
 
-var magic = []byte("FSDL1")
+var (
+	magicV1 = []byte("FSDL1")
+	magicV2 = []byte("FSDL2")
+)
+
+// maxLabelBits rejects absurd bit-length fields before allocating.
+const maxLabelBits = 1 << 40
+
+// writeRecord emits one v2 record: the vertex and bit-length varints, the
+// payload, then a CRC32-IEEE over all of the preceding record bytes.
+func writeRecord(bw *bufio.Writer, v int, bits int, data []byte) error {
+	var scratch [binary.MaxVarintLen64]byte
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, h)
+	k := binary.PutUvarint(scratch[:], uint64(v))
+	if _, err := mw.Write(scratch[:k]); err != nil {
+		return err
+	}
+	k = binary.PutUvarint(scratch[:], uint64(bits))
+	if _, err := mw.Write(scratch[:k]); err != nil {
+		return err
+	}
+	if _, err := mw.Write(data); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], h.Sum32())
+	_, err := bw.Write(sum[:])
+	return err
+}
+
+// readHeader consumes the magic and the n/count varints, returning the
+// container version (1 or 2).
+func readHeader(br *bufio.Reader) (version int, n, count uint64, err error) {
+	head := make([]byte, len(magicV1))
+	if _, err = io.ReadFull(br, head); err != nil {
+		return 0, 0, 0, fmt.Errorf("labelstore: read magic: %w", err)
+	}
+	switch string(head) {
+	case string(magicV1):
+		version = 1
+	case string(magicV2):
+		version = 2
+	default:
+		return 0, 0, 0, fmt.Errorf("labelstore: bad magic %q", head)
+	}
+	if n, err = binary.ReadUvarint(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("labelstore: read n: %w", err)
+	}
+	if count, err = binary.ReadUvarint(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("labelstore: read count: %w", err)
+	}
+	if count > n {
+		return 0, 0, 0, fmt.Errorf("labelstore: count %d exceeds n %d", count, n)
+	}
+	return version, n, count, nil
+}
+
+// readRecord reads one record. A non-nil error means the stream framing
+// itself is broken (truncation, or a corrupted length field that makes
+// every later byte unreliable); crcOK=false means the framing held but
+// the v2 checksum did not match. v1 records have no checksum and always
+// report crcOK=true.
+func readRecord(br *bufio.Reader, n uint64, withCRC bool) (v uint64, rec record, crcOK bool, err error) {
+	v, err = binary.ReadUvarint(br)
+	if err != nil {
+		return 0, record{}, false, fmt.Errorf("labelstore: read vertex: %w", err)
+	}
+	if v >= n {
+		return 0, record{}, false, fmt.Errorf("labelstore: vertex %d out of range", v)
+	}
+	bits, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, record{}, false, fmt.Errorf("labelstore: read bit length: %w", err)
+	}
+	if bits > maxLabelBits {
+		return 0, record{}, false, fmt.Errorf("labelstore: implausible label size %d bits", bits)
+	}
+	data := make([]byte, (bits+7)/8)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return 0, record{}, false, fmt.Errorf("labelstore: read label bytes: %w", err)
+	}
+	crcOK = true
+	if withCRC {
+		var sum [4]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			return 0, record{}, false, fmt.Errorf("labelstore: read checksum: %w", err)
+		}
+		var scratch [binary.MaxVarintLen64]byte
+		h := crc32.NewIEEE()
+		k := binary.PutUvarint(scratch[:], v)
+		h.Write(scratch[:k])
+		k = binary.PutUvarint(scratch[:], bits)
+		h.Write(scratch[:k])
+		h.Write(data)
+		crcOK = h.Sum32() == binary.LittleEndian.Uint32(sum[:])
+	}
+	return v, record{bits: int(bits), data: data}, crcOK, nil
+}
 
 // Save writes the labels of the given vertices (all vertices when nil) to
 // w. Labels are extracted from the scheme on the fly, so memory stays
@@ -39,7 +145,7 @@ func Save(w io.Writer, s *core.Scheme, vertices []int) error {
 		}
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic); err != nil {
+	if _, err := bw.Write(magicV2); err != nil {
 		return fmt.Errorf("labelstore: write magic: %w", err)
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -59,14 +165,8 @@ func Save(w io.Writer, s *core.Scheme, vertices []int) error {
 			return fmt.Errorf("labelstore: vertex %d out of range [0,%d)", v, n)
 		}
 		buf, nbits := s.Label(v).Encode()
-		if err := writeUvarint(uint64(v)); err != nil {
-			return fmt.Errorf("labelstore: write vertex: %w", err)
-		}
-		if err := writeUvarint(uint64(nbits)); err != nil {
-			return fmt.Errorf("labelstore: write bit length: %w", err)
-		}
-		if _, err := bw.Write(buf[:(nbits+7)/8]); err != nil {
-			return fmt.Errorf("labelstore: write label: %w", err)
+		if err := writeRecord(bw, v, nbits, buf[:(nbits+7)/8]); err != nil {
+			return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
 		}
 	}
 	return bw.Flush()
@@ -94,50 +194,85 @@ type record struct {
 	data []byte
 }
 
-// Load reads a store produced by Save.
+// Load reads a store produced by Save (either container version). It is
+// strict: any framing error or checksum mismatch fails the whole load.
+// Use LoadPartial to salvage what survives from a damaged file.
 func Load(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("labelstore: read magic: %w", err)
-	}
-	if string(head) != string(magic) {
-		return nil, fmt.Errorf("labelstore: bad magic %q", head)
-	}
-	n, err := binary.ReadUvarint(br)
+	version, n, count, err := readHeader(br)
 	if err != nil {
-		return nil, fmt.Errorf("labelstore: read n: %w", err)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("labelstore: read count: %w", err)
-	}
-	if count > n {
-		return nil, fmt.Errorf("labelstore: count %d exceeds n %d", count, n)
+		return nil, err
 	}
 	st := &Store{n: int(n), labels: make(map[int32]record, count)}
 	for i := uint64(0); i < count; i++ {
-		v, err := binary.ReadUvarint(br)
+		v, rec, crcOK, err := readRecord(br, n, version == 2)
 		if err != nil {
-			return nil, fmt.Errorf("labelstore: read vertex (record %d): %w", i, err)
+			return nil, fmt.Errorf("%w (record %d)", err, i)
 		}
-		if v >= n {
-			return nil, fmt.Errorf("labelstore: vertex %d out of range", v)
+		if !crcOK {
+			return nil, fmt.Errorf("labelstore: checksum mismatch on record %d (vertex %d)", i, v)
 		}
-		bits, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("labelstore: read bit length (record %d): %w", i, err)
-		}
-		if bits > 1<<40 {
-			return nil, fmt.Errorf("labelstore: implausible label size %d bits", bits)
-		}
-		data := make([]byte, (bits+7)/8)
-		if _, err := io.ReadFull(br, data); err != nil {
-			return nil, fmt.Errorf("labelstore: read label bytes (record %d): %w", i, err)
-		}
-		st.labels[int32(v)] = record{bits: int(bits), data: data}
+		st.labels[int32(v)] = rec
 	}
 	return st, nil
+}
+
+// SalvageReport describes what LoadPartial recovered from a damaged
+// store file.
+type SalvageReport struct {
+	// Version is the container version that was read (1 or 2).
+	Version int
+	// Total is the record count the header declared; Kept is how many
+	// records survived intact.
+	Total, Kept int
+	// Corrupt lists the vertices of records that were skipped because
+	// their checksum failed or their payload did not decode (ascending).
+	// Vertex ids here come from possibly-damaged records and identify
+	// where in the file the damage sat, not necessarily a real vertex.
+	Corrupt []int32
+	// Truncated is true when the record framing itself broke (short file
+	// or corrupted length fields): everything from the break onward was
+	// abandoned, and the unread records are not listed in Corrupt.
+	Truncated bool
+}
+
+// Lost returns how many declared records were not salvaged.
+func (sr *SalvageReport) Lost() int { return sr.Total - sr.Kept }
+
+// LoadPartial reads as much of a (possibly damaged) store as possible:
+// records whose checksum fails or whose payload does not decode are
+// skipped, and a framing break abandons the remainder of the file. The
+// error is non-nil only when the header itself is unreadable — a damaged
+// body yields a usable Store plus a report of what was lost. Queries
+// needing a lost label can still be answered conservatively via
+// DistanceRobust.
+func LoadPartial(r io.Reader) (*Store, *SalvageReport, error) {
+	br := bufio.NewReader(r)
+	version, n, count, err := readHeader(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Store{n: int(n), labels: make(map[int32]record, count)}
+	rep := &SalvageReport{Version: version, Total: int(count)}
+	for i := uint64(0); i < count; i++ {
+		v, rec, crcOK, err := readRecord(br, n, version == 2)
+		if err != nil {
+			rep.Truncated = true
+			break
+		}
+		if !crcOK {
+			rep.Corrupt = append(rep.Corrupt, int32(v))
+			continue
+		}
+		if _, err := core.DecodeLabel(rec.data, rec.bits); err != nil {
+			rep.Corrupt = append(rep.Corrupt, int32(v))
+			continue
+		}
+		st.labels[int32(v)] = rec
+		rep.Kept++
+	}
+	sort.Slice(rep.Corrupt, func(i, j int) bool { return rep.Corrupt[i] < rep.Corrupt[j] })
+	return st, rep, nil
 }
 
 // NumVertices returns the vertex-id space of the underlying graph.
@@ -208,6 +343,56 @@ func (st *Store) Distance(src, dst int, faults *graph.FaultSet) (int64, bool, er
 	return d, ok, nil
 }
 
+// DistanceRobust answers (src, dst, F) tolerating missing or corrupt
+// fault labels: faults whose labels are absent from the store (a salvage
+// skipped them, or the query left the downloaded region) or fail to
+// decode are demoted to the degraded tier by vertex id, yielding a
+// conservative upper bound on d_{G\F} with Result.Degraded set instead
+// of an error. budget caps the decode work (≤ 0 means unlimited). The
+// error is non-nil only when an endpoint label itself is unavailable —
+// without those nothing can be answered.
+func (st *Store) DistanceRobust(src, dst int, faults *graph.FaultSet, budget int) (core.Result, error) {
+	if faults.HasVertex(src) || faults.HasVertex(dst) {
+		return core.Result{}, nil // forbidden endpoint: no distance exists
+	}
+	ls, err := st.Label(src)
+	if err != nil {
+		return core.Result{}, err
+	}
+	lt, err := st.Label(dst)
+	if err != nil {
+		return core.Result{}, err
+	}
+	q := &core.Query{S: ls, T: lt, Budget: budget}
+	fv := faults.Vertices()
+	sort.Ints(fv)
+	for _, f := range fv {
+		lf, err := st.Label(f)
+		if err != nil {
+			q.DegradedVertexFaults = append(q.DegradedVertexFaults, int32(f))
+			continue
+		}
+		q.VertexFaults = append(q.VertexFaults, lf)
+	}
+	edges := faults.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		la, errA := st.Label(e[0])
+		lb, errB := st.Label(e[1])
+		if errA != nil || errB != nil {
+			q.DegradedEdgeFaults = append(q.DegradedEdgeFaults, [2]int32{int32(e[0]), int32(e[1])})
+			continue
+		}
+		q.EdgeFaults = append(q.EdgeFaults, [2]*core.Label{la, lb})
+	}
+	return q.DistanceRobust(), nil
+}
+
 // Merge combines label stores over the same graph (e.g. two adjacent
 // region bundles downloaded separately) into one. Overlapping labels must
 // be identical; conflicting stores (different graphs or schemes) are
@@ -250,7 +435,7 @@ func bytesEqual(a, b []byte) bool {
 // bundles can be redistributed.
 func (st *Store) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic); err != nil {
+	if _, err := bw.Write(magicV2); err != nil {
 		return fmt.Errorf("labelstore: write magic: %w", err)
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -273,14 +458,8 @@ func (st *Store) Save(w io.Writer) error {
 	sort.Ints(ids)
 	for _, v := range ids {
 		rec := st.labels[int32(v)]
-		if err := writeUvarint(uint64(v)); err != nil {
-			return err
-		}
-		if err := writeUvarint(uint64(rec.bits)); err != nil {
-			return err
-		}
-		if _, err := bw.Write(rec.data); err != nil {
-			return err
+		if err := writeRecord(bw, v, rec.bits, rec.data); err != nil {
+			return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
 		}
 	}
 	return bw.Flush()

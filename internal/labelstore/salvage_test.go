@@ -1,0 +1,220 @@
+package labelstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+// saveV1 hand-rolls the legacy FSDL1 container (no per-record checksums)
+// so backward-compatible reads stay covered now that Save writes FSDL2.
+func saveV1(t *testing.T, s *core.Scheme) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("FSDL1")
+	var scratch [binary.MaxVarintLen64]byte
+	wu := func(v uint64) {
+		k := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:k])
+	}
+	n := s.Graph().NumVertices()
+	wu(uint64(n))
+	wu(uint64(n))
+	for v := 0; v < n; v++ {
+		b, nbits := s.Label(v).Encode()
+		wu(uint64(v))
+		wu(uint64(nbits))
+		buf.Write(b[:(nbits+7)/8])
+	}
+	return buf.Bytes()
+}
+
+func TestLoadReadsLegacyV1(t *testing.T) {
+	g := gen.Grid2D(5, 5)
+	s := buildScheme(t, g)
+	raw := saveV1(t, s)
+
+	st, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("strict load of v1: %v", err)
+	}
+	if st.NumLabels() != 25 {
+		t.Fatalf("v1 load kept %d labels, want 25", st.NumLabels())
+	}
+	st2, rep, err := LoadPartial(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("salvage load of v1: %v", err)
+	}
+	if rep.Version != 1 || rep.Kept != 25 || rep.Lost() != 0 || rep.Truncated {
+		t.Fatalf("v1 salvage report %+v, want version 1, 25/25 kept", rep)
+	}
+	if st2.NumLabels() != 25 {
+		t.Fatalf("v1 salvage kept %d labels, want 25", st2.NumLabels())
+	}
+	// A v1 bundle re-saved upgrades to v2 and still round-trips.
+	var up bytes.Buffer
+	if err := st.Save(&up); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(up.Bytes(), []byte("FSDL2")) {
+		t.Error("re-save did not upgrade to FSDL2")
+	}
+	if _, err := Load(bytes.NewReader(up.Bytes())); err != nil {
+		t.Fatalf("upgraded bundle unreadable: %v", err)
+	}
+}
+
+func TestLoadDetectsBitRot(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip one bit somewhere in the body: the strict loader must refuse
+	// the file no matter which record the damage lands in.
+	for _, off := range []int{16, len(good) / 2, len(good) - 3} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x20
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Errorf("bit flip at offset %d went undetected", off)
+		}
+	}
+}
+
+func TestLoadPartialSalvagesAroundDamage(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xff
+	st, rep, err := LoadPartial(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatalf("salvage failed outright: %v", err)
+	}
+	if rep.Kept == 0 {
+		t.Fatalf("salvage kept nothing: %+v", rep)
+	}
+	if rep.Kept >= rep.Total {
+		t.Fatalf("salvage claims a damaged file was intact: %+v", rep)
+	}
+	if !rep.Truncated && len(rep.Corrupt) == 0 {
+		t.Fatalf("records lost but neither Corrupt nor Truncated set: %+v", rep)
+	}
+	if st.NumLabels() != rep.Kept {
+		t.Fatalf("store holds %d labels but report says %d kept", st.NumLabels(), rep.Kept)
+	}
+	// Every salvaged label must decode cleanly.
+	for v := 0; v < st.NumVertices(); v++ {
+		if !st.Has(v) {
+			continue
+		}
+		if _, err := st.Label(v); err != nil {
+			t.Fatalf("salvaged label %d does not decode: %v", v, err)
+		}
+	}
+}
+
+func TestLoadPartialTruncatedFile(t *testing.T) {
+	g := gen.Grid2D(5, 5)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()*2/3]
+	st, rep, err := LoadPartial(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("salvage of truncated file failed outright: %v", err)
+	}
+	if !rep.Truncated {
+		t.Fatalf("truncation not reported: %+v", rep)
+	}
+	if rep.Kept == 0 || rep.Kept >= rep.Total {
+		t.Fatalf("implausible salvage from a 2/3 file: %+v", rep)
+	}
+	if st.NumLabels() != rep.Kept {
+		t.Fatalf("store/report disagree: %d vs %+v", st.NumLabels(), rep)
+	}
+}
+
+// TestDistanceRobustFromSalvagedStore closes the loop: a store missing a
+// fault's label still answers, flags the degradation, and never
+// undercuts the exact baseline.
+func TestDistanceRobustFromSalvagedStore(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	s := buildScheme(t, g)
+
+	// Save every label except vertex 14's — the same shape a salvage that
+	// dropped record 14 produces.
+	kept := make([]int, 0, 35)
+	for v := 0; v < 36; v++ {
+		if v != 14 {
+			kept = append(kept, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, s, kept); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faults := graph.NewFaultSet()
+	faults.AddVertex(14)
+	faults.AddVertex(21)
+	truth := g.DistAvoiding(0, 35, faults)
+
+	// The strict path refuses the query outright.
+	if _, _, err := st.Distance(0, 35, faults); err == nil {
+		t.Fatal("strict Distance answered with a missing fault label")
+	}
+	res, err := st.DistanceRobust(0, 35, faults, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatalf("missing fault label not flagged: %+v", res)
+	}
+	if len(res.MissingFaultLabels) != 1 || res.MissingFaultLabels[0] != 14 {
+		t.Fatalf("MissingFaultLabels = %v, want [14]", res.MissingFaultLabels)
+	}
+	if res.OK && res.Dist < int64(truth) {
+		t.Fatalf("degraded store answer %d below true %d", res.Dist, truth)
+	}
+
+	// With every label present the robust path is not degraded and agrees
+	// with the strict one.
+	var full bytes.Buffer
+	if err := Save(&full, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	stFull, err := Load(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, strictOK, err := stFull.Distance(0, 35, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = stFull.DistanceRobust(0, 35, faults, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.OK != strictOK || (strictOK && res.Dist != strict) {
+		t.Fatalf("healthy robust query %+v disagrees with strict (%d,%v)", res, strict, strictOK)
+	}
+}

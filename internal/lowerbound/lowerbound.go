@@ -15,6 +15,27 @@ import (
 	"fsdl/internal/graph"
 )
 
+// ValidateFamily checks that (p, d) parameterize a buildable family
+// 𝓕_{n,α} instance: p ≥ 2, d ≥ 1 and even (H_{p,d} is defined via d/2),
+// and p^d within the builder's size cap. Commands validate with this
+// before producing any output, so malformed parameters fail whole.
+func ValidateFamily(p, d int) error {
+	if p < 2 || d < 1 {
+		return fmt.Errorf("lowerbound: need p >= 2, d >= 1, got p=%d d=%d", p, d)
+	}
+	if d%2 != 0 {
+		return fmt.Errorf("lowerbound: the family needs even d (H_{p,d} requires it), got d=%d", d)
+	}
+	n := 1
+	for i := 0; i < d; i++ {
+		if n > (1<<28)/p {
+			return fmt.Errorf("lowerbound: p^d too large (p=%d, d=%d)", p, d)
+		}
+		n *= p
+	}
+	return nil
+}
+
 // GridPD returns G_{p,d}: vertices are the tuples (x_1,…,x_d) with
 // x_i ∈ {0,…,p−1}; two vertices are adjacent iff max_i |x_i−y_i| = 1
 // ("king moves"). The doubling dimension of G_{p,d} is at most d.

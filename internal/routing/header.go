@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"math"
 
 	"fsdl/internal/bitio"
 	"fsdl/internal/core"
@@ -54,6 +55,9 @@ func DecodeHeader(buf []byte, nbits int) (*Header, error) {
 		wp, err := r.ReadDelta()
 		if err != nil {
 			return nil, fmt.Errorf("routing: decode waypoint %d: %w", i, err)
+		}
+		if wp > math.MaxInt32 {
+			return nil, fmt.Errorf("routing: waypoint %d out of range: %d", i, wp)
 		}
 		h.Waypoints[i] = int32(wp)
 	}
