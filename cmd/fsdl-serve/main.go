@@ -1,0 +1,133 @@
+// Command fsdl-serve is the long-lived query service over an FSDL label
+// store: distance / batch-distance / connected queries and dynamic
+// fail/recover over HTTP/JSON, with a result cache, admission control,
+// and Prometheus metrics. See docs/SERVER.md for the API.
+//
+// Usage:
+//
+//	fsdl-serve -store labels.fsdl [-addr :8080] [-salvage] [-graph graph.txt]
+//	           [-workers N] [-queue N] [-deadline 5s] [-budget 0]
+//	           [-cache 4096] [-cache-shards 8] [-eps 2]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fsdl"
+	"fsdl/internal/labelstore"
+	"fsdl/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fsdl-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fsdl-serve", flag.ContinueOnError)
+	storePath := fs.String("store", "", "label store file (required)")
+	salvage := fs.Bool("salvage", false, "tolerate a damaged store: skip corrupt records, answer conservatively")
+	graphPath := fs.String("graph", "", "graph file; enables the dynamic-oracle query path")
+	eps := fs.Float64("eps", 2, "dynamic oracle precision epsilon")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "max concurrently executing queries (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth beyond the worker pool (0 = 4×workers)")
+	deadline := fs.Duration("deadline", 5*time.Second, "default per-request deadline")
+	budget := fs.Int("budget", 0, "default per-query decode work budget (0 = unlimited)")
+	cacheCap := fs.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+	cacheShards := fs.Int("cache-shards", 8, "result cache shard count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storePath == "" {
+		return fmt.Errorf("-store is required")
+	}
+
+	f, err := os.Open(*storePath)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{
+		Epsilon:         *eps,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		DefaultBudget:   *budget,
+		CacheCapacity:   *cacheCap,
+		CacheShards:     *cacheShards,
+	}
+	if *salvage {
+		st, rep, err := labelstore.LoadPartial(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if rep.Kept == 0 {
+			return fmt.Errorf("store %s is unreadable: 0 of %d records salvaged (truncated: %v)",
+				*storePath, rep.Total, rep.Truncated)
+		}
+		if rep.Lost() > 0 {
+			fmt.Fprintf(os.Stderr, "fsdl-serve: salvage: kept %d/%d records (%d corrupt, truncated: %v) — lost fault labels answered as safe upper bounds\n",
+				rep.Kept, rep.Total, len(rep.Corrupt), rep.Truncated)
+		}
+		cfg.Store, cfg.Report = st, rep
+	} else {
+		st, err := labelstore.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w (use -salvage to tolerate damage)", *storePath, err)
+		}
+		cfg.Store = st
+	}
+
+	if *graphPath != "" {
+		gf, err := os.Open(*graphPath)
+		if err != nil {
+			return err
+		}
+		g, err := fsdl.ReadGraph(gf)
+		gf.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Graph = g
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fsdl-serve: serving %d labels over n=%d vertices on %s\n",
+		cfg.Store.NumLabels(), cfg.Store.NumVertices(), *addr)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight queries.
+	fmt.Fprintln(os.Stderr, "fsdl-serve: shutting down, draining in-flight queries")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -188,6 +188,10 @@ func cmdQueryDB(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if rep.Kept == 0 {
+			return fmt.Errorf("store %s is unreadable: 0 of %d records salvaged (truncated: %v)",
+				*db, rep.Total, rep.Truncated)
+		}
 		if rep.Lost() > 0 {
 			fmt.Fprintf(out, "salvage: kept %d/%d records (%d corrupt, truncated: %v)\n",
 				rep.Kept, rep.Total, len(rep.Corrupt), rep.Truncated)
@@ -201,12 +205,14 @@ func cmdQueryDB(args []string, out io.Writer) error {
 				*src, *dst, faults.Size())
 			return nil
 		}
-		mode := "exact-mode"
+		fmt.Fprintf(out, "estimated distance %d -> %d avoiding |F|=%d: %d (from %d stored labels)\n",
+			*src, *dst, faults.Size(), res.Dist, st.NumLabels())
 		if res.Degraded {
-			mode = fmt.Sprintf("DEGRADED upper bound (%d fault labels missing/corrupt)", len(res.MissingFaultLabels))
+			fmt.Fprintf(out, "status: DEGRADED upper bound (%d fault labels missing/corrupt)\n",
+				len(res.MissingFaultLabels))
+		} else {
+			fmt.Fprintln(out, "status: EXACT (all labels intact, (1+eps) estimate)")
 		}
-		fmt.Fprintf(out, "estimated distance %d -> %d avoiding |F|=%d: %d — %s, from %d stored labels\n",
-			*src, *dst, faults.Size(), res.Dist, mode, st.NumLabels())
 		return nil
 	}
 	st, err := labelstore.Load(f)

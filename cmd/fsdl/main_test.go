@@ -159,7 +159,7 @@ func TestCLIQueryDBSalvage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "exact-mode") || strings.Contains(out, "salvage:") {
+	if !strings.Contains(out, "status: EXACT") || strings.Contains(out, "salvage:") {
 		t.Errorf("intact-store salvage output wrong:\n%s", out)
 	}
 	// Corrupt one byte mid-file: strict load fails whole, salvage answers.
@@ -183,6 +183,34 @@ func TestCLIQueryDBSalvage(t *testing.T) {
 	}
 	if !strings.Contains(out, "estimated distance") && !strings.Contains(out, "no answer") {
 		t.Errorf("salvage query produced no verdict:\n%s", out)
+	}
+	if strings.Contains(out, "estimated distance") && !strings.Contains(out, "status: ") {
+		t.Errorf("salvage verdict missing status line:\n%s", out)
+	}
+}
+
+func TestCLIQueryDBSalvageUnreadableStore(t *testing.T) {
+	gpath := genGraphFile(t)
+	dbPath := filepath.Join(t.TempDir(), "labels.fsdl")
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", dbPath); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to just the header: the count still promises records but
+	// none can be salvaged. Even -salvage must exit non-zero, not report
+	// success over an empty store.
+	data, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dbPath, data[:7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = runCLI(t, "querydb", "-db", dbPath, "-s", "0", "-t", "35", "-salvage")
+	if err == nil {
+		t.Fatal("querydb -salvage must fail when zero records are salvaged")
+	}
+	if !strings.Contains(err.Error(), "unreadable") {
+		t.Errorf("error should say the store is unreadable, got: %v", err)
 	}
 }
 

@@ -86,13 +86,13 @@ func ExampleNewDynamicOracle() {
 		fmt.Println("build:", err)
 		return
 	}
-	_, ok := oracle.Distance(0, 5)
+	_, ok, _ := oracle.Distance(0, 5)
 	fmt.Println(ok)
 	oracle.FailVertex(3)
-	_, ok = oracle.Distance(0, 5)
+	_, ok, _ = oracle.Distance(0, 5)
 	fmt.Println(ok)
 	oracle.RecoverVertex(3)
-	_, ok = oracle.Distance(0, 5)
+	_, ok, _ = oracle.Distance(0, 5)
 	fmt.Println(ok)
 	// Output:
 	// true

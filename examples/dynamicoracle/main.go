@@ -51,7 +51,9 @@ func run() error {
 		// Serve a query every step.
 		s, t := rng.Intn(n), rng.Intn(n)
 		queries++
-		if _, ok := oracle.Distance(s, t); ok {
+		if _, ok, err := oracle.Distance(s, t); err != nil {
+			return err
+		} else if ok {
 			answered++
 		}
 		if step%75 == 0 {
@@ -73,7 +75,10 @@ func run() error {
 	for i := 0; i < 50; i++ {
 		s, t := rng.Intn(n), rng.Intn(n)
 		truth := g.DistAvoiding(s, t, live)
-		est, ok := oracle.Distance(s, t)
+		est, ok, err := oracle.Distance(s, t)
+		if err != nil {
+			return err
+		}
 		reachable := truth >= 0
 		if ok != reachable {
 			return fmt.Errorf("mismatch: oracle ok=%v, truth reachable=%v", ok, reachable)

@@ -73,8 +73,8 @@ func TestPublicAPIOracles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d, ok := so.Distance(0, 24, nil); !ok || d < 8 {
-		t.Fatalf("static oracle Distance = (%d,%v)", d, ok)
+	if d, ok, err := so.Distance(0, 24, nil); err != nil || !ok || d < 8 {
+		t.Fatalf("static oracle Distance = (%d,%v,%v)", d, ok, err)
 	}
 	if so.SizeBits() <= 0 {
 		t.Fatal("oracle must report its size")
@@ -87,13 +87,13 @@ func TestPublicAPIOracles(t *testing.T) {
 	if err := dy.FailVertex(12); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := dy.Distance(12, 0); ok {
+	if _, ok, _ := dy.Distance(12, 0); ok {
 		t.Fatal("failed vertex must be unreachable")
 	}
 	if err := dy.RecoverVertex(12); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := dy.Distance(12, 0); !ok {
+	if _, ok, _ := dy.Distance(12, 0); !ok {
 		t.Fatal("recovered vertex must answer")
 	}
 }

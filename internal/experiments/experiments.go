@@ -1,10 +1,11 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment E1–E15 of DESIGN.md, each regenerating the measurable content
+// experiment E1–E16 of DESIGN.md, each regenerating the measurable content
 // of one of the paper's theorems or figures (the paper is a theory paper,
 // so its "tables and figures" are its bounds — see EXPERIMENTS.md for the
-// claim-by-claim mapping and recorded results). E15 goes beyond the paper:
-// it exercises the chaos harness and the degraded decoding path (see
-// docs/RESILIENCE.md).
+// claim-by-claim mapping and recorded results). E15 and E16 go beyond the
+// paper: E15 exercises the chaos harness and the degraded decoding path
+// (docs/RESILIENCE.md); E16 load-tests the serving subsystem
+// (docs/SERVER.md).
 package experiments
 
 import (
@@ -32,7 +33,7 @@ type Config struct {
 
 // Experiment is one runnable experiment.
 type Experiment struct {
-	// ID is the experiment identifier (E1…E14).
+	// ID is the experiment identifier (E1…E16).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -134,6 +135,12 @@ func All() []Experiment {
 			Title: "Chaos resilience and graceful degradation",
 			Claim: "robustness: seeded transport/router faults are survived by retries+dedup (delivery >= 95%), and damaged label stores degrade to safe upper bounds, never below d_{G\\F}",
 			Run:   RunE15Chaos,
+		},
+		{
+			ID:    "E16",
+			Title: "Label serving under load",
+			Claim: "deployment: labels served concurrently with batching, caching and admission control answer exactly like the static oracle, and budget-capped queries degrade to safe upper bounds",
+			Run:   RunE16Serve,
 		},
 	}
 }

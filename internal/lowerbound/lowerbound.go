@@ -160,9 +160,10 @@ func RandomFamilyMember(p, d int, rng *rand.Rand) (*graph.Graph, map[[2]int]bool
 }
 
 // ConnOracle is any forbidden-set connectivity oracle: Connected must
-// report whether u and v lie in the same component of G \ F.
+// report whether u and v lie in the same component of G \ F, or an error
+// for malformed queries (e.g. out-of-range vertex ids).
 type ConnOracle interface {
-	Connected(u, v int, faults *graph.FaultSet) bool
+	Connected(u, v int, faults *graph.FaultSet) (bool, error)
 }
 
 // ExactConnOracle answers connectivity queries by direct search on the
@@ -173,11 +174,14 @@ type ExactConnOracle struct {
 }
 
 // Connected implements ConnOracle exactly.
-func (o ExactConnOracle) Connected(u, v int, faults *graph.FaultSet) bool {
-	if u == v {
-		return !faults.HasVertex(u)
+func (o ExactConnOracle) Connected(u, v int, faults *graph.FaultSet) (bool, error) {
+	if u < 0 || u >= o.G.NumVertices() || v < 0 || v >= o.G.NumVertices() {
+		return false, fmt.Errorf("lowerbound: vertex out of range [0,%d)", o.G.NumVertices())
 	}
-	return o.G.ConnectedAvoiding(u, v, faults)
+	if u == v {
+		return !faults.HasVertex(u), nil
+	}
+	return o.G.ConnectedAvoiding(u, v, faults), nil
 }
 
 // ReconstructAdjacency mounts the Theorem 3.1 attack: for every vertex
@@ -195,7 +199,11 @@ func ReconstructAdjacency(n int, o ConnOracle) (*graph.Graph, error) {
 					f.AddVertex(v)
 				}
 			}
-			if o.Connected(i, j, f) {
+			conn, err := o.Connected(i, j, f)
+			if err != nil {
+				return nil, fmt.Errorf("lowerbound: query (%d,%d): %w", i, j, err)
+			}
+			if conn {
 				b.AddEdge(i, j)
 			}
 		}

@@ -106,48 +106,58 @@ func (o *Static) label(v int) (*core.Label, error) {
 
 // Distance answers the forbidden-set query (u,v,F) from the label table.
 // ok is false when u and v are disconnected in G\F or an endpoint is
-// forbidden.
-func (o *Static) Distance(u, v int, faults *graph.FaultSet) (int64, bool) {
+// forbidden. A non-nil error means the query itself was malformed — an
+// out-of-range endpoint or fault id — and carries no verdict about
+// connectivity.
+func (o *Static) Distance(u, v int, faults *graph.FaultSet) (int64, bool, error) {
 	if faults.HasVertex(u) || faults.HasVertex(v) {
-		return 0, false
+		return 0, false, nil
 	}
 	lu, err := o.label(u)
 	if err != nil {
-		return 0, false
+		return 0, false, err
 	}
 	lv, err := o.label(v)
 	if err != nil {
-		return 0, false
+		return 0, false, err
 	}
 	q := &core.Query{S: lu, T: lv}
 	for _, f := range faults.Vertices() {
 		lf, err := o.label(f)
 		if err != nil {
-			return 0, false
+			return 0, false, err
 		}
 		q.VertexFaults = append(q.VertexFaults, lf)
 	}
 	for _, e := range faults.Edges() {
 		la, err := o.label(e[0])
 		if err != nil {
-			return 0, false
+			return 0, false, err
 		}
 		lb, err := o.label(e[1])
 		if err != nil {
-			return 0, false
+			return 0, false, err
 		}
 		q.EdgeFaults = append(q.EdgeFaults, [2]*core.Label{la, lb})
 	}
-	return q.Distance()
+	d, ok := q.Distance()
+	return d, ok, nil
 }
 
-// Connected answers a forbidden-set connectivity query.
-func (o *Static) Connected(u, v int, faults *graph.FaultSet) bool {
-	if u == v {
-		return !faults.HasVertex(u)
+// Connected answers a forbidden-set connectivity query. A non-nil error
+// means an out-of-range endpoint or fault id.
+func (o *Static) Connected(u, v int, faults *graph.FaultSet) (bool, error) {
+	if u < 0 || u >= len(o.labels) {
+		return false, fmt.Errorf("oracle: vertex %d out of range [0,%d)", u, len(o.labels))
 	}
-	_, ok := o.Distance(u, v, faults)
-	return ok
+	if v < 0 || v >= len(o.labels) {
+		return false, fmt.Errorf("oracle: vertex %d out of range [0,%d)", v, len(o.labels))
+	}
+	if u == v {
+		return !faults.HasVertex(u), nil
+	}
+	_, ok, err := o.Distance(u, v, faults)
+	return ok, err
 }
 
 // Dynamic is a fully dynamic (1+ε)-approximate distance oracle: vertices
@@ -155,7 +165,12 @@ func (o *Static) Connected(u, v int, faults *graph.FaultSet) bool {
 // surviving graph. Between rebuilds, updates cost O(1) and a query costs
 // what a forbidden-set query with the current delta set costs; a rebuild
 // is triggered when the delta exceeds the threshold.
+//
+// Dynamic is safe for concurrent use: queries take a read lock, updates
+// (and the rebuilds they may trigger) take the write lock, so a serving
+// layer can answer Distance calls while failures and recoveries stream in.
 type Dynamic struct {
+	mu        sync.RWMutex
 	base      *graph.Graph
 	epsilon   float64
 	threshold int
@@ -201,17 +216,27 @@ func NewDynamic(g *graph.Graph, epsilon float64, threshold int) (*Dynamic, error
 }
 
 // Rebuilds returns the number of rebuilds performed so far.
-func (d *Dynamic) Rebuilds() int { return d.rebuilds }
+func (d *Dynamic) Rebuilds() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.rebuilds
+}
 
 // DeltaSize returns the size of the forbidden set accumulated since the
 // last rebuild.
-func (d *Dynamic) DeltaSize() int { return d.delta.Size() }
+func (d *Dynamic) DeltaSize() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.delta.Size()
+}
 
 // FailVertex marks v failed. No-op if already failed.
 func (d *Dynamic) FailVertex(v int) error {
 	if err := d.checkVertex(v); err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.removedV[int32(v)] || d.delta.HasVertex(v) {
 		return nil
 	}
@@ -225,6 +250,8 @@ func (d *Dynamic) RecoverVertex(v int) error {
 	if err := d.checkVertex(v); err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.delta.HasVertex(v) {
 		d.delta.RemoveVertex(v)
 		return nil
@@ -247,6 +274,8 @@ func (d *Dynamic) FailEdge(u, v int) error {
 	if !d.base.HasEdge(u, v) {
 		return fmt.Errorf("oracle: (%d,%d) is not an edge", u, v)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	k := edgeID(u, v)
 	if d.removedE[k] || d.delta.HasEdge(u, v) {
 		return nil
@@ -257,6 +286,14 @@ func (d *Dynamic) FailEdge(u, v int) error {
 
 // RecoverEdge marks the edge (u,v) alive again.
 func (d *Dynamic) RecoverEdge(u, v int) error {
+	if err := d.checkVertex(u); err != nil {
+		return err
+	}
+	if err := d.checkVertex(v); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.delta.HasEdge(u, v) {
 		d.delta.RemoveEdge(u, v)
 		return nil
@@ -271,13 +308,19 @@ func (d *Dynamic) RecoverEdge(u, v int) error {
 
 // Distance answers a (1+ε)-approximate distance query on the current
 // surviving graph. ok is false when u and v are disconnected (or failed).
-func (d *Dynamic) Distance(u, v int) (int64, bool) {
-	if d.checkVertex(u) != nil || d.checkVertex(v) != nil {
-		return 0, false
+// A non-nil error means an out-of-range vertex id and carries no verdict.
+func (d *Dynamic) Distance(u, v int) (int64, bool, error) {
+	if err := d.checkVertex(u); err != nil {
+		return 0, false, err
 	}
+	if err := d.checkVertex(v); err != nil {
+		return 0, false, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	cu, cv := d.compactOf[u], d.compactOf[v]
 	if cu < 0 || cv < 0 || d.delta.HasVertex(u) || d.delta.HasVertex(v) {
-		return 0, false
+		return 0, false, nil
 	}
 	// Translate the delta set into compact ids.
 	f := graph.NewFaultSet()
@@ -290,7 +333,8 @@ func (d *Dynamic) Distance(u, v int) (int64, bool) {
 			f.AddEdge(int(a), int(b))
 		}
 	}
-	return d.scheme.Distance(int(cu), int(cv), f)
+	dist, ok := d.scheme.Distance(int(cu), int(cv), f)
+	return dist, ok, nil
 }
 
 func (d *Dynamic) checkVertex(v int) error {

@@ -2,8 +2,10 @@ package oracle
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
+	"fsdl/internal/core"
 	"fsdl/internal/graph"
 )
 
@@ -40,7 +42,10 @@ func TestStaticOracleMatchesExact(t *testing.T) {
 			continue
 		}
 		want := g.DistAvoiding(u, v, f)
-		got, ok := o.Distance(u, v, f)
+		got, ok, err := o.Distance(u, v, f)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", u, v, err)
+		}
 		if graph.Reachable(want) != ok {
 			t.Fatalf("(%d,%d,|F|=%d): ok=%v, want reachable=%v", u, v, f.Size(), ok, graph.Reachable(want))
 		}
@@ -67,18 +72,48 @@ func TestStaticOracleSize(t *testing.T) {
 func TestStaticOracleConnected(t *testing.T) {
 	g := gridGraph(t, 4, 4)
 	o, _ := BuildStatic(g, 2)
-	if !o.Connected(0, 15, nil) {
+	mustConn := func(u, v int, f *graph.FaultSet) bool {
+		t.Helper()
+		conn, err := o.Connected(u, v, f)
+		if err != nil {
+			t.Fatalf("Connected(%d,%d): %v", u, v, err)
+		}
+		return conn
+	}
+	if !mustConn(0, 15, nil) {
 		t.Error("grid corners connected")
 	}
 	// Seal corner 0 (neighbors 1 and 4).
-	if o.Connected(0, 15, graph.FaultVertices(1, 4)) {
+	if mustConn(0, 15, graph.FaultVertices(1, 4)) {
 		t.Error("sealed corner must be disconnected")
 	}
-	if o.Connected(0, 15, graph.FaultVertices(15)) {
+	if mustConn(0, 15, graph.FaultVertices(15)) {
 		t.Error("failed endpoint is never connected")
 	}
-	if !o.Connected(3, 3, nil) {
+	if !mustConn(3, 3, nil) {
 		t.Error("vertex is connected to itself")
+	}
+}
+
+func TestStaticOracleOutOfRange(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	o, _ := BuildStatic(g, 2)
+	if _, _, err := o.Distance(-1, 3, nil); err == nil {
+		t.Error("negative source must error")
+	}
+	if _, _, err := o.Distance(0, 16, nil); err == nil {
+		t.Error("out-of-range target must error")
+	}
+	if _, _, err := o.Distance(0, 15, graph.FaultVertices(99)); err == nil {
+		t.Error("out-of-range fault vertex must error")
+	}
+	f := graph.NewFaultSet()
+	f.AddEdge(0, 99)
+	if _, _, err := o.Distance(0, 15, f); err == nil {
+		t.Error("out-of-range fault edge endpoint must error")
+	}
+	if _, err := o.Connected(-5, 0, nil); err == nil {
+		t.Error("Connected out of range must error")
 	}
 }
 
@@ -95,7 +130,11 @@ func TestStaticOracleEverywhereFailure(t *testing.T) {
 					f.AddVertex(v)
 				}
 			}
-			if got, want := o.Connected(i, j, f), g.HasEdge(i, j); got != want {
+			got, err := o.Connected(i, j, f)
+			if err != nil {
+				t.Fatalf("everywhere-failure query (%d,%d): %v", i, j, err)
+			}
+			if want := g.HasEdge(i, j); got != want {
 				t.Errorf("everywhere-failure query (%d,%d) = %v, adjacency = %v", i, j, got, want)
 			}
 		}
@@ -108,19 +147,19 @@ func TestDynamicOracleBasic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := d.Distance(0, 35); !ok || got < 10 || got > 30 {
-		t.Fatalf("initial Distance(0,35) = (%d,%v)", got, ok)
+	if got, ok, err := d.Distance(0, 35); err != nil || !ok || got < 10 || got > 30 {
+		t.Fatalf("initial Distance(0,35) = (%d,%v,%v)", got, ok, err)
 	}
 	if err := d.FailVertex(7); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := d.Distance(7, 0); ok {
+	if _, ok, _ := d.Distance(7, 0); ok {
 		t.Error("failed vertex must be unreachable")
 	}
 	if err := d.RecoverVertex(7); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := d.Distance(7, 0); !ok {
+	if _, ok, _ := d.Distance(7, 0); !ok {
 		t.Error("recovered vertex must answer again")
 	}
 }
@@ -148,7 +187,10 @@ func TestDynamicOracleMatchesExactUnderChurn(t *testing.T) {
 		}
 		u, w := rng.Intn(36), rng.Intn(36)
 		want := g.DistAvoiding(u, w, live)
-		got, ok := d.Distance(u, w)
+		got, ok, err := d.Distance(u, w)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
 		if graph.Reachable(want) != ok {
 			t.Fatalf("step %d: (%d,%d) ok=%v, want reachable=%v (|F|=%d)",
 				step, u, w, ok, graph.Reachable(want), live.Size())
@@ -174,14 +216,14 @@ func TestDynamicOracleEdges(t *testing.T) {
 	if err := d.FailEdge(0, 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := d.Distance(0, 15); ok {
+	if _, ok, _ := d.Distance(0, 15); ok {
 		t.Error("sealed corner must disconnect")
 	}
 	if err := d.RecoverEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if got, ok := d.Distance(0, 15); !ok || got < 6 {
-		t.Errorf("after recovery Distance(0,15) = (%d,%v)", got, ok)
+	if got, ok, err := d.Distance(0, 15); err != nil || !ok || got < 6 {
+		t.Errorf("after recovery Distance(0,15) = (%d,%v,%v)", got, ok, err)
 	}
 	if err := d.FailEdge(0, 9); err == nil {
 		t.Error("failing a non-edge must error")
@@ -213,9 +255,9 @@ func TestDynamicOracleRecoverBakedInFailure(t *testing.T) {
 	}
 	live := graph.FaultVertices(7, 8)
 	want := g.DistAvoiding(0, 24, live)
-	got, ok := d.Distance(0, 24)
-	if !ok || got < int64(want) {
-		t.Fatalf("post-recovery Distance(0,24) = (%d,%v), true %d", got, ok, want)
+	got, ok, err := d.Distance(0, 24)
+	if err != nil || !ok || got < int64(want) {
+		t.Fatalf("post-recovery Distance(0,24) = (%d,%v,%v), true %d", got, ok, err, want)
 	}
 }
 
@@ -225,8 +267,14 @@ func TestDynamicOracleOutOfRange(t *testing.T) {
 	if err := d.FailVertex(100); err == nil {
 		t.Error("out-of-range failure must error")
 	}
-	if _, ok := d.Distance(-1, 0); ok {
-		t.Error("out-of-range query must not answer")
+	if _, _, err := d.Distance(-1, 0); err == nil {
+		t.Error("out-of-range query must error")
+	}
+	if _, _, err := d.Distance(0, 100); err == nil {
+		t.Error("out-of-range target must error")
+	}
+	if err := d.RecoverEdge(0, 100); err == nil {
+		t.Error("out-of-range recover must error")
 	}
 }
 
@@ -250,5 +298,149 @@ func TestDynamicOracleIdempotentUpdates(t *testing.T) {
 	}
 	if d.DeltaSize() != 0 {
 		t.Errorf("DeltaSize = %d after recovery, want 0", d.DeltaSize())
+	}
+}
+
+// TestDynamicOracleRebuildMatchesFreshScheme drives the delta past the
+// default √n threshold with interleaved vertex/edge failures and
+// recoveries, then checks that the post-rebuild oracle answers exactly
+// what a scheme built from scratch on the surviving graph answers.
+func TestDynamicOracleRebuildMatchesFreshScheme(t *testing.T) {
+	g := gridGraph(t, 6, 6) // n=36, default threshold ⌈√36⌉ = 6
+	d, err := NewDynamic(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type op struct {
+		fail, edge bool
+		u, v       int
+	}
+	script := []op{
+		{fail: true, u: 1}, {fail: true, u: 2}, {fail: true, u: 3},
+		{u: 2}, // recover from the delta, no rebuild
+		{fail: true, edge: true, u: 30, v: 31},
+		{fail: true, edge: true, u: 24, v: 30},
+		{fail: true, u: 4}, {fail: true, u: 5},
+		{fail: true, u: 9}, // 7th delta element: crosses threshold 6 → rebuild
+		{u: 9},             // baked into the build by now → rebuild again
+	}
+	for i, o := range script {
+		var err error
+		switch {
+		case o.fail && o.edge:
+			err = d.FailEdge(o.u, o.v)
+		case o.fail:
+			err = d.FailVertex(o.u)
+		case o.edge:
+			err = d.RecoverEdge(o.u, o.v)
+		default:
+			err = d.RecoverVertex(o.u)
+		}
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if got := d.Rebuilds(); got != 2 {
+		t.Fatalf("Rebuilds() = %d, want 2 (threshold crossing + baked-in recovery)", got)
+	}
+	if got := d.DeltaSize(); got != 0 {
+		t.Fatalf("DeltaSize() = %d after a rebuild, want 0", got)
+	}
+
+	// Rebuild the surviving graph exactly the way the oracle compacts it
+	// (ascending original ids) and compare against a fresh scheme.
+	failedV := map[int]bool{1: true, 3: true, 4: true, 5: true}
+	failedE := map[[2]int]bool{{30, 31}: true, {24, 30}: true}
+	n := g.NumVertices()
+	compact := make([]int, n)
+	orig := []int{}
+	for v := 0; v < n; v++ {
+		if failedV[v] {
+			compact[v] = -1
+			continue
+		}
+		compact[v] = len(orig)
+		orig = append(orig, v)
+	}
+	b := graph.NewBuilder(len(orig))
+	g.ForEachEdge(func(u, v int) {
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if compact[u] < 0 || compact[v] < 0 || failedE[[2]int{lo, hi}] {
+			return
+		}
+		b.AddEdge(compact[u], compact[v])
+	})
+	fresh, err := core.BuildScheme(b.MustBuild(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []int{0, 8, 14, 20, 28, 35} {
+		for _, w := range []int{0, 8, 14, 20, 28, 35} {
+			gotD, gotOK, err := d.Distance(u, w)
+			if err != nil {
+				t.Fatalf("Distance(%d,%d): %v", u, w, err)
+			}
+			wantD, wantOK := fresh.Distance(compact[u], compact[w], nil)
+			if gotOK != wantOK || (gotOK && gotD != wantD) {
+				t.Errorf("Distance(%d,%d) = (%d,%v), fresh scheme says (%d,%v)",
+					u, w, gotD, gotOK, wantD, wantOK)
+			}
+		}
+	}
+}
+
+// TestDynamicOracleConcurrentChurn hammers one Dynamic with parallel
+// queries and updates; run under -race this backs the concurrency claim
+// in the type's documentation.
+func TestDynamicOracleConcurrentChurn(t *testing.T) {
+	g := gridGraph(t, 6, 6)
+	d, err := NewDynamic(g, 2, 3) // tiny threshold: rebuilds race with queries
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				if _, _, err := d.Distance(rng.Intn(36), rng.Intn(36)); err != nil {
+					errs <- err
+					return
+				}
+				d.Rebuilds()
+				d.DeltaSize()
+			}
+		}(int64(w))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < 15; i++ {
+				v := rng.Intn(36)
+				if err := d.FailVertex(v); err != nil {
+					errs <- err
+					return
+				}
+				if rng.Intn(2) == 0 {
+					if err := d.RecoverVertex(v); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"fsdl/internal/graph"
+)
+
+// HTTP/JSON API:
+//
+//	POST /v1/distance        {"s","t","fail","failedge","budget","deadline_ms","dynamic"} → Answer
+//	POST /v1/connected       same request → Answer (read the "connected" bit)
+//	POST /v1/batch-distance  {"pairs":[[s,t],...], "fail",...}                 → {"answers":[Answer,...]}
+//	POST /v1/fail            {"vertices":[...], "edges":[[u,v],...]}           → State
+//	POST /v1/recover         same                                              → State
+//	GET  /v1/state                                                             → State
+//	GET  /healthz                                                              → {"status":"ok"}
+//	GET  /metrics                                                              → Prometheus text
+//
+// Errors are {"error": "..."} with 400 (malformed request), 404
+// (endpoint label not in the store), 429 (queue full), or 503
+// (deadline expired while queued).
+
+// queryRequest is the wire form of a distance/connected/batch request.
+type queryRequest struct {
+	S     int      `json:"s"`
+	T     int      `json:"t"`
+	Pairs [][2]int `json:"pairs"` // batch-distance only
+	// Fail/FailEdge are per-request faults, unioned with the overlay.
+	Fail     []int    `json:"fail"`
+	FailEdge [][2]int `json:"failedge"`
+	// Budget caps decode work (0 = server default, <0 = unlimited).
+	Budget int `json:"budget"`
+	// DeadlineMS overrides the server's default request deadline.
+	DeadlineMS int `json:"deadline_ms"`
+	// Dynamic answers from the dynamic oracle (overlay faults only).
+	Dynamic bool `json:"dynamic"`
+}
+
+func (r *queryRequest) options() *QueryOptions {
+	f := graph.NewFaultSet()
+	for _, v := range r.Fail {
+		f.AddVertex(v)
+	}
+	for _, e := range r.FailEdge {
+		f.AddEdge(e[0], e[1])
+	}
+	return &QueryOptions{Faults: f, Budget: r.Budget, Dynamic: r.Dynamic}
+}
+
+// updateRequest is the wire form of fail/recover.
+type updateRequest struct {
+	Vertices []int    `json:"vertices"`
+	Edges    [][2]int `json:"edges"`
+}
+
+// Handler returns the server's HTTP mux, suitable for http.Server or
+// httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/distance", s.instrument("distance", s.handleDistance))
+	mux.HandleFunc("/v1/connected", s.instrument("connected", s.handleDistance))
+	mux.HandleFunc("/v1/batch-distance", s.instrument("batch_distance", s.handleBatch))
+	mux.HandleFunc("/v1/fail", s.instrument("fail", s.handleUpdate(true)))
+	mux.HandleFunc("/v1/recover", s.instrument("recover", s.handleUpdate(false)))
+	mux.HandleFunc("/v1/state", s.instrument("state", s.handleState))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// instrument counts the request and observes its latency.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.request(endpoint)
+		start := time.Now()
+		h(w, r)
+		s.met.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadline):
+		status = http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "no label for vertex"):
+		status = http.StatusNotFound
+	}
+	s.met.errors.Add(1)
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		return fmt.Errorf("use POST")
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	ans, err := s.Distance(ctx, req.S, req.T, req.options())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if ans.Error != "" {
+		s.writeError(w, errors.New(ans.Error))
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.writeError(w, fmt.Errorf("batch-distance: empty pairs"))
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	answers, err := s.AnswerPairs(ctx, req.Pairs, req.options())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"answers": answers})
+}
+
+func (s *Server) handleUpdate(fail bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req updateRequest
+		if err := decodeBody(r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		var err error
+		if fail {
+			err = s.Fail(req.Vertices, req.Edges)
+		} else {
+			err = s.Recover(req.Vertices, req.Edges)
+		}
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Snapshot())
+	}
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"n":      s.store.NumVertices(),
+		"labels": s.store.NumLabels(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.Metrics())
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"fsdl/internal/stats"
+)
+
+// metrics is the server's observability surface: atomic counters and
+// gauges plus a latency histogram, rendered in the Prometheus text
+// exposition format by WriteTo. Everything is lock-free on the hot
+// path.
+type metrics struct {
+	// requests counts HTTP requests by endpoint; queries counts the
+	// individual (s,t) answers inside them (a batch of 100 pairs is 1
+	// request, 100 queries).
+	requests map[string]*atomic.Int64
+	queries  atomic.Int64
+
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	cacheFlushes atomic.Int64
+
+	degraded        atomic.Int64
+	budgetExhausted atomic.Int64
+
+	rejectedOverload atomic.Int64
+	rejectedDeadline atomic.Int64
+	errors           atomic.Int64
+
+	inflight atomic.Int64
+
+	failsApplied    atomic.Int64
+	recoversApplied atomic.Int64
+	rebuilds        atomic.Int64
+
+	// salvage state is written once at startup.
+	salvageTotal     atomic.Int64
+	salvageKept      atomic.Int64
+	salvageCorrupt   atomic.Int64
+	salvageTruncated atomic.Int64
+
+	latency *stats.Histogram
+}
+
+var endpoints = []string{"distance", "batch_distance", "connected", "fail", "recover", "state"}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		requests: make(map[string]*atomic.Int64, len(endpoints)),
+		// Seconds; spans sub-millisecond decode hits to multi-second
+		// degraded scans.
+		latency: stats.NewHistogram(
+			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+			0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10),
+	}
+	for _, e := range endpoints {
+		m.requests[e] = &atomic.Int64{}
+	}
+	return m
+}
+
+func (m *metrics) request(endpoint string) {
+	if c, ok := m.requests[endpoint]; ok {
+		c.Add(1)
+	}
+}
+
+// hitRate returns the cache hit fraction observed so far (0 when no
+// lookups happened yet).
+func (m *metrics) hitRate() float64 {
+	h, mi := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// render writes the Prometheus text exposition. cacheLen is sampled by
+// the caller (the cache knows its size, the metrics don't).
+func (m *metrics) render(sb *strings.Builder, cacheLen int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(sb, "# HELP fsdl_requests_total HTTP requests by endpoint.\n# TYPE fsdl_requests_total counter\n")
+	names := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	for _, e := range names {
+		fmt.Fprintf(sb, "fsdl_requests_total{endpoint=%q} %d\n", e, m.requests[e].Load())
+	}
+
+	counter("fsdl_queries_total", "Individual (s,t) answers produced (batches count per pair).", m.queries.Load())
+	counter("fsdl_cache_hits_total", "Result-cache hits.", m.cacheHits.Load())
+	counter("fsdl_cache_misses_total", "Result-cache misses.", m.cacheMisses.Load())
+	counter("fsdl_cache_flushes_total", "Cache invalidations caused by fail/recover.", m.cacheFlushes.Load())
+	gauge("fsdl_cache_entries", "Entries currently cached.", int64(cacheLen))
+	fmt.Fprintf(sb, "# HELP fsdl_cache_hit_rate Hit fraction over all lookups.\n# TYPE fsdl_cache_hit_rate gauge\nfsdl_cache_hit_rate %g\n", m.hitRate())
+
+	counter("fsdl_degraded_answers_total", "Answers that fell back to conservative upper bounds.", m.degraded.Load())
+	counter("fsdl_budget_exhausted_total", "Answers whose work budget truncated the sketch.", m.budgetExhausted.Load())
+	counter("fsdl_rejected_total_overload", "Requests rejected because the queue was full.", m.rejectedOverload.Load())
+	counter("fsdl_rejected_total_deadline", "Requests abandoned because their deadline expired while queued.", m.rejectedDeadline.Load())
+	counter("fsdl_errors_total", "Requests that failed with a client or server error.", m.errors.Load())
+	gauge("fsdl_inflight", "Queries currently executing or queued.", m.inflight.Load())
+
+	counter("fsdl_fail_events_total", "Vertices/edges failed via /v1/fail.", m.failsApplied.Load())
+	counter("fsdl_recover_events_total", "Vertices/edges recovered via /v1/recover.", m.recoversApplied.Load())
+	counter("fsdl_dynamic_rebuilds_total", "Rebuilds of the dynamic oracle.", m.rebuilds.Load())
+
+	gauge("fsdl_salvage_records_total", "Records declared by the store header.", m.salvageTotal.Load())
+	gauge("fsdl_salvage_records_kept", "Records salvaged intact.", m.salvageKept.Load())
+	gauge("fsdl_salvage_records_corrupt", "Records dropped for checksum/decode failures.", m.salvageCorrupt.Load())
+	gauge("fsdl_salvage_truncated", "1 when the store file was truncated mid-record.", m.salvageTruncated.Load())
+
+	// Latency histogram, cumulative buckets Prometheus-style.
+	fmt.Fprintf(sb, "# HELP fsdl_request_seconds Request latency.\n# TYPE fsdl_request_seconds histogram\n")
+	for _, b := range m.latency.Buckets() {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = fmt.Sprintf("%g", b.UpperBound)
+		}
+		fmt.Fprintf(sb, "fsdl_request_seconds_bucket{le=%q} %d\n", le, b.CumulativeCount)
+	}
+	fmt.Fprintf(sb, "fsdl_request_seconds_sum %g\n", m.latency.Sum())
+	fmt.Fprintf(sb, "fsdl_request_seconds_count %d\n", m.latency.Count())
+}

@@ -1,0 +1,606 @@
+// Package server is the long-lived serving layer over a label store:
+// the deployment shape the labeling scheme is designed for, where a
+// stream of distance/connectivity queries and fail/recover events hits
+// one resident structure. It wraps labelstore with a sharded LRU result
+// cache, admission control (bounded worker pool, deadlines, per-query
+// work budgets that degrade to safe upper bounds instead of failing),
+// a global fault overlay kept in sync with an optional oracle.Dynamic,
+// and Prometheus-style metrics. cmd/fsdl-serve exposes it over
+// HTTP/JSON.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+	"fsdl/internal/labelstore"
+	"fsdl/internal/oracle"
+)
+
+// Config configures a Server. Store is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Store is the loaded label container (strict Load or salvaged
+	// LoadPartial — pass the SalvageReport in Report for the latter so
+	// the salvage counters surface in /metrics).
+	Store  *labelstore.Store
+	Report *labelstore.SalvageReport
+
+	// Graph, when non-nil, enables the dynamic-oracle query path: the
+	// fail/recover endpoints keep an oracle.Dynamic over this graph in
+	// sync with the fault overlay, and queries asking for it are
+	// answered there (amortized √n rebuilds instead of per-query fault
+	// decoding). Must have the same vertex count as Store.
+	Graph *graph.Graph
+	// Epsilon is the dynamic oracle's precision (default 2).
+	Epsilon float64
+	// DynThreshold is the dynamic oracle's rebuild threshold (0 = ⌈√n⌉).
+	DynThreshold int
+
+	// Workers bounds concurrently executing queries (default
+	// GOMAXPROCS). QueueDepth bounds queries waiting for a worker slot
+	// beyond that (default 4×Workers); past it requests are rejected
+	// with ErrOverloaded.
+	Workers    int
+	QueueDepth int
+
+	// DefaultDeadline bounds each request's total time (queue wait
+	// included) when the request doesn't set its own (default 5s).
+	DefaultDeadline time.Duration
+	// DefaultBudget is the per-query decode work budget (sketch edges
+	// examined) when the request doesn't set one. 0 = unlimited.
+	DefaultBudget int
+
+	// CacheCapacity is the total result-cache capacity in entries
+	// (default 4096; negative disables). CacheShards spreads it over
+	// independently locked shards (default 8).
+	CacheCapacity int
+	CacheShards   int
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrOverloaded: worker pool and queue are both full.
+	ErrOverloaded = errors.New("server: overloaded, queue full")
+	// ErrDeadline: the request's deadline expired while it waited.
+	ErrDeadline = errors.New("server: deadline expired while queued")
+)
+
+// Answer is the verdict for one (s,t) pair. Exact is false when the
+// answer is a conservative upper bound — degraded fault labels or an
+// exhausted work budget — rather than the scheme's (1+ε) estimate.
+// Dist is meaningful only when Connected. Error is per-pair (a batch
+// never fails whole because one pair named a missing label).
+type Answer struct {
+	S                  int     `json:"s"`
+	T                  int     `json:"t"`
+	Connected          bool    `json:"connected"`
+	Dist               int64   `json:"dist"`
+	Exact              bool    `json:"exact"`
+	Degraded           bool    `json:"degraded,omitempty"`
+	BudgetExhausted    bool    `json:"budget_exhausted,omitempty"`
+	MissingFaultLabels []int32 `json:"missing_fault_labels,omitempty"`
+	Cached             bool    `json:"cached,omitempty"`
+	Error              string  `json:"error,omitempty"`
+}
+
+// State is a point-in-time snapshot for /v1/state.
+type State struct {
+	N               int      `json:"n"`
+	Labels          int      `json:"labels"`
+	OverlayVertices []int    `json:"overlay_vertices"`
+	OverlayEdges    [][2]int `json:"overlay_edges"`
+	CacheEntries    int      `json:"cache_entries"`
+	Dynamic         bool     `json:"dynamic"`
+	Rebuilds        int      `json:"rebuilds,omitempty"`
+	DeltaSize       int      `json:"delta_size,omitempty"`
+	SalvageKept     int      `json:"salvage_kept,omitempty"`
+	SalvageTotal    int      `json:"salvage_total,omitempty"`
+}
+
+// Server answers forbidden-set distance queries from a label store,
+// maintaining a global fault overlay that every query sees unioned with
+// its own fault set. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	store *labelstore.Store
+	dyn   *oracle.Dynamic
+
+	// overlayMu guards overlay, the fault set applied to every query.
+	overlayMu sync.RWMutex
+	overlay   *graph.FaultSet
+
+	cache *resultCache
+	met   *metrics
+
+	// slots is the worker-pool semaphore; queued counts admissions in
+	// flight (executing + waiting), capped at Workers+QueueDepth.
+	slots  chan struct{}
+	queued chan struct{}
+}
+
+// New builds a Server over cfg.Store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 5 * time.Second
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 4096
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 8
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   cfg.Store,
+		overlay: graph.NewFaultSet(),
+		cache:   newResultCache(cfg.CacheCapacity, cfg.CacheShards),
+		met:     newMetrics(),
+		slots:   make(chan struct{}, cfg.Workers),
+		queued:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+	}
+	if cfg.Graph != nil {
+		if cfg.Graph.NumVertices() != cfg.Store.NumVertices() {
+			return nil, fmt.Errorf("server: graph has %d vertices, store covers %d",
+				cfg.Graph.NumVertices(), cfg.Store.NumVertices())
+		}
+		dyn, err := oracle.NewDynamic(cfg.Graph, cfg.Epsilon, cfg.DynThreshold)
+		if err != nil {
+			return nil, fmt.Errorf("server: build dynamic oracle: %w", err)
+		}
+		s.dyn = dyn
+	}
+	if cfg.Report != nil {
+		s.met.salvageTotal.Store(int64(cfg.Report.Total))
+		s.met.salvageKept.Store(int64(cfg.Report.Kept))
+		s.met.salvageCorrupt.Store(int64(len(cfg.Report.Corrupt)))
+		if cfg.Report.Truncated {
+			s.met.salvageTruncated.Store(1)
+		}
+	}
+	return s, nil
+}
+
+// NumVertices returns the vertex-id space served.
+func (s *Server) NumVertices() int { return s.store.NumVertices() }
+
+// admit acquires a worker slot, waiting until one frees or the context
+// deadline passes; it fails fast with ErrOverloaded when the queue is
+// already at capacity.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.queued <- struct{}{}:
+	default:
+		s.met.rejectedOverload.Add(1)
+		return ErrOverloaded
+	}
+	s.met.inflight.Add(1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-s.queued
+		s.met.inflight.Add(-1)
+		s.met.rejectedDeadline.Add(1)
+		return ErrDeadline
+	}
+}
+
+func (s *Server) done() {
+	<-s.slots
+	<-s.queued
+	s.met.inflight.Add(-1)
+}
+
+// effectiveFaults snapshots the overlay unioned with the request's own
+// faults.
+func (s *Server) effectiveFaults(req *graph.FaultSet) *graph.FaultSet {
+	s.overlayMu.RLock()
+	f := s.overlay.Clone()
+	s.overlayMu.RUnlock()
+	if req != nil {
+		for _, v := range req.Vertices() {
+			f.AddVertex(v)
+		}
+		for _, e := range req.Edges() {
+			f.AddEdge(e[0], e[1])
+		}
+	}
+	return f
+}
+
+// faultHash hashes the canonical (sorted) fault set plus the work
+// budget — with the endpoint pair, the full identity of a query.
+func faultHash(f *graph.FaultSet, budget int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	vs := f.Vertices()
+	sort.Ints(vs)
+	put(uint64(len(vs)))
+	for _, v := range vs {
+		put(uint64(v))
+	}
+	es := f.Edges()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	put(uint64(len(es)))
+	for _, e := range es {
+		put(uint64(e[0])<<32 | uint64(uint32(e[1])))
+	}
+	put(uint64(budget))
+	return h.Sum64()
+}
+
+// faultTemplate is the per-batch decode of the effective fault set:
+// each fault label decoded exactly once, missing/corrupt ones demoted
+// to the degraded tier. The slices are shared read-only by every
+// query in the batch.
+type faultTemplate struct {
+	vertexFaults  []*core.Label
+	edgeFaults    [][2]*core.Label
+	degradedVerts []int32
+	degradedEdges [][2]int32
+}
+
+func (s *Server) decodeFaults(f *graph.FaultSet) *faultTemplate {
+	t := &faultTemplate{}
+	fv := f.Vertices()
+	sort.Ints(fv)
+	for _, v := range fv {
+		lf, err := s.store.Label(v)
+		if err != nil {
+			t.degradedVerts = append(t.degradedVerts, int32(v))
+			continue
+		}
+		t.vertexFaults = append(t.vertexFaults, lf)
+	}
+	es := f.Edges()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	for _, e := range es {
+		la, errA := s.store.Label(e[0])
+		lb, errB := s.store.Label(e[1])
+		if errA != nil || errB != nil {
+			t.degradedEdges = append(t.degradedEdges, [2]int32{int32(e[0]), int32(e[1])})
+			continue
+		}
+		t.edgeFaults = append(t.edgeFaults, [2]*core.Label{la, lb})
+	}
+	return t
+}
+
+// QueryOptions carries the per-request knobs shared by a whole batch.
+type QueryOptions struct {
+	// Faults is the request's own fault set, unioned with the server's
+	// overlay.
+	Faults *graph.FaultSet
+	// Budget caps decode work per pair; 0 uses the server default,
+	// negative means unlimited.
+	Budget int
+	// Dynamic answers from the dynamic oracle instead of the store
+	// (requires Config.Graph and an empty Faults: the dynamic oracle
+	// reflects the overlay only).
+	Dynamic bool
+}
+
+func (s *Server) budget(opts *QueryOptions) int {
+	b := s.cfg.DefaultBudget
+	if opts != nil && opts.Budget != 0 {
+		b = opts.Budget
+	}
+	if b < 0 {
+		b = 0 // core treats 0 as unlimited
+	}
+	return b
+}
+
+// AnswerPairs answers a batch of (s,t) pairs sharing one fault set and
+// budget, decoding every label — endpoints and faults — at most once.
+// Per-pair problems (out-of-range ids, missing endpoint labels) land in
+// that pair's Answer.Error; the returned error is reserved for
+// admission failures (ErrOverloaded, ErrDeadline).
+func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOptions) ([]Answer, error) {
+	if deadline, ok := ctx.Deadline(); !ok || time.Until(deadline) > s.cfg.DefaultDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+		defer cancel()
+	}
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer s.done()
+
+	if opts != nil && opts.Dynamic {
+		return s.answerDynamic(pairs, opts)
+	}
+
+	budget := s.budget(opts)
+	var reqFaults *graph.FaultSet
+	if opts != nil {
+		reqFaults = opts.Faults
+	}
+	faults := s.effectiveFaults(reqFaults)
+	fhash := faultHash(faults, budget)
+
+	n := s.store.NumVertices()
+	answers := make([]Answer, len(pairs))
+	var tmpl *faultTemplate // decoded lazily: an all-hit batch decodes nothing
+	endpointLabels := make(map[int]*core.Label)
+	endpointErrs := make(map[int]error)
+	label := func(v int) (*core.Label, error) {
+		if err, bad := endpointErrs[v]; bad {
+			return nil, err
+		}
+		if l, ok := endpointLabels[v]; ok {
+			return l, nil
+		}
+		l, err := s.store.Label(v)
+		if err != nil {
+			endpointErrs[v] = err
+			return nil, err
+		}
+		endpointLabels[v] = l
+		return l, nil
+	}
+
+	for i, p := range pairs {
+		src, dst := p[0], p[1]
+		a := Answer{S: src, T: dst}
+		s.met.queries.Add(1)
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			a.Error = fmt.Sprintf("vertex out of range [0,%d)", n)
+			s.met.errors.Add(1)
+			answers[i] = a
+			continue
+		}
+		if faults.HasVertex(src) || faults.HasVertex(dst) {
+			// A forbidden endpoint has no distance to anything — an
+			// exact verdict, not a degraded one.
+			a.Exact = true
+			answers[i] = a
+			continue
+		}
+		key := cacheKey{s: int32(src), t: int32(dst), fhash: fhash}
+		if hit, ok := s.cache.Get(key); ok {
+			s.met.cacheHits.Add(1)
+			hit.Cached = true
+			answers[i] = hit
+			continue
+		}
+		s.met.cacheMisses.Add(1)
+		ls, err := label(src)
+		if err == nil {
+			var lt *core.Label
+			if lt, err = label(dst); err == nil {
+				if tmpl == nil {
+					tmpl = s.decodeFaults(faults)
+				}
+				q := &core.Query{
+					S: ls, T: lt,
+					VertexFaults:         tmpl.vertexFaults,
+					EdgeFaults:           tmpl.edgeFaults,
+					DegradedVertexFaults: tmpl.degradedVerts,
+					DegradedEdgeFaults:   tmpl.degradedEdges,
+					Budget:               budget,
+				}
+				res := q.DistanceRobust()
+				a.Connected = res.OK
+				a.Dist = res.Dist
+				a.Degraded = res.Degraded
+				a.BudgetExhausted = res.BudgetExhausted
+				a.MissingFaultLabels = res.MissingFaultLabels
+				a.Exact = !res.Degraded && !res.BudgetExhausted
+				if res.Degraded {
+					s.met.degraded.Add(1)
+				}
+				if res.BudgetExhausted {
+					s.met.budgetExhausted.Add(1)
+				}
+				s.cache.Put(key, a)
+			}
+		}
+		if err != nil {
+			a.Error = err.Error()
+			s.met.errors.Add(1)
+		}
+		answers[i] = a
+	}
+	return answers, nil
+}
+
+// answerDynamic serves a batch from the dynamic oracle. The caller
+// holds a worker slot.
+func (s *Server) answerDynamic(pairs [][2]int, opts *QueryOptions) ([]Answer, error) {
+	if s.dyn == nil {
+		return nil, fmt.Errorf("server: no dynamic oracle (start with a graph to enable it)")
+	}
+	if opts.Faults.Size() > 0 {
+		return nil, fmt.Errorf("server: dynamic queries cannot carry per-request faults (the oracle reflects the overlay only)")
+	}
+	answers := make([]Answer, len(pairs))
+	for i, p := range pairs {
+		a := Answer{S: p[0], T: p[1], Exact: true}
+		s.met.queries.Add(1)
+		d, ok, err := s.dyn.Distance(p[0], p[1])
+		if err != nil {
+			a.Error = err.Error()
+			a.Exact = false
+			s.met.errors.Add(1)
+		} else {
+			a.Connected = ok
+			a.Dist = d
+		}
+		answers[i] = a
+	}
+	return answers, nil
+}
+
+// Distance answers one pair.
+func (s *Server) Distance(ctx context.Context, src, dst int, opts *QueryOptions) (Answer, error) {
+	as, err := s.AnswerPairs(ctx, [][2]int{{src, dst}}, opts)
+	if err != nil {
+		return Answer{}, err
+	}
+	return as[0], nil
+}
+
+// Connected answers a connectivity query (a distance query whose
+// verdict is the Connected bit).
+func (s *Server) Connected(ctx context.Context, src, dst int, opts *QueryOptions) (Answer, error) {
+	return s.Distance(ctx, src, dst, opts)
+}
+
+// Fail adds vertices/edges to the global fault overlay (and the
+// dynamic oracle, when present), then invalidates the result cache.
+// Ids are validated up front; nothing is applied on error.
+func (s *Server) Fail(vertices []int, edges [][2]int) error {
+	return s.applyOverlay(vertices, edges, true)
+}
+
+// Recover removes vertices/edges from the overlay, mirroring Fail.
+func (s *Server) Recover(vertices []int, edges [][2]int) error {
+	return s.applyOverlay(vertices, edges, false)
+}
+
+func (s *Server) applyOverlay(vertices []int, edges [][2]int, fail bool) error {
+	n := s.store.NumVertices()
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return fmt.Errorf("server: vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return fmt.Errorf("server: edge (%d,%d) endpoint out of range [0,%d)", e[0], e[1], n)
+		}
+		if s.cfg.Graph != nil && !s.cfg.Graph.HasEdge(e[0], e[1]) {
+			return fmt.Errorf("server: (%d,%d) is not an edge", e[0], e[1])
+		}
+	}
+	s.overlayMu.Lock()
+	for _, v := range vertices {
+		if fail {
+			s.overlay.AddVertex(v)
+		} else {
+			s.overlay.RemoveVertex(v)
+		}
+	}
+	for _, e := range edges {
+		if fail {
+			s.overlay.AddEdge(e[0], e[1])
+		} else {
+			s.overlay.RemoveEdge(e[0], e[1])
+		}
+	}
+	s.overlayMu.Unlock()
+
+	// Keep the dynamic oracle in step. Overlay membership was already
+	// validated, so errors here are real (and rare: a rebuild failing).
+	if s.dyn != nil {
+		var err error
+		for _, v := range vertices {
+			if fail {
+				err = s.dyn.FailVertex(v)
+			} else {
+				err = s.dyn.RecoverVertex(v)
+			}
+			if err != nil {
+				return fmt.Errorf("server: dynamic oracle: %w", err)
+			}
+		}
+		for _, e := range edges {
+			if fail {
+				err = s.dyn.FailEdge(e[0], e[1])
+			} else {
+				err = s.dyn.RecoverEdge(e[0], e[1])
+			}
+			if err != nil {
+				return fmt.Errorf("server: dynamic oracle: %w", err)
+			}
+		}
+		s.met.rebuilds.Store(int64(s.dyn.Rebuilds()))
+	}
+
+	applied := int64(len(vertices) + len(edges))
+	if fail {
+		s.met.failsApplied.Add(applied)
+	} else {
+		s.met.recoversApplied.Add(applied)
+	}
+	s.cache.Flush()
+	s.met.cacheFlushes.Add(1)
+	return nil
+}
+
+// Snapshot returns the current State.
+func (s *Server) Snapshot() State {
+	s.overlayMu.RLock()
+	ov := s.overlay.Vertices()
+	oe := s.overlay.Edges()
+	s.overlayMu.RUnlock()
+	sort.Ints(ov)
+	sort.Slice(oe, func(i, j int) bool {
+		if oe[i][0] != oe[j][0] {
+			return oe[i][0] < oe[j][0]
+		}
+		return oe[i][1] < oe[j][1]
+	})
+	st := State{
+		N:               s.store.NumVertices(),
+		Labels:          s.store.NumLabels(),
+		OverlayVertices: ov,
+		OverlayEdges:    oe,
+		CacheEntries:    s.cache.Len(),
+		Dynamic:         s.dyn != nil,
+	}
+	if s.dyn != nil {
+		st.Rebuilds = s.dyn.Rebuilds()
+		st.DeltaSize = s.dyn.DeltaSize()
+	}
+	if s.cfg.Report != nil {
+		st.SalvageKept = s.cfg.Report.Kept
+		st.SalvageTotal = s.cfg.Report.Total
+	}
+	return st
+}
+
+// Metrics renders the Prometheus text exposition.
+func (s *Server) Metrics() string {
+	var sb strings.Builder
+	s.met.render(&sb, s.cache.Len())
+	return sb.String()
+}

@@ -1,7 +1,8 @@
 // Package stats provides the small measurement kit shared by the
-// experiment harness: streaming summaries (mean/min/max/percentiles),
-// least-squares power-law fits for verifying scaling shapes, and plain-text
-// table rendering for the experiment reports.
+// experiment harness and the serving subsystem: streaming summaries
+// (mean/min/max/percentiles), concurrency-safe fixed-bucket histograms,
+// least-squares power-law fits for verifying scaling shapes, and
+// plain-text table rendering for the experiment reports.
 package stats
 
 import (
@@ -9,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Summary accumulates observations and reports order statistics. The zero
@@ -222,4 +224,114 @@ func (t *Table) CSV() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// Histogram is a fixed-bucket cumulative histogram safe for concurrent
+// Observe calls (all counters are atomic), built for serving-path
+// latency metrics: observation is a few atomic adds, rendering walks the
+// buckets. Bounds are inclusive upper bounds in ascending order; values
+// above the last bound land in an implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last = +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram creates a histogram with the given ascending bucket
+// bounds. It panics on unsorted or empty bounds — bucket layout is a
+// programming decision, not input.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramBucket is one cumulative bucket: the count of observations
+// ≤ UpperBound (math.Inf(1) for the final bucket).
+type HistogramBucket struct {
+	UpperBound      float64
+	CumulativeCount int64
+}
+
+// Buckets returns the cumulative buckets, Prometheus-style. The snapshot
+// is not atomic across buckets, but each bucket's count is exact.
+func (h *Histogram) Buckets() []HistogramBucket {
+	out := make([]HistogramBucket, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = HistogramBucket{UpperBound: ub, CumulativeCount: cum}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the containing bucket, Prometheus histogram_quantile-style. The
+// +Inf bucket is clamped to the last finite bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum, prevCum int64
+	for i := range h.buckets {
+		prevCum = cum
+		cum += h.buckets[i].Load()
+		if float64(cum) >= rank {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			inBucket := cum - prevCum
+			if inBucket == 0 {
+				return h.bounds[i]
+			}
+			frac := (rank - float64(prevCum)) / float64(inBucket)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
 }

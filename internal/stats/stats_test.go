@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -155,5 +156,86 @@ func TestTableCSV(t *testing.T) {
 	}
 	if lines[3] != `"with""quote",3` {
 		t.Errorf("quote row = %q", lines[3])
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1.5+1.5+3+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	bk := h.Buckets()
+	if len(bk) != 5 {
+		t.Fatalf("len(Buckets) = %d, want 5", len(bk))
+	}
+	wantCum := []int64{1, 3, 4, 4, 5}
+	for i, b := range bk {
+		if b.CumulativeCount != wantCum[i] {
+			t.Errorf("bucket %d: cumulative = %d, want %d", i, b.CumulativeCount, wantCum[i])
+		}
+	}
+	if !math.IsInf(bk[4].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", bk[4].UpperBound)
+	}
+	// Quantiles interpolate within buckets and clamp the +Inf bucket.
+	if q := h.Quantile(0); q < 0 || q > 1 {
+		t.Errorf("Quantile(0) = %v, want within first bucket", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Errorf("Quantile(1) = %v, want clamp to last finite bound 8", q)
+	}
+	med := h.Quantile(0.5)
+	if med < 1 || med > 2 {
+		t.Errorf("Quantile(0.5) = %v, want in (1,2]", med)
+	}
+}
+
+func TestHistogramEmptyAndPanics(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty Quantile = %v, want 0", h.Quantile(0.5))
+	}
+	for _, bounds := range [][]float64{{}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(0.25, 0.5, 0.75)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%4) * 0.25)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	bk := h.Buckets()
+	if bk[len(bk)-1].CumulativeCount != workers*per {
+		t.Fatalf("final cumulative = %d, want %d", bk[len(bk)-1].CumulativeCount, workers*per)
+	}
+	wantSum := float64(workers*per) * (0 + 0.25 + 0.5 + 0.75) / 4
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), wantSum)
 	}
 }
