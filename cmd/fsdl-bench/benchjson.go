@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"fsdl/internal/core"
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+	"fsdl/internal/labelstore"
+	"fsdl/internal/server"
+)
+
+// This file is the machine-readable perf baseline: `fsdl-bench -json
+// PATH` runs a fixed suite of micro-benchmarks through testing.Benchmark
+// and writes one JSON document (schema fsdl-bench-v1) that CI archives
+// as BENCH_PR*.json. The suite covers the four costs the query fast
+// path optimizes: scheme build, label extraction (cold and warm-cache),
+// decode vs |F|, and server batch throughput.
+
+// benchResult is one measured kernel.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// PairsPerSec is set only for the server batch kernel.
+	PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
+}
+
+// benchDoc is the whole emitted document.
+type benchDoc struct {
+	Schema  string        `json:"schema"`
+	Quick   bool          `json:"quick"`
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	CPUs    int           `json:"cpus"`
+	Results []benchResult `json:"results"`
+}
+
+func measure(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runJSON executes the suite and writes the document to path ("-" for
+// stdout). quick shrinks instance sizes so CI smoke runs stay fast.
+func runJSON(path string, quick bool, log io.Writer) error {
+	side := 24
+	if quick {
+		side = 12
+	}
+	g := gen.Grid2D(side, side)
+	n := g.NumVertices()
+
+	doc := benchDoc{
+		Schema: "fsdl-bench-v1",
+		Quick:  quick,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.GOMAXPROCS(0),
+	}
+	add := func(r benchResult) {
+		doc.Results = append(doc.Results, r)
+		fmt.Fprintf(log, "%-28s %12.0f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	// 1. Preprocessing: net hierarchy + level store.
+	add(measure(fmt.Sprintf("build_scheme_grid%d", side), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildScheme(g, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	s, err := core.BuildScheme(g, 2)
+	if err != nil {
+		return err
+	}
+
+	// 2a. Label extraction, cold: cache disabled, every call extracts.
+	s.SetCacheLimit(0)
+	add(measure("label_extract_cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Label(n / 2)
+		}
+	}))
+
+	// 2b. Label extraction, warm: the sharded-LRU hit path.
+	s.SetCacheLimit(core.DefaultLabelCacheSize)
+	s.Label(n / 2)
+	add(measure("label_extract_warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Label(n / 2)
+		}
+	}))
+
+	// 3. Decode vs |F|: the pooled fast path, labels prefetched.
+	s.SetCacheLimit(4096)
+	for _, nf := range []int{1, 4, 16} {
+		rng := rand.New(rand.NewSource(2))
+		f := graph.NewFaultSet()
+		for f.Size() < nf {
+			v := rng.Intn(n)
+			if v != 0 && v != n-1 {
+				f.AddVertex(v)
+			}
+		}
+		q, err := s.NewQuery(0, n-1, f)
+		if err != nil {
+			return err
+		}
+		add(measure(fmt.Sprintf("decode_F%d", nf), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q.Distance()
+			}
+		}))
+	}
+
+	// 4. Server batch throughput: distinct pairs per op, result cache
+	// disabled, so every answer runs the full label-fetch + decode path.
+	var buf sliceBuffer
+	if err := labelstore.Save(&buf, s, nil); err != nil {
+		return err
+	}
+	st, err := labelstore.Load(&buf)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Store: st, CacheCapacity: -1})
+	if err != nil {
+		return err
+	}
+	batch := 64
+	if quick {
+		batch = 16
+	}
+	rng := rand.New(rand.NewSource(3))
+	pairs := make([][2]int, batch)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	faults := graph.NewFaultSet()
+	faults.AddVertex(n / 3)
+	r := measure("server_batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := srv.AnswerPairs(context.Background(), pairs, &server.QueryOptions{Faults: faults}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	r.PairsPerSec = float64(batch) / (r.NsPerOp / 1e9)
+	add(r)
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = log.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// sliceBuffer is a minimal in-memory io.ReadWriter (avoids bytes.Buffer
+// aliasing concerns across Save/Load).
+type sliceBuffer struct {
+	data []byte
+	off  int
+}
+
+func (sb *sliceBuffer) Write(p []byte) (int, error) {
+	sb.data = append(sb.data, p...)
+	return len(p), nil
+}
+
+func (sb *sliceBuffer) Read(p []byte) (int, error) {
+	if sb.off >= len(sb.data) {
+		return 0, io.EOF
+	}
+	k := copy(p, sb.data[sb.off:])
+	sb.off += k
+	return k, nil
+}

@@ -5,6 +5,7 @@
 //
 //	fsdl-bench [-exp E1|E2|...|all] [-quick] [-seed N]
 //	fsdl-bench -chaos [-quick] [-seed N]   # resilience scenario (alias for -exp E15)
+//	fsdl-bench -json PATH [-quick]         # machine-readable perf baseline (see docs/PERFORMANCE.md)
 package main
 
 import (
@@ -30,8 +31,12 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	list := fs.Bool("list", false, "list experiments and exit")
 	chaos := fs.Bool("chaos", false, "run the chaos/resilience scenario (alias for -exp E15)")
+	jsonPath := fs.String("json", "", "run the perf-baseline suite and write JSON to this path ('-' for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonPath != "" {
+		return runJSON(*jsonPath, *quick, out)
 	}
 	if *chaos {
 		if *exp != "all" && !strings.EqualFold(*exp, "E15") {

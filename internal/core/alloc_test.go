@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+// These are the PR's regression gates: steady-state decode and warm-cache
+// label extraction must stay (near-)allocation-free. CI runs them on
+// every push (bench-smoke job); a refactor that reintroduces per-query
+// maps fails here before it can land.
+
+// TestQueryDistanceAllocs pins the steady-state decode at ≤ 2 allocs per
+// query (warm pool). The pooled scratch owns every transient structure,
+// so the expected count is 0; the ≤ 2 slack absorbs runtime noise
+// (pool refills after an unlucky GC).
+func TestQueryDistanceAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unstable under -race (sync.Pool reuse is randomized)")
+	}
+	g := gridGraph(t, 8, 8)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := graph.NewFaultSet()
+	f.AddVertex(27)
+	f.AddVertex(36)
+	q, err := s.NewQuery(0, 63, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Distance() // warm the pool and size the scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := q.Distance(); !ok {
+			t.Fatal("query became disconnected")
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("Query.Distance steady-state allocs/op = %g, want <= 2", allocs)
+	}
+}
+
+// TestDecoderDistanceAllocs pins the batch decoder (one scratch held
+// across calls, no pool traffic at all) at zero steady-state allocations.
+func TestDecoderDistanceAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unstable under -race (sync.Pool reuse is randomized)")
+	}
+	g := gridGraph(t, 8, 8)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := graph.NewFaultSet()
+	f.AddVertex(20)
+	q, err := s.NewQuery(1, 62, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder()
+	defer dec.Release()
+	dec.Distance(q) // size the scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		dec.Distance(q)
+	})
+	if allocs > 0 {
+		t.Errorf("Decoder.Distance steady-state allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestSchemeLabelAllocs pins the warm-cache Label path: a cache hit must
+// not allocate.
+func TestSchemeLabelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unstable under -race")
+	}
+	g := gridGraph(t, 8, 8)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Label(17) // populate the cache
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Label(17)
+	})
+	if allocs > 0 {
+		t.Errorf("Scheme.Label warm-cache allocs/op = %g, want 0", allocs)
+	}
+}
+
+// TestConcurrentLabelDistanceStress hammers the sharded label cache and
+// the pooled decoder from many goroutines and checks every answer —
+// labels byte-for-byte, distances exactly — against a serially computed
+// baseline. Run under -race this is the concurrency proof for the whole
+// new fast path.
+func TestConcurrentLabelDistanceStress(t *testing.T) {
+	g := gridGraph(t, 7, 7)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCacheLimit(16) // small cache: forces concurrent miss/evict churn
+	n := g.NumVertices()
+
+	// Serial baseline, computed before any concurrency.
+	base, berr := BuildScheme(g, 2)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+	wantBytes := make([][]byte, n)
+	for v := 0; v < n; v++ {
+		buf, nbits := base.Label(v).Encode()
+		wantBytes[v] = buf[:(nbits+7)/8]
+	}
+	f := graph.NewFaultSet()
+	f.AddVertex(24)
+	type pair struct{ s, t int }
+	pairs := []pair{{0, 48}, {6, 42}, {3, 45}, {1, 47}, {10, 38}}
+	wantDist := make(map[pair]int64)
+	wantOK := make(map[pair]bool)
+	for _, p := range pairs {
+		d, ok := base.Distance(p.s, p.t, f)
+		wantDist[p], wantOK[p] = d, ok
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			dec := NewDecoder()
+			defer dec.Release()
+			for i := 0; i < 300; i++ {
+				v := rng.Intn(n)
+				buf, nbits := s.Label(v).Encode()
+				got := buf[:(nbits+7)/8]
+				if string(got) != string(wantBytes[v]) {
+					t.Errorf("label %d not bit-identical under concurrency", v)
+					return
+				}
+				p := pairs[rng.Intn(len(pairs))]
+				q, err := s.NewQuery(p.s, p.t, f)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				d, ok := dec.Distance(q)
+				if ok != wantOK[p] || (ok && d != wantDist[p]) {
+					t.Errorf("query (%d,%d) = (%d,%v), want (%d,%v)",
+						p.s, p.t, d, ok, wantDist[p], wantOK[p])
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	if hits, misses := s.LabelCacheStats(); hits == 0 || misses == 0 {
+		t.Errorf("cache stats (hits=%d, misses=%d) show no churn — stress ineffective", hits, misses)
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fsdl/internal/graph"
+)
+
+// This file holds the pooled decode scratch: every transient structure a
+// Query decode needs — dedup sets, forbidden sets, the best-edge
+// accumulator, the protected-ball indexes, the dense-id remap and the
+// sketch Dijkstra state — owned by one reusable object instead of
+// allocated per call. Steady-state decodes are (near-)allocation-free:
+// each container is an open-addressing table over int32 vertex ids or
+// uint64 edge keys that grows to the largest query seen and is reset
+// with a memclr.
+
+// --- open-addressing containers -------------------------------------------
+
+// i32set is an insert-only set of nonnegative int32 keys (vertex ids).
+// Slots store key+1 so the zero slot means empty.
+type i32set struct {
+	slots []int32
+	n     int
+}
+
+func i32hash(k int32) uint32 { return uint32(uint64(uint32(k)) * 0x9E3779B97F4A7C15 >> 32) }
+
+func (s *i32set) reset() {
+	if s.n > 0 {
+		clear(s.slots)
+		s.n = 0
+	}
+}
+
+// add inserts k, reporting whether it was absent.
+func (s *i32set) add(k int32) bool {
+	if 4*(s.n+1) > 3*len(s.slots) {
+		s.grow()
+	}
+	mask := uint32(len(s.slots) - 1)
+	i := i32hash(k) & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			s.slots[i] = k + 1
+			s.n++
+			return true
+		}
+		if v == k+1 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *i32set) has(k int32) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := uint32(len(s.slots) - 1)
+	i := i32hash(k) & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == k+1 {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *i32set) grow() {
+	old := s.slots
+	s.slots = make([]int32, max(16, 2*len(old)))
+	s.n = 0
+	for _, v := range old {
+		if v != 0 {
+			s.add(v - 1)
+		}
+	}
+}
+
+// i32map maps nonnegative int32 keys to int32 values (the dense-id
+// remap). Keys store key+1, zero means empty.
+type i32map struct {
+	keys []int32
+	vals []int32
+	n    int
+}
+
+func (m *i32map) reset() {
+	if m.n > 0 {
+		clear(m.keys)
+		m.n = 0
+	}
+}
+
+// getOrPut returns the value of k, inserting v when absent.
+func (m *i32map) getOrPut(k, v int32) (int32, bool) {
+	if 4*(m.n+1) > 3*len(m.keys) {
+		m.grow()
+	}
+	mask := uint32(len(m.keys) - 1)
+	i := i32hash(k) & mask
+	for {
+		kk := m.keys[i]
+		if kk == 0 {
+			m.keys[i] = k + 1
+			m.vals[i] = v
+			m.n++
+			return v, false
+		}
+		if kk == k+1 {
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns the value of k; k must be present.
+func (m *i32map) get(k int32) int32 {
+	mask := uint32(len(m.keys) - 1)
+	i := i32hash(k) & mask
+	for {
+		if m.keys[i] == k+1 {
+			return m.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (m *i32map) grow() {
+	oldK, oldV := m.keys, m.vals
+	size := max(16, 2*len(oldK))
+	m.keys = make([]int32, size)
+	m.vals = make([]int32, size)
+	m.n = 0
+	for i, kk := range oldK {
+		if kk != 0 {
+			m.getOrPut(kk-1, oldV[i])
+		}
+	}
+}
+
+// u64set is an insert-only set of uint64 edge keys. Key 0 — the
+// unordered pair (0,0) — cannot be produced by any sketch edge (the
+// decoder never admits self-loops) but can appear in adversarial
+// forbidden-edge lists, so it is tracked by an explicit flag.
+type u64set struct {
+	slots   []uint64
+	n       int
+	hasZero bool
+}
+
+func u64hash(k uint64) uint32 { return uint32((k ^ k>>32) * 0x9E3779B97F4A7C15 >> 32) }
+
+func (s *u64set) reset() {
+	if s.n > 0 {
+		clear(s.slots)
+		s.n = 0
+	}
+	s.hasZero = false
+}
+
+func (s *u64set) add(k uint64) {
+	if k == 0 {
+		s.hasZero = true
+		return
+	}
+	if 4*(s.n+1) > 3*len(s.slots) {
+		s.grow()
+	}
+	mask := uint32(len(s.slots) - 1)
+	i := u64hash(k) & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			s.slots[i] = k
+			s.n++
+			return
+		}
+		if v == k {
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *u64set) has(k uint64) bool {
+	if k == 0 {
+		return s.hasZero
+	}
+	if s.n == 0 {
+		return false
+	}
+	mask := uint32(len(s.slots) - 1)
+	i := u64hash(k) & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == k {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *u64set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, max(16, 2*len(old)))
+	s.n = 0
+	for _, v := range old {
+		if v != 0 {
+			s.add(v)
+		}
+	}
+}
+
+// edgeAcc accumulates the lightest parallel edge per unordered vertex
+// pair, remembering insertion order so the decode can emit a
+// deterministic (sorted) edge list without copying the key set. Key 0
+// cannot occur (self-loops are never admitted).
+type edgeAcc struct {
+	slots []uint64 // open-addressing table of keys; 0 = empty
+	w     []int64  // slot -> lightest weight
+	lv    []int32  // slot -> contributing level of that weight
+	order []uint64 // distinct keys in insertion order
+	n     int
+}
+
+func (a *edgeAcc) reset() {
+	if a.n > 0 {
+		clear(a.slots)
+		a.n = 0
+	}
+	a.order = a.order[:0]
+}
+
+// upsertMin records the edge k with weight w at the given level, keeping
+// the lightest (w, level) pair per key.
+func (a *edgeAcc) upsertMin(k uint64, w int64, level int32) {
+	if 4*(a.n+1) > 3*len(a.slots) {
+		a.grow()
+	}
+	mask := uint32(len(a.slots) - 1)
+	i := u64hash(k) & mask
+	for {
+		v := a.slots[i]
+		if v == 0 {
+			a.slots[i] = k
+			a.w[i] = w
+			a.lv[i] = level
+			a.n++
+			a.order = append(a.order, k)
+			return
+		}
+		if v == k {
+			if w < a.w[i] {
+				a.w[i] = w
+				a.lv[i] = level
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns the (weight, level) recorded for k; k must be present.
+func (a *edgeAcc) get(k uint64) (int64, int32) {
+	mask := uint32(len(a.slots) - 1)
+	i := u64hash(k) & mask
+	for {
+		if a.slots[i] == k {
+			return a.w[i], a.lv[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (a *edgeAcc) grow() {
+	oldS, oldW, oldL := a.slots, a.w, a.lv
+	size := max(16, 2*len(oldS))
+	a.slots = make([]uint64, size)
+	a.w = make([]int64, size)
+	a.lv = make([]int32, size)
+	a.n = 0
+	// Re-insert without touching order: these keys are already listed.
+	mask := uint32(size - 1)
+	for i, k := range oldS {
+		if k == 0 {
+			continue
+		}
+		j := u64hash(k) & mask
+		for a.slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		a.slots[j] = k
+		a.w[j] = oldW[i]
+		a.lv[j] = oldL[i]
+		a.n++
+	}
+}
+
+// --- the pooled scratch ----------------------------------------------------
+
+// decodeScratch owns every reusable structure of one decode. It is
+// checked out of decodePool for the duration of a query (or held across
+// a batch by a Decoder) and reset piecemeal as decode runs.
+type decodeScratch struct {
+	owners     []*Label
+	centers    []*Label
+	seenOwner  i32set
+	seenCenter i32set
+	forbiddenV i32set
+	forbiddenE u64set
+	best       edgeAcc
+	// pb[fi*numLevels+k] is the level-(lowest+k) protected-ball index of
+	// center fi — the open-addressing replacement for the per-call
+	// map[int32]bool matrix (the "perfect hashing" step of Lemma 2.6).
+	pb []i32set
+	// ompb[(oi*centers+fi)*numLevels+k] caches mayBeInPB(owner oi,
+	// center fi, level lowest+k).
+	ompb []bool
+	// idOf/ids densely remap the touched global vertex ids.
+	idOf i32map
+	ids  []int32
+	// edges is the deduplicated sketch edge list in deterministic order.
+	edges []SketchEdge
+	// hpath is path-reconstruction scratch for traced queries.
+	hpath  []int32
+	solver graph.SketchSolver
+
+	// robust-path scratch (slow path of DistanceRobust).
+	vf []*Label
+	ef [][2]*Label
+}
+
+var (
+	decodePoolGets atomic.Int64
+	decodePoolNews atomic.Int64
+
+	decodePool = sync.Pool{New: func() any {
+		decodePoolNews.Add(1)
+		return new(decodeScratch)
+	}}
+)
+
+func getScratch() *decodeScratch {
+	decodePoolGets.Add(1)
+	return decodePool.Get().(*decodeScratch)
+}
+
+func putScratch(sc *decodeScratch) {
+	sc.dropRefs()
+	decodePool.Put(sc)
+}
+
+// dropRefs clears the label pointers a decode left behind so a pooled
+// scratch never pins the previous query's labels in memory. Slices are
+// cleared to capacity: some are stored truncated, with stale pointers
+// still live in the backing array.
+func (sc *decodeScratch) dropRefs() {
+	clear(sc.owners[:cap(sc.owners)])
+	sc.owners = sc.owners[:0]
+	clear(sc.centers[:cap(sc.centers)])
+	sc.centers = sc.centers[:0]
+	clear(sc.vf[:cap(sc.vf)])
+	sc.vf = sc.vf[:0]
+	clear(sc.ef[:cap(sc.ef)])
+	sc.ef = sc.ef[:0]
+}
+
+// DecoderPoolStats reports the global decode-scratch pool counters. Gets
+// counts scratch checkouts, News counts checkouts that had to allocate a
+// fresh scratch; Gets − News is the number of reuses. Exposed so serving
+// layers can report pool effectiveness on their metrics endpoints.
+type DecoderPoolStats struct {
+	Gets, News int64
+}
+
+// DecoderPool returns the current pool counters.
+func DecoderPool() DecoderPoolStats {
+	return DecoderPoolStats{Gets: decodePoolGets.Load(), News: decodePoolNews.Load()}
+}
+
+// Decoder is a reusable query decoder. It checks one scratch out of the
+// pool and holds it for its lifetime, so a batch of queries decoded
+// through the same Decoder shares a single warmed-up scratch with no
+// per-query pool traffic. The zero Decoder is ready to use (it checks
+// out lazily). A Decoder is not safe for concurrent use; call Release
+// to return the scratch to the pool when the batch is done.
+type Decoder struct {
+	sc *decodeScratch
+}
+
+// NewDecoder checks a scratch out of the pool.
+func NewDecoder() *Decoder { return &Decoder{sc: getScratch()} }
+
+// Release returns the scratch to the pool. The Decoder remains usable —
+// the next call checks a scratch out again.
+func (d *Decoder) Release() {
+	if d.sc != nil {
+		putScratch(d.sc)
+		d.sc = nil
+	}
+}
+
+func (d *Decoder) scratch() *decodeScratch {
+	if d.sc == nil {
+		d.sc = getScratch()
+	}
+	return d.sc
+}
+
+// Distance is Query.Distance on this decoder's scratch.
+func (d *Decoder) Distance(q *Query) (int64, bool) {
+	dist, _, err := d.scratch().decode(q, nil)
+	if err != nil || dist < 0 {
+		return 0, false
+	}
+	return dist, true
+}
+
+// DistanceWithTrace is Query.DistanceWithTrace on this decoder's scratch.
+func (d *Decoder) DistanceWithTrace(q *Query, tr *Trace) (int64, bool) {
+	dist, _, err := d.scratch().decode(q, tr)
+	if err != nil || dist < 0 {
+		return 0, false
+	}
+	return dist, true
+}
+
+// DistanceRobust is Query.DistanceRobust on this decoder's scratch.
+func (d *Decoder) DistanceRobust(q *Query) Result {
+	return d.scratch().distanceRobust(q)
+}

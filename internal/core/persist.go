@@ -232,12 +232,5 @@ func LoadScheme(r io.Reader) (*Scheme, error) {
 		}
 		st.levels = append(st.levels, sl)
 	}
-	return &Scheme{
-		g:          g,
-		h:          h,
-		params:     params,
-		store:      st,
-		cache:      make(map[int32]*Label),
-		cacheLimit: 64,
-	}, nil
+	return newScheme(g, h, params, st), nil
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"fsdl/internal/graph"
 )
@@ -103,9 +103,13 @@ type Trace struct {
 // labels, keeping only safe edges, and returns the s-t distance in H.
 // ok is false when no path exists, which (by the scheme's safety and
 // stretch guarantees) happens exactly when s and t are disconnected in
-// G\F.
+// G\F. Decoding borrows a pooled scratch, so steady-state calls are
+// allocation-free; batch callers that want to pin one scratch across
+// many queries should use a Decoder instead.
 func (q *Query) Distance() (int64, bool) {
-	d, _, _, _, err := q.decode(nil)
+	sc := getScratch()
+	d, _, err := sc.decode(q, nil)
+	putScratch(sc)
 	if err != nil || d < 0 {
 		return 0, false
 	}
@@ -115,7 +119,9 @@ func (q *Query) Distance() (int64, bool) {
 // DistanceWithTrace is Distance, additionally filling tr with the sketch
 // construction details and the winning path.
 func (q *Query) DistanceWithTrace(tr *Trace) (int64, bool) {
-	d, _, _, _, err := q.decode(tr)
+	sc := getScratch()
+	d, _, err := sc.decode(q, tr)
+	putScratch(sc)
 	if err != nil || d < 0 {
 		return 0, false
 	}
@@ -132,6 +138,17 @@ func (q *Query) DistanceWithTrace(tr *Trace) (int64, bool) {
 // δ ≥ d_{G\F} at the cost of the stretch bound; the Result says exactly
 // how much trust the number deserves.
 func (q *Query) DistanceRobust() Result {
+	sc := getScratch()
+	res := sc.distanceRobust(q)
+	putScratch(sc)
+	return res
+}
+
+// distanceRobust implements DistanceRobust on the scratch. The common
+// case — every fault label usable, nothing pre-degraded — decodes q
+// directly without copying the query; only the degraded slow path
+// allocates (it is rare by construction: it means labels went missing).
+func (sc *decodeScratch) distanceRobust(q *Query) Result {
 	var res Result
 	if q.S == nil || q.T == nil || q.S.Validate() != nil || q.T.Validate() != nil {
 		return res // no endpoint labels, no bound of any kind
@@ -140,9 +157,38 @@ func (q *Query) DistanceRobust() Result {
 		return l != nil && l.Validate() == nil &&
 			l.C == q.S.C && l.MaxLevel == q.S.MaxLevel && l.RShrink == q.S.RShrink
 	}
+	clean := len(q.DegradedVertexFaults) == 0 && len(q.DegradedEdgeFaults) == 0
+	if clean {
+		for _, f := range q.VertexFaults {
+			if !usable(f) {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		for _, ef := range q.EdgeFaults {
+			if !usable(ef[0]) || !usable(ef[1]) {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		d, exhausted, err := sc.decode(q, nil)
+		res.BudgetExhausted = exhausted
+		res.Degraded = exhausted
+		if err != nil || d < 0 {
+			return res
+		}
+		res.Dist = d
+		res.OK = true
+		return res
+	}
+
 	rq := *q
-	rq.VertexFaults = nil
-	rq.EdgeFaults = nil
+	rq.VertexFaults = sc.vf[:0]
+	rq.EdgeFaults = sc.ef[:0]
 	rq.DegradedVertexFaults = append([]int32(nil), q.DegradedVertexFaults...)
 	rq.DegradedEdgeFaults = append([][2]int32(nil), q.DegradedEdgeFaults...)
 	res.MissingFaultLabels = append([]int32(nil), q.DegradedVertexFaults...)
@@ -172,11 +218,11 @@ func (q *Query) DistanceRobust() Result {
 			}
 		}
 	}
-	sort.Slice(res.MissingFaultLabels, func(i, j int) bool {
-		return res.MissingFaultLabels[i] < res.MissingFaultLabels[j]
-	})
+	sc.vf = rq.VertexFaults[:0]
+	sc.ef = rq.EdgeFaults[:0]
+	slices.Sort(res.MissingFaultLabels)
 	res.Degraded = len(rq.DegradedVertexFaults) > 0 || len(rq.DegradedEdgeFaults) > 0
-	d, _, _, exhausted, err := rq.decode(nil)
+	d, exhausted, err := sc.decode(&rq, nil)
 	res.BudgetExhausted = exhausted
 	res.Degraded = res.Degraded || exhausted
 	if err != nil || d < 0 {
@@ -192,8 +238,16 @@ func (q *Query) DistanceRobust() Result {
 // tests can verify the safety invariant: every sketch edge is realizable
 // in G\F at exactly its weight.
 func (q *Query) Sketch() ([]SketchEdge, error) {
-	_, edges, _, _, err := q.decode(nil)
-	return edges, err
+	sc := getScratch()
+	defer putScratch(sc)
+	if _, _, err := sc.decode(q, nil); err != nil {
+		return nil, err
+	}
+	if q.S.V == q.T.V {
+		return nil, nil // trivial query, no sketch was built
+	}
+	edges := make([]SketchEdge, 0, len(sc.edges))
+	return append(edges, sc.edges...), nil
 }
 
 // Validate checks that all labels of the query are present and mutually
@@ -239,26 +293,34 @@ func (q *Query) Validate() error {
 	return nil
 }
 
-// decode builds the sketch graph H and runs Dijkstra. It returns the s-t
-// distance (-1 when unreachable), the admitted edges, the number of H
-// vertices, and whether Query.Budget truncated the sketch.
-func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
+// decode builds the sketch graph H on the scratch and runs Dijkstra. It
+// returns the s-t distance (-1 when unreachable) and whether
+// Query.Budget truncated the sketch; the admitted edges and the dense
+// vertex remap remain on the scratch (sc.edges, sc.ids) until the next
+// decode. Steady-state decodes allocate nothing: every transient
+// structure lives on the scratch and is reset, not reallocated.
+func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
+	sc.edges = sc.edges[:0]
+	sc.ids = sc.ids[:0]
 	if err := q.Validate(); err != nil {
-		return 0, nil, 0, false, err
+		return 0, false, err
 	}
 	if q.S.V == q.T.V {
-		return 0, nil, 1, false, nil
+		return 0, false, nil
 	}
 	lowest := q.S.C + 1
 	numLevels := len(q.S.Levels)
 
 	// Owners: F̄ = {s,t} ∪ F (for edge faults, both endpoint labels).
-	owners := make([]*Label, 0, 2+len(q.VertexFaults)+2*len(q.EdgeFaults))
-	seenOwner := map[int32]bool{}
+	sc.owners = sc.owners[:0]
+	sc.centers = sc.centers[:0]
+	sc.seenOwner.reset()
+	sc.seenCenter.reset()
+	sc.forbiddenV.reset()
+	sc.forbiddenE.reset()
 	addOwner := func(l *Label) {
-		if !seenOwner[l.V] {
-			seenOwner[l.V] = true
-			owners = append(owners, l)
+		if sc.seenOwner.add(l.V) {
+			sc.owners = append(sc.owners, l)
 		}
 	}
 	addOwner(q.S)
@@ -266,25 +328,19 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 	// Protected-ball centers: the faulty vertices and the endpoints of
 	// faulty edges. An edge of H survives level ℓ only if at least one of
 	// its endpoints is outside PB_ℓ(f) for every center f.
-	var centers []*Label
-	seenCenter := map[int32]bool{}
-	forbiddenV := map[int32]bool{}
 	for _, f := range q.VertexFaults {
 		addOwner(f)
-		forbiddenV[f.V] = true
-		if !seenCenter[f.V] {
-			seenCenter[f.V] = true
-			centers = append(centers, f)
+		sc.forbiddenV.add(f.V)
+		if sc.seenCenter.add(f.V) {
+			sc.centers = append(sc.centers, f)
 		}
 	}
-	forbiddenE := map[uint64]bool{}
 	for _, ef := range q.EdgeFaults {
-		forbiddenE[unorderedKey(ef[0].V, ef[1].V)] = true
+		sc.forbiddenE.add(unorderedKey(ef[0].V, ef[1].V))
 		for _, l := range ef {
 			addOwner(l)
-			if !seenCenter[l.V] {
-				seenCenter[l.V] = true
-				centers = append(centers, l)
+			if sc.seenCenter.add(l.V) {
+				sc.centers = append(sc.centers, l)
 			}
 		}
 	}
@@ -295,10 +351,10 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 	// argument).
 	degraded := len(q.DegradedVertexFaults) > 0 || len(q.DegradedEdgeFaults) > 0
 	for _, v := range q.DegradedVertexFaults {
-		forbiddenV[v] = true
+		sc.forbiddenV.add(v)
 	}
 	for _, ef := range q.DegradedEdgeFaults {
-		forbiddenE[unorderedKey(ef[0], ef[1])] = true
+		sc.forbiddenE.add(unorderedKey(ef[0], ef[1]))
 	}
 
 	// Budget accounting: each candidate edge examined costs one unit; once
@@ -320,19 +376,12 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 	}
 
 	// Accumulate the lightest parallel edge per vertex pair.
-	type edgeInfo struct {
-		w     int64
-		level int
-	}
-	best := map[uint64]edgeInfo{}
+	sc.best.reset()
 	admit := func(x, y int32, w int64, level int) {
 		if x == y {
 			return
 		}
-		k := unorderedKey(x, y)
-		if cur, ok := best[k]; !ok || w < cur.w {
-			best[k] = edgeInfo{w: w, level: level}
-		}
+		sc.best.upsertMin(unorderedKey(x, y), w, int32(level))
 		if tr != nil {
 			tr.AdmittedPerLevel[level-lowest]++
 		}
@@ -344,25 +393,28 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 	}
 	// Per-center per-level protected-ball membership, hash-indexed — the
 	// "perfect hashing" step of Lemma 2.6 that makes each check O(1).
-	// pbIndex[fi][k] maps a vertex to true iff it lies in PB_ℓ(f): within
-	// λ_ℓ of the center per the center's own ball list (plus the center
-	// itself). Absence is an exact "outside" because r_ℓ > λ_ℓ.
-	pbIndex := make([][]map[int32]bool, len(centers))
-	for fi, f := range centers {
-		pbIndex[fi] = make([]map[int32]bool, numLevels)
+	// pb[fi*numLevels+k] holds the vertices inside PB_ℓ(f): within λ_ℓ of
+	// the center per the center's own ball list (plus the center itself).
+	// Absence is an exact "outside" because r_ℓ > λ_ℓ.
+	nPB := len(sc.centers) * numLevels
+	if cap(sc.pb) < nPB {
+		sc.pb = append(sc.pb[:cap(sc.pb)], make([]i32set, nPB-cap(sc.pb))...)
+	}
+	sc.pb = sc.pb[:nPB]
+	for fi, f := range sc.centers {
 		for k := 0; k < numLevels; k++ {
 			level := lowest + k
 			lambda := lambdaOf(level)
-			idx := make(map[int32]bool)
-			idx[f.V] = true
+			idx := &sc.pb[fi*numLevels+k]
+			idx.reset()
+			idx.add(f.V)
 			if k < len(f.Levels) {
 				for _, pe := range f.Levels[k].Points {
 					if pe.D <= lambda {
-						idx[pe.X] = true
+						idx.add(pe.X)
 					}
 				}
 			}
-			pbIndex[fi][k] = idx
 		}
 	}
 	// safe reports whether an edge with endpoints x, y survives every
@@ -377,31 +429,33 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 			return true
 		}
 		k := level - lowest
-		for fi := range centers {
-			idx := pbIndex[fi][k]
-			if idx[x] && idx[y] {
+		for fi := range sc.centers {
+			idx := &sc.pb[fi*numLevels+k]
+			if idx.has(x) && idx.has(y) {
 				return false
 			}
 		}
 		return true
 	}
-	// ownerMayBeInPB[oi][fi][k] caches, for owner oi, center fi and level
-	// index k, whether the owner vertex could lie inside PB_ℓ(f): the
-	// owner is usually not a net point, so exact membership is not
-	// label-decidable; instead we certify "outside" via the triangle
-	// inequality through f's nearest net point m of the level:
+	// ompb[(oi*centers+fi)*numLevels+k] caches, for owner oi, center fi
+	// and level index k, whether the owner vertex could lie inside
+	// PB_ℓ(f): the owner is usually not a net point, so exact membership
+	// is not label-decidable; instead we certify "outside" via the
+	// triangle inequality through f's nearest net point m of the level:
 	// d(o,f) ≥ d(o,m) − d(f,m). Since d(f,m) ≤ 2^{ℓ-c-1}−1, the
 	// certificate fires whenever d(o,F) > μ_ℓ — exactly the condition
 	// under which the stretch analysis needs owner edges admitted.
-	ownerMayBeInPB := make([][][]bool, len(owners))
-	for oi, o := range owners {
-		ownerMayBeInPB[oi] = make([][]bool, len(centers))
-		for fi, f := range centers {
-			row := make([]bool, numLevels)
+	nOMPB := len(sc.owners) * nPB
+	if cap(sc.ompb) < nOMPB {
+		sc.ompb = make([]bool, nOMPB)
+	}
+	sc.ompb = sc.ompb[:nOMPB]
+	for oi, o := range sc.owners {
+		for fi, f := range sc.centers {
+			row := sc.ompb[(oi*len(sc.centers)+fi)*numLevels:]
 			for k := 0; k < numLevels; k++ {
 				row[k] = mayBeInPB(o, f, lowest+k)
 			}
-			ownerMayBeInPB[oi][fi] = row
 		}
 	}
 	// ownerSafe reports whether the owner edge (o.V, x) survives every
@@ -411,15 +465,15 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 			return true
 		}
 		k := level - lowest
-		for fi := range centers {
-			if pbIndex[fi][k][x] && ownerMayBeInPB[oi][fi][k] {
+		for fi := range sc.centers {
+			if sc.pb[fi*numLevels+k].has(x) && sc.ompb[(oi*len(sc.centers)+fi)*numLevels+k] {
 				return false
 			}
 		}
 		return true
 	}
 
-	for oi, o := range owners {
+	for oi, o := range sc.owners {
 		for k := 0; k < numLevels; k++ {
 			level := lowest + k
 			lv := &o.Levels[k]
@@ -432,7 +486,7 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 						break
 					}
 					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
-					if forbiddenV[x] || forbiddenV[y] || forbiddenE[unorderedKey(x, y)] {
+					if sc.forbiddenV.has(x) || sc.forbiddenV.has(y) || sc.forbiddenE.has(unorderedKey(x, y)) {
 						reject(level)
 						continue
 					}
@@ -448,7 +502,7 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 						break
 					}
 					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
-					if forbiddenV[x] || forbiddenV[y] || !safe(level, x, y) {
+					if sc.forbiddenV.has(x) || sc.forbiddenV.has(y) || !safe(level, x, y) {
 						reject(level)
 						continue
 					}
@@ -460,7 +514,7 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 			// every level. A forbidden owner's self edges always fail the
 			// check (the owner sits at the center of its own protected
 			// ball), so skip them outright.
-			if forbiddenV[o.V] {
+			if sc.forbiddenV.has(o.V) {
 				continue
 			}
 			for _, pe := range lv.Points {
@@ -470,7 +524,7 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 				if !allow() {
 					break
 				}
-				if forbiddenV[pe.X] {
+				if sc.forbiddenV.has(pe.X) {
 					reject(level)
 					continue
 				}
@@ -478,7 +532,7 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 					// Maximal protected balls veto every owner-ball edge
 					// except an actual graph edge (weight 1) that is not
 					// itself forbidden — it survives verbatim in G\F.
-					if pe.D != 1 || forbiddenE[unorderedKey(o.V, pe.X)] {
+					if pe.D != 1 || sc.forbiddenE.has(unorderedKey(o.V, pe.X)) {
 						reject(level)
 						continue
 					}
@@ -492,61 +546,57 @@ func (q *Query) decode(tr *Trace) (int64, []SketchEdge, int, bool, error) {
 	}
 
 	// Map the touched vertices densely and run Dijkstra.
-	idOf := map[int32]int32{}
-	ids := []int32{}
+	sc.idOf.reset()
 	ensure := func(v int32) int32 {
-		if id, ok := idOf[v]; ok {
-			return id
+		id, ok := sc.idOf.getOrPut(v, int32(len(sc.ids)))
+		if !ok {
+			sc.ids = append(sc.ids, v)
 		}
-		id := int32(len(ids))
-		idOf[v] = id
-		ids = append(ids, v)
 		return id
 	}
 	ensure(q.S.V)
 	ensure(q.T.V)
-	// Emit edges in sorted key order: map iteration order would otherwise
-	// leak into Dijkstra's tie-breaking and make equal-weight shortest
-	// paths (and hence routes) vary between runs.
-	keys := make([]uint64, 0, len(best))
-	for k := range best {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	edges := make([]SketchEdge, 0, len(keys))
-	for _, k := range keys {
-		info := best[k]
+	// Emit edges in sorted key order: accumulator insertion order would
+	// otherwise leak into Dijkstra's tie-breaking and make equal-weight
+	// shortest paths (and hence routes) vary between runs. The order
+	// slice is scratch-owned, so sorting it in place copies nothing.
+	slices.Sort(sc.best.order)
+	for _, k := range sc.best.order {
+		w, level := sc.best.get(k)
 		x, y := int32(k>>32), int32(k&0xffffffff)
-		edges = append(edges, SketchEdge{X: x, Y: y, W: info.w, Level: info.level})
+		sc.edges = append(sc.edges, SketchEdge{X: x, Y: y, W: w, Level: int(level)})
 		ensure(x)
 		ensure(y)
 	}
-	h := graph.NewWeighted(len(ids))
-	for _, e := range edges {
-		h.AddEdge(int(idOf[e.X]), int(idOf[e.Y]), e.W)
+	sc.solver.Reset(len(sc.ids))
+	for _, e := range sc.edges {
+		sc.solver.AddEdge(int(sc.idOf.get(e.X)), int(sc.idOf.get(e.Y)), e.W)
 	}
-	dist, path := h.ShortestPath(int(idOf[q.S.V]), int(idOf[q.T.V]))
+	src, dst := int(sc.idOf.get(q.S.V)), int(sc.idOf.get(q.T.V))
+	dist := sc.solver.ShortestPath(src, dst)
 	if tr != nil {
-		tr.NumHVertices = len(ids)
-		tr.NumHEdges = len(edges)
+		tr.NumHVertices = len(sc.ids)
+		tr.NumHEdges = len(sc.edges)
 		tr.Path = nil
 		tr.PathWeights = nil
 		if dist != graph.WeightedInfinity {
+			sc.hpath = sc.solver.PathTo(src, dst, sc.hpath[:0])
 			var prev int32 = -1
-			for _, hv := range path {
-				gv := ids[hv]
+			for _, hv := range sc.hpath {
+				gv := sc.ids[hv]
 				tr.Path = append(tr.Path, gv)
 				if prev >= 0 {
-					tr.PathWeights = append(tr.PathWeights, best[unorderedKey(prev, gv)].w)
+					w, _ := sc.best.get(unorderedKey(prev, gv))
+					tr.PathWeights = append(tr.PathWeights, w)
 				}
 				prev = gv
 			}
 		}
 	}
 	if dist == graph.WeightedInfinity {
-		return -1, edges, len(ids), exhausted, nil
+		return -1, exhausted, nil
 	}
-	return dist, edges, len(ids), exhausted, nil
+	return dist, exhausted, nil
 }
 
 // mayBeInPB conservatively decides whether the owner vertex of label o

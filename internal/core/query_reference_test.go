@@ -1,0 +1,437 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+// referenceDecode is the pre-pooling decode, preserved verbatim (maps,
+// per-call allocations, container/heap Dijkstra via graph.Weighted). It
+// is the ground truth the scratch-based decode must match bit for bit:
+// same distances, same deterministic edge list, same traced paths.
+func referenceDecode(q *Query, tr *Trace) (int64, []SketchEdge, int, bool, error) {
+	if err := q.Validate(); err != nil {
+		return 0, nil, 0, false, err
+	}
+	if q.S.V == q.T.V {
+		return 0, nil, 1, false, nil
+	}
+	lowest := q.S.C + 1
+	numLevels := len(q.S.Levels)
+
+	owners := make([]*Label, 0, 2+len(q.VertexFaults)+2*len(q.EdgeFaults))
+	seenOwner := map[int32]bool{}
+	addOwner := func(l *Label) {
+		if !seenOwner[l.V] {
+			seenOwner[l.V] = true
+			owners = append(owners, l)
+		}
+	}
+	addOwner(q.S)
+	addOwner(q.T)
+	var centers []*Label
+	seenCenter := map[int32]bool{}
+	forbiddenV := map[int32]bool{}
+	for _, f := range q.VertexFaults {
+		addOwner(f)
+		forbiddenV[f.V] = true
+		if !seenCenter[f.V] {
+			seenCenter[f.V] = true
+			centers = append(centers, f)
+		}
+	}
+	forbiddenE := map[uint64]bool{}
+	for _, ef := range q.EdgeFaults {
+		forbiddenE[unorderedKey(ef[0].V, ef[1].V)] = true
+		for _, l := range ef {
+			addOwner(l)
+			if !seenCenter[l.V] {
+				seenCenter[l.V] = true
+				centers = append(centers, l)
+			}
+		}
+	}
+	degraded := len(q.DegradedVertexFaults) > 0 || len(q.DegradedEdgeFaults) > 0
+	for _, v := range q.DegradedVertexFaults {
+		forbiddenV[v] = true
+	}
+	for _, ef := range q.DegradedEdgeFaults {
+		forbiddenE[unorderedKey(ef[0], ef[1])] = true
+	}
+
+	examined, exhausted := 0, false
+	allow := func() bool {
+		if q.Budget > 0 && examined >= q.Budget {
+			exhausted = true
+			return false
+		}
+		examined++
+		return true
+	}
+
+	if tr != nil {
+		tr.AdmittedPerLevel = make([]int, numLevels)
+		tr.RejectedPerLevel = make([]int, numLevels)
+	}
+
+	type edgeInfo struct {
+		w     int64
+		level int
+	}
+	best := map[uint64]edgeInfo{}
+	admit := func(x, y int32, w int64, level int) {
+		if x == y {
+			return
+		}
+		k := unorderedKey(x, y)
+		if cur, ok := best[k]; !ok || w < cur.w {
+			best[k] = edgeInfo{w: w, level: level}
+		}
+		if tr != nil {
+			tr.AdmittedPerLevel[level-lowest]++
+		}
+	}
+	reject := func(level int) {
+		if tr != nil {
+			tr.RejectedPerLevel[level-lowest]++
+		}
+	}
+	pbIndex := make([][]map[int32]bool, len(centers))
+	for fi, f := range centers {
+		pbIndex[fi] = make([]map[int32]bool, numLevels)
+		for k := 0; k < numLevels; k++ {
+			level := lowest + k
+			lambda := lambdaOf(level)
+			idx := make(map[int32]bool)
+			idx[f.V] = true
+			if k < len(f.Levels) {
+				for _, pe := range f.Levels[k].Points {
+					if pe.D <= lambda {
+						idx[pe.X] = true
+					}
+				}
+			}
+			pbIndex[fi][k] = idx
+		}
+	}
+	safe := func(level int, x, y int32) bool {
+		if degraded {
+			return false
+		}
+		if q.UnsafeIgnoreProtectedBalls {
+			return true
+		}
+		k := level - lowest
+		for fi := range centers {
+			idx := pbIndex[fi][k]
+			if idx[x] && idx[y] {
+				return false
+			}
+		}
+		return true
+	}
+	ownerMayBeInPB := make([][][]bool, len(owners))
+	for oi, o := range owners {
+		ownerMayBeInPB[oi] = make([][]bool, len(centers))
+		for fi, f := range centers {
+			row := make([]bool, numLevels)
+			for k := 0; k < numLevels; k++ {
+				row[k] = mayBeInPB(o, f, lowest+k)
+			}
+			ownerMayBeInPB[oi][fi] = row
+		}
+	}
+	ownerSafe := func(oi, level int, x int32) bool {
+		if q.UnsafeIgnoreProtectedBalls {
+			return true
+		}
+		k := level - lowest
+		for fi := range centers {
+			if pbIndex[fi][k][x] && ownerMayBeInPB[oi][fi][k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for oi, o := range owners {
+		for k := 0; k < numLevels; k++ {
+			level := lowest + k
+			lv := &o.Levels[k]
+			lambda := lambdaOf(level)
+			if level == lowest {
+				for _, e := range lv.Edges {
+					if !allow() {
+						break
+					}
+					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
+					if forbiddenV[x] || forbiddenV[y] || forbiddenE[unorderedKey(x, y)] {
+						reject(level)
+						continue
+					}
+					admit(x, y, int64(e.D), level)
+				}
+			} else {
+				for _, e := range lv.Edges {
+					if !allow() {
+						break
+					}
+					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
+					if forbiddenV[x] || forbiddenV[y] || !safe(level, x, y) {
+						reject(level)
+						continue
+					}
+					admit(x, y, int64(e.D), level)
+				}
+			}
+			if forbiddenV[o.V] {
+				continue
+			}
+			for _, pe := range lv.Points {
+				if pe.D > lambda || pe.X == o.V {
+					continue
+				}
+				if !allow() {
+					break
+				}
+				if forbiddenV[pe.X] {
+					reject(level)
+					continue
+				}
+				if degraded {
+					if pe.D != 1 || forbiddenE[unorderedKey(o.V, pe.X)] {
+						reject(level)
+						continue
+					}
+				} else if !ownerSafe(oi, level, pe.X) {
+					reject(level)
+					continue
+				}
+				admit(o.V, pe.X, int64(pe.D), level)
+			}
+		}
+	}
+
+	idOf := map[int32]int32{}
+	ids := []int32{}
+	ensure := func(v int32) int32 {
+		if id, ok := idOf[v]; ok {
+			return id
+		}
+		id := int32(len(ids))
+		idOf[v] = id
+		ids = append(ids, v)
+		return id
+	}
+	ensure(q.S.V)
+	ensure(q.T.V)
+	keys := make([]uint64, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	edges := make([]SketchEdge, 0, len(keys))
+	for _, k := range keys {
+		info := best[k]
+		x, y := int32(k>>32), int32(k&0xffffffff)
+		edges = append(edges, SketchEdge{X: x, Y: y, W: info.w, Level: info.level})
+		ensure(x)
+		ensure(y)
+	}
+	h := graph.NewWeighted(len(ids))
+	for _, e := range edges {
+		h.AddEdge(int(idOf[e.X]), int(idOf[e.Y]), e.W)
+	}
+	dist, path := h.ShortestPath(int(idOf[q.S.V]), int(idOf[q.T.V]))
+	if tr != nil {
+		tr.NumHVertices = len(ids)
+		tr.NumHEdges = len(edges)
+		tr.Path = nil
+		tr.PathWeights = nil
+		if dist != graph.WeightedInfinity {
+			var prev int32 = -1
+			for _, hv := range path {
+				gv := ids[hv]
+				tr.Path = append(tr.Path, gv)
+				if prev >= 0 {
+					tr.PathWeights = append(tr.PathWeights, best[unorderedKey(prev, gv)].w)
+				}
+				prev = gv
+			}
+		}
+	}
+	if dist == graph.WeightedInfinity {
+		return -1, edges, len(ids), exhausted, nil
+	}
+	return dist, edges, len(ids), exhausted, nil
+}
+
+// referenceCase is one corpus entry: a query built on a scheme with some
+// fault shape.
+type referenceCase struct {
+	name string
+	q    *Query
+}
+
+// referenceCorpus assembles queries covering every decode code path:
+// fault-free, vertex faults, edge faults, mixed, degraded tiers, tight
+// budgets, and the ablation flag.
+func referenceCorpus(t *testing.T, s *Scheme, g *graph.Graph, rng *rand.Rand) []referenceCase {
+	t.Helper()
+	n := g.NumVertices()
+	mustQuery := func(src, dst int, f *graph.FaultSet) *Query {
+		q, err := s.NewQuery(src, dst, f)
+		if err != nil {
+			t.Fatalf("NewQuery(%d,%d): %v", src, dst, err)
+		}
+		return q
+	}
+	pick := func(avoid ...int) int {
+		for {
+			v := rng.Intn(n)
+			ok := true
+			for _, a := range avoid {
+				if v == a {
+					ok = false
+				}
+			}
+			if ok {
+				return v
+			}
+		}
+	}
+	var cases []referenceCase
+	for i := 0; i < 6; i++ {
+		src, dst := pick(), 0
+		dst = pick(src)
+		cases = append(cases, referenceCase{"nofaults", mustQuery(src, dst, nil)})
+
+		fv := graph.NewFaultSet()
+		fv.AddVertex(pick(src, dst))
+		fv.AddVertex(pick(src, dst))
+		cases = append(cases, referenceCase{"vfaults", mustQuery(src, dst, fv)})
+
+		fe := graph.NewFaultSet()
+		u := pick(src, dst)
+		nbrs := g.Neighbors(u)
+		if len(nbrs) > 0 {
+			fe.AddEdge(u, int(nbrs[rng.Intn(len(nbrs))]))
+			cases = append(cases, referenceCase{"efaults", mustQuery(src, dst, fe)})
+		}
+
+		mixed := graph.NewFaultSet()
+		mixed.AddVertex(pick(src, dst))
+		w := pick(src, dst)
+		if nb := g.Neighbors(w); len(nb) > 0 {
+			mixed.AddEdge(w, int(nb[0]))
+		}
+		qm := mustQuery(src, dst, mixed)
+		qm.Budget = 1 + rng.Intn(200)
+		cases = append(cases, referenceCase{"mixed+budget", qm})
+
+		qd := mustQuery(src, dst, nil)
+		qd.DegradedVertexFaults = []int32{int32(pick(src, dst))}
+		qd.DegradedEdgeFaults = [][2]int32{{int32(src), int32(pick(src))}}
+		cases = append(cases, referenceCase{"degraded", qd})
+
+		qa := mustQuery(src, dst, fv)
+		qa.UnsafeIgnoreProtectedBalls = true
+		cases = append(cases, referenceCase{"ablated", qa})
+	}
+	// Same-vertex and forbidden-owner shapes.
+	v := pick()
+	cases = append(cases, referenceCase{"same", mustQuery(v, v, nil)})
+	return cases
+}
+
+// TestDecodeMatchesReference verifies the scratch-based decode is
+// bit-identical to the pre-pooling implementation across the corpus:
+// same distance, same deterministic sketch edges, same trace (counts,
+// path, path weights).
+func TestDecodeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := map[string]*graph.Graph{
+		"grid6x5": gridGraph(t, 6, 5),
+		"path24":  pathGraph(t, 24),
+		"rand40":  randomConnected(t, 40, 20, rng),
+	}
+	for gname, g := range graphs {
+		s, err := BuildScheme(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range referenceCorpus(t, s, g, rng) {
+			wantTr := &Trace{}
+			wantDist, wantEdges, _, wantExh, wantErr := referenceDecode(tc.q, wantTr)
+
+			gotTr := &Trace{}
+			sc := getScratch()
+			gotDist, gotExh, gotErr := sc.decode(tc.q, gotTr)
+			gotEdges := append([]SketchEdge{}, sc.edges...)
+			putScratch(sc)
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s/%s: err mismatch: ref %v, got %v", gname, tc.name, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if gotDist != wantDist || gotExh != wantExh {
+				t.Errorf("%s/%s: dist/exhausted = (%d,%v), reference (%d,%v)",
+					gname, tc.name, gotDist, gotExh, wantDist, wantExh)
+			}
+			if tc.q.S.V != tc.q.T.V && !reflect.DeepEqual(gotEdges, wantEdges) {
+				t.Errorf("%s/%s: sketch edges diverge: %d edges vs reference %d",
+					gname, tc.name, len(gotEdges), len(wantEdges))
+			}
+			if !reflect.DeepEqual(gotTr, wantTr) {
+				t.Errorf("%s/%s: trace diverges:\n got %+v\nwant %+v", gname, tc.name, gotTr, wantTr)
+			}
+
+			// The public wrappers must agree with the raw decode.
+			d, ok := tc.q.Distance()
+			if wantDist < 0 && ok {
+				t.Errorf("%s/%s: Distance ok=true for unreachable", gname, tc.name)
+			}
+			if wantDist >= 0 && (!ok || d != wantDist) {
+				t.Errorf("%s/%s: Distance = (%d,%v), want (%d,true)", gname, tc.name, d, ok, wantDist)
+			}
+		}
+	}
+}
+
+// TestSketchMatchesReference pins Sketch()'s nil-vs-copy semantics
+// against the reference edge list.
+func TestSketchMatchesReference(t *testing.T) {
+	g := gridGraph(t, 5, 5)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := graph.NewFaultSet()
+	f.AddVertex(12)
+	q, err := s.NewQuery(0, 24, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantEdges, _, _, _ := referenceDecode(q, nil)
+	got, err := q.Sketch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantEdges) {
+		t.Errorf("Sketch diverges from reference: %d vs %d edges", len(got), len(wantEdges))
+	}
+	// Same endpoint: nil edges, no error (documented semantics).
+	qs, err := s.NewQuery(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges, err := qs.Sketch(); err != nil || edges != nil {
+		t.Errorf("Sketch(s==t) = (%v,%v), want (nil,nil)", edges, err)
+	}
+}

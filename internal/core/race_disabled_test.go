@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is on; see the race
+// variant for why alloc assertions check it.
+const raceEnabled = false

@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"fsdl/internal/graph"
+	"fsdl/internal/lru"
 	"fsdl/internal/nets"
 )
 
@@ -21,10 +24,43 @@ type Scheme struct {
 	params Params
 	store  *levelStore
 
-	mu    sync.Mutex
-	cache map[int32]*Label
-	// cacheLimit bounds the number of cached labels (0 disables caching).
-	cacheLimit int
+	// cache holds recently extracted labels, sharded so concurrent
+	// extractors on different shards never contend. SetCacheLimit swaps
+	// the whole cache atomically, so readers never lock around the
+	// pointer load. The hit/miss counters are monotonic across swaps.
+	cache       atomic.Pointer[lru.Cache[int32, *Label]]
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// scratch pools the O(n) BFS state label extraction needs, so a cache
+	// miss costs one checkout instead of an O(n) allocation (the previous
+	// design allocated a fresh BFSScratch per miss, under a global lock).
+	scratch sync.Pool
+}
+
+// DefaultLabelCacheSize is the label-cache capacity a fresh Scheme starts
+// with; SetCacheLimit overrides it.
+const DefaultLabelCacheSize = 64
+
+// labelCacheShards spreads the label cache's locks. Label working sets
+// are small, so a modest shard count already removes all contention.
+const labelCacheShards = 8
+
+func newLabelCache(limit int) *lru.Cache[int32, *Label] {
+	return lru.New[int32, *Label](limit, labelCacheShards, func(k int32) uint64 {
+		return lru.HashU32(uint32(k))
+	})
+}
+
+// newScheme wires the shared constructor state: the cache and the
+// BFS-scratch pool. Every Scheme construction site (BuildScheme,
+// BuildSchemeAblated, LoadScheme) must go through it.
+func newScheme(g *graph.Graph, h *nets.Hierarchy, params Params, store *levelStore) *Scheme {
+	s := &Scheme{g: g, h: h, params: params, store: store}
+	s.cache.Store(newLabelCache(DefaultLabelCacheSize))
+	n := g.NumVertices()
+	s.scratch.New = func() any { return graph.NewBFSScratch(n) }
+	return s
 }
 
 // BuildScheme preprocesses g into a forbidden-set distance labeling scheme
@@ -43,14 +79,7 @@ func BuildScheme(g *graph.Graph, epsilon float64) (*Scheme, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
 	}
-	return &Scheme{
-		g:          g,
-		h:          h,
-		params:     params,
-		store:      buildStore(g, h, params),
-		cache:      make(map[int32]*Label),
-		cacheLimit: 64,
-	}, nil
+	return newScheme(g, h, params, buildStore(g, h, params)), nil
 }
 
 // BuildSchemeAblated is BuildScheme with the RShrink ablation knob: the
@@ -73,14 +102,7 @@ func BuildSchemeAblated(g *graph.Graph, epsilon float64, rShrink int) (*Scheme, 
 	if err != nil {
 		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
 	}
-	return &Scheme{
-		g:          g,
-		h:          h,
-		params:     params,
-		store:      buildStore(g, h, params),
-		cache:      make(map[int32]*Label),
-		cacheLimit: 64,
-	}, nil
+	return newScheme(g, h, params, buildStore(g, h, params)), nil
 }
 
 // Params returns the derived scheme parameters.
@@ -93,40 +115,64 @@ func (s *Scheme) Graph() *graph.Graph { return s.g }
 // for tests that verify the analysis' net-point arguments).
 func (s *Scheme) Hierarchy() *nets.Hierarchy { return s.h }
 
-// SetCacheLimit bounds the internal label cache (0 disables caching).
+// SetCacheLimit bounds the internal label cache (0 disables caching). The
+// previous cache's entries are dropped.
 func (s *Scheme) SetCacheLimit(limit int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cacheLimit = limit
-	if limit == 0 {
-		s.cache = make(map[int32]*Label)
-	}
+	s.cache.Store(newLabelCache(limit))
+}
+
+// LabelCacheStats reports the label cache's cumulative hit/miss counts.
+// The counters survive SetCacheLimit swaps.
+func (s *Scheme) LabelCacheStats() (hits, misses int64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
 }
 
 // Label extracts (or returns the cached) label of v.
 func (s *Scheme) Label(v int) *Label {
-	s.mu.Lock()
-	if l, ok := s.cache[int32(v)]; ok {
-		s.mu.Unlock()
+	cache := s.cache.Load()
+	if l, ok := cache.Get(int32(v)); ok {
+		s.cacheHits.Add(1)
 		return l
 	}
-	s.mu.Unlock()
-	l := s.store.extractLabel(v, graph.NewBFSScratch(s.g.NumVertices()))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cacheLimit > 0 {
-		if len(s.cache) >= s.cacheLimit {
-			// Evict an arbitrary entry; labels are cheap to re-extract and
-			// query working sets are tiny, so plain random-ish eviction is
-			// plenty.
-			for k := range s.cache {
-				delete(s.cache, k)
-				break
-			}
-		}
-		s.cache[int32(v)] = l
-	}
+	s.cacheMisses.Add(1)
+	sc := s.scratch.Get().(*graph.BFSScratch)
+	l := s.store.extractLabel(v, sc)
+	s.scratch.Put(sc)
+	cache.Put(int32(v), l)
 	return l
+}
+
+// Labels extracts the labels of vs in bulk, fanning the cache misses out
+// over the available CPUs. The result is index-aligned with vs. It is the
+// batch counterpart of Label — persistence and batch serving extract
+// thousands of labels, and each extraction is an independent truncated-BFS
+// bundle, so the work parallelizes perfectly.
+func (s *Scheme) Labels(vs []int) []*Label {
+	out := make([]*Label, len(vs))
+	workers := min(runtime.GOMAXPROCS(0), len(vs))
+	if workers <= 1 {
+		for i, v := range vs {
+			out[i] = s.Label(v)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(vs) {
+					return
+				}
+				out[i] = s.Label(vs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // LabelBits returns the exact serialized size of L(v) in bits.
@@ -160,7 +206,7 @@ func (s *Scheme) NewQuery(src, dst int, faults *graph.FaultSet) (*Query, error) 
 	}
 	q := &Query{S: s.Label(src), T: s.Label(dst)}
 	fv := faults.Vertices()
-	sort.Ints(fv) // deterministic label order → deterministic traces
+	slices.Sort(fv) // deterministic label order → deterministic traces
 	for _, f := range fv {
 		q.VertexFaults = append(q.VertexFaults, s.Label(f))
 	}

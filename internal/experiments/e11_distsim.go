@@ -6,6 +6,7 @@ import (
 
 	"fsdl/internal/core"
 	"fsdl/internal/distsim"
+	"fsdl/internal/graph"
 	"fsdl/internal/stats"
 )
 
@@ -46,7 +47,7 @@ func RunE11DistributedRecovery(cfg Config) error {
 	var fails []failEvent
 	center := n/2 + side/2
 	count := 0
-	w.g.TruncatedBFS(center, int32(side), func(v, _ int32) {
+	graph.NewBFSScratch(n).TruncatedBFS(w.g, center, int32(side), func(v, _ int32) {
 		if count < failures {
 			fails = append(fails, failEvent{at: int64(count), v: int(v)})
 			count++

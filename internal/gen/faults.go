@@ -36,7 +36,7 @@ func ClusteredFaults(g *graph.Graph, k int, protected []int, rng *rand.Rand) *gr
 		return f
 	}
 	center := rng.Intn(n)
-	g.TruncatedBFS(center, int32(n), func(v, _ int32) {
+	graph.NewBFSScratch(n).TruncatedBFS(g, center, int32(n), func(v, _ int32) {
 		if f.NumVertices() < k && !avoid[int(v)] {
 			f.AddVertex(int(v))
 		}

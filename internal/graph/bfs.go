@@ -22,8 +22,13 @@ func (g *Graph) BFS(src int) []int32 {
 
 // TruncatedBFS explores vertices at distance at most radius from src and
 // calls visit(v, d) once per discovered vertex (including src at d=0) in
-// nondecreasing order of d. It allocates O(visited) rather than O(n) when
-// the caller supplies a reusable scratch; see NewBFSScratch.
+// nondecreasing order of d.
+//
+// This convenience wrapper allocates a fresh O(n) BFSScratch per call and
+// is intended for tests and one-off exploration only. Production callers
+// run many small-ball searches and must hold a BFSScratch and call its
+// TruncatedBFS method, which resets only the vertices the previous run
+// touched.
 func (g *Graph) TruncatedBFS(src int, radius int32, visit func(v, d int32)) {
 	s := NewBFSScratch(g.NumVertices())
 	s.TruncatedBFS(g, src, radius, visit)

@@ -1,0 +1,154 @@
+package graph
+
+// SketchSolver is reusable scratch for the query-time sketch graphs
+// H(s,t,F): an adjacency-arc weighted multigraph plus the Dijkstra state
+// (distance, parent and heap arrays) needed to solve it. A decode builds
+// thousands of tiny sketch graphs over a query stream; constructing a
+// fresh Weighted plus fresh Dijkstra arrays for each one dominates the
+// decode's allocation profile, so the solver keeps every array and is
+// Reset between uses, growing to the largest sketch it has seen.
+//
+// The arc layout and the search mirror Weighted.ShortestPath exactly —
+// same insertion order, same heap discipline, same stale-entry skip — so
+// equal-weight tie-breaking (and hence traced paths) are bit-identical
+// to the unpooled path. A SketchSolver is not safe for concurrent use.
+type SketchSolver struct {
+	head   []int32 // per-vertex head of the arc list, -1 terminated
+	next   []int32 // arc -> next arc of the same vertex
+	to     []int32 // arc -> target vertex
+	wt     []int64 // arc -> weight
+	dist   []int64
+	parent []int32
+	pq     []distEntry
+	n      int
+}
+
+// Reset prepares the solver for a sketch graph on n vertices, dropping
+// all previously added edges but keeping every backing array.
+func (s *SketchSolver) Reset(n int) {
+	s.n = n
+	if cap(s.head) < n {
+		s.head = make([]int32, n)
+		s.dist = make([]int64, n)
+		s.parent = make([]int32, n)
+	}
+	s.head = s.head[:n]
+	s.dist = s.dist[:n]
+	s.parent = s.parent[:n]
+	for i := range s.head {
+		s.head[i] = -1
+	}
+	s.next = s.next[:0]
+	s.to = s.to[:0]
+	s.wt = s.wt[:0]
+	s.pq = s.pq[:0]
+}
+
+// AddEdge inserts the undirected edge (u,v) with the given nonnegative
+// weight. Same contract as Weighted.AddEdge.
+func (s *SketchSolver) AddEdge(u, v int, weight int64) {
+	if weight < 0 {
+		panic("graph: negative edge weight")
+	}
+	if u < 0 || u >= s.n || v < 0 || v >= s.n {
+		panic("graph: weighted edge endpoint out of range")
+	}
+	s.addArc(u, v, weight)
+	s.addArc(v, u, weight)
+}
+
+func (s *SketchSolver) addArc(u, v int, weight int64) {
+	s.next = append(s.next, s.head[u])
+	s.to = append(s.to, int32(v))
+	s.wt = append(s.wt, weight)
+	s.head[u] = int32(len(s.to) - 1)
+}
+
+// ShortestPath returns d(src,dst), or WeightedInfinity when dst is
+// unreachable. The search settles vertices exactly as
+// Weighted.ShortestPath does and terminates once dst is settled; the
+// parent tree of the settled region remains available to PathTo until
+// the next Reset or ShortestPath call.
+func (s *SketchSolver) ShortestPath(src, dst int) int64 {
+	for i := range s.dist {
+		s.dist[i] = WeightedInfinity
+		s.parent[i] = -1
+	}
+	s.pq = s.pq[:0]
+	s.dist[src] = 0
+	s.push(distEntry{v: int32(src), d: 0})
+	for len(s.pq) > 0 {
+		e := s.pop()
+		if e.d != s.dist[e.v] {
+			continue // stale entry
+		}
+		if int(e.v) == dst {
+			return s.dist[dst]
+		}
+		for arc := s.head[e.v]; arc != -1; arc = s.next[arc] {
+			t, nd := s.to[arc], e.d+s.wt[arc]
+			if s.dist[t] == WeightedInfinity || nd < s.dist[t] {
+				s.dist[t] = nd
+				s.parent[t] = e.v
+				s.push(distEntry{v: t, d: nd})
+			}
+		}
+	}
+	return s.dist[dst]
+}
+
+// PathTo appends the shortest path src..dst found by the last
+// ShortestPath call onto out and returns it. It must only be called when
+// that search reached dst.
+func (s *SketchSolver) PathTo(src, dst int, out []int32) []int32 {
+	start := len(out)
+	for v := int32(dst); v != int32(src); v = s.parent[v] {
+		out = append(out, v)
+	}
+	out = append(out, int32(src))
+	for i, j := start, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// push and pop replicate container/heap's up/down on a min-heap ordered
+// by distance, so the pop order — and therefore every tie-break — is
+// identical to the heap the unpooled Dijkstra uses.
+func (s *SketchSolver) push(e distEntry) {
+	s.pq = append(s.pq, e)
+	j := len(s.pq) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s.pq[j].d >= s.pq[i].d {
+			break
+		}
+		s.pq[i], s.pq[j] = s.pq[j], s.pq[i]
+		j = i
+	}
+}
+
+func (s *SketchSolver) pop() distEntry {
+	n := len(s.pq) - 1
+	s.pq[0], s.pq[n] = s.pq[n], s.pq[0]
+	// sift down over pq[:n], mirroring container/heap.down.
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s.pq[j2].d < s.pq[j1].d {
+			j = j2
+		}
+		if s.pq[j].d >= s.pq[i].d {
+			break
+		}
+		s.pq[i], s.pq[j] = s.pq[j], s.pq[i]
+		i = j
+	}
+	e := s.pq[n]
+	s.pq = s.pq[:n]
+	return e
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSketchSolverMatchesWeighted checks the reusable solver against
+// Weighted.ShortestPath on random multigraphs: identical distances AND
+// identical paths — the solver's heap must replicate container/heap's
+// tie-breaking exactly, or traced routes drift between the pooled and
+// unpooled decode paths.
+func TestSketchSolverMatchesWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s SketchSolver
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		m := rng.Intn(3 * n)
+		type edge struct {
+			u, v int
+			w    int64
+		}
+		edges := make([]edge, 0, m)
+		for i := 0; i < m; i++ {
+			// Duplicate pairs on purpose: H is a multigraph, and small
+			// weight ranges force ties that expose heap-order divergence.
+			edges = append(edges, edge{rng.Intn(n), rng.Intn(n), int64(rng.Intn(4))})
+		}
+		w := NewWeighted(n)
+		s.Reset(n)
+		for _, e := range edges {
+			if e.u == e.v {
+				continue
+			}
+			w.AddEdge(e.u, e.v, e.w)
+			s.AddEdge(e.u, e.v, e.w)
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+		wantD, wantPath := w.ShortestPath(src, dst)
+		gotD := s.ShortestPath(src, dst)
+		if gotD != wantD {
+			t.Fatalf("trial %d: dist(%d,%d) = %d, Weighted says %d", trial, src, dst, gotD, wantD)
+		}
+		if wantD == WeightedInfinity {
+			continue
+		}
+		gotPath := s.PathTo(src, dst, nil)
+		if len(gotPath) != len(wantPath) {
+			t.Fatalf("trial %d: path length %d vs %d", trial, len(gotPath), len(wantPath))
+		}
+		for i := range gotPath {
+			if int(gotPath[i]) != wantPath[i] {
+				t.Fatalf("trial %d: path[%d] = %d, Weighted says %d (tie-break divergence)",
+					trial, i, gotPath[i], wantPath[i])
+			}
+		}
+	}
+}
+
+// TestSketchSolverReuse verifies Reset fully isolates runs: a big graph
+// followed by a small one must not leak arcs or distances.
+func TestSketchSolverReuse(t *testing.T) {
+	var s SketchSolver
+	s.Reset(10)
+	for i := 0; i < 9; i++ {
+		s.AddEdge(i, i+1, 1)
+	}
+	if d := s.ShortestPath(0, 9); d != 9 {
+		t.Fatalf("path graph dist = %d, want 9", d)
+	}
+	s.Reset(3)
+	s.AddEdge(0, 1, 5)
+	if d := s.ShortestPath(0, 2); d != WeightedInfinity {
+		t.Fatalf("disconnected dist = %d, want infinity (stale arcs leaked)", d)
+	}
+	s.AddEdge(1, 2, 7)
+	if d := s.ShortestPath(0, 2); d != 12 {
+		t.Fatalf("dist = %d, want 12", d)
+	}
+}
+
+func TestSketchSolverPanics(t *testing.T) {
+	var s SketchSolver
+	s.Reset(2)
+	for _, fn := range []func(){
+		func() { s.AddEdge(0, 1, -1) },
+		func() { s.AddEdge(0, 2, 1) },
+		func() { s.AddEdge(-1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"fsdl/internal/core"
 	"fsdl/internal/graph"
+	"fsdl/internal/lru"
 )
 
 var (
@@ -164,9 +166,18 @@ func Save(w io.Writer, s *core.Scheme, vertices []int) error {
 		if v < 0 || v >= n {
 			return fmt.Errorf("labelstore: vertex %d out of range [0,%d)", v, n)
 		}
-		buf, nbits := s.Label(v).Encode()
-		if err := writeRecord(bw, v, nbits, buf[:(nbits+7)/8]); err != nil {
-			return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
+	}
+	// Extract in parallel chunks via the scheme's bulk API: memory stays
+	// bounded by one chunk of labels while extraction uses every core.
+	const chunk = 256
+	for off := 0; off < len(vertices); off += chunk {
+		part := vertices[off:min(off+chunk, len(vertices))]
+		labels := s.Labels(part)
+		for i, v := range part {
+			buf, nbits := labels[i].Encode()
+			if err := writeRecord(bw, v, nbits, buf[:(nbits+7)/8]); err != nil {
+				return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
+			}
 		}
 	}
 	return bw.Flush()
@@ -176,22 +187,46 @@ func Save(w io.Writer, s *core.Scheme, vertices []int) error {
 // center — the "download the data structure for your region" bundle.
 func SaveRegion(w io.Writer, s *core.Scheme, center int, radius int32) error {
 	var region []int
-	s.Graph().TruncatedBFS(center, radius, func(v, _ int32) {
+	sc := graph.NewBFSScratch(s.Graph().NumVertices())
+	sc.TruncatedBFS(s.Graph(), center, radius, func(v, _ int32) {
 		region = append(region, int(v))
 	})
 	return Save(w, s, region)
 }
 
 // Store is a loaded label container. Labels are kept serialized and
-// decoded on demand, so a Store costs what the file costs.
+// decoded on demand, so a Store costs what the file costs; a small
+// sharded LRU keeps the hottest decoded labels (query endpoints, popular
+// fault sets) from being re-decoded on every query.
 type Store struct {
 	n      int
 	labels map[int32]record
+
+	cache       *lru.Cache[int32, *core.Label]
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 type record struct {
 	bits int
 	data []byte
+}
+
+// DefaultDecodedCacheSize bounds the decoded-label LRU of a Store.
+const DefaultDecodedCacheSize = 1024
+
+func newStore(n int, count uint64) *Store {
+	return &Store{
+		n:      n,
+		labels: make(map[int32]record, count),
+		cache:  lru.New[int32, *core.Label](DefaultDecodedCacheSize, 8, func(k int32) uint64 { return lru.HashU32(uint32(k)) }),
+	}
+}
+
+// LabelCacheStats reports the decoded-label cache's cumulative hit/miss
+// counts.
+func (st *Store) LabelCacheStats() (hits, misses int64) {
+	return st.cacheHits.Load(), st.cacheMisses.Load()
 }
 
 // Load reads a store produced by Save (either container version). It is
@@ -203,7 +238,7 @@ func Load(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Store{n: int(n), labels: make(map[int32]record, count)}
+	st := newStore(int(n), count)
 	for i := uint64(0); i < count; i++ {
 		v, rec, crcOK, err := readRecord(br, n, version == 2)
 		if err != nil {
@@ -252,7 +287,7 @@ func LoadPartial(r io.Reader) (*Store, *SalvageReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	st := &Store{n: int(n), labels: make(map[int32]record, count)}
+	st := newStore(int(n), count)
 	rep := &SalvageReport{Version: version, Total: int(count)}
 	for i := uint64(0); i < count; i++ {
 		v, rec, crcOK, err := readRecord(br, n, version == 2)
@@ -271,7 +306,7 @@ func LoadPartial(r io.Reader) (*Store, *SalvageReport, error) {
 		st.labels[int32(v)] = rec
 		rep.Kept++
 	}
-	sort.Slice(rep.Corrupt, func(i, j int) bool { return rep.Corrupt[i] < rep.Corrupt[j] })
+	slices.Sort(rep.Corrupt)
 	return st, rep, nil
 }
 
@@ -296,13 +331,25 @@ func (st *Store) SizeBits() int64 {
 	return total
 }
 
-// Label decodes the label of v.
+// Label decodes the label of v, serving repeated lookups from the
+// decoded-label cache. The returned label is shared and must not be
+// mutated.
 func (st *Store) Label(v int) (*core.Label, error) {
+	if l, ok := st.cache.Get(int32(v)); ok {
+		st.cacheHits.Add(1)
+		return l, nil
+	}
 	rec, ok := st.labels[int32(v)]
 	if !ok {
 		return nil, fmt.Errorf("labelstore: no label for vertex %d", v)
 	}
-	return core.DecodeLabel(rec.data, rec.bits)
+	l, err := core.DecodeLabel(rec.data, rec.bits)
+	if err != nil {
+		return nil, err
+	}
+	st.cacheMisses.Add(1)
+	st.cache.Put(int32(v), l)
+	return l, nil
 }
 
 // Distance answers the forbidden-set query (src, dst, F) from stored
@@ -365,7 +412,7 @@ func (st *Store) DistanceRobust(src, dst int, faults *graph.FaultSet, budget int
 	}
 	q := &core.Query{S: ls, T: lt, Budget: budget}
 	fv := faults.Vertices()
-	sort.Ints(fv)
+	slices.Sort(fv)
 	for _, f := range fv {
 		lf, err := st.Label(f)
 		if err != nil {
@@ -375,11 +422,11 @@ func (st *Store) DistanceRobust(src, dst int, faults *graph.FaultSet, budget int
 		q.VertexFaults = append(q.VertexFaults, lf)
 	}
 	edges := faults.Edges()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i][0] != edges[j][0] {
-			return edges[i][0] < edges[j][0]
+	slices.SortFunc(edges, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
 		}
-		return edges[i][1] < edges[j][1]
+		return a[1] - b[1]
 	})
 	for _, e := range edges {
 		la, errA := st.Label(e[0])
@@ -401,7 +448,7 @@ func Merge(stores ...*Store) (*Store, error) {
 	if len(stores) == 0 {
 		return nil, fmt.Errorf("labelstore: nothing to merge")
 	}
-	out := &Store{n: stores[0].n, labels: map[int32]record{}}
+	out := newStore(stores[0].n, 0)
 	for si, st := range stores {
 		if st.n != out.n {
 			return nil, fmt.Errorf("labelstore: store %d has n=%d, want %d", si, st.n, out.n)
@@ -455,7 +502,7 @@ func (st *Store) Save(w io.Writer) error {
 	for v := range st.labels {
 		ids = append(ids, int(v))
 	}
-	sort.Ints(ids)
+	slices.Sort(ids)
 	for _, v := range ids {
 		rec := st.labels[int32(v)]
 		if err := writeRecord(bw, v, rec.bits, rec.data); err != nil {

@@ -1,0 +1,140 @@
+package lru
+
+import (
+	"sync"
+	"testing"
+)
+
+func newTest(capacity, nshards int) *Cache[int, string] {
+	return New[int, string](capacity, nshards, func(k int) uint64 { return HashU32(uint32(k)) })
+}
+
+func TestGetPutEvictLRUOrder(t *testing.T) {
+	c := New[int, string](3, 1, func(k int) uint64 { return 0 }) // one shard: exact LRU order
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Put(3, "c")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	c.Put(4, "d") // evicts 2, the least recently used
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%d should survive", k)
+		}
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := newTest(4, 2)
+	c.Put(7, "old")
+	c.Put(7, "new")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get(7); v != "new" {
+		t.Errorf("Get = %q, want new", v)
+	}
+}
+
+func TestZeroCapacityDisabled(t *testing.T) {
+	c := newTest(0, 4)
+	c.Put(1, "x")
+	if _, ok := c.Get(1); ok {
+		t.Error("disabled cache must miss")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache[int, string]
+	c.Put(1, "x")
+	if _, ok := c.Get(1); ok {
+		t.Error("nil cache must miss")
+	}
+	if c.Len() != 0 || c.ShardLens() != nil {
+		t.Error("nil cache must report empty")
+	}
+	c.Flush() // must not panic
+}
+
+func TestFlush(t *testing.T) {
+	c := newTest(16, 4)
+	for i := 0; i < 10; i++ {
+		c.Put(i, "v")
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Errorf("Len after Flush = %d", c.Len())
+	}
+	if _, ok := c.Get(3); ok {
+		t.Error("Get after Flush should miss")
+	}
+}
+
+func TestShardLens(t *testing.T) {
+	c := newTest(1024, 8)
+	for i := 0; i < 256; i++ {
+		c.Put(i, "v")
+	}
+	lens := c.ShardLens()
+	if len(lens) != 8 {
+		t.Fatalf("ShardLens has %d entries, want 8", len(lens))
+	}
+	total, used := 0, 0
+	for _, n := range lens {
+		total += n
+		if n > 0 {
+			used++
+		}
+	}
+	if total != 256 {
+		t.Errorf("shard total = %d, want 256", total)
+	}
+	if used < 4 {
+		t.Errorf("only %d/8 shards used — HashU32 spreads badly", used)
+	}
+}
+
+func TestCapacitySplitAcrossShards(t *testing.T) {
+	c := newTest(8, 4) // 2 per shard
+	for i := 0; i < 100; i++ {
+		c.Put(i, "v")
+	}
+	if c.Len() > 8 {
+		t.Errorf("Len = %d exceeds capacity 8", c.Len())
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := newTest(128, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := (w*31 + i) % 200
+				switch i % 4 {
+				case 0:
+					c.Put(k, "v")
+				case 3:
+					if i%100 == 99 {
+						c.Flush()
+					}
+				default:
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 128+8 {
+		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}

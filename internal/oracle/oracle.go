@@ -12,7 +12,6 @@ package oracle
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"fsdl/internal/core"
@@ -43,31 +42,23 @@ func BuildStatic(g *graph.Graph, epsilon float64) (*Static, error) {
 		bits:    make([]int, n),
 	}
 	s.SetCacheLimit(0)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	// Extract through the scheme's bulk API (parallel, pooled BFS
+	// scratch), one chunk at a time so only a chunk's worth of decoded
+	// labels is ever live alongside the encoded table.
+	const chunk = 512
+	vs := make([]int, 0, chunk)
+	for base := 0; base < n; base += chunk {
+		hi := min(base+chunk, n)
+		vs = vs[:0]
+		for v := base; v < hi; v++ {
+			vs = append(vs, v)
+		}
+		for i, l := range s.Labels(vs) {
+			buf, nbits := l.Encode()
+			o.labels[base+i] = buf
+			o.bits[base+i] = nbits
+		}
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for v := range next {
-				buf, nbits := s.Label(v).Encode()
-				o.labels[v] = buf
-				o.bits[v] = nbits
-			}
-		}()
-	}
-	for v := 0; v < n; v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
 	return o, nil
 }
 
@@ -140,7 +131,11 @@ func (o *Static) Distance(u, v int, faults *graph.FaultSet) (int64, bool, error)
 		}
 		q.EdgeFaults = append(q.EdgeFaults, [2]*core.Label{la, lb})
 	}
-	d, ok := q.Distance()
+	// Decode through the pooled decoder: steady-state queries reuse one
+	// warmed-up scratch instead of allocating per call.
+	dec := core.NewDecoder()
+	d, ok := dec.Distance(q)
+	dec.Release()
 	return d, ok, nil
 }
 

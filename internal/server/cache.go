@@ -1,9 +1,6 @@
 package server
 
-import (
-	"container/list"
-	"sync"
-)
+import "fsdl/internal/lru"
 
 // cacheKey identifies one answered query: the endpoint pair plus a hash
 // of the canonical (sorted) effective fault set and work budget. Keys
@@ -16,110 +13,33 @@ type cacheKey struct {
 	fhash uint64
 }
 
-// resultCache is a sharded LRU over query answers. Each shard has its
-// own lock, list and map, so concurrent readers on different shards
-// never contend.
+// resultCache is the sharded LRU over query answers, backed by the
+// generic lru.Cache. The shard hash mixes the pair ids into the fault
+// hash so grids of sequential queries spread across shards.
 type resultCache struct {
-	shards []cacheShard
-	perCap int // capacity per shard
-}
-
-type cacheShard struct {
-	mu    sync.Mutex
-	order *list.List // front = most recent
-	byKey map[cacheKey]*list.Element
-}
-
-type cacheEntry struct {
-	key cacheKey
-	ans Answer
+	c *lru.Cache[cacheKey, Answer]
 }
 
 // newResultCache builds a cache with the given total capacity spread
 // over nshards shards. capacity <= 0 disables caching (every Get
 // misses, every Put is dropped).
 func newResultCache(capacity, nshards int) *resultCache {
-	if nshards < 1 {
-		nshards = 1
-	}
-	perCap := 0
-	if capacity > 0 {
-		perCap = (capacity + nshards - 1) / nshards
-	}
-	c := &resultCache{shards: make([]cacheShard, nshards), perCap: perCap}
-	for i := range c.shards {
-		c.shards[i].order = list.New()
-		c.shards[i].byKey = make(map[cacheKey]*list.Element)
-	}
-	return c
-}
-
-func (c *resultCache) shard(k cacheKey) *cacheShard {
-	// Mix the pair ids into the fault hash so grids of sequential
-	// queries spread across shards.
-	h := k.fhash ^ (uint64(uint32(k.s)) * 0x9e3779b97f4a7c15) ^ (uint64(uint32(k.t)) * 0xc2b2ae3d27d4eb4f)
-	return &c.shards[h%uint64(len(c.shards))]
+	return &resultCache{c: lru.New[cacheKey, Answer](capacity, nshards, func(k cacheKey) uint64 {
+		return k.fhash ^ (uint64(uint32(k.s)) * 0x9e3779b97f4a7c15) ^ (uint64(uint32(k.t)) * 0xc2b2ae3d27d4eb4f)
+	})}
 }
 
 // Get returns the cached answer for k, if present, and marks it most
 // recently used.
-func (c *resultCache) Get(k cacheKey) (Answer, bool) {
-	if c.perCap == 0 {
-		return Answer{}, false
-	}
-	sh := c.shard(k)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	el, ok := sh.byKey[k]
-	if !ok {
-		return Answer{}, false
-	}
-	sh.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).ans, true
-}
+func (c *resultCache) Get(k cacheKey) (Answer, bool) { return c.c.Get(k) }
 
 // Put stores the answer for k, evicting the least recently used entry
 // of the shard when it is full.
-func (c *resultCache) Put(k cacheKey, ans Answer) {
-	if c.perCap == 0 {
-		return
-	}
-	sh := c.shard(k)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if el, ok := sh.byKey[k]; ok {
-		el.Value.(*cacheEntry).ans = ans
-		sh.order.MoveToFront(el)
-		return
-	}
-	for sh.order.Len() >= c.perCap {
-		last := sh.order.Back()
-		sh.order.Remove(last)
-		delete(sh.byKey, last.Value.(*cacheEntry).key)
-	}
-	sh.byKey[k] = sh.order.PushFront(&cacheEntry{key: k, ans: ans})
-}
+func (c *resultCache) Put(k cacheKey, ans Answer) { c.c.Put(k, ans) }
 
 // Flush drops every entry — called on fail/recover, because the global
 // fault overlay is folded into every key's fault set.
-func (c *resultCache) Flush() {
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		sh.order.Init()
-		sh.byKey = make(map[cacheKey]*list.Element)
-		sh.mu.Unlock()
-	}
-}
+func (c *resultCache) Flush() { c.c.Flush() }
 
 // Len returns the number of cached entries across all shards.
-func (c *resultCache) Len() int {
-	n := 0
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		n += sh.order.Len()
-		sh.mu.Unlock()
-	}
-	return n
-}
+func (c *resultCache) Len() int { return c.c.Len() }

@@ -96,8 +96,8 @@ func TestCacheShardSpread(t *testing.T) {
 		c.Put(cacheKey{s: int32(i), t: int32(i + 1), fhash: uint64(i)}, Answer{})
 	}
 	used := 0
-	for i := range c.shards {
-		if c.shards[i].order.Len() > 0 {
+	for _, n := range c.c.ShardLens() {
+		if n > 0 {
 			used++
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"fsdl/internal/core"
 	"fsdl/internal/stats"
 )
 
@@ -80,9 +81,10 @@ func (m *metrics) hitRate() float64 {
 	return float64(h) / float64(h+mi)
 }
 
-// render writes the Prometheus text exposition. cacheLen is sampled by
-// the caller (the cache knows its size, the metrics don't).
-func (m *metrics) render(sb *strings.Builder, cacheLen int) {
+// render writes the Prometheus text exposition. cacheLen, the
+// label-cache counters and the decoder-pool stats are sampled by the
+// caller (those live with the store and the core pool, not here).
+func (m *metrics) render(sb *strings.Builder, cacheLen int, labelHits, labelMisses int64, pool core.DecoderPoolStats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -106,6 +108,17 @@ func (m *metrics) render(sb *strings.Builder, cacheLen int) {
 	counter("fsdl_cache_flushes_total", "Cache invalidations caused by fail/recover.", m.cacheFlushes.Load())
 	gauge("fsdl_cache_entries", "Entries currently cached.", int64(cacheLen))
 	fmt.Fprintf(sb, "# HELP fsdl_cache_hit_rate Hit fraction over all lookups.\n# TYPE fsdl_cache_hit_rate gauge\nfsdl_cache_hit_rate %g\n", m.hitRate())
+
+	counter("fsdl_label_cache_hits_total", "Decoded-label cache hits in the store.", labelHits)
+	counter("fsdl_label_cache_misses_total", "Decoded-label cache misses (label decoded from bytes).", labelMisses)
+	labelRate := 0.0
+	if labelHits+labelMisses > 0 {
+		labelRate = float64(labelHits) / float64(labelHits+labelMisses)
+	}
+	fmt.Fprintf(sb, "# HELP fsdl_label_cache_hit_rate Label-cache hit fraction over all lookups.\n# TYPE fsdl_label_cache_hit_rate gauge\nfsdl_label_cache_hit_rate %g\n", labelRate)
+
+	counter("fsdl_decoder_pool_gets_total", "Decode-scratch checkouts from the shared pool.", pool.Gets)
+	counter("fsdl_decoder_pool_news_total", "Checkouts that had to allocate a fresh scratch (gets minus news = reuses).", pool.News)
 
 	counter("fsdl_degraded_answers_total", "Answers that fell back to conservative upper bounds.", m.degraded.Load())
 	counter("fsdl_budget_exhausted_total", "Answers whose work budget truncated the sketch.", m.budgetExhausted.Load())

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -241,17 +241,17 @@ func faultHash(f *graph.FaultSet, budget int) uint64 {
 		h.Write(buf[:])
 	}
 	vs := f.Vertices()
-	sort.Ints(vs)
+	slices.Sort(vs)
 	put(uint64(len(vs)))
 	for _, v := range vs {
 		put(uint64(v))
 	}
 	es := f.Edges()
-	sort.Slice(es, func(i, j int) bool {
-		if es[i][0] != es[j][0] {
-			return es[i][0] < es[j][0]
+	slices.SortFunc(es, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
 		}
-		return es[i][1] < es[j][1]
+		return a[1] - b[1]
 	})
 	put(uint64(len(es)))
 	for _, e := range es {
@@ -275,7 +275,7 @@ type faultTemplate struct {
 func (s *Server) decodeFaults(f *graph.FaultSet) *faultTemplate {
 	t := &faultTemplate{}
 	fv := f.Vertices()
-	sort.Ints(fv)
+	slices.Sort(fv)
 	for _, v := range fv {
 		lf, err := s.store.Label(v)
 		if err != nil {
@@ -285,11 +285,11 @@ func (s *Server) decodeFaults(f *graph.FaultSet) *faultTemplate {
 		t.vertexFaults = append(t.vertexFaults, lf)
 	}
 	es := f.Edges()
-	sort.Slice(es, func(i, j int) bool {
-		if es[i][0] != es[j][0] {
-			return es[i][0] < es[j][0]
+	slices.SortFunc(es, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
 		}
-		return es[i][1] < es[j][1]
+		return a[1] - b[1]
 	})
 	for _, e := range es {
 		la, errA := s.store.Label(e[0])
@@ -359,23 +359,12 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 	n := s.store.NumVertices()
 	answers := make([]Answer, len(pairs))
 	var tmpl *faultTemplate // decoded lazily: an all-hit batch decodes nothing
-	endpointLabels := make(map[int]*core.Label)
-	endpointErrs := make(map[int]error)
-	label := func(v int) (*core.Label, error) {
-		if err, bad := endpointErrs[v]; bad {
-			return nil, err
-		}
-		if l, ok := endpointLabels[v]; ok {
-			return l, nil
-		}
-		l, err := s.store.Label(v)
-		if err != nil {
-			endpointErrs[v] = err
-			return nil, err
-		}
-		endpointLabels[v] = l
-		return l, nil
-	}
+	// One pooled decoder serves the whole batch: every miss reuses the
+	// same warmed-up scratch. Endpoint labels come straight from the
+	// store, whose decoded-label LRU replaces the per-batch memo maps
+	// this loop used to allocate.
+	var dec core.Decoder
+	defer dec.Release()
 
 	for i, p := range pairs {
 		src, dst := p[0], p[1]
@@ -402,10 +391,10 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 			continue
 		}
 		s.met.cacheMisses.Add(1)
-		ls, err := label(src)
+		ls, err := s.store.Label(src)
 		if err == nil {
 			var lt *core.Label
-			if lt, err = label(dst); err == nil {
+			if lt, err = s.store.Label(dst); err == nil {
 				if tmpl == nil {
 					tmpl = s.decodeFaults(faults)
 				}
@@ -417,7 +406,7 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 					DegradedEdgeFaults:   tmpl.degradedEdges,
 					Budget:               budget,
 				}
-				res := q.DistanceRobust()
+				res := dec.DistanceRobust(q)
 				a.Connected = res.OK
 				a.Dist = res.Dist
 				a.Degraded = res.Degraded
@@ -572,12 +561,12 @@ func (s *Server) Snapshot() State {
 	ov := s.overlay.Vertices()
 	oe := s.overlay.Edges()
 	s.overlayMu.RUnlock()
-	sort.Ints(ov)
-	sort.Slice(oe, func(i, j int) bool {
-		if oe[i][0] != oe[j][0] {
-			return oe[i][0] < oe[j][0]
+	slices.Sort(ov)
+	slices.SortFunc(oe, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
 		}
-		return oe[i][1] < oe[j][1]
+		return a[1] - b[1]
 	})
 	st := State{
 		N:               s.store.NumVertices(),
@@ -601,6 +590,7 @@ func (s *Server) Snapshot() State {
 // Metrics renders the Prometheus text exposition.
 func (s *Server) Metrics() string {
 	var sb strings.Builder
-	s.met.render(&sb, s.cache.Len())
+	labelHits, labelMisses := s.store.LabelCacheStats()
+	s.met.render(&sb, s.cache.Len(), labelHits, labelMisses, core.DecoderPool())
 	return sb.String()
 }

@@ -500,6 +500,11 @@ func TestHTTPEndpoints(t *testing.T) {
 		"fsdl_cache_hits_total",
 		"fsdl_cache_hit_rate",
 		"fsdl_cache_flushes_total 2",
+		"fsdl_label_cache_hits_total",
+		"fsdl_label_cache_misses_total",
+		"fsdl_label_cache_hit_rate",
+		"fsdl_decoder_pool_gets_total",
+		"fsdl_decoder_pool_news_total",
 		fmt.Sprintf("fsdl_salvage_records_kept %d", st.NumLabels()),
 		"fsdl_request_seconds_bucket",
 		"fsdl_inflight 0",
