@@ -42,6 +42,25 @@ func BenchmarkBuildScheme(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildSchemeParallel measures the worker-pool preprocessing
+// pipeline on a large grid (the per-level greedy passes and the global
+// (level, net-point) BFS queue both scale with workers; output is
+// bit-identical for any count — see TestParallelBuildDeterminism).
+func BenchmarkBuildSchemeParallel(b *testing.B) {
+	g := fsdl.GridGraph2D(64, 64)
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fsdl.BuildWithWorkers(g, 2, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLabelLengthVsN is the E1 kernel: label extraction + encoding at
 // growing n; the label-bits metric is the experiment's measurement.
 func BenchmarkLabelLengthVsN(b *testing.B) {

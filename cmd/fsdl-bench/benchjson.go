@@ -57,8 +57,10 @@ func measure(name string, fn func(b *testing.B)) benchResult {
 }
 
 // runJSON executes the suite and writes the document to path ("-" for
-// stdout). quick shrinks instance sizes so CI smoke runs stay fast.
-func runJSON(path string, quick bool, log io.Writer) error {
+// stdout). quick shrinks instance sizes so CI smoke runs stay fast. When
+// baseline names a previously committed document, the run fails if any
+// kernel's allocs/op regressed against it.
+func runJSON(path string, quick bool, baseline string, log io.Writer) error {
 	side := 24
 	if quick {
 		side = 12
@@ -78,11 +80,22 @@ func runJSON(path string, quick bool, log io.Writer) error {
 		fmt.Fprintf(log, "%-28s %12.0f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
 	}
 
-	// 1. Preprocessing: net hierarchy + level store.
-	add(measure(fmt.Sprintf("build_scheme_grid%d", side), func(b *testing.B) {
+	// 1. Preprocessing: net hierarchy + level store, serial and with the
+	// full worker pool. On a 1-CPU host the two coincide; the determinism
+	// contract (identical scheme bytes for any worker count) is what the
+	// tests enforce, so both entries measure the same output.
+	add(measure(fmt.Sprintf("build_scheme_grid%d_w1", side), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.BuildScheme(g, 2); err != nil {
+			if _, err := core.BuildSchemeWorkers(g, 2, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure(fmt.Sprintf("build_scheme_grid%d_wmax", side), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BuildSchemeWorkers(g, 2, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -177,10 +190,62 @@ func runJSON(path string, quick bool, log io.Writer) error {
 	}
 	out = append(out, '\n')
 	if path == "-" {
-		_, err = log.Write(out)
+		if _, err := log.Write(out); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(path, out, 0o644)
+	if baseline != "" {
+		return checkBaseline(doc, baseline, log)
+	}
+	return nil
+}
+
+// checkBaseline compares the run's allocs/op against a committed baseline
+// document and fails on regression. Only kernels present in both documents
+// are compared, so adding or renaming kernels never breaks the gate.
+// Allocation counts are deterministic (unlike wall-clock), which makes
+// this the one bench metric CI can gate on across heterogeneous runners;
+// the slack (25% + 8) absorbs Go-runtime variation between toolchains.
+func checkBaseline(doc benchDoc, path string, log io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	var regressions []string
+	compared := 0
+	for _, r := range doc.Results {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		limit := int64(float64(b.AllocsPerOp)*1.25) + 8
+		if r.AllocsPerOp > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op (baseline %d, limit %d)", r.Name, r.AllocsPerOp, b.AllocsPerOp, limit))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s: no kernel names in common (schema drift?)", path)
+	}
+	if len(regressions) > 0 {
+		for _, s := range regressions {
+			fmt.Fprintln(log, "ALLOC REGRESSION", s)
+		}
+		return fmt.Errorf("%d allocation regression(s) vs %s", len(regressions), path)
+	}
+	fmt.Fprintf(log, "baseline %s: %d kernels compared, no allocation regressions\n", path, compared)
+	return nil
 }
 
 // sliceBuffer is a minimal in-memory io.ReadWriter (avoids bytes.Buffer

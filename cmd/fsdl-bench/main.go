@@ -3,15 +3,16 @@
 //
 // Usage:
 //
-//	fsdl-bench [-exp E1|E2|...|all] [-quick] [-seed N]
+//	fsdl-bench [-exp E1|E2|...|all] [-quick] [-seed N] [-workers N]
 //	fsdl-bench -chaos [-quick] [-seed N]   # resilience scenario (alias for -exp E15)
-//	fsdl-bench -json PATH [-quick]         # machine-readable perf baseline (see docs/PERFORMANCE.md)
+//	fsdl-bench -json PATH [-quick] [-baseline OLD.json]  # machine-readable perf baseline (see docs/PERFORMANCE.md)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"fsdl/internal/experiments"
@@ -32,11 +33,19 @@ func run(args []string, out *os.File) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	chaos := fs.Bool("chaos", false, "run the chaos/resilience scenario (alias for -exp E15)")
 	jsonPath := fs.String("json", "", "run the perf-baseline suite and write JSON to this path ('-' for stdout)")
+	baseline := fs.String("baseline", "", "with -json: compare allocs/op against this committed baseline and fail on regression")
+	workers := fs.Int("workers", 0, "cap GOMAXPROCS for the whole run (0 = leave as is)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 	if *jsonPath != "" {
-		return runJSON(*jsonPath, *quick, out)
+		return runJSON(*jsonPath, *quick, *baseline, out)
+	}
+	if *baseline != "" {
+		return fmt.Errorf("-baseline requires -json")
 	}
 	if *chaos {
 		if *exp != "all" && !strings.EqualFold(*exp, "E15") {

@@ -10,10 +10,10 @@
 //	fsdl query -in graph.txt -s 0 -t 99 [-eps 2] [-fail 5,17] [-failedge 3-4]
 //	fsdl route -in graph.txt -s 0 -t 99 [-eps 2] [-fail 5,17]
 //	fsdl verify -in graph.txt [-eps 2] [-maxfaults 3]
-//	fsdl labels -in graph.txt -out labels.fsdl [-region 12 -radius 5]
+//	fsdl labels -in graph.txt -out labels.fsdl [-region 12 -radius 5] [-workers N]
 //	fsdl querydb -db labels.fsdl -s 0 -t 99 [-fail 5,17] [-salvage]
 //	fsdl trace -size 12 -s 0 [-fail 60,61,62]
-//	fsdl buildscheme -in graph.txt -out scheme.fsdls [-eps 2]
+//	fsdl buildscheme -in graph.txt -out scheme.fsdls [-eps 2] [-workers N]
 //	fsdl wquery -in roads.gr -s 0 -t 99 [-fail 5,17]
 package main
 
@@ -131,6 +131,7 @@ func cmdLabels(args []string, out io.Writer) error {
 	outPath := fs.String("out", "labels.fsdl", "output label store")
 	region := fs.Int("region", -1, "center vertex of a region bundle (-1 = all labels)")
 	radius := fs.Int("radius", 0, "region radius (with -region)")
+	workers := fs.Int("workers", 0, "preprocessing workers (0 = all CPUs; output is identical for any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,7 +139,7 @@ func cmdLabels(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s, err := fsdl.Build(g, *eps)
+	s, err := fsdl.BuildWithWorkers(g, *eps, *workers)
 	if err != nil {
 		return err
 	}
@@ -440,6 +441,7 @@ func cmdBuildScheme(args []string, out io.Writer) error {
 	in := fs.String("in", "", "graph file (text format; default stdin)")
 	eps := fs.Float64("eps", 2, "precision parameter epsilon")
 	outPath := fs.String("out", "scheme.fsdls", "output scheme file")
+	workers := fs.Int("workers", 0, "preprocessing workers (0 = all CPUs; output is identical for any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -447,7 +449,7 @@ func cmdBuildScheme(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s, err := fsdl.Build(g, *eps)
+	s, err := fsdl.BuildWithWorkers(g, *eps, *workers)
 	if err != nil {
 		return err
 	}

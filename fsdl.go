@@ -110,6 +110,15 @@ func Build(g *Graph, epsilon float64) (*Scheme, error) {
 	return core.BuildScheme(g, epsilon)
 }
 
+// BuildWithWorkers is Build with an explicit worker count for the
+// preprocessing pipeline (≤ 0 means GOMAXPROCS). The net hierarchy's
+// per-level greedy passes and the level store's per-net-point truncated
+// BFS passes run on the pool; the resulting scheme is bit-identical for
+// any worker count.
+func BuildWithWorkers(g *Graph, epsilon float64, workers int) (*Scheme, error) {
+	return core.BuildSchemeWorkers(g, epsilon, workers)
+}
+
 // BuildFailureFree preprocesses g into the failure-free labeling scheme of
 // Section 2.1 with stretch 1+epsilon.
 func BuildFailureFree(g *Graph, epsilon float64) (*FFScheme, error) {

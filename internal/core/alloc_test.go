@@ -72,6 +72,34 @@ func TestDecoderDistanceAllocs(t *testing.T) {
 	}
 }
 
+// TestLabelExtractColdAllocs pins the cache-miss Label path: with the
+// pooled extraction scratch (BFS state, open-addressing inBall, reusable
+// point/edge buffers), a cold extract allocates only what the returned
+// Label retains — the Label, its Levels slice, and up to two exact-size
+// copies per level. An 8×8 grid has 4 levels, so the expected count is
+// ~10; the ≤ 16 bound absorbs pool refills. (Before the scratch pool
+// this path cost 168 allocs / 2.8 MB per extract.)
+func TestLabelExtractColdAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unstable under -race (sync.Pool reuse is randomized)")
+	}
+	g := gridGraph(t, 8, 8)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetCacheLimit(0) // every Label call extracts from scratch
+	s.Label(27)        // warm the pool and size the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		if s.Label(27) == nil {
+			t.Fatal("nil label")
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("cold label extract allocs/op = %g, want <= 16", allocs)
+	}
+}
+
 // TestSchemeLabelAllocs pins the warm-cache Label path: a cache hit must
 // not allocate.
 func TestSchemeLabelAllocs(t *testing.T) {

@@ -121,6 +121,25 @@ func (m *i32map) getOrPut(k, v int32) (int32, bool) {
 	}
 }
 
+// lookup returns the value of k and whether it is present.
+func (m *i32map) lookup(k int32) (int32, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	mask := uint32(len(m.keys) - 1)
+	i := i32hash(k) & mask
+	for {
+		kk := m.keys[i]
+		if kk == 0 {
+			return 0, false
+		}
+		if kk == k+1 {
+			return m.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // get returns the value of k; k must be present.
 func (m *i32map) get(k int32) int32 {
 	mask := uint32(len(m.keys) - 1)

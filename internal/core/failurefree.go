@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"fsdl/internal/bitio"
@@ -78,7 +80,7 @@ func (s *FFScheme) Label(v int) *FFLabel {
 				pts = append(pts, PointEntry{X: w, D: d})
 			}
 		})
-		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		slices.SortFunc(pts, func(a, b PointEntry) int { return cmp.Compare(a.X, b.X) })
 		l.Levels = append(l.Levels, pts)
 	}
 	return l

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"fsdl/internal/bitio"
@@ -162,11 +164,28 @@ func (l *Label) Validate() error {
 	return nil
 }
 
+// extractScratch pools the per-extraction transients: the O(n) BFS state,
+// the ball-membership index (an open-addressing i32map, same style as
+// decodeScratch), and staging buffers for points and edges. All of them
+// grow to the largest label seen and are reused, so a cold extraction
+// allocates only the exact-size slices retained by the returned Label —
+// no per-level map, no append-doubling garbage.
+type extractScratch struct {
+	bfs    *graph.BFSScratch
+	inBall i32map // vertex -> index in the sorted point list
+	pts    []PointEntry
+	edges  []EdgeEntry
+}
+
+func newExtractScratch(n int) *extractScratch {
+	return &extractScratch{bfs: graph.NewBFSScratch(n)}
+}
+
 // extractLabel materializes the label of v from the shared store: one
 // truncated BFS of radius r_ℓ per level discovers the ball (points and
-// their distances); edges are then read off the store's net graph (or, at
-// the lowest level, off the original graph).
-func (st *levelStore) extractLabel(v int, scratch *graph.BFSScratch) *Label {
+// their distances); edges are then read off the store's CSR net graph
+// (or, at the lowest level, off the original graph).
+func (st *levelStore) extractLabel(v int, sc *extractScratch) *Label {
 	p := st.params
 	l := &Label{
 		V:        int32(v),
@@ -176,28 +195,27 @@ func (st *levelStore) extractLabel(v int, scratch *graph.BFSScratch) *Label {
 		RShrink:  p.RShrink,
 		Levels:   make([]LevelLabel, p.NumLevelRange()),
 	}
+	netLevel := st.netLevel
 	for level := p.LowestLevel(); level <= p.MaxLevel; level++ {
 		k := st.levelIndex(level)
 		sl := &st.levels[k]
-		r := p.R(level)
-		var pts []PointEntry
-		inBall := make(map[int32]int32) // vertex -> index in pts
-		scratch.TruncatedBFS(st.g, v, r, func(w, d int32) {
-			if sl.isNet[w] {
-				inBall[w] = int32(len(pts))
+		pts := sc.pts[:0]
+		sc.bfs.TruncatedBFS(st.g, v, p.R(level), func(w, d int32) {
+			if netLevel[w] >= sl.netLvl {
 				pts = append(pts, PointEntry{X: w, D: d})
 			}
 		})
-		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		slices.SortFunc(pts, func(a, b PointEntry) int { return cmp.Compare(a.X, b.X) })
+		sc.inBall.reset()
 		for i, pe := range pts {
-			inBall[pe.X] = int32(i)
+			sc.inBall.getOrPut(pe.X, int32(i))
 		}
-		var edges []EdgeEntry
+		edges := sc.edges[:0]
 		if level == p.LowestLevel() {
 			// Original graph edges with both endpoints inside the ball.
 			for i, pe := range pts {
 				for _, w := range st.g.Neighbors(int(pe.X)) {
-					j, ok := inBall[w]
+					j, ok := sc.inBall.lookup(w)
 					if ok && int32(i) < j {
 						edges = append(edges, EdgeEntry{XI: int32(i), YI: j, D: 1})
 					}
@@ -205,17 +223,29 @@ func (st *levelStore) extractLabel(v int, scratch *graph.BFSScratch) *Label {
 			}
 		} else {
 			for i, pe := range pts {
-				for _, nb := range sl.adj[pe.X] {
-					j, ok := inBall[nb.x]
+				for _, nb := range sl.row(pe.X) {
+					j, ok := sc.inBall.lookup(nb.x)
 					if ok && int32(i) < j {
 						edges = append(edges, EdgeEntry{XI: int32(i), YI: j, D: nb.d})
 					}
 				}
 			}
 		}
-		l.Levels[k] = LevelLabel{Points: pts, Edges: edges}
+		l.Levels[k] = LevelLabel{Points: exactCopy(pts), Edges: exactCopy(edges)}
+		sc.pts, sc.edges = pts[:0], edges[:0]
 	}
 	return l
+}
+
+// exactCopy returns a copy of s sized exactly to its length (nil for
+// empty), so the retained label never pins staging-buffer capacity.
+func exactCopy[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
 }
 
 // Encode serializes the label to a bit string. The encoding is

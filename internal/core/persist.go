@@ -70,16 +70,17 @@ func SaveScheme(w io.Writer, s *Scheme) error {
 		}
 	}
 	// Per-level net graphs.
+	netLevel := s.store.netLevel
 	for li := range s.store.levels {
 		sl := &s.store.levels[li]
-		if sl.adj == nil {
+		if sl.off == nil {
 			continue // lowest level has no net graph
 		}
 		for v := 0; v < n; v++ {
-			if !sl.isNet[v] {
+			if netLevel[v] < sl.netLvl {
 				continue
 			}
-			nbrs := sl.adj[v]
+			nbrs := sl.row(int32(v))
 			if err := writeU(uint64(len(nbrs))); err != nil {
 				return fmt.Errorf("core: write adjacency count: %w", err)
 			}
@@ -190,45 +191,43 @@ func LoadScheme(r io.Reader) (*Scheme, error) {
 		return nil, err
 	}
 
-	st := &levelStore{params: params, g: g, h: h}
+	st := &levelStore{params: params, g: g, h: h, netLevel: h.NetLevels()}
 	for level := params.LowestLevel(); level <= params.MaxLevel; level++ {
-		sl := storeLevel{level: level, isNet: make([]bool, n)}
-		netLvl := clampNetLevel(h, params.NetLevel(level))
-		for _, v := range h.Level(netLvl) {
-			sl.isNet[v] = true
-		}
+		sl := storeLevel{level: level, netLvl: int32(clampNetLevel(h, params.NetLevel(level)))}
 		if level > params.LowestLevel() {
-			sl.adj = make([][]pointDist, n)
+			// The stream lists net points in increasing vertex order, so
+			// the CSR arrays assemble in one pass.
+			off := make([]int64, n+1)
+			var entries []pointDist
 			for v := 0; v < n; v++ {
-				if !sl.isNet[v] {
-					continue
-				}
-				count, err := readU("adjacency count")
-				if err != nil {
-					return nil, err
-				}
-				if count > uint64(n) {
-					return nil, fmt.Errorf("core: adjacency count %d exceeds n", count)
-				}
-				nbrs := make([]pointDist, count)
-				prev := int64(-1)
-				for i := range nbrs {
-					gap, err := readU("adjacency id")
+				if st.netLevel[v] >= sl.netLvl {
+					count, err := readU("adjacency count")
 					if err != nil {
 						return nil, err
 					}
-					prev += int64(gap) + 1
-					d, err := readU("adjacency dist")
-					if err != nil {
-						return nil, err
+					if count > uint64(n) {
+						return nil, fmt.Errorf("core: adjacency count %d exceeds n", count)
 					}
-					if prev >= int64(n) {
-						return nil, fmt.Errorf("core: adjacency id %d out of range", prev)
+					prev := int64(-1)
+					for i := uint64(0); i < count; i++ {
+						gap, err := readU("adjacency id")
+						if err != nil {
+							return nil, err
+						}
+						prev += int64(gap) + 1
+						d, err := readU("adjacency dist")
+						if err != nil {
+							return nil, err
+						}
+						if prev >= int64(n) {
+							return nil, fmt.Errorf("core: adjacency id %d out of range", prev)
+						}
+						entries = append(entries, pointDist{x: int32(prev), d: int32(d)})
 					}
-					nbrs[i] = pointDist{x: int32(prev), d: int32(d)}
 				}
-				sl.adj[v] = nbrs
+				off[v+1] = int64(len(entries))
 			}
+			sl.off, sl.entries = off, entries
 		}
 		st.levels = append(st.levels, sl)
 	}

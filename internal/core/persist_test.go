@@ -43,6 +43,44 @@ func TestSchemeSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSchemeSaveLoadWorkers extends the round trip across the worker
+// pool: a scheme built with a full pool persists to exactly the bytes of
+// the serial build's stream, and survives Load with identical labels.
+func TestSchemeSaveLoadWorkers(t *testing.T) {
+	g := gridGraph(t, 9, 8)
+	serial, err := BuildSchemeWorkers(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := SaveScheme(&want, serial); err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := BuildSchemeWorkers(g, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := SaveScheme(&got, pooled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("4-worker build persists to different bytes than serial (%d vs %d)",
+			got.Len(), want.Len())
+	}
+	loaded, err := LoadScheme(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 35, 71} {
+		a, abits := pooled.Label(v).Encode()
+		b, bbits := loaded.Label(v).Encode()
+		if abits != bbits || !bytes.Equal(a[:(abits+7)/8], b[:(bbits+7)/8]) {
+			t.Fatalf("label %d differs after pooled-build round trip", v)
+		}
+	}
+}
+
 func TestSchemeSaveLoadAblated(t *testing.T) {
 	g := pathGraph(t, 80)
 	s, err := BuildSchemeAblated(g, 2, 2)

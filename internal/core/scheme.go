@@ -59,7 +59,7 @@ func newScheme(g *graph.Graph, h *nets.Hierarchy, params Params, store *levelSto
 	s := &Scheme{g: g, h: h, params: params, store: store}
 	s.cache.Store(newLabelCache(DefaultLabelCacheSize))
 	n := g.NumVertices()
-	s.scratch.New = func() any { return graph.NewBFSScratch(n) }
+	s.scratch.New = func() any { return newExtractScratch(n) }
 	return s
 }
 
@@ -68,6 +68,15 @@ func newScheme(g *graph.Graph, h *nets.Hierarchy, params Params, store *levelSto
 // hierarchy and, per level, one truncated BFS of radius λ_ℓ from each net
 // point.
 func BuildScheme(g *graph.Graph, epsilon float64) (*Scheme, error) {
+	return BuildSchemeWorkers(g, epsilon, 0)
+}
+
+// BuildSchemeWorkers is BuildScheme with an explicit worker count for the
+// preprocessing pipeline (≤ 0 means GOMAXPROCS). Both phases — the net
+// hierarchy and the per-net-point truncated BFS passes of the level store
+// — fan out over the pool; the resulting scheme is bit-identical for any
+// worker count (see TestParallelBuildDeterminism).
+func BuildSchemeWorkers(g *graph.Graph, epsilon float64, workers int) (*Scheme, error) {
 	params, err := NewParams(epsilon, g.NumVertices())
 	if err != nil {
 		return nil, err
@@ -75,11 +84,11 @@ func BuildScheme(g *graph.Graph, epsilon float64) (*Scheme, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	h, err := nets.Build(g)
+	h, err := nets.BuildWorkers(g, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
 	}
-	return newScheme(g, h, params, buildStore(g, h, params)), nil
+	return newScheme(g, h, params, buildStore(g, h, params, workers)), nil
 }
 
 // BuildSchemeAblated is BuildScheme with the RShrink ablation knob: the
@@ -102,7 +111,7 @@ func BuildSchemeAblated(g *graph.Graph, epsilon float64, rShrink int) (*Scheme, 
 	if err != nil {
 		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
 	}
-	return newScheme(g, h, params, buildStore(g, h, params)), nil
+	return newScheme(g, h, params, buildStore(g, h, params, 0)), nil
 }
 
 // Params returns the derived scheme parameters.
@@ -135,7 +144,7 @@ func (s *Scheme) Label(v int) *Label {
 		return l
 	}
 	s.cacheMisses.Add(1)
-	sc := s.scratch.Get().(*graph.BFSScratch)
+	sc := s.scratch.Get().(*extractScratch)
 	l := s.store.extractLabel(v, sc)
 	s.scratch.Put(sc)
 	cache.Put(int32(v), l)
@@ -245,16 +254,12 @@ func (s *Scheme) StoreStats() StoreStats {
 	var out StoreStats
 	for li := range s.store.levels {
 		sl := &s.store.levels[li]
-		ls := LevelStats{Level: sl.level}
-		for v := range sl.isNet {
-			if sl.isNet[v] {
-				ls.NetPoints++
-				if sl.adj != nil {
-					ls.NetEdges += int64(len(sl.adj[v]))
-				}
-			}
+		ls := LevelStats{
+			Level:     sl.level,
+			NetPoints: len(s.h.Level(int(sl.netLvl))),
+			// The packed CSR entries store both directions of every edge.
+			NetEdges: int64(len(sl.entries)) / 2,
 		}
-		ls.NetEdges /= 2 // adjacency stores both directions
 		out.TotalNetEdges += ls.NetEdges
 		out.Levels = append(out.Levels, ls)
 	}

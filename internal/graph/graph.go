@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -133,7 +134,7 @@ func (b *Builder) Build() (*Graph, error) {
 	g := &Graph{offsets: deg, adj: adj}
 	for v := 0; v < b.n; v++ {
 		nb := adj[deg[v]:deg[v+1]]
-		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		slices.Sort(nb)
 		for i := 1; i < len(nb); i++ {
 			if nb[i] == nb[i-1] {
 				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, nb[i])

@@ -13,7 +13,8 @@
 package hub
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"fsdl/internal/bitio"
 	"fsdl/internal/graph"
@@ -47,16 +48,14 @@ func Build(g *graph.Graph) *Labeling {
 	// grids) every vertex ties on degree, and breaking ties by id is
 	// pathological (labels grow linearly on a path); random ranks give
 	// the expected O(log n) prefix-minima structure.
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(order, func(a, b int) int {
+		if da, db := g.Degree(a), g.Degree(b); da != db {
+			return cmp.Compare(db, da)
 		}
-		hi, hj := mix64(uint64(order[i])), mix64(uint64(order[j]))
-		if hi != hj {
-			return hi < hj
+		if ha, hb := mix64(uint64(a)), mix64(uint64(b)); ha != hb {
+			return cmp.Compare(ha, hb)
 		}
-		return order[i] < order[j]
+		return cmp.Compare(a, b)
 	})
 	l := &Labeling{labels: make([][]Entry, n), rankOf: make([]int32, n)}
 	for rank, v := range order {

@@ -11,6 +11,9 @@ package nets
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"fsdl/internal/graph"
 )
@@ -52,6 +55,12 @@ func (h *Hierarchy) WSet(j int) []int32 { return h.wsets[j] }
 // NetLevelOf returns the largest i such that v ∈ N_i.
 func (h *Hierarchy) NetLevelOf(v int) int { return int(h.netLevel[v]) }
 
+// NetLevels returns the per-vertex membership function netLevel[v] =
+// max{i : v ∈ N_i}. The returned slice aliases internal storage and must
+// not be modified; it exists so hot loops can test net membership with a
+// direct comparison instead of per-level boolean arrays.
+func (h *Hierarchy) NetLevels() []int32 { return h.netLevel }
+
 // InNet reports whether v ∈ N_i. Because the nets are nested this is simply
 // NetLevelOf(v) ≥ i.
 func (h *Hierarchy) InNet(v, i int) bool { return int(h.netLevel[v]) >= i }
@@ -68,7 +77,13 @@ func (h *Hierarchy) Nearest(i, v int) (point int, dist int32) {
 // Build constructs the hierarchy for g. The greedy selection scans vertices
 // in increasing vertex order, making the construction deterministic.
 func Build(g *graph.Graph) (*Hierarchy, error) {
-	return BuildWithOrder(g, nil)
+	return BuildWithOrderWorkers(g, nil, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count for the parallel
+// phases (≤ 0 means GOMAXPROCS). The result is identical for any count.
+func BuildWorkers(g *graph.Graph, workers int) (*Hierarchy, error) {
+	return BuildWithOrderWorkers(g, nil, workers)
 }
 
 // BuildWithOrder constructs the hierarchy selecting greedy candidates in the
@@ -76,6 +91,17 @@ func Build(g *graph.Graph) (*Hierarchy, error) {
 // vertex order. Any order yields a valid hierarchy; the order only changes
 // which vertices become net points.
 func BuildWithOrder(g *graph.Graph, order []int) (*Hierarchy, error) {
+	return BuildWithOrderWorkers(g, order, 0)
+}
+
+// BuildWithOrderWorkers is BuildWithOrder on a worker pool. The two
+// expensive phases are embarrassingly parallel across levels — each greedy
+// W(2^j) scan owns a private covered array, and each per-level
+// nearest-net-point pass is one independent MultiSourceBFS — so they fan
+// out over the pool while the greedy scan order within every level stays
+// the deterministic sequential one. Schemes built with different worker
+// counts are identical.
+func BuildWithOrderWorkers(g *graph.Graph, order []int, workers int) (*Hierarchy, error) {
 	n := g.NumVertices()
 	if order != nil {
 		if err := checkPermutation(order, n); err != nil {
@@ -98,36 +124,41 @@ func BuildWithOrder(g *graph.Graph, order []int) (*Hierarchy, error) {
 		return h, nil
 	}
 
-	covered := make([]bool, n)
-	touched := make([]int32, 0, n)
-	scratch := graph.NewBFSScratch(n)
-	for j := 0; j < numLevels; j++ {
-		r := int32(1) << uint(j) // W(2^j): greedy with radius 2^j
-		w := []int32{}
-		for k := 0; k < n; k++ {
-			v := k
-			if order != nil {
-				v = order[k]
-			}
-			if covered[v] {
-				continue
-			}
-			w = append(w, int32(v))
-			// Mark every u with d_G(u,v) < r as covered, i.e. explore
-			// radius r-1.
-			scratch.TruncatedBFS(g, v, r-1, func(u, _ int32) {
-				if !covered[u] {
-					covered[u] = true
-					touched = append(touched, u)
+	// Phase 1: the greedy W(2^j) sets. Levels are independent (each scan
+	// starts from an all-uncovered state), so workers pull levels off a
+	// shared counter, each with its own covered/touched/BFS state.
+	runParallel(workers, numLevels, func() func(j int) {
+		covered := make([]bool, n)
+		touched := make([]int32, 0, n)
+		scratch := graph.NewBFSScratch(n)
+		return func(j int) {
+			r := int32(1) << uint(j) // W(2^j): greedy with radius 2^j
+			w := []int32{}
+			for k := 0; k < n; k++ {
+				v := k
+				if order != nil {
+					v = order[k]
 				}
-			})
+				if covered[v] {
+					continue
+				}
+				w = append(w, int32(v))
+				// Mark every u with d_G(u,v) < r as covered, i.e. explore
+				// radius r-1.
+				scratch.TruncatedBFS(g, v, r-1, func(u, _ int32) {
+					if !covered[u] {
+						covered[u] = true
+						touched = append(touched, u)
+					}
+				})
+			}
+			h.wsets[j] = w
+			for _, u := range touched {
+				covered[u] = false
+			}
+			touched = touched[:0]
 		}
-		h.wsets[j] = w
-		for _, u := range touched {
-			covered[u] = false
-		}
-		touched = touched[:0]
-	}
+	})
 
 	// netLevel[v] = max j with v ∈ W(2^j) for some j ≥ i … since
 	// N_i = ⋃_{j≥i} W(2^j), v ∈ N_i iff max{j : v ∈ W(2^j)} ≥ i.
@@ -138,7 +169,16 @@ func BuildWithOrder(g *graph.Graph, order []int) (*Hierarchy, error) {
 			}
 		}
 	}
-	for i := 0; i < numLevels; i++ {
+	h.computeLevels(workers)
+	return h, nil
+}
+
+// computeLevels fills levels, nearest and nearestDist from netLevel. The
+// per-level nearest-net-point passes (phase 2) run on the worker pool:
+// each is one MultiSourceBFS writing only its own level's slots.
+func (h *Hierarchy) computeLevels(workers int) {
+	n := h.g.NumVertices()
+	for i := range h.levels {
 		var members []int32
 		for v := 0; v < n; v++ {
 			if h.netLevel[v] >= int32(i) {
@@ -146,15 +186,56 @@ func BuildWithOrder(g *graph.Graph, order []int) (*Hierarchy, error) {
 			}
 		}
 		h.levels[i] = members
-		sources := make([]int, len(members))
-		for k, v := range members {
-			sources[k] = int(v)
-		}
-		dist, nearest := g.MultiSourceBFS(sources)
-		h.nearest[i] = nearest
-		h.nearestDist[i] = dist
 	}
-	return h, nil
+	runParallel(workers, len(h.levels), func() func(i int) {
+		return func(i int) {
+			members := h.levels[i]
+			sources := make([]int, len(members))
+			for k, v := range members {
+				sources[k] = int(v)
+			}
+			dist, nearest := h.g.MultiSourceBFS(sources)
+			h.nearest[i] = nearest
+			h.nearestDist[i] = dist
+		}
+	})
+}
+
+// runParallel executes do(0..tasks-1) on a pool of workers, each worker
+// first materializing its private state via newWorker. workers ≤ 0 means
+// GOMAXPROCS; a single worker (or a single task) runs inline with no
+// goroutine traffic.
+func runParallel(workers, tasks int, newWorker func() func(task int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		do := newWorker()
+		for t := 0; t < tasks; t++ {
+			do(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			do := newWorker()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				do(t)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // FromNetLevels reconstructs a hierarchy from the per-vertex membership
@@ -183,22 +264,7 @@ func FromNetLevels(g *graph.Graph, netLevel []int) (*Hierarchy, error) {
 		}
 		h.netLevel[v] = int32(lvl)
 	}
-	for i := 0; i < numLevels; i++ {
-		var members []int32
-		for v := 0; v < n; v++ {
-			if h.netLevel[v] >= int32(i) {
-				members = append(members, int32(v))
-			}
-		}
-		h.levels[i] = members
-		sources := make([]int, len(members))
-		for k, v := range members {
-			sources[k] = int(v)
-		}
-		dist, nearest := g.MultiSourceBFS(sources)
-		h.nearest[i] = nearest
-		h.nearestDist[i] = dist
-	}
+	h.computeLevels(0)
 	return h, nil
 }
 
@@ -210,7 +276,10 @@ func FromNetLevels(g *graph.Graph, netLevel []int) (*Hierarchy, error) {
 //  3. W(2^j) is 2^j-separated (pairwise distances ≥ 2^j);
 //  4. N_0 = V.
 //
-// It is O(n²)-ish and meant for tests and small graphs.
+// The separation check explores only a truncated ball of radius 2^j − 1
+// around each W-set point (a violating pair is by definition within that
+// radius), so the check costs the same as rebuilding the W-sets rather
+// than n full BFS passes — usable on the larger test graphs.
 func (h *Hierarchy) VerifyInvariants() error {
 	n := h.g.NumVertices()
 	if n == 0 {
@@ -238,16 +307,29 @@ func (h *Hierarchy) VerifyInvariants() error {
 			}
 		}
 	}
+	scratch := graph.NewBFSScratch(n)
+	inW := make([]bool, n)
 	for j := 0; j <= h.MaxLevel(); j++ {
 		sep := int32(1) << uint(j)
 		for _, v := range h.wsets[j] {
-			dist := h.g.BFS(int(v))
-			for _, u := range h.wsets[j] {
-				if u != v && graph.Reachable(dist[u]) && dist[u] < sep {
-					return fmt.Errorf("nets: W(2^%d) points %d,%d at distance %d < %d",
-						j, v, u, dist[u], sep)
+			inW[v] = true
+		}
+		var sepErr error
+		for _, v := range h.wsets[j] {
+			// d(v,u) < sep ⇔ u is inside the truncated ball of radius
+			// sep−1, so exploring that ball sees every violating pair.
+			scratch.TruncatedBFS(h.g, int(v), sep-1, func(u, d int32) {
+				if u != v && inW[u] && sepErr == nil {
+					sepErr = fmt.Errorf("nets: W(2^%d) points %d,%d at distance %d < %d",
+						j, v, u, d, sep)
 				}
+			})
+			if sepErr != nil {
+				return sepErr
 			}
+		}
+		for _, v := range h.wsets[j] {
+			inW[v] = false
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package nets
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -323,5 +324,99 @@ func TestFromNetLevelsValidation(t *testing.T) {
 	bad[3] = 99
 	if _, err := FromNetLevels(g, bad); err == nil {
 		t.Error("out-of-range level must be rejected")
+	}
+}
+
+// TestBuildWorkersDeterminism pins the pool contract at the hierarchy
+// layer: every W-set, level, net-level assignment, and nearest-net-point
+// table must be identical for any worker count (the greedy scan within a
+// level is sequential; only whole levels run in parallel).
+func TestBuildWorkersDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	graphs := map[string]*graph.Graph{
+		"grid-11x7": gridGraph(t, 11, 7),
+		"path-90":   pathGraph(t, 90),
+		"random-60": randomConnected(t, 60, rng),
+	}
+	for name, g := range graphs {
+		ref, err := BuildWorkers(g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{2, 4, 8, 0} {
+			h, err := BuildWorkers(g, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if h.MaxLevel() != ref.MaxLevel() {
+				t.Fatalf("%s workers=%d: MaxLevel %d, want %d", name, workers, h.MaxLevel(), ref.MaxLevel())
+			}
+			for j := 0; j <= ref.MaxLevel(); j++ {
+				if !slices.Equal(h.WSet(j), ref.WSet(j)) {
+					t.Fatalf("%s workers=%d: W(2^%d) differs", name, workers, j)
+				}
+				if !slices.Equal(h.Level(j), ref.Level(j)) {
+					t.Fatalf("%s workers=%d: level %d differs", name, workers, j)
+				}
+			}
+			if !slices.Equal(h.NetLevels(), ref.NetLevels()) {
+				t.Fatalf("%s workers=%d: netLevel differs", name, workers)
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				for j := 0; j <= ref.MaxLevel(); j++ {
+					hp, hd := h.Nearest(j, v)
+					rp, rd := ref.Nearest(j, v)
+					if hp != rp || hd != rd {
+						t.Fatalf("%s workers=%d: Nearest(%d,%d) = (%d,%d), want (%d,%d)",
+							name, workers, j, v, hp, hd, rp, rd)
+					}
+				}
+			}
+			if err := h.VerifyInvariants(); err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+		}
+	}
+}
+
+// TestVerifyInvariantsCatchesSeparationViolation manufactures a W-set
+// with two points closer than the required 2^j separation and checks the
+// truncated-BFS separation pass still rejects it.
+func TestVerifyInvariantsCatchesSeparationViolation(t *testing.T) {
+	g := pathGraph(t, 32)
+	h, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxLevel() < 1 {
+		t.Fatal("need at least two levels")
+	}
+	// Corrupt W(2): append a vertex adjacent to an existing W-point, at
+	// distance 1 < 2.
+	w := h.wsets[1]
+	if len(w) == 0 {
+		t.Fatal("W(2) empty")
+	}
+	v := w[0]
+	var bad int32 = -1
+	for _, u := range g.Neighbors(int(v)) {
+		found := false
+		for _, x := range w {
+			if x == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = u
+			break
+		}
+	}
+	if bad < 0 {
+		t.Fatal("no neighbor outside W(2)")
+	}
+	h.wsets[1] = append(append([]int32{}, w...), bad)
+	if err := h.VerifyInvariants(); err == nil {
+		t.Fatal("VerifyInvariants accepted a 2^j-separation violation")
 	}
 }
