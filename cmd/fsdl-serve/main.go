@@ -8,6 +8,11 @@
 //	fsdl-serve -store labels.fsdl [-addr :8080] [-salvage] [-graph graph.txt]
 //	           [-workers N] [-queue N] [-deadline 5s] [-budget 0]
 //	           [-cache 4096] [-cache-shards 8] [-eps 2]
+//
+// Cluster mode replaces the local store with a scatter-gather frontend
+// over fsdl-shard servers (see docs/CLUSTER.md):
+//
+//	fsdl-serve -cluster members.txt [-hedge 100ms] [-fetch-timeout 500ms]
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"fsdl"
+	"fsdl/internal/cluster"
 	"fsdl/internal/labelstore"
 	"fsdl/internal/server"
 )
@@ -35,7 +41,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fsdl-serve", flag.ContinueOnError)
-	storePath := fs.String("store", "", "label store file (required)")
+	storePath := fs.String("store", "", "label store file (required unless -cluster)")
+	clusterPath := fs.String("cluster", "", "cluster membership file; serve from fsdl-shard servers instead of a local store")
+	hedge := fs.Duration("hedge", 0, "cluster: delay before hedging a fetch to a replica (0 = fetch-timeout/5, negative disables)")
+	fetchTimeout := fs.Duration("fetch-timeout", 500*time.Millisecond, "cluster: per-attempt shard fetch timeout")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged store: skip corrupt records, answer conservatively")
 	graphPath := fs.String("graph", "", "graph file; enables the dynamic-oracle query path")
 	eps := fs.Float64("eps", 2, "dynamic oracle precision epsilon")
@@ -49,14 +58,10 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *storePath == "" {
-		return fmt.Errorf("-store is required")
+	if (*storePath == "") == (*clusterPath == "") {
+		return fmt.Errorf("exactly one of -store and -cluster is required")
 	}
 
-	f, err := os.Open(*storePath)
-	if err != nil {
-		return err
-	}
 	cfg := server.Config{
 		Epsilon:         *eps,
 		Workers:         *workers,
@@ -66,7 +71,27 @@ func run(args []string) error {
 		CacheCapacity:   *cacheCap,
 		CacheShards:     *cacheShards,
 	}
-	if *salvage {
+	switch {
+	case *clusterPath != "":
+		m, err := cluster.LoadMembership(*clusterPath)
+		if err != nil {
+			return err
+		}
+		fe, err := cluster.NewFrontend(cluster.FrontendConfig{
+			Membership:   m,
+			HedgeDelay:   *hedge,
+			FetchTimeout: *fetchTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		defer fe.Close()
+		cfg.Source = fe
+	case *salvage:
+		f, err := os.Open(*storePath)
+		if err != nil {
+			return err
+		}
 		st, rep, err := labelstore.LoadPartial(f)
 		f.Close()
 		if err != nil {
@@ -81,7 +106,11 @@ func run(args []string) error {
 				rep.Kept, rep.Total, len(rep.Corrupt), rep.Truncated)
 		}
 		cfg.Store, cfg.Report = st, rep
-	} else {
+	default:
+		f, err := os.Open(*storePath)
+		if err != nil {
+			return err
+		}
 		st, err := labelstore.Load(f)
 		f.Close()
 		if err != nil {
@@ -114,8 +143,12 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "fsdl-serve: serving %d labels over n=%d vertices on %s\n",
-		cfg.Store.NumLabels(), cfg.Store.NumVertices(), *addr)
+	mode := "local store"
+	if *clusterPath != "" {
+		mode = fmt.Sprintf("cluster of %s", *clusterPath)
+	}
+	fmt.Fprintf(os.Stderr, "fsdl-serve: serving n=%d vertices from %s on %s\n",
+		srv.NumVertices(), mode, *addr)
 
 	select {
 	case err := <-errCh:

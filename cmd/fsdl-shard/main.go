@@ -1,0 +1,88 @@
+// Command fsdl-shard serves one partition of an FSDL label store over
+// the cluster wire protocol. A fleet of shards plus a fsdl-serve
+// frontend (-cluster) is the horizontally scaled deployment shape: each
+// shard holds the raw label bytes for its slice of the consistent-hash
+// ring and ships them on request; all decoding happens at the frontend.
+// Partitions come from `fsdl partition`. See docs/CLUSTER.md.
+//
+// Usage:
+//
+//	fsdl-shard -store shard0.fsdl -addr :9000 [-name shard0] [-salvage]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fsdl/internal/cluster"
+	"fsdl/internal/labelstore"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fsdl-shard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fsdl-shard", flag.ContinueOnError)
+	storePath := fs.String("store", "", "partition store file (required; produced by `fsdl partition`)")
+	addr := fs.String("addr", ":9000", "listen address")
+	name := fs.String("name", "", "shard name for error messages (default: store file name)")
+	salvage := fs.Bool("salvage", false, "tolerate a damaged partition: serve the records that survive")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storePath == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if *name == "" {
+		*name = *storePath
+	}
+
+	f, err := os.Open(*storePath)
+	if err != nil {
+		return err
+	}
+	var st *labelstore.Store
+	if *salvage {
+		var rep *labelstore.SalvageReport
+		st, rep, err = labelstore.LoadPartial(f)
+		if err == nil && rep.Lost() > 0 {
+			fmt.Fprintf(os.Stderr, "fsdl-shard: salvage: kept %d/%d records — the frontend will fail over to replicas for the rest\n",
+				rep.Kept, rep.Total)
+		}
+	} else {
+		st, err = labelstore.Load(f)
+	}
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load %s: %w", *storePath, err)
+	}
+
+	srv, err := cluster.NewShardServer(cluster.ShardConfig{Store: st, Name: *name})
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "fsdl-shard: %s serving %d labels over n=%d vertices on %s\n",
+		*name, st.NumLabels(), st.NumVertices(), *addr)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	}
+	srv.Close()
+	fmt.Fprintf(os.Stderr, "fsdl-shard: %s shut down after %d requests, %d labels served\n",
+		*name, srv.Requests.Load(), srv.LabelsServed.Load())
+	return nil
+}

@@ -15,6 +15,7 @@
 //	fsdl trace -size 12 -s 0 [-fail 60,61,62]
 //	fsdl buildscheme -in graph.txt -out scheme.fsdls [-eps 2] [-workers N]
 //	fsdl wquery -in roads.gr -s 0 -t 99 [-fail 5,17]
+//	fsdl partition -db labels.fsdl -members members.txt -out shards/
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 
 	"fsdl"
 	"fsdl/internal/asciiviz"
+	"fsdl/internal/cluster"
 	graphpkg "fsdl/internal/graph"
 	"fsdl/internal/labelstore"
 	"fsdl/internal/verify"
@@ -68,6 +70,8 @@ func run(args []string, out io.Writer) error {
 		return cmdBuildScheme(args[1:], out)
 	case "wquery":
 		return cmdWQuery(args[1:], out)
+	case "partition":
+		return cmdPartition(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -591,5 +595,71 @@ func cmdWQuery(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "estimated travel cost %d -> %d avoiding |F|=%d: %d (stretch bound 1+%g)\n",
 		*src, *dst, faults.Size(), d, *eps)
+	return nil
+}
+
+// cmdPartition splits a label store into one store per cluster shard by
+// consistent-hash ring ownership. With replication R every label lands
+// in exactly R partition files; the union of the partitions re-serves
+// every record byte-identically (the partition writer is just
+// SaveVertices over the ring's ownership lists).
+func cmdPartition(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("partition", flag.ContinueOnError)
+	db := fs.String("db", "labels.fsdl", "label store file to split")
+	members := fs.String("members", "", "cluster membership file (required; see docs/CLUSTER.md)")
+	outDir := fs.String("out", ".", "directory for the per-shard stores (<name>.fsdl)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *members == "" {
+		return fmt.Errorf("-members is required")
+	}
+	m, err := cluster.LoadMembership(*members)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*db)
+	if err != nil {
+		return err
+	}
+	st, err := labelstore.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	ring := m.Ring()
+	parts := ring.Partition(st.NumVertices())
+	for i, node := range m.Nodes {
+		// The ownership list covers all of [0,n); a region-bundle store
+		// only holds labels for some of it.
+		ids := parts[i][:0]
+		for _, v := range parts[i] {
+			if st.Has(v) {
+				ids = append(ids, v)
+			}
+		}
+		path := *outDir + string(os.PathSeparator) + node.Name + ".fsdl"
+		pf, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := st.SaveVertices(pf, ids); err != nil {
+			pf.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: %d labels, %d bytes\n", path, len(ids), info.Size())
+	}
+	fmt.Fprintf(out, "partitioned %d labels over n=%d vertices into %d shards (replication %d)\n",
+		st.NumLabels(), st.NumVertices(), len(m.Nodes), ring.Replication())
 	return nil
 }

@@ -1,0 +1,27 @@
+// Package cluster is the horizontal tier of the serving stack: label
+// storage partitioned across shard nodes by a consistent-hash ring over
+// vertex ids, with replication, while the forbidden-set decode stays
+// local to the frontend. This split is exactly what the paper's labeling
+// model promises — a query (s, t, F) needs only the labels of s, t and
+// the faults, so a frontend can scatter-gather those few label records
+// from whichever machines own them and run the decoder on its own CPU.
+//
+// Three pieces:
+//
+//   - A compact length-prefixed, CRC-checked TCP wire protocol (wire.go)
+//     for fetching encoded label records in batches.
+//   - A ShardServer (shard.go) serving the vertex-partition of a label
+//     store produced by `fsdl partition`.
+//   - A Frontend (frontend.go) that resolves {s, t} ∪ F to shard owners
+//     via the ring (ring.go), fetches concurrently with per-call
+//     deadlines, hedges slow calls to replicas, fails over when health
+//     checks mark a node down, and caches decoded labels (and confirmed
+//     absences) in sharded LRUs.
+//
+// Failure semantics follow the PR 1 degraded-query contract: when every
+// replica of a fault label is unreachable, the frontend demotes that
+// fault to the degraded tier (maximal protected ball) and the answer
+// stays a conservative upper bound on d_{G\F}, flagged exact:false.
+// Unreachable *endpoint* labels are hard errors — without them nothing
+// can be answered. See docs/CLUSTER.md.
+package cluster

@@ -1,0 +1,635 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsdl/internal/core"
+	"fsdl/internal/lru"
+	"fsdl/internal/stats"
+)
+
+// FrontendConfig configures a Frontend. Membership is required;
+// everything else has a serviceable default.
+type FrontendConfig struct {
+	Membership *Membership
+
+	// FetchTimeout bounds each individual fetch RPC (default 500ms).
+	FetchTimeout time.Duration
+	// DialTimeout bounds establishing a new shard connection (default
+	// 300ms).
+	DialTimeout time.Duration
+	// HedgeDelay is how long the frontend waits on an in-flight fetch
+	// before duplicating it to the next replica (default FetchTimeout/5;
+	// negative disables hedging).
+	HedgeDelay time.Duration
+
+	// HealthInterval is the active health-probe period (default 1s);
+	// HealthTimeout bounds each probe (default 250ms).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// StartupTimeout bounds New's wait for the first reachable shard
+	// (default 10s) — the frontend needs one pong to learn the vertex
+	// space.
+	StartupTimeout time.Duration
+
+	// LabelCacheSize bounds the decoded-label LRU (default 8192 entries;
+	// negative disables). NegativeCacheSize bounds the confirmed-absence
+	// LRU (default 1024; negative disables).
+	LabelCacheSize    int
+	NegativeCacheSize int
+	// MaxIdleConns bounds the idle connection pool per shard (default 4).
+	MaxIdleConns int
+}
+
+func (cfg *FrontendConfig) withDefaults() FrontendConfig {
+	c := *cfg
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 500 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 300 * time.Millisecond
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = c.FetchTimeout / 5
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 250 * time.Millisecond
+	}
+	if c.StartupTimeout <= 0 {
+		c.StartupTimeout = 10 * time.Second
+	}
+	if c.LabelCacheSize == 0 {
+		c.LabelCacheSize = 8192
+	}
+	if c.NegativeCacheSize == 0 {
+		c.NegativeCacheSize = 1024
+	}
+	if c.MaxIdleConns <= 0 {
+		c.MaxIdleConns = 4
+	}
+	return c
+}
+
+// Frontend is the cluster client embedded into the serving tier: it
+// resolves vertices to shard owners on the ring, scatter-gathers label
+// fetches with per-call deadlines, hedges slow calls to replicas, fails
+// over around unhealthy shards, and caches decoded labels and confirmed
+// absences. It implements the server's LabelSource so the decode path
+// upstream is identical to the single-node one. Safe for concurrent
+// use.
+type Frontend struct {
+	cfg  FrontendConfig
+	ring *Ring
+	// nodes[i] is the client for ring node i.
+	nodes []*shardClient
+	n     int // global vertex space, learned from the first pong
+
+	labelCache *lru.Cache[int32, *core.Label]
+	negCache   *lru.Cache[int32, struct{}]
+	met        frontendMetrics
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// ShardHealth is one shard's state in a health snapshot.
+type ShardHealth struct {
+	Name    string `json:"name"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Labels  int64  `json:"labels"`
+}
+
+// NewFrontend connects to the cluster described by cfg.Membership. It
+// blocks (up to StartupTimeout) until at least one shard answers a
+// ping — that pong fixes the vertex space — then starts the background
+// health checker. Shards that are down at startup are served around via
+// replicas and picked back up by the health loop when they return.
+func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	if cfg.Membership == nil {
+		return nil, fmt.Errorf("cluster: FrontendConfig.Membership is required")
+	}
+	c := cfg.withDefaults()
+	f := &Frontend{
+		cfg:  c,
+		ring: c.Membership.Ring(),
+		stop: make(chan struct{}),
+	}
+	for _, nd := range f.ring.Nodes() {
+		f.nodes = append(f.nodes, newShardClient(nd, c))
+	}
+	f.labelCache = lru.New[int32, *core.Label](c.LabelCacheSize, 8,
+		func(k int32) uint64 { return lru.HashU32(uint32(k)) })
+	f.negCache = lru.New[int32, struct{}](c.NegativeCacheSize, 8,
+		func(k int32) uint64 { return lru.HashU32(uint32(k)) })
+
+	deadline := time.Now().Add(c.StartupTimeout)
+	for {
+		f.sweepHealth()
+		if n, ok := f.learnedN(); ok {
+			f.n = n
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: no shard reachable within %v", c.StartupTimeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// All reachable shards must agree on the vertex space; disagreement
+	// means the partitions came from different stores.
+	for _, cl := range f.nodes {
+		if cl.healthy.Load() {
+			if n := int(cl.lastN.Load()); n != f.n {
+				return nil, fmt.Errorf("cluster: shard %s serves vertex space %d, others %d — partitions from different stores?",
+					cl.node.Name, n, f.n)
+			}
+		}
+	}
+	f.done.Add(1)
+	go f.healthLoop()
+	return f, nil
+}
+
+// Close stops the health checker and severs pooled connections.
+func (f *Frontend) Close() error {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.done.Wait()
+	for _, c := range f.nodes {
+		c.closeIdle()
+	}
+	return nil
+}
+
+// NumVertices returns the cluster's vertex-id space.
+func (f *Frontend) NumVertices() int { return f.n }
+
+// NumLabels estimates the number of distinct labels the cluster holds:
+// the per-shard record counts from the last health sweep divided by the
+// replication factor. Exact for a complete partitioning (every label
+// held by exactly R shards); an estimate while shards are down (their
+// last-known count is used).
+func (f *Frontend) NumLabels() int {
+	var total int64
+	for _, c := range f.nodes {
+		total += c.lastLabels.Load()
+	}
+	return int(total) / f.ring.Replication()
+}
+
+// LabelCacheStats reports the decoded-label cache's cumulative hit/miss
+// counts (the LabelSource contract).
+func (f *Frontend) LabelCacheStats() (hits, misses int64) {
+	return f.met.labelHits.Load(), f.met.labelMisses.Load()
+}
+
+// Health returns a point-in-time shard health snapshot.
+func (f *Frontend) Health() []ShardHealth {
+	out := make([]ShardHealth, len(f.nodes))
+	for i, c := range f.nodes {
+		out[i] = ShardHealth{
+			Name:    c.node.Name,
+			Addr:    c.node.Addr,
+			Healthy: c.healthy.Load(),
+			Labels:  c.lastLabels.Load(),
+		}
+	}
+	return out
+}
+
+// HealthJSON implements the server's optional health-reporting
+// interface without the server importing this package.
+func (f *Frontend) HealthJSON() any { return f.Health() }
+
+// Label fetches and decodes the label of v, serving repeats from the
+// decoded-label cache. The "no label for vertex" error text matches
+// labelstore's so upstream error mapping is uniform; unreachable
+// replicas surface as a distinct error the server demotes to degraded
+// mode for fault labels.
+func (f *Frontend) Label(ctx context.Context, v int) (*core.Label, error) {
+	if v < 0 || v >= f.n {
+		return nil, fmt.Errorf("cluster: no label for vertex %d: out of range [0,%d)", v, f.n)
+	}
+	if l, ok := f.labelCache.Get(int32(v)); ok {
+		f.met.labelHits.Add(1)
+		return l, nil
+	}
+	if _, ok := f.negCache.Get(int32(v)); ok {
+		f.met.negHits.Add(1)
+		return nil, fmt.Errorf("cluster: no label for vertex %d", v)
+	}
+	f.met.labelMisses.Add(1)
+	res := f.scatterFetch(ctx, []int32{int32(v)})
+	r := res[int32(v)]
+	switch {
+	case r.label != nil:
+		return r.label, nil
+	case r.absent:
+		return nil, fmt.Errorf("cluster: no label for vertex %d", v)
+	case r.err != nil:
+		return nil, fmt.Errorf("cluster: label for vertex %d unavailable: %w", v, r.err)
+	default:
+		return nil, fmt.Errorf("cluster: label for vertex %d unavailable", v)
+	}
+}
+
+// Prefetch warms the label cache for a batch of vertices with one
+// scatter-gather across the owning shards — the server calls this with
+// {s,t} ∪ F before answering a batch, so the per-label Label calls that
+// follow are cache hits. Fetch failures are not reported here; they
+// resurface on the per-label path, which owns the error semantics.
+func (f *Frontend) Prefetch(ctx context.Context, ids []int) {
+	miss := make([]int32, 0, len(ids))
+	seen := make(map[int32]struct{}, len(ids))
+	for _, v := range ids {
+		if v < 0 || v >= f.n {
+			continue
+		}
+		iv := int32(v)
+		if _, dup := seen[iv]; dup {
+			continue
+		}
+		seen[iv] = struct{}{}
+		if _, ok := f.labelCache.Get(iv); ok {
+			f.met.labelHits.Add(1)
+			continue
+		}
+		if _, ok := f.negCache.Get(iv); ok {
+			f.met.negHits.Add(1)
+			continue
+		}
+		f.met.labelMisses.Add(1)
+		miss = append(miss, iv)
+	}
+	if len(miss) > 0 {
+		f.scatterFetch(ctx, miss)
+	}
+}
+
+// fetchResult is the outcome of one vertex's fetch: exactly one of
+// label (decoded), absent (authoritative miss from its owner) or err
+// (every replica unreachable) is set.
+type fetchResult struct {
+	label  *core.Label
+	absent bool
+	err    error
+}
+
+// scatterFetch resolves each vertex to its replica chain on the ring
+// and fetches all of them concurrently, one RPC per involved shard per
+// round. Failed attempts advance to the next replica; the hedge timer
+// duplicates still-inflight work to the next replica once. Successes
+// (and authoritative misses) land in the caches.
+func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetchResult {
+	out := make(map[int32]fetchResult, len(ids))
+	type pendState struct {
+		owners   []int
+		next     int // next owner index to try
+		inflight int // outstanding RPCs covering this id
+	}
+	pending := make(map[int32]*pendState, len(ids))
+	ownerBuf := make([]int, 0, 8)
+	maxCalls := 0
+	for _, v := range ids {
+		ownerBuf = f.ring.Owners(v, ownerBuf[:0])
+		pending[v] = &pendState{owners: slices.Clone(ownerBuf)}
+		maxCalls += len(ownerBuf) + 1
+	}
+
+	type groupResp struct {
+		ids  []int32
+		recs map[int32]LabelRecord
+		err  error
+	}
+	// Buffered so abandoned calls (context cancel) never block their
+	// goroutines.
+	respCh := make(chan groupResp, maxCalls)
+	inflightCalls := 0
+
+	// chooseOwner picks the first healthy untried owner (falling back to
+	// the first untried one when none look healthy — a probe may be
+	// stale) and returns its index, or -1 when the chain is exhausted.
+	chooseOwner := func(ps *pendState) int {
+		for i := ps.next; i < len(ps.owners); i++ {
+			if f.nodes[ps.owners[i]].healthy.Load() {
+				return i
+			}
+		}
+		if ps.next < len(ps.owners) {
+			return ps.next
+		}
+		return -1
+	}
+
+	launch := func(hedge bool) {
+		groups := make(map[int][]int32)
+		for v, ps := range pending {
+			if hedge != (ps.inflight > 0) {
+				// Normal rounds (re)launch idle ids; the hedge round
+				// duplicates in-flight ones.
+				continue
+			}
+			idx := chooseOwner(ps)
+			if idx < 0 {
+				continue
+			}
+			if ps.next == 0 && idx > 0 {
+				f.met.failovers.Add(1)
+			}
+			ps.next = idx + 1
+			ps.inflight++
+			groups[ps.owners[idx]] = append(groups[ps.owners[idx]], v)
+		}
+		for node, gids := range groups {
+			inflightCalls++
+			f.met.fetchCalls.Add(1)
+			if hedge {
+				f.met.hedges.Add(1)
+			}
+			go func(c *shardClient, gids []int32) {
+				recs, err := c.getLabels(ctx, gids, f.n)
+				respCh <- groupResp{ids: gids, recs: recs, err: err}
+			}(f.nodes[node], gids)
+		}
+	}
+
+	launch(false)
+	var hedgeC <-chan time.Time
+	if f.cfg.HedgeDelay > 0 && inflightCalls > 0 {
+		tm := time.NewTimer(f.cfg.HedgeDelay)
+		defer tm.Stop()
+		hedgeC = tm.C
+	}
+	// Return as soon as every id is resolved: a hedged win must not wait
+	// for the slow call it raced (the buffered channel lets stragglers
+	// finish without blocking).
+	for len(pending) > 0 && inflightCalls > 0 {
+		select {
+		case r := <-respCh:
+			inflightCalls--
+			for _, v := range r.ids {
+				ps, ok := pending[v]
+				if !ok {
+					continue // already resolved by a racing attempt
+				}
+				ps.inflight--
+				if r.err != nil {
+					continue
+				}
+				rec, ok := r.recs[v]
+				if !ok {
+					continue // shard skipped it; treat as a failed attempt
+				}
+				if !rec.Present {
+					f.negCache.Put(v, struct{}{})
+					out[v] = fetchResult{absent: true}
+					delete(pending, v)
+					continue
+				}
+				l, derr := core.DecodeLabel(rec.Data, rec.Bits)
+				if derr != nil {
+					continue // corrupt copy; another replica may be intact
+				}
+				f.labelCache.Put(v, l)
+				out[v] = fetchResult{label: l}
+				delete(pending, v)
+			}
+			launch(false)
+		case <-hedgeC:
+			hedgeC = nil
+			launch(true)
+		case <-ctx.Done():
+			for v := range pending {
+				out[v] = fetchResult{err: ctx.Err()}
+			}
+			return out
+		}
+	}
+	for v := range pending {
+		f.met.unavailable.Add(1)
+		out[v] = fetchResult{err: fmt.Errorf("all %d replicas unreachable", f.ring.Replication())}
+	}
+	return out
+}
+
+// learnedN returns the vertex space reported by any healthy shard.
+func (f *Frontend) learnedN() (int, bool) {
+	for _, c := range f.nodes {
+		if c.healthy.Load() && c.lastN.Load() > 0 {
+			return int(c.lastN.Load()), true
+		}
+	}
+	return 0, false
+}
+
+func (f *Frontend) healthLoop() {
+	defer f.done.Done()
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.sweepHealth()
+		}
+	}
+}
+
+// sweepHealth pings every shard in parallel and updates their health
+// bits and vitals.
+func (f *Frontend) sweepHealth() {
+	var wg sync.WaitGroup
+	for _, c := range f.nodes {
+		wg.Add(1)
+		go func(c *shardClient) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
+			defer cancel()
+			n, labels, err := c.ping(ctx)
+			if err != nil {
+				c.healthy.Store(false)
+				return
+			}
+			c.lastN.Store(int64(n))
+			c.lastLabels.Store(int64(labels))
+			c.healthy.Store(true)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// shardClient is the frontend's stub for one shard: a small idle
+// connection pool, health state, and per-shard metrics.
+type shardClient struct {
+	node Node
+	cfg  FrontendConfig
+
+	mu   sync.Mutex
+	idle []net.Conn
+
+	healthy    atomic.Bool
+	lastN      atomic.Int64
+	lastLabels atomic.Int64
+
+	fetches     atomic.Int64
+	fetchErrors atomic.Int64
+	latency     *stats.Histogram
+}
+
+func newShardClient(nd Node, cfg FrontendConfig) *shardClient {
+	return &shardClient{
+		node: nd,
+		cfg:  cfg,
+		// Seconds; spans same-host RPCs to cross-zone hops and timeouts.
+		latency: stats.NewHistogram(
+			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+			0.025, 0.05, 0.1, 0.25, 0.5, 1),
+	}
+}
+
+// getLabels fetches a batch of label records, validating that the shard
+// serves the expected vertex space.
+func (c *shardClient) getLabels(ctx context.Context, ids []int32, wantN int) (map[int32]LabelRecord, error) {
+	c.fetches.Add(1)
+	start := time.Now()
+	op, resp, err := c.call(ctx, OpGetLabels, AppendLabelRequest(nil, ids))
+	c.latency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.fetchErrors.Add(1)
+		return nil, err
+	}
+	switch op {
+	case OpLabels:
+		n, recs, err := ParseLabelResponse(resp)
+		if err != nil {
+			c.fetchErrors.Add(1)
+			return nil, err
+		}
+		if n != wantN {
+			c.fetchErrors.Add(1)
+			return nil, fmt.Errorf("cluster: shard %s serves vertex space %d, want %d", c.node.Name, n, wantN)
+		}
+		out := make(map[int32]LabelRecord, len(recs))
+		for _, r := range recs {
+			out[r.Vertex] = r
+		}
+		return out, nil
+	case OpError:
+		c.fetchErrors.Add(1)
+		return nil, fmt.Errorf("%w: %s", errShardError, resp)
+	default:
+		c.fetchErrors.Add(1)
+		return nil, fmt.Errorf("cluster: unexpected response op %d", op)
+	}
+}
+
+// ping probes the shard and returns its vitals.
+func (c *shardClient) ping(ctx context.Context) (n, labels int, err error) {
+	op, resp, err := c.call(ctx, OpPing, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if op != OpPong {
+		return 0, 0, fmt.Errorf("cluster: unexpected ping response op %d", op)
+	}
+	return parsePongChecked(resp)
+}
+
+func parsePongChecked(resp []byte) (n, labels int, err error) {
+	n, labels, err = ParsePong(resp)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("cluster: pong reports empty vertex space")
+	}
+	return n, labels, nil
+}
+
+// call performs one request/response exchange, reusing a pooled
+// connection when one is idle. A stale pooled connection (closed by the
+// peer between calls) is retried once on a fresh dial; any other
+// transport failure marks the shard unhealthy until the next successful
+// probe.
+func (c *shardClient) call(ctx context.Context, op byte, payload []byte) (byte, []byte, error) {
+	deadline := time.Now().Add(c.cfg.FetchTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for attempt := 0; ; attempt++ {
+		conn, pooled, err := c.getConn(deadline)
+		if err != nil {
+			c.healthy.Store(false)
+			return 0, nil, err
+		}
+		conn.SetDeadline(deadline)
+		respOp, resp, err := roundTrip(conn, op, payload)
+		if err != nil {
+			conn.Close()
+			if pooled && attempt == 0 {
+				continue // stale pooled conn; one retry on a fresh dial
+			}
+			c.healthy.Store(false)
+			return 0, nil, err
+		}
+		conn.SetDeadline(time.Time{})
+		c.putConn(conn)
+		return respOp, resp, nil
+	}
+}
+
+func roundTrip(conn net.Conn, op byte, payload []byte) (byte, []byte, error) {
+	if err := WriteFrame(conn, op, payload); err != nil {
+		return 0, nil, err
+	}
+	return ReadFrame(conn)
+}
+
+func (c *shardClient) getConn(deadline time.Time) (conn net.Conn, pooled bool, err error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		conn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+	timeout := c.cfg.DialTimeout
+	if until := time.Until(deadline); until < timeout {
+		timeout = until
+	}
+	if timeout <= 0 {
+		return nil, false, context.DeadlineExceeded
+	}
+	conn, err = net.DialTimeout("tcp", c.node.Addr, timeout)
+	return conn, false, err
+}
+
+func (c *shardClient) putConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.idle) >= c.cfg.MaxIdleConns {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+func (c *shardClient) closeIdle() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}

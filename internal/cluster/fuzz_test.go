@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the wire-frame decoder and
+// the payload codecs behind it — the shard/frontend boundary parses
+// these straight off a TCP socket, so, like DecodeRouteHeader, they must
+// never panic, never allocate from an attacker-chosen length field, and
+// must round-trip everything they accept.
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed seeds for every op.
+	f.Add(AppendFrame(nil, OpGetLabels, AppendLabelRequest(nil, []int32{0, 5, 99})))
+	f.Add(AppendFrame(nil, OpLabels, AppendLabelResponse(nil, 100, []LabelRecord{
+		{Vertex: 5, Present: true, Bits: 19, Data: []byte{1, 2, 3}},
+		{Vertex: 7},
+	})))
+	f.Add(AppendFrame(nil, OpPing, nil))
+	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 86)))
+	f.Add(AppendFrame(nil, OpError, []byte("shard: boom")))
+	// Two frames back to back (rest must parse too).
+	two := AppendFrame(nil, OpPing, nil)
+	f.Add(AppendFrame(two, OpPong, AppendPong(nil, 9, 9)))
+	// Degenerate and adversarial seeds.
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic0, frameMagic1, frameVer, OpLabels, 0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, payload, rest, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if len(payload) > len(data) || len(rest) > len(data) {
+			t.Fatalf("decoded slices exceed input: payload=%d rest=%d from %d bytes",
+				len(payload), len(rest), len(data))
+		}
+		// An accepted frame re-encodes byte-identically.
+		enc := AppendFrame(nil, op, payload)
+		if !bytes.Equal(enc, data[:len(data)-len(rest)]) {
+			t.Fatalf("frame does not round-trip: %d vs %d bytes", len(enc), len(data)-len(rest))
+		}
+		// ReadFrame agrees with DecodeFrame on the same bytes.
+		rop, rpayload, rerr := ReadFrame(bytes.NewReader(data))
+		if rerr != nil || rop != op || !bytes.Equal(rpayload, payload) {
+			t.Fatalf("ReadFrame disagrees with DecodeFrame: op %d vs %d, err %v", rop, op, rerr)
+		}
+		// Accepted payloads reach a fixed point through their op's codec:
+		// parse → encode → parse must reproduce the encoding exactly.
+		// (Byte-equality with the *input* is not required — varints admit
+		// non-canonical encodings the parser tolerates but never emits.)
+		switch op {
+		case OpGetLabels:
+			ids, err := ParseLabelRequest(payload)
+			if err != nil {
+				return
+			}
+			if len(ids) > len(payload) {
+				t.Fatalf("%d ids decoded from %d payload bytes", len(ids), len(payload))
+			}
+			enc := AppendLabelRequest(nil, ids)
+			ids2, err := ParseLabelRequest(enc)
+			if err != nil {
+				t.Fatalf("re-parse of accepted label request failed: %v", err)
+			}
+			if !bytes.Equal(AppendLabelRequest(nil, ids2), enc) {
+				t.Fatal("label request does not round-trip")
+			}
+		case OpLabels:
+			n, recs, err := ParseLabelResponse(payload)
+			if err != nil {
+				return
+			}
+			if len(recs) > len(payload) {
+				t.Fatalf("%d records decoded from %d payload bytes", len(recs), len(payload))
+			}
+			for _, r := range recs {
+				if len(r.Data) > len(payload) {
+					t.Fatalf("record data %d bytes exceeds payload %d", len(r.Data), len(payload))
+				}
+			}
+			enc := AppendLabelResponse(nil, n, recs)
+			n2, recs2, err := ParseLabelResponse(enc)
+			if err != nil {
+				t.Fatalf("re-parse of accepted label response failed: %v", err)
+			}
+			if !bytes.Equal(AppendLabelResponse(nil, n2, recs2), enc) {
+				t.Fatal("label response does not round-trip")
+			}
+		case OpPong:
+			n, labels, err := ParsePong(payload)
+			if err != nil {
+				return
+			}
+			enc := AppendPong(nil, n, labels)
+			n2, l2, err := ParsePong(enc)
+			if err != nil || n2 != n || l2 != labels {
+				t.Fatalf("pong does not round-trip: %d/%d vs %d/%d, err %v", n2, l2, n, labels, err)
+			}
+		}
+	})
+}

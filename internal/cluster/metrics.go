@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+)
+
+// frontendMetrics is the cluster-wide observability state of a
+// Frontend; per-shard counters and latency histograms live on each
+// shardClient. Everything is lock-free on the fetch path.
+type frontendMetrics struct {
+	// labelHits/labelMisses count decoded-label cache lookups; negHits
+	// counts confirmed-absence short-circuits.
+	labelHits   atomic.Int64
+	labelMisses atomic.Int64
+	negHits     atomic.Int64
+
+	// fetchCalls counts label-fetch RPCs issued (the hedge-rate
+	// denominator); hedges counts the duplicates launched by the hedge
+	// timer; failovers counts fetches routed away from an unhealthy
+	// primary; unavailable counts label requests that exhausted every
+	// replica.
+	fetchCalls  atomic.Int64
+	hedges      atomic.Int64
+	failovers   atomic.Int64
+	unavailable atomic.Int64
+}
+
+// WriteMetrics renders the frontend's Prometheus text exposition,
+// cluster-wide counters first, then per-shard health, counters and
+// fetch-latency histograms. The server's /metrics endpoint appends this
+// to its own exposition when serving in cluster mode.
+func (f *Frontend) WriteMetrics(sb *strings.Builder) {
+	m := &f.met
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("fsdl_cluster_label_cache_hits_total", "Frontend decoded-label cache hits.", m.labelHits.Load())
+	counter("fsdl_cluster_label_cache_misses_total", "Frontend decoded-label cache misses (scatter-gather issued).", m.labelMisses.Load())
+	hits, misses := m.labelHits.Load(), m.labelMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_label_cache_hit_rate Frontend label-cache hit fraction.\n# TYPE fsdl_cluster_label_cache_hit_rate gauge\nfsdl_cluster_label_cache_hit_rate %g\n", rate)
+	counter("fsdl_cluster_negative_cache_hits_total", "Lookups short-circuited by the confirmed-absence cache.", m.negHits.Load())
+
+	counter("fsdl_cluster_fetch_calls_total", "Label-fetch RPCs issued to shards (hedges included).", m.fetchCalls.Load())
+	counter("fsdl_cluster_hedges_total", "Duplicate fetches launched at replicas by the hedge timer.", m.hedges.Load())
+	hedgeRate := 0.0
+	if calls := m.fetchCalls.Load(); calls > 0 {
+		hedgeRate = float64(m.hedges.Load()) / float64(calls)
+	}
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_hedge_rate Fraction of fetch RPCs that were hedges.\n# TYPE fsdl_cluster_hedge_rate gauge\nfsdl_cluster_hedge_rate %g\n", hedgeRate)
+	counter("fsdl_cluster_failovers_total", "Fetches routed away from an unhealthy primary.", m.failovers.Load())
+	counter("fsdl_cluster_unavailable_labels_total", "Label requests that exhausted every replica (degraded-mode trigger).", m.unavailable.Load())
+
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_shard_healthy Shard health as seen by the frontend (1 up, 0 down).\n# TYPE fsdl_cluster_shard_healthy gauge\n")
+	for _, c := range f.nodes {
+		up := 0
+		if c.healthy.Load() {
+			up = 1
+		}
+		fmt.Fprintf(sb, "fsdl_cluster_shard_healthy{shard=%q} %d\n", c.node.Name, up)
+	}
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_shard_fetches_total Fetch RPCs sent per shard.\n# TYPE fsdl_cluster_shard_fetches_total counter\n")
+	for _, c := range f.nodes {
+		fmt.Fprintf(sb, "fsdl_cluster_shard_fetches_total{shard=%q} %d\n", c.node.Name, c.fetches.Load())
+	}
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_shard_fetch_errors_total Fetch RPCs that failed per shard.\n# TYPE fsdl_cluster_shard_fetch_errors_total counter\n")
+	for _, c := range f.nodes {
+		fmt.Fprintf(sb, "fsdl_cluster_shard_fetch_errors_total{shard=%q} %d\n", c.node.Name, c.fetchErrors.Load())
+	}
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_fetch_seconds Per-shard label-fetch latency.\n# TYPE fsdl_cluster_fetch_seconds histogram\n")
+	for _, c := range f.nodes {
+		for _, b := range c.latency.Buckets() {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = fmt.Sprintf("%g", b.UpperBound)
+			}
+			fmt.Fprintf(sb, "fsdl_cluster_fetch_seconds_bucket{shard=%q,le=%q} %d\n", c.node.Name, le, b.CumulativeCount)
+		}
+		fmt.Fprintf(sb, "fsdl_cluster_fetch_seconds_sum{shard=%q} %g\n", c.node.Name, c.latency.Sum())
+		fmt.Fprintf(sb, "fsdl_cluster_fetch_seconds_count{shard=%q} %d\n", c.node.Name, c.latency.Count())
+	}
+}

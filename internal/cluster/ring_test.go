@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("shard%d", i), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)}
+	}
+	return nodes
+}
+
+func TestParseMembership(t *testing.T) {
+	m, err := ParseMembership(strings.NewReader(`
+# cluster of three
+replication 2
+shard0 127.0.0.1:9000
+shard1 127.0.0.1:9001
+
+shard2 127.0.0.1:9002
+`))
+	if err != nil {
+		t.Fatalf("ParseMembership: %v", err)
+	}
+	if m.Replication != 2 || len(m.Nodes) != 3 {
+		t.Fatalf("got R=%d nodes=%d", m.Replication, len(m.Nodes))
+	}
+	if m.Nodes[1].Name != "shard1" || m.Nodes[1].Addr != "127.0.0.1:9001" {
+		t.Fatalf("node 1 parsed as %+v", m.Nodes[1])
+	}
+
+	for _, bad := range []string{
+		"",                                   // no nodes
+		"replication 0\na 1:1",               // bad R
+		"replication 4\na 1:1\nb 1:2",        // R > nodes
+		"a 1:1\na 1:2",                       // duplicate name
+		"a 1:1\nreplication 2\nb 1:2\nc 1:3", // directive after nodes
+		"a 1:1 extra",                        // malformed line
+	} {
+		if _, err := ParseMembership(strings.NewReader(bad)); err == nil {
+			t.Errorf("membership %q accepted", bad)
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndDeterministic(t *testing.T) {
+	nodes := testNodes(5)
+	rg := NewRing(nodes, 3)
+	rg2 := NewRing(nodes, 3)
+	var owners, owners2 []int
+	for v := int32(0); v < 2000; v++ {
+		owners = rg.Owners(v, owners[:0])
+		owners2 = rg2.Owners(v, owners2[:0])
+		if len(owners) != 3 {
+			t.Fatalf("vertex %d: %d owners, want 3", v, len(owners))
+		}
+		seen := map[int]bool{}
+		for _, nd := range owners {
+			if nd < 0 || nd >= len(nodes) || seen[nd] {
+				t.Fatalf("vertex %d: bad owner set %v", v, owners)
+			}
+			seen[nd] = true
+		}
+		for i := range owners {
+			if owners[i] != owners2[i] {
+				t.Fatalf("vertex %d: nondeterministic owners %v vs %v", v, owners, owners2)
+			}
+		}
+		if owners[0] != rg.Primary(v) {
+			t.Fatalf("vertex %d: Primary %d disagrees with Owners[0] %d", v, rg.Primary(v), owners[0])
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 64 virtual nodes the worst shard should stay within ~2× fair
+	// share on a 3-node ring — a loose bound that catches a broken hash
+	// or an unsorted ring without flaking on hash luck.
+	rg := NewRing(testNodes(3), 1)
+	const n = 30000
+	counts := make([]int, 3)
+	for v := int32(0); v < n; v++ {
+		counts[rg.Primary(v)]++
+	}
+	for i, c := range counts {
+		if c < n/6 || c > n/2+n/10 {
+			t.Fatalf("shard %d owns %d of %d vertices (counts %v): ring badly unbalanced", i, c, n, counts)
+		}
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	// Removing one node only remaps vertices that node owned: every
+	// vertex whose primary survives keeps its primary — the property
+	// that makes rebalancing move |lost shard| labels, not all of them.
+	all := testNodes(4)
+	rgAll := NewRing(all, 1)
+	rgLess := NewRing(all[:3], 1) // shard3 removed
+	moved := 0
+	const n = 10000
+	for v := int32(0); v < n; v++ {
+		pAll := rgAll.Primary(v)
+		pLess := rgLess.Primary(v)
+		if pAll == 3 {
+			moved++
+			continue // owner lost; any new primary is fine
+		}
+		if pAll != pLess {
+			t.Fatalf("vertex %d moved %d→%d though its primary survived", v, pAll, pLess)
+		}
+	}
+	if moved == 0 || moved == n {
+		t.Fatalf("implausible remap count %d of %d", moved, n)
+	}
+}
+
+func TestRingPartitionCoversWithReplication(t *testing.T) {
+	rg := NewRing(testNodes(3), 2)
+	const n = 500
+	parts := rg.Partition(n)
+	held := make([]int, n)
+	for nd, vs := range parts {
+		last := -1
+		for _, v := range vs {
+			if v <= last {
+				t.Fatalf("node %d partition not sorted/unique at %d", nd, v)
+			}
+			last = v
+			held[v]++
+		}
+	}
+	for v, c := range held {
+		if c != 2 {
+			t.Fatalf("vertex %d held by %d shards, want R=2", v, c)
+		}
+	}
+}
+
+func TestRingReplicationClamped(t *testing.T) {
+	rg := NewRing(testNodes(2), 5)
+	if rg.Replication() != 2 {
+		t.Fatalf("replication clamped to %d, want 2", rg.Replication())
+	}
+	owners := rg.Owners(7, nil)
+	if len(owners) != 2 {
+		t.Fatalf("%d owners, want 2", len(owners))
+	}
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"fsdl/internal/labelstore"
+)
+
+// ShardConfig configures a ShardServer.
+type ShardConfig struct {
+	// Store is the shard's partition of the label space (required).
+	// The store's vertex space is the global n; NumLabels is just this
+	// shard's slice.
+	Store *labelstore.Store
+	// Name identifies the shard in errors (optional).
+	Name string
+	// FaultHook, when non-nil, is consulted once per received request
+	// frame; a non-nil return makes the server drop the connection
+	// without replying — the chaos tests' injection point for
+	// crash-mid-request behavior.
+	FaultHook func(op byte) error
+}
+
+// ShardServer serves one partition of a label store over the cluster
+// wire protocol: OpGetLabels batches and OpPing health probes. It never
+// decodes a label — records ship as stored bytes and the frontend
+// decodes locally, which is the whole point of the labeling model.
+// Requests on one connection are answered in order; the frontend pools
+// connections for parallelism.
+type ShardServer struct {
+	cfg ShardConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// Requests/labelsServed are observability counters for tests and
+	// the shard daemon's exit log.
+	Requests     atomic.Int64
+	LabelsServed atomic.Int64
+}
+
+// NewShardServer builds a server over cfg.Store.
+func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("cluster: ShardConfig.Store is required")
+	}
+	return &ShardServer{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *ShardServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. A clean Close returns
+// nil.
+func (s *ShardServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("cluster: shard server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (s *ShardServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, severs every open connection, and waits for
+// the connection handlers to drain. Safe to call more than once.
+func (s *ShardServer) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *ShardServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	// scratch buffers reused across requests on this connection.
+	var payload, frame []byte
+	for {
+		op, req, err := ReadFrame(br)
+		if err != nil {
+			// EOF, peer reset, or untrustworthy framing: either way the
+			// conversation is over.
+			return
+		}
+		s.Requests.Add(1)
+		if s.cfg.FaultHook != nil {
+			if err := s.cfg.FaultHook(op); err != nil {
+				return
+			}
+		}
+		payload = payload[:0]
+		respOp := OpError
+		switch op {
+		case OpPing:
+			respOp = OpPong
+			payload = AppendPong(payload, s.cfg.Store.NumVertices(), s.cfg.Store.NumLabels())
+		case OpGetLabels:
+			ids, err := ParseLabelRequest(req)
+			if err == nil {
+				err = s.checkRange(ids)
+			}
+			if err != nil {
+				payload = append(payload, s.errText(err)...)
+				break
+			}
+			respOp = OpLabels
+			payload = s.appendLabels(payload, ids)
+		default:
+			payload = append(payload, s.errText(fmt.Errorf("cluster: unknown op %d", op))...)
+		}
+		frame = AppendFrame(frame[:0], respOp, payload)
+		if _, err := bw.Write(frame); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// checkRange rejects requests naming vertices outside the store's
+// vertex space — those are caller bugs, not absent records, and a
+// response record could not even encode them.
+func (s *ShardServer) checkRange(ids []int32) error {
+	n := s.cfg.Store.NumVertices()
+	for _, v := range ids {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("cluster: vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	return nil
+}
+
+func (s *ShardServer) appendLabels(dst []byte, ids []int32) []byte {
+	recs := make([]LabelRecord, 0, len(ids))
+	for _, v := range ids {
+		rec := LabelRecord{Vertex: v}
+		if bits, data, ok := s.cfg.Store.Raw(int(v)); ok {
+			rec.Present, rec.Bits, rec.Data = true, bits, data
+			s.LabelsServed.Add(1)
+		}
+		recs = append(recs, rec)
+	}
+	return AppendLabelResponse(dst, s.cfg.Store.NumVertices(), recs)
+}
+
+func (s *ShardServer) errText(err error) string {
+	if s.cfg.Name != "" {
+		return s.cfg.Name + ": " + err.Error()
+	}
+	return err.Error()
+}
+
+// errShardError wraps an OpError payload received from a shard.
+var errShardError = errors.New("cluster: shard error")

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// The wire protocol is a stream of self-delimiting frames:
+//
+//	bytes 0..1  magic "FC"
+//	byte  2     version (1)
+//	byte  3     op
+//	bytes 4..7  payload length, uint32 little-endian
+//	…           payload
+//	last 4      CRC32-IEEE (little-endian) over op, length and payload
+//
+// The CRC covers everything after the magic/version prefix, so a frame
+// that passes the check was neither truncated nor bit-flipped in
+// flight; a frame that fails it poisons the connection (framing can no
+// longer be trusted) and the caller must redial.
+const (
+	frameMagic0 = 'F'
+	frameMagic1 = 'C'
+	frameVer    = 1
+
+	// frameHeaderLen is magic+version+op+length; frameTrailerLen the CRC.
+	frameHeaderLen  = 8
+	frameTrailerLen = 4
+
+	// MaxFramePayload bounds a frame's payload so a corrupted or hostile
+	// length field cannot make the reader allocate unbounded memory.
+	MaxFramePayload = 32 << 20
+)
+
+// Frame ops. Requests flow frontend→shard, responses shard→frontend.
+const (
+	// OpGetLabels asks for a batch of label records by vertex id.
+	OpGetLabels byte = 1
+	// OpLabels answers OpGetLabels with one record per requested vertex.
+	OpLabels byte = 2
+	// OpPing is the health probe; OpPong answers it with store vitals.
+	OpPing byte = 3
+	OpPong byte = 4
+	// OpError carries a shard-side failure message.
+	OpError byte = 5
+)
+
+// Wire protocol errors.
+var (
+	ErrBadMagic      = errors.New("cluster: bad frame magic")
+	ErrBadVersion    = errors.New("cluster: unsupported frame version")
+	ErrFrameTooLarge = errors.New("cluster: frame payload exceeds limit")
+	ErrCRC           = errors.New("cluster: frame checksum mismatch")
+)
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, op byte, payload []byte) []byte {
+	if len(payload) > MaxFramePayload {
+		panic("cluster: oversized frame payload (caller bug)")
+	}
+	start := len(dst)
+	dst = append(dst, frameMagic0, frameMagic1, frameVer, op)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.ChecksumIEEE(dst[start+3:]) // op + length + payload
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, frameHeaderLen+len(payload)+frameTrailerLen), op, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r, verifying magic, version, length
+// bound and checksum. The returned payload is freshly allocated and
+// safe to retain. Any error other than a clean io.EOF at a frame
+// boundary means the stream can no longer be trusted.
+func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var head [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("cluster: truncated frame header: %w", err)
+		}
+		return 0, nil, err
+	}
+	if head[0] != frameMagic0 || head[1] != frameMagic1 {
+		return 0, nil, ErrBadMagic
+	}
+	if head[2] != frameVer {
+		return 0, nil, ErrBadVersion
+	}
+	op = head[3]
+	size := binary.LittleEndian.Uint32(head[4:8])
+	if size > MaxFramePayload {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, int(size)+frameTrailerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("cluster: truncated frame body: %w", err)
+	}
+	h := crc32.NewIEEE()
+	h.Write(head[3:]) // op + length
+	h.Write(body[:size])
+	if h.Sum32() != binary.LittleEndian.Uint32(body[size:]) {
+		return 0, nil, ErrCRC
+	}
+	return op, body[:size:size], nil
+}
+
+// DecodeFrame parses one frame from the front of buf, returning the
+// remainder. It applies the same validation as ReadFrame and never
+// allocates from attacker-chosen lengths: the payload is a sub-slice of
+// buf.
+func DecodeFrame(buf []byte) (op byte, payload, rest []byte, err error) {
+	if len(buf) < frameHeaderLen+frameTrailerLen {
+		return 0, nil, nil, fmt.Errorf("cluster: short frame: %d bytes", len(buf))
+	}
+	if buf[0] != frameMagic0 || buf[1] != frameMagic1 {
+		return 0, nil, nil, ErrBadMagic
+	}
+	if buf[2] != frameVer {
+		return 0, nil, nil, ErrBadVersion
+	}
+	op = buf[3]
+	size := binary.LittleEndian.Uint32(buf[4:8])
+	if size > MaxFramePayload {
+		return 0, nil, nil, ErrFrameTooLarge
+	}
+	total := frameHeaderLen + int(size) + frameTrailerLen
+	if len(buf) < total {
+		return 0, nil, nil, fmt.Errorf("cluster: truncated frame: have %d of %d bytes", len(buf), total)
+	}
+	payload = buf[frameHeaderLen : frameHeaderLen+int(size)]
+	sum := crc32.ChecksumIEEE(buf[3 : frameHeaderLen+int(size)])
+	if sum != binary.LittleEndian.Uint32(buf[frameHeaderLen+int(size):total]) {
+		return 0, nil, nil, ErrCRC
+	}
+	return op, payload, buf[total:], nil
+}
+
+// maxWireLabelBits rejects absurd per-record bit lengths before any
+// record is acted on (matches the labelstore container's guard).
+const maxWireLabelBits = 1 << 40
+
+// AppendLabelRequest encodes an OpGetLabels payload: the vertex ids
+// whose labels the caller wants, in the given order.
+func AppendLabelRequest(dst []byte, ids []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, v := range ids {
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// ParseLabelRequest decodes an OpGetLabels payload.
+func ParseLabelRequest(payload []byte) ([]int32, error) {
+	count, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: label request: bad count")
+	}
+	payload = payload[k:]
+	// Every id costs at least one byte, so a count beyond the remaining
+	// payload is a lie — reject before allocating.
+	if count > uint64(len(payload)) {
+		return nil, fmt.Errorf("cluster: label request: count %d exceeds payload", count)
+	}
+	ids := make([]int32, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return nil, fmt.Errorf("cluster: label request: truncated id %d", i)
+		}
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("cluster: label request: id %d out of range", v)
+		}
+		payload = payload[k:]
+		ids = append(ids, int32(v))
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("cluster: label request: %d trailing bytes", len(payload))
+	}
+	return ids, nil
+}
+
+// LabelRecord is one vertex's answer inside an OpLabels response.
+// Present=false means the shard's partition does not hold that label
+// (the authoritative "no such record here", distinct from a transport
+// failure). Bits/Data mirror the labelstore record encoding.
+type LabelRecord struct {
+	Vertex  int32
+	Present bool
+	Bits    int
+	Data    []byte
+}
+
+// AppendLabelResponse encodes an OpLabels payload: the vertex-id space n
+// of the shard's store, then one record per requested vertex.
+func AppendLabelResponse(dst []byte, n int, recs []LabelRecord) []byte {
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for _, r := range recs {
+		dst = binary.AppendUvarint(dst, uint64(uint32(r.Vertex)))
+		if !r.Present {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		dst = binary.AppendUvarint(dst, uint64(r.Bits))
+		dst = append(dst, r.Data[:(r.Bits+7)/8]...)
+	}
+	return dst
+}
+
+// ParseLabelResponse decodes an OpLabels payload. Record data slices
+// alias the payload; callers that retain them past the payload's
+// lifetime must copy (ReadFrame payloads are freshly allocated, so
+// retaining those is safe).
+func ParseLabelResponse(payload []byte) (n int, recs []LabelRecord, err error) {
+	nv, k := binary.Uvarint(payload)
+	if k <= 0 || nv > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("cluster: label response: bad vertex space")
+	}
+	payload = payload[k:]
+	count, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("cluster: label response: bad count")
+	}
+	payload = payload[k:]
+	// Each record costs at least two bytes (id + presence byte).
+	if count > uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("cluster: label response: count %d exceeds payload", count)
+	}
+	recs = make([]LabelRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return 0, nil, fmt.Errorf("cluster: label response: truncated id %d", i)
+		}
+		if v >= nv {
+			return 0, nil, fmt.Errorf("cluster: label response: vertex %d out of range [0,%d)", v, nv)
+		}
+		payload = payload[k:]
+		if len(payload) == 0 {
+			return 0, nil, fmt.Errorf("cluster: label response: missing presence byte for record %d", i)
+		}
+		present := payload[0]
+		payload = payload[1:]
+		rec := LabelRecord{Vertex: int32(v)}
+		switch present {
+		case 0:
+		case 1:
+			bits, k := binary.Uvarint(payload)
+			if k <= 0 {
+				return 0, nil, fmt.Errorf("cluster: label response: truncated bit length for record %d", i)
+			}
+			if bits > maxWireLabelBits {
+				return 0, nil, fmt.Errorf("cluster: label response: implausible label size %d bits", bits)
+			}
+			payload = payload[k:]
+			nbytes := int((bits + 7) / 8)
+			if nbytes > len(payload) {
+				return 0, nil, fmt.Errorf("cluster: label response: record %d wants %d bytes, %d left", i, nbytes, len(payload))
+			}
+			rec.Present = true
+			rec.Bits = int(bits)
+			rec.Data = payload[:nbytes:nbytes]
+			payload = payload[nbytes:]
+		default:
+			return 0, nil, fmt.Errorf("cluster: label response: bad presence byte %d", present)
+		}
+		recs = append(recs, rec)
+	}
+	if len(payload) != 0 {
+		return 0, nil, fmt.Errorf("cluster: label response: %d trailing bytes", len(payload))
+	}
+	return int(nv), recs, nil
+}
+
+// AppendPong encodes an OpPong payload: the shard's vertex space and how
+// many labels its partition holds.
+func AppendPong(dst []byte, n, labels int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(n))
+	return binary.AppendUvarint(dst, uint64(labels))
+}
+
+// ParsePong decodes an OpPong payload.
+func ParsePong(payload []byte) (n, labels int, err error) {
+	nv, k := binary.Uvarint(payload)
+	if k <= 0 || nv > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("cluster: pong: bad vertex space")
+	}
+	payload = payload[k:]
+	lv, k := binary.Uvarint(payload)
+	if k <= 0 || lv > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("cluster: pong: bad label count")
+	}
+	if len(payload[k:]) != 0 {
+		return 0, 0, fmt.Errorf("cluster: pong: trailing bytes")
+	}
+	return int(nv), int(lv), nil
+}

@@ -174,6 +174,19 @@ func (in *Injector) Separated(now int64, u, v int) bool {
 	return false
 }
 
+// CrashedAt reports whether the crash schedule has router down at time
+// now. Beyond the simulator, the shard-cluster chaos tests drive shard
+// kill/restart from this, so a cluster outage replays the same window
+// as a simulator run built from the same plan.
+func (in *Injector) CrashedAt(now int64, router int) bool {
+	for _, c := range in.plan.Crashes {
+		if c.Router == router && c.At <= now && now < c.RestartAt {
+			return true
+		}
+	}
+	return false
+}
+
 // CutEdge reports whether partition index pi separates u and v (regardless
 // of time) — used by the simulator to find the healed cut edges.
 func (in *Injector) CutEdge(pi, u, v int) bool {

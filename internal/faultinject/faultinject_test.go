@@ -116,3 +116,29 @@ func TestZeroPlanIsPerfect(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashedAt(t *testing.T) {
+	plan := Plan{Crashes: []Crash{
+		{Router: 2, At: 10, RestartAt: 20},
+		{Router: 2, At: 30, RestartAt: 35},
+		{Router: 5, At: 12, RestartAt: 13},
+	}}
+	in, err := NewInjector(plan, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		now    int64
+		router int
+		down   bool
+	}{
+		{9, 2, false}, {10, 2, true}, {19, 2, true}, {20, 2, false},
+		{30, 2, true}, {34, 2, true}, {35, 2, false},
+		{12, 5, true}, {13, 5, false}, {12, 3, false},
+	}
+	for _, c := range cases {
+		if got := in.CrashedAt(c.now, c.router); got != c.down {
+			t.Errorf("CrashedAt(%d, %d) = %v, want %v", c.now, c.router, got, c.down)
+		}
+	}
+}

@@ -322,6 +322,29 @@ func (st *Store) Has(v int) bool {
 	return ok
 }
 
+// Vertices returns the sorted vertex ids whose labels the store holds —
+// for a partition store, the ring slice it is responsible for.
+func (st *Store) Vertices() []int {
+	ids := make([]int, 0, len(st.labels))
+	for v := range st.labels {
+		ids = append(ids, int(v))
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// Raw returns the serialized label record of v without decoding it —
+// the shard-serving path, which ships records over the wire and leaves
+// decoding to the frontend. The returned bytes are shared and must not
+// be mutated.
+func (st *Store) Raw(v int) (bits int, data []byte, ok bool) {
+	rec, ok := st.labels[int32(v)]
+	if !ok {
+		return 0, nil, false
+	}
+	return rec.bits, rec.data, true
+}
+
 // SizeBits returns the total stored label payload in bits.
 func (st *Store) SizeBits() int64 {
 	var total int64
@@ -481,6 +504,19 @@ func bytesEqual(a, b []byte) bool {
 // Save writes the store back out in the container format, so merged
 // bundles can be redistributed.
 func (st *Store) Save(w io.Writer) error {
+	return st.SaveVertices(w, st.Vertices())
+}
+
+// SaveVertices writes a store holding only the given vertices — the
+// partition path: `fsdl partition` calls this once per shard with that
+// shard's ring slice. Records are written in ascending vertex order
+// (duplicates collapsed), so the output is deterministic and the union
+// of a full partitioning re-serves every record byte-identically. A
+// vertex without a label in this store is an error.
+func (st *Store) SaveVertices(w io.Writer, vertices []int) error {
+	ids := slices.Clone(vertices)
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magicV2); err != nil {
 		return fmt.Errorf("labelstore: write magic: %w", err)
@@ -494,17 +530,14 @@ func (st *Store) Save(w io.Writer) error {
 	if err := writeUvarint(uint64(st.n)); err != nil {
 		return err
 	}
-	if err := writeUvarint(uint64(len(st.labels))); err != nil {
+	if err := writeUvarint(uint64(len(ids))); err != nil {
 		return err
 	}
-	// Deterministic order: ascending vertex id.
-	ids := make([]int, 0, len(st.labels))
-	for v := range st.labels {
-		ids = append(ids, int(v))
-	}
-	slices.Sort(ids)
 	for _, v := range ids {
-		rec := st.labels[int32(v)]
+		rec, ok := st.labels[int32(v)]
+		if !ok {
+			return fmt.Errorf("labelstore: no label for vertex %d", v)
+		}
 		if err := writeRecord(bw, v, rec.bits, rec.data); err != nil {
 			return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
 		}

@@ -237,3 +237,93 @@ func TestMergeRejectsMismatch(t *testing.T) {
 		t.Error("empty merge must error")
 	}
 }
+
+func TestSaveVerticesPartitionRoundTrip(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	s := buildScheme(t, g)
+	var full bytes.Buffer
+	if err := Save(&full, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := full.Bytes()
+	st, err := Load(bytes.NewReader(fullBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the store into three interleaved partitions (duplicated and
+	// unsorted input exercises the canonicalization), reload each, and
+	// merge: the union must re-serve every record byte-identically.
+	var parts []*Store
+	for p := 0; p < 3; p++ {
+		var ids []int
+		for v := 63; v >= 0; v-- {
+			if v%3 == p {
+				ids = append(ids, v, v) // duplicates collapse
+			}
+		}
+		var buf bytes.Buffer
+		if err := st.SaveVertices(&buf, ids); err != nil {
+			t.Fatalf("SaveVertices part %d: %v", p, err)
+		}
+		ps, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load part %d: %v", p, err)
+		}
+		if ps.NumVertices() != 64 {
+			t.Fatalf("part %d: vertex space %d, want the global 64", p, ps.NumVertices())
+		}
+		for _, v := range ps.Vertices() {
+			wb, wd, _ := st.Raw(v)
+			gb, gd, ok := ps.Raw(v)
+			if !ok || gb != wb || !bytes.Equal(gd, wd) {
+				t.Fatalf("part %d vertex %d: raw record differs from original", p, v)
+			}
+		}
+		parts = append(parts, ps)
+	}
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	var rejoined bytes.Buffer
+	if err := merged.Save(&rejoined); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rejoined.Bytes(), fullBytes) {
+		t.Fatal("union of partitions is not byte-identical to the original store")
+	}
+
+	// A vertex the store does not hold is an error, not a silent skip.
+	var buf bytes.Buffer
+	if err := st.SaveVertices(&buf, []int{0, 64}); err == nil {
+		t.Fatal("SaveVertices accepted an out-of-store vertex")
+	}
+}
+
+func TestVerticesAndRaw(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	s := buildScheme(t, g)
+	var buf bytes.Buffer
+	if err := Save(&buf, s, []int{5, 2, 9}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := st.Vertices()
+	if len(ids) != 3 || ids[0] != 2 || ids[1] != 5 || ids[2] != 9 {
+		t.Fatalf("Vertices() = %v, want [2 5 9]", ids)
+	}
+	bits, data, ok := st.Raw(5)
+	if !ok || bits <= 0 || len(data) != (bits+7)/8 {
+		t.Fatalf("Raw(5) = (%d, %d bytes, %v)", bits, len(data), ok)
+	}
+	if l, err := core.DecodeLabel(data, bits); err != nil || l == nil {
+		t.Fatalf("raw record does not decode: %v", err)
+	}
+	if _, _, ok := st.Raw(3); ok {
+		t.Fatal("Raw reported a record the store does not hold")
+	}
+}

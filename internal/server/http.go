@@ -96,7 +96,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrDeadline):
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		// The client already hung up; the status is a formality.
 		status = http.StatusServiceUnavailable
 	case strings.Contains(err.Error(), "no label for vertex"):
 		status = http.StatusNotFound
@@ -191,11 +194,15 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status": "ok",
-		"n":      s.store.NumVertices(),
-		"labels": s.store.NumLabels(),
-	})
+		"n":      s.src.NumVertices(),
+		"labels": s.src.NumLabels(),
+	}
+	if hr, ok := s.src.(HealthReporter); ok {
+		body["cluster"] = hr.HealthJSON()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

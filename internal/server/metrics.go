@@ -31,6 +31,7 @@ type metrics struct {
 
 	rejectedOverload atomic.Int64
 	rejectedDeadline atomic.Int64
+	canceledMidBatch atomic.Int64
 	errors           atomic.Int64
 
 	inflight atomic.Int64
@@ -124,6 +125,7 @@ func (m *metrics) render(sb *strings.Builder, cacheLen int, labelHits, labelMiss
 	counter("fsdl_budget_exhausted_total", "Answers whose work budget truncated the sketch.", m.budgetExhausted.Load())
 	counter("fsdl_rejected_total_overload", "Requests rejected because the queue was full.", m.rejectedOverload.Load())
 	counter("fsdl_rejected_total_deadline", "Requests abandoned because their deadline expired while queued.", m.rejectedDeadline.Load())
+	counter("fsdl_canceled_mid_batch_total", "Batches abandoned mid-decode because the client disconnected (worker slot returned early).", m.canceledMidBatch.Load())
 	counter("fsdl_errors_total", "Requests that failed with a client or server error.", m.errors.Load())
 	gauge("fsdl_inflight", "Queries currently executing or queued.", m.inflight.Load())
 

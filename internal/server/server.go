@@ -27,14 +27,19 @@ import (
 	"fsdl/internal/oracle"
 )
 
-// Config configures a Server. Store is required; everything else has a
-// serviceable default.
+// Config configures a Server. Exactly one of Store and Source is
+// required; everything else has a serviceable default.
 type Config struct {
 	// Store is the loaded label container (strict Load or salvaged
 	// LoadPartial — pass the SalvageReport in Report for the latter so
 	// the salvage counters surface in /metrics).
 	Store  *labelstore.Store
 	Report *labelstore.SalvageReport
+
+	// Source is an alternative label provider — a cluster.Frontend
+	// scatter-gathering labels from shard servers, or any other
+	// LabelSource. Mutually exclusive with Store.
+	Source LabelSource
 
 	// Graph, when non-nil, enables the dynamic-oracle query path: the
 	// fail/recover endpoints keep an oracle.Dynamic over this graph in
@@ -112,9 +117,9 @@ type State struct {
 // maintaining a global fault overlay that every query sees unioned with
 // its own fault set. Safe for concurrent use.
 type Server struct {
-	cfg   Config
-	store *labelstore.Store
-	dyn   *oracle.Dynamic
+	cfg Config
+	src LabelSource
+	dyn *oracle.Dynamic
 
 	// overlayMu guards overlay, the fault set applied to every query.
 	overlayMu sync.RWMutex
@@ -129,10 +134,16 @@ type Server struct {
 	queued chan struct{}
 }
 
-// New builds a Server over cfg.Store.
+// New builds a Server over cfg.Store or cfg.Source.
 func New(cfg Config) (*Server, error) {
-	if cfg.Store == nil {
-		return nil, fmt.Errorf("server: Config.Store is required")
+	src := cfg.Source
+	switch {
+	case cfg.Store != nil && src != nil:
+		return nil, fmt.Errorf("server: Config.Store and Config.Source are mutually exclusive")
+	case cfg.Store != nil:
+		src = storeSource{st: cfg.Store}
+	case src == nil:
+		return nil, fmt.Errorf("server: one of Config.Store or Config.Source is required")
 	}
 	if cfg.Epsilon <= 0 {
 		cfg.Epsilon = 2
@@ -154,7 +165,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
-		store:   cfg.Store,
+		src:     src,
 		overlay: graph.NewFaultSet(),
 		cache:   newResultCache(cfg.CacheCapacity, cfg.CacheShards),
 		met:     newMetrics(),
@@ -162,9 +173,9 @@ func New(cfg Config) (*Server, error) {
 		queued:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 	}
 	if cfg.Graph != nil {
-		if cfg.Graph.NumVertices() != cfg.Store.NumVertices() {
+		if cfg.Graph.NumVertices() != src.NumVertices() {
 			return nil, fmt.Errorf("server: graph has %d vertices, store covers %d",
-				cfg.Graph.NumVertices(), cfg.Store.NumVertices())
+				cfg.Graph.NumVertices(), src.NumVertices())
 		}
 		dyn, err := oracle.NewDynamic(cfg.Graph, cfg.Epsilon, cfg.DynThreshold)
 		if err != nil {
@@ -184,7 +195,7 @@ func New(cfg Config) (*Server, error) {
 }
 
 // NumVertices returns the vertex-id space served.
-func (s *Server) NumVertices() int { return s.store.NumVertices() }
+func (s *Server) NumVertices() int { return s.src.NumVertices() }
 
 // admit acquires a worker slot, waiting until one frees or the context
 // deadline passes; it fails fast with ErrOverloaded when the queue is
@@ -272,13 +283,16 @@ type faultTemplate struct {
 	degradedEdges [][2]int32
 }
 
-func (s *Server) decodeFaults(f *graph.FaultSet) *faultTemplate {
+func (s *Server) decodeFaults(ctx context.Context, f *graph.FaultSet) *faultTemplate {
 	t := &faultTemplate{}
 	fv := f.Vertices()
 	slices.Sort(fv)
 	for _, v := range fv {
-		lf, err := s.store.Label(v)
+		lf, err := s.src.Label(ctx, v)
 		if err != nil {
+			// Missing or unreachable fault label: demote to the degraded
+			// tier — the decoder protects a maximal ball around it and
+			// the answer stays an upper bound on d_{G\F}.
 			t.degradedVerts = append(t.degradedVerts, int32(v))
 			continue
 		}
@@ -292,8 +306,8 @@ func (s *Server) decodeFaults(f *graph.FaultSet) *faultTemplate {
 		return a[1] - b[1]
 	})
 	for _, e := range es {
-		la, errA := s.store.Label(e[0])
-		lb, errB := s.store.Label(e[1])
+		la, errA := s.src.Label(ctx, e[0])
+		lb, errB := s.src.Label(ctx, e[1])
 		if errA != nil || errB != nil {
 			t.degradedEdges = append(t.degradedEdges, [2]int32{int32(e[0]), int32(e[1])})
 			continue
@@ -356,8 +370,9 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 	faults := s.effectiveFaults(reqFaults)
 	fhash := faultHash(faults, budget)
 
-	n := s.store.NumVertices()
+	n := s.src.NumVertices()
 	answers := make([]Answer, len(pairs))
+	s.prefetch(ctx, pairs, faults, n)
 	var tmpl *faultTemplate // decoded lazily: an all-hit batch decodes nothing
 	// One pooled decoder serves the whole batch: every miss reuses the
 	// same warmed-up scratch. Endpoint labels come straight from the
@@ -367,6 +382,15 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 	defer dec.Release()
 
 	for i, p := range pairs {
+		// A canceled context means the client hung up: stop decoding
+		// mid-batch and hand the worker slot back to live requests
+		// instead of finishing work nobody will read. Deadline expiry is
+		// deliberately NOT an abort — a slow batch still returns its
+		// (possibly budget-degraded) answers, as it always has.
+		if err := ctx.Err(); errors.Is(err, context.Canceled) {
+			s.met.canceledMidBatch.Add(1)
+			return nil, fmt.Errorf("server: request abandoned after %d of %d pairs: %w", i, len(pairs), err)
+		}
 		src, dst := p[0], p[1]
 		a := Answer{S: src, T: dst}
 		s.met.queries.Add(1)
@@ -391,12 +415,12 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 			continue
 		}
 		s.met.cacheMisses.Add(1)
-		ls, err := s.store.Label(src)
+		ls, err := s.src.Label(ctx, src)
 		if err == nil {
 			var lt *core.Label
-			if lt, err = s.store.Label(dst); err == nil {
+			if lt, err = s.src.Label(ctx, dst); err == nil {
 				if tmpl == nil {
-					tmpl = s.decodeFaults(faults)
+					tmpl = s.decodeFaults(ctx, faults)
 				}
 				q := &core.Query{
 					S: ls, T: lt,
@@ -429,6 +453,39 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 		answers[i] = a
 	}
 	return answers, nil
+}
+
+// prefetch warms the label source with every distinct vertex the batch
+// will touch — endpoints and fault-set members — in one call. Against a
+// cluster source this collapses per-pair scatter-gathers into a single
+// round of shard fetches; against a local store it is a no-op.
+func (s *Server) prefetch(ctx context.Context, pairs [][2]int, faults *graph.FaultSet, n int) {
+	pf, ok := s.src.(Prefetcher)
+	if !ok {
+		return
+	}
+	seen := make(map[int]struct{}, 2*len(pairs)+faults.Size())
+	add := func(v int) {
+		if v >= 0 && v < n {
+			seen[v] = struct{}{}
+		}
+	}
+	for _, p := range pairs {
+		add(p[0])
+		add(p[1])
+	}
+	for _, v := range faults.Vertices() {
+		add(v)
+	}
+	for _, e := range faults.Edges() {
+		add(e[0])
+		add(e[1])
+	}
+	ids := make([]int, 0, len(seen))
+	for v := range seen {
+		ids = append(ids, v)
+	}
+	pf.Prefetch(ctx, ids)
 }
 
 // answerDynamic serves a batch from the dynamic oracle. The caller
@@ -486,7 +543,7 @@ func (s *Server) Recover(vertices []int, edges [][2]int) error {
 }
 
 func (s *Server) applyOverlay(vertices []int, edges [][2]int, fail bool) error {
-	n := s.store.NumVertices()
+	n := s.src.NumVertices()
 	for _, v := range vertices {
 		if v < 0 || v >= n {
 			return fmt.Errorf("server: vertex %d out of range [0,%d)", v, n)
@@ -569,8 +626,8 @@ func (s *Server) Snapshot() State {
 		return a[1] - b[1]
 	})
 	st := State{
-		N:               s.store.NumVertices(),
-		Labels:          s.store.NumLabels(),
+		N:               s.src.NumVertices(),
+		Labels:          s.src.NumLabels(),
 		OverlayVertices: ov,
 		OverlayEdges:    oe,
 		CacheEntries:    s.cache.Len(),
@@ -587,10 +644,15 @@ func (s *Server) Snapshot() State {
 	return st
 }
 
-// Metrics renders the Prometheus text exposition.
+// Metrics renders the Prometheus text exposition, appending any
+// source-specific exposition (cluster fetch latency, hedge rate, shard
+// health) when the label source provides one.
 func (s *Server) Metrics() string {
 	var sb strings.Builder
-	labelHits, labelMisses := s.store.LabelCacheStats()
+	labelHits, labelMisses := s.src.LabelCacheStats()
 	s.met.render(&sb, s.cache.Len(), labelHits, labelMisses, core.DecoderPool())
+	if mw, ok := s.src.(MetricsWriter); ok {
+		mw.WriteMetrics(&sb)
+	}
 	return sb.String()
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -591,3 +592,100 @@ func TestNewValidation(t *testing.T) {
 		t.Error("New without a store should fail")
 	}
 }
+
+// gatedSource is a LabelSource whose Label blocks on designated
+// vertices until the caller's context dies — a stand-in for a hung
+// remote shard fetch.
+type gatedSource struct {
+	st      *labelstore.Store
+	blockOn map[int]bool
+}
+
+func (g gatedSource) NumVertices() int                 { return g.st.NumVertices() }
+func (g gatedSource) NumLabels() int                   { return g.st.NumLabels() }
+func (g gatedSource) LabelCacheStats() (int64, int64)  { return g.st.LabelCacheStats() }
+func (g gatedSource) Label(ctx context.Context, v int) (*core.Label, error) {
+	if g.blockOn[v] {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return g.st.Label(v)
+}
+
+// TestClientDisconnectReturnsSlot: when the requester's context is
+// canceled mid-batch (client hung up), the server must abandon the
+// batch and free its admission slot immediately — not grind through
+// the remaining pairs first.
+func TestClientDisconnectReturnsSlot(t *testing.T) {
+	_, st := testStore(t, 8, 8, 2)
+	src := gatedSource{st: st, blockOn: map[int]bool{0: true}}
+	s := newTestServer(t, Config{Source: src, Workers: 1, CacheCapacity: -1})
+
+	// A big batch whose very first pair hangs in Label until the client
+	// disconnects.
+	pairs := make([][2]int, 256)
+	for i := range pairs {
+		pairs[i] = [2]int{0, 1}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.AnswerPairs(ctx, pairs, nil)
+		errCh <- err
+	}()
+	// Let the batch get admitted and stuck in the gated Label call,
+	// then hang up.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "abandoned") && !strings.Contains(err.Error(), "canceled") {
+			t.Fatalf("abandoned batch returned %v, want cancellation error", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled batch did not return; slot still held")
+	}
+
+	// The single worker slot must be free again: a query on an ungated
+	// vertex answers well inside the deadline.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	ans, err := s.Distance(ctx2, 1, 2, nil)
+	if err != nil {
+		t.Fatalf("query after disconnect: %v (slot not returned?)", err)
+	}
+	if !ans.Connected {
+		t.Fatal("post-disconnect query answered wrong")
+	}
+}
+
+// TestPrefetchSourceSeesBatch: a Prefetcher source receives every
+// distinct in-range vertex of the batch (endpoints and faults) before
+// per-pair answering starts.
+func TestPrefetchSourceSeesBatch(t *testing.T) {
+	_, st := testStore(t, 6, 6, 2)
+	src := &prefetchSpy{gatedSource: gatedSource{st: st}}
+	s := newTestServer(t, Config{Source: src})
+
+	f := graph.NewFaultSet()
+	f.AddVertex(7)
+	f.AddEdge(8, 9)
+	_, err := s.AnswerPairs(context.Background(), [][2]int{{1, 2}, {2, 3}, {1, 2}, {-5, 999999}}, &QueryOptions{Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 7, 8, 9}
+	got := src.got
+	sort.Ints(got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("prefetch saw %v, want %v", got, want)
+	}
+}
+
+type prefetchSpy struct {
+	gatedSource
+	got []int
+}
+
+func (p *prefetchSpy) Prefetch(_ context.Context, ids []int) { p.got = append(p.got, ids...) }

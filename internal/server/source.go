@@ -1,0 +1,62 @@
+package server
+
+import (
+	"context"
+	"strings"
+
+	"fsdl/internal/core"
+	"fsdl/internal/labelstore"
+)
+
+// LabelSource is where the server gets labels from: a local
+// labelstore.Store or a cluster frontend scatter-gathering them from
+// shards. The query path is identical either way — decode happens here,
+// next to the query — which is exactly the property that lets the label
+// space shard: a query needs only the labels of s, t and F, never the
+// graph.
+//
+// Label must honor ctx: a remote source returns promptly with ctx.Err()
+// when the caller is gone. Errors containing "no label for vertex" are
+// authoritative absence (mapped to 404 and degraded-fault handling);
+// anything else is treated as transient unavailability.
+type LabelSource interface {
+	NumVertices() int
+	NumLabels() int
+	Label(ctx context.Context, v int) (*core.Label, error)
+	LabelCacheStats() (hits, misses int64)
+}
+
+// Optional LabelSource capabilities, discovered structurally so this
+// package never imports the cluster package.
+type (
+	// Prefetcher warms a batch of labels in one round trip. The server
+	// calls it with every distinct vertex a batch will touch before
+	// answering pair by pair; failures simply resurface on the per-label
+	// path.
+	Prefetcher interface {
+		Prefetch(ctx context.Context, ids []int)
+	}
+	// MetricsWriter appends source-specific Prometheus exposition to the
+	// server's /metrics output.
+	MetricsWriter interface {
+		WriteMetrics(sb *strings.Builder)
+	}
+	// HealthReporter contributes a JSON-marshalable fragment to
+	// /healthz (e.g. per-shard health).
+	HealthReporter interface {
+		HealthJSON() any
+	}
+)
+
+// storeSource adapts the in-process labelstore.Store to LabelSource.
+// Lookups never block, so ctx is ignored.
+type storeSource struct {
+	st *labelstore.Store
+}
+
+func (s storeSource) NumVertices() int { return s.st.NumVertices() }
+func (s storeSource) NumLabels() int   { return s.st.NumLabels() }
+func (s storeSource) Label(_ context.Context, v int) (*core.Label, error) {
+	return s.st.Label(v)
+}
+func (s storeSource) LabelCacheStats() (int64, int64) { return s.st.LabelCacheStats() }
