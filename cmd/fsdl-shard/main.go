@@ -49,11 +49,11 @@ func run(args []string) error {
 		return err
 	}
 	var st *labelstore.Store
+	var rep *labelstore.SalvageReport
 	if *salvage {
-		var rep *labelstore.SalvageReport
 		st, rep, err = labelstore.LoadPartial(f)
 		if err == nil && rep.Lost() > 0 {
-			fmt.Fprintf(os.Stderr, "fsdl-shard: salvage: kept %d/%d records — the frontend will fail over to replicas for the rest\n",
+			fmt.Fprintf(os.Stderr, "fsdl-shard: salvage: kept %d/%d records — lost ones answer as unknown so the frontend fails over to replicas\n",
 				rep.Kept, rep.Total)
 		}
 	} else {
@@ -64,7 +64,9 @@ func run(args []string) error {
 		return fmt.Errorf("load %s: %w", *storePath, err)
 	}
 
-	srv, err := cluster.NewShardServer(cluster.ShardConfig{Store: st, Name: *name})
+	// The report makes the shard answer salvage-lost vertices with the
+	// wire protocol's "unknown" state instead of authoritative absence.
+	srv, err := cluster.NewShardServer(cluster.ShardConfig{Store: st, Name: *name, Report: rep})
 	if err != nil {
 		return err
 	}

@@ -112,6 +112,12 @@ func TestClusterChaosDegradedUpperBounds(t *testing.T) {
 		// label cached before the crash.
 		cfg.LabelCacheSize = -1
 	})
+	// The result cache is disabled so every step recomputes: the steps
+	// repeat identical queries, and exact answers cached before the
+	// crash would (correctly) keep answering during it, hiding the
+	// degraded path this test exists to exercise. Degraded answers
+	// themselves are never cached — server.TestDegradedAnswersNotCached
+	// pins recovery with the default cache on.
 	srv, err := server.New(server.Config{Source: fe, CacheCapacity: -1})
 	if err != nil {
 		t.Fatal(err)

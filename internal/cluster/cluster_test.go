@@ -391,3 +391,281 @@ func TestFrontendStartupRequiresAShard(t *testing.T) {
 		t.Fatal("frontend started with no reachable shard")
 	}
 }
+
+// TestShardResponseChunkingMatchesStore shrinks the per-frame budgets
+// so every batch fetch crosses the chunking paths — multi-frame
+// OpLabelsPart responses and split OpGetLabels requests — and verifies
+// the reassembled labels are byte-identical to the local store.
+func TestShardResponseChunkingMatchesStore(t *testing.T) {
+	_, st := buildFullStore(t, 8)
+	// Budget: the largest single record plus slack, so every record fits
+	// a frame but any two large ones force a chunk boundary.
+	maxRec := 0
+	for _, v := range st.Vertices() {
+		if bits, _, ok := st.Raw(v); ok {
+			r := LabelRecord{Vertex: int32(v), Present: true, Bits: bits}
+			if sz := r.wireSize(); sz > maxRec {
+				maxRec = sz
+			}
+		}
+	}
+	defer func(a, b int) { maxLabelChunkPayload, maxRequestIDs = a, b }(maxLabelChunkPayload, maxRequestIDs)
+	maxLabelChunkPayload = maxRec + 64
+	maxRequestIDs = 7
+
+	tc := startCluster(t, st, 2, 1, nil)
+	f := newTestFrontend(t, tc, nil)
+	ctx := context.Background()
+
+	ids := make([]int, st.NumVertices())
+	for v := range ids {
+		ids[v] = v
+	}
+	f.Prefetch(ctx, ids)
+	for v := 0; v < st.NumVertices(); v++ {
+		got, err := f.Label(ctx, v)
+		if err != nil {
+			t.Fatalf("Label(%d) with chunked wire: %v", v, err)
+		}
+		want, err := st.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(labelBytes(t, got), labelBytes(t, want)) {
+			t.Fatalf("label %d differs through chunked fetch", v)
+		}
+	}
+
+	// A direct big request must actually produce continuation frames.
+	conn, err := net.Dial("tcp", tc.membership.Nodes[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	all := make([]int32, st.NumVertices())
+	for v := range all {
+		all[v] = int32(v)
+	}
+	if err := WriteFrame(conn, OpGetLabels, AppendLabelRequest(nil, all)); err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	for {
+		op, payload, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("frame %d: %v", frames, err)
+		}
+		if op != OpLabels && op != OpLabelsPart {
+			t.Fatalf("frame %d: unexpected op %d (%s)", frames, op, payload)
+		}
+		if len(payload) > maxLabelChunkPayload {
+			t.Fatalf("chunk payload %d exceeds budget %d", len(payload), maxLabelChunkPayload)
+		}
+		if _, _, err := ParseLabelResponse(payload); err != nil {
+			t.Fatalf("chunk %d does not parse: %v", frames, err)
+		}
+		frames++
+		if op == OpLabels {
+			break
+		}
+	}
+	if frames < 2 {
+		t.Fatalf("big response arrived in %d frame(s); chunking never engaged", frames)
+	}
+}
+
+// TestShardOversizedRecordAnswersError pins the no-panic contract: when
+// even a single record cannot fit a frame, the shard answers OpError on
+// a live connection instead of dying in AppendFrame.
+func TestShardOversizedRecordAnswersError(t *testing.T) {
+	_, st := buildFullStore(t, 4)
+	defer func(a int) { maxLabelChunkPayload = a }(maxLabelChunkPayload)
+	maxLabelChunkPayload = 8 // below even the chunk header
+
+	srv, err := NewShardServer(ShardConfig{Store: st, Name: "s0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, OpGetLabels, AppendLabelRequest(nil, []int32{1})); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	op, payload, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("shard dropped the connection instead of answering: %v", err)
+	}
+	if op != OpError || !strings.Contains(string(payload), "too large") {
+		t.Fatalf("got op=%d payload=%q, want OpError about an oversized label", op, payload)
+	}
+	// The connection survives for well-formed traffic.
+	if err := WriteFrame(conn, OpPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if op, _, err = ReadFrame(conn); err != nil || op != OpPong {
+		t.Fatalf("connection unusable after oversize error: op=%d err=%v", op, err)
+	}
+}
+
+// TestSalvagedShardFailsOverToReplica: a shard running off a
+// salvage-loaded partition answers lost records with the "unknown"
+// state, so the frontend advances to an intact replica instead of
+// negative-caching the loss into a permanent 404.
+func TestSalvagedShardFailsOverToReplica(t *testing.T) {
+	_, st := buildFullStore(t, 6)
+
+	// shard1's copy is damaged: truncate the serialized store so the
+	// tail records are lost in salvage.
+	var buf bytes.Buffer
+	if err := st.SaveVertices(&buf, st.Vertices()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	salvStore, rep, err := labelstore.LoadPartial(bytes.NewReader(full[:len(full)-100]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost() == 0 {
+		t.Fatal("truncation lost no records; test is vacuous")
+	}
+
+	mk := func(cfg ShardConfig) string {
+		t.Helper()
+		srv, err := NewShardServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		return ln.Addr().String()
+	}
+	addr0 := mk(ShardConfig{Store: st, Name: "shard0"})
+	addr1 := mk(ShardConfig{Store: salvStore, Name: "shard1", Report: rep})
+
+	// R=2 over two shards: both own every vertex, so each lost label has
+	// an intact replica at shard0 regardless of who is primary.
+	m := &Membership{Replication: 2, Nodes: []Node{
+		{Name: "shard0", Addr: addr0},
+		{Name: "shard1", Addr: addr1},
+	}}
+	f := newTestFrontend(t, &testCluster{membership: m}, nil)
+	ctx := context.Background()
+
+	// Every label must resolve — salvage loss on one replica is not
+	// absence — and none may land in the negative cache.
+	for v := 0; v < st.NumVertices(); v++ {
+		got, err := f.Label(ctx, v)
+		if err != nil {
+			t.Fatalf("Label(%d) with a salvaged replica: %v", v, err)
+		}
+		want, err := st.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(labelBytes(t, got), labelBytes(t, want)) {
+			t.Fatalf("label %d differs after salvage failover", v)
+		}
+	}
+	if f.met.unavailable.Load() != 0 {
+		t.Fatalf("%d labels reported unavailable though shard0 holds everything", f.met.unavailable.Load())
+	}
+
+	// The wire answer for a lost vertex is the unknown state, not
+	// authoritative absence.
+	lost := -1
+	for _, v := range st.Vertices() {
+		if !salvStore.Has(v) {
+			lost = v
+			break
+		}
+	}
+	if lost < 0 {
+		t.Fatal("no lost vertex found")
+	}
+	conn, err := net.Dial("tcp", addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, OpGetLabels, AppendLabelRequest(nil, []int32{int32(lost)})); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := ReadFrame(conn)
+	if err != nil || op != OpLabels {
+		t.Fatalf("salvaged shard: op=%d err=%v", op, err)
+	}
+	_, recs, err := ParseLabelResponse(payload)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("bad response from salvaged shard: %v", err)
+	}
+	if recs[0].Present || !recs[0].Unknown {
+		t.Fatalf("lost record answered present=%v unknown=%v, want the unknown state", recs[0].Present, recs[0].Unknown)
+	}
+}
+
+// TestSweepHealthExcludesMismatchedShard: a shard that comes (back) up
+// serving a partition from a different store must be excluded from
+// routing by the health sweep, not merely fail every fetch.
+func TestSweepHealthExcludesMismatchedShard(t *testing.T) {
+	_, st := buildFullStore(t, 6)  // n = 36
+	_, st2 := buildFullStore(t, 4) // n = 16: a different store entirely
+
+	shards := []*restartableShard{
+		{store: st, name: "shard0", addr: "127.0.0.1:0"},
+		{store: st, name: "shard1", addr: "127.0.0.1:0"},
+	}
+	m := &Membership{Replication: 1}
+	for _, sh := range shards {
+		sh.start(t)
+		m.Nodes = append(m.Nodes, Node{Name: sh.name, Addr: sh.addr})
+	}
+	t.Cleanup(func() {
+		for _, sh := range shards {
+			sh.stop()
+		}
+	})
+	f := newTestFrontend(t, &testCluster{membership: m}, func(cfg *FrontendConfig) {
+		cfg.HealthInterval = 25 * time.Millisecond
+	})
+
+	// shard1 restarts on the same address with the wrong store.
+	shards[1].stop()
+	shards[1].store = st2
+	shards[1].start(t)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		h := f.Health()
+		if !h[1].Healthy && h[1].Mismatched {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mismatched shard still healthy=%v mismatched=%v after restart with wrong store", h[1].Healthy, h[1].Mismatched)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var sb strings.Builder
+	f.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), `fsdl_cluster_shard_mismatched{shard="shard1"} 1`) {
+		t.Fatal("metrics exposition missing the mismatched-shard gauge")
+	}
+	// shard0 stays healthy and keeps serving its slice.
+	if h := f.Health(); !h[0].Healthy {
+		t.Fatal("intact shard went unhealthy")
+	}
+}

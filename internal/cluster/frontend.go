@@ -108,6 +108,10 @@ type ShardHealth struct {
 	Addr    string `json:"addr"`
 	Healthy bool   `json:"healthy"`
 	Labels  int64  `json:"labels"`
+	// Mismatched flags a reachable shard excluded from routing because
+	// its vertex space disagrees with the cluster's (its partition came
+	// from a different store).
+	Mismatched bool `json:"mismatched,omitempty"`
 }
 
 // NewFrontend connects to the cluster described by cfg.Membership. It
@@ -197,10 +201,11 @@ func (f *Frontend) Health() []ShardHealth {
 	out := make([]ShardHealth, len(f.nodes))
 	for i, c := range f.nodes {
 		out[i] = ShardHealth{
-			Name:    c.node.Name,
-			Addr:    c.node.Addr,
-			Healthy: c.healthy.Load(),
-			Labels:  c.lastLabels.Load(),
+			Name:       c.node.Name,
+			Addr:       c.node.Addr,
+			Healthy:    c.healthy.Load(),
+			Labels:     c.lastLabels.Load(),
+			Mismatched: c.mismatched.Load(),
 		}
 	}
 	return out
@@ -389,6 +394,14 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 				if !ok {
 					continue // shard skipped it; treat as a failed attempt
 				}
+				if rec.Unknown {
+					// Salvage-lost on that replica: not an authoritative
+					// absence, so treat it like a failed attempt and let the
+					// relaunch below advance to the next replica. Crucially
+					// it must NOT enter the negative cache — intact replicas
+					// may still hold the label.
+					continue
+				}
 				if !rec.Present {
 					f.negCache.Put(v, struct{}{})
 					out[v] = fetchResult{absent: true}
@@ -446,7 +459,12 @@ func (f *Frontend) healthLoop() {
 }
 
 // sweepHealth pings every shard in parallel and updates their health
-// bits and vitals.
+// bits and vitals. A shard that answers but reports a different vertex
+// space than the cluster's is serving a partition from a different
+// store: it is excluded from routing (every fetch to it would fail the
+// per-call n check anyway) and flagged mismatched so the
+// misconfiguration surfaces in /metrics instead of as per-fetch
+// transient errors.
 func (f *Frontend) sweepHealth() {
 	var wg sync.WaitGroup
 	for _, c := range f.nodes {
@@ -462,6 +480,12 @@ func (f *Frontend) sweepHealth() {
 			}
 			c.lastN.Store(int64(n))
 			c.lastLabels.Store(int64(labels))
+			if f.n > 0 && n != f.n {
+				c.mismatched.Store(true)
+				c.healthy.Store(false)
+				return
+			}
+			c.mismatched.Store(false)
 			c.healthy.Store(true)
 		}(c)
 	}
@@ -478,6 +502,7 @@ type shardClient struct {
 	idle []net.Conn
 
 	healthy    atomic.Bool
+	mismatched atomic.Bool
 	lastN      atomic.Int64
 	lastLabels atomic.Int64
 
@@ -497,52 +522,78 @@ func newShardClient(nd Node, cfg FrontendConfig) *shardClient {
 	}
 }
 
+// maxRequestIDs bounds the ids carried by one OpGetLabels frame, so a
+// request payload stays far below MaxFramePayload no matter how large a
+// prefetch gets (≤5 bytes per id ≈ 320 KiB at this cap). A var so tests
+// can shrink it to force chunking.
+var maxRequestIDs = 1 << 16
+
 // getLabels fetches a batch of label records, validating that the shard
-// serves the expected vertex space.
+// serves the expected vertex space. Batches past maxRequestIDs split
+// into sequential RPCs; responses may arrive chunked (OpLabelsPart…
+// OpLabels) and are merged here.
 func (c *shardClient) getLabels(ctx context.Context, ids []int32, wantN int) (map[int32]LabelRecord, error) {
+	out := make(map[int32]LabelRecord, len(ids))
+	for len(ids) > 0 {
+		chunk := ids
+		if len(chunk) > maxRequestIDs {
+			chunk = chunk[:maxRequestIDs]
+		}
+		ids = ids[len(chunk):]
+		if err := c.getLabelsChunk(ctx, chunk, wantN, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *shardClient) getLabelsChunk(ctx context.Context, ids []int32, wantN int, out map[int32]LabelRecord) error {
 	c.fetches.Add(1)
 	start := time.Now()
-	op, resp, err := c.call(ctx, OpGetLabels, AppendLabelRequest(nil, ids))
+	// Every response chunk carries at least one record, so a well-behaved
+	// shard sends at most len(ids) continuation frames plus the final one.
+	frames, err := c.call(ctx, OpGetLabels, AppendLabelRequest(nil, ids), len(ids)+1)
 	c.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		c.fetchErrors.Add(1)
-		return nil, err
+		return err
 	}
-	switch op {
-	case OpLabels:
-		n, recs, err := ParseLabelResponse(resp)
-		if err != nil {
+	for _, fr := range frames {
+		switch fr.op {
+		case OpLabels, OpLabelsPart:
+			n, recs, err := ParseLabelResponse(fr.payload)
+			if err != nil {
+				c.fetchErrors.Add(1)
+				return err
+			}
+			if n != wantN {
+				c.fetchErrors.Add(1)
+				return fmt.Errorf("cluster: shard %s serves vertex space %d, want %d", c.node.Name, n, wantN)
+			}
+			for _, r := range recs {
+				out[r.Vertex] = r
+			}
+		case OpError:
 			c.fetchErrors.Add(1)
-			return nil, err
-		}
-		if n != wantN {
+			return fmt.Errorf("%w: %s", errShardError, fr.payload)
+		default:
 			c.fetchErrors.Add(1)
-			return nil, fmt.Errorf("cluster: shard %s serves vertex space %d, want %d", c.node.Name, n, wantN)
+			return fmt.Errorf("cluster: unexpected response op %d", fr.op)
 		}
-		out := make(map[int32]LabelRecord, len(recs))
-		for _, r := range recs {
-			out[r.Vertex] = r
-		}
-		return out, nil
-	case OpError:
-		c.fetchErrors.Add(1)
-		return nil, fmt.Errorf("%w: %s", errShardError, resp)
-	default:
-		c.fetchErrors.Add(1)
-		return nil, fmt.Errorf("cluster: unexpected response op %d", op)
 	}
+	return nil
 }
 
 // ping probes the shard and returns its vitals.
 func (c *shardClient) ping(ctx context.Context) (n, labels int, err error) {
-	op, resp, err := c.call(ctx, OpPing, nil)
+	frames, err := c.call(ctx, OpPing, nil, 1)
 	if err != nil {
 		return 0, 0, err
 	}
-	if op != OpPong {
-		return 0, 0, fmt.Errorf("cluster: unexpected ping response op %d", op)
+	if frames[0].op != OpPong {
+		return 0, 0, fmt.Errorf("cluster: unexpected ping response op %d", frames[0].op)
 	}
-	return parsePongChecked(resp)
+	return parsePongChecked(frames[0].payload)
 }
 
 func parsePongChecked(resp []byte) (n, labels int, err error) {
@@ -556,12 +607,20 @@ func parsePongChecked(resp []byte) (n, labels int, err error) {
 	return n, labels, nil
 }
 
+// wireFrame is one response frame as received off the wire.
+type wireFrame struct {
+	op      byte
+	payload []byte
+}
+
 // call performs one request/response exchange, reusing a pooled
-// connection when one is idle. A stale pooled connection (closed by the
-// peer between calls) is retried once on a fresh dial; any other
-// transport failure marks the shard unhealthy until the next successful
-// probe.
-func (c *shardClient) call(ctx context.Context, op byte, payload []byte) (byte, []byte, error) {
+// connection when one is idle. A response may span several frames
+// (OpLabelsPart continuations closed by a non-continuation frame);
+// maxFrames bounds how many the peer may send. A stale pooled
+// connection (closed by the peer between calls) is retried once on a
+// fresh dial; any other transport failure marks the shard unhealthy
+// until the next successful probe.
+func (c *shardClient) call(ctx context.Context, op byte, payload []byte, maxFrames int) ([]wireFrame, error) {
 	deadline := time.Now().Add(c.cfg.FetchTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
@@ -570,29 +629,42 @@ func (c *shardClient) call(ctx context.Context, op byte, payload []byte) (byte, 
 		conn, pooled, err := c.getConn(deadline)
 		if err != nil {
 			c.healthy.Store(false)
-			return 0, nil, err
+			return nil, err
 		}
 		conn.SetDeadline(deadline)
-		respOp, resp, err := roundTrip(conn, op, payload)
+		frames, err := roundTrip(conn, op, payload, maxFrames)
 		if err != nil {
 			conn.Close()
 			if pooled && attempt == 0 {
 				continue // stale pooled conn; one retry on a fresh dial
 			}
 			c.healthy.Store(false)
-			return 0, nil, err
+			return nil, err
 		}
 		conn.SetDeadline(time.Time{})
 		c.putConn(conn)
-		return respOp, resp, nil
+		return frames, nil
 	}
 }
 
-func roundTrip(conn net.Conn, op byte, payload []byte) (byte, []byte, error) {
+func roundTrip(conn net.Conn, op byte, payload []byte, maxFrames int) ([]wireFrame, error) {
 	if err := WriteFrame(conn, op, payload); err != nil {
-		return 0, nil, err
+		return nil, err
 	}
-	return ReadFrame(conn)
+	var frames []wireFrame
+	for {
+		rop, p, err := ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, wireFrame{op: rop, payload: p})
+		if rop != OpLabelsPart {
+			return frames, nil
+		}
+		if len(frames) >= maxFrames {
+			return nil, fmt.Errorf("cluster: response exceeded %d frames", maxFrames)
+		}
+	}
 }
 
 func (c *shardClient) getConn(deadline time.Time) (conn net.Conn, pooled bool, err error) {

@@ -16,6 +16,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, OpLabels, AppendLabelResponse(nil, 100, []LabelRecord{
 		{Vertex: 5, Present: true, Bits: 19, Data: []byte{1, 2, 3}},
 		{Vertex: 7},
+		{Vertex: 9, Unknown: true},
+	})))
+	f.Add(AppendFrame(nil, OpLabelsPart, AppendLabelResponse(nil, 100, []LabelRecord{
+		{Vertex: 1, Present: true, Bits: 8, Data: []byte{0xaa}},
 	})))
 	f.Add(AppendFrame(nil, OpPing, nil))
 	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 86)))
@@ -68,7 +72,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			if !bytes.Equal(AppendLabelRequest(nil, ids2), enc) {
 				t.Fatal("label request does not round-trip")
 			}
-		case OpLabels:
+		case OpLabels, OpLabelsPart:
 			n, recs, err := ParseLabelResponse(payload)
 			if err != nil {
 				return

@@ -65,6 +65,14 @@ func (f *Frontend) WriteMetrics(sb *strings.Builder) {
 		}
 		fmt.Fprintf(sb, "fsdl_cluster_shard_healthy{shard=%q} %d\n", c.node.Name, up)
 	}
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_shard_mismatched Reachable shards excluded from routing because their vertex space disagrees with the cluster (partition from a different store).\n# TYPE fsdl_cluster_shard_mismatched gauge\n")
+	for _, c := range f.nodes {
+		bad := 0
+		if c.mismatched.Load() {
+			bad = 1
+		}
+		fmt.Fprintf(sb, "fsdl_cluster_shard_mismatched{shard=%q} %d\n", c.node.Name, bad)
+	}
 	fmt.Fprintf(sb, "# HELP fsdl_cluster_shard_fetches_total Fetch RPCs sent per shard.\n# TYPE fsdl_cluster_shard_fetches_total counter\n")
 	for _, c := range f.nodes {
 		fmt.Fprintf(sb, "fsdl_cluster_shard_fetches_total{shard=%q} %d\n", c.node.Name, c.fetches.Load())

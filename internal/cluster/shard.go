@@ -19,6 +19,13 @@ type ShardConfig struct {
 	Store *labelstore.Store
 	// Name identifies the shard in errors (optional).
 	Name string
+	// Report, when non-nil, is the salvage report from loading Store
+	// via labelstore.LoadPartial. Vertices it lists as corrupt — and,
+	// when the file was truncated, every vertex the store lacks — are
+	// answered with the "unknown" presence state instead of
+	// authoritative absence, so the frontend fails over to an intact
+	// replica rather than negative-caching the loss.
+	Report *labelstore.SalvageReport
 	// FaultHook, when non-nil, is consulted once per received request
 	// frame; a non-nil return makes the server drop the connection
 	// without replying — the chaos tests' injection point for
@@ -34,6 +41,11 @@ type ShardConfig struct {
 // connections for parallelism.
 type ShardServer struct {
 	cfg ShardConfig
+
+	// salvageLost holds the vertices cfg.Report marked corrupt;
+	// salvageTrunc mirrors its Truncated flag (lost vertices unknown).
+	salvageLost  map[int32]struct{}
+	salvageTrunc bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -52,7 +64,15 @@ func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("cluster: ShardConfig.Store is required")
 	}
-	return &ShardServer{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+	s := &ShardServer{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.Report != nil {
+		s.salvageTrunc = cfg.Report.Truncated
+		s.salvageLost = make(map[int32]struct{}, len(cfg.Report.Corrupt))
+		for _, v := range cfg.Report.Corrupt {
+			s.salvageLost[v] = struct{}{}
+		}
+	}
+	return s, nil
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -135,7 +155,7 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	// scratch buffers reused across requests on this connection.
-	var payload, frame []byte
+	bufs := &connBufs{}
 	for {
 		op, req, err := ReadFrame(br)
 		if err != nil {
@@ -149,34 +169,112 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 				return
 			}
 		}
-		payload = payload[:0]
-		respOp := OpError
+		var werr error
 		switch op {
 		case OpPing:
-			respOp = OpPong
-			payload = AppendPong(payload, s.cfg.Store.NumVertices(), s.cfg.Store.NumLabels())
+			bufs.payload = AppendPong(bufs.payload[:0], s.cfg.Store.NumVertices(), s.cfg.Store.NumLabels())
+			werr = s.writeFrame(bw, bufs, OpPong, bufs.payload)
 		case OpGetLabels:
 			ids, err := ParseLabelRequest(req)
 			if err == nil {
 				err = s.checkRange(ids)
 			}
 			if err != nil {
-				payload = append(payload, s.errText(err)...)
-				break
+				werr = s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
+			} else {
+				werr = s.writeLabels(bw, bufs, ids)
 			}
-			respOp = OpLabels
-			payload = s.appendLabels(payload, ids)
 		default:
-			payload = append(payload, s.errText(fmt.Errorf("cluster: unknown op %d", op))...)
+			werr = s.writeFrame(bw, bufs, OpError, []byte(s.errText(fmt.Errorf("cluster: unknown op %d", op))))
 		}
-		frame = AppendFrame(frame[:0], respOp, payload)
-		if _, err := bw.Write(frame); err != nil {
+		if werr != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// connBufs are per-connection scratch buffers reused across requests.
+type connBufs struct {
+	payload, frame []byte
+}
+
+// writeFrame frames payload and writes it to bw. An oversized payload
+// — impossible by construction, but the process must not die on a
+// construction bug — degrades to an OpError the frontend treats as a
+// failed attempt, instead of reaching AppendFrame's panic.
+func (s *ShardServer) writeFrame(bw *bufio.Writer, bufs *connBufs, op byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return s.writeFrame(bw, bufs, OpError,
+			[]byte(s.errText(fmt.Errorf("cluster: response payload %d bytes exceeds frame limit", len(payload)))))
+	}
+	bufs.frame = AppendFrame(bufs.frame[:0], op, payload)
+	_, err := bw.Write(bufs.frame)
+	return err
+}
+
+// maxLabelChunkPayload bounds one OpLabels/OpLabelsPart payload. It
+// sits under MaxFramePayload with headroom for the chunk header, so a
+// label response of any total size frames cleanly. A var so tests can
+// shrink it to force chunking with small labels.
+var maxLabelChunkPayload = MaxFramePayload - 4096
+
+// writeLabels answers one OpGetLabels request, splitting the response
+// into as many OpLabelsPart frames as the payload bound requires; the
+// final (often only) chunk goes out as OpLabels.
+func (s *ShardServer) writeLabels(bw *bufio.Writer, bufs *connBufs, ids []int32) error {
+	// Room for the chunk header: vertex space + record count uvarints.
+	const headerSize = 2 * 10 // binary.MaxVarintLen64
+	recs := make([]LabelRecord, 0, len(ids))
+	size := headerSize
+	flush := func(op byte) error {
+		bufs.payload = AppendLabelResponse(bufs.payload[:0], s.cfg.Store.NumVertices(), recs)
+		if err := s.writeFrame(bw, bufs, op, bufs.payload); err != nil {
+			return err
+		}
+		recs = recs[:0]
+		size = headerSize
+		return nil
+	}
+	for _, v := range ids {
+		rec := s.lookupRecord(v)
+		rsz := rec.wireSize()
+		if headerSize+rsz > maxLabelChunkPayload {
+			// A single record that cannot fit any frame: the request as a
+			// whole is unanswerable, and saying so beats crashing.
+			return s.writeFrame(bw, bufs, OpError,
+				[]byte(s.errText(fmt.Errorf("cluster: label of vertex %d too large for one frame", v))))
+		}
+		if size+rsz > maxLabelChunkPayload {
+			if err := flush(OpLabelsPart); err != nil {
+				return err
+			}
+		}
+		recs = append(recs, rec)
+		size += rsz
+	}
+	return flush(OpLabels)
+}
+
+// lookupRecord resolves one vertex against the store, distinguishing
+// authoritative absence from salvage loss.
+func (s *ShardServer) lookupRecord(v int32) LabelRecord {
+	rec := LabelRecord{Vertex: v}
+	if bits, data, ok := s.cfg.Store.Raw(int(v)); ok {
+		rec.Present, rec.Bits, rec.Data = true, bits, data
+		s.LabelsServed.Add(1)
+		return rec
+	}
+	if s.salvageTrunc {
+		// The framing break lost an unknowable suffix of the records:
+		// nothing this store lacks can be called authoritatively absent.
+		rec.Unknown = true
+	} else if _, lost := s.salvageLost[v]; lost {
+		rec.Unknown = true
+	}
+	return rec
 }
 
 // checkRange rejects requests naming vertices outside the store's
@@ -190,19 +288,6 @@ func (s *ShardServer) checkRange(ids []int32) error {
 		}
 	}
 	return nil
-}
-
-func (s *ShardServer) appendLabels(dst []byte, ids []int32) []byte {
-	recs := make([]LabelRecord, 0, len(ids))
-	for _, v := range ids {
-		rec := LabelRecord{Vertex: v}
-		if bits, data, ok := s.cfg.Store.Raw(int(v)); ok {
-			rec.Present, rec.Bits, rec.Data = true, bits, data
-			s.LabelsServed.Add(1)
-		}
-		recs = append(recs, rec)
-	}
-	return AppendLabelResponse(dst, s.cfg.Store.NumVertices(), recs)
 }
 
 func (s *ShardServer) errText(err error) string {

@@ -47,6 +47,12 @@ const (
 	OpPong byte = 4
 	// OpError carries a shard-side failure message.
 	OpError byte = 5
+	// OpLabelsPart is a continuation chunk of an OpLabels response:
+	// the payload encoding is identical, but more frames follow for the
+	// same request. The final chunk arrives as a plain OpLabels frame,
+	// so a response — however many labels it carries — never needs a
+	// payload past MaxFramePayload.
+	OpLabelsPart byte = 6
 )
 
 // Wire protocol errors.
@@ -190,14 +196,29 @@ func ParseLabelRequest(payload []byte) ([]int32, error) {
 }
 
 // LabelRecord is one vertex's answer inside an OpLabels response.
-// Present=false means the shard's partition does not hold that label
-// (the authoritative "no such record here", distinct from a transport
-// failure). Bits/Data mirror the labelstore record encoding.
+// Present=false with Unknown=false means the shard's partition does
+// not hold that label (the authoritative "no such record here",
+// distinct from a transport failure). Unknown=true means the shard
+// cannot answer authoritatively — the record was lost to corruption
+// when the store was salvage-loaded — so the caller should try another
+// replica and must not cache the absence. Bits/Data mirror the
+// labelstore record encoding.
 type LabelRecord struct {
 	Vertex  int32
 	Present bool
+	Unknown bool
 	Bits    int
 	Data    []byte
+}
+
+// wireSize returns an upper bound on r's encoded size inside an
+// OpLabels payload — the shard's chunking budget unit.
+func (r LabelRecord) wireSize() int {
+	const idAndPresence = binary.MaxVarintLen32 + 1
+	if !r.Present {
+		return idAndPresence
+	}
+	return idAndPresence + binary.MaxVarintLen64 + (r.Bits+7)/8
 }
 
 // AppendLabelResponse encodes an OpLabels payload: the vertex-id space n
@@ -207,13 +228,16 @@ func AppendLabelResponse(dst []byte, n int, recs []LabelRecord) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(recs)))
 	for _, r := range recs {
 		dst = binary.AppendUvarint(dst, uint64(uint32(r.Vertex)))
-		if !r.Present {
+		switch {
+		case r.Present:
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(r.Bits))
+			dst = append(dst, r.Data[:(r.Bits+7)/8]...)
+		case r.Unknown:
+			dst = append(dst, 2)
+		default:
 			dst = append(dst, 0)
-			continue
 		}
-		dst = append(dst, 1)
-		dst = binary.AppendUvarint(dst, uint64(r.Bits))
-		dst = append(dst, r.Data[:(r.Bits+7)/8]...)
 	}
 	return dst
 }
@@ -255,6 +279,8 @@ func ParseLabelResponse(payload []byte) (n int, recs []LabelRecord, err error) {
 		rec := LabelRecord{Vertex: int32(v)}
 		switch present {
 		case 0:
+		case 2:
+			rec.Unknown = true
 		case 1:
 			bits, k := binary.Uvarint(payload)
 			if k <= 0 {

@@ -27,6 +27,15 @@ import (
 // (endpoint label not in the store), 429 (queue full), or 503
 // (deadline expired while queued).
 
+// Per-request size caps. Each pair and each fault fans out into label
+// fetches (against a cluster source, shard RPCs), so unbounded requests
+// could drive arbitrarily large scatter-gathers and response frames;
+// past these limits the request is rejected with 400 instead.
+const (
+	maxBatchPairs    = 4096
+	maxRequestFaults = 4096
+)
+
 // queryRequest is the wire form of a distance/connected/batch request.
 type queryRequest struct {
 	S     int      `json:"s"`
@@ -41,6 +50,16 @@ type queryRequest struct {
 	DeadlineMS int `json:"deadline_ms"`
 	// Dynamic answers from the dynamic oracle (overlay faults only).
 	Dynamic bool `json:"dynamic"`
+}
+
+func (r *queryRequest) validate() error {
+	if len(r.Pairs) > maxBatchPairs {
+		return fmt.Errorf("batch-distance: %d pairs exceeds the per-request limit of %d", len(r.Pairs), maxBatchPairs)
+	}
+	if nf := len(r.Fail) + len(r.FailEdge); nf > maxRequestFaults {
+		return fmt.Errorf("request names %d faults, limit is %d", nf, maxRequestFaults)
+	}
+	return nil
 }
 
 func (r *queryRequest) options() *QueryOptions {
@@ -126,6 +145,10 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if err := req.validate(); err != nil {
+		s.writeError(w, err)
+		return
+	}
 	ctx := r.Context()
 	if req.DeadlineMS > 0 {
 		var cancel context.CancelFunc
@@ -152,6 +175,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Pairs) == 0 {
 		s.writeError(w, fmt.Errorf("batch-distance: empty pairs"))
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.writeError(w, err)
 		return
 	}
 	ctx := r.Context()

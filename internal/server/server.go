@@ -443,7 +443,15 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 				if res.BudgetExhausted {
 					s.met.budgetExhausted.Add(1)
 				}
-				s.cache.Put(key, a)
+				// Degraded answers are conservative fallbacks for labels
+				// that were unavailable at decode time — often transiently
+				// (a replica set down). Caching one would keep serving the
+				// stale upper bound after the labels return, so only exact
+				// and budget-degraded (deterministic for this key) verdicts
+				// enter the cache.
+				if !res.Degraded {
+					s.cache.Put(key, a)
+				}
 			}
 		}
 		if err != nil {

@@ -601,9 +601,9 @@ type gatedSource struct {
 	blockOn map[int]bool
 }
 
-func (g gatedSource) NumVertices() int                 { return g.st.NumVertices() }
-func (g gatedSource) NumLabels() int                   { return g.st.NumLabels() }
-func (g gatedSource) LabelCacheStats() (int64, int64)  { return g.st.LabelCacheStats() }
+func (g gatedSource) NumVertices() int                { return g.st.NumVertices() }
+func (g gatedSource) NumLabels() int                  { return g.st.NumLabels() }
+func (g gatedSource) LabelCacheStats() (int64, int64) { return g.st.LabelCacheStats() }
 func (g gatedSource) Label(ctx context.Context, v int) (*core.Label, error) {
 	if g.blockOn[v] {
 		<-ctx.Done()
@@ -689,3 +689,126 @@ type prefetchSpy struct {
 }
 
 func (p *prefetchSpy) Prefetch(_ context.Context, ids []int) { p.got = append(p.got, ids...) }
+
+// flakySource is a LabelSource whose designated vertices are
+// transiently unreachable — the label is there, but fetching it fails
+// while down is set, the way a cluster frontend surfaces a replica-set
+// outage.
+type flakySource struct {
+	st   *labelstore.Store
+	mu   sync.Mutex
+	down map[int]bool
+}
+
+func (f *flakySource) setDown(v int, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = map[int]bool{}
+	}
+	f.down[v] = down
+}
+
+func (f *flakySource) NumVertices() int                { return f.st.NumVertices() }
+func (f *flakySource) NumLabels() int                  { return f.st.NumLabels() }
+func (f *flakySource) LabelCacheStats() (int64, int64) { return f.st.LabelCacheStats() }
+func (f *flakySource) Label(ctx context.Context, v int) (*core.Label, error) {
+	f.mu.Lock()
+	down := f.down[v]
+	f.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("label for vertex %d unavailable: all replicas unreachable", v)
+	}
+	return f.st.Label(v)
+}
+
+// TestDegradedAnswersNotCached: with the default result cache ENABLED,
+// an answer degraded by a transiently unavailable fault label must not
+// be pinned in the cache — once the label source recovers, the same
+// query returns to exact.
+func TestDegradedAnswersNotCached(t *testing.T) {
+	_, st := testStore(t, 8, 8, 2)
+	src := &flakySource{st: st}
+	s := newTestServer(t, Config{Source: src}) // default caches on
+	ctx := context.Background()
+
+	const faultV = 10
+	faults := graph.NewFaultSet()
+	faults.AddVertex(faultV)
+	opts := &QueryOptions{Faults: faults}
+
+	src.setDown(faultV, true)
+	a, err := s.Distance(ctx, 0, 63, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded || a.Exact {
+		t.Fatalf("outage answer degraded=%v exact=%v, want degraded upper bound", a.Degraded, a.Exact)
+	}
+
+	// Source recovers: the very next identical query must be exact, not
+	// a cache replay of the degraded verdict.
+	src.setDown(faultV, false)
+	a, err = s.Distance(ctx, 0, 63, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cached {
+		t.Fatal("degraded answer was served from the result cache after recovery")
+	}
+	if a.Degraded || !a.Exact {
+		t.Fatalf("post-recovery answer degraded=%v exact=%v, want exact", a.Degraded, a.Exact)
+	}
+
+	// Exact answers still cache as before.
+	a, err = s.Distance(ctx, 0, 63, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cached || !a.Exact {
+		t.Fatalf("repeat exact query cached=%v exact=%v, want cached exact", a.Cached, a.Exact)
+	}
+}
+
+// TestHTTPBatchAndFaultCaps: oversized batches and fault sets are
+// rejected with 400 before they fan out into label fetches.
+func TestHTTPBatchAndFaultCaps(t *testing.T) {
+	_, st := testStore(t, 4, 4, 2)
+	s := newTestServer(t, Config{Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) int {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	big := make([][2]int, maxBatchPairs+1)
+	for i := range big {
+		big[i] = [2]int{0, 1}
+	}
+	if code := post("/v1/batch-distance", map[string]any{"pairs": big}); code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", code)
+	}
+	manyFaults := make([]int, maxRequestFaults+1)
+	for i := range manyFaults {
+		manyFaults[i] = i % st.NumVertices()
+	}
+	if code := post("/v1/distance", map[string]any{"s": 0, "t": 1, "fail": manyFaults}); code != http.StatusBadRequest {
+		t.Fatalf("oversized fault set: status %d, want 400", code)
+	}
+	// At-limit requests still answer.
+	ok := make([][2]int, 4)
+	for i := range ok {
+		ok[i] = [2]int{0, 1}
+	}
+	if code := post("/v1/batch-distance", map[string]any{"pairs": ok}); code != http.StatusOK {
+		t.Fatalf("small batch: status %d, want 200", code)
+	}
+}
