@@ -13,6 +13,7 @@
 // over fsdl-shard servers (see docs/CLUSTER.md):
 //
 //	fsdl-serve -cluster members.txt [-hedge 100ms] [-fetch-timeout 500ms]
+//	           [-repair 2s] [-retry-budget 0.1]
 package main
 
 import (
@@ -45,6 +46,8 @@ func run(args []string) error {
 	clusterPath := fs.String("cluster", "", "cluster membership file; serve from fsdl-shard servers instead of a local store")
 	hedge := fs.Duration("hedge", 0, "cluster: delay before hedging a fetch to a replica (0 = fetch-timeout/5, negative disables)")
 	fetchTimeout := fs.Duration("fetch-timeout", 500*time.Millisecond, "cluster: per-attempt shard fetch timeout")
+	repairEvery := fs.Duration("repair", 2*time.Second, "cluster: anti-entropy repair sweep interval (0 disables)")
+	retryBudget := fs.Float64("retry-budget", 0, "cluster: retries+hedges per first attempt (0 = 0.1, negative disables)")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged store: skip corrupt records, answer conservatively")
 	graphPath := fs.String("graph", "", "graph file; enables the dynamic-oracle query path")
 	eps := fs.Float64("eps", 2, "dynamic oracle precision epsilon")
@@ -78,9 +81,11 @@ func run(args []string) error {
 			return err
 		}
 		fe, err := cluster.NewFrontend(cluster.FrontendConfig{
-			Membership:   m,
-			HedgeDelay:   *hedge,
-			FetchTimeout: *fetchTimeout,
+			Membership:       m,
+			HedgeDelay:       *hedge,
+			FetchTimeout:     *fetchTimeout,
+			RepairInterval:   *repairEvery,
+			RetryBudgetRatio: *retryBudget,
 		})
 		if err != nil {
 			return err

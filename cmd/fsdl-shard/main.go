@@ -8,6 +8,12 @@
 // Usage:
 //
 //	fsdl-shard -store shard0.fsdl -addr :9000 [-name shard0] [-salvage]
+//
+// A replacement for a dead shard starts empty and is filled by the
+// frontend's anti-entropy repairer (see docs/CLUSTER.md, "Membership &
+// repair"):
+//
+//	fsdl-shard -bootstrap-n 65536 -addr :9003 -name shard3 [-persist shard3.fsdl]
 package main
 
 import (
@@ -30,43 +36,68 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fsdl-shard", flag.ContinueOnError)
-	storePath := fs.String("store", "", "partition store file (required; produced by `fsdl partition`)")
+	storePath := fs.String("store", "", "partition store file (required unless -bootstrap-n; produced by `fsdl partition`)")
 	addr := fs.String("addr", ":9000", "listen address")
 	name := fs.String("name", "", "shard name for error messages (default: store file name)")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged partition: serve the records that survive")
+	bootstrapN := fs.Int("bootstrap-n", 0, "start as an empty replacement shard over this vertex space; repair fills it (mutually exclusive with -store)")
+	persist := fs.String("persist", "", "persist the store to this file after repair pulls (atomic temp+rename)")
+	repairRate := fs.Int("repair-rate", 0, "max records/sec installed by repair pulls (0 = 50000, negative = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *storePath == "" {
-		return fmt.Errorf("-store is required")
-	}
-	if *name == "" {
-		*name = *storePath
+	if (*storePath == "") == (*bootstrapN <= 0) {
+		return fmt.Errorf("exactly one of -store and -bootstrap-n is required")
 	}
 
-	f, err := os.Open(*storePath)
-	if err != nil {
-		return err
-	}
 	var st *labelstore.Store
 	var rep *labelstore.SalvageReport
-	if *salvage {
-		st, rep, err = labelstore.LoadPartial(f)
-		if err == nil && rep.Lost() > 0 {
-			fmt.Fprintf(os.Stderr, "fsdl-shard: salvage: kept %d/%d records — lost ones answer as unknown so the frontend fails over to replicas\n",
-				rep.Kept, rep.Total)
+	switch {
+	case *bootstrapN > 0:
+		var err error
+		st, err = labelstore.NewEmpty(*bootstrapN)
+		if err != nil {
+			return err
 		}
-	} else {
-		st, err = labelstore.Load(f)
-	}
-	f.Close()
-	if err != nil {
-		return fmt.Errorf("load %s: %w", *storePath, err)
+		if *name == "" {
+			return fmt.Errorf("-name is required with -bootstrap-n (the ring routes by name)")
+		}
+		fmt.Fprintf(os.Stderr, "fsdl-shard: %s bootstrapping empty over n=%d — answers unknown until repair seals it\n",
+			*name, *bootstrapN)
+	default:
+		if *name == "" {
+			*name = *storePath
+		}
+		f, err := os.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		if *salvage {
+			st, rep, err = labelstore.LoadPartial(f)
+			if err == nil && rep.Lost() > 0 {
+				fmt.Fprintf(os.Stderr, "fsdl-shard: salvage: kept %d/%d records — lost ones answer as unknown so the frontend fails over to replicas\n",
+					rep.Kept, rep.Total)
+			}
+		} else {
+			st, err = labelstore.Load(f)
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *storePath, err)
+		}
 	}
 
 	// The report makes the shard answer salvage-lost vertices with the
-	// wire protocol's "unknown" state instead of authoritative absence.
-	srv, err := cluster.NewShardServer(cluster.ShardConfig{Store: st, Name: *name, Report: rep})
+	// wire protocol's "unknown" state instead of authoritative absence;
+	// bootstrap does the same for the whole vertex space.
+	srv, err := cluster.NewShardServer(cluster.ShardConfig{
+		Store:       st,
+		Name:        *name,
+		Report:      rep,
+		Bootstrap:   *bootstrapN > 0,
+		PersistPath: *persist,
+		RepairRate:  *repairRate,
+	})
 	if err != nil {
 		return err
 	}
@@ -84,7 +115,7 @@ func run(args []string) error {
 	case <-sig:
 	}
 	srv.Close()
-	fmt.Fprintf(os.Stderr, "fsdl-shard: %s shut down after %d requests, %d labels served\n",
-		*name, srv.Requests.Load(), srv.LabelsServed.Load())
+	fmt.Fprintf(os.Stderr, "fsdl-shard: %s shut down after %d requests, %d labels served, %d records repaired in\n",
+		*name, srv.Requests.Load(), srv.LabelsServed.Load(), srv.RepairInstalled.Load())
 	return nil
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fsdl/internal/cluster"
+)
+
+// fakeFrontend is an httptest stand-in for fsdl-serve's /v1/cluster/*
+// endpoints.
+func fakeFrontend(t *testing.T, status cluster.ClusterStatus) (*httptest.Server, *[]string) {
+	t.Helper()
+	var calls []string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+	})
+	for _, op := range []string{"join", "leave", "drain"} {
+		op := op
+		mux.HandleFunc("/v1/cluster/"+op, func(w http.ResponseWriter, r *http.Request) {
+			var req map[string]any
+			json.NewDecoder(r.Body).Decode(&req)
+			b, _ := json.Marshal(req)
+			calls = append(calls, op+":"+string(b))
+			json.NewEncoder(w).Encode(map[string]uint64{"epoch": 7})
+		})
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestCLIClusterStatus(t *testing.T) {
+	ts, _ := fakeFrontend(t, cluster.ClusterStatus{
+		Epoch:       3,
+		NumVertices: 64,
+		Replication: 2,
+		Shards: []cluster.ShardHealth{
+			{Name: "shard0", Addr: "127.0.0.1:9000", Healthy: true, Labels: 40, Breaker: "closed"},
+			{Name: "shard1", Addr: "127.0.0.1:9001", Healthy: false, Labels: 40, Breaker: "open", Draining: true},
+			{Name: "shard2", Addr: "127.0.0.1:9002", Healthy: true, Labels: 0, Breaker: "closed", NonAuthoritative: true},
+		},
+		Repair:      cluster.RepairStatus{Enabled: true, Sweeps: 5, Repaired: 40, Converged: true, Sealed: 1},
+		RetryBudget: cluster.RetryBudgetStatus{Enabled: true, Tokens: 48.5, Spent: 12, Denied: 3},
+	})
+	out, err := runCLI(t, "cluster", "status", "-frontend", ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ring epoch 3", "replication 2",
+		"shard0", "up", "closed",
+		"shard1", "DOWN", "open", "draining",
+		"shard2", "non-authoritative",
+		"repair: converged=true", "sealed=1",
+		"retry budget: 48.5 tokens, spent 12, denied 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIClusterMembershipOps(t *testing.T) {
+	ts, calls := fakeFrontend(t, cluster.ClusterStatus{})
+
+	out, err := runCLI(t, "cluster", "join", "-frontend", ts.URL, "-name", "shard3", "-addr", "127.0.0.1:9003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ring epoch now 7") {
+		t.Fatalf("join output: %s", out)
+	}
+	if _, err := runCLI(t, "cluster", "drain", "-frontend", ts.URL, "-name", "shard3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "cluster", "drain", "-frontend", ts.URL, "-name", "shard3", "-undrain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "cluster", "leave", "-frontend", ts.URL, "-name", "shard1"); err != nil {
+		t.Fatal(err)
+	}
+
+	got := strings.Join(*calls, "\n")
+	for _, want := range []string{
+		`join:{"addr":"127.0.0.1:9003","name":"shard3"}`,
+		`drain:{"drain":true,"name":"shard3"}`,
+		`drain:{"drain":false,"name":"shard3"}`,
+		`leave:{"name":"shard1"}`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("frontend calls missing %q:\n%s", want, got)
+		}
+	}
+
+	// Validation happens client-side before any request.
+	if _, err := runCLI(t, "cluster", "join", "-frontend", ts.URL, "-addr", "x"); err == nil {
+		t.Fatal("join without -name must error")
+	}
+	if _, err := runCLI(t, "cluster", "join", "-frontend", ts.URL, "-name", "x"); err == nil {
+		t.Fatal("join without -addr must error")
+	}
+	if _, err := runCLI(t, "cluster", "bogus", "-frontend", ts.URL); err == nil {
+		t.Fatal("unknown subcommand must error")
+	}
+	if _, err := runCLI(t, "cluster"); err == nil {
+		t.Fatal("missing subcommand must error")
+	}
+}
+
+func TestCLIClusterErrorSurfaced(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "cluster: shard \"x\" is not a member"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	_, err := runCLI(t, "cluster", "leave", "-frontend", ts.URL, "-name", "x")
+	if err == nil || !strings.Contains(err.Error(), "not a member") {
+		t.Fatalf("server error not surfaced: %v", err)
+	}
+}

@@ -16,6 +16,7 @@
 //	fsdl buildscheme -in graph.txt -out scheme.fsdls [-eps 2] [-workers N]
 //	fsdl wquery -in roads.gr -s 0 -t 99 [-fail 5,17]
 //	fsdl partition -db labels.fsdl -members members.txt -out shards/
+//	fsdl cluster status|join|leave|drain -frontend http://host:8080 [...]
 package main
 
 import (
@@ -72,6 +73,8 @@ func run(args []string, out io.Writer) error {
 		return cmdWQuery(args[1:], out)
 	case "partition":
 		return cmdPartition(args[1:], out)
+	case "cluster":
+		return cmdCluster(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -1,0 +1,110 @@
+// Package backoff is the one place retry pacing lives. Every retry
+// loop in the system — the simulator's packet retransmissions, the
+// cluster frontend's startup poll and health sweep, the server's batch
+// prefetch, breaker cooldowns — draws its delays from a Policy here, so
+// the shape of a retry storm is a property of one package instead of
+// five hand-rolled loops.
+//
+// A Policy is pure arithmetic: Delay(attempt) is Base·Factor^attempt,
+// capped at Cap, spread by ±Jitter. With Jitter zero the schedule is
+// fully deterministic, which the tick-based simulator depends on; with
+// Jitter set, concurrent retriers desynchronize instead of thundering
+// in lockstep.
+package backoff
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Policy is an exponential backoff schedule. The zero value is not
+// useful — set at least Base.
+type Policy struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Factor is the per-attempt growth (values ≤ 1 select 2).
+	Factor float64
+	// Cap bounds the delay (0 means uncapped; the result still
+	// saturates at the largest Duration instead of overflowing).
+	Cap time.Duration
+	// Jitter spreads each delay uniformly over [d·(1−J), d·(1+J)],
+	// clamped to Cap. 0 disables jitter; values are clamped to [0, 1].
+	Jitter float64
+}
+
+// Delay returns the wait before retry number attempt (0-based), using
+// the global randomness source for jitter. With Jitter zero no
+// randomness is consumed and the result is deterministic.
+func (p Policy) Delay(attempt int) time.Duration {
+	return p.DelayRand(attempt, rand.Float64)
+}
+
+// DelayRand is Delay with an explicit uniform-[0,1) source, so tests
+// can pin the jitter draw.
+func (p Policy) DelayRand(attempt int, rnd func() float64) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	f := p.Factor
+	if f <= 1 {
+		f = 2
+	}
+	d := float64(p.Base) * math.Pow(f, float64(attempt))
+	if p.Cap > 0 && d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if j := min(max(p.Jitter, 0), 1); j > 0 {
+		d *= 1 - j + 2*j*rnd()
+		if p.Cap > 0 && d > float64(p.Cap) {
+			d = float64(p.Cap)
+		}
+	}
+	// Saturate instead of overflowing into the past: float64 keeps the
+	// exponent exact far beyond int64, so compare before converting.
+	if d >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}
+
+// Jittered spreads d uniformly over [d·(1−frac), d·(1+frac)] — the
+// steady-interval form (health sweeps, repair ticks), where the point
+// is not growth but keeping a fleet of probers from synchronizing.
+func Jittered(d time.Duration, frac float64) time.Duration {
+	return JitteredRand(d, frac, rand.Float64)
+}
+
+// JitteredRand is Jittered with an explicit uniform-[0,1) source.
+func JitteredRand(d time.Duration, frac float64, rnd func() float64) time.Duration {
+	f := min(max(frac, 0), 1)
+	if f == 0 || d <= 0 {
+		return d
+	}
+	out := float64(d) * (1 - f + 2*f*rnd())
+	if out < 0 {
+		return 0
+	}
+	return time.Duration(out)
+}
+
+// Sleep waits d or until ctx is done, whichever comes first, returning
+// ctx.Err() in the latter case — the body every polling retry loop
+// otherwise reinvents.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,128 @@
+package backoff
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDelayDeterministic pins the no-jitter schedule: exactly
+// Base·2^attempt, which the tick-based simulator depends on (its chaos
+// tests reason about exact backoff sums like 2+4+…+512).
+func TestDelayDeterministic(t *testing.T) {
+	p := Policy{Base: 2}
+	for k := 0; k <= 9; k++ {
+		want := time.Duration(int64(2) << uint(k))
+		if got := p.Delay(k); got != want {
+			t.Fatalf("Delay(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// Factor other than 2 grows geometrically.
+	p = Policy{Base: 10 * time.Millisecond, Factor: 3}
+	if got := p.Delay(2); got != 90*time.Millisecond {
+		t.Fatalf("factor-3 Delay(2) = %v, want 90ms", got)
+	}
+	// Negative attempts clamp to the base.
+	if got := p.Delay(-5); got != 10*time.Millisecond {
+		t.Fatalf("Delay(-5) = %v, want base", got)
+	}
+}
+
+// TestCap verifies the delay saturates at Cap and never overflows,
+// with or without jitter, however large the attempt number.
+func TestCap(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: 100 * time.Millisecond}
+	sawCap := false
+	for k := 0; k < 300; k++ {
+		d := p.Delay(k)
+		if d > p.Cap {
+			t.Fatalf("Delay(%d) = %v exceeds cap %v", k, d, p.Cap)
+		}
+		if d == p.Cap {
+			sawCap = true
+		}
+		if d <= 0 {
+			t.Fatalf("Delay(%d) = %v not positive", k, d)
+		}
+	}
+	if !sawCap {
+		t.Fatal("schedule never reached the cap")
+	}
+	// Jitter must not puncture the cap either.
+	p.Jitter = 0.5
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 300; k++ {
+		if d := p.DelayRand(k, rng.Float64); d > p.Cap {
+			t.Fatalf("jittered Delay(%d) = %v exceeds cap %v", k, d, p.Cap)
+		}
+	}
+	// Uncapped schedules saturate at MaxInt64 instead of going negative.
+	p = Policy{Base: time.Hour}
+	if d := p.Delay(500); d != math.MaxInt64 {
+		t.Fatalf("uncapped overflow: Delay(500) = %d, want MaxInt64", d)
+	}
+}
+
+// TestJitterBounds checks every jittered delay lands in
+// [d·(1−J), d·(1+J)] and that the extremes of the random source map to
+// the extremes of the window.
+func TestJitterBounds(t *testing.T) {
+	const j = 0.2
+	p := Policy{Base: 100 * time.Millisecond, Jitter: j}
+	for k := 0; k < 6; k++ {
+		raw := Policy{Base: p.Base}.Delay(k)
+		lo := time.Duration(float64(raw) * (1 - j))
+		hi := time.Duration(float64(raw) * (1 + j))
+		if got := p.DelayRand(k, func() float64 { return 0 }); got != lo {
+			t.Fatalf("rnd=0: Delay(%d) = %v, want window floor %v", k, got, lo)
+		}
+		if got := p.DelayRand(k, func() float64 { return 1 }); got != hi {
+			t.Fatalf("rnd=1: Delay(%d) = %v, want window ceiling %v", k, got, hi)
+		}
+		rng := rand.New(rand.NewSource(int64(k) + 7))
+		for i := 0; i < 1000; i++ {
+			d := p.DelayRand(k, rng.Float64)
+			if d < lo || d > hi {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", k, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestJittered checks the steady-interval helper's window and its
+// pass-through cases.
+func TestJittered(t *testing.T) {
+	const d, frac = time.Second, 0.2
+	lo := time.Duration(float64(d) * (1 - frac))
+	hi := time.Duration(float64(d) * (1 + frac))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		got := JitteredRand(d, frac, rng.Float64)
+		if got < lo || got > hi {
+			t.Fatalf("JitteredRand = %v outside [%v, %v]", got, lo, hi)
+		}
+	}
+	if got := Jittered(d, 0); got != d {
+		t.Fatalf("zero-fraction jitter altered the interval: %v", got)
+	}
+	if got := JitteredRand(0, frac, rng.Float64); got != 0 {
+		t.Fatalf("Jittered(0) = %v, want 0", got)
+	}
+}
+
+// TestSleep covers both exits: the timer and the context.
+func TestSleep(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("Sleep ignored a canceled context")
+	}
+	if err := Sleep(ctx, 0); err == nil {
+		t.Fatal("Sleep(0) must still report a canceled context")
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"fsdl/internal/backoff"
+)
+
+// BreakerState is a circuit breaker's position: Closed passes traffic,
+// Open sheds it, HalfOpen lets one probe through to test recovery.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerConfig tunes one shard's circuit breaker (populated from
+// FrontendConfig defaults).
+type breakerConfig struct {
+	// window is the rolling failure window, sliced into buckets.
+	window  time.Duration
+	buckets int
+	// minRequests is the sample floor before the ratio can trip the
+	// breaker — three failures out of three at startup is not a brown-out.
+	minRequests int
+	// failureRatio over the window at or above which the breaker opens.
+	failureRatio float64
+	// cooldown is the open→half-open wait; consecutive re-opens back it
+	// off exponentially up to maxCooldown.
+	cooldown    time.Duration
+	maxCooldown time.Duration
+}
+
+// breaker is a per-shard circuit breaker over fetch outcomes. The
+// health sweep catches a shard that is *down* (pings fail); the breaker
+// catches one that is *sick* — answering pings but failing or timing
+// out fetches — and routes around it before passive failover amplifies
+// the brown-out into a retry storm. All methods take an explicit clock
+// so tests drive the state machine without sleeping.
+type breaker struct {
+	cfg breakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	buckets     []breakerBucket
+	cur         int
+	bucketStart time.Time
+	openedAt    time.Time
+	trips       int  // consecutive opens without a close between them
+	probing     bool // a half-open probe is in flight
+	opens       int64
+}
+
+type breakerBucket struct{ ok, fail int64 }
+
+func newBreaker(cfg breakerConfig) *breaker {
+	return &breaker{cfg: cfg, buckets: make([]breakerBucket, cfg.buckets)}
+}
+
+// allow reports whether a fetch may be routed to this shard right now.
+// In the open state it flips to half-open once the cooldown has passed,
+// claiming the single probe slot for the caller; in half-open only that
+// probe is allowed.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldownLocked() {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		return false
+	}
+}
+
+// record feeds one fetch outcome into the window and drives the state
+// machine: a half-open probe's outcome closes or re-opens the breaker,
+// and any success observed while open (the last-resort fallback path
+// leaks a request through when every owner is dark) closes it
+// immediately — the shard has proven itself faster than the probe
+// schedule would have.
+func (b *breaker) record(now time.Time, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.closeLocked()
+		} else {
+			b.tripLocked(now)
+		}
+		return
+	case BreakerOpen:
+		if ok {
+			b.closeLocked()
+		}
+		return
+	}
+	b.advance(now)
+	if ok {
+		b.buckets[b.cur].ok++
+		return
+	}
+	b.buckets[b.cur].fail++
+	var oks, fails int64
+	for _, bk := range b.buckets {
+		oks += bk.ok
+		fails += bk.fail
+	}
+	total := oks + fails
+	if total >= int64(b.cfg.minRequests) &&
+		float64(fails) >= b.cfg.failureRatio*float64(total) {
+		b.trips = 0 // fresh incident, not a failed probe
+		b.tripLocked(now)
+	}
+}
+
+// snapshot returns the state without side effects.
+func (b *breaker) snapshot() (BreakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}
+
+func (b *breaker) tripLocked(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.trips++
+	b.opens++
+	b.probing = false
+}
+
+func (b *breaker) closeLocked() {
+	b.state = BreakerClosed
+	b.trips = 0
+	b.probing = false
+	for i := range b.buckets {
+		b.buckets[i] = breakerBucket{}
+	}
+}
+
+// cooldownLocked is the current open→half-open wait: the base cooldown
+// backed off by the consecutive-trip count, capped.
+func (b *breaker) cooldownLocked() time.Duration {
+	pol := backoff.Policy{Base: b.cfg.cooldown, Cap: b.cfg.maxCooldown}
+	return pol.Delay(b.trips - 1)
+}
+
+// advance rotates the bucket ring forward to cover now, zeroing the
+// buckets whose time has passed out of the window.
+func (b *breaker) advance(now time.Time) {
+	per := b.cfg.window / time.Duration(len(b.buckets))
+	if per <= 0 {
+		per = time.Second
+	}
+	if b.bucketStart.IsZero() {
+		b.bucketStart = now
+		return
+	}
+	steps := int(now.Sub(b.bucketStart) / per)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(b.buckets) {
+		for i := range b.buckets {
+			b.buckets[i] = breakerBucket{}
+		}
+		b.cur = 0
+		b.bucketStart = now
+		return
+	}
+	for i := 0; i < steps; i++ {
+		b.cur = (b.cur + 1) % len(b.buckets)
+		b.buckets[b.cur] = breakerBucket{}
+	}
+	b.bucketStart = b.bucketStart.Add(time.Duration(steps) * per)
+}
+
+// retryBudget is the frontend-wide token bucket that caps retries and
+// hedges to a fraction of first-attempt traffic (the SRE "retry
+// budget"): every first attempt earns ratio tokens, every retry or
+// hedge spends one, so however hard a shard browns out, amplified
+// traffic stays at ≤ ratio of the offered load (plus a small burst
+// allowance for quiet periods).
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	ratio  float64
+}
+
+func newRetryBudget(ratio, burst float64) *retryBudget {
+	// Start full: the first incident after a deploy gets the burst.
+	return &retryBudget{tokens: burst, burst: burst, ratio: ratio}
+}
+
+// earn credits one first-attempt fetch.
+func (b *retryBudget) earn() {
+	b.mu.Lock()
+	b.tokens = min(b.tokens+b.ratio, b.burst)
+	b.mu.Unlock()
+}
+
+// spend takes one token for a retry or hedge, reporting false (deny)
+// when the budget is exhausted.
+func (b *retryBudget) spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// level reports the current token count (a metrics gauge).
+func (b *retryBudget) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// testBreakerConfig is a breaker with round numbers: 10s window over 10
+// buckets, 8-request floor, 50% trip ratio, 2s cooldown doubling to 30s.
+func testBreakerConfig() breakerConfig {
+	return breakerConfig{
+		window:       10 * time.Second,
+		buckets:      10,
+		minRequests:  8,
+		failureRatio: 0.5,
+		cooldown:     2 * time.Second,
+		maxCooldown:  30 * time.Second,
+	}
+}
+
+func TestBreakerTripsAtFailureRatio(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Unix(1000, 0)
+
+	// 4 successes + 3 failures = 7 outcomes: below the floor, and the
+	// 8th outcome (a failure) puts fails/total at exactly the ratio.
+	for i := 0; i < 4; i++ {
+		b.record(t0, true)
+	}
+	for i := 0; i < 3; i++ {
+		b.record(t0, false)
+	}
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("breaker %v after 7 outcomes, want closed (floor is 8)", st)
+	}
+	b.record(t0, false) // 4 fails / 8 total = 0.5 = ratio
+	st, opens := b.snapshot()
+	if st != BreakerOpen || opens != 1 {
+		t.Fatalf("breaker %v opens=%d after hitting the ratio at the floor, want open/1", st, opens)
+	}
+	if b.allow(t0.Add(time.Second)) {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+}
+
+func TestBreakerMinRequestsFloor(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Unix(1000, 0)
+	// 7 consecutive failures — 100% failure rate, but under the floor.
+	for i := 0; i < 7; i++ {
+		b.record(t0, false)
+		if st, _ := b.snapshot(); st != BreakerClosed {
+			t.Fatalf("breaker %v after %d failures, want closed until the floor", st, i+1)
+		}
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 8; i++ {
+		b.record(t0, i < 4)
+	}
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+
+	// Cooldown elapsed: exactly one probe gets through.
+	t1 := t0.Add(2 * time.Second)
+	if !b.allow(t1) {
+		t.Fatal("probe denied after the cooldown")
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatal("breaker not half-open after admitting the probe")
+	}
+	if b.allow(t1) {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// Probe succeeds: closed, window reset.
+	b.record(t1, true)
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatal("breaker not closed after a successful probe")
+	}
+	if !b.allow(t1) {
+		t.Fatal("closed breaker denied traffic")
+	}
+	// The window was reset on close: old failures must not count toward
+	// the next trip.
+	for i := 0; i < 7; i++ {
+		b.record(t1, false)
+	}
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatal("stale pre-close outcomes leaked into the fresh window")
+	}
+}
+
+func TestBreakerCooldownBacksOff(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 8; i++ {
+		b.record(t0, i < 4)
+	}
+
+	// Failed probe re-trips with a doubled cooldown.
+	t1 := t0.Add(2 * time.Second)
+	if !b.allow(t1) {
+		t.Fatal("first probe denied")
+	}
+	b.record(t1, false)
+	st, opens := b.snapshot()
+	if st != BreakerOpen || opens != 2 {
+		t.Fatalf("breaker %v opens=%d after a failed probe, want open/2", st, opens)
+	}
+	if b.allow(t1.Add(2 * time.Second)) {
+		t.Fatal("second cooldown did not back off past the base 2s")
+	}
+	if !b.allow(t1.Add(4 * time.Second)) {
+		t.Fatal("probe denied after the doubled 4s cooldown")
+	}
+	// Another failed probe: 8s next.
+	t2 := t1.Add(4 * time.Second)
+	b.record(t2, false)
+	if b.allow(t2.Add(7 * time.Second)) {
+		t.Fatal("third cooldown did not reach 8s")
+	}
+	if !b.allow(t2.Add(8 * time.Second)) {
+		t.Fatal("probe denied after the 8s cooldown")
+	}
+}
+
+func TestBreakerClosesOnSuccessWhileOpen(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 8; i++ {
+		b.record(t0, false)
+	}
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	// The fallback path leaked a request through and it succeeded: the
+	// shard has proven itself, no need to wait out the cooldown.
+	b.record(t0.Add(100*time.Millisecond), true)
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatal("success observed while open did not close the breaker")
+	}
+}
+
+func TestBreakerWindowRotatesOldOutcomesOut(t *testing.T) {
+	b := newBreaker(testBreakerConfig())
+	t0 := time.Unix(1000, 0)
+	// 7 failures now (under the floor), then a long quiet period that
+	// rotates the whole window out: the 8th failure lands in an empty
+	// window and must not trip.
+	for i := 0; i < 7; i++ {
+		b.record(t0, false)
+	}
+	b.record(t0.Add(11*time.Second), false)
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatal("expired failures tripped the breaker")
+	}
+
+	// Partial rotation: 4 failures at t0, 4 successes 5s later — all 8
+	// are still inside the 10s window, so the ratio trips on the next
+	// failure.
+	b2 := newBreaker(testBreakerConfig())
+	for i := 0; i < 4; i++ {
+		b2.record(t0, false)
+	}
+	for i := 0; i < 4; i++ {
+		b2.record(t0.Add(5*time.Second), true)
+	}
+	b2.record(t0.Add(5*time.Second), false) // 5 fails / 9 total ≥ 0.5
+	if st, _ := b2.snapshot(); st != BreakerOpen {
+		t.Fatal("failures within the window did not trip the breaker")
+	}
+}
+
+func TestRetryBudgetSpendAndEarn(t *testing.T) {
+	b := newRetryBudget(0.25, 5)
+	// Starts full at the burst.
+	for i := 0; i < 5; i++ {
+		if !b.spend() {
+			t.Fatalf("spend %d denied inside the burst", i)
+		}
+	}
+	if b.spend() {
+		t.Fatal("spend allowed on an empty bucket")
+	}
+	// 4 first attempts at ratio 0.25 fund exactly one retry.
+	for i := 0; i < 4; i++ {
+		b.earn()
+	}
+	if !b.spend() {
+		t.Fatal("earned token not spendable")
+	}
+	if b.spend() {
+		t.Fatal("second spend allowed after earning one token")
+	}
+	// Earning never exceeds the burst cap.
+	for i := 0; i < 1000; i++ {
+		b.earn()
+	}
+	if got := b.level(); got != 5 {
+		t.Fatalf("bucket level %v after heavy earning, want the burst cap 5", got)
+	}
+}

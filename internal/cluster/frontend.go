@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fsdl/internal/backoff"
 	"fsdl/internal/core"
 	"fsdl/internal/lru"
 	"fsdl/internal/stats"
@@ -29,7 +30,8 @@ type FrontendConfig struct {
 	// negative disables hedging).
 	HedgeDelay time.Duration
 
-	// HealthInterval is the active health-probe period (default 1s);
+	// HealthInterval is the active health-probe period (default 1s,
+	// jittered ±20% so frontends don't probe in lockstep);
 	// HealthTimeout bounds each probe (default 250ms).
 	HealthInterval time.Duration
 	HealthTimeout  time.Duration
@@ -45,6 +47,37 @@ type FrontendConfig struct {
 	NegativeCacheSize int
 	// MaxIdleConns bounds the idle connection pool per shard (default 4).
 	MaxIdleConns int
+
+	// BreakerDisabled turns off the per-shard circuit breakers (on by
+	// default). The remaining Breaker* fields tune them: outcomes are
+	// counted over a rolling BreakerWindow (default 10s) sliced into
+	// BreakerBuckets (default 10); once at least BreakerMinRequests
+	// (default 8) outcomes are in the window and the failure fraction
+	// reaches BreakerFailureRatio (default 0.5) the breaker opens,
+	// shedding traffic for BreakerCooldown (default 2s, doubling per
+	// consecutive re-open up to BreakerMaxCooldown, default 30s) before
+	// admitting a half-open probe.
+	BreakerDisabled     bool
+	BreakerWindow       time.Duration
+	BreakerBuckets      int
+	BreakerMinRequests  int
+	BreakerFailureRatio float64
+	BreakerCooldown     time.Duration
+	BreakerMaxCooldown  time.Duration
+
+	// RetryBudgetRatio caps retries and hedges to this fraction of
+	// first-attempt traffic (default 0.1; negative disables the budget).
+	// RetryBudgetBurst is the bucket depth — how many retries may burst
+	// after a quiet period (default 50).
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+
+	// RepairInterval is the anti-entropy sweep period (default 0:
+	// disabled). Each sweep digests every shard's expected vertex range
+	// and pulls missing records from intact replicas. RepairBatch bounds
+	// the ids per digest RPC (default 2048).
+	RepairInterval time.Duration
+	RepairBatch    int
 }
 
 func (cfg *FrontendConfig) withDefaults() FrontendConfig {
@@ -76,26 +109,78 @@ func (cfg *FrontendConfig) withDefaults() FrontendConfig {
 	if c.MaxIdleConns <= 0 {
 		c.MaxIdleConns = 4
 	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerBuckets <= 0 {
+		c.BreakerBuckets = 10
+	}
+	if c.BreakerMinRequests <= 0 {
+		c.BreakerMinRequests = 8
+	}
+	if c.BreakerFailureRatio <= 0 {
+		c.BreakerFailureRatio = 0.5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BreakerMaxCooldown <= 0 {
+		c.BreakerMaxCooldown = 30 * time.Second
+	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.RetryBudgetBurst <= 0 {
+		c.RetryBudgetBurst = 50
+	}
+	if c.RepairBatch <= 0 {
+		c.RepairBatch = 2048
+	}
 	return c
+}
+
+// ringState is one membership epoch: an immutable ring plus the client
+// for each of its nodes. The frontend swaps the whole value atomically
+// on join/leave/drain, so every fetch routes against one consistent
+// epoch end to end — no request ever sees half a membership change.
+type ringState struct {
+	epoch uint64
+	ring  *Ring
+	nodes []*shardClient // nodes[i] is the client for ring node i
+}
+
+// clientByName returns the epoch's client for a shard name.
+func (st *ringState) clientByName(name string) *shardClient {
+	for _, c := range st.nodes {
+		if c.node.Name == name {
+			return c
+		}
+	}
+	return nil
 }
 
 // Frontend is the cluster client embedded into the serving tier: it
 // resolves vertices to shard owners on the ring, scatter-gathers label
 // fetches with per-call deadlines, hedges slow calls to replicas, fails
-// over around unhealthy shards, and caches decoded labels and confirmed
-// absences. It implements the server's LabelSource so the decode path
-// upstream is identical to the single-node one. Safe for concurrent
-// use.
+// over around unhealthy shards (bounded by a retry budget), sheds
+// traffic from browned-out shards via per-shard circuit breakers, and
+// caches decoded labels and confirmed absences. Membership is epochal:
+// Join/Leave/Drain build a new ring and swap it atomically. It
+// implements the server's LabelSource so the decode path upstream is
+// identical to the single-node one. Safe for concurrent use.
 type Frontend struct {
-	cfg  FrontendConfig
-	ring *Ring
-	// nodes[i] is the client for ring node i.
-	nodes []*shardClient
-	n     int // global vertex space, learned from the first pong
+	cfg         FrontendConfig
+	n           int // global vertex space, learned from the first pong
+	replication int
+
+	state   atomic.Pointer[ringState]
+	adminMu sync.Mutex // serializes membership changes
 
 	labelCache *lru.Cache[int32, *core.Label]
 	negCache   *lru.Cache[int32, struct{}]
 	met        frontendMetrics
+	budget     *retryBudget // nil when disabled
+	rep        *repairer    // nil when repair is disabled
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -112,25 +197,41 @@ type ShardHealth struct {
 	// its vertex space disagrees with the cluster's (its partition came
 	// from a different store).
 	Mismatched bool `json:"mismatched,omitempty"`
+	// Draining flags a shard administratively excluded from routing
+	// while still serving as a repair source.
+	Draining bool `json:"draining,omitempty"`
+	// Breaker is the shard's circuit-breaker state ("closed", "open",
+	// "half-open"); empty when breakers are disabled.
+	Breaker string `json:"breaker,omitempty"`
+	// NonAuthoritative flags a shard that cannot vouch for absences
+	// (bootstrap replacement or truncated salvage) until repair seals it.
+	NonAuthoritative bool `json:"non_authoritative,omitempty"`
 }
 
 // NewFrontend connects to the cluster described by cfg.Membership. It
 // blocks (up to StartupTimeout) until at least one shard answers a
 // ping — that pong fixes the vertex space — then starts the background
-// health checker. Shards that are down at startup are served around via
+// health checker and, when RepairInterval is set, the anti-entropy
+// repairer. Shards that are down at startup are served around via
 // replicas and picked back up by the health loop when they return.
 func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if cfg.Membership == nil {
 		return nil, fmt.Errorf("cluster: FrontendConfig.Membership is required")
 	}
 	c := cfg.withDefaults()
+	ring := c.Membership.Ring()
 	f := &Frontend{
-		cfg:  c,
-		ring: c.Membership.Ring(),
-		stop: make(chan struct{}),
+		cfg:         c,
+		replication: ring.Replication(),
+		stop:        make(chan struct{}),
 	}
-	for _, nd := range f.ring.Nodes() {
-		f.nodes = append(f.nodes, newShardClient(nd, c))
+	st := &ringState{epoch: 1, ring: ring}
+	for _, nd := range ring.Nodes() {
+		st.nodes = append(st.nodes, newShardClient(nd, c))
+	}
+	f.state.Store(st)
+	if c.RetryBudgetRatio > 0 {
+		f.budget = newRetryBudget(c.RetryBudgetRatio, c.RetryBudgetBurst)
 	}
 	f.labelCache = lru.New[int32, *core.Label](c.LabelCacheSize, 8,
 		func(k int32) uint64 { return lru.HashU32(uint32(k)) })
@@ -138,20 +239,21 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 		func(k int32) uint64 { return lru.HashU32(uint32(k)) })
 
 	deadline := time.Now().Add(c.StartupTimeout)
-	for {
+	pol := backoff.Policy{Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond, Jitter: 0.2}
+	for attempt := 0; ; attempt++ {
 		f.sweepHealth()
-		if n, ok := f.learnedN(); ok {
+		if n, ok := f.learnedN(st); ok {
 			f.n = n
 			break
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("cluster: no shard reachable within %v", c.StartupTimeout)
 		}
-		time.Sleep(200 * time.Millisecond)
+		time.Sleep(pol.Delay(attempt))
 	}
 	// All reachable shards must agree on the vertex space; disagreement
 	// means the partitions came from different stores.
-	for _, cl := range f.nodes {
+	for _, cl := range st.nodes {
 		if cl.healthy.Load() {
 			if n := int(cl.lastN.Load()); n != f.n {
 				return nil, fmt.Errorf("cluster: shard %s serves vertex space %d, others %d — partitions from different stores?",
@@ -161,14 +263,19 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	}
 	f.done.Add(1)
 	go f.healthLoop()
+	if c.RepairInterval > 0 {
+		f.rep = newRepairer(f, c.RepairInterval, c.RepairBatch)
+		f.done.Add(1)
+		go f.rep.loop()
+	}
 	return f, nil
 }
 
-// Close stops the health checker and severs pooled connections.
+// Close stops the background loops and severs pooled connections.
 func (f *Frontend) Close() error {
 	f.stopOnce.Do(func() { close(f.stop) })
 	f.done.Wait()
-	for _, c := range f.nodes {
+	for _, c := range f.state.Load().nodes {
 		c.closeIdle()
 	}
 	return nil
@@ -177,17 +284,126 @@ func (f *Frontend) Close() error {
 // NumVertices returns the cluster's vertex-id space.
 func (f *Frontend) NumVertices() int { return f.n }
 
+// Epoch returns the current membership epoch.
+func (f *Frontend) Epoch() uint64 { return f.state.Load().epoch }
+
+// Join adds a shard to the ring and swaps in the new epoch. The shard
+// must be reachable and serve the cluster's vertex space — a membership
+// change should fail loudly at the operator's terminal, not silently
+// add a black hole to the ring. Consistent hashing bounds the label
+// movement to the ranges the new node takes over; existing shards keep
+// their (now partially redundant) records, and reads are unaffected
+// because every vertex's old replicas still hold it.
+func (f *Frontend) Join(name, addr string) (uint64, error) {
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
+	cur := f.state.Load()
+	if cur.clientByName(name) != nil {
+		return 0, fmt.Errorf("cluster: shard %q is already a member", name)
+	}
+	cl := newShardClient(Node{Name: name, Addr: addr}, f.cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
+	defer cancel()
+	n, labels, flags, err := cl.ping(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: join %q refused, shard unreachable at %s: %w", name, addr, err)
+	}
+	if n != f.n {
+		return 0, fmt.Errorf("cluster: join %q refused: serves vertex space %d, cluster has %d", name, n, f.n)
+	}
+	cl.lastN.Store(int64(n))
+	cl.lastLabels.Store(int64(labels))
+	cl.lastFlags.Store(flags)
+	cl.healthy.Store(true)
+
+	nodes := append(slices.Clone(cur.ring.Nodes()), Node{Name: name, Addr: addr})
+	ring := NewRing(nodes, f.replication)
+	next := &ringState{epoch: cur.epoch + 1, ring: ring}
+	for _, nd := range ring.Nodes() {
+		if c := cur.clientByName(nd.Name); c != nil {
+			next.nodes = append(next.nodes, c)
+		} else {
+			next.nodes = append(next.nodes, cl)
+		}
+	}
+	f.state.Store(next)
+	f.kickRepair()
+	return next.epoch, nil
+}
+
+// Leave removes a shard from the ring and swaps in the new epoch. The
+// vertices it owned are re-served by the replicas that already hold
+// them; the repairer then restores full replication on the nodes that
+// inherited its ranges.
+func (f *Frontend) Leave(name string) (uint64, error) {
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
+	cur := f.state.Load()
+	gone := cur.clientByName(name)
+	if gone == nil {
+		return 0, fmt.Errorf("cluster: shard %q is not a member", name)
+	}
+	if len(cur.nodes) == 1 {
+		return 0, fmt.Errorf("cluster: refusing to remove the last shard %q", name)
+	}
+	nodes := make([]Node, 0, len(cur.nodes)-1)
+	for _, nd := range cur.ring.Nodes() {
+		if nd.Name != name {
+			nodes = append(nodes, nd)
+		}
+	}
+	ring := NewRing(nodes, f.replication)
+	next := &ringState{epoch: cur.epoch + 1, ring: ring}
+	for _, nd := range ring.Nodes() {
+		next.nodes = append(next.nodes, cur.clientByName(nd.Name))
+	}
+	f.state.Store(next)
+	gone.closeIdle()
+	f.kickRepair()
+	return next.epoch, nil
+}
+
+// Drain marks a shard routing-excluded (or re-included) without
+// changing the ring: queries stop landing on it, but it keeps its data
+// and remains a valid repair source. The idiom for replacing a live
+// shard is drain → wait for repair to converge → leave.
+func (f *Frontend) Drain(name string, drain bool) (uint64, error) {
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
+	cur := f.state.Load()
+	c := cur.clientByName(name)
+	if c == nil {
+		return 0, fmt.Errorf("cluster: shard %q is not a member", name)
+	}
+	c.draining.Store(drain)
+	next := &ringState{epoch: cur.epoch + 1, ring: cur.ring, nodes: cur.nodes}
+	f.state.Store(next)
+	f.kickRepair()
+	return next.epoch, nil
+}
+
+// kickRepair wakes the repairer immediately (membership just changed).
+func (f *Frontend) kickRepair() {
+	if f.rep != nil {
+		select {
+		case f.rep.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // NumLabels estimates the number of distinct labels the cluster holds:
 // the per-shard record counts from the last health sweep divided by the
 // replication factor. Exact for a complete partitioning (every label
 // held by exactly R shards); an estimate while shards are down (their
-// last-known count is used).
+// last-known count is used) or while repair is filling a joined shard.
 func (f *Frontend) NumLabels() int {
+	st := f.state.Load()
 	var total int64
-	for _, c := range f.nodes {
+	for _, c := range st.nodes {
 		total += c.lastLabels.Load()
 	}
-	return int(total) / f.ring.Replication()
+	return int(total) / st.ring.Replication()
 }
 
 // LabelCacheStats reports the decoded-label cache's cumulative hit/miss
@@ -198,15 +414,23 @@ func (f *Frontend) LabelCacheStats() (hits, misses int64) {
 
 // Health returns a point-in-time shard health snapshot.
 func (f *Frontend) Health() []ShardHealth {
-	out := make([]ShardHealth, len(f.nodes))
-	for i, c := range f.nodes {
-		out[i] = ShardHealth{
-			Name:       c.node.Name,
-			Addr:       c.node.Addr,
-			Healthy:    c.healthy.Load(),
-			Labels:     c.lastLabels.Load(),
-			Mismatched: c.mismatched.Load(),
+	st := f.state.Load()
+	out := make([]ShardHealth, len(st.nodes))
+	for i, c := range st.nodes {
+		h := ShardHealth{
+			Name:             c.node.Name,
+			Addr:             c.node.Addr,
+			Healthy:          c.healthy.Load(),
+			Labels:           c.lastLabels.Load(),
+			Mismatched:       c.mismatched.Load(),
+			Draining:         c.draining.Load(),
+			NonAuthoritative: c.lastFlags.Load()&PongNonAuthoritative != 0,
 		}
+		if c.breaker != nil {
+			state, _ := c.breaker.snapshot()
+			h.Breaker = state.String()
+		}
+		out[i] = h
 	}
 	return out
 }
@@ -250,9 +474,11 @@ func (f *Frontend) Label(ctx context.Context, v int) (*core.Label, error) {
 // Prefetch warms the label cache for a batch of vertices with one
 // scatter-gather across the owning shards — the server calls this with
 // {s,t} ∪ F before answering a batch, so the per-label Label calls that
-// follow are cache hits. Fetch failures are not reported here; they
-// resurface on the per-label path, which owns the error semantics.
-func (f *Frontend) Prefetch(ctx context.Context, ids []int) {
+// follow are cache hits. It returns the number of requested vertices
+// left unresolved (fetch failures), so the caller can decide whether a
+// retry is worth it; the error semantics themselves stay on the
+// per-label path.
+func (f *Frontend) Prefetch(ctx context.Context, ids []int) int {
 	miss := make([]int32, 0, len(ids))
 	seen := make(map[int32]struct{}, len(ids))
 	for _, v := range ids {
@@ -275,9 +501,16 @@ func (f *Frontend) Prefetch(ctx context.Context, ids []int) {
 		f.met.labelMisses.Add(1)
 		miss = append(miss, iv)
 	}
-	if len(miss) > 0 {
-		f.scatterFetch(ctx, miss)
+	if len(miss) == 0 {
+		return 0
 	}
+	unresolved := 0
+	for _, r := range f.scatterFetch(ctx, miss) {
+		if r.err != nil {
+			unresolved++
+		}
+	}
+	return unresolved
 }
 
 // fetchResult is the outcome of one vertex's fetch: exactly one of
@@ -291,10 +524,13 @@ type fetchResult struct {
 
 // scatterFetch resolves each vertex to its replica chain on the ring
 // and fetches all of them concurrently, one RPC per involved shard per
-// round. Failed attempts advance to the next replica; the hedge timer
-// duplicates still-inflight work to the next replica once. Successes
-// (and authoritative misses) land in the caches.
+// round. Failed attempts advance to the next replica, spending the
+// retry budget; the hedge timer duplicates still-inflight work to the
+// next replica once, also on budget. Successes (and authoritative
+// misses) land in the caches. The epoch's ring state is loaded once, so
+// a concurrent membership swap never splits one fetch across rings.
 func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetchResult {
+	st := f.state.Load()
 	out := make(map[int32]fetchResult, len(ids))
 	type pendState struct {
 		owners   []int
@@ -305,7 +541,7 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 	ownerBuf := make([]int, 0, 8)
 	maxCalls := 0
 	for _, v := range ids {
-		ownerBuf = f.ring.Owners(v, ownerBuf[:0])
+		ownerBuf = st.ring.Owners(v, ownerBuf[:0])
 		pending[v] = &pendState{owners: slices.Clone(ownerBuf)}
 		maxCalls += len(ownerBuf) + 1
 	}
@@ -320,12 +556,17 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 	respCh := make(chan groupResp, maxCalls)
 	inflightCalls := 0
 
-	// chooseOwner picks the first healthy untried owner (falling back to
-	// the first untried one when none look healthy — a probe may be
-	// stale) and returns its index, or -1 when the chain is exhausted.
+	// chooseOwner picks the first routable untried owner — healthy, not
+	// draining, breaker willing — falling back to the first untried one
+	// when none qualify: a probe may be stale, and that leaked request
+	// doubles as a recovery probe for an open breaker. Returns -1 when
+	// the chain is exhausted.
 	chooseOwner := func(ps *pendState) int {
+		now := time.Now()
 		for i := ps.next; i < len(ps.owners); i++ {
-			if f.nodes[ps.owners[i]].healthy.Load() {
+			c := st.nodes[ps.owners[i]]
+			if c.healthy.Load() && !c.draining.Load() &&
+				(c.breaker == nil || c.breaker.allow(now)) {
 				return i
 			}
 		}
@@ -342,6 +583,28 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 				// Normal rounds (re)launch idle ids; the hedge round
 				// duplicates in-flight ones.
 				continue
+			}
+			if ps.next == 0 && !hedge {
+				// First attempt for this id: free, and it funds the budget.
+				if f.budget != nil {
+					f.budget.earn()
+				}
+			} else {
+				// Retry (replica advance) or hedge: costs a token. A denied
+				// retry exhausts the chain — failing fast is the point of
+				// the budget; a denied hedge just leaves the primary
+				// attempt in flight.
+				if f.budget != nil && !f.budget.spend() {
+					f.met.budgetDenied.Add(1)
+					if !hedge {
+						ps.next = len(ps.owners)
+					}
+					continue
+				}
+				f.met.budgetSpent.Add(1)
+				if !hedge {
+					f.met.retries.Add(1)
+				}
 			}
 			idx := chooseOwner(ps)
 			if idx < 0 {
@@ -362,8 +625,14 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 			}
 			go func(c *shardClient, gids []int32) {
 				recs, err := c.getLabels(ctx, gids, f.n)
+				// Feed the breaker fetch outcomes, except failures caused
+				// by our own context ending — those say nothing about the
+				// shard.
+				if c.breaker != nil && (err == nil || ctx.Err() == nil) {
+					c.breaker.record(time.Now(), err == nil)
+				}
 				respCh <- groupResp{ids: gids, recs: recs, err: err}
-			}(f.nodes[node], gids)
+			}(st.nodes[node], gids)
 		}
 	}
 
@@ -395,11 +664,14 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 					continue // shard skipped it; treat as a failed attempt
 				}
 				if rec.Unknown {
-					// Salvage-lost on that replica: not an authoritative
-					// absence, so treat it like a failed attempt and let the
-					// relaunch below advance to the next replica. Crucially
-					// it must NOT enter the negative cache — intact replicas
-					// may still hold the label.
+					// Salvage-lost (or bootstrap) on that replica: not an
+					// authoritative absence, so treat it like a failed
+					// attempt and let the relaunch below advance to the next
+					// replica. Crucially it must NOT enter the negative
+					// cache — intact replicas may still hold the label. It
+					// is, however, a repair hint: that replica is missing a
+					// record it should own.
+					f.noteUnknown(v)
 					continue
 				}
 				if !rec.Present {
@@ -429,14 +701,22 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 	}
 	for v := range pending {
 		f.met.unavailable.Add(1)
-		out[v] = fetchResult{err: fmt.Errorf("all %d replicas unreachable", f.ring.Replication())}
+		out[v] = fetchResult{err: fmt.Errorf("all %d replicas unreachable", st.ring.Replication())}
 	}
 	return out
 }
 
+// noteUnknown records a repair hint: some replica answered Unknown for
+// v, meaning it should own the record but cannot serve it.
+func (f *Frontend) noteUnknown(v int32) {
+	if f.rep != nil {
+		f.rep.noteUnknown(v)
+	}
+}
+
 // learnedN returns the vertex space reported by any healthy shard.
-func (f *Frontend) learnedN() (int, bool) {
-	for _, c := range f.nodes {
+func (f *Frontend) learnedN(st *ringState) (int, bool) {
+	for _, c := range st.nodes {
 		if c.healthy.Load() && c.lastN.Load() > 0 {
 			return int(c.lastN.Load()), true
 		}
@@ -446,11 +726,13 @@ func (f *Frontend) learnedN() (int, bool) {
 
 func (f *Frontend) healthLoop() {
 	defer f.done.Done()
-	t := time.NewTicker(f.cfg.HealthInterval)
-	defer t.Stop()
 	for {
+		// ±20% jitter: a fleet of frontends (or a frontend and a fleet of
+		// repairers) must not probe every shard at the same instant.
+		t := time.NewTimer(backoff.Jittered(f.cfg.HealthInterval, 0.2))
 		select {
 		case <-f.stop:
+			t.Stop()
 			return
 		case <-t.C:
 			f.sweepHealth()
@@ -466,20 +748,22 @@ func (f *Frontend) healthLoop() {
 // misconfiguration surfaces in /metrics instead of as per-fetch
 // transient errors.
 func (f *Frontend) sweepHealth() {
+	st := f.state.Load()
 	var wg sync.WaitGroup
-	for _, c := range f.nodes {
+	for _, c := range st.nodes {
 		wg.Add(1)
 		go func(c *shardClient) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
 			defer cancel()
-			n, labels, err := c.ping(ctx)
+			n, labels, flags, err := c.ping(ctx)
 			if err != nil {
 				c.healthy.Store(false)
 				return
 			}
 			c.lastN.Store(int64(n))
 			c.lastLabels.Store(int64(labels))
+			c.lastFlags.Store(flags)
 			if f.n > 0 && n != f.n {
 				c.mismatched.Store(true)
 				c.healthy.Store(false)
@@ -493,7 +777,10 @@ func (f *Frontend) sweepHealth() {
 }
 
 // shardClient is the frontend's stub for one shard: a small idle
-// connection pool, health state, and per-shard metrics.
+// connection pool, health and breaker state, and per-shard metrics.
+// Clients survive membership epochs — a swap reuses the same object for
+// a surviving shard, so its pool, health history and breaker state
+// carry over.
 type shardClient struct {
 	node Node
 	cfg  FrontendConfig
@@ -503,8 +790,12 @@ type shardClient struct {
 
 	healthy    atomic.Bool
 	mismatched atomic.Bool
+	draining   atomic.Bool
 	lastN      atomic.Int64
 	lastLabels atomic.Int64
+	lastFlags  atomic.Uint64
+
+	breaker *breaker // nil when disabled
 
 	fetches     atomic.Int64
 	fetchErrors atomic.Int64
@@ -512,7 +803,7 @@ type shardClient struct {
 }
 
 func newShardClient(nd Node, cfg FrontendConfig) *shardClient {
-	return &shardClient{
+	c := &shardClient{
 		node: nd,
 		cfg:  cfg,
 		// Seconds; spans same-host RPCs to cross-zone hops and timeouts.
@@ -520,6 +811,17 @@ func newShardClient(nd Node, cfg FrontendConfig) *shardClient {
 			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
 			0.025, 0.05, 0.1, 0.25, 0.5, 1),
 	}
+	if !cfg.BreakerDisabled {
+		c.breaker = newBreaker(breakerConfig{
+			window:       cfg.BreakerWindow,
+			buckets:      cfg.BreakerBuckets,
+			minRequests:  cfg.BreakerMinRequests,
+			failureRatio: cfg.BreakerFailureRatio,
+			cooldown:     cfg.BreakerCooldown,
+			maxCooldown:  cfg.BreakerMaxCooldown,
+		})
+	}
+	return c
 }
 
 // maxRequestIDs bounds the ids carried by one OpGetLabels frame, so a
@@ -585,26 +887,26 @@ func (c *shardClient) getLabelsChunk(ctx context.Context, ids []int32, wantN int
 }
 
 // ping probes the shard and returns its vitals.
-func (c *shardClient) ping(ctx context.Context) (n, labels int, err error) {
+func (c *shardClient) ping(ctx context.Context) (n, labels int, flags uint64, err error) {
 	frames, err := c.call(ctx, OpPing, nil, 1)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if frames[0].op != OpPong {
-		return 0, 0, fmt.Errorf("cluster: unexpected ping response op %d", frames[0].op)
+		return 0, 0, 0, fmt.Errorf("cluster: unexpected ping response op %d", frames[0].op)
 	}
 	return parsePongChecked(frames[0].payload)
 }
 
-func parsePongChecked(resp []byte) (n, labels int, err error) {
-	n, labels, err = ParsePong(resp)
+func parsePongChecked(resp []byte) (n, labels int, flags uint64, err error) {
+	n, labels, flags, err = ParsePong(resp)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if n <= 0 {
-		return 0, 0, fmt.Errorf("cluster: pong reports empty vertex space")
+		return 0, 0, 0, fmt.Errorf("cluster: pong reports empty vertex space")
 	}
-	return n, labels, nil
+	return n, labels, flags, nil
 }
 
 // wireFrame is one response frame as received off the wire.
@@ -621,7 +923,14 @@ type wireFrame struct {
 // fresh dial; any other transport failure marks the shard unhealthy
 // until the next successful probe.
 func (c *shardClient) call(ctx context.Context, op byte, payload []byte, maxFrames int) ([]wireFrame, error) {
-	deadline := time.Now().Add(c.cfg.FetchTimeout)
+	return c.callTimeout(ctx, op, payload, maxFrames, c.cfg.FetchTimeout)
+}
+
+// callTimeout is call with an explicit per-RPC timeout, for exchanges
+// whose budget differs from a label fetch (repair pulls stream data and
+// pace themselves, so they get a far longer leash).
+func (c *shardClient) callTimeout(ctx context.Context, op byte, payload []byte, maxFrames int, timeout time.Duration) ([]wireFrame, error) {
+	deadline := time.Now().Add(timeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}

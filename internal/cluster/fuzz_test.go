@@ -22,11 +22,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Vertex: 1, Present: true, Bits: 8, Data: []byte{0xaa}},
 	})))
 	f.Add(AppendFrame(nil, OpPing, nil))
-	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 86)))
+	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 86, 0)))
+	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 0, PongNonAuthoritative)))
 	f.Add(AppendFrame(nil, OpError, []byte("shard: boom")))
+	f.Add(AppendFrame(nil, OpDigest, AppendLabelRequest(nil, []int32{3, 4, 5})))
+	f.Add(AppendFrame(nil, OpDigestResp, AppendDigestResponse(nil, 100, 0xdeadbeef, 2, []int32{4})))
+	f.Add(AppendFrame(nil, OpRepairPull, AppendRepairRequest(nil, "127.0.0.1:9001", []int32{4, 7})))
+	f.Add(AppendFrame(nil, OpRepairPulled, AppendRepairResponse(nil, 2, 0)))
+	f.Add(AppendFrame(nil, OpSeal, nil))
+	f.Add(AppendFrame(nil, OpSealed, nil))
 	// Two frames back to back (rest must parse too).
 	two := AppendFrame(nil, OpPing, nil)
-	f.Add(AppendFrame(two, OpPong, AppendPong(nil, 9, 9)))
+	f.Add(AppendFrame(two, OpPong, AppendPong(nil, 9, 9, 0)))
 	// Degenerate and adversarial seeds.
 	f.Add([]byte{})
 	f.Add([]byte{frameMagic0, frameMagic1, frameVer, OpLabels, 0xff, 0xff, 0xff, 0xff})
@@ -94,14 +101,55 @@ func FuzzDecodeFrame(f *testing.F) {
 				t.Fatal("label response does not round-trip")
 			}
 		case OpPong:
-			n, labels, err := ParsePong(payload)
+			n, labels, flags, err := ParsePong(payload)
 			if err != nil {
 				return
 			}
-			enc := AppendPong(nil, n, labels)
-			n2, l2, err := ParsePong(enc)
-			if err != nil || n2 != n || l2 != labels {
-				t.Fatalf("pong does not round-trip: %d/%d vs %d/%d, err %v", n2, l2, n, labels, err)
+			enc := AppendPong(nil, n, labels, flags)
+			n2, l2, fl2, err := ParsePong(enc)
+			if err != nil || n2 != n || l2 != labels || fl2 != flags {
+				t.Fatalf("pong does not round-trip: %d/%d/%d vs %d/%d/%d, err %v", n2, l2, fl2, n, labels, flags, err)
+			}
+		case OpDigestResp:
+			n, d, present, missing, err := ParseDigestResponse(payload)
+			if err != nil {
+				return
+			}
+			if len(missing) > len(payload) {
+				t.Fatalf("%d missing ids decoded from %d payload bytes", len(missing), len(payload))
+			}
+			enc := AppendDigestResponse(nil, n, d, present, missing)
+			n2, d2, p2, m2, err := ParseDigestResponse(enc)
+			if err != nil || n2 != n || d2 != d || p2 != present {
+				t.Fatalf("digest response does not round-trip: err %v", err)
+			}
+			if !bytes.Equal(AppendDigestResponse(nil, n2, d2, p2, m2), enc) {
+				t.Fatal("digest response encoding not a fixed point")
+			}
+		case OpRepairPull:
+			source, ids, err := ParseRepairRequest(payload)
+			if err != nil {
+				return
+			}
+			if len(ids) > len(payload) || len(source) > len(payload) {
+				t.Fatalf("repair request decoded fields exceed %d payload bytes", len(payload))
+			}
+			enc := AppendRepairRequest(nil, source, ids)
+			s2, ids2, err := ParseRepairRequest(enc)
+			if err != nil || s2 != source {
+				t.Fatalf("re-parse of accepted repair request failed: %v", err)
+			}
+			if !bytes.Equal(AppendRepairRequest(nil, s2, ids2), enc) {
+				t.Fatal("repair request does not round-trip")
+			}
+		case OpRepairPulled:
+			installed, failed, err := ParseRepairResponse(payload)
+			if err != nil {
+				return
+			}
+			i2, f2, err := ParseRepairResponse(AppendRepairResponse(nil, installed, failed))
+			if err != nil || i2 != installed || f2 != failed {
+				t.Fatalf("repair response does not round-trip: err %v", err)
 			}
 		}
 	})

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fsdl/internal/labelstore"
 )
@@ -26,6 +29,25 @@ type ShardConfig struct {
 	// authoritative absence, so the frontend fails over to an intact
 	// replica rather than negative-caching the loss.
 	Report *labelstore.SalvageReport
+	// Bootstrap marks a replacement shard that joined the ring empty
+	// (or incomplete) and is awaiting anti-entropy repair: like a
+	// truncated salvage, every absent record answers "unknown" instead
+	// of authoritative absence, until the repairer verifies the
+	// partition complete and seals the shard.
+	Bootstrap bool
+	// PersistPath, when set, rewrites the partition container (atomic
+	// temp+rename) after each repair pull that installed records, so a
+	// repaired shard survives its own restart.
+	PersistPath string
+	// RepairRate caps how many records per second repair pulls install
+	// (default 50000; negative = unlimited). The cap is what keeps
+	// rebuilding a shard from starving the query traffic it is already
+	// serving.
+	RepairRate int
+	// RepairDialTimeout bounds dialing the pull source (default 1s);
+	// RepairChunkTimeout bounds each pull round trip (default 5s).
+	RepairDialTimeout  time.Duration
+	RepairChunkTimeout time.Duration
 	// FaultHook, when non-nil, is consulted once per received request
 	// frame; a non-nil return makes the server drop the connection
 	// without replying — the chaos tests' injection point for
@@ -42,10 +64,20 @@ type ShardConfig struct {
 type ShardServer struct {
 	cfg ShardConfig
 
+	// salvMu guards the salvage/bootstrap state, which repair now
+	// mutates on a live server: installs clear per-vertex loss marks,
+	// and a seal clears the whole-store uncertainty.
+	salvMu sync.RWMutex
 	// salvageLost holds the vertices cfg.Report marked corrupt;
-	// salvageTrunc mirrors its Truncated flag (lost vertices unknown).
+	// salvageTrunc mirrors its Truncated flag (lost vertices unknown);
+	// bootstrap mirrors cfg.Bootstrap until the shard is sealed.
 	salvageLost  map[int32]struct{}
 	salvageTrunc bool
+	bootstrap    bool
+
+	// repairMu serializes repair pulls: one transfer at a time keeps
+	// the rate limit and the persistence rewrite coherent.
+	repairMu sync.Mutex
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -54,9 +86,14 @@ type ShardServer struct {
 	closed atomic.Bool
 
 	// Requests/labelsServed are observability counters for tests and
-	// the shard daemon's exit log.
-	Requests     atomic.Int64
-	LabelsServed atomic.Int64
+	// the shard daemon's exit log. RepairInstalled/RepairFailed count
+	// records ingested (or not) by OpRepairPull; Sealed flips when the
+	// repairer declares the partition complete.
+	Requests        atomic.Int64
+	LabelsServed    atomic.Int64
+	RepairInstalled atomic.Int64
+	RepairFailed    atomic.Int64
+	Sealed          atomic.Bool
 }
 
 // NewShardServer builds a server over cfg.Store.
@@ -64,7 +101,16 @@ func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("cluster: ShardConfig.Store is required")
 	}
-	s := &ShardServer{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	if cfg.RepairRate == 0 {
+		cfg.RepairRate = 50000
+	}
+	if cfg.RepairDialTimeout <= 0 {
+		cfg.RepairDialTimeout = time.Second
+	}
+	if cfg.RepairChunkTimeout <= 0 {
+		cfg.RepairChunkTimeout = 5 * time.Second
+	}
+	s := &ShardServer{cfg: cfg, conns: make(map[net.Conn]struct{}), bootstrap: cfg.Bootstrap}
 	if cfg.Report != nil {
 		s.salvageTrunc = cfg.Report.Truncated
 		s.salvageLost = make(map[int32]struct{}, len(cfg.Report.Corrupt))
@@ -172,7 +218,7 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 		var werr error
 		switch op {
 		case OpPing:
-			bufs.payload = AppendPong(bufs.payload[:0], s.cfg.Store.NumVertices(), s.cfg.Store.NumLabels())
+			bufs.payload = AppendPong(bufs.payload[:0], s.cfg.Store.NumVertices(), s.cfg.Store.NumLabels(), s.pongFlags())
 			werr = s.writeFrame(bw, bufs, OpPong, bufs.payload)
 		case OpGetLabels:
 			ids, err := ParseLabelRequest(req)
@@ -184,6 +230,13 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 			} else {
 				werr = s.writeLabels(bw, bufs, ids)
 			}
+		case OpDigest:
+			werr = s.handleDigest(bw, bufs, req)
+		case OpRepairPull:
+			werr = s.handleRepairPull(bw, bufs, req)
+		case OpSeal:
+			s.seal()
+			werr = s.writeFrame(bw, bufs, OpSealed, nil)
 		default:
 			werr = s.writeFrame(bw, bufs, OpError, []byte(s.errText(fmt.Errorf("cluster: unknown op %d", op))))
 		}
@@ -259,7 +312,7 @@ func (s *ShardServer) writeLabels(bw *bufio.Writer, bufs *connBufs, ids []int32)
 }
 
 // lookupRecord resolves one vertex against the store, distinguishing
-// authoritative absence from salvage loss.
+// authoritative absence from salvage loss and bootstrap incompleteness.
 func (s *ShardServer) lookupRecord(v int32) LabelRecord {
 	rec := LabelRecord{Vertex: v}
 	if bits, data, ok := s.cfg.Store.Raw(int(v)); ok {
@@ -267,14 +320,220 @@ func (s *ShardServer) lookupRecord(v int32) LabelRecord {
 		s.LabelsServed.Add(1)
 		return rec
 	}
-	if s.salvageTrunc {
-		// The framing break lost an unknowable suffix of the records:
-		// nothing this store lacks can be called authoritatively absent.
+	s.salvMu.RLock()
+	defer s.salvMu.RUnlock()
+	if s.salvageTrunc || s.bootstrap {
+		// A truncated salvage lost an unknowable suffix of the records,
+		// and a bootstrap shard has not received its partition yet:
+		// nothing such a store lacks can be called authoritatively
+		// absent until the repairer seals it.
 		rec.Unknown = true
 	} else if _, lost := s.salvageLost[v]; lost {
 		rec.Unknown = true
 	}
 	return rec
+}
+
+// pongFlags reports the shard's status bits for health probes.
+func (s *ShardServer) pongFlags() uint64 {
+	s.salvMu.RLock()
+	defer s.salvMu.RUnlock()
+	var flags uint64
+	if s.salvageTrunc || s.bootstrap || len(s.salvageLost) > 0 {
+		flags |= PongNonAuthoritative
+	}
+	return flags
+}
+
+// seal records the repairer's verdict that this shard's partition is
+// complete: absences become authoritative again, and per-vertex salvage
+// marks are dropped (anything still missing after a verified repair is
+// genuinely not this shard's to hold).
+func (s *ShardServer) seal() {
+	s.salvMu.Lock()
+	s.salvageTrunc = false
+	s.bootstrap = false
+	s.salvageLost = nil
+	s.salvMu.Unlock()
+	s.Sealed.Store(true)
+}
+
+// maxDigestIDs bounds one OpDigest request so the response (≤ 5 bytes
+// per missing id) always fits one frame and a hostile request cannot
+// force a huge allocation. The repairer's batches sit far below this.
+const maxDigestIDs = 1 << 20
+
+// handleDigest answers OpDigest: the store's digest over the requested
+// ids plus the ids it does not hold (see labelstore.DigestVertices for
+// why digest equality across replicas means presence equality).
+func (s *ShardServer) handleDigest(bw *bufio.Writer, bufs *connBufs, req []byte) error {
+	ids, err := ParseLabelRequest(req)
+	if err == nil && len(ids) > maxDigestIDs {
+		err = fmt.Errorf("cluster: digest request names %d ids, limit %d", len(ids), maxDigestIDs)
+	}
+	if err == nil {
+		err = s.checkRange(ids)
+	}
+	if err != nil {
+		return s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
+	}
+	digest, present, missing := s.cfg.Store.DigestVertices(ids)
+	bufs.payload = AppendDigestResponse(bufs.payload[:0], s.cfg.Store.NumVertices(), digest, present, missing)
+	return s.writeFrame(bw, bufs, OpDigestResp, bufs.payload)
+}
+
+// handleRepairPull answers OpRepairPull: pull the named records from
+// the source replica, install them, optionally persist, and report the
+// tally. The transfer happens synchronously on this connection — the
+// repairer sizes batches so one pull stays well under the chunk
+// timeout, and other connections keep serving queries meanwhile.
+func (s *ShardServer) handleRepairPull(bw *bufio.Writer, bufs *connBufs, req []byte) error {
+	source, ids, err := ParseRepairRequest(req)
+	if err == nil {
+		err = s.checkRange(ids)
+	}
+	if err != nil {
+		return s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
+	}
+	installed, failed, err := s.repairPull(source, ids)
+	if err != nil {
+		return s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
+	}
+	bufs.payload = AppendRepairResponse(bufs.payload[:0], installed, failed)
+	return s.writeFrame(bw, bufs, OpRepairPulled, bufs.payload)
+}
+
+// maxPullChunkIDs is how many records one pull round trip requests.
+const maxPullChunkIDs = 4096
+
+// repairPull dials the source shard, fetches the records in chunks and
+// installs every present, validated one into the live store. Records
+// the source lacks (or that fail validation) count as failed — the
+// repairer retries them against another replica on its next sweep.
+// Installs are paced to cfg.RepairRate records/sec so a rebuild cannot
+// starve query traffic sharing this store.
+func (s *ShardServer) repairPull(source string, ids []int32) (installed, failed int, err error) {
+	s.repairMu.Lock()
+	defer s.repairMu.Unlock()
+	conn, err := net.DialTimeout("tcp", source, s.cfg.RepairDialTimeout)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: dial repair source %s: %w", source, err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	for len(ids) > 0 {
+		chunk := ids
+		if len(chunk) > maxPullChunkIDs {
+			chunk = chunk[:maxPullChunkIDs]
+		}
+		ids = ids[len(chunk):]
+		conn.SetDeadline(time.Now().Add(s.cfg.RepairChunkTimeout))
+		if werr := WriteFrame(conn, OpGetLabels, AppendLabelRequest(nil, chunk)); werr != nil {
+			return installed, failed, fmt.Errorf("cluster: repair pull from %s: %w", source, werr)
+		}
+		frames, rerr := readLabelFrames(conn, len(chunk)+1)
+		if rerr != nil {
+			return installed, failed, fmt.Errorf("cluster: repair pull from %s: %w", source, rerr)
+		}
+		got := make(map[int32]LabelRecord, len(chunk))
+		for _, fr := range frames {
+			n, recs, perr := ParseLabelResponse(fr.payload)
+			if perr != nil {
+				return installed, failed, fmt.Errorf("cluster: repair pull from %s: %w", source, perr)
+			}
+			if n != s.cfg.Store.NumVertices() {
+				return installed, failed, fmt.Errorf("cluster: repair source %s serves vertex space %d, want %d",
+					source, n, s.cfg.Store.NumVertices())
+			}
+			for _, r := range recs {
+				got[r.Vertex] = r
+			}
+		}
+		for _, v := range chunk {
+			rec, ok := got[v]
+			if !ok || !rec.Present {
+				failed++
+				continue
+			}
+			if perr := s.cfg.Store.Put(int(v), rec.Bits, rec.Data); perr != nil {
+				failed++
+				continue
+			}
+			installed++
+			s.salvMu.Lock()
+			delete(s.salvageLost, v)
+			s.salvMu.Unlock()
+		}
+		// Pace to the configured install rate: sleep off any debt the
+		// records installed so far have accumulated over real time.
+		if s.cfg.RepairRate > 0 {
+			owed := time.Duration(installed) * time.Second / time.Duration(s.cfg.RepairRate)
+			if ahead := owed - time.Since(start); ahead > 0 {
+				time.Sleep(ahead)
+			}
+		}
+	}
+	s.RepairInstalled.Add(int64(installed))
+	s.RepairFailed.Add(int64(failed))
+	if installed > 0 && s.cfg.PersistPath != "" {
+		if perr := s.persist(); perr != nil {
+			return installed, failed, perr
+		}
+	}
+	return installed, failed, nil
+}
+
+// readLabelFrames reads one label response off conn: OpLabelsPart
+// continuations closed by a final OpLabels, mirroring the frontend's
+// round trip. An OpError frame becomes an error.
+func readLabelFrames(conn net.Conn, maxFrames int) ([]wireFrame, error) {
+	var frames []wireFrame
+	for {
+		op, p, err := ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case OpLabels:
+			return append(frames, wireFrame{op: op, payload: p}), nil
+		case OpLabelsPart:
+			frames = append(frames, wireFrame{op: op, payload: p})
+			if len(frames) >= maxFrames {
+				return nil, fmt.Errorf("cluster: repair response exceeded %d frames", maxFrames)
+			}
+		case OpError:
+			return nil, fmt.Errorf("%w: %s", errShardError, p)
+		default:
+			return nil, fmt.Errorf("cluster: unexpected repair response op %d", op)
+		}
+	}
+}
+
+// persist rewrites the partition container atomically (temp file in
+// the same directory, fsync, rename) so a repaired shard that restarts
+// reloads what repair gave it instead of starting the loss over.
+func (s *ShardServer) persist() error {
+	dir := filepath.Dir(s.cfg.PersistPath)
+	tmp, err := os.CreateTemp(dir, ".fsdl-shard-*")
+	if err != nil {
+		return fmt.Errorf("cluster: persist repair: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.cfg.Store.Save(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: persist repair: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cluster: persist repair: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cluster: persist repair: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.PersistPath); err != nil {
+		return fmt.Errorf("cluster: persist repair: %w", err)
+	}
+	return nil
 }
 
 // checkRange rejects requests naming vertices outside the store's

@@ -53,6 +53,26 @@ const (
 	// so a response — however many labels it carries — never needs a
 	// payload past MaxFramePayload.
 	OpLabelsPart byte = 6
+	// OpDigest asks for the anti-entropy digest of a batch of vertex
+	// ids (request payload identical to OpGetLabels); OpDigestResp
+	// answers with the digest, the present count and the ids the shard
+	// does not hold. The repairer compares digests across replicas to
+	// find what a shard is missing without shipping any label bytes.
+	OpDigest     byte = 7
+	OpDigestResp byte = 8
+	// OpRepairPull instructs a shard to pull the named records from a
+	// source replica (by address) and install them into its live store;
+	// OpRepairPulled reports how many records were installed and how
+	// many failed. Label bytes flow replica→replica, never through the
+	// frontend.
+	OpRepairPull   byte = 9
+	OpRepairPulled byte = 10
+	// OpSeal tells a non-authoritative shard (salvaged with truncation,
+	// or booted empty awaiting repair) that anti-entropy has verified
+	// its partition complete: from now on an absent record is an
+	// authoritative "not here", not an unknown. OpSealed acknowledges.
+	OpSeal   byte = 11
+	OpSealed byte = 12
 )
 
 // Wire protocol errors.
@@ -309,26 +329,181 @@ func ParseLabelResponse(payload []byte) (n int, recs []LabelRecord, err error) {
 	return int(nv), recs, nil
 }
 
-// AppendPong encodes an OpPong payload: the shard's vertex space and how
-// many labels its partition holds.
-func AppendPong(dst []byte, n, labels int) []byte {
+// Pong flag bits (the third varint of an OpPong payload).
+const (
+	// PongNonAuthoritative marks a shard that cannot treat an absent
+	// record as an authoritative miss: its store was salvage-loaded
+	// with truncation, or it booted empty and is awaiting repair. The
+	// flag clears when the repairer seals the shard.
+	PongNonAuthoritative uint64 = 1 << 0
+)
+
+// AppendPong encodes an OpPong payload: the shard's vertex space, how
+// many labels its partition holds, and its status flag bits.
+func AppendPong(dst []byte, n, labels int, flags uint64) []byte {
 	dst = binary.AppendUvarint(dst, uint64(n))
-	return binary.AppendUvarint(dst, uint64(labels))
+	dst = binary.AppendUvarint(dst, uint64(labels))
+	return binary.AppendUvarint(dst, flags)
 }
 
 // ParsePong decodes an OpPong payload.
-func ParsePong(payload []byte) (n, labels int, err error) {
+func ParsePong(payload []byte) (n, labels int, flags uint64, err error) {
 	nv, k := binary.Uvarint(payload)
 	if k <= 0 || nv > math.MaxInt32 {
-		return 0, 0, fmt.Errorf("cluster: pong: bad vertex space")
+		return 0, 0, 0, fmt.Errorf("cluster: pong: bad vertex space")
 	}
 	payload = payload[k:]
 	lv, k := binary.Uvarint(payload)
 	if k <= 0 || lv > math.MaxInt32 {
-		return 0, 0, fmt.Errorf("cluster: pong: bad label count")
+		return 0, 0, 0, fmt.Errorf("cluster: pong: bad label count")
+	}
+	payload = payload[k:]
+	flags, k = binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, 0, 0, fmt.Errorf("cluster: pong: bad flags")
 	}
 	if len(payload[k:]) != 0 {
-		return 0, 0, fmt.Errorf("cluster: pong: trailing bytes")
+		return 0, 0, 0, fmt.Errorf("cluster: pong: trailing bytes")
 	}
-	return int(nv), int(lv), nil
+	return int(nv), int(lv), flags, nil
+}
+
+// AppendDigestResponse encodes an OpDigestResp payload: the shard's
+// vertex space (the same cross-check every label response carries),
+// the CRC32 digest over the present records, how many of the requested
+// ids were present, and the sorted ids the shard does not hold.
+func AppendDigestResponse(dst []byte, n int, digest uint32, present int, missing []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.LittleEndian.AppendUint32(dst, digest)
+	dst = binary.AppendUvarint(dst, uint64(present))
+	dst = binary.AppendUvarint(dst, uint64(len(missing)))
+	for _, v := range missing {
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// ParseDigestResponse decodes an OpDigestResp payload.
+func ParseDigestResponse(payload []byte) (n int, digest uint32, present int, missing []int32, err error) {
+	nv, k := binary.Uvarint(payload)
+	if k <= 0 || nv > math.MaxInt32 {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: bad vertex space")
+	}
+	payload = payload[k:]
+	if len(payload) < 4 {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: truncated digest")
+	}
+	digest = binary.LittleEndian.Uint32(payload)
+	payload = payload[4:]
+	pv, k := binary.Uvarint(payload)
+	if k <= 0 || pv > math.MaxInt32 {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: bad present count")
+	}
+	payload = payload[k:]
+	count, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: bad missing count")
+	}
+	payload = payload[k:]
+	// Every missing id costs at least one byte.
+	if count > uint64(len(payload)) {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: missing count %d exceeds payload", count)
+	}
+	missing = make([]int32, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: truncated missing id %d", i)
+		}
+		if v >= nv {
+			return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: missing id %d out of range [0,%d)", v, nv)
+		}
+		payload = payload[k:]
+		missing = append(missing, int32(v))
+	}
+	if len(payload) != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: digest response: %d trailing bytes", len(payload))
+	}
+	return int(nv), digest, int(pv), missing, nil
+}
+
+// maxRepairSourceLen bounds the source-address field of an OpRepairPull
+// so a hostile frame cannot make the shard dial a megabyte "address".
+const maxRepairSourceLen = 256
+
+// AppendRepairRequest encodes an OpRepairPull payload: the address of
+// the replica to pull from, then the vertex ids to install.
+func AppendRepairRequest(dst []byte, source string, ids []int32) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(source)))
+	dst = append(dst, source...)
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	for _, v := range ids {
+		dst = binary.AppendUvarint(dst, uint64(uint32(v)))
+	}
+	return dst
+}
+
+// ParseRepairRequest decodes an OpRepairPull payload.
+func ParseRepairRequest(payload []byte) (source string, ids []int32, err error) {
+	slen, k := binary.Uvarint(payload)
+	if k <= 0 || slen > maxRepairSourceLen {
+		return "", nil, fmt.Errorf("cluster: repair request: bad source length")
+	}
+	payload = payload[k:]
+	if slen == 0 || uint64(len(payload)) < slen {
+		return "", nil, fmt.Errorf("cluster: repair request: truncated source address")
+	}
+	source = string(payload[:slen])
+	payload = payload[slen:]
+	count, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return "", nil, fmt.Errorf("cluster: repair request: bad id count")
+	}
+	payload = payload[k:]
+	if count == 0 {
+		return "", nil, fmt.Errorf("cluster: repair request: no ids")
+	}
+	if count > uint64(len(payload)) {
+		return "", nil, fmt.Errorf("cluster: repair request: count %d exceeds payload", count)
+	}
+	ids = make([]int32, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return "", nil, fmt.Errorf("cluster: repair request: truncated id %d", i)
+		}
+		if v > math.MaxInt32 {
+			return "", nil, fmt.Errorf("cluster: repair request: id %d out of range", v)
+		}
+		payload = payload[k:]
+		ids = append(ids, int32(v))
+	}
+	if len(payload) != 0 {
+		return "", nil, fmt.Errorf("cluster: repair request: %d trailing bytes", len(payload))
+	}
+	return source, ids, nil
+}
+
+// AppendRepairResponse encodes an OpRepairPulled payload: how many
+// records the shard installed and how many it could not.
+func AppendRepairResponse(dst []byte, installed, failed int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(installed))
+	return binary.AppendUvarint(dst, uint64(failed))
+}
+
+// ParseRepairResponse decodes an OpRepairPulled payload.
+func ParseRepairResponse(payload []byte) (installed, failed int, err error) {
+	iv, k := binary.Uvarint(payload)
+	if k <= 0 || iv > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("cluster: repair response: bad installed count")
+	}
+	payload = payload[k:]
+	fv, k := binary.Uvarint(payload)
+	if k <= 0 || fv > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("cluster: repair response: bad failed count")
+	}
+	if len(payload[k:]) != 0 {
+		return 0, 0, fmt.Errorf("cluster: repair response: trailing bytes")
+	}
+	return int(iv), int(fv), nil
 }

@@ -134,8 +134,45 @@ func TestLabelResponseRoundTrip(t *testing.T) {
 }
 
 func TestPongRoundTrip(t *testing.T) {
-	n, labels, err := ParsePong(AppendPong(nil, 4096, 1365))
-	if err != nil || n != 4096 || labels != 1365 {
-		t.Fatalf("pong round trip: n=%d labels=%d err=%v", n, labels, err)
+	n, labels, flags, err := ParsePong(AppendPong(nil, 4096, 1365, 0))
+	if err != nil || n != 4096 || labels != 1365 || flags != 0 {
+		t.Fatalf("pong round trip: n=%d labels=%d flags=%d err=%v", n, labels, flags, err)
+	}
+	n, labels, flags, err = ParsePong(AppendPong(nil, 9, 0, PongNonAuthoritative))
+	if err != nil || n != 9 || labels != 0 || flags != PongNonAuthoritative {
+		t.Fatalf("flagged pong round trip: n=%d labels=%d flags=%d err=%v", n, labels, flags, err)
+	}
+}
+
+func TestDigestResponseRoundTrip(t *testing.T) {
+	missing := []int32{1, 5, 99}
+	n, d, present, m, err := ParseDigestResponse(AppendDigestResponse(nil, 100, 0xcafebabe, 97, missing))
+	if err != nil || n != 100 || d != 0xcafebabe || present != 97 {
+		t.Fatalf("digest round trip: n=%d digest=%#x present=%d err=%v", n, d, present, err)
+	}
+	if len(m) != len(missing) || m[0] != 1 || m[2] != 99 {
+		t.Fatalf("missing ids round trip: %v", m)
+	}
+	// A missing id at or past n is rejected.
+	bad := AppendDigestResponse(nil, 10, 0, 9, []int32{10})
+	if _, _, _, _, err := ParseDigestResponse(bad); err == nil {
+		t.Fatal("out-of-range missing id accepted")
+	}
+}
+
+func TestRepairRequestRoundTrip(t *testing.T) {
+	src, ids, err := ParseRepairRequest(AppendRepairRequest(nil, "10.0.0.7:9002", []int32{3, 4}))
+	if err != nil || src != "10.0.0.7:9002" || len(ids) != 2 || ids[1] != 4 {
+		t.Fatalf("repair request round trip: src=%q ids=%v err=%v", src, ids, err)
+	}
+	if _, _, err := ParseRepairRequest(AppendRepairRequest(nil, "", []int32{1})); err == nil {
+		t.Fatal("empty source accepted")
+	}
+	if _, _, err := ParseRepairRequest(AppendRepairRequest(nil, "x:1", nil)); err == nil {
+		t.Fatal("empty id list accepted")
+	}
+	installed, failed, err := ParseRepairResponse(AppendRepairResponse(nil, 7, 2))
+	if err != nil || installed != 7 || failed != 2 {
+		t.Fatalf("repair response round trip: %d/%d err=%v", installed, failed, err)
 	}
 }

@@ -27,7 +27,9 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"time"
 
+	"fsdl/internal/backoff"
 	"fsdl/internal/core"
 	"fsdl/internal/faultinject"
 	"fsdl/internal/graph"
@@ -480,14 +482,17 @@ func (s *Simulator) healPartition(pi int) {
 
 // retryPacket schedules a bounded exponential-backoff retransmission of
 // pkt from router r. Returns false when the retry budget is exhausted.
+// The schedule is the shared backoff policy with jitter off: delays are
+// simulator ticks and must stay bit-deterministic across runs.
 func (s *Simulator) retryPacket(pkt *packet, r int) bool {
 	if pkt.retries >= s.cfg.MaxRetries {
 		return false
 	}
-	backoff := int64(s.cfg.RetryBackoff) << uint(pkt.retries)
+	pol := backoff.Policy{Base: time.Duration(s.cfg.RetryBackoff)}
+	wait := int64(pol.Delay(pkt.retries))
 	pkt.retries++
 	s.metrics.Retries++
-	s.push(event{at: s.now + backoff, kind: evPacket, pkt: pkt, at2: r})
+	s.push(event{at: s.now + wait, kind: evPacket, pkt: pkt, at2: r})
 	return true
 }
 

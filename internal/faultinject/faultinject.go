@@ -12,8 +12,14 @@ package faultinject
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
+
+// Never is a RestartAt value meaning the router stays down for the rest
+// of the run — permanent loss, the scenario dead-shard replacement
+// drills are built on.
+const Never int64 = math.MaxInt64
 
 // MessageClass distinguishes the two message kinds the simulator sends.
 type MessageClass int
@@ -33,6 +39,23 @@ type Crash struct {
 	Router    int
 	At        int64
 	RestartAt int64
+}
+
+// Flapping builds a crash train for one router: count outages of length
+// downFor, the k-th starting at start + k·period. A flapping node is
+// the nastiest membership case — it keeps re-entering and re-leaving
+// the healthy set faster than naive health probing converges, which is
+// exactly what circuit breakers and probe jitter are for.
+func Flapping(router int, start, period, downFor int64, count int) []Crash {
+	if count <= 0 || period <= 0 || downFor <= 0 || downFor >= period {
+		return nil
+	}
+	crashes := make([]Crash, 0, count)
+	for k := int64(0); k < int64(count); k++ {
+		at := start + k*period
+		crashes = append(crashes, Crash{Router: router, At: at, RestartAt: at + downFor})
+	}
+	return crashes
 }
 
 // Partition splits the network into two sides between At and HealAt:

@@ -142,3 +142,56 @@ func TestCrashedAt(t *testing.T) {
 		}
 	}
 }
+
+// TestPermanentLoss: RestartAt = Never validates and keeps the router
+// down forever — the dead-shard-replacement scenario.
+func TestPermanentLoss(t *testing.T) {
+	plan := Plan{Crashes: []Crash{{Router: 1, At: 5, RestartAt: Never}}}
+	in, err := NewInjector(plan, 4)
+	if err != nil {
+		t.Fatalf("permanent crash rejected: %v", err)
+	}
+	if in.CrashedAt(4, 1) {
+		t.Fatal("down before the crash")
+	}
+	for _, now := range []int64{5, 1000, 1 << 40, Never - 1} {
+		if !in.CrashedAt(now, 1) {
+			t.Fatalf("permanently lost router up at %d", now)
+		}
+	}
+}
+
+// TestFlapping: the crash-train helper produces count disjoint outages
+// on the schedule, and the plan it feeds validates.
+func TestFlapping(t *testing.T) {
+	crashes := Flapping(3, 10, 100, 30, 4)
+	if len(crashes) != 4 {
+		t.Fatalf("got %d crashes, want 4", len(crashes))
+	}
+	in, err := NewInjector(Plan{Crashes: crashes}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 4; k++ {
+		at := 10 + k*100
+		if in.CrashedAt(at-1, 3) {
+			t.Fatalf("down at %d, before outage %d", at-1, k)
+		}
+		if !in.CrashedAt(at, 3) || !in.CrashedAt(at+29, 3) {
+			t.Fatalf("outage %d not covering [%d,%d)", k, at, at+30)
+		}
+		if in.CrashedAt(at+30, 3) {
+			t.Fatalf("outage %d overran its downFor", k)
+		}
+	}
+	// Degenerate shapes collapse to no crashes rather than bad plans.
+	for _, c := range [][]Crash{
+		Flapping(0, 0, 0, 5, 3),   // no period
+		Flapping(0, 0, 10, 10, 3), // down the whole period
+		Flapping(0, 0, 10, 5, 0),  // no outages
+	} {
+		if len(c) != 0 {
+			t.Fatalf("degenerate flapping produced crashes: %+v", c)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"hash/crc32"
 	"io"
 	"slices"
+	"sync"
 	"sync/atomic"
 
 	"fsdl/internal/core"
@@ -123,16 +124,25 @@ func readRecord(br *bufio.Reader, n uint64, withCRC bool) (v uint64, rec record,
 		if _, err := io.ReadFull(br, sum[:]); err != nil {
 			return 0, record{}, false, fmt.Errorf("labelstore: read checksum: %w", err)
 		}
-		var scratch [binary.MaxVarintLen64]byte
-		h := crc32.NewIEEE()
-		k := binary.PutUvarint(scratch[:], v)
-		h.Write(scratch[:k])
-		k = binary.PutUvarint(scratch[:], bits)
-		h.Write(scratch[:k])
-		h.Write(data)
-		crcOK = h.Sum32() == binary.LittleEndian.Uint32(sum[:])
+		crcOK = recordChecksum(int(v), int(bits), data) == binary.LittleEndian.Uint32(sum[:])
 	}
 	return v, record{bits: int(bits), data: data}, crcOK, nil
+}
+
+// recordChecksum is the per-record CRC32-IEEE the container format
+// stores after each record: over the vertex varint, the bit-length
+// varint and the payload. The anti-entropy digests reuse it, so "two
+// replicas hold the same record" is checked by the exact integrity
+// word that already guards the record on disk.
+func recordChecksum(v int, bits int, data []byte) uint32 {
+	var scratch [binary.MaxVarintLen64]byte
+	h := crc32.NewIEEE()
+	k := binary.PutUvarint(scratch[:], uint64(v))
+	h.Write(scratch[:k])
+	k = binary.PutUvarint(scratch[:], uint64(bits))
+	h.Write(scratch[:k])
+	h.Write(data)
+	return h.Sum32()
 }
 
 // Save writes the labels of the given vertices (all vertices when nil) to
@@ -198,8 +208,14 @@ func SaveRegion(w io.Writer, s *core.Scheme, center int, radius int32) error {
 // decoded on demand, so a Store costs what the file costs; a small
 // sharded LRU keeps the hottest decoded labels (query endpoints, popular
 // fault sets) from being re-decoded on every query.
+//
+// A Store is safe for concurrent use, including concurrent Put — the
+// anti-entropy repair path installs records into a live shard's store
+// while queries read it.
 type Store struct {
-	n      int
+	n int
+
+	mu     sync.RWMutex
 	labels map[int32]record
 
 	cache       *lru.Cache[int32, *core.Label]
@@ -314,10 +330,16 @@ func LoadPartial(r io.Reader) (*Store, *SalvageReport, error) {
 func (st *Store) NumVertices() int { return st.n }
 
 // NumLabels returns how many labels the store holds.
-func (st *Store) NumLabels() int { return len(st.labels) }
+func (st *Store) NumLabels() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.labels)
+}
 
 // Has reports whether the label of v is present.
 func (st *Store) Has(v int) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	_, ok := st.labels[int32(v)]
 	return ok
 }
@@ -325,10 +347,12 @@ func (st *Store) Has(v int) bool {
 // Vertices returns the sorted vertex ids whose labels the store holds —
 // for a partition store, the ring slice it is responsible for.
 func (st *Store) Vertices() []int {
+	st.mu.RLock()
 	ids := make([]int, 0, len(st.labels))
 	for v := range st.labels {
 		ids = append(ids, int(v))
 	}
+	st.mu.RUnlock()
 	slices.Sort(ids)
 	return ids
 }
@@ -336,9 +360,12 @@ func (st *Store) Vertices() []int {
 // Raw returns the serialized label record of v without decoding it —
 // the shard-serving path, which ships records over the wire and leaves
 // decoding to the frontend. The returned bytes are shared and must not
-// be mutated.
+// be mutated (records are immutable once installed, so releasing the
+// lock before returning is safe).
 func (st *Store) Raw(v int) (bits int, data []byte, ok bool) {
+	st.mu.RLock()
 	rec, ok := st.labels[int32(v)]
+	st.mu.RUnlock()
 	if !ok {
 		return 0, nil, false
 	}
@@ -347,6 +374,8 @@ func (st *Store) Raw(v int) (bits int, data []byte, ok bool) {
 
 // SizeBits returns the total stored label payload in bits.
 func (st *Store) SizeBits() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	var total int64
 	for _, rec := range st.labels {
 		total += int64(rec.bits)
@@ -362,7 +391,9 @@ func (st *Store) Label(v int) (*core.Label, error) {
 		st.cacheHits.Add(1)
 		return l, nil
 	}
+	st.mu.RLock()
 	rec, ok := st.labels[int32(v)]
+	st.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("labelstore: no label for vertex %d", v)
 	}
@@ -476,6 +507,8 @@ func Merge(stores ...*Store) (*Store, error) {
 		if st.n != out.n {
 			return nil, fmt.Errorf("labelstore: store %d has n=%d, want %d", si, st.n, out.n)
 		}
+		st.mu.RLock()
+		defer st.mu.RUnlock()
 		for v, rec := range st.labels {
 			if prev, ok := out.labels[v]; ok {
 				if prev.bits != rec.bits || !bytesEqual(prev.data, rec.data) {
@@ -534,7 +567,9 @@ func (st *Store) SaveVertices(w io.Writer, vertices []int) error {
 		return err
 	}
 	for _, v := range ids {
+		st.mu.RLock()
 		rec, ok := st.labels[int32(v)]
+		st.mu.RUnlock()
 		if !ok {
 			return fmt.Errorf("labelstore: no label for vertex %d", v)
 		}
@@ -543,4 +578,74 @@ func (st *Store) SaveVertices(w io.Writer, vertices []int) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// NewEmpty returns a store over an n-vertex space holding no labels —
+// the boot state of a replacement shard, which joins the ring empty and
+// is filled by anti-entropy repair.
+func NewEmpty(n int) (*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("labelstore: empty store needs a positive vertex space, got %d", n)
+	}
+	return newStore(n, 0), nil
+}
+
+// Put installs the serialized record of v — the repair-ingest path. The
+// payload must decode as a label (a corrupt transfer is rejected here,
+// before it can be served onward) and is copied. Re-putting an identical
+// record is an idempotent no-op; a *different* record for a held vertex
+// is rejected, because replicas of a vertex are byte-identical by
+// construction (the partitioner serializes deterministically), so a
+// conflict means corruption somewhere upstream, not a legitimate update.
+func (st *Store) Put(v int, bits int, data []byte) error {
+	if v < 0 || v >= st.n {
+		return fmt.Errorf("labelstore: vertex %d out of range [0,%d)", v, st.n)
+	}
+	if bits < 0 || bits > maxLabelBits {
+		return fmt.Errorf("labelstore: implausible label size %d bits for vertex %d", bits, v)
+	}
+	if want := (bits + 7) / 8; len(data) != want {
+		return fmt.Errorf("labelstore: vertex %d record carries %d bytes, %d bits need %d", v, len(data), bits, want)
+	}
+	if _, err := core.DecodeLabel(data, bits); err != nil {
+		return fmt.Errorf("labelstore: record for vertex %d does not decode: %w", v, err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if prev, ok := st.labels[int32(v)]; ok {
+		if prev.bits == bits && bytesEqual(prev.data, data) {
+			return nil
+		}
+		return fmt.Errorf("labelstore: conflicting record for vertex %d", v)
+	}
+	st.labels[int32(v)] = record{bits: bits, data: slices.Clone(data)}
+	return nil
+}
+
+// DigestVertices computes the anti-entropy digest of the given vertex
+// ids: a CRC32-IEEE folded over the per-record checksums of the records
+// present, in ascending vertex order (duplicates collapsed), plus the
+// sorted ids the store does not hold. Intact replicas of a vertex are
+// byte-identical, so two stores are digest-equal over the same ids iff
+// they hold exactly the same subset of them — which makes digest
+// equality across replicas the convergence test for repair.
+func (st *Store) DigestVertices(ids []int32) (digest uint32, present int, missing []int32) {
+	sorted := slices.Clone(ids)
+	slices.Sort(sorted)
+	sorted = slices.Compact(sorted)
+	h := crc32.NewIEEE()
+	var word [4]byte
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, v := range sorted {
+		rec, ok := st.labels[v]
+		if !ok {
+			missing = append(missing, v)
+			continue
+		}
+		binary.LittleEndian.PutUint32(word[:], recordChecksum(int(v), rec.bits, rec.data))
+		h.Write(word[:])
+		present++
+	}
+	return h.Sum32(), present, missing
 }

@@ -23,6 +23,14 @@ import (
 //	GET  /healthz                                                              → {"status":"ok"}
 //	GET  /metrics                                                              → Prometheus text
 //
+// When the label source is a cluster frontend, membership admin rides
+// the same mux (404 against a local store):
+//
+//	GET  /v1/cluster/status                                → cluster.ClusterStatus
+//	POST /v1/cluster/join   {"name","addr"}                → {"epoch":N}
+//	POST /v1/cluster/leave  {"name"}                       → {"epoch":N}
+//	POST /v1/cluster/drain  {"name","drain":true|false}    → {"epoch":N}
+//
 // Errors are {"error": "..."} with 400 (malformed request), 404
 // (endpoint label not in the store), 429 (queue full), or 503
 // (deadline expired while queued).
@@ -89,9 +97,78 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/fail", s.instrument("fail", s.handleUpdate(true)))
 	mux.HandleFunc("/v1/recover", s.instrument("recover", s.handleUpdate(false)))
 	mux.HandleFunc("/v1/state", s.instrument("state", s.handleState))
+	mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
+	mux.HandleFunc("/v1/cluster/join", s.instrument("cluster_join", s.handleClusterMembership("join")))
+	mux.HandleFunc("/v1/cluster/leave", s.instrument("cluster_leave", s.handleClusterMembership("leave")))
+	mux.HandleFunc("/v1/cluster/drain", s.instrument("cluster_drain", s.handleClusterMembership("drain")))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// membershipRequest is the wire form of join/leave/drain.
+type membershipRequest struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr,omitempty"`
+	Drain *bool  `json:"drain,omitempty"`
+}
+
+// clusterAdmin returns the source's admin capability, or nil when the
+// server fronts a local store.
+func (s *Server) clusterAdmin() ClusterAdmin {
+	ca, _ := s.src.(ClusterAdmin)
+	return ca
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	ca := s.clusterAdmin()
+	if ca == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not a cluster deployment"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ca.StatusJSON())
+}
+
+func (s *Server) handleClusterMembership(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ca := s.clusterAdmin()
+		if ca == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "not a cluster deployment"})
+			return
+		}
+		var req membershipRequest
+		if err := decodeBody(r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if req.Name == "" {
+			s.writeError(w, fmt.Errorf("cluster %s: shard name is required", op))
+			return
+		}
+		var epoch uint64
+		var err error
+		switch op {
+		case "join":
+			if req.Addr == "" {
+				s.writeError(w, fmt.Errorf("cluster join: shard addr is required"))
+				return
+			}
+			epoch, err = ca.Join(req.Name, req.Addr)
+		case "leave":
+			epoch, err = ca.Leave(req.Name)
+		default: // drain
+			drain := true
+			if req.Drain != nil {
+				drain = *req.Drain
+			}
+			epoch, err = ca.Drain(req.Name, drain)
+		}
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]uint64{"epoch": epoch})
+	}
 }
 
 // instrument counts the request and observes its latency.

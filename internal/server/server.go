@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"fsdl/internal/backoff"
 	"fsdl/internal/core"
 	"fsdl/internal/graph"
 	"fsdl/internal/labelstore"
@@ -493,7 +494,19 @@ func (s *Server) prefetch(ctx context.Context, pairs [][2]int, faults *graph.Fau
 	for v := range seen {
 		ids = append(ids, v)
 	}
-	pf.Prefetch(ctx, ids)
+	// A couple of jittered retries while fetches come back unresolved:
+	// transient shard hiccups heal here instead of surfacing as degraded
+	// answers. Persistently unresolved vertices are left to the per-label
+	// path, which owns the error semantics.
+	pol := backoff.Policy{Base: 25 * time.Millisecond, Cap: 100 * time.Millisecond, Jitter: 0.2}
+	for attempt := 0; ; attempt++ {
+		if pf.Prefetch(ctx, ids) == 0 || attempt >= 2 {
+			return
+		}
+		if backoff.Sleep(ctx, pol.Delay(attempt)) != nil {
+			return
+		}
+	}
 }
 
 // answerDynamic serves a batch from the dynamic oracle. The caller

@@ -688,7 +688,10 @@ type prefetchSpy struct {
 	got []int
 }
 
-func (p *prefetchSpy) Prefetch(_ context.Context, ids []int) { p.got = append(p.got, ids...) }
+func (p *prefetchSpy) Prefetch(_ context.Context, ids []int) int {
+	p.got = append(p.got, ids...)
+	return 0
+}
 
 // flakySource is a LabelSource whose designated vertices are
 // transiently unreachable — the label is there, but fetching it fails

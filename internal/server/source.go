@@ -29,12 +29,14 @@ type LabelSource interface {
 // Optional LabelSource capabilities, discovered structurally so this
 // package never imports the cluster package.
 type (
-	// Prefetcher warms a batch of labels in one round trip. The server
-	// calls it with every distinct vertex a batch will touch before
-	// answering pair by pair; failures simply resurface on the per-label
-	// path.
+	// Prefetcher warms a batch of labels in one round trip, returning
+	// how many requested vertices it failed to resolve. The server calls
+	// it with every distinct vertex a batch will touch before answering
+	// pair by pair, retrying a couple of times with jittered backoff
+	// while vertices remain unresolved; persistent failures simply
+	// resurface on the per-label path.
 	Prefetcher interface {
-		Prefetch(ctx context.Context, ids []int)
+		Prefetch(ctx context.Context, ids []int) int
 	}
 	// MetricsWriter appends source-specific Prometheus exposition to the
 	// server's /metrics output.
@@ -45,6 +47,16 @@ type (
 	// /healthz (e.g. per-shard health).
 	HealthReporter interface {
 		HealthJSON() any
+	}
+	// ClusterAdmin exposes membership control and the cluster status
+	// snapshot. A source that implements it gets the /v1/cluster/*
+	// admin endpoints. Join/Leave/Drain return the new ring epoch;
+	// StatusJSON returns a JSON-marshalable snapshot served as-is.
+	ClusterAdmin interface {
+		Join(name, addr string) (uint64, error)
+		Leave(name string) (uint64, error)
+		Drain(name string, drain bool) (uint64, error)
+		StatusJSON() any
 	}
 )
 
