@@ -14,6 +14,7 @@ import (
 	"fsdl/internal/gen"
 	"fsdl/internal/graph"
 	"fsdl/internal/labelstore"
+	"fsdl/internal/liveupdate"
 	"fsdl/internal/server"
 )
 
@@ -21,8 +22,9 @@ import (
 // PATH` runs a fixed suite of micro-benchmarks through testing.Benchmark
 // and writes one JSON document (schema fsdl-bench-v1) that CI archives
 // as BENCH_PR*.json. The suite covers the four costs the query fast
-// path optimizes: scheme build, label extraction (cold and warm-cache),
-// decode vs |F|, and server batch throughput.
+// path optimizes — scheme build, label extraction (cold and warm-cache),
+// decode vs |F|, and server batch throughput — plus the live-update
+// write path: mutation apply and the compact+swap cycle.
 
 // benchResult is one measured kernel.
 type benchResult struct {
@@ -183,6 +185,80 @@ func runJSON(path string, quick bool, baseline string, log io.Writer) error {
 	})
 	r.PairsPerSec = float64(batch) / (r.NsPerOp / 1e9)
 	add(r)
+
+	// 5a. Live mutation apply: validation + delta bookkeeping on the
+	// write path (no WAL, so fsync latency doesn't drown the CPU cost).
+	// Insert/delete of the same edge nets to zero, keeping state flat
+	// across iterations.
+	lp, err := liveupdate.Open(liveupdate.Config{Base: g})
+	if err != nil {
+		return err
+	}
+	lu, lv := int32(0), int32(n-1)
+	add(measure("mutate_apply", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lp.Apply([]liveupdate.Mutation{{Op: liveupdate.MutInsert, U: lu, V: lv}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lp.Apply([]liveupdate.Mutation{{Op: liveupdate.MutDelete, U: lu, V: lv}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// 5b. Full compact + swap cycle on a small live server: generation
+	// build, on-disk manifest write, store reload, atomic source swap
+	// and delta commit. One toggled mutation per cycle keeps every
+	// compaction non-trivial without growing the delta.
+	side2 := 8
+	if quick {
+		side2 = 6
+	}
+	g2 := gen.Grid2D(side2, side2)
+	s2, err := core.BuildScheme(g2, 2)
+	if err != nil {
+		return err
+	}
+	var buf2 sliceBuffer
+	if err := labelstore.Save(&buf2, s2, nil); err != nil {
+		return err
+	}
+	st2, err := labelstore.Load(&buf2)
+	if err != nil {
+		return err
+	}
+	root, err := os.MkdirTemp("", "fsdl-bench-gens-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	lp2, err := liveupdate.Open(liveupdate.Config{Base: g2})
+	if err != nil {
+		return err
+	}
+	liveSrv, err := server.New(server.Config{Store: st2, Live: lp2, LiveRoot: root, CacheCapacity: -1})
+	if err != nil {
+		return err
+	}
+	bridge := int32(g2.NumVertices() - 1)
+	present := false
+	add(measure("compact_swap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op := liveupdate.MutInsert
+			if present {
+				op = liveupdate.MutDelete
+			}
+			present = !present
+			if _, err := liveSrv.Mutate([]liveupdate.Mutation{{Op: op, U: 0, V: bridge}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := liveSrv.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

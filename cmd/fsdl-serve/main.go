@@ -14,6 +14,15 @@
 //
 //	fsdl-serve -cluster members.txt [-hedge 100ms] [-fetch-timeout 500ms]
 //	           [-repair 2s] [-retry-budget 0.1]
+//
+// Live mode accepts streaming edge mutations on /v1/mutate, journaled
+// to a WAL, and bakes them into versioned label generations on
+// /v1/compact (see docs/LIVE.md). A restart resumes from the newest
+// generation under -live-root plus the WAL tail; with no generation
+// yet, -graph (or -store + -graph) provides the base:
+//
+//	fsdl-serve -live-root gens/ [-wal gens/mutations.wal]
+//	           [-compact-workers N] [-store labels.fsdl -graph graph.txt]
 package main
 
 import (
@@ -24,12 +33,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"fsdl"
 	"fsdl/internal/cluster"
 	"fsdl/internal/labelstore"
+	"fsdl/internal/liveupdate"
 	"fsdl/internal/server"
 )
 
@@ -42,7 +53,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fsdl-serve", flag.ContinueOnError)
-	storePath := fs.String("store", "", "label store file (required unless -cluster)")
+	storePath := fs.String("store", "", "label store file (required unless -cluster or -live-root with an existing generation)")
 	clusterPath := fs.String("cluster", "", "cluster membership file; serve from fsdl-shard servers instead of a local store")
 	hedge := fs.Duration("hedge", 0, "cluster: delay before hedging a fetch to a replica (0 = fetch-timeout/5, negative disables)")
 	fetchTimeout := fs.Duration("fetch-timeout", 500*time.Millisecond, "cluster: per-attempt shard fetch timeout")
@@ -58,11 +69,17 @@ func run(args []string) error {
 	budget := fs.Int("budget", 0, "default per-query decode work budget (0 = unlimited)")
 	cacheCap := fs.Int("cache", 4096, "result cache capacity in entries (negative disables)")
 	cacheShards := fs.Int("cache-shards", 8, "result cache shard count")
+	liveRoot := fs.String("live-root", "", "enable live updates: versioned generation root directory (see docs/LIVE.md)")
+	walPath := fs.String("wal", "", "live: mutation WAL path (default <live-root>/mutations.wal)")
+	compactWorkers := fs.Int("compact-workers", 0, "live: compaction build parallelism (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*storePath == "") == (*clusterPath == "") {
-		return fmt.Errorf("exactly one of -store and -cluster is required")
+	if *storePath != "" && *clusterPath != "" {
+		return fmt.Errorf("-store and -cluster are mutually exclusive")
+	}
+	if *storePath == "" && *clusterPath == "" && *liveRoot == "" {
+		return fmt.Errorf("one of -store, -cluster or -live-root is required")
 	}
 
 	cfg := server.Config{
@@ -75,6 +92,9 @@ func run(args []string) error {
 		CacheShards:     *cacheShards,
 	}
 	switch {
+	case *storePath == "" && *clusterPath == "":
+		// Live-only boot: the store comes from the newest generation
+		// under -live-root, loaded below.
 	case *clusterPath != "":
 		m, err := cluster.LoadMembership(*clusterPath)
 		if err != nil {
@@ -137,6 +157,58 @@ func run(args []string) error {
 		cfg.Graph = g
 	}
 
+	if *liveRoot != "" {
+		if err := os.MkdirAll(*liveRoot, 0o755); err != nil {
+			return err
+		}
+		if *walPath == "" {
+			*walPath = filepath.Join(*liveRoot, "mutations.wal")
+		}
+		// Resume from the newest intact generation: its snapshot graph
+		// is the WAL replay base, its store the serving labels. With no
+		// generation yet, -graph provides the base the given store (or
+		// cluster) was built on.
+		base := cfg.Graph
+		generation := uint64(0)
+		if m, dir, ok, err := labelstore.LatestGeneration(*liveRoot); err != nil {
+			return err
+		} else if ok {
+			base, err = liveupdate.LoadGenerationBase(dir)
+			if err != nil {
+				return err
+			}
+			generation = m.Generation
+			if cfg.Source == nil {
+				// Local mode always serves the generation's own labels —
+				// a -store file from before the compaction would pair
+				// stale labels with the newer base graph.
+				st, err := liveupdate.LoadGenerationStore(dir)
+				if err != nil {
+					return err
+				}
+				if cfg.Store != nil {
+					fmt.Fprintf(os.Stderr, "fsdl-serve: live: ignoring -store in favor of generation %d labels\n", m.Generation)
+				}
+				cfg.Store, cfg.Report = st, nil
+			}
+			fmt.Fprintf(os.Stderr, "fsdl-serve: live: resuming from generation %d (%s)\n", m.Generation, dir)
+		}
+		if base == nil {
+			return fmt.Errorf("live: no generation under %s yet — provide the base graph with -graph", *liveRoot)
+		}
+		if cfg.Store == nil && cfg.Source == nil {
+			return fmt.Errorf("live: no generation under %s yet — provide labels with -store or -cluster", *liveRoot)
+		}
+		p, err := liveupdate.Open(liveupdate.Config{Base: base, WALPath: *walPath, Generation: generation})
+		if err != nil {
+			return err
+		}
+		cfg.Live, cfg.LiveRoot, cfg.CompactWorkers = p, *liveRoot, *compactWorkers
+		if pending := p.Pending(); pending > 0 {
+			fmt.Fprintf(os.Stderr, "fsdl-serve: live: WAL replay restored %d pending delta edges (answers inexact until the next compaction)\n", pending)
+		}
+	}
+
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -166,6 +238,17 @@ func run(args []string) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if cfg.Live != nil {
+		// Drain the mutation WAL: every acknowledged mutation is fsynced
+		// and the file closed before the process exits. The final flush
+		// count lets operators reconcile the drain against their last
+		// metrics scrape.
+		if err := srv.Close(); err != nil {
+			return fmt.Errorf("drain mutation WAL: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "fsdl-serve: mutation WAL drained and closed, final fsdl_wal_flushed_total %d\n",
+			srv.WALFlushedTotal())
 	}
 	return nil
 }

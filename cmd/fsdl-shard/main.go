@@ -14,6 +14,13 @@
 // repair"):
 //
 //	fsdl-shard -bootstrap-n 65536 -addr :9003 -name shard3 [-persist shard3.fsdl]
+//
+// With -generation-dir the shard participates in live updates (see
+// docs/LIVE.md): it activates new label generations on the frontend's
+// command, and — when -store is omitted — boots straight from the
+// newest generation in the directory:
+//
+//	fsdl-shard -generation-dir gens/ -name shard0 -addr :9000
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"fsdl/internal/cluster"
@@ -43,16 +51,49 @@ func run(args []string) error {
 	bootstrapN := fs.Int("bootstrap-n", 0, "start as an empty replacement shard over this vertex space; repair fills it (mutually exclusive with -store)")
 	persist := fs.String("persist", "", "persist the store to this file after repair pulls (atomic temp+rename)")
 	repairRate := fs.Int("repair-rate", 0, "max records/sec installed by repair pulls (0 = 50000, negative = unlimited)")
+	genDir := fs.String("generation-dir", "", "versioned label generation root; boots from the newest generation when -store is omitted")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*storePath == "") == (*bootstrapN <= 0) {
-		return fmt.Errorf("exactly one of -store and -bootstrap-n is required")
+	if *storePath != "" && *bootstrapN > 0 {
+		return fmt.Errorf("-store and -bootstrap-n are mutually exclusive")
+	}
+	if *storePath == "" && *bootstrapN <= 0 && *genDir == "" {
+		return fmt.Errorf("one of -store, -bootstrap-n or -generation-dir is required")
 	}
 
 	var st *labelstore.Store
 	var rep *labelstore.SalvageReport
+	generation := uint64(0)
 	switch {
+	case *storePath == "" && *bootstrapN <= 0:
+		// Generation boot: serve the shard's own partition file from the
+		// newest intact generation (full labels when none was written).
+		if *name == "" {
+			return fmt.Errorf("-name is required with -generation-dir (it selects the partition file)")
+		}
+		m, dir, ok, err := labelstore.LatestGeneration(*genDir)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("no intact generation under %s", *genDir)
+		}
+		file := labelstore.GenerationLabelsFile
+		if m.File(*name+".fsdl") != nil {
+			file = *name + ".fsdl"
+		}
+		f, err := os.Open(filepath.Join(dir, file))
+		if err != nil {
+			return err
+		}
+		st, err = labelstore.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load generation %d %s: %w", m.Generation, file, err)
+		}
+		generation = m.Generation
+		fmt.Fprintf(os.Stderr, "fsdl-shard: %s booting from generation %d (%s)\n", *name, m.Generation, dir)
 	case *bootstrapN > 0:
 		var err error
 		st, err = labelstore.NewEmpty(*bootstrapN)
@@ -91,12 +132,14 @@ func run(args []string) error {
 	// wire protocol's "unknown" state instead of authoritative absence;
 	// bootstrap does the same for the whole vertex space.
 	srv, err := cluster.NewShardServer(cluster.ShardConfig{
-		Store:       st,
-		Name:        *name,
-		Report:      rep,
-		Bootstrap:   *bootstrapN > 0,
-		PersistPath: *persist,
-		RepairRate:  *repairRate,
+		Store:          st,
+		Name:           *name,
+		Report:         rep,
+		Generation:     generation,
+		GenerationRoot: *genDir,
+		Bootstrap:      *bootstrapN > 0,
+		PersistPath:    *persist,
+		RepairRate:     *repairRate,
 	})
 	if err != nil {
 		return err

@@ -111,10 +111,10 @@ func decodeClusterResponse(resp *http.Response, v any) error {
 }
 
 func printClusterStatus(out io.Writer, st *cluster.ClusterStatus) error {
-	fmt.Fprintf(out, "ring epoch %d, n=%d vertices, replication %d\n",
-		st.Epoch, st.NumVertices, st.Replication)
+	fmt.Fprintf(out, "ring epoch %d, label generation %d, n=%d vertices, replication %d\n",
+		st.Epoch, st.Generation, st.NumVertices, st.Replication)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SHARD\tADDR\tHEALTHY\tBREAKER\tLABELS\tFLAGS")
+	fmt.Fprintln(tw, "SHARD\tADDR\tHEALTHY\tBREAKER\tGEN\tLABELS\tFLAGS")
 	for _, sh := range st.Shards {
 		up := "up"
 		if !sh.Healthy {
@@ -130,8 +130,11 @@ func printClusterStatus(out io.Writer, st *cluster.ClusterStatus) error {
 		if sh.NonAuthoritative {
 			flags = append(flags, "non-authoritative")
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%s\n",
-			sh.Name, sh.Addr, up, sh.Breaker, sh.Labels, strings.Join(flags, ","))
+		if sh.GenLagged {
+			flags = append(flags, "gen-lagged")
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+			sh.Name, sh.Addr, up, sh.Breaker, sh.Generation, sh.Labels, strings.Join(flags, ","))
 	}
 	if err := tw.Flush(); err != nil {
 		return err

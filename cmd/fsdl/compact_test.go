@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fsdl/internal/liveupdate"
+)
+
+// writeWAL journals a mutation batch the way a draining fsdl-serve
+// would, so `fsdl compact` has a tail to replay.
+func writeWAL(t *testing.T, graphPath, walPath string) {
+	t.Helper()
+	g, err := loadGraph(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := liveupdate.Open(liveupdate.Config{Base: g, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]liveupdate.Mutation{
+		{Op: liveupdate.MutDelete, U: 0, V: 1},
+		{Op: liveupdate.MutInsert, U: 0, V: 35},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLICompact(t *testing.T) {
+	graphPath := genGraphFile(t)
+	root := t.TempDir()
+	wal := filepath.Join(root, "mutations.wal")
+	writeWAL(t, graphPath, wal)
+
+	out, err := runCLI(t, "compact", "-root", root, "-in", graphPath)
+	if err != nil {
+		t.Fatalf("compact: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "2 pending delta edges") || !strings.Contains(out, "generation 2 written") {
+		t.Fatalf("compact output:\n%s", out)
+	}
+	genDir := filepath.Join(root, "gen-0000000002")
+	for _, f := range []string{"MANIFEST", "labels.fsdl", "graph.txt"} {
+		if _, err := os.Stat(filepath.Join(genDir, f)); err != nil {
+			t.Fatalf("generation file %s: %v", f, err)
+		}
+	}
+
+	// The baked store answers the inserted edge directly.
+	q, err := runCLI(t, "querydb", "-db", filepath.Join(genDir, "labels.fsdl"), "-s", "0", "-t", "35")
+	if err != nil {
+		t.Fatalf("querydb on generation: %v", err)
+	}
+	if !strings.Contains(q, "avoiding |F|=0: 1 ") {
+		t.Fatalf("querydb on compacted store:\n%s", q)
+	}
+
+	// A second run replays past the compaction marker: nothing pending.
+	out, err = runCLI(t, "compact", "-root", root)
+	if err != nil {
+		t.Fatalf("re-compact: %v", err)
+	}
+	if !strings.Contains(out, "nothing to compact") || !strings.Contains(out, "base: generation 2") {
+		t.Fatalf("re-compact output:\n%s", out)
+	}
+}
+
+func TestCLICompactPartitions(t *testing.T) {
+	graphPath := genGraphFile(t)
+	dir := t.TempDir()
+	root := filepath.Join(dir, "gens")
+	wal := filepath.Join(dir, "mutations.wal")
+	writeWAL(t, graphPath, wal)
+	members := filepath.Join(dir, "members.txt")
+	if err := os.WriteFile(members, []byte("replication 2\nshard0 127.0.0.1:9000\nshard1 127.0.0.1:9001\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runCLI(t, "compact", "-root", root, "-wal", wal, "-in", graphPath, "-members", members)
+	if err != nil {
+		t.Fatalf("compact -members: %v\n%s", err, out)
+	}
+	for _, f := range []string{"shard0.fsdl", "shard1.fsdl"} {
+		if _, err := os.Stat(filepath.Join(root, "gen-0000000002", f)); err != nil {
+			t.Fatalf("partition file %s: %v", f, err)
+		}
+		if !strings.Contains(out, f) {
+			t.Fatalf("output missing %s:\n%s", f, out)
+		}
+	}
+}
+
+func TestCLICompactErrors(t *testing.T) {
+	root := t.TempDir()
+	if _, err := runCLI(t, "compact"); err == nil {
+		t.Error("compact without -root must error")
+	}
+	if _, err := runCLI(t, "compact", "-root", root); err == nil {
+		t.Error("compact with no generation and no -in must error")
+	}
+}

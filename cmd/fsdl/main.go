@@ -17,6 +17,7 @@
 //	fsdl wquery -in roads.gr -s 0 -t 99 [-fail 5,17]
 //	fsdl partition -db labels.fsdl -members members.txt -out shards/
 //	fsdl cluster status|join|leave|drain -frontend http://host:8080 [...]
+//	fsdl compact -root gens/ [-wal gens/mutations.wal] [-in graph.txt] [-members members.txt]
 package main
 
 import (
@@ -75,6 +76,8 @@ func run(args []string, out io.Writer) error {
 		return cmdPartition(args[1:], out)
 	case "cluster":
 		return cmdCluster(args[1:], out)
+	case "compact":
+		return cmdCompact(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

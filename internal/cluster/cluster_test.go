@@ -297,7 +297,7 @@ func TestClusterHedgeRacesSlowPrimary(t *testing.T) {
 	slow := make(chan struct{})
 	hooks := map[int]func(byte) error{
 		primary: func(op byte) error {
-			if op == OpGetLabels {
+			if op == OpGetLabels || op == OpGetLabelsGen {
 				<-slow // stall label fetches; pings stay fast
 			}
 			return nil

@@ -147,6 +147,12 @@ type ringState struct {
 	epoch uint64
 	ring  *Ring
 	nodes []*shardClient // nodes[i] is the client for ring node i
+	// gen is the label generation every fetch in this epoch is tagged
+	// with. SwapGeneration bumps it together with the epoch, so a
+	// scatter that loaded the old state keeps completing against the
+	// old generation (shards hold it as their previous store) while new
+	// scatters route against the new one — the zero-downtime swap.
+	gen uint64
 }
 
 // clientByName returns the epoch's client for a shard name.
@@ -206,6 +212,11 @@ type ShardHealth struct {
 	// NonAuthoritative flags a shard that cannot vouch for absences
 	// (bootstrap replacement or truncated salvage) until repair seals it.
 	NonAuthoritative bool `json:"non_authoritative,omitempty"`
+	// Generation is the label generation the shard last reported
+	// serving; GenLagged flags a reachable shard excluded from routing
+	// because it serves an older generation and could not be caught up.
+	Generation uint64 `json:"generation,omitempty"`
+	GenLagged  bool   `json:"gen_lagged,omitempty"`
 }
 
 // NewFrontend connects to the cluster described by cfg.Membership. It
@@ -261,6 +272,18 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 			}
 		}
 	}
+	// Adopt the newest generation any healthy shard reports — after a
+	// crash mid-swap some shards may lag; the health loop catches them
+	// up (or fences them off) rather than serving mixed generations.
+	var gen uint64
+	for _, cl := range st.nodes {
+		if cl.healthy.Load() && cl.lastGen.Load() > gen {
+			gen = cl.lastGen.Load()
+		}
+	}
+	st = &ringState{epoch: st.epoch, ring: st.ring, nodes: st.nodes, gen: gen}
+	f.state.Store(st)
+	f.sweepHealth() // re-fence any shard lagging the adopted generation
 	f.done.Add(1)
 	go f.healthLoop()
 	if c.RepairInterval > 0 {
@@ -304,21 +327,32 @@ func (f *Frontend) Join(name, addr string) (uint64, error) {
 	cl := newShardClient(Node{Name: name, Addr: addr}, f.cfg)
 	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
 	defer cancel()
-	n, labels, flags, err := cl.ping(ctx)
+	n, labels, flags, gen, err := cl.ping(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("cluster: join %q refused, shard unreachable at %s: %w", name, addr, err)
 	}
 	if n != f.n {
 		return 0, fmt.Errorf("cluster: join %q refused: serves vertex space %d, cluster has %d", name, n, f.n)
 	}
+	if cur.gen > 0 && gen != cur.gen {
+		// A joiner on another label generation must catch up before it
+		// can take traffic — a ring serving mixed generations would hand
+		// out labels from different graphs.
+		if err := cl.loadGeneration(cur.gen); err != nil {
+			return 0, fmt.Errorf("cluster: join %q refused: serves generation %d, cluster on %d: %w",
+				name, gen, cur.gen, err)
+		}
+		gen = cur.gen
+	}
 	cl.lastN.Store(int64(n))
 	cl.lastLabels.Store(int64(labels))
 	cl.lastFlags.Store(flags)
+	cl.lastGen.Store(gen)
 	cl.healthy.Store(true)
 
 	nodes := append(slices.Clone(cur.ring.Nodes()), Node{Name: name, Addr: addr})
 	ring := NewRing(nodes, f.replication)
-	next := &ringState{epoch: cur.epoch + 1, ring: ring}
+	next := &ringState{epoch: cur.epoch + 1, ring: ring, gen: cur.gen}
 	for _, nd := range ring.Nodes() {
 		if c := cur.clientByName(nd.Name); c != nil {
 			next.nodes = append(next.nodes, c)
@@ -353,7 +387,7 @@ func (f *Frontend) Leave(name string) (uint64, error) {
 		}
 	}
 	ring := NewRing(nodes, f.replication)
-	next := &ringState{epoch: cur.epoch + 1, ring: ring}
+	next := &ringState{epoch: cur.epoch + 1, ring: ring, gen: cur.gen}
 	for _, nd := range ring.Nodes() {
 		next.nodes = append(next.nodes, cur.clientByName(nd.Name))
 	}
@@ -376,8 +410,68 @@ func (f *Frontend) Drain(name string, drain bool) (uint64, error) {
 		return 0, fmt.Errorf("cluster: shard %q is not a member", name)
 	}
 	c.draining.Store(drain)
-	next := &ringState{epoch: cur.epoch + 1, ring: cur.ring, nodes: cur.nodes}
+	next := &ringState{epoch: cur.epoch + 1, ring: cur.ring, nodes: cur.nodes, gen: cur.gen}
 	f.state.Store(next)
+	f.kickRepair()
+	return next.epoch, nil
+}
+
+// Generation returns the label generation the frontend is routing
+// against.
+func (f *Frontend) Generation() uint64 { return f.state.Load().gen }
+
+// genLoadTimeout bounds one OpLoadGeneration round trip: the shard
+// verifies a manifest and loads a partition from disk, so it gets a
+// far longer leash than a label fetch.
+const genLoadTimeout = 15 * time.Second
+
+// SwapGeneration activates label generation gen cluster-wide: every
+// routable shard is told to load it (verifying its generation
+// directory's manifest), and only when all of them hold it does the
+// frontend flip routing — epoch bump, generation tag, cache flush — in
+// one atomic state swap. In-flight scatters pinned to the old state
+// keep completing against the old generation, which every shard
+// retains as its previous store; new scatters route against the new
+// one. If any shard fails to load, nothing flips: the shards that did
+// load serve the old generation from their previous-store slot, so the
+// cluster stays consistent on the old generation and the swap can be
+// retried. Shards that are down during the swap are caught up by the
+// health sweep when they return (or fenced off until they are).
+func (f *Frontend) SwapGeneration(gen uint64) (uint64, error) {
+	f.adminMu.Lock()
+	defer f.adminMu.Unlock()
+	cur := f.state.Load()
+	if gen == cur.gen {
+		return cur.epoch, nil
+	}
+	var firstErr error
+	loaded, failed := 0, 0
+	for _, c := range cur.nodes {
+		if !c.healthy.Load() {
+			continue
+		}
+		if err := c.loadGeneration(gen); err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %s: %w", c.node.Name, err)
+			}
+			continue
+		}
+		c.lastGen.Store(gen)
+		loaded++
+	}
+	if failed > 0 {
+		return 0, fmt.Errorf("cluster: generation %d swap aborted (%d of %d shards failed, all still serving %d): %w",
+			gen, failed, loaded+failed, cur.gen, firstErr)
+	}
+	if loaded == 0 {
+		return 0, fmt.Errorf("cluster: generation %d swap: no healthy shard", gen)
+	}
+	next := &ringState{epoch: cur.epoch + 1, ring: cur.ring, nodes: cur.nodes, gen: gen}
+	f.state.Store(next)
+	// Cached labels and absences belong to the old generation's graph.
+	f.labelCache.Flush()
+	f.negCache.Flush()
 	f.kickRepair()
 	return next.epoch, nil
 }
@@ -425,6 +519,8 @@ func (f *Frontend) Health() []ShardHealth {
 			Mismatched:       c.mismatched.Load(),
 			Draining:         c.draining.Load(),
 			NonAuthoritative: c.lastFlags.Load()&PongNonAuthoritative != 0,
+			Generation:       c.lastGen.Load(),
+			GenLagged:        c.genLagged.Load(),
 		}
 		if c.breaker != nil {
 			state, _ := c.breaker.snapshot()
@@ -624,7 +720,7 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 				f.met.hedges.Add(1)
 			}
 			go func(c *shardClient, gids []int32) {
-				recs, err := c.getLabels(ctx, gids, f.n)
+				recs, err := c.getLabels(ctx, gids, f.n, st.gen)
 				// Feed the breaker fetch outcomes, except failures caused
 				// by our own context ending — those say nothing about the
 				// shard.
@@ -674,8 +770,16 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 					f.noteUnknown(v)
 					continue
 				}
+				// Cache only while this scatter's generation is still the
+				// active one: a fetch that raced a generation swap must
+				// not seed the freshly flushed caches with old-generation
+				// answers. The result itself is still valid — it is
+				// exactly the generation this scatter was pinned to.
+				cacheable := f.state.Load().gen == st.gen
 				if !rec.Present {
-					f.negCache.Put(v, struct{}{})
+					if cacheable {
+						f.negCache.Put(v, struct{}{})
+					}
 					out[v] = fetchResult{absent: true}
 					delete(pending, v)
 					continue
@@ -684,7 +788,9 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 				if derr != nil {
 					continue // corrupt copy; another replica may be intact
 				}
-				f.labelCache.Put(v, l)
+				if cacheable {
+					f.labelCache.Put(v, l)
+				}
 				out[v] = fetchResult{label: l}
 				delete(pending, v)
 			}
@@ -756,7 +862,7 @@ func (f *Frontend) sweepHealth() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), f.cfg.HealthTimeout)
 			defer cancel()
-			n, labels, flags, err := c.ping(ctx)
+			n, labels, flags, gen, err := c.ping(ctx)
 			if err != nil {
 				c.healthy.Store(false)
 				return
@@ -764,12 +870,29 @@ func (f *Frontend) sweepHealth() {
 			c.lastN.Store(int64(n))
 			c.lastLabels.Store(int64(labels))
 			c.lastFlags.Store(flags)
+			c.lastGen.Store(gen)
 			if f.n > 0 && n != f.n {
 				c.mismatched.Store(true)
 				c.healthy.Store(false)
 				return
 			}
 			c.mismatched.Store(false)
+			// Re-read the state: a swap may have flipped the generation
+			// since this sweep loaded st, and catching a shard "up" to a
+			// stale generation would only make it flap.
+			if want := f.state.Load().gen; want > 0 && gen != want {
+				// The shard lags the cluster's generation (it was down
+				// during a swap, or restarted onto an older one). Try to
+				// catch it up in place from its generation root; until it
+				// holds the active generation it must not take traffic.
+				if err := c.loadGeneration(want); err != nil {
+					c.genLagged.Store(true)
+					c.healthy.Store(false)
+					return
+				}
+				c.lastGen.Store(want)
+			}
+			c.genLagged.Store(false)
 			c.healthy.Store(true)
 		}(c)
 	}
@@ -791,9 +914,11 @@ type shardClient struct {
 	healthy    atomic.Bool
 	mismatched atomic.Bool
 	draining   atomic.Bool
+	genLagged  atomic.Bool
 	lastN      atomic.Int64
 	lastLabels atomic.Int64
 	lastFlags  atomic.Uint64
+	lastGen    atomic.Uint64
 
 	breaker *breaker // nil when disabled
 
@@ -831,10 +956,12 @@ func newShardClient(nd Node, cfg FrontendConfig) *shardClient {
 var maxRequestIDs = 1 << 16
 
 // getLabels fetches a batch of label records, validating that the shard
-// serves the expected vertex space. Batches past maxRequestIDs split
-// into sequential RPCs; responses may arrive chunked (OpLabelsPart…
-// OpLabels) and are merged here.
-func (c *shardClient) getLabels(ctx context.Context, ids []int32, wantN int) (map[int32]LabelRecord, error) {
+// serves the expected vertex space. gen > 0 tags the request with the
+// caller's label generation so a shard mid-swap answers from the
+// matching store (or refuses) instead of silently mixing generations.
+// Batches past maxRequestIDs split into sequential RPCs; responses may
+// arrive chunked (OpLabelsPart… OpLabels) and are merged here.
+func (c *shardClient) getLabels(ctx context.Context, ids []int32, wantN int, gen uint64) (map[int32]LabelRecord, error) {
 	out := make(map[int32]LabelRecord, len(ids))
 	for len(ids) > 0 {
 		chunk := ids
@@ -842,19 +969,23 @@ func (c *shardClient) getLabels(ctx context.Context, ids []int32, wantN int) (ma
 			chunk = chunk[:maxRequestIDs]
 		}
 		ids = ids[len(chunk):]
-		if err := c.getLabelsChunk(ctx, chunk, wantN, out); err != nil {
+		if err := c.getLabelsChunk(ctx, chunk, wantN, gen, out); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-func (c *shardClient) getLabelsChunk(ctx context.Context, ids []int32, wantN int, out map[int32]LabelRecord) error {
+func (c *shardClient) getLabelsChunk(ctx context.Context, ids []int32, wantN int, gen uint64, out map[int32]LabelRecord) error {
 	c.fetches.Add(1)
 	start := time.Now()
+	op, payload := OpGetLabels, AppendLabelRequest(nil, ids)
+	if gen > 0 {
+		op, payload = OpGetLabelsGen, AppendGenLabelRequest(nil, gen, ids)
+	}
 	// Every response chunk carries at least one record, so a well-behaved
 	// shard sends at most len(ids) continuation frames plus the final one.
-	frames, err := c.call(ctx, OpGetLabels, AppendLabelRequest(nil, ids), len(ids)+1)
+	frames, err := c.call(ctx, op, payload, len(ids)+1)
 	c.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		c.fetchErrors.Add(1)
@@ -887,26 +1018,52 @@ func (c *shardClient) getLabelsChunk(ctx context.Context, ids []int32, wantN int
 }
 
 // ping probes the shard and returns its vitals.
-func (c *shardClient) ping(ctx context.Context) (n, labels int, flags uint64, err error) {
+func (c *shardClient) ping(ctx context.Context) (n, labels int, flags, generation uint64, err error) {
 	frames, err := c.call(ctx, OpPing, nil, 1)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if frames[0].op != OpPong {
-		return 0, 0, 0, fmt.Errorf("cluster: unexpected ping response op %d", frames[0].op)
+		return 0, 0, 0, 0, fmt.Errorf("cluster: unexpected ping response op %d", frames[0].op)
 	}
 	return parsePongChecked(frames[0].payload)
 }
 
-func parsePongChecked(resp []byte) (n, labels int, flags uint64, err error) {
-	n, labels, flags, err = ParsePong(resp)
+func parsePongChecked(resp []byte) (n, labels int, flags, generation uint64, err error) {
+	n, labels, flags, generation, err = ParsePong(resp)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if n <= 0 {
-		return 0, 0, 0, fmt.Errorf("cluster: pong reports empty vertex space")
+		return 0, 0, 0, 0, fmt.Errorf("cluster: pong reports empty vertex space")
 	}
-	return n, labels, flags, nil
+	return n, labels, flags, generation, nil
+}
+
+// loadGeneration tells the shard to activate a label generation from
+// its generation root, confirming the activated id.
+func (c *shardClient) loadGeneration(gen uint64) error {
+	ctx, cancel := context.WithTimeout(context.Background(), genLoadTimeout)
+	defer cancel()
+	frames, err := c.callTimeout(ctx, OpLoadGeneration, AppendGeneration(nil, gen), 1, genLoadTimeout)
+	if err != nil {
+		return err
+	}
+	switch frames[0].op {
+	case OpGenLoaded:
+		got, err := ParseGeneration(frames[0].payload)
+		if err != nil {
+			return err
+		}
+		if got != gen {
+			return fmt.Errorf("cluster: shard %s activated generation %d, want %d", c.node.Name, got, gen)
+		}
+		return nil
+	case OpError:
+		return fmt.Errorf("%w: %s", errShardError, frames[0].payload)
+	default:
+		return fmt.Errorf("cluster: unexpected load-generation response op %d", frames[0].op)
+	}
 }
 
 // wireFrame is one response frame as received off the wire.

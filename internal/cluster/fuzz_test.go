@@ -22,8 +22,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Vertex: 1, Present: true, Bits: 8, Data: []byte{0xaa}},
 	})))
 	f.Add(AppendFrame(nil, OpPing, nil))
-	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 86, 0)))
-	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 0, PongNonAuthoritative)))
+	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 86, 0, 1)))
+	f.Add(AppendFrame(nil, OpPong, AppendPong(nil, 256, 0, PongNonAuthoritative, 7)))
+	f.Add(AppendFrame(nil, OpGetLabelsGen, AppendGenLabelRequest(nil, 3, []int32{0, 5, 99})))
+	f.Add(AppendFrame(nil, OpLoadGeneration, AppendGeneration(nil, 4)))
+	f.Add(AppendFrame(nil, OpGenLoaded, AppendGeneration(nil, 4)))
 	f.Add(AppendFrame(nil, OpError, []byte("shard: boom")))
 	f.Add(AppendFrame(nil, OpDigest, AppendLabelRequest(nil, []int32{3, 4, 5})))
 	f.Add(AppendFrame(nil, OpDigestResp, AppendDigestResponse(nil, 100, 0xdeadbeef, 2, []int32{4})))
@@ -33,7 +36,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, OpSealed, nil))
 	// Two frames back to back (rest must parse too).
 	two := AppendFrame(nil, OpPing, nil)
-	f.Add(AppendFrame(two, OpPong, AppendPong(nil, 9, 9, 0)))
+	f.Add(AppendFrame(two, OpPong, AppendPong(nil, 9, 9, 0, 2)))
 	// Degenerate and adversarial seeds.
 	f.Add([]byte{})
 	f.Add([]byte{frameMagic0, frameMagic1, frameVer, OpLabels, 0xff, 0xff, 0xff, 0xff})
@@ -101,14 +104,32 @@ func FuzzDecodeFrame(f *testing.F) {
 				t.Fatal("label response does not round-trip")
 			}
 		case OpPong:
-			n, labels, flags, err := ParsePong(payload)
+			n, labels, flags, gen, err := ParsePong(payload)
 			if err != nil {
 				return
 			}
-			enc := AppendPong(nil, n, labels, flags)
-			n2, l2, fl2, err := ParsePong(enc)
-			if err != nil || n2 != n || l2 != labels || fl2 != flags {
-				t.Fatalf("pong does not round-trip: %d/%d/%d vs %d/%d/%d, err %v", n2, l2, fl2, n, labels, flags, err)
+			enc := AppendPong(nil, n, labels, flags, gen)
+			n2, l2, fl2, g2, err := ParsePong(enc)
+			if err != nil || n2 != n || l2 != labels || fl2 != flags || g2 != gen {
+				t.Fatalf("pong does not round-trip: %d/%d/%d/%d vs %d/%d/%d/%d, err %v", n2, l2, fl2, g2, n, labels, flags, gen, err)
+			}
+		case OpGetLabelsGen:
+			gen, ids, err := ParseGenLabelRequest(payload)
+			if err != nil {
+				return
+			}
+			enc := AppendGenLabelRequest(nil, gen, ids)
+			g2, ids2, err := ParseGenLabelRequest(enc)
+			if err != nil || g2 != gen || len(ids2) != len(ids) {
+				t.Fatalf("gen label request does not round-trip: err %v", err)
+			}
+		case OpLoadGeneration, OpGenLoaded:
+			gen, err := ParseGeneration(payload)
+			if err != nil {
+				return
+			}
+			if g2, err := ParseGeneration(AppendGeneration(nil, gen)); err != nil || g2 != gen {
+				t.Fatalf("generation payload does not round-trip: err %v", err)
 			}
 		case OpDigestResp:
 			n, d, present, missing, err := ParseDigestResponse(payload)

@@ -50,7 +50,8 @@ func (f *Frontend) WriteMetrics(sb *strings.Builder) {
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
-	gauge("fsdl_cluster_ring_epoch", "Current membership epoch (bumped by join/leave/drain).", float64(st.epoch))
+	gauge("fsdl_cluster_ring_epoch", "Current membership epoch (bumped by join/leave/drain/swap).", float64(st.epoch))
+	gauge("fsdl_cluster_generation", "Label generation the frontend routes against.", float64(st.gen))
 	counter("fsdl_cluster_label_cache_hits_total", "Frontend decoded-label cache hits.", m.labelHits.Load())
 	counter("fsdl_cluster_label_cache_misses_total", "Frontend decoded-label cache misses (scatter-gather issued).", m.labelMisses.Load())
 	hits, misses := m.labelHits.Load(), m.labelMisses.Load()
@@ -93,6 +94,10 @@ func (f *Frontend) WriteMetrics(sb *strings.Builder) {
 			bad = 1
 		}
 		fmt.Fprintf(sb, "fsdl_cluster_shard_mismatched{shard=%q} %d\n", c.node.Name, bad)
+	}
+	fmt.Fprintf(sb, "# HELP fsdl_cluster_shard_generation Label generation each shard last reported serving.\n# TYPE fsdl_cluster_shard_generation gauge\n")
+	for _, c := range st.nodes {
+		fmt.Fprintf(sb, "fsdl_cluster_shard_generation{shard=%q} %d\n", c.node.Name, c.lastGen.Load())
 	}
 	fmt.Fprintf(sb, "# HELP fsdl_cluster_shard_draining Shards administratively excluded from routing (1 draining).\n# TYPE fsdl_cluster_shard_draining gauge\n")
 	for _, c := range st.nodes {

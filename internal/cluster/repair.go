@@ -257,7 +257,11 @@ type RetryBudgetStatus struct {
 // retry-budget level. Served at /v1/cluster/status and rendered by
 // `fsdl cluster status`.
 type ClusterStatus struct {
-	Epoch       uint64            `json:"epoch"`
+	Epoch uint64 `json:"epoch"`
+	// Generation is the label generation the frontend routes against;
+	// each shard's entry reports the generation it last claimed to
+	// serve, so a lagging replica is visible at a glance.
+	Generation  uint64            `json:"generation"`
 	NumVertices int               `json:"num_vertices"`
 	Replication int               `json:"replication"`
 	Shards      []ShardHealth     `json:"shards"`
@@ -270,6 +274,7 @@ func (f *Frontend) Status() ClusterStatus {
 	st := f.state.Load()
 	out := ClusterStatus{
 		Epoch:       st.epoch,
+		Generation:  st.gen,
 		NumVertices: f.n,
 		Replication: st.ring.Replication(),
 		Shards:      f.Health(),

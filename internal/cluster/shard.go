@@ -29,6 +29,16 @@ type ShardConfig struct {
 	// authoritative absence, so the frontend fails over to an intact
 	// replica rather than negative-caching the loss.
 	Report *labelstore.SalvageReport
+	// Generation is the label generation cfg.Store serves (default 1).
+	// Queries tagged with another generation are refused unless the
+	// shard still holds that generation's store.
+	Generation uint64
+	// GenerationRoot, when set, is the directory holding versioned
+	// label generations (gen-0000000002/MANIFEST, …) this shard may be
+	// told to activate via OpLoadGeneration. The shard loads its own
+	// partition file (<Name>.fsdl) from a generation when the manifest
+	// lists one, and the full labels.fsdl otherwise.
+	GenerationRoot string
 	// Bootstrap marks a replacement shard that joined the ring empty
 	// (or incomplete) and is awaiting anti-entropy repair: like a
 	// truncated salvage, every absent record answers "unknown" instead
@@ -63,6 +73,17 @@ type ShardConfig struct {
 // connections for parallelism.
 type ShardServer struct {
 	cfg ShardConfig
+
+	// genMu guards the generation stores. cur is what untagged and
+	// current-generation requests are served from; prev is the store a
+	// generation swap displaced, kept so gen-tagged scatters that began
+	// before the swap still complete. One prior generation of slack is
+	// exactly what the frontend's atomic flip needs — by the time a
+	// second swap happens, no fetch pinned two generations back can
+	// still be in flight.
+	genMu sync.RWMutex
+	cur   genStore
+	prev  genStore
 
 	// salvMu guards the salvage/bootstrap state, which repair now
 	// mutates on a live server: installs clear per-vertex loss marks,
@@ -110,7 +131,11 @@ func NewShardServer(cfg ShardConfig) (*ShardServer, error) {
 	if cfg.RepairChunkTimeout <= 0 {
 		cfg.RepairChunkTimeout = 5 * time.Second
 	}
+	if cfg.Generation == 0 {
+		cfg.Generation = 1
+	}
 	s := &ShardServer{cfg: cfg, conns: make(map[net.Conn]struct{}), bootstrap: cfg.Bootstrap}
+	s.cur = genStore{gen: cfg.Generation, store: cfg.Store}
 	if cfg.Report != nil {
 		s.salvageTrunc = cfg.Report.Truncated
 		s.salvageLost = make(map[int32]struct{}, len(cfg.Report.Corrupt))
@@ -218,17 +243,44 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 		var werr error
 		switch op {
 		case OpPing:
-			bufs.payload = AppendPong(bufs.payload[:0], s.cfg.Store.NumVertices(), s.cfg.Store.NumLabels(), s.pongFlags())
+			st, gen := s.currentStore()
+			bufs.payload = AppendPong(bufs.payload[:0], st.NumVertices(), st.NumLabels(), s.pongFlags(), gen)
 			werr = s.writeFrame(bw, bufs, OpPong, bufs.payload)
 		case OpGetLabels:
+			st, _ := s.currentStore()
 			ids, err := ParseLabelRequest(req)
 			if err == nil {
-				err = s.checkRange(ids)
+				err = s.checkRange(st, ids)
 			}
 			if err != nil {
 				werr = s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
 			} else {
-				werr = s.writeLabels(bw, bufs, ids)
+				werr = s.writeLabels(bw, bufs, st, ids)
+			}
+		case OpGetLabelsGen:
+			gen, ids, err := ParseGenLabelRequest(req)
+			var st *labelstore.Store
+			if err == nil {
+				st, err = s.storeForGen(gen)
+			}
+			if err == nil {
+				err = s.checkRange(st, ids)
+			}
+			if err != nil {
+				werr = s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
+			} else {
+				werr = s.writeLabels(bw, bufs, st, ids)
+			}
+		case OpLoadGeneration:
+			gen, err := ParseGeneration(req)
+			if err == nil {
+				err = s.LoadGeneration(gen)
+			}
+			if err != nil {
+				werr = s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
+			} else {
+				bufs.payload = AppendGeneration(bufs.payload[:0], s.Generation())
+				werr = s.writeFrame(bw, bufs, OpGenLoaded, bufs.payload)
 			}
 		case OpDigest:
 			werr = s.handleDigest(bw, bufs, req)
@@ -274,16 +326,121 @@ func (s *ShardServer) writeFrame(bw *bufio.Writer, bufs *connBufs, op byte, payl
 // shrink it to force chunking with small labels.
 var maxLabelChunkPayload = MaxFramePayload - 4096
 
+// genStore pairs a label store with the generation it serves.
+type genStore struct {
+	gen   uint64
+	store *labelstore.Store
+}
+
+// currentStore returns the store serving the current generation.
+func (s *ShardServer) currentStore() (*labelstore.Store, uint64) {
+	s.genMu.RLock()
+	defer s.genMu.RUnlock()
+	return s.cur.store, s.cur.gen
+}
+
+// Generation reports the label generation the shard currently serves.
+func (s *ShardServer) Generation() uint64 {
+	s.genMu.RLock()
+	defer s.genMu.RUnlock()
+	return s.cur.gen
+}
+
+// storeForGen resolves a gen-tagged request to the store serving that
+// generation: the current one, or the previous one still held across a
+// swap window. Anything else is refused — answering from the wrong
+// generation would silently mix label spaces.
+func (s *ShardServer) storeForGen(gen uint64) (*labelstore.Store, error) {
+	s.genMu.RLock()
+	defer s.genMu.RUnlock()
+	switch {
+	case gen == 0 || gen == s.cur.gen:
+		return s.cur.store, nil
+	case gen == s.prev.gen && s.prev.store != nil:
+		return s.prev.store, nil
+	}
+	return nil, fmt.Errorf("cluster: generation %d not held (serving %d)", gen, s.cur.gen)
+}
+
+// InstallGeneration activates st as label generation gen, displacing
+// the current store into the previous-generation slot. The in-process
+// path for same-binary clusters and tests; LoadGeneration is the
+// on-disk one. A freshly installed generation is complete by
+// construction, so salvage and bootstrap uncertainty are cleared.
+func (s *ShardServer) InstallGeneration(gen uint64, st *labelstore.Store) error {
+	if st == nil {
+		return fmt.Errorf("cluster: InstallGeneration: nil store")
+	}
+	cur, curGen := s.currentStore()
+	if gen == curGen {
+		return nil
+	}
+	if st.NumVertices() != cur.NumVertices() {
+		return fmt.Errorf("cluster: generation %d serves vertex space %d, shard has %d",
+			gen, st.NumVertices(), cur.NumVertices())
+	}
+	s.genMu.Lock()
+	if gen == s.cur.gen {
+		s.genMu.Unlock()
+		return nil
+	}
+	s.prev = s.cur
+	s.cur = genStore{gen: gen, store: st}
+	s.genMu.Unlock()
+	s.salvMu.Lock()
+	s.salvageTrunc = false
+	s.bootstrap = false
+	s.salvageLost = nil
+	s.salvMu.Unlock()
+	return nil
+}
+
+// LoadGeneration activates generation gen from the shard's generation
+// root: the generation directory's manifest is read and every listed
+// file's checksum verified, then the shard's own partition file
+// (<Name>.fsdl) — or the full labels.fsdl when the manifest lists no
+// partition for it — is loaded and swapped in.
+func (s *ShardServer) LoadGeneration(gen uint64) error {
+	if gen == s.Generation() {
+		return nil
+	}
+	if s.cfg.GenerationRoot == "" {
+		return fmt.Errorf("cluster: no generation root configured")
+	}
+	dir := filepath.Join(s.cfg.GenerationRoot, labelstore.GenerationDirName(gen))
+	m, err := labelstore.ReadManifestDir(dir)
+	if err != nil {
+		return fmt.Errorf("cluster: load generation %d: %w", gen, err)
+	}
+	name := labelstore.GenerationLabelsFile
+	if s.cfg.Name != "" && m.File(s.cfg.Name+".fsdl") != nil {
+		name = s.cfg.Name + ".fsdl"
+	}
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("cluster: load generation %d: %w", gen, err)
+	}
+	defer f.Close()
+	st, err := labelstore.Load(f)
+	if err != nil {
+		return fmt.Errorf("cluster: load generation %d: %w", gen, err)
+	}
+	if err := s.InstallGeneration(gen, st); err != nil {
+		return err
+	}
+	return nil
+}
+
 // writeLabels answers one OpGetLabels request, splitting the response
 // into as many OpLabelsPart frames as the payload bound requires; the
 // final (often only) chunk goes out as OpLabels.
-func (s *ShardServer) writeLabels(bw *bufio.Writer, bufs *connBufs, ids []int32) error {
+func (s *ShardServer) writeLabels(bw *bufio.Writer, bufs *connBufs, st *labelstore.Store, ids []int32) error {
 	// Room for the chunk header: vertex space + record count uvarints.
 	const headerSize = 2 * 10 // binary.MaxVarintLen64
 	recs := make([]LabelRecord, 0, len(ids))
 	size := headerSize
 	flush := func(op byte) error {
-		bufs.payload = AppendLabelResponse(bufs.payload[:0], s.cfg.Store.NumVertices(), recs)
+		bufs.payload = AppendLabelResponse(bufs.payload[:0], st.NumVertices(), recs)
 		if err := s.writeFrame(bw, bufs, op, bufs.payload); err != nil {
 			return err
 		}
@@ -292,7 +449,7 @@ func (s *ShardServer) writeLabels(bw *bufio.Writer, bufs *connBufs, ids []int32)
 		return nil
 	}
 	for _, v := range ids {
-		rec := s.lookupRecord(v)
+		rec := s.lookupRecord(st, v)
 		rsz := rec.wireSize()
 		if headerSize+rsz > maxLabelChunkPayload {
 			// A single record that cannot fit any frame: the request as a
@@ -313,9 +470,9 @@ func (s *ShardServer) writeLabels(bw *bufio.Writer, bufs *connBufs, ids []int32)
 
 // lookupRecord resolves one vertex against the store, distinguishing
 // authoritative absence from salvage loss and bootstrap incompleteness.
-func (s *ShardServer) lookupRecord(v int32) LabelRecord {
+func (s *ShardServer) lookupRecord(st *labelstore.Store, v int32) LabelRecord {
 	rec := LabelRecord{Vertex: v}
-	if bits, data, ok := s.cfg.Store.Raw(int(v)); ok {
+	if bits, data, ok := st.Raw(int(v)); ok {
 		rec.Present, rec.Bits, rec.Data = true, bits, data
 		s.LabelsServed.Add(1)
 		return rec
@@ -367,18 +524,19 @@ const maxDigestIDs = 1 << 20
 // ids plus the ids it does not hold (see labelstore.DigestVertices for
 // why digest equality across replicas means presence equality).
 func (s *ShardServer) handleDigest(bw *bufio.Writer, bufs *connBufs, req []byte) error {
+	st, _ := s.currentStore()
 	ids, err := ParseLabelRequest(req)
 	if err == nil && len(ids) > maxDigestIDs {
 		err = fmt.Errorf("cluster: digest request names %d ids, limit %d", len(ids), maxDigestIDs)
 	}
 	if err == nil {
-		err = s.checkRange(ids)
+		err = s.checkRange(st, ids)
 	}
 	if err != nil {
 		return s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
 	}
-	digest, present, missing := s.cfg.Store.DigestVertices(ids)
-	bufs.payload = AppendDigestResponse(bufs.payload[:0], s.cfg.Store.NumVertices(), digest, present, missing)
+	digest, present, missing := st.DigestVertices(ids)
+	bufs.payload = AppendDigestResponse(bufs.payload[:0], st.NumVertices(), digest, present, missing)
 	return s.writeFrame(bw, bufs, OpDigestResp, bufs.payload)
 }
 
@@ -390,7 +548,8 @@ func (s *ShardServer) handleDigest(bw *bufio.Writer, bufs *connBufs, req []byte)
 func (s *ShardServer) handleRepairPull(bw *bufio.Writer, bufs *connBufs, req []byte) error {
 	source, ids, err := ParseRepairRequest(req)
 	if err == nil {
-		err = s.checkRange(ids)
+		st, _ := s.currentStore()
+		err = s.checkRange(st, ids)
 	}
 	if err != nil {
 		return s.writeFrame(bw, bufs, OpError, []byte(s.errText(err)))
@@ -415,6 +574,11 @@ const maxPullChunkIDs = 4096
 func (s *ShardServer) repairPull(source string, ids []int32) (installed, failed int, err error) {
 	s.repairMu.Lock()
 	defer s.repairMu.Unlock()
+	// Pin the generation for the whole transfer: the pull request is
+	// gen-tagged so a source mid-swap either answers from the matching
+	// store or refuses — records from another generation must never be
+	// installed here.
+	store, gen := s.currentStore()
 	conn, err := net.DialTimeout("tcp", source, s.cfg.RepairDialTimeout)
 	if err != nil {
 		return 0, 0, fmt.Errorf("cluster: dial repair source %s: %w", source, err)
@@ -428,7 +592,7 @@ func (s *ShardServer) repairPull(source string, ids []int32) (installed, failed 
 		}
 		ids = ids[len(chunk):]
 		conn.SetDeadline(time.Now().Add(s.cfg.RepairChunkTimeout))
-		if werr := WriteFrame(conn, OpGetLabels, AppendLabelRequest(nil, chunk)); werr != nil {
+		if werr := WriteFrame(conn, OpGetLabelsGen, AppendGenLabelRequest(nil, gen, chunk)); werr != nil {
 			return installed, failed, fmt.Errorf("cluster: repair pull from %s: %w", source, werr)
 		}
 		frames, rerr := readLabelFrames(conn, len(chunk)+1)
@@ -441,9 +605,9 @@ func (s *ShardServer) repairPull(source string, ids []int32) (installed, failed 
 			if perr != nil {
 				return installed, failed, fmt.Errorf("cluster: repair pull from %s: %w", source, perr)
 			}
-			if n != s.cfg.Store.NumVertices() {
+			if n != store.NumVertices() {
 				return installed, failed, fmt.Errorf("cluster: repair source %s serves vertex space %d, want %d",
-					source, n, s.cfg.Store.NumVertices())
+					source, n, store.NumVertices())
 			}
 			for _, r := range recs {
 				got[r.Vertex] = r
@@ -455,7 +619,7 @@ func (s *ShardServer) repairPull(source string, ids []int32) (installed, failed 
 				failed++
 				continue
 			}
-			if perr := s.cfg.Store.Put(int(v), rec.Bits, rec.Data); perr != nil {
+			if perr := store.Put(int(v), rec.Bits, rec.Data); perr != nil {
 				failed++
 				continue
 			}
@@ -519,7 +683,8 @@ func (s *ShardServer) persist() error {
 		return fmt.Errorf("cluster: persist repair: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := s.cfg.Store.Save(tmp); err != nil {
+	store, _ := s.currentStore()
+	if err := store.Save(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("cluster: persist repair: %w", err)
 	}
@@ -539,8 +704,8 @@ func (s *ShardServer) persist() error {
 // checkRange rejects requests naming vertices outside the store's
 // vertex space — those are caller bugs, not absent records, and a
 // response record could not even encode them.
-func (s *ShardServer) checkRange(ids []int32) error {
-	n := s.cfg.Store.NumVertices()
+func (s *ShardServer) checkRange(st *labelstore.Store, ids []int32) error {
+	n := st.NumVertices()
 	for _, v := range ids {
 		if v < 0 || int(v) >= n {
 			return fmt.Errorf("cluster: vertex %d out of range [0,%d)", v, n)

@@ -2,38 +2,34 @@ package cluster
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
+
+	"fsdl/internal/frame"
 )
 
-// The wire protocol is a stream of self-delimiting frames:
-//
-//	bytes 0..1  magic "FC"
-//	byte  2     version (1)
-//	byte  3     op
-//	bytes 4..7  payload length, uint32 little-endian
-//	…           payload
-//	last 4      CRC32-IEEE (little-endian) over op, length and payload
-//
-// The CRC covers everything after the magic/version prefix, so a frame
-// that passes the check was neither truncated nor bit-flipped in
+// The wire protocol is a stream of self-delimiting frames in the
+// shared codec of internal/frame (magic "FC", version, op, length,
+// payload, CRC32-IEEE trailer — see that package for the layout). A
+// frame that passes the CRC was neither truncated nor bit-flipped in
 // flight; a frame that fails it poisons the connection (framing can no
-// longer be trusted) and the caller must redial.
+// longer be trusted) and the caller must redial. The codec lives in
+// its own leaf package because the live-update mutation WAL journals
+// the same frames; this file keeps thin aliases so cluster callers and
+// the shard protocol read naturally.
 const (
 	frameMagic0 = 'F'
 	frameMagic1 = 'C'
 	frameVer    = 1
 
 	// frameHeaderLen is magic+version+op+length; frameTrailerLen the CRC.
-	frameHeaderLen  = 8
-	frameTrailerLen = 4
+	frameHeaderLen  = frame.HeaderLen
+	frameTrailerLen = frame.TrailerLen
 
 	// MaxFramePayload bounds a frame's payload so a corrupted or hostile
 	// length field cannot make the reader allocate unbounded memory.
-	MaxFramePayload = 32 << 20
+	MaxFramePayload = frame.MaxPayload
 )
 
 // Frame ops. Requests flow frontend→shard, responses shard→frontend.
@@ -73,35 +69,42 @@ const (
 	// authoritative "not here", not an unknown. OpSealed acknowledges.
 	OpSeal   byte = 11
 	OpSealed byte = 12
+	// OpGetLabelsGen is OpGetLabels tagged with the label generation the
+	// caller is routing against: uvarint generation, then the standard
+	// label-request payload. A shard answers from the store serving that
+	// generation — the current one or, during a swap window, the
+	// previous one it still holds — so an in-flight scatter started
+	// before a swap completes against the generation it began on.
+	// Generation 0 means "whatever is current". Responses are ordinary
+	// OpLabels / OpLabelsPart frames.
+	OpGetLabelsGen byte = 13
+	// OpLoadGeneration tells a shard to activate the named label
+	// generation from its generation root (uvarint generation);
+	// OpGenLoaded acknowledges with the generation now active. The
+	// displaced store is retained as the previous generation so
+	// gen-tagged fetches racing the swap still complete.
+	OpLoadGeneration byte = 14
+	OpGenLoaded      byte = 15
 )
 
-// Wire protocol errors.
+// Wire protocol errors, aliased so callers can errors.Is against
+// either package's name.
 var (
-	ErrBadMagic      = errors.New("cluster: bad frame magic")
-	ErrBadVersion    = errors.New("cluster: unsupported frame version")
-	ErrFrameTooLarge = errors.New("cluster: frame payload exceeds limit")
-	ErrCRC           = errors.New("cluster: frame checksum mismatch")
+	ErrBadMagic      = frame.ErrBadMagic
+	ErrBadVersion    = frame.ErrBadVersion
+	ErrFrameTooLarge = frame.ErrTooLarge
+	ErrCRC           = frame.ErrCRC
 )
 
 // AppendFrame appends one encoded frame to dst and returns the extended
 // slice.
 func AppendFrame(dst []byte, op byte, payload []byte) []byte {
-	if len(payload) > MaxFramePayload {
-		panic("cluster: oversized frame payload (caller bug)")
-	}
-	start := len(dst)
-	dst = append(dst, frameMagic0, frameMagic1, frameVer, op)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
-	dst = append(dst, payload...)
-	sum := crc32.ChecksumIEEE(dst[start+3:]) // op + length + payload
-	return binary.LittleEndian.AppendUint32(dst, sum)
+	return frame.Append(dst, op, payload)
 }
 
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, op byte, payload []byte) error {
-	buf := AppendFrame(make([]byte, 0, frameHeaderLen+len(payload)+frameTrailerLen), op, payload)
-	_, err := w.Write(buf)
-	return err
+	return frame.Write(w, op, payload)
 }
 
 // ReadFrame reads one frame from r, verifying magic, version, length
@@ -109,35 +112,7 @@ func WriteFrame(w io.Writer, op byte, payload []byte) error {
 // safe to retain. Any error other than a clean io.EOF at a frame
 // boundary means the stream can no longer be trusted.
 func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
-	var head [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, nil, fmt.Errorf("cluster: truncated frame header: %w", err)
-		}
-		return 0, nil, err
-	}
-	if head[0] != frameMagic0 || head[1] != frameMagic1 {
-		return 0, nil, ErrBadMagic
-	}
-	if head[2] != frameVer {
-		return 0, nil, ErrBadVersion
-	}
-	op = head[3]
-	size := binary.LittleEndian.Uint32(head[4:8])
-	if size > MaxFramePayload {
-		return 0, nil, ErrFrameTooLarge
-	}
-	body := make([]byte, int(size)+frameTrailerLen)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("cluster: truncated frame body: %w", err)
-	}
-	h := crc32.NewIEEE()
-	h.Write(head[3:]) // op + length
-	h.Write(body[:size])
-	if h.Sum32() != binary.LittleEndian.Uint32(body[size:]) {
-		return 0, nil, ErrCRC
-	}
-	return op, body[:size:size], nil
+	return frame.Read(r)
 }
 
 // DecodeFrame parses one frame from the front of buf, returning the
@@ -145,30 +120,7 @@ func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
 // allocates from attacker-chosen lengths: the payload is a sub-slice of
 // buf.
 func DecodeFrame(buf []byte) (op byte, payload, rest []byte, err error) {
-	if len(buf) < frameHeaderLen+frameTrailerLen {
-		return 0, nil, nil, fmt.Errorf("cluster: short frame: %d bytes", len(buf))
-	}
-	if buf[0] != frameMagic0 || buf[1] != frameMagic1 {
-		return 0, nil, nil, ErrBadMagic
-	}
-	if buf[2] != frameVer {
-		return 0, nil, nil, ErrBadVersion
-	}
-	op = buf[3]
-	size := binary.LittleEndian.Uint32(buf[4:8])
-	if size > MaxFramePayload {
-		return 0, nil, nil, ErrFrameTooLarge
-	}
-	total := frameHeaderLen + int(size) + frameTrailerLen
-	if len(buf) < total {
-		return 0, nil, nil, fmt.Errorf("cluster: truncated frame: have %d of %d bytes", len(buf), total)
-	}
-	payload = buf[frameHeaderLen : frameHeaderLen+int(size)]
-	sum := crc32.ChecksumIEEE(buf[3 : frameHeaderLen+int(size)])
-	if sum != binary.LittleEndian.Uint32(buf[frameHeaderLen+int(size):total]) {
-		return 0, nil, nil, ErrCRC
-	}
-	return op, payload, buf[total:], nil
+	return frame.Decode(buf)
 }
 
 // maxWireLabelBits rejects absurd per-record bit lengths before any
@@ -339,33 +291,75 @@ const (
 )
 
 // AppendPong encodes an OpPong payload: the shard's vertex space, how
-// many labels its partition holds, and its status flag bits.
-func AppendPong(dst []byte, n, labels int, flags uint64) []byte {
+// many labels its partition holds, its status flag bits, and the label
+// generation its current store serves.
+func AppendPong(dst []byte, n, labels int, flags, generation uint64) []byte {
 	dst = binary.AppendUvarint(dst, uint64(n))
 	dst = binary.AppendUvarint(dst, uint64(labels))
-	return binary.AppendUvarint(dst, flags)
+	dst = binary.AppendUvarint(dst, flags)
+	return binary.AppendUvarint(dst, generation)
 }
 
 // ParsePong decodes an OpPong payload.
-func ParsePong(payload []byte) (n, labels int, flags uint64, err error) {
+func ParsePong(payload []byte) (n, labels int, flags, generation uint64, err error) {
 	nv, k := binary.Uvarint(payload)
 	if k <= 0 || nv > math.MaxInt32 {
-		return 0, 0, 0, fmt.Errorf("cluster: pong: bad vertex space")
+		return 0, 0, 0, 0, fmt.Errorf("cluster: pong: bad vertex space")
 	}
 	payload = payload[k:]
 	lv, k := binary.Uvarint(payload)
 	if k <= 0 || lv > math.MaxInt32 {
-		return 0, 0, 0, fmt.Errorf("cluster: pong: bad label count")
+		return 0, 0, 0, 0, fmt.Errorf("cluster: pong: bad label count")
 	}
 	payload = payload[k:]
 	flags, k = binary.Uvarint(payload)
 	if k <= 0 {
-		return 0, 0, 0, fmt.Errorf("cluster: pong: bad flags")
+		return 0, 0, 0, 0, fmt.Errorf("cluster: pong: bad flags")
+	}
+	payload = payload[k:]
+	generation, k = binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("cluster: pong: bad generation")
 	}
 	if len(payload[k:]) != 0 {
-		return 0, 0, 0, fmt.Errorf("cluster: pong: trailing bytes")
+		return 0, 0, 0, 0, fmt.Errorf("cluster: pong: trailing bytes")
 	}
-	return int(nv), int(lv), flags, nil
+	return int(nv), int(lv), flags, generation, nil
+}
+
+// AppendGenLabelRequest encodes an OpGetLabelsGen payload: the target
+// generation followed by the standard label request.
+func AppendGenLabelRequest(dst []byte, generation uint64, ids []int32) []byte {
+	dst = binary.AppendUvarint(dst, generation)
+	return AppendLabelRequest(dst, ids)
+}
+
+// ParseGenLabelRequest decodes an OpGetLabelsGen payload.
+func ParseGenLabelRequest(payload []byte) (generation uint64, ids []int32, err error) {
+	generation, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("cluster: label request: bad generation")
+	}
+	ids, err = ParseLabelRequest(payload[k:])
+	return generation, ids, err
+}
+
+// AppendGeneration encodes an OpLoadGeneration or OpGenLoaded payload:
+// a single uvarint generation id.
+func AppendGeneration(dst []byte, generation uint64) []byte {
+	return binary.AppendUvarint(dst, generation)
+}
+
+// ParseGeneration decodes an OpLoadGeneration / OpGenLoaded payload.
+func ParseGeneration(payload []byte) (uint64, error) {
+	generation, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, fmt.Errorf("cluster: bad generation payload")
+	}
+	if len(payload[k:]) != 0 {
+		return 0, fmt.Errorf("cluster: generation payload: trailing bytes")
+	}
+	return generation, nil
 }
 
 // AppendDigestResponse encodes an OpDigestResp payload: the shard's

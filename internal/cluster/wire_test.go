@@ -134,13 +134,31 @@ func TestLabelResponseRoundTrip(t *testing.T) {
 }
 
 func TestPongRoundTrip(t *testing.T) {
-	n, labels, flags, err := ParsePong(AppendPong(nil, 4096, 1365, 0))
-	if err != nil || n != 4096 || labels != 1365 || flags != 0 {
-		t.Fatalf("pong round trip: n=%d labels=%d flags=%d err=%v", n, labels, flags, err)
+	n, labels, flags, gen, err := ParsePong(AppendPong(nil, 4096, 1365, 0, 1))
+	if err != nil || n != 4096 || labels != 1365 || flags != 0 || gen != 1 {
+		t.Fatalf("pong round trip: n=%d labels=%d flags=%d gen=%d err=%v", n, labels, flags, gen, err)
 	}
-	n, labels, flags, err = ParsePong(AppendPong(nil, 9, 0, PongNonAuthoritative))
-	if err != nil || n != 9 || labels != 0 || flags != PongNonAuthoritative {
-		t.Fatalf("flagged pong round trip: n=%d labels=%d flags=%d err=%v", n, labels, flags, err)
+	n, labels, flags, gen, err = ParsePong(AppendPong(nil, 9, 0, PongNonAuthoritative, 12))
+	if err != nil || n != 9 || labels != 0 || flags != PongNonAuthoritative || gen != 12 {
+		t.Fatalf("flagged pong round trip: n=%d labels=%d flags=%d gen=%d err=%v", n, labels, flags, gen, err)
+	}
+	// The generation varint is required — a three-field pong is torn.
+	if _, _, _, _, err := ParsePong(AppendPong(nil, 9, 0, 0, 1)[:3]); err == nil {
+		t.Fatal("truncated pong accepted")
+	}
+}
+
+func TestGenPayloadRoundTrips(t *testing.T) {
+	gen, ids, err := ParseGenLabelRequest(AppendGenLabelRequest(nil, 5, []int32{1, 2, 3}))
+	if err != nil || gen != 5 || len(ids) != 3 || ids[2] != 3 {
+		t.Fatalf("gen label request round trip: gen=%d ids=%v err=%v", gen, ids, err)
+	}
+	g, err := ParseGeneration(AppendGeneration(nil, 42))
+	if err != nil || g != 42 {
+		t.Fatalf("generation round trip: g=%d err=%v", g, err)
+	}
+	if _, err := ParseGeneration(append(AppendGeneration(nil, 42), 0)); err == nil {
+		t.Fatal("trailing bytes accepted in generation payload")
 	}
 }
 

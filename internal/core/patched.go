@@ -1,0 +1,107 @@
+package core
+
+// This file is the query-time half of the live-update pipeline's
+// insertion tier. An edge inserted into the graph after the labels
+// were built cannot be expressed as a forbidden-set member (faults
+// only remove), so until a compaction bakes it into a new label
+// generation, the decoder routes through it explicitly: a unit-weight
+// shortcut whose detour costs d(s,u) + 1 + d(v,t), each leg answered
+// from the served labels under the same fault set.
+//
+// Soundness: each leg's robust answer is the length of a real path in
+// G\F (an upper bound on the leg's surviving distance), the inserted
+// edge exists in the mutated graph, and the query's fault set is
+// checked against the patch endpoints — so the spliced walk exists in
+// the mutated graph minus F, and the patched answer remains an upper
+// bound on d_{G'\F}(s,t). The (1+ε) stretch bound is NOT preserved
+// across patches (a true shortest path may thread several inserted
+// edges); the serving layer reports exact:false while any delta is
+// pending, which is precisely when patches are in play.
+
+// PatchEdge is one not-yet-compacted inserted edge (U.V, V.V),
+// described — like everything else at decode time — by the labels of
+// its endpoints. A nil or unusable endpoint label silently disables
+// the patch: answers stay sound, only the shortcut is missed.
+type PatchEdge struct {
+	U, V *Label
+}
+
+// DistanceRobustPatched is DistanceRobust, additionally considering
+// the given patch edges as unit-weight shortcuts. Patches whose
+// endpoints or edge are themselves forbidden by q's fault set are
+// ignored, as are patches with unusable labels. The result carries
+// the flags of whichever route won.
+func (d *Decoder) DistanceRobustPatched(q *Query, patches []PatchEdge) Result {
+	best := d.DistanceRobust(q)
+	if len(patches) == 0 {
+		return best
+	}
+	forbiddenV := func(v int32) bool {
+		for _, l := range q.VertexFaults {
+			if l != nil && l.V == v {
+				return true
+			}
+		}
+		for _, fv := range q.DegradedVertexFaults {
+			if fv == v {
+				return true
+			}
+		}
+		return false
+	}
+	forbiddenE := func(u, v int32) bool {
+		for _, e := range q.EdgeFaults {
+			if e[0] == nil || e[1] == nil {
+				continue
+			}
+			if (e[0].V == u && e[1].V == v) || (e[0].V == v && e[1].V == u) {
+				return true
+			}
+		}
+		for _, e := range q.DegradedEdgeFaults {
+			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+				return true
+			}
+		}
+		return false
+	}
+	// leg answers d(a,b) under q's fault set, caching nothing: patch
+	// counts are capped by the serving layer, and sub-queries reuse
+	// this decoder's scratch.
+	leg := func(a, b *Label) Result {
+		if a.V == b.V {
+			return Result{OK: true}
+		}
+		sub := *q
+		sub.S, sub.T = a, b
+		return d.DistanceRobust(&sub)
+	}
+	usable := func(l *Label) bool { return l != nil && l.Validate() == nil }
+	for _, p := range patches {
+		if !usable(p.U) || !usable(p.V) {
+			continue
+		}
+		u, v := p.U.V, p.V.V
+		if forbiddenV(u) || forbiddenV(v) || forbiddenE(u, v) {
+			continue
+		}
+		sU, sV := leg(q.S, p.U), leg(q.S, p.V)
+		uT, vT := leg(p.U, q.T), leg(p.V, q.T)
+		consider := func(first, second Result) {
+			if !first.OK || !second.OK {
+				return
+			}
+			via := first.Dist + 1 + second.Dist
+			if best.OK && via >= best.Dist {
+				return
+			}
+			best.Dist = via
+			best.OK = true
+			best.Degraded = best.Degraded || first.Degraded || second.Degraded
+			best.BudgetExhausted = best.BudgetExhausted || first.BudgetExhausted || second.BudgetExhausted
+		}
+		consider(sU, vT) // s → u, edge, v → t
+		consider(sV, uT) // s → v, edge, u → t
+	}
+	return best
+}

@@ -1,0 +1,138 @@
+// Package frame implements the CRC-framed record codec shared by the
+// cluster wire protocol and the live-update mutation WAL. It is a leaf
+// package — both consumers import it, so neither has to import the
+// other.
+//
+// A frame is self-delimiting:
+//
+//	bytes 0..1  magic "FC"
+//	byte  2     version (1)
+//	byte  3     op
+//	bytes 4..7  payload length, uint32 little-endian
+//	…           payload
+//	last 4      CRC32-IEEE (little-endian) over op, length and payload
+//
+// The CRC covers everything after the magic/version prefix, so a frame
+// that passes the check was neither truncated nor bit-flipped; one that
+// fails it poisons the stream (framing can no longer be trusted) and
+// the caller must redial, or — for an append-only journal — truncate
+// the torn tail.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	magic0  = 'F'
+	magic1  = 'C'
+	version = 1
+
+	// HeaderLen is magic+version+op+length; TrailerLen the CRC.
+	HeaderLen  = 8
+	TrailerLen = 4
+
+	// MaxPayload bounds a frame's payload so a corrupted or hostile
+	// length field cannot make the reader allocate unbounded memory.
+	MaxPayload = 32 << 20
+)
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("frame: bad magic")
+	ErrBadVersion = errors.New("frame: unsupported version")
+	ErrTooLarge   = errors.New("frame: payload exceeds limit")
+	ErrCRC        = errors.New("frame: checksum mismatch")
+)
+
+// Append appends one encoded frame to dst and returns the extended
+// slice.
+func Append(dst []byte, op byte, payload []byte) []byte {
+	if len(payload) > MaxPayload {
+		panic("frame: oversized payload (caller bug)")
+	}
+	start := len(dst)
+	dst = append(dst, magic0, magic1, version, op)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.ChecksumIEEE(dst[start+3:]) // op + length + payload
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// Write writes one frame to w.
+func Write(w io.Writer, op byte, payload []byte) error {
+	buf := Append(make([]byte, 0, HeaderLen+len(payload)+TrailerLen), op, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read reads one frame from r, verifying magic, version, length bound
+// and checksum. The returned payload is freshly allocated and safe to
+// retain. Any error other than a clean io.EOF at a frame boundary
+// means the stream can no longer be trusted.
+func Read(r io.Reader) (op byte, payload []byte, err error) {
+	var head [HeaderLen]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("frame: truncated header: %w", err)
+		}
+		return 0, nil, err
+	}
+	if head[0] != magic0 || head[1] != magic1 {
+		return 0, nil, ErrBadMagic
+	}
+	if head[2] != version {
+		return 0, nil, ErrBadVersion
+	}
+	op = head[3]
+	size := binary.LittleEndian.Uint32(head[4:8])
+	if size > MaxPayload {
+		return 0, nil, ErrTooLarge
+	}
+	body := make([]byte, int(size)+TrailerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("frame: truncated body: %w", err)
+	}
+	h := crc32.NewIEEE()
+	h.Write(head[3:]) // op + length
+	h.Write(body[:size])
+	if h.Sum32() != binary.LittleEndian.Uint32(body[size:]) {
+		return 0, nil, ErrCRC
+	}
+	return op, body[:size:size], nil
+}
+
+// Decode parses one frame from the front of buf, returning the
+// remainder. It applies the same validation as Read and never
+// allocates from attacker-chosen lengths: the payload is a sub-slice
+// of buf.
+func Decode(buf []byte) (op byte, payload, rest []byte, err error) {
+	if len(buf) < HeaderLen+TrailerLen {
+		return 0, nil, nil, fmt.Errorf("frame: short frame: %d bytes", len(buf))
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return 0, nil, nil, ErrBadMagic
+	}
+	if buf[2] != version {
+		return 0, nil, nil, ErrBadVersion
+	}
+	op = buf[3]
+	size := binary.LittleEndian.Uint32(buf[4:8])
+	if size > MaxPayload {
+		return 0, nil, nil, ErrTooLarge
+	}
+	total := HeaderLen + int(size) + TrailerLen
+	if len(buf) < total {
+		return 0, nil, nil, fmt.Errorf("frame: truncated frame: have %d of %d bytes", len(buf), total)
+	}
+	payload = buf[HeaderLen : HeaderLen+int(size)]
+	sum := crc32.ChecksumIEEE(buf[3 : HeaderLen+int(size)])
+	if sum != binary.LittleEndian.Uint32(buf[HeaderLen+int(size):total]) {
+		return 0, nil, nil, ErrCRC
+	}
+	return op, payload, buf[total:], nil
+}

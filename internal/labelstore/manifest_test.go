@@ -1,0 +1,175 @@
+package labelstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Generation: 7,
+		N:          100,
+		Seq:        12345,
+		Files: []ManifestFile{
+			{Name: "labels.fsdl", Records: 100, First: 0, Last: 99, CRC: 0xDEADBEEF},
+			{Name: "alpha.fsdl", Records: 40, First: 2, Last: 97, CRC: 0x01020304},
+			{Name: "empty.fsdl", Records: 0, First: -1, Last: -1, CRC: 0xCAFEF00D},
+		},
+	}
+}
+
+// TestManifestRoundTrip mirrors the partition writer's byte-level
+// test: encode, decode, re-encode, and demand identical bytes — the
+// encoding must be deterministic regardless of input entry order.
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	first := bytes.Clone(buf.Bytes())
+
+	got, err := ReadManifest(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != m.Generation || got.N != m.N || got.Seq != m.Seq {
+		t.Fatalf("header = (%d,%d,%d), want (%d,%d,%d)", got.Generation, got.N, got.Seq, m.Generation, m.N, m.Seq)
+	}
+	if len(got.Files) != len(m.Files) {
+		t.Fatalf("got %d files, want %d", len(got.Files), len(m.Files))
+	}
+	for _, want := range m.Files {
+		f := got.File(want.Name)
+		if f == nil {
+			t.Fatalf("entry %q missing after round trip", want.Name)
+		}
+		if *f != want {
+			t.Fatalf("entry %q = %+v, want %+v", want.Name, *f, want)
+		}
+	}
+
+	// Re-encode the decoded manifest: byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteManifest(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("re-encoded manifest is not byte-identical")
+	}
+
+	// Entry order must not matter: writing with reversed entries gives
+	// the same bytes.
+	rev := *m
+	rev.Files = []ManifestFile{m.Files[2], m.Files[0], m.Files[1]}
+	var buf3 bytes.Buffer
+	if err := WriteManifest(&buf3, &rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf3.Bytes()) {
+		t.Fatal("entry order changed the encoding")
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit in every byte position: each corruption must be
+	// detected (bad magic, framing failure, or checksum mismatch).
+	for i := range raw {
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0x10
+		if m, err := ReadManifest(bytes.NewReader(mut)); err == nil {
+			// A flip inside a name byte alone would still be caught by
+			// the trailing CRC, so nothing may ever parse cleanly.
+			t.Fatalf("corruption at byte %d/%d parsed cleanly: %+v", i, len(raw), m)
+		}
+	}
+	// Truncations must be detected too.
+	for i := 0; i < len(raw); i++ {
+		if _, err := ReadManifest(bytes.NewReader(raw[:i])); err == nil {
+			t.Fatalf("truncation at %d/%d parsed cleanly", i, len(raw))
+		}
+	}
+}
+
+func TestManifestDirLifecycle(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, GenerationDirName(3))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("not really labels, but checksummed all the same")
+	if err := os.WriteFile(filepath.Join(dir, "labels.fsdl"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crc, err := FileCRC(filepath.Join(dir, "labels.fsdl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{Generation: 3, N: 10, Seq: 5, Files: []ManifestFile{{Name: "labels.fsdl", Records: 10, First: 0, Last: 9, CRC: crc}}}
+	if err := WriteManifestFile(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 3 || got.Seq != 5 {
+		t.Fatalf("manifest = %+v", got)
+	}
+
+	latest, latestDir, ok, err := LatestGeneration(root)
+	if err != nil || !ok {
+		t.Fatalf("LatestGeneration: ok=%v err=%v", ok, err)
+	}
+	if latest.Generation != 3 || latestDir != dir {
+		t.Fatalf("latest = gen %d at %s", latest.Generation, latestDir)
+	}
+
+	// A newer generation with a torn manifest must not win.
+	torn := filepath.Join(root, GenerationDirName(4))
+	if err := os.MkdirAll(torn, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(torn, ManifestName), []byte("FSDLM1torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	latest, _, ok, err = LatestGeneration(root)
+	if err != nil || !ok || latest.Generation != 3 {
+		t.Fatalf("torn gen-4 should be skipped: ok=%v gen=%d err=%v", ok, latest.Generation, err)
+	}
+
+	// Damaging the data file must fail the directory check.
+	if err := os.WriteFile(filepath.Join(dir, "labels.fsdl"), append(payload, 'x'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifestDir(dir); err == nil {
+		t.Fatal("ReadManifestDir accepted a file that no longer matches its checksum")
+	}
+}
+
+func TestParseGenerationDir(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		gen  uint64
+		want bool
+	}{
+		{GenerationDirName(12), 12, true},
+		{"gen-0000000001", 1, true},
+		{"gen-", 0, false},
+		{"gen-x", 0, false},
+		{"generation-1", 0, false},
+		{"MANIFEST", 0, false},
+	} {
+		gen, ok := ParseGenerationDir(tc.in)
+		if ok != tc.want || (ok && gen != tc.gen) {
+			t.Errorf("ParseGenerationDir(%q) = (%d,%v), want (%d,%v)", tc.in, gen, ok, tc.gen, tc.want)
+		}
+	}
+}

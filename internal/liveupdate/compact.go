@@ -1,0 +1,195 @@
+package liveupdate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fsdl/internal/core"
+	"fsdl/internal/graph"
+	"fsdl/internal/labelstore"
+)
+
+// Generation directory layout (written by Compact under the root):
+//
+//	gen-<id>/
+//	  MANIFEST       generation id, vertex space, WAL seq, file checksums
+//	  labels.fsdl    the full label store for the snapshot graph
+//	  graph.txt      the snapshot graph (the next pipeline's base)
+//	  <shard>.fsdl   one partition file per shard, when partitions given
+//
+// Everything is written into a temporary directory first and renamed
+// into place, and the manifest is written last — a crash mid-build
+// leaves either no gen-<id> directory or one whose missing/torn
+// manifest disqualifies it, never a half generation that loads.
+
+// LabelsFileName is the full-store file inside a generation directory.
+const LabelsFileName = labelstore.GenerationLabelsFile
+
+// GraphFileName is the snapshot-graph file inside a generation
+// directory.
+const GraphFileName = labelstore.GenerationGraphFile
+
+// CompactOptions configures a compaction build.
+type CompactOptions struct {
+	// Epsilon is the scheme's approximation parameter.
+	Epsilon float64
+	// Workers bounds build parallelism (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Partitions optionally maps shard names to the vertex ids each
+	// shard serves; one <name>.fsdl partition file is written per
+	// entry, so cluster shards can load the new generation directly.
+	Partitions map[string][]int
+}
+
+// CompactionResult is a completed generation build, ready to swap.
+type CompactionResult struct {
+	// Snapshot is the pipeline view the build ran on; pass it to
+	// Pipeline.Commit after the swap succeeds.
+	Snapshot *Snapshot
+	// Dir is the generation directory (root/gen-<id>).
+	Dir string
+	// Manifest describes what was written.
+	Manifest *labelstore.Manifest
+	// Store is the full label store, loaded back from Dir so the
+	// serving path swaps to exactly the bytes on disk.
+	Store *labelstore.Store
+}
+
+// Compact builds the next label generation from the pipeline's current
+// state into root/gen-<id> using the parallel offline pipeline.
+// Mutations keep streaming into p while the build runs; the caller
+// swaps the result in and then calls p.Commit(result.Snapshot).
+//
+// Callers serialize compactions via p.BeginCompaction/EndCompaction.
+func Compact(p *Pipeline, root string, opts CompactOptions) (*CompactionResult, error) {
+	snap, err := p.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return CompactSnapshot(snap, root, opts)
+}
+
+// CompactSnapshot is Compact for an already-taken snapshot — the
+// offline `fsdl compact` path, where the "pipeline" is a graph plus a
+// replayed WAL rather than a live server.
+func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*CompactionResult, error) {
+	scheme, err := core.BuildSchemeWorkers(snap.Graph, opts.Epsilon, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("liveupdate: build generation %d scheme: %w", snap.Generation, err)
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	final := filepath.Join(root, labelstore.GenerationDirName(snap.Generation))
+	if _, err := os.Stat(final); err == nil {
+		return nil, fmt.Errorf("liveupdate: generation directory %s already exists", final)
+	}
+	tmp, err := os.MkdirTemp(root, "gen-build-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	m := &labelstore.Manifest{
+		Generation: snap.Generation,
+		N:          snap.Graph.NumVertices(),
+		Seq:        snap.Seq,
+	}
+	addFile := func(name string, records int, write func(f *os.File) error) error {
+		path := filepath.Join(tmp, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("liveupdate: write %s: %w", name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		crc, err := labelstore.FileCRC(path)
+		if err != nil {
+			return err
+		}
+		entry := labelstore.ManifestFile{Name: name, Records: records, First: -1, Last: -1, CRC: crc}
+		m.Files = append(m.Files, entry)
+		return nil
+	}
+
+	if err := addFile(LabelsFileName, m.N, func(f *os.File) error {
+		return labelstore.Save(f, scheme, nil)
+	}); err != nil {
+		return nil, err
+	}
+	if m.N > 0 {
+		m.Files[len(m.Files)-1].First, m.Files[len(m.Files)-1].Last = 0, m.N-1
+	}
+	if err := addFile(GraphFileName, 0, func(f *os.File) error {
+		_, err := snap.Graph.WriteTo(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for name, ids := range opts.Partitions {
+		if name == LabelsFileName || name == GraphFileName || name == labelstore.ManifestName {
+			return nil, fmt.Errorf("liveupdate: shard name %q collides with a generation file", name)
+		}
+		ids := ids
+		if err := addFile(name+".fsdl", len(ids), func(f *os.File) error {
+			return labelstore.Save(f, scheme, ids)
+		}); err != nil {
+			return nil, err
+		}
+		if len(ids) > 0 {
+			lo, hi := ids[0], ids[0]
+			for _, v := range ids {
+				lo, hi = min(lo, v), max(hi, v)
+			}
+			m.Files[len(m.Files)-1].First, m.Files[len(m.Files)-1].Last = lo, hi
+		}
+	}
+	if err := labelstore.WriteManifestFile(tmp, m); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(final, LabelsFileName))
+	if err != nil {
+		return nil, err
+	}
+	store, err := labelstore.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("liveupdate: reload generation %d store: %w", snap.Generation, err)
+	}
+	return &CompactionResult{Snapshot: snap, Dir: final, Manifest: m, Store: store}, nil
+}
+
+// LoadGenerationBase loads the snapshot graph a generation directory
+// carries — the base graph a restarted pipeline resumes from.
+func LoadGenerationBase(dir string) (*graph.Graph, error) {
+	f, err := os.Open(filepath.Join(dir, GraphFileName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.Read(f)
+}
+
+// LoadGenerationStore loads the full label store of a generation
+// directory.
+func LoadGenerationStore(dir string) (*labelstore.Store, error) {
+	f, err := os.Open(filepath.Join(dir, LabelsFileName))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return labelstore.Load(f)
+}

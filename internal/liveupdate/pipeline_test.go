@@ -1,0 +1,233 @@
+package liveupdate
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fsdl/internal/gen"
+	"fsdl/internal/graph"
+)
+
+func TestPipelineApplyAndDelta(t *testing.T) {
+	g := gen.Grid2D(4, 4) // ids: r*4+c, edges right/down
+	p, err := Open(Config{Base: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := p.Apply([]Mutation{
+		{Op: MutInsert, U: 0, V: 15}, // diagonal shortcut
+		{Op: MutDelete, U: 0, V: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || p.Pending() != 2 {
+		t.Fatalf("seq=%d pending=%d", seq, p.Pending())
+	}
+	if got := p.Patches(); len(got) != 1 || got[0] != [2]int32{0, 15} {
+		t.Fatalf("patches = %v", got)
+	}
+	if got := p.FaultEdges(); len(got) != 1 || got[0] != [2]int32{0, 1} {
+		t.Fatalf("fault edges = %v", got)
+	}
+
+	// Invalid mutations reject the whole batch atomically.
+	for _, bad := range [][]Mutation{
+		{{Op: MutInsert, U: 0, V: 15}},               // already inserted
+		{{Op: MutInsert, U: 1, V: 2}},                // exists in base
+		{{Op: MutDelete, U: 0, V: 1}},                // already deleted
+		{{Op: MutDelete, U: 0, V: 5}},                // never existed
+		{{Op: MutInsert, U: 3, V: 3}},                // self-loop
+		{{Op: MutInsert, U: 3, V: 99}},               // out of range
+		{{Op: MutDelete, U: 4, V: 8}, {Op: 9, U: 0}}, // valid then bogus op
+	} {
+		if _, err := p.Apply(bad); err == nil {
+			t.Fatalf("batch %v accepted", bad)
+		}
+	}
+	if p.Pending() != 2 {
+		t.Fatalf("rejected batches changed the delta: pending=%d", p.Pending())
+	}
+	m := p.MetricsSnapshot()
+	if m.Inserts != 1 || m.Deletes != 1 || m.Rejected == 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// Cancelling mutations shrink the delta instead of growing it.
+	if _, err := p.Apply([]Mutation{{Op: MutDelete, U: 15, V: 0}}); err != nil {
+		t.Fatal(err) // (V,U) order: same undirected edge
+	}
+	if _, err := p.Apply([]Mutation{{Op: MutInsert, U: 1, V: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("cancelled delta not empty: %d", p.Pending())
+	}
+}
+
+func TestPipelineSnapshotAndCommit(t *testing.T) {
+	g := gen.Grid2D(3, 3)
+	p, err := Open(Config{Base: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Op: MutInsert, U: 0, V: 8}, {Op: MutDelete, U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Graph.HasEdge(0, 8) || snap.Graph.HasEdge(0, 1) {
+		t.Fatal("snapshot graph does not reflect the delta")
+	}
+	if snap.Generation != 2 || snap.Seq != 2 {
+		t.Fatalf("snapshot = gen %d seq %d", snap.Generation, snap.Seq)
+	}
+
+	// A mutation streaming in during the build must survive the commit.
+	if _, err := p.Apply([]Mutation{{Op: MutDelete, U: 7, V: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(snap); err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != 2 {
+		t.Fatalf("generation = %d", p.Generation())
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("pending after commit = %d, want the in-flight delete", p.Pending())
+	}
+	if got := p.FaultEdges(); len(got) != 1 || got[0] != [2]int32{7, 8} {
+		t.Fatalf("fault edges after commit = %v", got)
+	}
+	if !p.Base().HasEdge(0, 8) {
+		t.Fatal("commit did not advance the base graph")
+	}
+	// Committing the same snapshot again must fail (stale generation).
+	if err := p.Commit(snap); err == nil {
+		t.Fatal("stale commit accepted")
+	}
+}
+
+func TestPipelineWALReplayAcrossRestart(t *testing.T) {
+	g := gen.Grid2D(4, 4)
+	walPath := filepath.Join(t.TempDir(), "mutations.wal")
+
+	p, err := Open(Config{Base: g, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Op: MutInsert, U: 0, V: 15}, {Op: MutDelete, U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the same base graph: the delta comes back.
+	p2, err := Open(Config{Base: g, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Pending() != 2 || p2.Seq() != 2 {
+		t.Fatalf("replayed pending=%d seq=%d", p2.Pending(), p2.Seq())
+	}
+
+	// Compact, commit, add one more mutation, restart from the *new*
+	// base: only the post-compaction mutation replays.
+	snap, err := p2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Commit(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Apply([]Mutation{{Op: MutDelete, U: 14, V: 15}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p3, err := Open(Config{Base: snap.Graph, WALPath: walPath, Generation: snap.Generation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+	if p3.Generation() != 2 {
+		t.Fatalf("generation after restart = %d", p3.Generation())
+	}
+	if p3.Pending() != 1 {
+		t.Fatalf("pending after restart = %d", p3.Pending())
+	}
+	if got := p3.FaultEdges(); len(got) != 1 || got[0] != [2]int32{14, 15} {
+		t.Fatalf("fault edges after restart = %v", got)
+	}
+}
+
+func TestPipelineCompactionSlot(t *testing.T) {
+	p, err := Open(Config{Base: gen.Grid2D(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.BeginCompaction() {
+		t.Fatal("first claim failed")
+	}
+	if p.BeginCompaction() {
+		t.Fatal("double claim succeeded")
+	}
+	if !p.Compacting() {
+		t.Fatal("Compacting() = false while claimed")
+	}
+	p.EndCompaction()
+	if !p.BeginCompaction() {
+		t.Fatal("claim after release failed")
+	}
+	p.EndCompaction()
+}
+
+func TestSnapshotGraphMatchesDirectBuild(t *testing.T) {
+	base := gen.Grid2D(5, 5)
+	p, err := Open(Config{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []Mutation{
+		{Op: MutDelete, U: 0, V: 1},
+		{Op: MutInsert, U: 0, V: 24},
+		{Op: MutInsert, U: 3, V: 21},
+		{Op: MutDelete, U: 12, V: 13},
+	}
+	if _, err := p.Apply(muts); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build G' directly from the mutated edge set, in a different
+	// insertion order: the CSR must come out identical.
+	b := graph.NewBuilder(base.NumVertices())
+	b.AddEdge(3, 21)
+	b.AddEdge(0, 24)
+	base.ForEachEdge(func(u, v int) {
+		if (u == 0 && v == 1) || (u == 12 && v == 13) {
+			return
+		}
+		b.AddEdge(u, v)
+	})
+	direct, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Graph.NumEdges() != direct.NumEdges() || snap.Graph.NumVertices() != direct.NumVertices() {
+		t.Fatalf("snapshot (%d,%d) vs direct (%d,%d)",
+			snap.Graph.NumVertices(), snap.Graph.NumEdges(), direct.NumVertices(), direct.NumEdges())
+	}
+	direct.ForEachEdge(func(u, v int) {
+		if !snap.Graph.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) missing from snapshot", u, v)
+		}
+	})
+}

@@ -1,0 +1,347 @@
+// Package liveupdate is the ingestion side of the live-update
+// pipeline: it accepts streaming edge insert/delete mutations against
+// a served graph, journals them to a CRC-framed write-ahead log, and
+// tracks the accumulated delta until a background compaction bakes it
+// into a fresh label generation.
+//
+// Mutations are applied in two tiers, following the paper's own
+// machinery. Deletions ride the forbidden-set path immediately: a
+// deleted edge becomes an implicit soft fault merged into every
+// query's fault set, so answers stay upper bounds on d_{G\F} from the
+// moment the mutation is journaled (the lazy-failure-set trick
+// oracle.Dynamic already uses). Insertions cannot be expressed as
+// faults; they are served as query-time patches — a bounded set of
+// shortcut edges the decoder routes through (d(s,u) + 1 + d(v,t)),
+// still a sound upper bound — and accumulate toward compaction, which
+// rebuilds labels on the mutated graph and swaps the new generation in
+// with zero downtime.
+package liveupdate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"fsdl/internal/frame"
+)
+
+// MutOp is the kind of an edge mutation.
+type MutOp uint8
+
+const (
+	// MutInsert adds an undirected edge between two existing vertices.
+	MutInsert MutOp = iota + 1
+	// MutDelete removes an existing undirected edge.
+	MutDelete
+)
+
+func (op MutOp) String() string {
+	switch op {
+	case MutInsert:
+		return "insert"
+	case MutDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("MutOp(%d)", uint8(op))
+	}
+}
+
+// Mutation is one streamed edge change. U and V are vertex ids in the
+// served graph's id space; the edge is undirected, so (U,V) and (V,U)
+// are the same mutation.
+type Mutation struct {
+	Op   MutOp
+	U, V int32
+}
+
+// WAL frame ops. The log reuses the shared frame codec the cluster
+// wire protocol speaks (internal/frame: magic, version, op, length,
+// payload, CRC32-IEEE), so a torn tail or a
+// bit-flipped record is detected by the same checksum discipline that
+// guards label records on disk and frames in flight. The op values
+// live above the wire-protocol range so a WAL file can never be
+// mistaken for a protocol capture.
+const (
+	// WalOpInsert / WalOpDelete journal one mutation:
+	// uvarint seq, uvarint u, uvarint v.
+	WalOpInsert byte = 0x20
+	WalOpDelete byte = 0x21
+	// WalOpCompaction marks that every mutation with sequence ≤ seq is
+	// baked into label generation gen: uvarint seq, uvarint gen.
+	// Replay starts after the last marker.
+	WalOpCompaction byte = 0x22
+)
+
+// Record is one decoded WAL entry: either a mutation or a compaction
+// marker.
+type Record struct {
+	// Seq is the record's sequence number. Mutation sequences are
+	// assigned contiguously from 1; a compaction marker's Seq is the
+	// last mutation sequence the named generation bakes in.
+	Seq uint64
+	// Mut is the mutation (zero when Compaction is set).
+	Mut Mutation
+	// Compaction marks a compaction record; Generation is the label
+	// generation the marker commits.
+	Compaction bool
+	Generation uint64
+}
+
+// AppendRecordPayload encodes r's frame payload (without the framing).
+func AppendRecordPayload(dst []byte, r Record) []byte {
+	dst = binary.AppendUvarint(dst, r.Seq)
+	if r.Compaction {
+		return binary.AppendUvarint(dst, r.Generation)
+	}
+	dst = binary.AppendUvarint(dst, uint64(uint32(r.Mut.U)))
+	return binary.AppendUvarint(dst, uint64(uint32(r.Mut.V)))
+}
+
+// recordOp returns the frame op byte for r.
+func recordOp(r Record) byte {
+	switch {
+	case r.Compaction:
+		return WalOpCompaction
+	case r.Mut.Op == MutInsert:
+		return WalOpInsert
+	default:
+		return WalOpDelete
+	}
+}
+
+// AppendRecord appends r as one complete WAL frame.
+func AppendRecord(dst []byte, r Record) []byte {
+	return frame.Append(dst, recordOp(r), AppendRecordPayload(nil, r))
+}
+
+// ParseRecordPayload decodes the payload of a WAL frame with the given
+// op. It rejects trailing bytes, out-of-range ids and non-canonical
+// (non-minimal) varint encodings — the journal only ever decodes
+// bytes it wrote, so any record that would not re-encode byte-
+// identically is corruption, not a dialect.
+func ParseRecordPayload(op byte, payload []byte) (r Record, err error) {
+	orig := payload
+	defer func() {
+		if err == nil && !bytes.Equal(AppendRecordPayload(nil, r), orig) {
+			err = fmt.Errorf("liveupdate: wal record: non-canonical encoding")
+		}
+	}()
+	seq, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return r, fmt.Errorf("liveupdate: wal record: bad sequence")
+	}
+	payload = payload[k:]
+	r.Seq = seq
+	switch op {
+	case WalOpCompaction:
+		gen, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return r, fmt.Errorf("liveupdate: wal record: bad generation")
+		}
+		if len(payload[k:]) != 0 {
+			return r, fmt.Errorf("liveupdate: wal record: trailing bytes")
+		}
+		r.Compaction = true
+		r.Generation = gen
+		return r, nil
+	case WalOpInsert, WalOpDelete:
+		u, k := binary.Uvarint(payload)
+		if k <= 0 || u > math.MaxInt32 {
+			return r, fmt.Errorf("liveupdate: wal record: bad vertex u")
+		}
+		payload = payload[k:]
+		v, k := binary.Uvarint(payload)
+		if k <= 0 || v > math.MaxInt32 {
+			return r, fmt.Errorf("liveupdate: wal record: bad vertex v")
+		}
+		if len(payload[k:]) != 0 {
+			return r, fmt.Errorf("liveupdate: wal record: trailing bytes")
+		}
+		r.Mut = Mutation{Op: MutInsert, U: int32(u), V: int32(v)}
+		if op == WalOpDelete {
+			r.Mut.Op = MutDelete
+		}
+		return r, nil
+	default:
+		return r, fmt.Errorf("liveupdate: wal record: unknown op %d", op)
+	}
+}
+
+// DecodeRecords parses every intact WAL frame at the front of buf. A
+// clean end of input stops the scan with tornAt == len(buf); a framing
+// break or checksum failure stops it at the offset of the first broken
+// frame (the torn tail a crashed writer leaves behind). Bytes past
+// tornAt are unreliable and must be truncated, never replayed.
+func DecodeRecords(buf []byte) (recs []Record, tornAt int) {
+	off := 0
+	for len(buf) > 0 {
+		op, payload, rest, err := frame.Decode(buf)
+		if err != nil {
+			return recs, off
+		}
+		r, err := ParseRecordPayload(op, payload)
+		if err != nil {
+			return recs, off
+		}
+		off += len(buf) - len(rest)
+		buf = rest
+		recs = append(recs, r)
+	}
+	return recs, off
+}
+
+// WAL is a file-backed mutation journal. Appends go straight to the
+// file descriptor; Sync fsyncs, and the flush counter behind
+// FlushedTotal feeds the fsdl_wal_flushed_total metric so an operator
+// can confirm the final flush happened before a restart.
+//
+// A WAL is safe for concurrent use.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	seq     uint64 // last sequence number written
+	flushes int64
+	dirty   bool
+	closed  bool
+}
+
+// OpenWAL opens (or creates) the journal at path and replays it.
+// Records beyond a torn tail — a partial frame from a crash mid-append
+// — are discarded and the file is truncated to the last intact frame,
+// so a restart never replays garbage. The returned records are every
+// intact entry in order; the caller filters against the last
+// compaction marker.
+func OpenWAL(path string) (*WAL, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	recs, tornAt := DecodeRecords(buf)
+	if tornAt < len(buf) {
+		if err := f.Truncate(int64(tornAt)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("liveupdate: truncate torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(tornAt), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path}
+	for _, r := range recs {
+		if r.Seq > w.seq {
+			w.seq = r.Seq
+		}
+	}
+	return w, recs, nil
+}
+
+// Append journals muts, assigning each the next sequence number, and
+// returns the last sequence written. The records are written in one
+// contiguous byte range but not yet fsynced — call Sync once per
+// accepted batch.
+func (w *WAL) Append(muts []Mutation) (seq uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.seq, fmt.Errorf("liveupdate: wal is closed")
+	}
+	var buf []byte
+	for _, m := range muts {
+		w.seq++
+		buf = AppendRecord(buf, Record{Seq: w.seq, Mut: m})
+	}
+	if len(buf) > 0 {
+		if _, err := w.f.Write(buf); err != nil {
+			return w.seq, fmt.Errorf("liveupdate: wal append: %w", err)
+		}
+		w.dirty = true
+	}
+	return w.seq, nil
+}
+
+// AppendCompaction journals a compaction marker committing generation
+// gen through sequence seq, and fsyncs it — a marker that might
+// vanish in a crash would resurrect already-baked mutations on replay.
+func (w *WAL) AppendCompaction(gen, seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("liveupdate: wal is closed")
+	}
+	buf := AppendRecord(nil, Record{Seq: seq, Compaction: true, Generation: gen})
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("liveupdate: wal append compaction: %w", err)
+	}
+	w.dirty = true
+	return w.syncLocked()
+}
+
+// Sync fsyncs any appended records to disk.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("liveupdate: wal sync: %w", err)
+	}
+	w.dirty = false
+	w.flushes++
+	return nil
+}
+
+// Close fsyncs and closes the journal — the graceful-drain path, so a
+// restart finds no torn tail to discard.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	syncErr := w.syncLocked()
+	w.closed = true
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// Seq returns the last sequence number written.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// FlushedTotal reports how many fsyncs have completed — the
+// fsdl_wal_flushed_total metric.
+func (w *WAL) FlushedTotal() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushes
+}
+
+// Path returns the journal's file path.
+func (w *WAL) Path() string { return w.path }

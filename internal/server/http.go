@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fsdl/internal/graph"
+	"fsdl/internal/liveupdate"
 )
 
 // HTTP/JSON API:
@@ -19,6 +20,8 @@ import (
 //	POST /v1/batch-distance  {"pairs":[[s,t],...], "fail",...}                 → {"answers":[Answer,...]}
 //	POST /v1/fail            {"vertices":[...], "edges":[[u,v],...]}           → State
 //	POST /v1/recover         same                                              → State
+//	POST /v1/mutate          {"mutations":[{"op":"insert","u":..,"v":..},...]} → MutateState
+//	POST /v1/compact         (no body)                                         → CompactResult
 //	GET  /v1/state                                                             → State
 //	GET  /healthz                                                              → {"status":"ok"}
 //	GET  /metrics                                                              → Prometheus text
@@ -96,6 +99,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch-distance", s.instrument("batch_distance", s.handleBatch))
 	mux.HandleFunc("/v1/fail", s.instrument("fail", s.handleUpdate(true)))
 	mux.HandleFunc("/v1/recover", s.instrument("recover", s.handleUpdate(false)))
+	mux.HandleFunc("/v1/mutate", s.instrument("mutate", s.handleMutate))
+	mux.HandleFunc("/v1/compact", s.instrument("compact", s.handleCompact))
 	mux.HandleFunc("/v1/state", s.instrument("state", s.handleState))
 	mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("/v1/cluster/join", s.instrument("cluster_join", s.handleClusterMembership("join")))
@@ -192,6 +197,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrCompacting):
+		status = http.StatusConflict
 	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
@@ -291,6 +298,71 @@ func (s *Server) handleUpdate(fail bool) http.HandlerFunc {
 		}
 		writeJSON(w, http.StatusOK, s.Snapshot())
 	}
+}
+
+// mutateRequest is the wire form of /v1/mutate: an ordered mutation
+// batch, applied atomically (order matters — a batch may delete an
+// edge it just inserted).
+type mutateRequest struct {
+	Mutations []struct {
+		Op string `json:"op"` // "insert" or "delete"
+		U  int    `json:"u"`
+		V  int    `json:"v"`
+	} `json:"mutations"`
+}
+
+// maxMutations bounds a mutation batch; like the query caps above, it
+// keeps one request from holding the pipeline's write lock (and one
+// WAL fsync) for an unbounded stretch.
+const maxMutations = 4096
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		s.writeError(w, fmt.Errorf("mutate: empty batch"))
+		return
+	}
+	if len(req.Mutations) > maxMutations {
+		s.writeError(w, fmt.Errorf("mutate: %d mutations exceeds the per-request limit of %d", len(req.Mutations), maxMutations))
+		return
+	}
+	muts := make([]liveupdate.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		var op liveupdate.MutOp
+		switch m.Op {
+		case "insert":
+			op = liveupdate.MutInsert
+		case "delete":
+			op = liveupdate.MutDelete
+		default:
+			s.writeError(w, fmt.Errorf("mutate: mutation %d: unknown op %q", i, m.Op))
+			return
+		}
+		muts[i] = liveupdate.Mutation{Op: op, U: int32(m.U), V: int32(m.V)}
+	}
+	st, err := s.Mutate(muts)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, fmt.Errorf("use POST"))
+		return
+	}
+	res, err := s.Compact()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {

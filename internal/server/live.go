@@ -1,0 +1,139 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"fsdl/internal/liveupdate"
+)
+
+// This file is the serving side of the live-update pipeline: mutation
+// ingestion (/v1/mutate), compaction with a zero-downtime generation
+// swap (/v1/compact) and the graceful WAL drain. The pipeline itself —
+// WAL, delta semantics, generation builds — lives in
+// internal/liveupdate; the server coordinates it with the query path,
+// the result cache and (in cluster mode) the frontend's ring.
+
+// ErrCompacting is returned when a compaction is already in flight;
+// the HTTP layer maps it to 409 Conflict.
+var ErrCompacting = errors.New("server: compaction already in flight")
+
+// MutateState is the acknowledgement for an applied mutation batch.
+// Exact reports whether queries are currently exact (no pending
+// delta) — after a successful Mutate it is false until the next
+// compaction.
+type MutateState struct {
+	Seq        uint64 `json:"seq"`
+	Pending    int    `json:"pending"`
+	Generation uint64 `json:"generation"`
+	Exact      bool   `json:"exact"`
+}
+
+// CompactResult is the outcome of a completed compaction + swap.
+type CompactResult struct {
+	Generation uint64 `json:"generation"`
+	Dir        string `json:"dir"`
+	Seq        uint64 `json:"seq"`
+	// Pending counts delta edges that streamed in while the build ran
+	// and thus survive into the next compaction window.
+	Pending int `json:"pending"`
+	// Epoch is the new ring epoch when the swap went through a cluster
+	// frontend (0 for a local store swap).
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// Mutate applies an ordered edge-mutation batch atomically: every
+// mutation is journaled (WAL fsynced) and folded into the live delta,
+// or none is. The result cache is flushed — any cached answer may
+// disagree with the mutated graph.
+func (s *Server) Mutate(muts []liveupdate.Mutation) (MutateState, error) {
+	if s.live == nil {
+		return MutateState{}, fmt.Errorf("server: live updates disabled (start with a mutation pipeline)")
+	}
+	seq, err := s.live.Apply(muts)
+	if err != nil {
+		return MutateState{}, err
+	}
+	s.cache.Flush()
+	s.met.cacheFlushes.Add(1)
+	pending := s.live.Pending()
+	return MutateState{
+		Seq:        seq,
+		Pending:    pending,
+		Generation: s.live.Generation(),
+		Exact:      pending == 0,
+	}, nil
+}
+
+// Compact bakes the pending delta into the next label generation
+// (using the parallel offline build) and swaps it into the serving
+// path without dropping a query. One compaction runs at a time;
+// mutations keep streaming in while the build runs and are reconciled
+// by Commit afterwards.
+func (s *Server) Compact() (CompactResult, error) {
+	if s.live == nil {
+		return CompactResult{}, fmt.Errorf("server: live updates disabled (start with a mutation pipeline)")
+	}
+	if s.cfg.LiveRoot == "" {
+		return CompactResult{}, fmt.Errorf("server: compaction needs a generation root directory")
+	}
+	if !s.live.BeginCompaction() {
+		return CompactResult{}, ErrCompacting
+	}
+	defer s.live.EndCompaction()
+
+	res, err := liveupdate.Compact(s.live, s.cfg.LiveRoot, liveupdate.CompactOptions{
+		Epsilon: s.cfg.Epsilon,
+		Workers: s.cfg.CompactWorkers,
+	})
+	if err != nil {
+		return CompactResult{}, err
+	}
+	out := CompactResult{Generation: res.Snapshot.Generation, Dir: res.Dir, Seq: res.Snapshot.Seq}
+
+	// Swap before Commit. Between the two, queries see the new labels
+	// with the old delta still applied — re-forbidding already-removed
+	// edges and re-patching already-baked insertions is harmless (the
+	// answers stay sound upper bounds). Committing first would briefly
+	// pair the old labels with an empty delta and claim an exactness
+	// the old generation cannot provide.
+	switch src := s.src.(type) {
+	case GenerationSwapper:
+		epoch, err := src.SwapGeneration(res.Snapshot.Generation)
+		if err != nil {
+			return CompactResult{}, fmt.Errorf("server: swap to generation %d: %w", res.Snapshot.Generation, err)
+		}
+		out.Epoch = epoch
+	case *storeSource:
+		src.Swap(res.Store)
+	default:
+		return CompactResult{}, fmt.Errorf("server: label source cannot swap generations")
+	}
+	if err := s.live.Commit(res.Snapshot); err != nil {
+		return CompactResult{}, err
+	}
+	s.cache.Flush()
+	s.met.cacheFlushes.Add(1)
+	out.Pending = s.live.Pending()
+	return out, nil
+}
+
+// Close drains the live pipeline: the mutation WAL is fsynced and
+// closed, so every acknowledged mutation is durable before the
+// process exits. A server without a pipeline closes trivially.
+func (s *Server) Close() error {
+	if s.live == nil {
+		return nil
+	}
+	return s.live.Close()
+}
+
+// WALFlushedTotal reports completed mutation-WAL fsyncs — the final
+// value fsdl-serve logs on SIGTERM so operators can reconcile the
+// drain against their scrape history. 0 without a pipeline or WAL.
+func (s *Server) WALFlushedTotal() int64 {
+	if s.live == nil {
+		return 0
+	}
+	return s.live.WALFlushedTotal()
+}

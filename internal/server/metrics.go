@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"fsdl/internal/core"
+	"fsdl/internal/liveupdate"
 	"fsdl/internal/stats"
 )
 
@@ -49,7 +50,7 @@ type metrics struct {
 	latency *stats.Histogram
 }
 
-var endpoints = []string{"distance", "batch_distance", "connected", "fail", "recover", "state"}
+var endpoints = []string{"distance", "batch_distance", "connected", "fail", "recover", "state", "mutate", "compact"}
 
 func newMetrics() *metrics {
 	m := &metrics{
@@ -149,4 +150,24 @@ func (m *metrics) render(sb *strings.Builder, cacheLen int, labelHits, labelMiss
 	}
 	fmt.Fprintf(sb, "fsdl_request_seconds_sum %g\n", m.latency.Sum())
 	fmt.Fprintf(sb, "fsdl_request_seconds_count %d\n", m.latency.Count())
+}
+
+// renderLive appends the live-update pipeline's exposition; sampled
+// from the pipeline at scrape time like the label-cache stats.
+func renderLive(sb *strings.Builder, m liveupdate.Metrics) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("fsdl_live_inserts_total", "Edge insertions accepted by the live pipeline.", m.Inserts)
+	counter("fsdl_live_deletes_total", "Edge deletions accepted by the live pipeline.", m.Deletes)
+	counter("fsdl_live_rejected_total", "Mutations refused by validation.", m.Rejected)
+	counter("fsdl_live_compactions_total", "Label generations baked and swapped in.", m.Compactions)
+	counter("fsdl_wal_flushed_total", "Mutation-WAL fsyncs completed (0 without a WAL).", m.WALFlushes)
+	gauge("fsdl_live_pending", "Delta edges not yet baked into the served generation (0 = exact answers).", int64(m.Pending))
+	gauge("fsdl_live_generation", "Label generation currently served.", int64(m.Generation))
+	gauge("fsdl_live_seq", "Last applied mutation sequence.", int64(m.Seq))
+	gauge("fsdl_live_compacted_seq", "Last mutation sequence baked into a generation.", int64(m.CompactedSeq))
 }

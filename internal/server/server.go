@@ -25,6 +25,7 @@ import (
 	"fsdl/internal/core"
 	"fsdl/internal/graph"
 	"fsdl/internal/labelstore"
+	"fsdl/internal/liveupdate"
 	"fsdl/internal/oracle"
 )
 
@@ -72,6 +73,21 @@ type Config struct {
 	// independently locked shards (default 8).
 	CacheCapacity int
 	CacheShards   int
+
+	// Live, when non-nil, enables the streaming-mutation query path:
+	// the pipeline's pending deletions merge into every query's fault
+	// set as implicit soft faults and its pending insertions become
+	// query-time patches, so answers track the mutated graph (as sound
+	// upper bounds, exact:false) until a compaction bakes the delta
+	// into the next label generation.
+	Live *liveupdate.Pipeline
+	// LiveRoot is the directory compaction writes gen-<id> generation
+	// directories into; required for Compact / the /v1/compact
+	// endpoint.
+	LiveRoot string
+	// CompactWorkers bounds compaction build parallelism (0 =
+	// GOMAXPROCS).
+	CompactWorkers int
 }
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -112,15 +128,22 @@ type State struct {
 	DeltaSize       int      `json:"delta_size,omitempty"`
 	SalvageKept     int      `json:"salvage_kept,omitempty"`
 	SalvageTotal    int      `json:"salvage_total,omitempty"`
+	// Live-pipeline state: the served label generation, delta edges not
+	// yet baked into it (0 = answers are exact again) and the last
+	// applied mutation sequence.
+	LiveGeneration uint64 `json:"live_generation,omitempty"`
+	LivePending    int    `json:"live_pending,omitempty"`
+	LiveSeq        uint64 `json:"live_seq,omitempty"`
 }
 
 // Server answers forbidden-set distance queries from a label store,
 // maintaining a global fault overlay that every query sees unioned with
 // its own fault set. Safe for concurrent use.
 type Server struct {
-	cfg Config
-	src LabelSource
-	dyn *oracle.Dynamic
+	cfg  Config
+	src  LabelSource
+	dyn  *oracle.Dynamic
+	live *liveupdate.Pipeline
 
 	// overlayMu guards overlay, the fault set applied to every query.
 	overlayMu sync.RWMutex
@@ -142,7 +165,7 @@ func New(cfg Config) (*Server, error) {
 	case cfg.Store != nil && src != nil:
 		return nil, fmt.Errorf("server: Config.Store and Config.Source are mutually exclusive")
 	case cfg.Store != nil:
-		src = storeSource{st: cfg.Store}
+		src = newStoreSource(cfg.Store)
 	case src == nil:
 		return nil, fmt.Errorf("server: one of Config.Store or Config.Source is required")
 	}
@@ -167,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		src:     src,
+		live:    cfg.Live,
 		overlay: graph.NewFaultSet(),
 		cache:   newResultCache(cfg.CacheCapacity, cfg.CacheShards),
 		met:     newMetrics(),
@@ -183,6 +207,12 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: build dynamic oracle: %w", err)
 		}
 		s.dyn = dyn
+	}
+	if cfg.Live != nil {
+		if bn := cfg.Live.Base().NumVertices(); bn != src.NumVertices() {
+			return nil, fmt.Errorf("server: live pipeline base has %d vertices, store covers %d",
+				bn, src.NumVertices())
+		}
 	}
 	if cfg.Report != nil {
 		s.met.salvageTotal.Store(int64(cfg.Report.Total))
@@ -282,6 +312,35 @@ type faultTemplate struct {
 	edgeFaults    [][2]*core.Label
 	degradedVerts []int32
 	degradedEdges [][2]int32
+	// patches are the live delta's inserted edges, endpoint labels
+	// resolved, decoded once per batch like the faults above.
+	patches []core.PatchEdge
+}
+
+// maxLivePatches caps how many pending insertions a single query will
+// consider as shortcuts. Each patch costs four extra leg decodes, so
+// past the cap the remainder is dropped for that query — answers stay
+// sound upper bounds, they just stop reflecting the excess insertions
+// until compaction bakes them in.
+const maxLivePatches = 256
+
+// decodePatches resolves patch-edge endpoint labels. A patch whose
+// endpoints cannot be fetched is skipped: the shortcut is missed but
+// the answer stays sound.
+func (s *Server) decodePatches(ctx context.Context, edges [][2]int32) []core.PatchEdge {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]core.PatchEdge, 0, len(edges))
+	for _, e := range edges {
+		lu, errU := s.src.Label(ctx, int(e[0]))
+		lv, errV := s.src.Label(ctx, int(e[1]))
+		if errU != nil || errV != nil {
+			continue
+		}
+		out = append(out, core.PatchEdge{U: lu, V: lv})
+	}
+	return out
 }
 
 func (s *Server) decodeFaults(ctx context.Context, f *graph.FaultSet) *faultTemplate {
@@ -369,11 +428,31 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 		reqFaults = opts.Faults
 	}
 	faults := s.effectiveFaults(reqFaults)
+	// Live delta: pending deletions join the fault set as implicit soft
+	// faults, pending insertions become query-time patch candidates.
+	// While any delta is pending the (1+ε) guarantee is suspended —
+	// answers are sound upper bounds on the mutated graph's d_{G'\F},
+	// reported exact:false — and the result cache is bypassed (patches
+	// are not part of the fault hash; compaction restores exactness and
+	// caching together).
+	var livePatches [][2]int32
+	livePending := false
+	if s.live != nil {
+		fe := s.live.FaultEdges()
+		for _, e := range fe {
+			faults.AddEdge(int(e[0]), int(e[1]))
+		}
+		livePatches = s.live.Patches()
+		if len(livePatches) > maxLivePatches {
+			livePatches = livePatches[:maxLivePatches]
+		}
+		livePending = len(fe) > 0 || len(livePatches) > 0
+	}
 	fhash := faultHash(faults, budget)
 
 	n := s.src.NumVertices()
 	answers := make([]Answer, len(pairs))
-	s.prefetch(ctx, pairs, faults, n)
+	s.prefetch(ctx, pairs, faults, livePatches, n)
 	var tmpl *faultTemplate // decoded lazily: an all-hit batch decodes nothing
 	// One pooled decoder serves the whole batch: every miss reuses the
 	// same warmed-up scratch. Endpoint labels come straight from the
@@ -409,11 +488,13 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 			continue
 		}
 		key := cacheKey{s: int32(src), t: int32(dst), fhash: fhash}
-		if hit, ok := s.cache.Get(key); ok {
-			s.met.cacheHits.Add(1)
-			hit.Cached = true
-			answers[i] = hit
-			continue
+		if !livePending {
+			if hit, ok := s.cache.Get(key); ok {
+				s.met.cacheHits.Add(1)
+				hit.Cached = true
+				answers[i] = hit
+				continue
+			}
 		}
 		s.met.cacheMisses.Add(1)
 		ls, err := s.src.Label(ctx, src)
@@ -422,6 +503,7 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 			if lt, err = s.src.Label(ctx, dst); err == nil {
 				if tmpl == nil {
 					tmpl = s.decodeFaults(ctx, faults)
+					tmpl.patches = s.decodePatches(ctx, livePatches)
 				}
 				q := &core.Query{
 					S: ls, T: lt,
@@ -431,13 +513,18 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 					DegradedEdgeFaults:   tmpl.degradedEdges,
 					Budget:               budget,
 				}
-				res := dec.DistanceRobust(q)
+				var res core.Result
+				if len(tmpl.patches) > 0 {
+					res = dec.DistanceRobustPatched(q, tmpl.patches)
+				} else {
+					res = dec.DistanceRobust(q)
+				}
 				a.Connected = res.OK
 				a.Dist = res.Dist
 				a.Degraded = res.Degraded
 				a.BudgetExhausted = res.BudgetExhausted
 				a.MissingFaultLabels = res.MissingFaultLabels
-				a.Exact = !res.Degraded && !res.BudgetExhausted
+				a.Exact = !res.Degraded && !res.BudgetExhausted && !livePending
 				if res.Degraded {
 					s.met.degraded.Add(1)
 				}
@@ -450,7 +537,7 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 				// stale upper bound after the labels return, so only exact
 				// and budget-degraded (deterministic for this key) verdicts
 				// enter the cache.
-				if !res.Degraded {
+				if !res.Degraded && !livePending {
 					s.cache.Put(key, a)
 				}
 			}
@@ -465,15 +552,16 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 }
 
 // prefetch warms the label source with every distinct vertex the batch
-// will touch — endpoints and fault-set members — in one call. Against a
-// cluster source this collapses per-pair scatter-gathers into a single
-// round of shard fetches; against a local store it is a no-op.
-func (s *Server) prefetch(ctx context.Context, pairs [][2]int, faults *graph.FaultSet, n int) {
+// will touch — endpoints, fault-set members and live-patch endpoints —
+// in one call. Against a cluster source this collapses per-pair
+// scatter-gathers into a single round of shard fetches; against a
+// local store it is a no-op.
+func (s *Server) prefetch(ctx context.Context, pairs [][2]int, faults *graph.FaultSet, patches [][2]int32, n int) {
 	pf, ok := s.src.(Prefetcher)
 	if !ok {
 		return
 	}
-	seen := make(map[int]struct{}, 2*len(pairs)+faults.Size())
+	seen := make(map[int]struct{}, 2*len(pairs)+faults.Size()+2*len(patches))
 	add := func(v int) {
 		if v >= 0 && v < n {
 			seen[v] = struct{}{}
@@ -489,6 +577,10 @@ func (s *Server) prefetch(ctx context.Context, pairs [][2]int, faults *graph.Fau
 	for _, e := range faults.Edges() {
 		add(e[0])
 		add(e[1])
+	}
+	for _, e := range patches {
+		add(int(e[0]))
+		add(int(e[1]))
 	}
 	ids := make([]int, 0, len(seen))
 	for v := range seen {
@@ -658,6 +750,11 @@ func (s *Server) Snapshot() State {
 		st.Rebuilds = s.dyn.Rebuilds()
 		st.DeltaSize = s.dyn.DeltaSize()
 	}
+	if s.live != nil {
+		st.LiveGeneration = s.live.Generation()
+		st.LivePending = s.live.Pending()
+		st.LiveSeq = s.live.Seq()
+	}
 	if s.cfg.Report != nil {
 		st.SalvageKept = s.cfg.Report.Kept
 		st.SalvageTotal = s.cfg.Report.Total
@@ -672,6 +769,9 @@ func (s *Server) Metrics() string {
 	var sb strings.Builder
 	labelHits, labelMisses := s.src.LabelCacheStats()
 	s.met.render(&sb, s.cache.Len(), labelHits, labelMisses, core.DecoderPool())
+	if s.live != nil {
+		renderLive(&sb, s.live.MetricsSnapshot())
+	}
 	if mw, ok := s.src.(MetricsWriter); ok {
 		mw.WriteMetrics(&sb)
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"strings"
+	"sync/atomic"
 
 	"fsdl/internal/core"
 	"fsdl/internal/labelstore"
@@ -58,17 +59,40 @@ type (
 		Drain(name string, drain bool) (uint64, error)
 		StatusJSON() any
 	}
+	// GenerationSwapper coordinates versioned label-generation swaps: a
+	// cluster frontend has every shard load the named generation from
+	// its generation root, then atomically re-routes (returning the new
+	// ring epoch). Compaction uses it to swap the freshly baked
+	// generation in without dropping in-flight queries.
+	GenerationSwapper interface {
+		Generation() uint64
+		SwapGeneration(gen uint64) (uint64, error)
+	}
 )
 
 // storeSource adapts the in-process labelstore.Store to LabelSource.
-// Lookups never block, so ctx is ignored.
+// Lookups never block, so ctx is ignored. The store pointer is atomic
+// so a compaction can swap the next label generation in under live
+// queries — each lookup is served whole from whichever generation it
+// loads, no lock, no torn reads.
 type storeSource struct {
-	st *labelstore.Store
+	st atomic.Pointer[labelstore.Store]
 }
 
-func (s storeSource) NumVertices() int { return s.st.NumVertices() }
-func (s storeSource) NumLabels() int   { return s.st.NumLabels() }
-func (s storeSource) Label(_ context.Context, v int) (*core.Label, error) {
-	return s.st.Label(v)
+func newStoreSource(st *labelstore.Store) *storeSource {
+	s := &storeSource{}
+	s.st.Store(st)
+	return s
 }
-func (s storeSource) LabelCacheStats() (int64, int64) { return s.st.LabelCacheStats() }
+
+func (s *storeSource) NumVertices() int { return s.st.Load().NumVertices() }
+func (s *storeSource) NumLabels() int   { return s.st.Load().NumLabels() }
+func (s *storeSource) Label(_ context.Context, v int) (*core.Label, error) {
+	return s.st.Load().Label(v)
+}
+func (s *storeSource) LabelCacheStats() (int64, int64) { return s.st.Load().LabelCacheStats() }
+
+// Swap installs a new label generation. The vertex space must match;
+// compaction guarantees it (generations are rebuilds of the same
+// vertex set).
+func (s *storeSource) Swap(st *labelstore.Store) { s.st.Store(st) }
