@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"fsdl/internal/core"
@@ -61,8 +62,9 @@ func measure(name string, fn func(b *testing.B)) benchResult {
 // runJSON executes the suite and writes the document to path ("-" for
 // stdout). quick shrinks instance sizes so CI smoke runs stay fast. When
 // baseline names a previously committed document, the run fails if any
-// kernel's allocs/op regressed against it.
-func runJSON(path string, quick bool, baseline string, log io.Writer) error {
+// kernel regressed against it (see checkBaseline); compare names a
+// document to diff against informationally (see compareDoc).
+func runJSON(path string, quick bool, baseline, compare string, log io.Writer) error {
 	side := 24
 	if quick {
 		side = 12
@@ -127,9 +129,11 @@ func runJSON(path string, quick bool, baseline string, log io.Writer) error {
 		}
 	}))
 
-	// 3. Decode vs |F|: the pooled fast path, labels prefetched.
+	// 3. Decode vs |F|: the pooled fast path, labels prefetched. F64
+	// pushes past one bitmask word (>62 ball centers disable the fused
+	// admission masks), so it guards the generic multi-word path too.
 	s.SetCacheLimit(4096)
-	for _, nf := range []int{1, 4, 16} {
+	for _, nf := range []int{1, 4, 16, 64} {
 		rng := rand.New(rand.NewSource(2))
 		f := graph.NewFaultSet()
 		for f.Size() < nf {
@@ -148,6 +152,19 @@ func runJSON(path string, quick bool, baseline string, log io.Writer) error {
 				q.Distance()
 			}
 		}))
+		if nf == 16 {
+			// Path reporting on the same query: decode + parent-tree
+			// walk into a reused buffer, still allocation-free.
+			var dec core.Decoder
+			var pbuf []int32
+			add(measure("decode_path_F16", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, pbuf, _ = dec.DecodePath(q, pbuf[:0])
+				}
+			}))
+			dec.Release()
+		}
 	}
 
 	// 4. Server batch throughput: distinct pairs per op, result cache
@@ -272,6 +289,11 @@ func runJSON(path string, quick bool, baseline string, log io.Writer) error {
 	} else if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
+	if compare != "" {
+		if err := compareDoc(doc, compare, log); err != nil {
+			return err
+		}
+	}
 	if baseline != "" {
 		return checkBaseline(doc, baseline, log)
 	}
@@ -284,6 +306,16 @@ func runJSON(path string, quick bool, baseline string, log io.Writer) error {
 // Allocation counts are deterministic (unlike wall-clock), which makes
 // this the one bench metric CI can gate on across heterogeneous runners;
 // the slack (25% + 8) absorbs Go-runtime variation between toolchains.
+//
+// Decode kernels get two extra, stricter gates: allocs/op must not
+// exceed the baseline at all (the decode hot path is pooled and
+// allocation-free by design — one stray byte is a leak, not noise),
+// and ns/op must stay within 30% of the baseline. Wall-clock gating is
+// normally hopeless across heterogeneous runners, but the decode
+// kernels are single-threaded, cache-resident and run no I/O, so 30%
+// headroom comfortably covers runner jitter while still catching the
+// order-of-magnitude class of regression (an accidental map in the
+// hot loop blows past it instantly).
 func checkBaseline(doc benchDoc, path string, log io.Writer) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -306,9 +338,18 @@ func checkBaseline(doc benchDoc, path string, log io.Writer) error {
 		}
 		compared++
 		limit := int64(float64(b.AllocsPerOp)*1.25) + 8
+		if strings.HasPrefix(r.Name, "decode_") {
+			limit = b.AllocsPerOp
+		}
 		if r.AllocsPerOp > limit {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %d allocs/op (baseline %d, limit %d)", r.Name, r.AllocsPerOp, b.AllocsPerOp, limit))
+		}
+		if strings.HasPrefix(r.Name, "decode_") {
+			if nsLimit := b.NsPerOp * 1.30; r.NsPerOp > nsLimit {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f ns/op (baseline %.0f, limit %.0f)", r.Name, r.NsPerOp, b.NsPerOp, nsLimit))
+			}
 		}
 	}
 	if compared == 0 {
@@ -316,11 +357,48 @@ func checkBaseline(doc benchDoc, path string, log io.Writer) error {
 	}
 	if len(regressions) > 0 {
 		for _, s := range regressions {
-			fmt.Fprintln(log, "ALLOC REGRESSION", s)
+			fmt.Fprintln(log, "BENCH REGRESSION", s)
 		}
-		return fmt.Errorf("%d allocation regression(s) vs %s", len(regressions), path)
+		return fmt.Errorf("%d bench regression(s) vs %s", len(regressions), path)
 	}
-	fmt.Fprintf(log, "baseline %s: %d kernels compared, no allocation regressions\n", path, compared)
+	fmt.Fprintf(log, "baseline %s: %d kernels compared, no regressions\n", path, compared)
+	return nil
+}
+
+// compareDoc renders a benchstat-style markdown table of the run
+// against an older committed document — old vs new ns/op and allocs/op
+// with the relative delta — for humans (CI appends it to the job
+// summary). Unlike checkBaseline it never fails: it reports
+// improvements just as loudly as regressions.
+func compareDoc(doc benchDoc, path string, log io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var old benchDoc
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("compare %s: %w", path, err)
+	}
+	byName := make(map[string]benchResult, len(old.Results))
+	for _, r := range old.Results {
+		byName[r.Name] = r
+	}
+	fmt.Fprintf(log, "\n### Bench vs %s\n\n", path)
+	fmt.Fprintln(log, "| kernel | old ns/op | new ns/op | delta | old allocs | new allocs |")
+	fmt.Fprintln(log, "|---|---:|---:|---:|---:|---:|")
+	for _, r := range doc.Results {
+		o, ok := byName[r.Name]
+		if !ok {
+			fmt.Fprintf(log, "| %s | — | %.0f | new | — | %d |\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+			continue
+		}
+		delta := "~"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		fmt.Fprintf(log, "| %s | %.0f | %.0f | %s | %d | %d |\n",
+			r.Name, o.NsPerOp, r.NsPerOp, delta, o.AllocsPerOp, r.AllocsPerOp)
+	}
 	return nil
 }
 

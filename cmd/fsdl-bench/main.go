@@ -5,7 +5,7 @@
 //
 //	fsdl-bench [-exp E1|E2|...|all] [-quick] [-seed N] [-workers N]
 //	fsdl-bench -chaos [-quick] [-seed N]   # resilience scenario (alias for -exp E15)
-//	fsdl-bench -json PATH [-quick] [-baseline OLD.json]  # machine-readable perf baseline (see docs/PERFORMANCE.md)
+//	fsdl-bench -json PATH [-quick] [-baseline OLD.json] [-compare OLD.json]  # machine-readable perf baseline (see docs/PERFORMANCE.md)
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string, out *os.File) error {
 	chaos := fs.Bool("chaos", false, "run the chaos/resilience scenario (alias for -exp E15)")
 	jsonPath := fs.String("json", "", "run the perf-baseline suite and write JSON to this path ('-' for stdout)")
 	baseline := fs.String("baseline", "", "with -json: compare allocs/op against this committed baseline and fail on regression")
+	compare := fs.String("compare", "", "with -json: print a markdown old-vs-new table against this document (informational, never fails)")
 	workers := fs.Int("workers", 0, "cap GOMAXPROCS for the whole run (0 = leave as is)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,10 +43,13 @@ func run(args []string, out *os.File) error {
 		runtime.GOMAXPROCS(*workers)
 	}
 	if *jsonPath != "" {
-		return runJSON(*jsonPath, *quick, *baseline, out)
+		return runJSON(*jsonPath, *quick, *baseline, *compare, out)
 	}
 	if *baseline != "" {
 		return fmt.Errorf("-baseline requires -json")
+	}
+	if *compare != "" {
+		return fmt.Errorf("-compare requires -json")
 	}
 	if *chaos {
 		if *exp != "all" && !strings.EqualFold(*exp, "E15") {

@@ -11,7 +11,7 @@
 //	fsdl route -in graph.txt -s 0 -t 99 [-eps 2] [-fail 5,17]
 //	fsdl verify -in graph.txt [-eps 2] [-maxfaults 3]
 //	fsdl labels -in graph.txt -out labels.fsdl [-region 12 -radius 5] [-workers N]
-//	fsdl querydb -db labels.fsdl -s 0 -t 99 [-fail 5,17] [-salvage]
+//	fsdl querydb -db labels.fsdl -s 0 -t 99 [-fail 5,17] [-salvage] [-path]
 //	fsdl trace -size 12 -s 0 [-fail 60,61,62]
 //	fsdl buildscheme -in graph.txt -out scheme.fsdls [-eps 2] [-workers N]
 //	fsdl wquery -in roads.gr -s 0 -t 99 [-fail 5,17]
@@ -182,6 +182,7 @@ func cmdQueryDB(args []string, out io.Writer) error {
 	failList := fs.String("fail", "", "comma-separated failed vertices")
 	failEdges := fs.String("failedge", "", "comma-separated failed edges as u-v")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged store: skip corrupt records and answer conservatively (safe upper bounds)")
+	withPath := fs.Bool("path", false, "also print the witness path (a walk in G \\ F realizing the answer)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,7 +208,7 @@ func cmdQueryDB(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "salvage: kept %d/%d records (%d corrupt, truncated: %v)\n",
 				rep.Kept, rep.Total, len(rep.Corrupt), rep.Truncated)
 		}
-		res, err := st.DistanceRobust(*src, *dst, faults, 0)
+		res, path, err := st.DistanceRobustPath(*src, *dst, faults, 0)
 		if err != nil {
 			return err
 		}
@@ -223,6 +224,9 @@ func cmdQueryDB(args []string, out io.Writer) error {
 				len(res.MissingFaultLabels))
 		} else {
 			fmt.Fprintln(out, "status: EXACT (all labels intact, (1+eps) estimate)")
+		}
+		if *withPath {
+			printPath(out, path)
 		}
 		return nil
 	}
@@ -240,7 +244,32 @@ func cmdQueryDB(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "estimated distance %d -> %d avoiding |F|=%d: %d (answered offline from %d stored labels)\n",
 		*src, *dst, faults.Size(), d, st.NumLabels())
+	if *withPath {
+		// Re-decode with path reporting: same labels, same answer, plus
+		// the witness walk.
+		if _, path, err := st.DistanceRobustPath(*src, *dst, faults, 0); err == nil {
+			printPath(out, path)
+		}
+	}
 	return nil
+}
+
+// printPath renders a witness walk as "path: a -> b -> c". Hops are
+// sketch edges: each is realizable in G \ F at exactly the weight it
+// contributed, so consecutive vertices need not be graph-adjacent.
+func printPath(out io.Writer, path []int32) {
+	if len(path) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "path (%d hops):", len(path)-1)
+	for i, v := range path {
+		if i == 0 {
+			fmt.Fprintf(out, " %d", v)
+		} else {
+			fmt.Fprintf(out, " -> %d", v)
+		}
+	}
+	fmt.Fprintln(out)
 }
 
 func cmdVerify(args []string, out io.Writer) error {

@@ -151,6 +151,29 @@ func TestCLILabelsAndQueryDB(t *testing.T) {
 	}
 }
 
+func TestCLIQueryDBPath(t *testing.T) {
+	gpath := genGraphFile(t)
+	dbPath := filepath.Join(t.TempDir(), "labels.fsdl")
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", dbPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "querydb", "-db", dbPath, "-s", "0", "-t", "35", "-fail", "7", "-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "path (") || !strings.Contains(out, " 0 ->") || !strings.Contains(out, "-> 35") {
+		t.Errorf("querydb -path output missing witness walk:\n%s", out)
+	}
+	// The walk must also come back in salvage mode.
+	out, err = runCLI(t, "querydb", "-db", dbPath, "-s", "0", "-t", "35", "-fail", "7", "-salvage", "-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "path (") || !strings.Contains(out, "-> 35") {
+		t.Errorf("querydb -salvage -path output missing witness walk:\n%s", out)
+	}
+}
+
 func TestCLIQueryDBSalvage(t *testing.T) {
 	gpath := genGraphFile(t)
 	dbPath := filepath.Join(t.TempDir(), "labels.fsdl")

@@ -155,6 +155,26 @@ type ringState struct {
 	gen uint64
 }
 
+// labelKey addresses one vertex's decoded label within one label
+// generation. Keying the caches by generation — rather than flushing
+// them on swap and hoping no in-flight scatter repopulates them — makes
+// stale entries unreachable by construction: a scatter pinned to the
+// old generation caches its answers under the old generation's keys,
+// which no post-swap lookup ever consults. (The flush on swap survives
+// purely as memory hygiene.) Before this, a fetch could pass its
+// "still the active generation?" check, lose the race to the swap's
+// flip-and-flush, and then seed the freshly flushed cache with an
+// old-generation label — poisoning every later query for that vertex
+// with a label whose graph no longer exists.
+type labelKey struct {
+	gen uint64
+	v   int32
+}
+
+func labelKeyHash(k labelKey) uint64 {
+	return lru.HashU32(uint32(k.v)) ^ (k.gen * 0x9e3779b97f4a7c15)
+}
+
 // clientByName returns the epoch's client for a shard name.
 func (st *ringState) clientByName(name string) *shardClient {
 	for _, c := range st.nodes {
@@ -182,8 +202,8 @@ type Frontend struct {
 	state   atomic.Pointer[ringState]
 	adminMu sync.Mutex // serializes membership changes
 
-	labelCache *lru.Cache[int32, *core.Label]
-	negCache   *lru.Cache[int32, struct{}]
+	labelCache *lru.Cache[labelKey, *core.Label]
+	negCache   *lru.Cache[labelKey, struct{}]
 	met        frontendMetrics
 	budget     *retryBudget // nil when disabled
 	rep        *repairer    // nil when repair is disabled
@@ -244,10 +264,8 @@ func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
 	if c.RetryBudgetRatio > 0 {
 		f.budget = newRetryBudget(c.RetryBudgetRatio, c.RetryBudgetBurst)
 	}
-	f.labelCache = lru.New[int32, *core.Label](c.LabelCacheSize, 8,
-		func(k int32) uint64 { return lru.HashU32(uint32(k)) })
-	f.negCache = lru.New[int32, struct{}](c.NegativeCacheSize, 8,
-		func(k int32) uint64 { return lru.HashU32(uint32(k)) })
+	f.labelCache = lru.New[labelKey, *core.Label](c.LabelCacheSize, 8, labelKeyHash)
+	f.negCache = lru.New[labelKey, struct{}](c.NegativeCacheSize, 8, labelKeyHash)
 
 	deadline := time.Now().Add(c.StartupTimeout)
 	pol := backoff.Policy{Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond, Jitter: 0.2}
@@ -469,7 +487,9 @@ func (f *Frontend) SwapGeneration(gen uint64) (uint64, error) {
 	}
 	next := &ringState{epoch: cur.epoch + 1, ring: cur.ring, nodes: cur.nodes, gen: gen}
 	f.state.Store(next)
-	// Cached labels and absences belong to the old generation's graph.
+	// The old generation's cached labels and absences are unreachable
+	// already (cache keys carry the generation); flushing just returns
+	// their memory ahead of LRU churn.
 	f.labelCache.Flush()
 	f.negCache.Flush()
 	f.kickRepair()
@@ -541,19 +561,27 @@ func (f *Frontend) HealthJSON() any { return f.Health() }
 // replicas surface as a distinct error the server demotes to degraded
 // mode for fault labels.
 func (f *Frontend) Label(ctx context.Context, v int) (*core.Label, error) {
+	return f.labelAt(ctx, f.state.Load(), v)
+}
+
+// labelAt is Label against a pinned ring state: cache lookups and the
+// scatter both resolve against st's generation, so the answer is
+// guaranteed to come from that generation even if a swap flips the
+// frontend mid-call.
+func (f *Frontend) labelAt(ctx context.Context, st *ringState, v int) (*core.Label, error) {
 	if v < 0 || v >= f.n {
 		return nil, fmt.Errorf("cluster: no label for vertex %d: out of range [0,%d)", v, f.n)
 	}
-	if l, ok := f.labelCache.Get(int32(v)); ok {
+	if l, ok := f.labelCache.Get(labelKey{st.gen, int32(v)}); ok {
 		f.met.labelHits.Add(1)
 		return l, nil
 	}
-	if _, ok := f.negCache.Get(int32(v)); ok {
+	if _, ok := f.negCache.Get(labelKey{st.gen, int32(v)}); ok {
 		f.met.negHits.Add(1)
 		return nil, fmt.Errorf("cluster: no label for vertex %d", v)
 	}
 	f.met.labelMisses.Add(1)
-	res := f.scatterFetch(ctx, []int32{int32(v)})
+	res := f.scatterFetch(ctx, st, []int32{int32(v)})
 	r := res[int32(v)]
 	switch {
 	case r.label != nil:
@@ -575,6 +603,11 @@ func (f *Frontend) Label(ctx context.Context, v int) (*core.Label, error) {
 // retry is worth it; the error semantics themselves stay on the
 // per-label path.
 func (f *Frontend) Prefetch(ctx context.Context, ids []int) int {
+	return f.prefetchAt(ctx, f.state.Load(), ids)
+}
+
+// prefetchAt is Prefetch against a pinned ring state.
+func (f *Frontend) prefetchAt(ctx context.Context, st *ringState, ids []int) int {
 	miss := make([]int32, 0, len(ids))
 	seen := make(map[int32]struct{}, len(ids))
 	for _, v := range ids {
@@ -586,11 +619,11 @@ func (f *Frontend) Prefetch(ctx context.Context, ids []int) int {
 			continue
 		}
 		seen[iv] = struct{}{}
-		if _, ok := f.labelCache.Get(iv); ok {
+		if _, ok := f.labelCache.Get(labelKey{st.gen, iv}); ok {
 			f.met.labelHits.Add(1)
 			continue
 		}
-		if _, ok := f.negCache.Get(iv); ok {
+		if _, ok := f.negCache.Get(labelKey{st.gen, iv}); ok {
 			f.met.negHits.Add(1)
 			continue
 		}
@@ -601,12 +634,31 @@ func (f *Frontend) Prefetch(ctx context.Context, ids []int) int {
 		return 0
 	}
 	unresolved := 0
-	for _, r := range f.scatterFetch(ctx, miss) {
+	for _, r := range f.scatterFetch(ctx, st, miss) {
 		if r.err != nil {
 			unresolved++
 		}
 	}
 	return unresolved
+}
+
+// PinLabels pins label resolution to the frontend's current ring state
+// and label generation, returning Label- and Prefetch-shaped closures
+// that resolve every vertex against that one generation. The serving
+// tier acquires a pin per query batch so a generation swap landing
+// mid-batch can never mix labels of two generations inside one decode —
+// a mix that is actively unsound: a fault label whose protected balls
+// describe the new graph cannot be trusted to guard sketch edges taken
+// from an old-generation endpoint label (and vice versa). Shards retain
+// the previous generation store precisely so these pinned fetches keep
+// completing across the swap.
+func (f *Frontend) PinLabels() (func(context.Context, int) (*core.Label, error), func(context.Context, []int) int) {
+	st := f.state.Load()
+	return func(ctx context.Context, v int) (*core.Label, error) {
+			return f.labelAt(ctx, st, v)
+		}, func(ctx context.Context, ids []int) int {
+			return f.prefetchAt(ctx, st, ids)
+		}
 }
 
 // fetchResult is the outcome of one vertex's fetch: exactly one of
@@ -618,15 +670,15 @@ type fetchResult struct {
 	err    error
 }
 
-// scatterFetch resolves each vertex to its replica chain on the ring
+// scatterFetch resolves each vertex to its replica chain on st's ring
 // and fetches all of them concurrently, one RPC per involved shard per
 // round. Failed attempts advance to the next replica, spending the
 // retry budget; the hedge timer duplicates still-inflight work to the
 // next replica once, also on budget. Successes (and authoritative
-// misses) land in the caches. The epoch's ring state is loaded once, so
-// a concurrent membership swap never splits one fetch across rings.
-func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetchResult {
-	st := f.state.Load()
+// misses) land in the caches under st's generation. The caller passes
+// one pinned ring state, so a concurrent membership or generation swap
+// never splits one fetch across rings or generations.
+func (f *Frontend) scatterFetch(ctx context.Context, st *ringState, ids []int32) map[int32]fetchResult {
 	out := make(map[int32]fetchResult, len(ids))
 	type pendState struct {
 		owners   []int
@@ -770,16 +822,16 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 					f.noteUnknown(v)
 					continue
 				}
-				// Cache only while this scatter's generation is still the
-				// active one: a fetch that raced a generation swap must
-				// not seed the freshly flushed caches with old-generation
-				// answers. The result itself is still valid — it is
-				// exactly the generation this scatter was pinned to.
-				cacheable := f.state.Load().gen == st.gen
+				// Cache under the generation this scatter is pinned to.
+				// A fetch racing a generation swap used to guard its Put
+				// with a "still the active generation?" check, but that
+				// check-then-put could lose the race to the swap's
+				// flip-and-flush and poison the fresh cache with an
+				// old-generation label. With generation-keyed entries the
+				// put is always safe: a stale scatter's answer lands under
+				// the old generation's key, which nothing reads anymore.
 				if !rec.Present {
-					if cacheable {
-						f.negCache.Put(v, struct{}{})
-					}
+					f.negCache.Put(labelKey{st.gen, v}, struct{}{})
 					out[v] = fetchResult{absent: true}
 					delete(pending, v)
 					continue
@@ -788,9 +840,7 @@ func (f *Frontend) scatterFetch(ctx context.Context, ids []int32) map[int32]fetc
 				if derr != nil {
 					continue // corrupt copy; another replica may be intact
 				}
-				if cacheable {
-					f.labelCache.Put(v, l)
-				}
+				f.labelCache.Put(labelKey{st.gen, v}, l)
 				out[v] = fetchResult{label: l}
 				delete(pending, v)
 			}

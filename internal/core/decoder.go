@@ -8,13 +8,13 @@ import (
 )
 
 // This file holds the pooled decode scratch: every transient structure a
-// Query decode needs — dedup sets, forbidden sets, the best-edge
-// accumulator, the protected-ball indexes, the dense-id remap and the
-// sketch Dijkstra state — owned by one reusable object instead of
-// allocated per call. Steady-state decodes are (near-)allocation-free:
-// each container is an open-addressing table over int32 vertex ids or
-// uint64 edge keys that grows to the largest query seen and is reset
-// with a memclr.
+// Query decode needs — dedup sets, sorted forbidden lists, the flat
+// candidate accumulator and its radix-sort buffers, the bit-parallel
+// protected-ball masks, the dense-id remap and the sketch Dijkstra
+// state — owned by one reusable object instead of allocated per call.
+// Steady-state decodes are allocation-free: each container grows to the
+// largest query seen and is reset with a memclr (or simply
+// re-truncated).
 
 // --- open-addressing containers -------------------------------------------
 
@@ -165,165 +165,105 @@ func (m *i32map) grow() {
 	}
 }
 
-// u64set is an insert-only set of uint64 edge keys. Key 0 — the
-// unordered pair (0,0) — cannot be produced by any sketch edge (the
-// decoder never admits self-loops) but can appear in adversarial
-// forbidden-edge lists, so it is tracked by an explicit flag.
-type u64set struct {
-	slots   []uint64
-	n       int
-	hasZero bool
+// --- flat sketch-edge candidates ------------------------------------------
+
+// sketchCand is one admitted sketch-edge candidate: the unordered
+// endpoint key (min id in the high word, max in the low word), the edge
+// weight and the contributing level. Candidates are appended flat during
+// the admission scan and deduplicated afterwards by a stable radix sort
+// on the key — stability is what preserves the historical
+// first-insertion-wins tie-break among equal-weight parallel edges.
+type sketchCand struct {
+	key uint64
+	w   int32
+	lv  int32
 }
 
-func u64hash(k uint64) uint32 { return uint32((k ^ k>>32) * 0x9E3779B97F4A7C15 >> 32) }
-
-func (s *u64set) reset() {
-	if s.n > 0 {
-		clear(s.slots)
-		s.n = 0
-	}
-	s.hasZero = false
-}
-
-func (s *u64set) add(k uint64) {
-	if k == 0 {
-		s.hasZero = true
+// sortCandsByKey stably sorts sc.cand by key with LSD counting-sort
+// passes, skipping the key bytes that are constant across the whole
+// list (for an n-vertex graph only ~2·⌈log256 n⌉ of the 8 bytes vary).
+// Both buffers are scratch-owned, so steady-state sorts allocate
+// nothing. The sorted list ends up back in sc.cand.
+func (sc *decodeScratch) sortCandsByKey() {
+	a := sc.cand
+	if len(a) < 2 {
 		return
 	}
-	if 4*(s.n+1) > 3*len(s.slots) {
-		s.grow()
+	if cap(sc.candTmp) < len(a) {
+		sc.candTmp = make([]sketchCand, cap(a))
 	}
-	mask := uint32(len(s.slots) - 1)
-	i := u64hash(k) & mask
-	for {
-		v := s.slots[i]
-		if v == 0 {
-			s.slots[i] = k
-			s.n++
-			return
-		}
-		if v == k {
-			return
-		}
-		i = (i + 1) & mask
+	b := sc.candTmp[:len(a)]
+	var diff uint64
+	k0 := a[0].key
+	for i := range a {
+		diff |= a[i].key ^ k0
 	}
-}
-
-func (s *u64set) has(k uint64) bool {
-	if k == 0 {
-		return s.hasZero
-	}
-	if s.n == 0 {
-		return false
-	}
-	mask := uint32(len(s.slots) - 1)
-	i := u64hash(k) & mask
-	for {
-		v := s.slots[i]
-		if v == 0 {
-			return false
-		}
-		if v == k {
-			return true
-		}
-		i = (i + 1) & mask
-	}
-}
-
-func (s *u64set) grow() {
-	old := s.slots
-	s.slots = make([]uint64, max(16, 2*len(old)))
-	s.n = 0
-	for _, v := range old {
-		if v != 0 {
-			s.add(v)
-		}
-	}
-}
-
-// edgeAcc accumulates the lightest parallel edge per unordered vertex
-// pair, remembering insertion order so the decode can emit a
-// deterministic (sorted) edge list without copying the key set. Key 0
-// cannot occur (self-loops are never admitted).
-type edgeAcc struct {
-	slots []uint64 // open-addressing table of keys; 0 = empty
-	w     []int64  // slot -> lightest weight
-	lv    []int32  // slot -> contributing level of that weight
-	order []uint64 // distinct keys in insertion order
-	n     int
-}
-
-func (a *edgeAcc) reset() {
-	if a.n > 0 {
-		clear(a.slots)
-		a.n = 0
-	}
-	a.order = a.order[:0]
-}
-
-// upsertMin records the edge k with weight w at the given level, keeping
-// the lightest (w, level) pair per key.
-func (a *edgeAcc) upsertMin(k uint64, w int64, level int32) {
-	if 4*(a.n+1) > 3*len(a.slots) {
-		a.grow()
-	}
-	mask := uint32(len(a.slots) - 1)
-	i := u64hash(k) & mask
-	for {
-		v := a.slots[i]
-		if v == 0 {
-			a.slots[i] = k
-			a.w[i] = w
-			a.lv[i] = level
-			a.n++
-			a.order = append(a.order, k)
-			return
-		}
-		if v == k {
-			if w < a.w[i] {
-				a.w[i] = w
-				a.lv[i] = level
-			}
-			return
-		}
-		i = (i + 1) & mask
-	}
-}
-
-// get returns the (weight, level) recorded for k; k must be present.
-func (a *edgeAcc) get(k uint64) (int64, int32) {
-	mask := uint32(len(a.slots) - 1)
-	i := u64hash(k) & mask
-	for {
-		if a.slots[i] == k {
-			return a.w[i], a.lv[i]
-		}
-		i = (i + 1) & mask
-	}
-}
-
-func (a *edgeAcc) grow() {
-	oldS, oldW, oldL := a.slots, a.w, a.lv
-	size := max(16, 2*len(oldS))
-	a.slots = make([]uint64, size)
-	a.w = make([]int64, size)
-	a.lv = make([]int32, size)
-	a.n = 0
-	// Re-insert without touching order: these keys are already listed.
-	mask := uint32(size - 1)
-	for i, k := range oldS {
-		if k == 0 {
+	var cnt [256]int32
+	for shift := 0; shift < 64; shift += 8 {
+		if (diff>>shift)&0xff == 0 {
 			continue
 		}
-		j := u64hash(k) & mask
-		for a.slots[j] != 0 {
-			j = (j + 1) & mask
+		clear(cnt[:])
+		for i := range a {
+			cnt[(a[i].key>>shift)&0xff]++
 		}
-		a.slots[j] = k
-		a.w[j] = oldW[i]
-		a.lv[j] = oldL[i]
-		a.n++
+		var sum int32
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = sum
+			sum += c
+		}
+		for i := range a {
+			d := (a[i].key >> shift) & 0xff
+			b[cnt[d]] = a[i]
+			cnt[d]++
+		}
+		a, b = b, a
 	}
+	sc.cand, sc.candTmp = a[:len(sc.cand)], b[:0]
+}
+
+// sortPairs stably sorts sc.pairs — packed (x<<32 | centerIdx)
+// ball-membership pairs — with the same constant-byte-skipping LSD radix
+// passes as sortCandsByKey. Only the x half ever varies meaningfully,
+// so at most four byte passes run.
+func (sc *decodeScratch) sortPairs() {
+	a := sc.pairs
+	if len(a) < 2 {
+		return
+	}
+	if cap(sc.pairsTmp) < len(a) {
+		sc.pairsTmp = make([]uint64, cap(a))
+	}
+	b := sc.pairsTmp[:len(a)]
+	var diff uint64
+	k0 := a[0]
+	for _, k := range a {
+		diff |= k ^ k0
+	}
+	var cnt [256]int32
+	for shift := 0; shift < 64; shift += 8 {
+		if (diff>>shift)&0xff == 0 {
+			continue
+		}
+		clear(cnt[:])
+		for _, k := range a {
+			cnt[(k>>shift)&0xff]++
+		}
+		var sum int32
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = sum
+			sum += c
+		}
+		for _, k := range a {
+			d := (k >> shift) & 0xff
+			b[cnt[d]] = k
+			cnt[d]++
+		}
+		a, b = b, a
+	}
+	sc.pairs, sc.pairsTmp = a[:len(sc.pairs)], b[:0]
 }
 
 // --- the pooled scratch ----------------------------------------------------
@@ -336,22 +276,58 @@ type decodeScratch struct {
 	centers    []*Label
 	seenOwner  i32set
 	seenCenter i32set
-	forbiddenV i32set
-	forbiddenE u64set
-	best       edgeAcc
-	// pb[fi*numLevels+k] is the level-(lowest+k) protected-ball index of
-	// center fi — the open-addressing replacement for the per-call
-	// map[int32]bool matrix (the "perfect hashing" step of Lemma 2.6).
-	pb []i32set
-	// ompb[(oi*centers+fi)*numLevels+k] caches mayBeInPB(owner oi,
-	// center fi, level lowest+k).
-	ompb []bool
+	// fvList / feList are the sorted forbidden vertex ids and forbidden
+	// edge keys (labeled and degraded faults together). The admission
+	// scan joins them against the sorted label point/edge lists with
+	// monotone merge cursors instead of per-candidate hash probes.
+	fvList []int32
+	feList []uint64
+	// forb[i] flags the i-th point of the owner level currently being
+	// scanned as a forbidden vertex (filled by merging the level's sorted
+	// point list against fvList, cleared after each level).
+	forb []bool
+	// mask holds the bit-parallel protected-ball membership of the
+	// current owner level: mask[i*W+w] has bit b set iff point i lies in
+	// PB_ℓ(center 64w+b), with W = ⌈centers/64⌉ words per point. An edge
+	// dies iff some center covers both endpoints — one AND per word pair
+	// replaces a per-center hash-probe loop.
+	mask []uint64
+	// ompbW[(oi*numLevels+k)*W+w] is the matching center-bitmask of
+	// mayBeInPB(owner oi, center, level lowest+k) certificates: an owner
+	// edge to point i dies iff mask[i]&ompbW[row] has a set bit.
+	ompbW []uint64
+	// maskL/maskR are the single-word fused admission masks of the
+	// current owner level (built only when the centers plus two sentinel
+	// bits fit one word): maskL[x]&maskR[y] != 0 iff the edge (x,y) must
+	// be rejected — some center's ball covers both endpoints, or either
+	// endpoint is a forbidden vertex (encoded by the two asymmetric
+	// sentinel bits, see fillLR). Collapses the hot net-tier check to one
+	// load + AND per edge.
+	maskL []uint64
+	maskR []uint64
+	// cmbX/cmbM/cmbOff hold the per-level combined protected-ball lists:
+	// for level index k, cmbX[cmbOff[k]:cmbOff[k+1]] is the sorted set of
+	// vertices inside any center's PB, with cmbM[j*W:…] the W-word center
+	// bitmask of vertex cmbX[j]. Built once per decode from the sorted
+	// pair list (pairs/pairsTmp are the radix buffers), so filling an
+	// owner level's masks is a single sorted merge against the combined
+	// list instead of one merge per center.
+	cmbX     []int32
+	cmbM     []uint64
+	cmbOff   []int32
+	pairs    []uint64
+	pairsTmp []uint64
+	// cand/candTmp are the flat candidate accumulator and its radix
+	// ping-pong buffer.
+	cand    []sketchCand
+	candTmp []sketchCand
 	// idOf/ids densely remap the touched global vertex ids.
 	idOf i32map
 	ids  []int32
-	// edges is the deduplicated sketch edge list in deterministic order.
+	// edges is the deduplicated sketch edge list in deterministic
+	// (ascending unordered-key) order.
 	edges []SketchEdge
-	// hpath is path-reconstruction scratch for traced queries.
+	// hpath is path-reconstruction scratch for traced/path queries.
 	hpath  []int32
 	solver graph.SketchSolver
 
@@ -455,7 +431,33 @@ func (d *Decoder) DistanceWithTrace(q *Query, tr *Trace) (int64, bool) {
 	return dist, true
 }
 
+// DecodePath is Distance, additionally reporting the witness path: the
+// winning s..t chain of the sketch graph H as global vertex ids
+// (net points, plus original-graph vertices at the lowest level). The
+// path is appended to buf — callers that reuse a buffer across queries
+// decode paths allocation-free. The walk's edge weights sum exactly to
+// the returned distance; each hop is realizable in G\F at its weight,
+// so the chain is a (1+ε)-approximate corridor, not necessarily an
+// exact shortest path of G\F.
+func (d *Decoder) DecodePath(q *Query, buf []int32) (int64, []int32, bool) {
+	sc := d.scratch()
+	dist, _, err := sc.decode(q, nil)
+	if err != nil || dist < 0 {
+		return 0, buf, false
+	}
+	return dist, sc.appendHPath(q, buf), true
+}
+
 // DistanceRobust is Query.DistanceRobust on this decoder's scratch.
 func (d *Decoder) DistanceRobust(q *Query) Result {
-	return d.scratch().distanceRobust(q)
+	res, _ := d.scratch().distanceRobust(q, nil, false)
+	return res
+}
+
+// DistanceRobustPath is DistanceRobust, additionally reporting the
+// witness path (appended to buf) when the query connects. Degraded
+// decodes report the degraded sketch's walk — still a real walk of the
+// surviving graph whose length equals Result.Dist.
+func (d *Decoder) DistanceRobustPath(q *Query, buf []int32) (Result, []int32) {
+	return d.scratch().distanceRobust(q, buf, true)
 }

@@ -111,6 +111,57 @@ func FuzzQueryDistance(f *testing.F) {
 	})
 }
 
+// FuzzDecodePath feeds the path-reporting decoder the same corrupt-label
+// space as FuzzQueryDistance: it must never panic, and whatever it
+// answers must agree with the plain decode on the same query — the two
+// share the CSR scratch pipeline, so any divergence is a decoder bug
+// even on garbage input.
+func FuzzDecodePath(f *testing.F) {
+	g := gridGraphF(5, 5)
+	s, err := BuildScheme(g, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bufS, nS := s.Label(0).Encode()
+	bufT, nT := s.Label(24).Encode()
+	bufF, nF := s.Label(12).Encode()
+	f.Add(bufS, nS, bufT, nT, bufF, nF)
+	f.Fuzz(func(t *testing.T, ds []byte, ns int, dt []byte, nt int, df []byte, nf int) {
+		clamp := func(n, limit int) int {
+			if n < 0 || n > limit {
+				return limit
+			}
+			return n
+		}
+		ls, err := DecodeLabel(ds, clamp(ns, 8*len(ds)))
+		if err != nil {
+			return
+		}
+		lt, err := DecodeLabel(dt, clamp(nt, 8*len(dt)))
+		if err != nil {
+			return
+		}
+		lf, err := DecodeLabel(df, clamp(nf, 8*len(df)))
+		if err != nil {
+			return
+		}
+		q := &Query{S: ls, T: lt, VertexFaults: []*Label{lf}}
+		var dec Decoder
+		defer dec.Release()
+		d, path, ok := dec.DecodePath(q, nil)
+		wd, wok := q.Distance()
+		if ok != wok || (ok && d != wd) {
+			t.Fatalf("DecodePath (%d,%v) disagrees with Distance (%d,%v)", d, ok, wd, wok)
+		}
+		if !ok && len(path) != 0 {
+			t.Fatalf("disconnected answer carries a path of %d hops", len(path))
+		}
+		if ok && (int64(len(path)) > d+1 || len(path) < 1) {
+			t.Fatalf("path length %d inconsistent with distance %d", len(path), d)
+		}
+	})
+}
+
 // gridGraphF builds a grid without a testing.T (fuzz seeds run outside a
 // test context).
 func gridGraphF(w, h int) *graph.Graph {

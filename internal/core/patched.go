@@ -32,9 +32,33 @@ type PatchEdge struct {
 // ignored, as are patches with unusable labels. The result carries
 // the flags of whichever route won.
 func (d *Decoder) DistanceRobustPatched(q *Query, patches []PatchEdge) Result {
+	res, _ := d.distanceRobustPatched(q, patches, nil, false)
+	return res
+}
+
+// DistanceRobustPatchedPath is DistanceRobustPatched, additionally
+// reporting the witness walk (appended to buf) when the query connects.
+// When a patch route wins, the walk is the spliced chain s..u, v..t —
+// the inserted edge (u,v) is the implicit hop between the two legs, so
+// the chain's weights (legs at their reported lengths, patch hops at 1)
+// sum exactly to Result.Dist.
+func (d *Decoder) DistanceRobustPatchedPath(q *Query, patches []PatchEdge, buf []int32) (Result, []int32) {
+	return d.distanceRobustPatched(q, patches, buf, true)
+}
+
+func (d *Decoder) distanceRobustPatched(q *Query, patches []PatchEdge, buf []int32, wantPath bool) (Result, []int32) {
 	best := d.DistanceRobust(q)
+	// winFirst/winSecond identify the winning route for path reporting:
+	// nil means the unpatched decode won, otherwise the route is
+	// s..winFirst, patch edge, winSecond..t. Decoding is deterministic,
+	// so the winner's legs can be re-decoded for their paths after the
+	// tournament without disturbing the accumulated result flags.
+	var winFirst, winSecond *Label
 	if len(patches) == 0 {
-		return best
+		if wantPath && best.OK {
+			_, buf = d.DistanceRobustPath(q, buf)
+		}
+		return best, buf
 	}
 	forbiddenV := func(v int32) bool {
 		for _, l := range q.VertexFaults {
@@ -87,7 +111,7 @@ func (d *Decoder) DistanceRobustPatched(q *Query, patches []PatchEdge) Result {
 		}
 		sU, sV := leg(q.S, p.U), leg(q.S, p.V)
 		uT, vT := leg(p.U, q.T), leg(p.V, q.T)
-		consider := func(first, second Result) {
+		consider := func(a, b *Label, first, second Result) {
 			if !first.OK || !second.OK {
 				return
 			}
@@ -99,9 +123,31 @@ func (d *Decoder) DistanceRobustPatched(q *Query, patches []PatchEdge) Result {
 			best.OK = true
 			best.Degraded = best.Degraded || first.Degraded || second.Degraded
 			best.BudgetExhausted = best.BudgetExhausted || first.BudgetExhausted || second.BudgetExhausted
+			winFirst, winSecond = a, b
 		}
-		consider(sU, vT) // s → u, edge, v → t
-		consider(sV, uT) // s → v, edge, u → t
+		consider(p.U, p.V, sU, vT) // s → u, edge, v → t
+		consider(p.V, p.U, sV, uT) // s → v, edge, u → t
 	}
-	return best
+	if !wantPath || !best.OK {
+		return best, buf
+	}
+	if winFirst == nil {
+		_, buf = d.DistanceRobustPath(q, buf)
+		return best, buf
+	}
+	buf = d.legPath(q, q.S, winFirst, buf)
+	buf = d.legPath(q, winSecond, q.T, buf)
+	return best, buf
+}
+
+// legPath re-decodes the leg a..b of the winning patch route under q's
+// fault set and appends its witness walk to buf.
+func (d *Decoder) legPath(q *Query, a, b *Label, buf []int32) []int32 {
+	if a.V == b.V {
+		return append(buf, a.V)
+	}
+	sub := *q
+	sub.S, sub.T = a, b
+	_, buf = d.DistanceRobustPath(&sub, buf)
+	return buf
 }

@@ -128,6 +128,23 @@ func (q *Query) DistanceWithTrace(tr *Trace) (int64, bool) {
 	return d, true
 }
 
+// DistancePath is Distance, additionally returning the witness path: the
+// winning chain of sketch vertices s..t (net points, plus original-graph
+// vertices at the lowest level) whose edge weights sum exactly to the
+// returned distance. Each hop is realizable in G\F at its weight, so the
+// chain is a (1+ε)-approximate corridor of the surviving graph. The
+// returned slice is freshly allocated; batch callers should use
+// Decoder.DecodePath with a reused buffer instead.
+func (q *Query) DistancePath() (int64, []int32, bool) {
+	sc := getScratch()
+	defer putScratch(sc)
+	d, _, err := sc.decode(q, nil)
+	if err != nil || d < 0 {
+		return 0, nil, false
+	}
+	return d, sc.appendHPath(q, nil), true
+}
+
 // DistanceRobust decodes the query tolerating unusable fault labels: any
 // vertex-fault label that is nil is rejected outright (its identity is
 // unknown, so no sound answer exists — callers that know the vertex id
@@ -139,19 +156,21 @@ func (q *Query) DistanceWithTrace(tr *Trace) (int64, bool) {
 // how much trust the number deserves.
 func (q *Query) DistanceRobust() Result {
 	sc := getScratch()
-	res := sc.distanceRobust(q)
+	res, _ := sc.distanceRobust(q, nil, false)
 	putScratch(sc)
 	return res
 }
 
-// distanceRobust implements DistanceRobust on the scratch. The common
-// case — every fault label usable, nothing pre-degraded — decodes q
-// directly without copying the query; only the degraded slow path
-// allocates (it is rare by construction: it means labels went missing).
-func (sc *decodeScratch) distanceRobust(q *Query) Result {
+// distanceRobust implements DistanceRobust on the scratch, optionally
+// (wantPath) appending the witness path of the answering decode to buf.
+// The common case — every fault label usable, nothing pre-degraded —
+// decodes q directly without copying the query; only the degraded slow
+// path allocates (it is rare by construction: it means labels went
+// missing).
+func (sc *decodeScratch) distanceRobust(q *Query, buf []int32, wantPath bool) (Result, []int32) {
 	var res Result
 	if q.S == nil || q.T == nil || q.S.Validate() != nil || q.T.Validate() != nil {
-		return res // no endpoint labels, no bound of any kind
+		return res, buf // no endpoint labels, no bound of any kind
 	}
 	usable := func(l *Label) bool {
 		return l != nil && l.Validate() == nil &&
@@ -179,11 +198,14 @@ func (sc *decodeScratch) distanceRobust(q *Query) Result {
 		res.BudgetExhausted = exhausted
 		res.Degraded = exhausted
 		if err != nil || d < 0 {
-			return res
+			return res, buf
 		}
 		res.Dist = d
 		res.OK = true
-		return res
+		if wantPath {
+			buf = sc.appendHPath(q, buf)
+		}
+		return res, buf
 	}
 
 	rq := *q
@@ -197,7 +219,7 @@ func (sc *decodeScratch) distanceRobust(q *Query) Result {
 		case usable(f):
 			rq.VertexFaults = append(rq.VertexFaults, f)
 		case f == nil:
-			return res
+			return res, buf
 		default:
 			rq.DegradedVertexFaults = append(rq.DegradedVertexFaults, f.V)
 			res.MissingFaultLabels = append(res.MissingFaultLabels, f.V)
@@ -208,7 +230,7 @@ func (sc *decodeScratch) distanceRobust(q *Query) Result {
 		case usable(ef[0]) && usable(ef[1]):
 			rq.EdgeFaults = append(rq.EdgeFaults, ef)
 		case ef[0] == nil || ef[1] == nil:
-			return res
+			return res, buf
 		default:
 			rq.DegradedEdgeFaults = append(rq.DegradedEdgeFaults, [2]int32{ef[0].V, ef[1].V})
 			for _, l := range ef {
@@ -226,11 +248,14 @@ func (sc *decodeScratch) distanceRobust(q *Query) Result {
 	res.BudgetExhausted = exhausted
 	res.Degraded = res.Degraded || exhausted
 	if err != nil || d < 0 {
-		return res
+		return res, buf
 	}
 	res.Dist = d
 	res.OK = true
-	return res
+	if wantPath {
+		buf = sc.appendHPath(&rq, buf)
+	}
+	return res, buf
 }
 
 // Sketch returns every admitted sketch edge (deduplicated to the lightest
@@ -299,6 +324,19 @@ func (q *Query) Validate() error {
 // vertex remap remain on the scratch (sc.edges, sc.ids) until the next
 // decode. Steady-state decodes allocate nothing: every transient
 // structure lives on the scratch and is reset, not reallocated.
+//
+// The admission scan relies on the ordering invariants Label.Validate
+// enforces (Points strictly ascending by X, Edges ascending by (XI,YI)
+// with XI < YI): forbidden vertices and edges are joined against the
+// label lists with sorted-merge cursors, and per-center protected-ball
+// membership is precomputed into per-point bitmasks — 64 centers per
+// uint64 word — so each candidate edge is cleared against every
+// protected ball with one AND per word instead of a hash probe per
+// center (Lemma 2.6's membership test, batched). The surviving edges
+// accumulate flat, are deduplicated by a stable radix sort, and feed the
+// solver's CSR arrays directly. Every step is observably identical to
+// the historical hash-probe decoder: same candidate order, same budget
+// accounting, same tie-breaks, same emitted sketch.
 func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
 	sc.edges = sc.edges[:0]
 	sc.ids = sc.ids[:0]
@@ -316,8 +354,8 @@ func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
 	sc.centers = sc.centers[:0]
 	sc.seenOwner.reset()
 	sc.seenCenter.reset()
-	sc.forbiddenV.reset()
-	sc.forbiddenE.reset()
+	sc.fvList = sc.fvList[:0]
+	sc.feList = sc.feList[:0]
 	addOwner := func(l *Label) {
 		if sc.seenOwner.add(l.V) {
 			sc.owners = append(sc.owners, l)
@@ -330,13 +368,13 @@ func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
 	// its endpoints is outside PB_ℓ(f) for every center f.
 	for _, f := range q.VertexFaults {
 		addOwner(f)
-		sc.forbiddenV.add(f.V)
+		sc.fvList = append(sc.fvList, f.V)
 		if sc.seenCenter.add(f.V) {
 			sc.centers = append(sc.centers, f)
 		}
 	}
 	for _, ef := range q.EdgeFaults {
-		sc.forbiddenE.add(unorderedKey(ef[0].V, ef[1].V))
+		sc.feList = append(sc.feList, unorderedKey(ef[0].V, ef[1].V))
 		for _, l := range ef {
 			addOwner(l)
 			if sc.seenCenter.add(l.V) {
@@ -350,202 +388,334 @@ func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
 	// forbidden vertices and edges (see the field docs for the safety
 	// argument).
 	degraded := len(q.DegradedVertexFaults) > 0 || len(q.DegradedEdgeFaults) > 0
-	for _, v := range q.DegradedVertexFaults {
-		sc.forbiddenV.add(v)
-	}
+	sc.fvList = append(sc.fvList, q.DegradedVertexFaults...)
 	for _, ef := range q.DegradedEdgeFaults {
-		sc.forbiddenE.add(unorderedKey(ef[0], ef[1]))
+		sc.feList = append(sc.feList, unorderedKey(ef[0], ef[1]))
 	}
+	slices.Sort(sc.fvList)
+	sc.fvList = slices.Compact(sc.fvList)
+	slices.Sort(sc.feList)
+	sc.feList = slices.Compact(sc.feList)
 
 	// Budget accounting: each candidate edge examined costs one unit; once
 	// the budget is spent the remaining candidates are skipped (H shrinks,
 	// the estimate stays an upper bound).
+	budget := q.Budget
 	examined, exhausted := 0, false
-	allow := func() bool {
-		if q.Budget > 0 && examined >= q.Budget {
-			exhausted = true
-			return false
-		}
-		examined++
-		return true
-	}
 
 	if tr != nil {
 		tr.AdmittedPerLevel = make([]int, numLevels)
 		tr.RejectedPerLevel = make([]int, numLevels)
 	}
 
-	// Accumulate the lightest parallel edge per vertex pair.
-	sc.best.reset()
-	admit := func(x, y int32, w int64, level int) {
-		if x == y {
-			return
+	// accept short-circuits every protected-ball test to "safe": either
+	// the ablation knob is on, or there are no centers at all (pure
+	// degraded fault sets). Masks are built only when a ball test can
+	// actually fire.
+	accept := q.UnsafeIgnoreProtectedBalls || len(sc.centers) == 0
+	useMasks := !degraded && !accept
+	W := (len(sc.centers) + 63) >> 6
+
+	// ompbW: for every (owner, level), the bitmask over centers of
+	// mayBeInPB certificates — the triangle-inequality test deciding
+	// whether the owner vertex itself could sit inside a protected ball
+	// (see mayBeInPB). An owner-ball edge to point i then dies iff
+	// mask(i) AND ompbW(owner,level) has any bit set.
+	if useMasks {
+		nOW := len(sc.owners) * numLevels * W
+		if cap(sc.ompbW) < nOW {
+			sc.ompbW = make([]uint64, nOW)
 		}
-		sc.best.upsertMin(unorderedKey(x, y), w, int32(level))
-		if tr != nil {
-			tr.AdmittedPerLevel[level-lowest]++
-		}
-	}
-	reject := func(level int) {
-		if tr != nil {
-			tr.RejectedPerLevel[level-lowest]++
-		}
-	}
-	// Per-center per-level protected-ball membership, hash-indexed — the
-	// "perfect hashing" step of Lemma 2.6 that makes each check O(1).
-	// pb[fi*numLevels+k] holds the vertices inside PB_ℓ(f): within λ_ℓ of
-	// the center per the center's own ball list (plus the center itself).
-	// Absence is an exact "outside" because r_ℓ > λ_ℓ.
-	nPB := len(sc.centers) * numLevels
-	if cap(sc.pb) < nPB {
-		sc.pb = append(sc.pb[:cap(sc.pb)], make([]i32set, nPB-cap(sc.pb))...)
-	}
-	sc.pb = sc.pb[:nPB]
-	for fi, f := range sc.centers {
-		for k := 0; k < numLevels; k++ {
-			level := lowest + k
-			lambda := lambdaOf(level)
-			idx := &sc.pb[fi*numLevels+k]
-			idx.reset()
-			idx.add(f.V)
-			if k < len(f.Levels) {
-				for _, pe := range f.Levels[k].Points {
-					if pe.D <= lambda {
-						idx.add(pe.X)
+		sc.ompbW = sc.ompbW[:nOW]
+		clear(sc.ompbW)
+		for oi, o := range sc.owners {
+			base := oi * numLevels * W
+			for fi, f := range sc.centers {
+				word, bit := fi>>6, uint64(1)<<(fi&63)
+				for k := 0; k < numLevels; k++ {
+					if mayBeInPB(o, f, lowest+k) {
+						sc.ompbW[base+k*W+word] |= bit
 					}
 				}
 			}
 		}
-	}
-	// safe reports whether an edge with endpoints x, y survives every
-	// protected ball at the given level: for each center f, at least one
-	// endpoint must be outside PB_ℓ(f). Both endpoints here are net points
-	// of the level, so membership is decidable exactly from f's label.
-	safe := func(level int, x, y int32) bool {
-		if degraded {
-			return false // maximal protected balls reject everything
-		}
-		if q.UnsafeIgnoreProtectedBalls {
-			return true
-		}
-		k := level - lowest
-		for fi := range sc.centers {
-			idx := &sc.pb[fi*numLevels+k]
-			if idx.has(x) && idx.has(y) {
-				return false
-			}
-		}
-		return true
-	}
-	// ompb[(oi*centers+fi)*numLevels+k] caches, for owner oi, center fi
-	// and level index k, whether the owner vertex could lie inside
-	// PB_ℓ(f): the owner is usually not a net point, so exact membership
-	// is not label-decidable; instead we certify "outside" via the
-	// triangle inequality through f's nearest net point m of the level:
-	// d(o,f) ≥ d(o,m) − d(f,m). Since d(f,m) ≤ 2^{ℓ-c-1}−1, the
-	// certificate fires whenever d(o,F) > μ_ℓ — exactly the condition
-	// under which the stretch analysis needs owner edges admitted.
-	nOMPB := len(sc.owners) * nPB
-	if cap(sc.ompb) < nOMPB {
-		sc.ompb = make([]bool, nOMPB)
-	}
-	sc.ompb = sc.ompb[:nOMPB]
-	for oi, o := range sc.owners {
-		for fi, f := range sc.centers {
-			row := sc.ompb[(oi*len(sc.centers)+fi)*numLevels:]
-			for k := 0; k < numLevels; k++ {
-				row[k] = mayBeInPB(o, f, lowest+k)
-			}
-		}
-	}
-	// ownerSafe reports whether the owner edge (o.V, x) survives every
-	// protected ball at the given level.
-	ownerSafe := func(oi, level int, x int32) bool {
-		if q.UnsafeIgnoreProtectedBalls {
-			return true
-		}
-		k := level - lowest
-		for fi := range sc.centers {
-			if sc.pb[fi*numLevels+k].has(x) && sc.ompb[(oi*len(sc.centers)+fi)*numLevels+k] {
-				return false
-			}
-		}
-		return true
+		sc.buildCombinedBalls(numLevels, lowest, W)
 	}
 
 	for oi, o := range sc.owners {
+		oForbidden := containsI32(sc.fvList, o.V)
 		for k := 0; k < numLevels; k++ {
 			level := lowest + k
 			lv := &o.Levels[k]
 			lambda := lambdaOf(level)
-			if level == lowest {
-				// Unit-weight original graph edges: admitted when neither
-				// endpoint nor the edge itself is forbidden.
+			pts := lv.Points
+			lvl32 := int32(level)
+
+			forb := sc.fillForb(pts)
+			var msk []uint64
+			if useMasks {
+				msk = sc.fillMasks(pts, k, W)
+			}
+
+			// The budget counter and the trace tallies are the only
+			// observable difference between the accounting loops below and
+			// their tight fast-path twins, so an unbudgeted untraced decode
+			// (the serving-path common case) runs the twins.
+			fast := budget <= 0 && tr == nil
+
+			if level == lowest && fast {
+				fe := sc.feList
+				fj := 0
+				var prevKey uint64
 				for _, e := range lv.Edges {
-					if !allow() {
-						break
-					}
-					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
-					if sc.forbiddenV.has(x) || sc.forbiddenV.has(y) || sc.forbiddenE.has(unorderedKey(x, y)) {
-						reject(level)
+					if forb[e.XI] || forb[e.YI] {
 						continue
 					}
-					admit(x, y, int64(e.D), level)
+					key := uint64(uint32(pts[e.XI].X))<<32 | uint64(uint32(pts[e.YI].X))
+					if len(fe) > 0 {
+						hit := false
+						if key >= prevKey {
+							for fj < len(fe) && fe[fj] < key {
+								fj++
+							}
+							hit = fj < len(fe) && fe[fj] == key
+							prevKey = key
+						} else {
+							hit = containsU64(fe, key)
+						}
+						if hit {
+							continue
+						}
+					}
+					sc.cand = append(sc.cand, sketchCand{key: key, w: e.D, lv: lvl32})
+				}
+			} else if level == lowest {
+				// Unit-weight original graph edges: admitted when neither
+				// endpoint nor the edge itself is forbidden. Forbidden-edge
+				// keys ascend along the (XI,YI)-sorted edge list, so one
+				// merge cursor joins them against the sorted feList.
+				fe := sc.feList
+				fj := 0
+				var prevKey uint64
+				for _, e := range lv.Edges {
+					if budget > 0 && examined >= budget {
+						exhausted = true
+						break
+					}
+					examined++
+					if forb[e.XI] || forb[e.YI] {
+						if tr != nil {
+							tr.RejectedPerLevel[k]++
+						}
+						continue
+					}
+					x, y := pts[e.XI].X, pts[e.YI].X
+					if len(fe) > 0 {
+						key := uint64(uint32(x))<<32 | uint64(uint32(y))
+						hit := false
+						if key >= prevKey {
+							for fj < len(fe) && fe[fj] < key {
+								fj++
+							}
+							hit = fj < len(fe) && fe[fj] == key
+							prevKey = key
+						} else {
+							hit = containsU64(fe, key)
+						}
+						if hit {
+							if tr != nil {
+								tr.RejectedPerLevel[k]++
+							}
+							continue
+						}
+					}
+					sc.cand = append(sc.cand, sketchCand{key: uint64(uint32(x))<<32 | uint64(uint32(y)), w: e.D, lv: lvl32})
+					if tr != nil {
+						tr.AdmittedPerLevel[k]++
+					}
+				}
+			} else if degraded {
+				// Maximal protected balls reject every net-level edge; the
+				// scan only charges the budget and the trace. With neither
+				// in play the rejections are unobservable — skip the loop.
+				if budget > 0 || tr != nil {
+					for range lv.Edges {
+						if budget > 0 && examined >= budget {
+							exhausted = true
+							break
+						}
+						examined++
+						if tr != nil {
+							tr.RejectedPerLevel[k]++
+						}
+					}
+				}
+			} else if accept {
+				// Ablation (or no centers): forbidden-endpoint test only.
+				for _, e := range lv.Edges {
+					if budget > 0 && examined >= budget {
+						exhausted = true
+						break
+					}
+					examined++
+					if forb[e.XI] || forb[e.YI] {
+						if tr != nil {
+							tr.RejectedPerLevel[k]++
+						}
+						continue
+					}
+					sc.cand = append(sc.cand, sketchCand{key: uint64(uint32(pts[e.XI].X))<<32 | uint64(uint32(pts[e.YI].X)), w: e.D, lv: lvl32})
+					if tr != nil {
+						tr.AdmittedPerLevel[k]++
+					}
+				}
+			} else if W == 1 && fast && len(sc.centers) <= 62 {
+				// Fused-mask fast path: one load + AND per edge decides the
+				// whole rejection predicate (shared ball, forbidden x,
+				// forbidden y — see fillLR). The edge list is sorted by
+				// (XI,YI), so consecutive edges share XI in long runs and
+				// the left word is hoisted out of the run.
+				sc.fillLR(msk, forb)
+				edges := lv.Edges
+				mR := sc.maskR
+				for a := 0; a < len(edges); {
+					xi := edges[a].XI
+					lx := sc.maskL[xi]
+					hi := uint64(uint32(pts[xi].X)) << 32
+					for ; a < len(edges) && edges[a].XI == xi; a++ {
+						yi := edges[a].YI
+						if lx&mR[yi] != 0 {
+							continue
+						}
+						sc.cand = append(sc.cand, sketchCand{key: hi | uint64(uint32(pts[yi].X)), w: edges[a].D, lv: lvl32})
+					}
+				}
+			} else if W == 1 {
+				// Net-point pair edges, protected-ball checked: the edge
+				// dies iff some center's ball covers both endpoints — one
+				// AND of the two per-point masks. (The explicit
+				// forbidden-endpoint test is subsumed by the protected
+				// balls — a fault sits at the center of its own ball — but
+				// must stand on its own for ablation runs.)
+				for _, e := range lv.Edges {
+					if budget > 0 && examined >= budget {
+						exhausted = true
+						break
+					}
+					examined++
+					if forb[e.XI] || forb[e.YI] || msk[e.XI]&msk[e.YI] != 0 {
+						if tr != nil {
+							tr.RejectedPerLevel[k]++
+						}
+						continue
+					}
+					sc.cand = append(sc.cand, sketchCand{key: uint64(uint32(pts[e.XI].X))<<32 | uint64(uint32(pts[e.YI].X)), w: e.D, lv: lvl32})
+					if tr != nil {
+						tr.AdmittedPerLevel[k]++
+					}
 				}
 			} else {
-				// Net-point pair edges, protected-ball checked. (The
-				// explicit forbidden-endpoint test is subsumed by the
-				// protected balls — a fault sits at the center of its own
-				// ball — but must stand on its own for ablation runs.)
 				for _, e := range lv.Edges {
-					if !allow() {
+					if budget > 0 && examined >= budget {
+						exhausted = true
 						break
 					}
-					x, y := lv.Points[e.XI].X, lv.Points[e.YI].X
-					if sc.forbiddenV.has(x) || sc.forbiddenV.has(y) || !safe(level, x, y) {
-						reject(level)
+					examined++
+					bad := forb[e.XI] || forb[e.YI]
+					if !bad {
+						xw := msk[int(e.XI)*W : int(e.XI)*W+W]
+						yw := msk[int(e.YI)*W : int(e.YI)*W+W]
+						for w := 0; w < W; w++ {
+							if xw[w]&yw[w] != 0 {
+								bad = true
+								break
+							}
+						}
+					}
+					if bad {
+						if tr != nil {
+							tr.RejectedPerLevel[k]++
+						}
 						continue
 					}
-					admit(x, y, int64(e.D), level)
+					sc.cand = append(sc.cand, sketchCand{key: uint64(uint32(pts[e.XI].X))<<32 | uint64(uint32(pts[e.YI].X)), w: e.D, lv: lvl32})
+					if tr != nil {
+						tr.AdmittedPerLevel[k]++
+					}
 				}
 			}
+
 			// Edges from the labeled vertex itself to nearby points
 			// ("between v and the net-points"), protected-ball checked at
 			// every level. A forbidden owner's self edges always fail the
 			// check (the owner sits at the center of its own protected
 			// ball), so skip them outright.
-			if sc.forbiddenV.has(o.V) {
+			if oForbidden {
 				continue
 			}
-			for _, pe := range lv.Points {
+			var ompbRow []uint64
+			if useMasks {
+				ompbRow = sc.ompbW[(oi*numLevels+k)*W : (oi*numLevels+k)*W+W]
+			}
+			for i, pe := range pts {
 				if pe.D > lambda || pe.X == o.V {
 					continue
 				}
-				if !allow() {
+				if budget > 0 && examined >= budget {
+					exhausted = true
 					break
 				}
-				if sc.forbiddenV.has(pe.X) {
-					reject(level)
+				examined++
+				if forb[i] {
+					if tr != nil {
+						tr.RejectedPerLevel[k]++
+					}
 					continue
 				}
 				if degraded {
 					// Maximal protected balls veto every owner-ball edge
 					// except an actual graph edge (weight 1) that is not
 					// itself forbidden — it survives verbatim in G\F.
-					if pe.D != 1 || sc.forbiddenE.has(unorderedKey(o.V, pe.X)) {
-						reject(level)
+					if pe.D != 1 || containsU64(sc.feList, unorderedKey(o.V, pe.X)) {
+						if tr != nil {
+							tr.RejectedPerLevel[k]++
+						}
 						continue
 					}
-				} else if !ownerSafe(oi, level, pe.X) {
-					reject(level)
-					continue
+				} else if !accept {
+					bad := false
+					if W == 1 {
+						bad = msk[i]&ompbRow[0] != 0
+					} else {
+						for w := 0; w < W; w++ {
+							if msk[i*W+w]&ompbRow[w] != 0 {
+								bad = true
+								break
+							}
+						}
+					}
+					if bad {
+						if tr != nil {
+							tr.RejectedPerLevel[k]++
+						}
+						continue
+					}
 				}
-				admit(o.V, pe.X, int64(pe.D), level)
+				sc.cand = append(sc.cand, sketchCand{key: unorderedKey(o.V, pe.X), w: pe.D, lv: lvl32})
+				if tr != nil {
+					tr.AdmittedPerLevel[k]++
+				}
 			}
 		}
 	}
 
-	// Map the touched vertices densely and run Dijkstra.
+	// Deduplicate the flat candidate list to the lightest parallel edge
+	// per unordered pair. The radix sort is stable, so within one key the
+	// candidates keep admission order and the strict-min scan reproduces
+	// the historical first-insertion-wins tie-break; emission is in
+	// ascending key order, exactly as before (deterministic Dijkstra
+	// tie-breaking and routes).
+	sc.sortCandsByKey()
 	sc.idOf.reset()
 	ensure := func(v int32) int32 {
 		id, ok := sc.idOf.getOrPut(v, int32(len(sc.ids)))
@@ -556,18 +726,25 @@ func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
 	}
 	ensure(q.S.V)
 	ensure(q.T.V)
-	// Emit edges in sorted key order: accumulator insertion order would
-	// otherwise leak into Dijkstra's tie-breaking and make equal-weight
-	// shortest paths (and hence routes) vary between runs. The order
-	// slice is scratch-owned, so sorting it in place copies nothing.
-	slices.Sort(sc.best.order)
-	for _, k := range sc.best.order {
-		w, level := sc.best.get(k)
-		x, y := int32(k>>32), int32(k&0xffffffff)
-		sc.edges = append(sc.edges, SketchEdge{X: x, Y: y, W: w, Level: int(level)})
+	cand := sc.cand
+	for i := 0; i < len(cand); {
+		key := cand[i].key
+		bw, blv := cand[i].w, cand[i].lv
+		j := i + 1
+		for ; j < len(cand) && cand[j].key == key; j++ {
+			if cand[j].w < bw {
+				bw, blv = cand[j].w, cand[j].lv
+			}
+		}
+		i = j
+		x, y := int32(key>>32), int32(key&0xffffffff)
+		sc.edges = append(sc.edges, SketchEdge{X: x, Y: y, W: int64(bw), Level: int(blv)})
 		ensure(x)
 		ensure(y)
 	}
+	sc.cand = sc.cand[:0]
+
+	// Load the sketch into the CSR solver and run Dijkstra.
 	sc.solver.Reset(len(sc.ids))
 	for _, e := range sc.edges {
 		sc.solver.AddEdge(int(sc.idOf.get(e.X)), int(sc.idOf.get(e.Y)), e.W)
@@ -586,8 +763,7 @@ func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
 				gv := sc.ids[hv]
 				tr.Path = append(tr.Path, gv)
 				if prev >= 0 {
-					w, _ := sc.best.get(unorderedKey(prev, gv))
-					tr.PathWeights = append(tr.PathWeights, w)
+					tr.PathWeights = append(tr.PathWeights, sc.sketchEdgeWeight(unorderedKey(prev, gv)))
 				}
 				prev = gv
 			}
@@ -597,6 +773,220 @@ func (sc *decodeScratch) decode(q *Query, tr *Trace) (int64, bool, error) {
 		return -1, exhausted, nil
 	}
 	return dist, exhausted, nil
+}
+
+// fillForb marks which points of pts are forbidden vertices, by merging
+// the strictly ascending point list against the sorted fvList. The
+// returned flags are scratch-owned and valid until the next call.
+func (sc *decodeScratch) fillForb(pts []PointEntry) []bool {
+	if cap(sc.forb) < len(pts) {
+		sc.forb = make([]bool, len(pts))
+	}
+	fb := sc.forb[:len(pts)]
+	clear(fb)
+	if len(sc.fvList) == 0 {
+		return fb
+	}
+	i := 0
+	for _, fv := range sc.fvList {
+		for i < len(pts) && pts[i].X < fv {
+			i++
+		}
+		if i == len(pts) {
+			break
+		}
+		if pts[i].X == fv {
+			fb[i] = true
+			i++
+		}
+	}
+	return fb
+}
+
+// buildCombinedBalls precomputes, for every level, the union of all
+// centers' protected balls as one sorted vertex list with a per-vertex
+// center bitmask: PB_ℓ(f) is the center's ball entries within λ_ℓ plus
+// the center vertex itself, and membership is decided exactly (absence
+// from a center's level list means d > r_ℓ > λ_ℓ) with int32 distances
+// throughout — so the masks are exact even at levels where λ_ℓ would
+// overflow a uint8 truncation. Each (vertex, center) membership becomes
+// a packed pair, radix-sorted by vertex and OR-compacted; the per-level
+// runs land in cmbX/cmbM/cmbOff. Filling one owner level's point masks
+// is then a single sorted merge against the combined list, instead of
+// one merge per center per owner level.
+func (sc *decodeScratch) buildCombinedBalls(numLevels, lowest, W int) {
+	sc.cmbX = sc.cmbX[:0]
+	sc.cmbM = sc.cmbM[:0]
+	sc.cmbOff = append(sc.cmbOff[:0], 0)
+	for k := 0; k < numLevels; k++ {
+		lambda := lambdaOf(lowest + k)
+		sc.pairs = sc.pairs[:0]
+		for fi, f := range sc.centers {
+			sc.pairs = append(sc.pairs, uint64(uint32(f.V))<<32|uint64(uint32(fi)))
+			if k >= len(f.Levels) {
+				continue
+			}
+			for _, ce := range f.Levels[k].Points {
+				if ce.D <= lambda {
+					sc.pairs = append(sc.pairs, uint64(uint32(ce.X))<<32|uint64(uint32(fi)))
+				}
+			}
+		}
+		sc.sortPairs()
+		for i := 0; i < len(sc.pairs); {
+			x := int32(sc.pairs[i] >> 32)
+			base := len(sc.cmbM)
+			for w := 0; w < W; w++ {
+				sc.cmbM = append(sc.cmbM, 0)
+			}
+			sc.cmbX = append(sc.cmbX, x)
+			for ; i < len(sc.pairs) && int32(sc.pairs[i]>>32) == x; i++ {
+				fi := uint32(sc.pairs[i])
+				sc.cmbM[base+int(fi>>6)] |= 1 << (fi & 63)
+			}
+		}
+		sc.cmbOff = append(sc.cmbOff, int32(len(sc.cmbX)))
+	}
+}
+
+// The fused-mask sentinel bits: bitG is set in every maskL word and in
+// maskR only for forbidden points; bitF is the mirror image. The AND of
+// maskL[x] and maskR[y] therefore picks up bitG exactly when y is
+// forbidden and bitF exactly when x is, on top of any shared
+// protected-ball bits — one word test for the whole rejection predicate.
+// Using them costs the top two mask bits, so the fused path requires at
+// most 62 centers.
+const (
+	maskBitF = uint64(1) << 62
+	maskBitG = uint64(1) << 63
+)
+
+// fillLR derives the fused admission masks from the pure membership
+// masks and the forbidden flags of one owner level (W must be 1).
+func (sc *decodeScratch) fillLR(msk []uint64, forb []bool) {
+	if cap(sc.maskL) < len(msk) {
+		sc.maskL = make([]uint64, len(msk))
+		sc.maskR = make([]uint64, len(msk))
+	}
+	sc.maskL = sc.maskL[:len(msk)]
+	sc.maskR = sc.maskR[:len(msk)]
+	for i, m := range msk {
+		l, r := m|maskBitG, m|maskBitF
+		if forb[i] {
+			l |= maskBitF
+			r |= maskBitG
+		}
+		sc.maskL[i] = l
+		sc.maskR[i] = r
+	}
+}
+
+// fillMasks materializes the bit-parallel protected-ball membership of
+// one owner level: for each point i of pts, a W-word mask whose bit fi
+// says point i lies inside PB_ℓ(center fi) — one sorted merge of the
+// strictly ascending point list against the level's combined ball list
+// (see buildCombinedBalls). The returned words are scratch-owned and
+// valid until the next call.
+func (sc *decodeScratch) fillMasks(pts []PointEntry, k int, W int) []uint64 {
+	need := len(pts) * W
+	if cap(sc.mask) < need {
+		sc.mask = make([]uint64, need)
+	}
+	m := sc.mask[:need]
+	clear(m)
+	i := 0
+	for j := int(sc.cmbOff[k]); j < int(sc.cmbOff[k+1]); j++ {
+		x := sc.cmbX[j]
+		for i < len(pts) && pts[i].X < x {
+			i++
+		}
+		if i == len(pts) {
+			break
+		}
+		if pts[i].X == x {
+			copy(m[i*W:(i+1)*W], sc.cmbM[j*W:(j+1)*W])
+			i++
+		}
+	}
+	return m
+}
+
+// appendHPath maps the winning dense-id path of the last decode onto
+// global vertex ids, appending to out. Must only be called right after a
+// decode of q that returned a nonnegative distance.
+func (sc *decodeScratch) appendHPath(q *Query, out []int32) []int32 {
+	if q.S.V == q.T.V {
+		return append(out, q.S.V)
+	}
+	src, dst := int(sc.idOf.get(q.S.V)), int(sc.idOf.get(q.T.V))
+	sc.hpath = sc.solver.PathTo(src, dst, sc.hpath[:0])
+	for _, hv := range sc.hpath {
+		out = append(out, sc.ids[hv])
+	}
+	return out
+}
+
+// sketchEdgeWeight returns the weight of the deduplicated sketch edge
+// with the given unordered key, by binary search over the key-sorted
+// sc.edges. The key must be present.
+func (sc *decodeScratch) sketchEdgeWeight(key uint64) int64 {
+	lo, hi := 0, len(sc.edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := &sc.edges[mid]
+		if uint64(uint32(e.X))<<32|uint64(uint32(e.Y)) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return sc.edges[lo].W
+}
+
+// findPointIdx returns the index of x in the strictly ascending point
+// list, or -1 when absent.
+func findPointIdx(pts []PointEntry, x int32) int {
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].X < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(pts) && pts[lo].X == x {
+		return lo
+	}
+	return -1
+}
+
+// containsI32 reports whether the sorted slice s contains v.
+func containsI32(s []int32, v int32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}
+
+// containsU64 reports whether the sorted slice s contains v.
+func containsU64(s []uint64, v uint64) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
 }
 
 // mayBeInPB conservatively decides whether the owner vertex of label o

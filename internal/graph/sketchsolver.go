@@ -1,50 +1,55 @@
 package graph
 
 // SketchSolver is reusable scratch for the query-time sketch graphs
-// H(s,t,F): an adjacency-arc weighted multigraph plus the Dijkstra state
+// H(s,t,F): a CSR-packed weighted multigraph plus the Dijkstra state
 // (distance, parent and heap arrays) needed to solve it. A decode builds
 // thousands of tiny sketch graphs over a query stream; constructing a
 // fresh Weighted plus fresh Dijkstra arrays for each one dominates the
 // decode's allocation profile, so the solver keeps every array and is
 // Reset between uses, growing to the largest sketch it has seen.
 //
-// The arc layout and the search mirror Weighted.ShortestPath exactly —
-// same insertion order, same heap discipline, same stale-entry skip — so
-// equal-weight tie-breaking (and hence traced paths) are bit-identical
-// to the unpooled path. A SketchSolver is not safe for concurrent use.
+// Edges are staged by AddEdge and packed into CSR form (off/to/wt) by
+// the first ShortestPath after a Reset. The packing fills each vertex's
+// arc range in reverse insertion order, which makes the relaxation
+// sequence identical to the head/next prepend-list layout this solver
+// (and Weighted.ShortestPath) used before — so equal-weight
+// tie-breaking, parents, and hence traced paths are bit-identical to
+// the historical behavior. A SketchSolver is not safe for concurrent
+// use.
 type SketchSolver struct {
-	head   []int32 // per-vertex head of the arc list, -1 terminated
-	next   []int32 // arc -> next arc of the same vertex
-	to     []int32 // arc -> target vertex
-	wt     []int64 // arc -> weight
+	// staged undirected edges, packed on demand.
+	eu, ev []int32
+	ew     []int64
+	// CSR arcs: the arcs of vertex v are off[v]..off[v+1].
+	off []int32
+	to  []int32
+	wt  []int64
+	// Dijkstra state.
 	dist   []int64
 	parent []int32
 	pq     []distEntry
 	n      int
+	packed bool
 }
 
 // Reset prepares the solver for a sketch graph on n vertices, dropping
 // all previously added edges but keeping every backing array.
 func (s *SketchSolver) Reset(n int) {
 	s.n = n
-	if cap(s.head) < n {
-		s.head = make([]int32, n)
+	if cap(s.dist) < n {
 		s.dist = make([]int64, n)
 		s.parent = make([]int32, n)
 	}
-	s.head = s.head[:n]
 	s.dist = s.dist[:n]
 	s.parent = s.parent[:n]
-	for i := range s.head {
-		s.head[i] = -1
-	}
-	s.next = s.next[:0]
-	s.to = s.to[:0]
-	s.wt = s.wt[:0]
+	s.eu = s.eu[:0]
+	s.ev = s.ev[:0]
+	s.ew = s.ew[:0]
 	s.pq = s.pq[:0]
+	s.packed = false
 }
 
-// AddEdge inserts the undirected edge (u,v) with the given nonnegative
+// AddEdge stages the undirected edge (u,v) with the given nonnegative
 // weight. Same contract as Weighted.AddEdge.
 func (s *SketchSolver) AddEdge(u, v int, weight int64) {
 	if weight < 0 {
@@ -53,15 +58,53 @@ func (s *SketchSolver) AddEdge(u, v int, weight int64) {
 	if u < 0 || u >= s.n || v < 0 || v >= s.n {
 		panic("graph: weighted edge endpoint out of range")
 	}
-	s.addArc(u, v, weight)
-	s.addArc(v, u, weight)
+	s.eu = append(s.eu, int32(u))
+	s.ev = append(s.ev, int32(v))
+	s.ew = append(s.ew, weight)
+	s.packed = false
 }
 
-func (s *SketchSolver) addArc(u, v int, weight int64) {
-	s.next = append(s.next, s.head[u])
-	s.to = append(s.to, int32(v))
-	s.wt = append(s.wt, weight)
-	s.head[u] = int32(len(s.to) - 1)
+// pack builds the CSR arc arrays from the staged edge list: one counting
+// pass, a prefix sum, then a reverse-order fill so that each vertex's
+// arc range reads back in reverse insertion order (see the type
+// comment).
+func (s *SketchSolver) pack() {
+	nArcs := 2 * len(s.eu)
+	if cap(s.off) < s.n+1 {
+		s.off = make([]int32, s.n+1)
+	}
+	s.off = s.off[:s.n+1]
+	clear(s.off)
+	if cap(s.to) < nArcs {
+		s.to = make([]int32, nArcs)
+		s.wt = make([]int64, nArcs)
+	}
+	s.to = s.to[:nArcs]
+	s.wt = s.wt[:nArcs]
+	for i := range s.eu {
+		s.off[s.eu[i]+1]++
+		s.off[s.ev[i]+1]++
+	}
+	for v := 0; v < s.n; v++ {
+		s.off[v+1] += s.off[v]
+	}
+	// cur[v] tracks the next free slot of v's range; reuse the dist array?
+	// No — dist is int64 and live across calls. Reuse parent as the fill
+	// cursor instead: ShortestPath reinitializes it afterwards anyway.
+	cur := s.parent
+	for v := 0; v < s.n; v++ {
+		cur[v] = s.off[v]
+	}
+	for i := len(s.eu) - 1; i >= 0; i-- {
+		u, v, w := s.eu[i], s.ev[i], s.ew[i]
+		s.to[cur[u]] = v
+		s.wt[cur[u]] = w
+		cur[u]++
+		s.to[cur[v]] = u
+		s.wt[cur[v]] = w
+		cur[v]++
+	}
+	s.packed = true
 }
 
 // ShortestPath returns d(src,dst), or WeightedInfinity when dst is
@@ -70,6 +113,9 @@ func (s *SketchSolver) addArc(u, v int, weight int64) {
 // parent tree of the settled region remains available to PathTo until
 // the next Reset or ShortestPath call.
 func (s *SketchSolver) ShortestPath(src, dst int) int64 {
+	if !s.packed {
+		s.pack()
+	}
 	for i := range s.dist {
 		s.dist[i] = WeightedInfinity
 		s.parent[i] = -1
@@ -85,7 +131,7 @@ func (s *SketchSolver) ShortestPath(src, dst int) int64 {
 		if int(e.v) == dst {
 			return s.dist[dst]
 		}
-		for arc := s.head[e.v]; arc != -1; arc = s.next[arc] {
+		for arc := s.off[e.v]; arc < s.off[e.v+1]; arc++ {
 			t, nd := s.to[arc], e.d+s.wt[arc]
 			if s.dist[t] == WeightedInfinity || nd < s.dist[t] {
 				s.dist[t] = nd

@@ -453,16 +453,44 @@ func (st *Store) Distance(src, dst int, faults *graph.FaultSet) (int64, bool, er
 // error is non-nil only when an endpoint label itself is unavailable —
 // without those nothing can be answered.
 func (st *Store) DistanceRobust(src, dst int, faults *graph.FaultSet, budget int) (core.Result, error) {
+	q, err := st.robustQuery(src, dst, faults, budget)
+	if err != nil || q == nil {
+		return core.Result{}, err
+	}
+	return q.DistanceRobust(), nil
+}
+
+// DistanceRobustPath is DistanceRobust, additionally reporting the
+// witness walk when the query connects: a vertex sequence from src to
+// dst whose hops are sketch edges, each realizable in G\F at exactly
+// its weight, summing to Result.Dist. The path is nil when the
+// endpoints are disconnected (or forbidden).
+func (st *Store) DistanceRobustPath(src, dst int, faults *graph.FaultSet, budget int) (core.Result, []int32, error) {
+	q, err := st.robustQuery(src, dst, faults, budget)
+	if err != nil || q == nil {
+		return core.Result{}, nil, err
+	}
+	var dec core.Decoder
+	defer dec.Release()
+	res, path := dec.DistanceRobustPath(q, nil)
+	return res, path, nil
+}
+
+// robustQuery assembles the degraded-tolerant query for (src, dst, F):
+// fault labels absent from the store are demoted to the degraded tier
+// by vertex id. A nil query (with nil error) means a forbidden
+// endpoint — no distance exists, exactly.
+func (st *Store) robustQuery(src, dst int, faults *graph.FaultSet, budget int) (*core.Query, error) {
 	if faults.HasVertex(src) || faults.HasVertex(dst) {
-		return core.Result{}, nil // forbidden endpoint: no distance exists
+		return nil, nil // forbidden endpoint: no distance exists
 	}
 	ls, err := st.Label(src)
 	if err != nil {
-		return core.Result{}, err
+		return nil, err
 	}
 	lt, err := st.Label(dst)
 	if err != nil {
-		return core.Result{}, err
+		return nil, err
 	}
 	q := &core.Query{S: ls, T: lt, Budget: budget}
 	fv := faults.Vertices()
@@ -491,7 +519,7 @@ func (st *Store) DistanceRobust(src, dst int, faults *graph.FaultSet, budget int
 		}
 		q.EdgeFaults = append(q.EdgeFaults, [2]*core.Label{la, lb})
 	}
-	return q.DistanceRobust(), nil
+	return q, nil
 }
 
 // Merge combines label stores over the same graph (e.g. two adjacent

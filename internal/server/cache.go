@@ -2,15 +2,19 @@ package server
 
 import "fsdl/internal/lru"
 
-// cacheKey identifies one answered query: the endpoint pair plus a hash
-// of the canonical (sorted) effective fault set and work budget. Keys
-// never outlive a fail/recover — the server flushes the cache on every
-// overlay change — so hash collisions within one overlay generation are
-// the only way to serve a wrong entry, and a 64-bit FNV over the sorted
-// fault set makes that astronomically unlikely.
+// cacheKey identifies one answered query: the endpoint pair, a hash of
+// the canonical (sorted) effective fault set and work budget, and
+// whether the answer carries a witness path — path and distance-only
+// answers for the same (s,t,F) are distinct entries, never substituted
+// for one another. Keys never outlive a fail/recover — the server
+// flushes the cache on every overlay change — so hash collisions within
+// one overlay generation are the only way to serve a wrong entry, and a
+// 64-bit FNV over the sorted fault set makes that astronomically
+// unlikely.
 type cacheKey struct {
 	s, t  int32
 	fhash uint64
+	path  bool
 }
 
 // resultCache is the sharded LRU over query answers, backed by the
@@ -25,7 +29,11 @@ type resultCache struct {
 // misses, every Put is dropped).
 func newResultCache(capacity, nshards int) *resultCache {
 	return &resultCache{c: lru.New[cacheKey, Answer](capacity, nshards, func(k cacheKey) uint64 {
-		return k.fhash ^ (uint64(uint32(k.s)) * 0x9e3779b97f4a7c15) ^ (uint64(uint32(k.t)) * 0xc2b2ae3d27d4eb4f)
+		h := k.fhash ^ (uint64(uint32(k.s)) * 0x9e3779b97f4a7c15) ^ (uint64(uint32(k.t)) * 0xc2b2ae3d27d4eb4f)
+		if k.path {
+			h ^= 0xa24baed4963ee407
+		}
+		return h
 	})}
 }
 

@@ -196,9 +196,11 @@ func TestLiveSwapUnderChaos(t *testing.T) {
 						// Below the true distance: no sound route can
 						// produce it, old generation or new.
 						unsound.Add(1)
+						t.Logf("UNSOUND pair (%d,%d): %+v want %d", pairs[i][0], pairs[i][1], a, want)
 					case !a.Connected && !a.Degraded:
 						// A confident "disconnected" for a connected pair.
 						unsound.Add(1)
+						t.Logf("UNSOUND pair (%d,%d): %+v want %d", pairs[i][0], pairs[i][1], a, want)
 					}
 					if a.Exact {
 						sawExact.Add(1)

@@ -112,8 +112,14 @@ type Answer struct {
 	Degraded           bool    `json:"degraded,omitempty"`
 	BudgetExhausted    bool    `json:"budget_exhausted,omitempty"`
 	MissingFaultLabels []int32 `json:"missing_fault_labels,omitempty"`
-	Cached             bool    `json:"cached,omitempty"`
-	Error              string  `json:"error,omitempty"`
+	// Path is the witness walk s..t (present only when the batch asked
+	// for paths and the pair connects): each hop is realizable in the
+	// surviving graph at a weight summing exactly to Dist, with pending
+	// live insertions appearing as unit hops. A corridor of the (1+ε)
+	// estimate, not necessarily an exact shortest path.
+	Path   []int32 `json:"path,omitempty"`
+	Cached bool    `json:"cached,omitempty"`
+	Error  string  `json:"error,omitempty"`
 }
 
 // State is a point-in-time snapshot for /v1/state.
@@ -324,17 +330,37 @@ type faultTemplate struct {
 // until compaction bakes them in.
 const maxLivePatches = 256
 
+// labelFunc resolves one vertex's label — either the raw source or a
+// batch's generation-pinned view of it.
+type labelFunc = func(context.Context, int) (*core.Label, error)
+
+// pinLabels returns the label resolver one batch should use
+// throughout: the source's generation-pinned view when it offers one,
+// the plain source otherwise (a source that cannot swap generations
+// has nothing to pin). The second return mirrors Prefetch and may be
+// nil.
+func (s *Server) pinLabels() (labelFunc, func(context.Context, []int) int) {
+	if p, ok := s.src.(LabelPinner); ok {
+		return p.PinLabels()
+	}
+	label := func(ctx context.Context, v int) (*core.Label, error) { return s.src.Label(ctx, v) }
+	if pf, ok := s.src.(Prefetcher); ok {
+		return label, pf.Prefetch
+	}
+	return label, nil
+}
+
 // decodePatches resolves patch-edge endpoint labels. A patch whose
 // endpoints cannot be fetched is skipped: the shortcut is missed but
 // the answer stays sound.
-func (s *Server) decodePatches(ctx context.Context, edges [][2]int32) []core.PatchEdge {
+func (s *Server) decodePatches(ctx context.Context, label labelFunc, edges [][2]int32) []core.PatchEdge {
 	if len(edges) == 0 {
 		return nil
 	}
 	out := make([]core.PatchEdge, 0, len(edges))
 	for _, e := range edges {
-		lu, errU := s.src.Label(ctx, int(e[0]))
-		lv, errV := s.src.Label(ctx, int(e[1]))
+		lu, errU := label(ctx, int(e[0]))
+		lv, errV := label(ctx, int(e[1]))
 		if errU != nil || errV != nil {
 			continue
 		}
@@ -343,12 +369,12 @@ func (s *Server) decodePatches(ctx context.Context, edges [][2]int32) []core.Pat
 	return out
 }
 
-func (s *Server) decodeFaults(ctx context.Context, f *graph.FaultSet) *faultTemplate {
+func (s *Server) decodeFaults(ctx context.Context, label labelFunc, f *graph.FaultSet) *faultTemplate {
 	t := &faultTemplate{}
 	fv := f.Vertices()
 	slices.Sort(fv)
 	for _, v := range fv {
-		lf, err := s.src.Label(ctx, v)
+		lf, err := label(ctx, v)
 		if err != nil {
 			// Missing or unreachable fault label: demote to the degraded
 			// tier — the decoder protects a maximal ball around it and
@@ -366,8 +392,8 @@ func (s *Server) decodeFaults(ctx context.Context, f *graph.FaultSet) *faultTemp
 		return a[1] - b[1]
 	})
 	for _, e := range es {
-		la, errA := s.src.Label(ctx, e[0])
-		lb, errB := s.src.Label(ctx, e[1])
+		la, errA := label(ctx, e[0])
+		lb, errB := label(ctx, e[1])
 		if errA != nil || errB != nil {
 			t.degradedEdges = append(t.degradedEdges, [2]int32{int32(e[0]), int32(e[1])})
 			continue
@@ -389,6 +415,11 @@ type QueryOptions struct {
 	// (requires Config.Graph and an empty Faults: the dynamic oracle
 	// reflects the overlay only).
 	Dynamic bool
+	// Path asks for the witness walk in every connected Answer. Path
+	// answers are cached separately from distance-only answers (the
+	// cache key carries the flag). Incompatible with Dynamic — the
+	// oracle answers distances only.
+	Path bool
 }
 
 func (s *Server) budget(opts *QueryOptions) int {
@@ -419,9 +450,13 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 	defer s.done()
 
 	if opts != nil && opts.Dynamic {
+		if opts.Path {
+			return nil, fmt.Errorf("server: path reporting requires label decoding (incompatible with dynamic)")
+		}
 		return s.answerDynamic(pairs, opts)
 	}
 
+	wantPath := opts != nil && opts.Path
 	budget := s.budget(opts)
 	var reqFaults *graph.FaultSet
 	if opts != nil {
@@ -450,9 +485,20 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 	}
 	fhash := faultHash(faults, budget)
 
+	// Pin every label fetch in this batch to one label generation, and
+	// only AFTER the live delta was read above: if the delta came back
+	// empty, the compaction that cleared it had already swapped the new
+	// generation in (swap-before-commit), so the pin can only see the
+	// new one. The other orderings are all sound — a non-empty delta
+	// conservatively re-forbids whatever an older generation still
+	// routes through — but labels of two different generations inside
+	// one decode are not, so the pin, not the per-call source state,
+	// serves the whole batch.
+	label, pinnedPrefetch := s.pinLabels()
+
 	n := s.src.NumVertices()
 	answers := make([]Answer, len(pairs))
-	s.prefetch(ctx, pairs, faults, livePatches, n)
+	s.prefetch(ctx, pinnedPrefetch, pairs, faults, livePatches, n)
 	var tmpl *faultTemplate // decoded lazily: an all-hit batch decodes nothing
 	// One pooled decoder serves the whole batch: every miss reuses the
 	// same warmed-up scratch. Endpoint labels come straight from the
@@ -487,7 +533,9 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 			answers[i] = a
 			continue
 		}
-		key := cacheKey{s: int32(src), t: int32(dst), fhash: fhash}
+		// Path and distance-only answers must never mix for the same
+		// (s,t,F): the flag is part of the key.
+		key := cacheKey{s: int32(src), t: int32(dst), fhash: fhash, path: wantPath}
 		if !livePending {
 			if hit, ok := s.cache.Get(key); ok {
 				s.met.cacheHits.Add(1)
@@ -497,13 +545,13 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 			}
 		}
 		s.met.cacheMisses.Add(1)
-		ls, err := s.src.Label(ctx, src)
+		ls, err := label(ctx, src)
 		if err == nil {
 			var lt *core.Label
-			if lt, err = s.src.Label(ctx, dst); err == nil {
+			if lt, err = label(ctx, dst); err == nil {
 				if tmpl == nil {
-					tmpl = s.decodeFaults(ctx, faults)
-					tmpl.patches = s.decodePatches(ctx, livePatches)
+					tmpl = s.decodeFaults(ctx, label, faults)
+					tmpl.patches = s.decodePatches(ctx, label, livePatches)
 				}
 				q := &core.Query{
 					S: ls, T: lt,
@@ -514,10 +562,19 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 					Budget:               budget,
 				}
 				var res core.Result
-				if len(tmpl.patches) > 0 {
+				var path []int32
+				switch {
+				case wantPath && len(tmpl.patches) > 0:
+					res, path = dec.DistanceRobustPatchedPath(q, tmpl.patches, nil)
+				case wantPath:
+					res, path = dec.DistanceRobustPath(q, nil)
+				case len(tmpl.patches) > 0:
 					res = dec.DistanceRobustPatched(q, tmpl.patches)
-				} else {
+				default:
 					res = dec.DistanceRobust(q)
+				}
+				if res.OK {
+					a.Path = path
 				}
 				a.Connected = res.OK
 				a.Dist = res.Dist
@@ -553,12 +610,12 @@ func (s *Server) AnswerPairs(ctx context.Context, pairs [][2]int, opts *QueryOpt
 
 // prefetch warms the label source with every distinct vertex the batch
 // will touch — endpoints, fault-set members and live-patch endpoints —
-// in one call. Against a cluster source this collapses per-pair
-// scatter-gathers into a single round of shard fetches; against a
-// local store it is a no-op.
-func (s *Server) prefetch(ctx context.Context, pairs [][2]int, faults *graph.FaultSet, patches [][2]int32, n int) {
-	pf, ok := s.src.(Prefetcher)
-	if !ok {
+// in one call through the batch's (possibly generation-pinned)
+// prefetch function. Against a cluster source this collapses per-pair
+// scatter-gathers into a single round of shard fetches; pf is nil for
+// sources without one (a local store is already single-hop).
+func (s *Server) prefetch(ctx context.Context, pf func(context.Context, []int) int, pairs [][2]int, faults *graph.FaultSet, patches [][2]int32, n int) {
+	if pf == nil {
 		return
 	}
 	seen := make(map[int]struct{}, 2*len(pairs)+faults.Size()+2*len(patches))
@@ -592,7 +649,7 @@ func (s *Server) prefetch(ctx context.Context, pairs [][2]int, faults *graph.Fau
 	// path, which owns the error semantics.
 	pol := backoff.Policy{Base: 25 * time.Millisecond, Cap: 100 * time.Millisecond, Jitter: 0.2}
 	for attempt := 0; ; attempt++ {
-		if pf.Prefetch(ctx, ids) == 0 || attempt >= 2 {
+		if pf(ctx, ids) == 0 || attempt >= 2 {
 			return
 		}
 		if backoff.Sleep(ctx, pol.Delay(attempt)) != nil {

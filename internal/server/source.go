@@ -59,6 +59,19 @@ type (
 		Drain(name string, drain bool) (uint64, error)
 		StatusJSON() any
 	}
+	// LabelPinner pins label resolution to the source's current label
+	// generation: the returned closures mirror Label and Prefetch (the
+	// prefetch closure may be nil) but resolve every vertex against the
+	// one generation that was current at pin time. The server pins once
+	// per batch — after reading the live delta, so an empty delta
+	// implies the pinned generation already has it baked in — which
+	// keeps a generation swap landing mid-batch from mixing labels of
+	// two generations inside one decode. Mixed generations are unsound:
+	// a fault label's protected balls describe one graph's distances
+	// and cannot guard sketch edges taken from another's.
+	LabelPinner interface {
+		PinLabels() (label func(context.Context, int) (*core.Label, error), prefetch func(context.Context, []int) int)
+	}
 	// GenerationSwapper coordinates versioned label-generation swaps: a
 	// cluster frontend has every shard load the named generation from
 	// its generation root, then atomically re-routes (returning the new
@@ -91,6 +104,14 @@ func (s *storeSource) Label(_ context.Context, v int) (*core.Label, error) {
 	return s.st.Load().Label(v)
 }
 func (s *storeSource) LabelCacheStats() (int64, int64) { return s.st.Load().LabelCacheStats() }
+
+// PinLabels pins lookups to the store generation loaded at pin time,
+// so a batch straddling a Swap answers every query from one
+// generation. No prefetch: local lookups are already single-hop.
+func (s *storeSource) PinLabels() (func(context.Context, int) (*core.Label, error), func(context.Context, []int) int) {
+	st := s.st.Load()
+	return func(_ context.Context, v int) (*core.Label, error) { return st.Label(v) }, nil
+}
 
 // Swap installs a new label generation. The vertex space must match;
 // compaction guarantees it (generations are rebuilds of the same
