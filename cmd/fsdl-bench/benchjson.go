@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -25,7 +26,8 @@ import (
 // as BENCH_PR*.json. The suite covers the four costs the query fast
 // path optimizes — scheme build, label extraction (cold and warm-cache),
 // decode vs |F|, and server batch throughput — plus the live-update
-// write path: mutation apply and the compact+swap cycle.
+// write path: mutation apply, the compact+swap cycle, the delta-scoped
+// incremental rebuild, and the WAL's group-commit append.
 
 // benchResult is one measured kernel.
 type benchResult struct {
@@ -277,6 +279,109 @@ func runJSON(path string, quick bool, baseline, compare string, log io.Writer) e
 		}
 	}))
 
+	// 5c. Incremental compaction on a small-delta workload: a ring
+	// lattice (±1, ±2 chords) whose diameter dwarfs the scheme's
+	// largest coverage radius, so one deleted chord dirties well under
+	// 10% of the labels. Each kernel covers the full compaction-shaped
+	// path — scheme build plus label extraction — because extraction is
+	// where nearly all compaction time goes; the incremental side
+	// extracts only the dirty labels (exactly what SaveSpliced does),
+	// the full side extracts every label. The ratio of the two is the
+	// incremental speedup. Single worker on both sides: deterministic
+	// allocs (this kernel is gated exactly) and an apples-to-apples
+	// CPU comparison.
+	ringN := 2048
+	if quick {
+		ringN = 512
+	}
+	rb := graph.NewBuilder(ringN)
+	for i := 0; i < ringN; i++ {
+		rb.AddEdge(i, (i+1)%ringN)
+		rb.AddEdge(i, (i+2)%ringN)
+	}
+	ringG, err := rb.Build()
+	if err != nil {
+		return err
+	}
+	prevScheme, err := core.BuildSchemeWorkers(ringG, 2, 1)
+	if err != nil {
+		return err
+	}
+	rb2 := graph.NewBuilder(ringN)
+	for i := 0; i < ringN; i++ {
+		if i != 0 {
+			rb2.AddEdge(i, (i+1)%ringN)
+		}
+		rb2.AddEdge(i, (i+2)%ringN)
+	}
+	mutG, err := rb2.Build()
+	if err != nil {
+		return err
+	}
+	mutated := [][2]int32{{0, 1}}
+	incR := measure("compact_incremental_small_delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inc, err := core.BuildSchemeIncremental(prevScheme, mutG, mutated, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range inc.Dirty {
+				inc.Scheme.Label(int(v))
+			}
+		}
+	})
+	add(incR)
+	fullR := measure("compact_full_small_delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := core.BuildSchemeWorkers(mutG, 2, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for v := 0; v < ringN; v++ {
+				s.Label(v)
+			}
+		}
+	})
+	add(fullR)
+	if incR.NsPerOp > 0 {
+		fmt.Fprintf(log, "incremental compaction speedup on ring%d, 1-edge delta: %.1fx\n",
+			ringN, fullR.NsPerOp/incR.NsPerOp)
+	}
+
+	// 5d. WAL group append: one 4-mutation batch encoded and written in
+	// a single append, then one group-commit fsync — the per-batch
+	// durability cost the mutate path pays. A real file, so the fsync
+	// is in the measurement on purpose.
+	walDir, err := os.MkdirTemp("", "fsdl-bench-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	w, _, err := liveupdate.OpenWAL(filepath.Join(walDir, "bench.wal"))
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	groupMuts := []liveupdate.Mutation{
+		{Op: liveupdate.MutInsert, U: 0, V: 1},
+		{Op: liveupdate.MutDelete, U: 0, V: 1},
+		{Op: liveupdate.MutInsert, U: 0, V: 2},
+		{Op: liveupdate.MutDelete, U: 0, V: 2},
+	}
+	add(measure("wal_append_group", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Append(groupMuts); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -316,6 +421,15 @@ func runJSON(path string, quick bool, baseline, compare string, log io.Writer) e
 // headroom comfortably covers runner jitter while still catching the
 // order-of-magnitude class of regression (an accidental map in the
 // hot loop blows past it instantly).
+//
+// strictKernels get the same decode-grade gate (exact allocs, ns/op
+// within 30%): single-threaded kernels whose cost the PR's perf claims
+// rest on, so drift is a regression rather than noise.
+var strictKernels = map[string]bool{
+	"compact_incremental_small_delta": true,
+	"wal_append_group":                true,
+}
+
 func checkBaseline(doc benchDoc, path string, log io.Writer) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -337,15 +451,16 @@ func checkBaseline(doc benchDoc, path string, log io.Writer) error {
 			continue
 		}
 		compared++
+		strict := strings.HasPrefix(r.Name, "decode_") || strictKernels[r.Name]
 		limit := int64(float64(b.AllocsPerOp)*1.25) + 8
-		if strings.HasPrefix(r.Name, "decode_") {
+		if strict {
 			limit = b.AllocsPerOp
 		}
 		if r.AllocsPerOp > limit {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %d allocs/op (baseline %d, limit %d)", r.Name, r.AllocsPerOp, b.AllocsPerOp, limit))
 		}
-		if strings.HasPrefix(r.Name, "decode_") {
+		if strict {
 			if nsLimit := b.NsPerOp * 1.30; r.NsPerOp > nsLimit {
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.0f ns/op (baseline %.0f, limit %.0f)", r.Name, r.NsPerOp, b.NsPerOp, nsLimit))

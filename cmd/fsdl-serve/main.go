@@ -91,6 +91,10 @@ func run(args []string) error {
 		CacheCapacity:   *cacheCap,
 		CacheShards:     *cacheShards,
 	}
+	var (
+		member *cluster.Membership
+		fe     *cluster.Frontend
+	)
 	switch {
 	case *storePath == "" && *clusterPath == "":
 		// Live-only boot: the store comes from the newest generation
@@ -100,7 +104,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fe, err := cluster.NewFrontend(cluster.FrontendConfig{
+		fe, err = cluster.NewFrontend(cluster.FrontendConfig{
 			Membership:       m,
 			HedgeDelay:       *hedge,
 			FetchTimeout:     *fetchTimeout,
@@ -111,6 +115,7 @@ func run(args []string) error {
 			return err
 		}
 		defer fe.Close()
+		member = m
 		cfg.Source = fe
 	case *salvage:
 		f, err := os.Open(*storePath)
@@ -206,6 +211,31 @@ func run(args []string) error {
 		cfg.Live, cfg.LiveRoot, cfg.CompactWorkers = p, *liveRoot, *compactWorkers
 		if pending := p.Pending(); pending > 0 {
 			fmt.Fprintf(os.Stderr, "fsdl-serve: live: WAL replay restored %d pending delta edges (answers inexact until the next compaction)\n", pending)
+		}
+		if fe != nil {
+			// Cluster + live: compaction writes one partition file per
+			// boot-membership shard into each generation, so a swap —
+			// scoped to the changed shards after an incremental build —
+			// loads straight from the generation directory.
+			parts := member.Ring().Partition(base.NumVertices())
+			cfg.Partitions = make(map[string][]int, len(member.Nodes))
+			for i, node := range member.Nodes {
+				cfg.Partitions[node.Name] = parts[i]
+			}
+			// Surface the pipeline's pending delta and WAL retention in
+			// `fsdl cluster status`.
+			fe.SetLiveStats(func() cluster.LiveStats {
+				ls := cluster.LiveStats{
+					PendingEdges: append(p.Patches(), p.FaultEdges()...),
+				}
+				if ws, ok := p.WALStats(); ok {
+					ls.WALSegments = ws.Segments
+					if !ws.OldestSealed.IsZero() {
+						ls.WALOldestAge = time.Since(ws.OldestSealed)
+					}
+				}
+				return ls
+			})
 		}
 	}
 

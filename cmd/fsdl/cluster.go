@@ -114,7 +114,11 @@ func printClusterStatus(out io.Writer, st *cluster.ClusterStatus) error {
 	fmt.Fprintf(out, "ring epoch %d, label generation %d, n=%d vertices, replication %d\n",
 		st.Epoch, st.Generation, st.NumVertices, st.Replication)
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SHARD\tADDR\tHEALTHY\tBREAKER\tGEN\tLABELS\tFLAGS")
+	header := "SHARD\tADDR\tHEALTHY\tBREAKER\tGEN\tLABELS\tFLAGS"
+	if st.Live != nil {
+		header = "SHARD\tADDR\tHEALTHY\tBREAKER\tGEN\tLABELS\tPENDING\tFLAGS"
+	}
+	fmt.Fprintln(tw, header)
 	for _, sh := range st.Shards {
 		up := "up"
 		if !sh.Healthy {
@@ -133,11 +137,23 @@ func printClusterStatus(out io.Writer, st *cluster.ClusterStatus) error {
 		if sh.GenLagged {
 			flags = append(flags, "gen-lagged")
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
-			sh.Name, sh.Addr, up, sh.Breaker, sh.Generation, sh.Labels, strings.Join(flags, ","))
+		if st.Live != nil {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%d\t%s\n",
+				sh.Name, sh.Addr, up, sh.Breaker, sh.Generation, sh.Labels, sh.PendingDelta, strings.Join(flags, ","))
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+				sh.Name, sh.Addr, up, sh.Breaker, sh.Generation, sh.Labels, strings.Join(flags, ","))
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	if st.Live != nil {
+		fmt.Fprintf(out, "live: %d pending delta edges, %d sealed WAL segments", st.Live.PendingEdges, st.Live.WALSegments)
+		if st.Live.WALOldestAgeSec > 0 {
+			fmt.Fprintf(out, " (oldest %s)", (time.Duration(st.Live.WALOldestAgeSec*float64(time.Second))).Round(time.Second))
+		}
+		fmt.Fprintln(out)
 	}
 	if st.Repair.Enabled {
 		fmt.Fprintf(out, "repair: converged=%v sweeps=%d repaired=%d backlog=%d hints=%d sealed=%d\n",

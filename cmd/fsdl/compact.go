@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"fsdl/internal/cluster"
+	"fsdl/internal/core"
 	graphpkg "fsdl/internal/graph"
 	"fsdl/internal/labelstore"
 	"fsdl/internal/liveupdate"
@@ -33,6 +34,7 @@ func cmdCompact(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
 	members := fs.String("members", "", "cluster membership file; also write per-shard partition files")
 	force := fs.Bool("force", false, "build a generation even with no pending mutations")
+	incremental := fs.Bool("incremental", false, "delta-scoped rebuild off the newest generation (byte-identical output; requires an existing generation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +96,37 @@ func cmdCompact(args []string, out io.Writer) error {
 		}
 	}
 
+	if *incremental {
+		if generation == 0 {
+			return fmt.Errorf("-incremental needs an existing generation under %s", *root)
+		}
+		prevDir := filepath.Join(*root, labelstore.GenerationDirName(generation))
+		prevStore, err := liveupdate.LoadGenerationStore(prevDir)
+		if err != nil {
+			return err
+		}
+		// The previous scheme is not persisted; rebuild it from the base
+		// graph it came from. The build is deterministic, so the
+		// reconstruction matches the original bit for bit and the
+		// spliced output stays byte-identical to a full rebuild.
+		prevScheme, err := core.BuildSchemeWorkers(base, *eps, *workers)
+		if err != nil {
+			return fmt.Errorf("rebuild generation %d scheme: %w", generation, err)
+		}
+		prev := &liveupdate.PrevGeneration{Generation: generation, Dir: prevDir, Scheme: prevScheme, Store: prevStore}
+		// Hard-linking a clean partition forward requires the previous
+		// file to hold the same id list; trust the current layout only
+		// where the previous manifest agrees, so a membership change
+		// can't alias a stale partition file into the new generation.
+		if opts.Partitions != nil {
+			if pm, err := labelstore.ReadManifestDir(prevDir); err == nil {
+				prev.Partitions = partitionsMatchingManifest(opts.Partitions, pm)
+			}
+		}
+		opts.Prev = prev
+		fmt.Fprintf(out, "incremental: delta-scoped rebuild off generation %d\n", generation)
+	}
+
 	if !p.BeginCompaction() {
 		return fmt.Errorf("compaction already in flight")
 	}
@@ -110,7 +143,37 @@ func cmdCompact(args []string, out io.Writer) error {
 	for _, f := range res.Manifest.Files {
 		fmt.Fprintf(out, "  %s: %d records, crc %08x\n", f.Name, f.Records, f.CRC)
 	}
+	if res.Incremental {
+		fmt.Fprintf(out, "incremental: %d/%d labels re-extracted, changed shards %v\n",
+			res.DirtyLabels, res.Snapshot.Graph.NumVertices(), res.ChangedPartitions)
+	}
 	fmt.Fprintf(out, "generation %d written to %s (seq %d, n=%d)\n",
 		res.Snapshot.Generation, res.Dir, res.Snapshot.Seq, res.Snapshot.Graph.NumVertices())
 	return nil
+}
+
+// partitionsMatchingManifest keeps the entries of parts whose file in
+// the previous generation plausibly held the same id list (record
+// count and id range agree) — the guard that keeps a membership change
+// from hard-linking a stale partition file forward.
+func partitionsMatchingManifest(parts map[string][]int, m *labelstore.Manifest) map[string][]int {
+	byName := make(map[string]labelstore.ManifestFile, len(m.Files))
+	for _, f := range m.Files {
+		byName[f.Name] = f
+	}
+	out := make(map[string][]int, len(parts))
+	for name, ids := range parts {
+		f, ok := byName[name+".fsdl"]
+		if !ok || f.Records != len(ids) || len(ids) == 0 {
+			continue
+		}
+		lo, hi := ids[0], ids[0]
+		for _, v := range ids {
+			lo, hi = min(lo, v), max(hi, v)
+		}
+		if f.First == lo && f.Last == hi {
+			out[name] = ids
+		}
+	}
+	return out
 }

@@ -96,6 +96,70 @@ func TestCLICompactPartitions(t *testing.T) {
 	}
 }
 
+// TestCLICompactIncremental: a second compaction with -incremental
+// builds delta-scoped off the newest generation — same files, same
+// partition layout, and the baked store answers for the new delta.
+func TestCLICompactIncremental(t *testing.T) {
+	graphPath := genGraphFile(t)
+	dir := t.TempDir()
+	root := filepath.Join(dir, "gens")
+	wal := filepath.Join(dir, "mutations.wal")
+	writeWAL(t, graphPath, wal)
+	members := filepath.Join(dir, "members.txt")
+	if err := os.WriteFile(members, []byte("replication 2\nshard0 127.0.0.1:9000\nshard1 127.0.0.1:9001\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// -incremental with no generation yet is an explicit error.
+	if _, err := runCLI(t, "compact", "-root", root, "-wal", wal, "-in", graphPath, "-incremental"); err == nil {
+		t.Fatal("-incremental without a base generation accepted")
+	}
+
+	if out, err := runCLI(t, "compact", "-root", root, "-wal", wal, "-in", graphPath, "-members", members); err != nil {
+		t.Fatalf("seed compact: %v\n%s", err, out)
+	}
+
+	// Journal a fresh tail on top of generation 2.
+	base, err := liveupdate.LoadGenerationBase(filepath.Join(root, "gen-0000000002"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := liveupdate.Open(liveupdate.Config{Base: base, WALPath: wal, Generation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]liveupdate.Mutation{{Op: liveupdate.MutInsert, U: 2, V: 33}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runCLI(t, "compact", "-root", root, "-wal", wal, "-members", members, "-incremental")
+	if err != nil {
+		t.Fatalf("compact -incremental: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "delta-scoped rebuild off generation 2") ||
+		!strings.Contains(out, "labels re-extracted") ||
+		!strings.Contains(out, "generation 3 written") {
+		t.Fatalf("incremental output:\n%s", out)
+	}
+	genDir := filepath.Join(root, "gen-0000000003")
+	for _, f := range []string{"MANIFEST", "labels.fsdl", "graph.txt", "shard0.fsdl", "shard1.fsdl"} {
+		if _, err := os.Stat(filepath.Join(genDir, f)); err != nil {
+			t.Fatalf("generation file %s: %v", f, err)
+		}
+	}
+	// The delta-scoped store answers for the freshly inserted edge.
+	q, err := runCLI(t, "querydb", "-db", filepath.Join(genDir, "labels.fsdl"), "-s", "2", "-t", "33")
+	if err != nil {
+		t.Fatalf("querydb on incremental generation: %v", err)
+	}
+	if !strings.Contains(q, "avoiding |F|=0: 1 ") {
+		t.Fatalf("querydb on incremental store:\n%s", q)
+	}
+}
+
 func TestCLICompactErrors(t *testing.T) {
 	root := t.TempDir()
 	if _, err := runCLI(t, "compact"); err == nil {

@@ -208,6 +208,11 @@ type Frontend struct {
 	budget     *retryBudget // nil when disabled
 	rep        *repairer    // nil when repair is disabled
 
+	// liveStats, when set, supplies the co-located live-update
+	// pipeline's state for status rendering (pending delta, WAL
+	// segments); nil on frontends without a pipeline.
+	liveStats atomic.Pointer[func() LiveStats]
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     sync.WaitGroup
@@ -237,6 +242,31 @@ type ShardHealth struct {
 	// because it serves an older generation and could not be caught up.
 	Generation uint64 `json:"generation,omitempty"`
 	GenLagged  bool   `json:"gen_lagged,omitempty"`
+	// PendingDelta counts live mutation edges with an endpoint this
+	// shard owns — the labels it serves that the pending delta already
+	// contradicts, and the size of the refresh the next incremental
+	// compaction will hand it. Only populated on frontends co-located
+	// with a live-update pipeline.
+	PendingDelta int `json:"pending_delta,omitempty"`
+}
+
+// LiveStats is the live-update pipeline state the serving tier shares
+// with the frontend for status surfaces: the pending (unbaked) delta
+// edges and the mutation WAL's segment retention.
+type LiveStats struct {
+	PendingEdges [][2]int32
+	WALSegments  int
+	WALOldestAge time.Duration
+}
+
+// SetLiveStats registers the callback Status uses to fold live-update
+// state into the cluster snapshot. Pass nil to unregister.
+func (f *Frontend) SetLiveStats(fn func() LiveStats) {
+	if fn == nil {
+		f.liveStats.Store(nil)
+		return
+	}
+	f.liveStats.Store(&fn)
 }
 
 // NewFrontend connects to the cluster described by cfg.Membership. It
@@ -456,6 +486,29 @@ const genLoadTimeout = 15 * time.Second
 // retried. Shards that are down during the swap are caught up by the
 // health sweep when they return (or fenced off until they are).
 func (f *Frontend) SwapGeneration(gen uint64) (uint64, error) {
+	return f.swapGeneration(gen, nil)
+}
+
+// SwapGenerationScoped is SwapGeneration driven by an incremental
+// compaction's per-partition dirty summary: shards named in changed
+// load the new generation from disk, every other routable shard merely
+// re-tags (aliases) the store it already serves — its partition file is
+// byte-identical across the two generations, typically a hard link to
+// the very same inode. The flip itself is unchanged: one atomic state
+// swap after every shard holds the new generation, so the
+// zero-downtime and generation-pinning guarantees are exactly those of
+// a full swap, minus the redundant disk loads.
+func (f *Frontend) SwapGenerationScoped(gen uint64, changed []string) (uint64, error) {
+	set := make(map[string]bool, len(changed))
+	for _, name := range changed {
+		set[name] = true
+	}
+	return f.swapGeneration(gen, set)
+}
+
+// swapGeneration implements both swap flavors: changed == nil loads
+// everywhere; otherwise only the named shards load and the rest alias.
+func (f *Frontend) swapGeneration(gen uint64, changed map[string]bool) (uint64, error) {
 	f.adminMu.Lock()
 	defer f.adminMu.Unlock()
 	cur := f.state.Load()
@@ -464,19 +517,38 @@ func (f *Frontend) SwapGeneration(gen uint64) (uint64, error) {
 	}
 	var firstErr error
 	loaded, failed := 0, 0
-	for _, c := range cur.nodes {
-		if !c.healthy.Load() {
-			continue
-		}
-		if err := c.loadGeneration(gen); err != nil {
-			failed++
-			if firstErr == nil {
-				firstErr = fmt.Errorf("shard %s: %w", c.node.Name, err)
+	// Disk loads run first — they are the fallible half. An abort after
+	// phase one leaves only loaded shards holding the new generation
+	// (still serving the old from their previous-store slot); no shard
+	// is ever aliased ahead of a failed load.
+	for _, loadPhase := range []bool{true, false} {
+		for _, c := range cur.nodes {
+			if !c.healthy.Load() {
+				continue
 			}
-			continue
+			load := changed == nil || changed[c.node.Name]
+			if load != loadPhase {
+				continue
+			}
+			var err error
+			if load {
+				err = c.loadGeneration(gen)
+			} else {
+				err = c.aliasGeneration(gen)
+			}
+			if err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %s: %w", c.node.Name, err)
+				}
+				continue
+			}
+			c.lastGen.Store(gen)
+			loaded++
 		}
-		c.lastGen.Store(gen)
-		loaded++
+		if failed > 0 {
+			break
+		}
 	}
 	if failed > 0 {
 		return 0, fmt.Errorf("cluster: generation %d swap aborted (%d of %d shards failed, all still serving %d): %w",
@@ -528,7 +600,13 @@ func (f *Frontend) LabelCacheStats() (hits, misses int64) {
 
 // Health returns a point-in-time shard health snapshot.
 func (f *Frontend) Health() []ShardHealth {
-	st := f.state.Load()
+	return f.healthAt(f.state.Load())
+}
+
+// healthAt builds the snapshot against one pinned ring state, so a
+// caller that also derives per-shard data from st (Status's pending-
+// delta attribution) indexes the same node list.
+func (f *Frontend) healthAt(st *ringState) []ShardHealth {
 	out := make([]ShardHealth, len(st.nodes))
 	for i, c := range st.nodes {
 		h := ShardHealth{
@@ -1093,9 +1171,21 @@ func parsePongChecked(resp []byte) (n, labels int, flags, generation uint64, err
 // loadGeneration tells the shard to activate a label generation from
 // its generation root, confirming the activated id.
 func (c *shardClient) loadGeneration(gen uint64) error {
-	ctx, cancel := context.WithTimeout(context.Background(), genLoadTimeout)
+	return c.generationOp(OpLoadGeneration, gen, genLoadTimeout)
+}
+
+// aliasGeneration tells the shard to re-tag its current store as gen —
+// the no-disk half of a scoped swap, used for shards whose partition an
+// incremental compaction left byte-identical. In-memory on the shard,
+// so it gets a fetch-sized leash rather than a load-sized one.
+func (c *shardClient) aliasGeneration(gen uint64) error {
+	return c.generationOp(OpAliasGeneration, gen, c.cfg.FetchTimeout)
+}
+
+func (c *shardClient) generationOp(op byte, gen uint64, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	frames, err := c.callTimeout(ctx, OpLoadGeneration, AppendGeneration(nil, gen), 1, genLoadTimeout)
+	frames, err := c.callTimeout(ctx, op, AppendGeneration(nil, gen), 1, timeout)
 	if err != nil {
 		return err
 	}

@@ -267,6 +267,18 @@ type ClusterStatus struct {
 	Shards      []ShardHealth     `json:"shards"`
 	Repair      RepairStatus      `json:"repair"`
 	RetryBudget RetryBudgetStatus `json:"retry_budget"`
+	// Live summarizes the co-located live-update pipeline (nil on
+	// frontends without one): the unbaked delta size and the mutation
+	// WAL's segment retention. Per-shard delta attribution lands in
+	// each ShardHealth.PendingDelta.
+	Live *LiveStatus `json:"live,omitempty"`
+}
+
+// LiveStatus is the live-update slice of a ClusterStatus.
+type LiveStatus struct {
+	PendingEdges    int     `json:"pending_edges"`
+	WALSegments     int     `json:"wal_segments"`
+	WALOldestAgeSec float64 `json:"wal_oldest_age_seconds,omitempty"`
 }
 
 // Status returns the admin snapshot for the current epoch.
@@ -277,7 +289,36 @@ func (f *Frontend) Status() ClusterStatus {
 		Generation:  st.gen,
 		NumVertices: f.n,
 		Replication: st.ring.Replication(),
-		Shards:      f.Health(),
+		Shards:      f.healthAt(st),
+	}
+	if fn := f.liveStats.Load(); fn != nil {
+		ls := (*fn)()
+		out.Live = &LiveStatus{PendingEdges: len(ls.PendingEdges), WALSegments: ls.WALSegments}
+		if ls.WALOldestAge > 0 {
+			out.Live.WALOldestAgeSec = ls.WALOldestAge.Seconds()
+		}
+		// Attribute each pending edge to the shards owning either
+		// endpoint: those are the labels the delta contradicts and the
+		// partitions the next incremental compaction will refresh. One
+		// edge counts once per shard even when it owns both ends.
+		counts := make([]int, len(st.nodes))
+		owners := make([]int, 0, 8)
+		touched := make(map[int]struct{}, 8)
+		for _, e := range ls.PendingEdges {
+			clear(touched)
+			for _, v := range e {
+				owners = st.ring.Owners(v, owners[:0])
+				for _, idx := range owners {
+					touched[idx] = struct{}{}
+				}
+			}
+			for idx := range touched {
+				counts[idx]++
+			}
+		}
+		for i := range out.Shards {
+			out.Shards[i].PendingDelta = counts[i]
+		}
 	}
 	if f.rep != nil {
 		out.Repair = f.rep.status()

@@ -54,7 +54,7 @@ func BuildFFScheme(g *graph.Graph, epsilon float64) (*FFScheme, error) {
 	if l < c {
 		l = c
 	}
-	h, err := nets.Build(g)
+	h, err := nets.BuildWithOrder(g, nets.ScatteredOrder(g.NumVertices()))
 	if err != nil {
 		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
 	}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"fsdl/internal/graph"
+)
+
+// edgeSetOf collects a graph's undirected edges as normalized pairs.
+func edgeSetOf(g *graph.Graph) map[[2]int32]bool {
+	set := make(map[[2]int32]bool, g.NumEdges())
+	g.ForEachEdge(func(u, v int) {
+		set[[2]int32{int32(u), int32(v)}] = true
+	})
+	return set
+}
+
+// mutate toggles the given edges (present → delete, absent → insert) and
+// returns the resulting graph plus the normalized mutation list.
+func mutate(t *testing.T, g *graph.Graph, toggles [][2]int32) (*graph.Graph, [][2]int32) {
+	t.Helper()
+	set := edgeSetOf(g)
+	var muts [][2]int32
+	for _, e := range toggles {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		if e[0] == e[1] {
+			continue
+		}
+		if set[e] {
+			delete(set, e)
+		} else {
+			set[e] = true
+		}
+		muts = append(muts, e)
+	}
+	b := graph.NewBuilder(g.NumVertices())
+	for e := range set {
+		b.AddEdge(int(e[0]), int(e[1]))
+	}
+	slices.SortFunc(muts, func(a, b [2]int32) int {
+		if a[0] != b[0] {
+			return int(a[0] - b[0])
+		}
+		return int(a[1] - b[1])
+	})
+	return b.MustBuild(), muts
+}
+
+func encodeAll(s *Scheme) [][]byte {
+	n := s.Graph().NumVertices()
+	out := make([][]byte, n)
+	for v := 0; v < n; v++ {
+		data, _ := s.Label(v).Encode()
+		out[v] = data
+	}
+	return out
+}
+
+// TestBuildSchemeIncremental is the core-level differential test: for random
+// graphs and random insert/delete batches, the delta-scoped rebuild must be
+// bit-identical to a from-scratch build at every worker count, and every
+// vertex it does NOT report dirty must keep a byte-identical label — that
+// guarantee is what lets compaction splice old label bytes forward.
+func TestBuildSchemeIncremental(t *testing.T) {
+	type tc struct {
+		name    string
+		eps     float64
+		base    *graph.Graph
+		toggles [][2]int32
+	}
+	rng := rand.New(rand.NewSource(9))
+	grid := gridGraph(t, 12, 12)
+	var cases []tc
+
+	// Adversarial: mutations between nearby grid vertices sit inside many
+	// overlapping dense balls at once.
+	cases = append(cases, tc{
+		name: "grid_dense_ball", eps: 2.0, base: grid,
+		toggles: [][2]int32{{0, 13}, {13, 26}, {5, 6}, {66, 79}, {66, 91}},
+	})
+	// Single edge delete and single insert.
+	cases = append(cases, tc{
+		name: "grid_single_delete", eps: 2.0, base: grid,
+		toggles: [][2]int32{{60, 61}},
+	})
+	cases = append(cases, tc{
+		name: "grid_single_insert", eps: 2.0, base: grid,
+		toggles: [][2]int32{{0, 143}},
+	})
+	// Tighter ε exercises more levels.
+	cases = append(cases, tc{
+		name: "grid_tight_eps", eps: 0.5, base: grid,
+		toggles: [][2]int32{{40, 53}, {100, 101}},
+	})
+	// Random graphs × random batches of varying size.
+	for i, size := range []int{1, 6, 25} {
+		g := randomConnected(t, 150, 80, rng)
+		var tg [][2]int32
+		for len(tg) < size {
+			u, v := rng.Intn(150), rng.Intn(150)
+			if u != v {
+				tg = append(tg, [2]int32{int32(u), int32(v)})
+			}
+		}
+		cases = append(cases, tc{name: fmt.Sprintf("random_%d", i), eps: 2.0, base: g, toggles: tg})
+	}
+	// Empty delta: everything clean, nothing dirty.
+	cases = append(cases, tc{name: "empty_delta", eps: 2.0, base: grid, toggles: nil})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prev, err := BuildSchemeWorkers(c.base, c.eps, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gNew, muts := mutate(t, c.base, c.toggles)
+			want, err := BuildSchemeWorkers(gNew, c.eps, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLabels := encodeAll(want)
+			prevLabels := encodeAll(prev)
+
+			var firstDirty []int32
+			for _, workers := range []int{1, 2, 8} {
+				inc, err := BuildSchemeIncremental(prev, gNew, muts, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if firstDirty == nil {
+					firstDirty = inc.Dirty
+				} else if !slices.Equal(firstDirty, inc.Dirty) {
+					t.Fatalf("workers=%d: dirty set differs from workers=1", workers)
+				}
+				dirty := make(map[int32]bool, len(inc.Dirty))
+				for _, v := range inc.Dirty {
+					dirty[v] = true
+				}
+				got := encodeAll(inc.Scheme)
+				for v := range got {
+					if !bytes.Equal(got[v], wantLabels[v]) {
+						t.Fatalf("workers=%d: label of %d differs from offline build", workers, v)
+					}
+					if !dirty[int32(v)] && !bytes.Equal(prevLabels[v], wantLabels[v]) {
+						t.Fatalf("workers=%d: vertex %d not dirty but label changed", workers, v)
+					}
+				}
+				if len(muts) == 0 {
+					if len(inc.Dirty) != 0 {
+						t.Fatalf("empty delta produced %d dirty vertices", len(inc.Dirty))
+					}
+					if inc.Stats.RowsReused != inc.Stats.RowsTotal {
+						t.Fatalf("empty delta recomputed rows: %+v", inc.Stats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildSchemeIncrementalRejects covers the argument validation.
+func TestBuildSchemeIncrementalRejects(t *testing.T) {
+	g := gridGraph(t, 4, 4)
+	s, err := BuildScheme(g, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildSchemeIncremental(nil, g, nil, 0); err == nil {
+		t.Fatal("nil previous scheme accepted")
+	}
+	small := gridGraph(t, 3, 3)
+	if _, err := BuildSchemeIncremental(s, small, nil, 0); err == nil {
+		t.Fatal("vertex-space change accepted")
+	}
+}

@@ -84,7 +84,10 @@ func BuildSchemeWorkers(g *graph.Graph, epsilon float64, workers int) (*Scheme, 
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	h, err := nets.BuildWorkers(g, workers)
+	// The scattered scan order keeps the hierarchy stable under local
+	// edge mutations (see nets.ScatteredOrder) — the property
+	// BuildSchemeIncremental's delta scoping depends on.
+	h, err := nets.BuildWithOrderWorkers(g, nets.ScatteredOrder(g.NumVertices()), workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
 	}
@@ -107,7 +110,7 @@ func BuildSchemeAblated(g *graph.Graph, epsilon float64, rShrink int) (*Scheme, 
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	h, err := nets.Build(g)
+	h, err := nets.BuildWithOrder(g, nets.ScatteredOrder(g.NumVertices()))
 	if err != nil {
 		return nil, fmt.Errorf("core: build net hierarchy: %w", err)
 	}

@@ -193,6 +193,84 @@ func Save(w io.Writer, s *core.Scheme, vertices []int) error {
 	return bw.Flush()
 }
 
+// SaveSpliced writes the labels of the given vertices (all when nil) for
+// scheme s, extracting only the vertices listed in dirty and copying every
+// other record's serialized bytes verbatim from prev — the incremental
+// compaction path, where core.BuildSchemeIncremental has proven the labels
+// of non-dirty vertices byte-identical to the previous generation's. The
+// output is byte-identical to Save(w, s, vertices) at a fraction of the
+// extraction cost. A non-dirty vertex absent from prev is an error.
+func SaveSpliced(w io.Writer, s *core.Scheme, prev *Store, dirty []int32, vertices []int) error {
+	n := s.Graph().NumVertices()
+	if prev.NumVertices() != n {
+		return fmt.Errorf("labelstore: splice base has n=%d, scheme has %d", prev.NumVertices(), n)
+	}
+	if vertices == nil {
+		vertices = make([]int, n)
+		for i := range vertices {
+			vertices[i] = i
+		}
+	}
+	isDirty := make(map[int32]struct{}, len(dirty))
+	for _, v := range dirty {
+		isDirty[v] = struct{}{}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicV2); err != nil {
+		return fmt.Errorf("labelstore: write magic: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:k])
+		return err
+	}
+	if err := writeUvarint(uint64(n)); err != nil {
+		return fmt.Errorf("labelstore: write n: %w", err)
+	}
+	if err := writeUvarint(uint64(len(vertices))); err != nil {
+		return fmt.Errorf("labelstore: write count: %w", err)
+	}
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return fmt.Errorf("labelstore: vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	// Same chunked shape as Save, but each chunk bulk-extracts only its
+	// dirty members; clean records are copied bytes.
+	const chunk = 256
+	part := make([]int, 0, chunk)
+	for off := 0; off < len(vertices); off += chunk {
+		span := vertices[off:min(off+chunk, len(vertices))]
+		part = part[:0]
+		for _, v := range span {
+			if _, ok := isDirty[int32(v)]; ok {
+				part = append(part, v)
+			}
+		}
+		labels := s.Labels(part)
+		li := 0
+		for _, v := range span {
+			if li < len(part) && part[li] == v {
+				buf, nbits := labels[li].Encode()
+				li++
+				if err := writeRecord(bw, v, nbits, buf[:(nbits+7)/8]); err != nil {
+					return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
+				}
+				continue
+			}
+			bits, data, ok := prev.Raw(v)
+			if !ok {
+				return fmt.Errorf("labelstore: splice base is missing clean vertex %d", v)
+			}
+			if err := writeRecord(bw, v, bits, data); err != nil {
+				return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
 // SaveRegion writes the labels of every vertex within the given radius of
 // center — the "download the data structure for your region" bundle.
 func SaveRegion(w io.Writer, s *core.Scheme, center int, radius int32) error {

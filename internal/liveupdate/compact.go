@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 
 	"fsdl/internal/core"
 	"fsdl/internal/graph"
@@ -40,6 +41,36 @@ type CompactOptions struct {
 	// shard serves; one <name>.fsdl partition file is written per
 	// entry, so cluster shards can load the new generation directly.
 	Partitions map[string][]int
+	// Prev, when set, selects the incremental build: the scheme is
+	// rebuilt delta-scoped from the previous generation's (only BFS
+	// tasks a mutation can reach are re-run) and clean vertices' label
+	// bytes are spliced forward from the previous store instead of
+	// re-extracted. The output is byte-identical to a full build. Prev
+	// must actually be the generation the snapshot mutates
+	// (Prev.Generation+1 == snap.Generation, same ε, same vertex
+	// space) — a mismatch is an error, not a silent full build, so
+	// callers choose the mode explicitly.
+	Prev *PrevGeneration
+}
+
+// PrevGeneration hands an incremental compaction the previous
+// generation's build state.
+type PrevGeneration struct {
+	// Generation is the previous generation's id.
+	Generation uint64
+	// Dir is its generation directory (optional; enables hard-linking
+	// partition files with no dirty vertices).
+	Dir string
+	// Scheme is the scheme built for it (from its own compaction, or
+	// reconstructed offline from its graph).
+	Scheme *core.Scheme
+	// Store is its full label store — the splice source for clean
+	// label bytes.
+	Store *labelstore.Store
+	// Partitions is the shard→vertex-ids map its partition files were
+	// written with (optional; a partition may be hard-linked only
+	// when its id list is unchanged).
+	Partitions map[string][]int
 }
 
 // CompactionResult is a completed generation build, ready to swap.
@@ -51,9 +82,25 @@ type CompactionResult struct {
 	Dir string
 	// Manifest describes what was written.
 	Manifest *labelstore.Manifest
-	// Store is the full label store, loaded back from Dir so the
-	// serving path swaps to exactly the bytes on disk.
+	// Store is the full label store, loaded back from the written
+	// bytes so the serving path swaps to exactly what is on disk.
 	Store *labelstore.Store
+	// Scheme is the scheme the generation was built with — retain it
+	// (with Store and Dir) as the PrevGeneration of the next
+	// incremental compaction.
+	Scheme *core.Scheme
+	// Incremental reports whether the delta-scoped path built this
+	// generation.
+	Incremental bool
+	// DirtyLabels counts the labels that were re-extracted (equals N
+	// on a full build).
+	DirtyLabels int
+	// PartitionDirty counts, per partition file, the vertices whose
+	// labels changed; ChangedPartitions lists (sorted) the partitions
+	// with at least one — the shards a scoped generation swap must
+	// reload from disk. On a full build every partition is changed.
+	PartitionDirty    map[string]int
+	ChangedPartitions []string
 }
 
 // Compact builds the next label generation from the pipeline's current
@@ -72,11 +119,37 @@ func Compact(p *Pipeline, root string, opts CompactOptions) (*CompactionResult, 
 
 // CompactSnapshot is Compact for an already-taken snapshot — the
 // offline `fsdl compact` path, where the "pipeline" is a graph plus a
-// replayed WAL rather than a live server.
+// replayed WAL rather than a live server. With opts.Prev set the build
+// is delta-scoped (see CompactOptions.Prev); the generation written is
+// byte-identical either way.
 func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*CompactionResult, error) {
-	scheme, err := core.BuildSchemeWorkers(snap.Graph, opts.Epsilon, opts.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("liveupdate: build generation %d scheme: %w", snap.Generation, err)
+	var (
+		scheme *core.Scheme
+		dirty  []int32 // meaningful only on the incremental path
+	)
+	incremental := opts.Prev != nil
+	if incremental {
+		prev := opts.Prev
+		if prev.Scheme == nil || prev.Store == nil {
+			return nil, fmt.Errorf("liveupdate: incremental compaction needs the previous generation's scheme and store")
+		}
+		if prev.Generation+1 != snap.Generation {
+			return nil, fmt.Errorf("liveupdate: incremental compaction base is generation %d, snapshot builds %d", prev.Generation, snap.Generation)
+		}
+		if eps := prev.Scheme.Params().Epsilon; eps != opts.Epsilon {
+			return nil, fmt.Errorf("liveupdate: incremental compaction base has epsilon %g, want %g", eps, opts.Epsilon)
+		}
+		inc, err := core.BuildSchemeIncremental(prev.Scheme, snap.Graph, snap.Mutated, opts.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("liveupdate: incremental build generation %d scheme: %w", snap.Generation, err)
+		}
+		scheme, dirty = inc.Scheme, inc.Dirty
+	} else {
+		s, err := core.BuildSchemeWorkers(snap.Graph, opts.Epsilon, opts.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("liveupdate: build generation %d scheme: %w", snap.Generation, err)
+		}
+		scheme = s
 	}
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, err
@@ -123,6 +196,9 @@ func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*Compact
 	}
 
 	if err := addFile(LabelsFileName, m.N, func(f *os.File) error {
+		if incremental {
+			return labelstore.SaveSpliced(f, scheme, opts.Prev.Store, dirty, nil)
+		}
 		return labelstore.Save(f, scheme, nil)
 	}); err != nil {
 		return nil, err
@@ -130,19 +206,59 @@ func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*Compact
 	if m.N > 0 {
 		m.Files[len(m.Files)-1].First, m.Files[len(m.Files)-1].Last = 0, m.N-1
 	}
+	// Load the just-written store back: partition files are carved from
+	// these exact bytes (no re-extraction), and the serving path swaps
+	// to exactly what is on disk.
+	store, err := loadStoreFile(filepath.Join(tmp, LabelsFileName))
+	if err != nil {
+		return nil, fmt.Errorf("liveupdate: reload generation %d store: %w", snap.Generation, err)
+	}
 	if err := addFile(GraphFileName, 0, func(f *os.File) error {
 		_, err := snap.Graph.WriteTo(f)
 		return err
 	}); err != nil {
 		return nil, err
 	}
+
+	// Per-partition dirty summaries: the scoped cluster swap reloads
+	// only partitions with a changed label. On a full build every
+	// partition counts as changed.
+	dirtySet := make(map[int32]struct{}, len(dirty))
+	for _, v := range dirty {
+		dirtySet[v] = struct{}{}
+	}
+	partitionDirty := make(map[string]int, len(opts.Partitions))
+	var changed []string
 	for name, ids := range opts.Partitions {
 		if name == LabelsFileName || name == GraphFileName || name == labelstore.ManifestName {
 			return nil, fmt.Errorf("liveupdate: shard name %q collides with a generation file", name)
 		}
+		nDirty := 0
+		if incremental {
+			for _, v := range ids {
+				if _, ok := dirtySet[int32(v)]; ok {
+					nDirty++
+				}
+			}
+		} else {
+			nDirty = len(ids)
+		}
+		partitionDirty[name] = nDirty
+		if nDirty > 0 {
+			changed = append(changed, name)
+		}
+		// A partition with no dirty vertex and an unchanged id list is
+		// byte-identical to the previous generation's file: hard-link
+		// it instead of rewriting (fall back to writing when linking
+		// is unsupported or the precondition fails).
+		if nDirty == 0 && incremental && opts.Prev.Dir != "" && slices.Equal(opts.Prev.Partitions[name], ids) {
+			if err := linkFile(m, tmp, opts.Prev.Dir, name+".fsdl", len(ids), ids); err == nil {
+				continue
+			}
+		}
 		ids := ids
 		if err := addFile(name+".fsdl", len(ids), func(f *os.File) error {
-			return labelstore.Save(f, scheme, ids)
+			return store.SaveVertices(f, ids)
 		}); err != nil {
 			return nil, err
 		}
@@ -154,22 +270,63 @@ func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*Compact
 			m.Files[len(m.Files)-1].First, m.Files[len(m.Files)-1].Last = lo, hi
 		}
 	}
+	slices.Sort(changed)
 	if err := labelstore.WriteManifestFile(tmp, m); err != nil {
 		return nil, err
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		return nil, err
 	}
-	f, err := os.Open(filepath.Join(final, LabelsFileName))
+	dirtyLabels := len(dirty)
+	if !incremental {
+		dirtyLabels = m.N
+	}
+	return &CompactionResult{
+		Snapshot:          snap,
+		Dir:               final,
+		Manifest:          m,
+		Store:             store,
+		Scheme:            scheme,
+		Incremental:       incremental,
+		DirtyLabels:       dirtyLabels,
+		PartitionDirty:    partitionDirty,
+		ChangedPartitions: changed,
+	}, nil
+}
+
+// loadStoreFile loads a label store file.
+func loadStoreFile(path string) (*labelstore.Store, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	store, err := labelstore.Load(f)
-	f.Close()
-	if err != nil {
-		return nil, fmt.Errorf("liveupdate: reload generation %d store: %w", snap.Generation, err)
+	defer f.Close()
+	return labelstore.Load(f)
+}
+
+// linkFile hard-links name from the previous generation directory into
+// tmp and records its manifest entry (CRC recomputed from the linked
+// bytes, so the manifest never vouches for content it did not hash).
+func linkFile(m *labelstore.Manifest, tmp, prevDir, name string, records int, ids []int) error {
+	dst := filepath.Join(tmp, name)
+	if err := os.Link(filepath.Join(prevDir, name), dst); err != nil {
+		return err
 	}
-	return &CompactionResult{Snapshot: snap, Dir: final, Manifest: m, Store: store}, nil
+	crc, err := labelstore.FileCRC(dst)
+	if err != nil {
+		os.Remove(dst)
+		return err
+	}
+	entry := labelstore.ManifestFile{Name: name, Records: records, First: -1, Last: -1, CRC: crc}
+	if len(ids) > 0 {
+		lo, hi := ids[0], ids[0]
+		for _, v := range ids {
+			lo, hi = min(lo, v), max(hi, v)
+		}
+		entry.First, entry.Last = lo, hi
+	}
+	m.Files = append(m.Files, entry)
+	return nil
 }
 
 // LoadGenerationBase loads the snapshot graph a generation directory

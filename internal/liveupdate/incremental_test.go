@@ -1,0 +1,217 @@
+package liveupdate
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsdl/internal/gen"
+	"fsdl/internal/labelstore"
+)
+
+func readGenFile(t *testing.T, dir, name string) []byte {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestIncrementalCompactEquivalence is the end-to-end differential gate:
+// a generation compacted incrementally (delta-scoped rebuild + spliced
+// label bytes) must be byte-identical to a full from-scratch build of
+// the same snapshot — every file, at every worker count.
+func TestIncrementalCompactEquivalence(t *testing.T) {
+	const eps = 2.0
+	base := gen.Grid2D(8, 5)
+	parts := map[string][]int{}
+	for v := 0; v < 40; v++ {
+		name := "shard-a"
+		if v >= 20 {
+			name = "shard-b"
+		}
+		parts[name] = append(parts[name], v)
+	}
+	full := CompactOptions{Epsilon: eps, Partitions: parts}
+
+	p, err := Open(Config{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generation 2: a full build establishing the incremental base.
+	if _, err := p.Apply([]Mutation{{Op: MutDelete, U: 0, V: 1}, {Op: MutInsert, U: 3, V: 12}}); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Compact(p, t.TempDir(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Incremental {
+		t.Fatal("full build reported incremental")
+	}
+	if err := p.Commit(res1.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 3: adversarial batch — edges between nearby vertices
+	// sit inside many overlapping dense balls, plus a delete that
+	// reverts part of the earlier batch.
+	batch := []Mutation{
+		{Op: MutInsert, U: 0, V: 1},
+		{Op: MutInsert, U: 9, V: 18},
+		{Op: MutInsert, U: 18, V: 27},
+		{Op: MutDelete, U: 3, V: 12},
+		{Op: MutDelete, U: 21, V: 22},
+	}
+	if _, err := p.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDir := t.TempDir()
+	wantRes, err := CompactSnapshot(snap, fullDir, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := &PrevGeneration{
+		Generation: res1.Snapshot.Generation,
+		Dir:        res1.Dir,
+		Scheme:     res1.Scheme,
+		Store:      res1.Store,
+		Partitions: parts,
+	}
+	files := []string{LabelsFileName, GraphFileName, "shard-a.fsdl", "shard-b.fsdl"}
+	for _, workers := range []int{1, 2, 8} {
+		opts := CompactOptions{Epsilon: eps, Workers: workers, Partitions: parts, Prev: prev}
+		res, err := CompactSnapshot(snap, t.TempDir(), opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Incremental {
+			t.Fatalf("workers=%d: incremental build not taken", workers)
+		}
+		for _, name := range files {
+			want := readGenFile(t, wantRes.Dir, name)
+			got := readGenFile(t, res.Dir, name)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("workers=%d: %s differs from full build", workers, name)
+			}
+		}
+		sum := 0
+		for _, c := range res.PartitionDirty {
+			sum += c
+		}
+		if sum != res.DirtyLabels {
+			t.Fatalf("workers=%d: partition dirty counts sum to %d, want %d", workers, sum, res.DirtyLabels)
+		}
+		for _, name := range res.ChangedPartitions {
+			if res.PartitionDirty[name] == 0 {
+				t.Fatalf("workers=%d: %s listed changed with 0 dirty", workers, name)
+			}
+		}
+	}
+}
+
+// TestIncrementalCompactEmptyDelta: with no mutations every label is
+// clean, so the spliced store re-extracts nothing and unchanged
+// partition files are hard-linked from the previous generation.
+func TestIncrementalCompactEmptyDelta(t *testing.T) {
+	base := gen.Grid2D(6, 5)
+	parts := map[string][]int{"s0": {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, "s1": {10, 15, 20, 25, 29}}
+	opts := CompactOptions{Epsilon: 2.0, Partitions: parts}
+
+	p, err := Open(Config{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Compact(p, t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(res1.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Prev = &PrevGeneration{
+		Generation: res1.Snapshot.Generation,
+		Dir:        res1.Dir,
+		Scheme:     res1.Scheme,
+		Store:      res1.Store,
+		Partitions: parts,
+	}
+	res2, err := CompactSnapshot(snap, t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DirtyLabels != 0 {
+		t.Fatalf("empty delta re-extracted %d labels", res2.DirtyLabels)
+	}
+	if len(res2.ChangedPartitions) != 0 {
+		t.Fatalf("empty delta changed partitions %v", res2.ChangedPartitions)
+	}
+	for name := range parts {
+		oldFi, err := os.Stat(filepath.Join(res1.Dir, name+".fsdl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newFi, err := os.Stat(filepath.Join(res2.Dir, name+".fsdl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !os.SameFile(oldFi, newFi) {
+			t.Fatalf("partition %s was rewritten, not hard-linked", name)
+		}
+	}
+	// The spliced full store still matches a full build byte for byte.
+	want, err := CompactSnapshot(snap, t.TempDir(), CompactOptions{Epsilon: 2.0, Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readGenFile(t, want.Dir, LabelsFileName), readGenFile(t, res2.Dir, LabelsFileName)) {
+		t.Fatal("spliced labels differ from full build")
+	}
+	// Both generations load and verify through the manifest path.
+	if _, err := labelstore.ReadManifestDir(res2.Dir); err != nil {
+		t.Fatalf("incremental generation fails manifest verification: %v", err)
+	}
+}
+
+// TestIncrementalCompactRejects: a Prev that is not actually the
+// snapshot's parent must fail loudly, never silently fall back.
+func TestIncrementalCompactRejects(t *testing.T) {
+	base := gen.Grid2D(4, 4)
+	p, err := Open(Config{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compact(p, t.TempDir(), CompactOptions{Epsilon: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(res.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []CompactOptions{
+		{Epsilon: 2.0, Prev: &PrevGeneration{Generation: res.Snapshot.Generation, Scheme: res.Scheme}},                       // no store
+		{Epsilon: 2.0, Prev: &PrevGeneration{Generation: res.Snapshot.Generation + 7, Scheme: res.Scheme, Store: res.Store}}, // wrong generation
+		{Epsilon: 1.0, Prev: &PrevGeneration{Generation: res.Snapshot.Generation, Scheme: res.Scheme, Store: res.Store}},     // epsilon mismatch
+	}
+	for i, opts := range bad {
+		if _, err := CompactSnapshot(snap, t.TempDir(), opts); err == nil {
+			t.Fatalf("case %d: bad Prev accepted", i)
+		}
+	}
+}

@@ -39,6 +39,7 @@ type Metrics struct {
 	Rejected         int64 // mutations refused by validation
 	Compactions      int64 // generations baked by this pipeline
 	WALFlushes       int64 // fsyncs completed (0 without a WAL)
+	WALSegments      int   // sealed WAL segments retained (0 without a WAL)
 	Pending          int   // delta edges not yet baked into labels
 	Seq              uint64
 	CompactedSeq     uint64
@@ -191,7 +192,11 @@ func foldMutation(inserted, deleted map[edge]struct{}, m Mutation) {
 // every mutation is journaled and folded into the delta, or none is
 // and the error names the first offender. Returns the sequence number
 // of the last mutation applied. The WAL is fsynced before Apply
-// returns, so an acknowledged batch survives a crash.
+// returns, so an acknowledged batch survives a crash; the fsync
+// happens outside the pipeline lock, so concurrent batches ride one
+// group-commit flush instead of queueing a disk flush each. (On an
+// fsync failure the batch stays applied and journaled but is NOT
+// acknowledged — the caller must treat its durability as unknown.)
 func (p *Pipeline) Apply(muts []Mutation) (seq uint64, err error) {
 	if len(muts) == 0 {
 		p.mu.RLock()
@@ -199,51 +204,90 @@ func (p *Pipeline) Apply(muts []Mutation) (seq uint64, err error) {
 		return p.seq, nil
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	// Validate and fold into clones first: a batch may legitimately
-	// delete an edge it just inserted, so validation must see earlier
-	// batch entries, yet a mid-batch failure must leave no trace.
-	ins, del := cloneSet(p.inserted), cloneSet(p.deleted)
-	saveIns, saveDel := p.inserted, p.deleted
-	p.inserted, p.deleted = ins, del
-	var nIns, nDel int64
+	// Validate the whole batch against a batch-local overlay before
+	// touching the delta: a batch may legitimately delete an edge it
+	// just inserted, so validation must see earlier batch entries,
+	// yet a mid-batch failure must leave no trace. The overlay is
+	// O(batch) — the delta maps are no longer cloned per batch.
+	overlay := make(map[edge]int8, len(muts))
 	for i, m := range muts {
-		if err := p.validate(m); err != nil {
-			p.inserted, p.deleted = saveIns, saveDel
+		if err := p.validateOverlay(m, overlay); err != nil {
 			p.rejected.Add(int64(len(muts)))
+			p.mu.Unlock()
 			return p.seq, fmt.Errorf("liveupdate: mutation %d %s(%d,%d): %w", i, m.Op, m.U, m.V, err)
 		}
-		foldMutation(ins, del, m)
+	}
+	var nIns, nDel int64
+	for _, m := range muts {
+		foldMutation(p.inserted, p.deleted, m)
 		if m.Op == MutInsert {
 			nIns++
 		} else {
 			nDel++
 		}
 	}
-	if p.wal != nil {
-		if seq, err = p.wal.Append(muts); err != nil {
-			p.inserted, p.deleted = saveIns, saveDel
-			return p.seq, err
-		}
-		if err := p.wal.Sync(); err != nil {
-			p.inserted, p.deleted = saveIns, saveDel
-			return p.seq, err
+	wal := p.wal
+	if wal != nil {
+		if seq, err = wal.Append(muts); err != nil {
+			// The fold is already journal-ordered; an append failure
+			// means the file is unusable, so fail the batch without
+			// pretending the state rolled back.
+			p.mu.Unlock()
+			return seq, err
 		}
 		p.seq = seq
 	} else {
 		p.seq += uint64(len(muts))
+		seq = p.seq
 	}
 	p.inserts.Add(nIns)
 	p.deletes.Add(nDel)
-	return p.seq, nil
+	p.mu.Unlock()
+	if wal != nil {
+		if err := wal.Sync(); err != nil {
+			return seq, err
+		}
+	}
+	return seq, nil
 }
 
-func cloneSet(s map[edge]struct{}) map[edge]struct{} {
-	out := make(map[edge]struct{}, len(s))
-	for k := range s {
-		out[k] = struct{}{}
+// validateOverlay is validate with a batch-local overlay on top of the
+// delta: +1 marks an edge the batch has made live, -1 one it has
+// removed. On success the mutation's effect is recorded in the
+// overlay.
+func (p *Pipeline) validateOverlay(m Mutation, overlay map[edge]int8) error {
+	n := int32(p.base.NumVertices())
+	if m.U < 0 || m.U >= n || m.V < 0 || m.V >= n {
+		return fmt.Errorf("vertex out of range [0,%d)", n)
 	}
-	return out
+	if m.U == m.V {
+		return fmt.Errorf("self-loop")
+	}
+	e := edgeOf(m.U, m.V)
+	var live bool
+	if s, ok := overlay[e]; ok {
+		live = s > 0
+	} else if _, ins := p.inserted[e]; ins {
+		live = true
+	} else {
+		_, del := p.deleted[e]
+		live = !del && p.base.HasEdge(int(e[0]), int(e[1]))
+	}
+	switch m.Op {
+	case MutInsert:
+		if live {
+			return fmt.Errorf("edge already exists")
+		}
+		overlay[e] = 1
+	case MutDelete:
+		if !live {
+			return fmt.Errorf("edge does not exist")
+		}
+		overlay[e] = -1
+	default:
+		return fmt.Errorf("unknown mutation op %d", m.Op)
+	}
+	return nil
 }
 
 // Pending reports how many delta edges are not yet baked into the
@@ -300,6 +344,10 @@ type Snapshot struct {
 	Seq uint64
 	// Generation is the id the build from this snapshot will carry.
 	Generation uint64
+	// Mutated lists, sorted, the normalized edges by which Graph
+	// differs from the base the served generation was built on — the
+	// delta an incremental compaction scopes its rebuild to.
+	Mutated [][2]int32
 }
 
 // Snapshot materializes the effective graph and the sequence fence a
@@ -321,7 +369,15 @@ func (p *Pipeline) Snapshot() (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("liveupdate: build effective graph: %w", err)
 	}
-	return &Snapshot{Graph: g, Seq: p.seq, Generation: p.generation + 1}, nil
+	mutated := make([][2]int32, 0, len(p.inserted)+len(p.deleted))
+	for e := range p.inserted {
+		mutated = append(mutated, e)
+	}
+	for e := range p.deleted {
+		mutated = append(mutated, e)
+	}
+	sortEdges(mutated)
+	return &Snapshot{Graph: g, Seq: p.seq, Generation: p.generation + 1, Mutated: mutated}, nil
 }
 
 // BeginCompaction claims the single compaction slot; it returns false
@@ -357,12 +413,23 @@ func (p *Pipeline) Commit(snap *Snapshot) error {
 			delete(p.deleted, e) // baked out
 		}
 	}
+	prevFence := p.compactedSeq
 	p.base = newBase
 	p.generation = snap.Generation
 	p.compactedSeq = snap.Seq
 	p.compactions.Add(1)
 	if p.wal != nil {
-		return p.wal.AppendCompaction(snap.Generation, snap.Seq)
+		if err := p.wal.AppendCompaction(snap.Generation, snap.Seq); err != nil {
+			return err
+		}
+		// The marker sealed the active segment. Segments fully at or
+		// below the displaced generation's fence are no longer needed
+		// to rebuild anything still live (shards retain the current
+		// and previous generation), so retention follows the oldest
+		// live generation.
+		if _, err := p.wal.Prune(prevFence); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -413,6 +480,15 @@ func (p *Pipeline) Sync() error {
 	return p.wal.Sync()
 }
 
+// WALStats summarizes the journal's segment state (zero value and
+// false without a WAL).
+func (p *Pipeline) WALStats() (WALStats, bool) {
+	if p.wal == nil {
+		return WALStats{}, false
+	}
+	return p.wal.Stats(), true
+}
+
 // MetricsSnapshot returns the pipeline's counters.
 func (p *Pipeline) MetricsSnapshot() Metrics {
 	p.mu.RLock()
@@ -428,5 +504,8 @@ func (p *Pipeline) MetricsSnapshot() Metrics {
 	m.Rejected = p.rejected.Load()
 	m.Compactions = p.compactions.Load()
 	m.WALFlushes = p.WALFlushedTotal()
+	if ws, ok := p.WALStats(); ok {
+		m.WALSegments = ws.Segments
+	}
 	return m
 }

@@ -23,7 +23,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fsdl/internal/frame"
 )
@@ -193,29 +198,139 @@ func DecodeRecords(buf []byte) (recs []Record, tornAt int) {
 	return recs, off
 }
 
-// WAL is a file-backed mutation journal. Appends go straight to the
-// file descriptor; Sync fsyncs, and the flush counter behind
-// FlushedTotal feeds the fsdl_wal_flushed_total metric so an operator
-// can confirm the final flush happened before a restart.
+// SegmentInfo describes one sealed WAL segment on disk.
+type SegmentInfo struct {
+	// Path is the segment file's path ("<wal>.<index>").
+	Path string
+	// Index is the segment's monotone rotation index.
+	Index uint64
+	// FirstSeq and LastSeq bound the record sequences the segment
+	// holds (0/0 for an empty segment, which rotation never produces).
+	FirstSeq, LastSeq uint64
+	// Bytes is the segment file's size.
+	Bytes int64
+	// Sealed is when the segment was rotated out (file mtime).
+	Sealed time.Time
+}
+
+// WALStats summarizes the journal's on-disk state for status surfaces.
+type WALStats struct {
+	// Segments counts sealed segments currently retained.
+	Segments int
+	// OldestSealed is the seal time of the oldest retained segment
+	// (zero when none) — its age is the journal's compaction debt
+	// horizon.
+	OldestSealed time.Time
+	// ActiveBytes is the size of the active (unsealed) segment.
+	ActiveBytes int64
+	// Seq is the last sequence number written; Flushes counts
+	// completed fsyncs.
+	Seq     uint64
+	Flushes int64
+}
+
+// WAL is a file-backed mutation journal, rotated into sealed segments.
+// The active segment lives at the configured path; every compaction
+// marker seals it (fsync, then an atomic rename to "<path>.<index>")
+// and starts a fresh active file, so the journal's tail — the only
+// part a restart replays — stays short regardless of uptime. Sealed
+// segments are retained until Prune drops those fully covered by the
+// oldest label generation still live, and are immutable: a torn frame
+// inside one is corruption, never a legal crash artifact (only the
+// active segment may end mid-frame).
+//
+// Appends go straight to the file descriptor; Sync fsyncs with group
+// commit — concurrent callers elect a leader whose single fsync covers
+// every record appended before it started, and the rest return without
+// touching the disk. The flush counter behind FlushedTotal feeds the
+// fsdl_wal_flushed_total metric so an operator can confirm the final
+// flush happened before a restart.
 //
 // A WAL is safe for concurrent use.
 type WAL struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	seq     uint64 // last sequence number written
-	flushes int64
-	dirty   bool
-	closed  bool
+	mu        sync.Mutex // serializes appends, rotation, metadata
+	f         *os.File   // active segment
+	path      string
+	seq       uint64 // last sequence number written
+	nextIndex uint64 // rotation index of the next sealed segment
+	sealed    []SegmentInfo
+	closed    bool
+
+	// Group commit: appends take a ticket; Sync fsyncs only when the
+	// flushed ticket lags the append ticket, and one fsync flushes
+	// every ticket issued before it. syncMu elects the fsync leader
+	// without blocking appends.
+	syncMu        sync.Mutex
+	appendTicket  atomic.Uint64
+	flushedTicket atomic.Uint64
+	flushes       atomic.Int64
 }
 
-// OpenWAL opens (or creates) the journal at path and replays it.
-// Records beyond a torn tail — a partial frame from a crash mid-append
-// — are discarded and the file is truncated to the last intact frame,
-// so a restart never replays garbage. The returned records are every
-// intact entry in order; the caller filters against the last
-// compaction marker.
+// segmentPath names sealed segment files: "<wal path>.<16-digit index>".
+func segmentPath(path string, index uint64) string {
+	return fmt.Sprintf("%s.%016d", path, index)
+}
+
+// listSegments finds the sealed segments of the journal at path,
+// sorted by rotation index.
+func listSegments(path string) ([]SegmentInfo, error) {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, m := range matches {
+		suffix := m[len(path)+1:]
+		if len(suffix) != 16 {
+			continue // not a segment (e.g. a temp file)
+		}
+		idx, err := strconv.ParseUint(suffix, 10, 64)
+		if err != nil {
+			continue
+		}
+		fi, err := os.Stat(m)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, SegmentInfo{Path: m, Index: idx, Bytes: fi.Size(), Sealed: fi.ModTime()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Index < segs[j].Index })
+	return segs, nil
+}
+
+// OpenWAL opens (or creates) the journal at path and replays it:
+// every sealed segment in rotation order, then the active file.
+// Records beyond a torn tail of the active segment — a partial frame
+// from a crash mid-append — are discarded and the file is truncated
+// to the last intact frame, so a restart never replays garbage. A
+// torn or corrupt frame inside a sealed segment fails the open:
+// sealed content was fsynced before the rename, so damage there is
+// real corruption. The returned records are every intact entry in
+// order; the caller filters against the last compaction marker.
 func OpenWAL(path string) (*WAL, []Record, error) {
+	segs, err := listSegments(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []Record
+	w := &WAL{path: path}
+	for i := range segs {
+		seg := &segs[i]
+		buf, err := os.ReadFile(seg.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		rs, tornAt := DecodeRecords(buf)
+		if tornAt < len(buf) {
+			return nil, nil, fmt.Errorf("liveupdate: sealed wal segment %s corrupt at offset %d", seg.Path, tornAt)
+		}
+		if len(rs) > 0 {
+			seg.FirstSeq, seg.LastSeq = rs[0].Seq, maxSeq(rs)
+		}
+		recs = append(recs, rs...)
+		w.nextIndex = seg.Index + 1
+	}
+	w.sealed = segs
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
@@ -225,7 +340,7 @@ func OpenWAL(path string) (*WAL, []Record, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	recs, tornAt := DecodeRecords(buf)
+	rs, tornAt := DecodeRecords(buf)
 	if tornAt < len(buf) {
 		if err := f.Truncate(int64(tornAt)); err != nil {
 			f.Close()
@@ -240,7 +355,8 @@ func OpenWAL(path string) (*WAL, []Record, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	w := &WAL{f: f, path: path}
+	recs = append(recs, rs...)
+	w.f = f
 	for _, r := range recs {
 		if r.Seq > w.seq {
 			w.seq = r.Seq
@@ -249,10 +365,21 @@ func OpenWAL(path string) (*WAL, []Record, error) {
 	return w, recs, nil
 }
 
+func maxSeq(rs []Record) uint64 {
+	var m uint64
+	for _, r := range rs {
+		if r.Seq > m {
+			m = r.Seq
+		}
+	}
+	return m
+}
+
 // Append journals muts, assigning each the next sequence number, and
 // returns the last sequence written. The records are written in one
-// contiguous byte range but not yet fsynced — call Sync once per
-// accepted batch.
+// contiguous byte range but not yet fsynced — call Sync before
+// acknowledging the batch; concurrent batches share the leader's
+// fsync.
 func (w *WAL) Append(muts []Mutation) (seq uint64, err error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -268,14 +395,18 @@ func (w *WAL) Append(muts []Mutation) (seq uint64, err error) {
 		if _, err := w.f.Write(buf); err != nil {
 			return w.seq, fmt.Errorf("liveupdate: wal append: %w", err)
 		}
-		w.dirty = true
+		w.appendTicket.Add(1)
 	}
 	return w.seq, nil
 }
 
 // AppendCompaction journals a compaction marker committing generation
-// gen through sequence seq, and fsyncs it — a marker that might
-// vanish in a crash would resurrect already-baked mutations on replay.
+// gen through sequence seq, fsyncs it — a marker that might vanish in
+// a crash would resurrect already-baked mutations on replay — and
+// seals the active segment: its content is durable before the atomic
+// rename, and a fresh active file takes its place. Every sealed
+// segment therefore ends with a compaction marker, which is what
+// makes retention per generation (Prune) exact.
 func (w *WAL) AppendCompaction(gen, seq uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -286,30 +417,129 @@ func (w *WAL) AppendCompaction(gen, seq uint64) error {
 	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("liveupdate: wal append compaction: %w", err)
 	}
-	w.dirty = true
-	return w.syncLocked()
-}
-
-// Sync fsyncs any appended records to disk.
-func (w *WAL) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return nil
-	}
-	return w.syncLocked()
-}
-
-func (w *WAL) syncLocked() error {
-	if !w.dirty {
-		return nil
-	}
+	w.appendTicket.Add(1)
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("liveupdate: wal sync: %w", err)
 	}
-	w.dirty = false
-	w.flushes++
+	w.flushes.Add(1)
+	w.creditFlushed(w.appendTicket.Load())
+	return w.rotateLocked(seq)
+}
+
+// rotateLocked seals the fsynced active segment and opens a fresh
+// one. Callers hold w.mu and have already fsynced the active file.
+func (w *WAL) rotateLocked(lastSeq uint64) error {
+	fi, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("liveupdate: wal rotate: %w", err)
+	}
+	if w.seq > lastSeq {
+		lastSeq = w.seq
+	}
+	sealedPath := segmentPath(w.path, w.nextIndex)
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("liveupdate: wal rotate: close active: %w", err)
+	}
+	if err := os.Rename(w.path, sealedPath); err != nil {
+		return fmt.Errorf("liveupdate: wal rotate: seal segment: %w", err)
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("liveupdate: wal rotate: new active segment: %w", err)
+	}
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		f.Close()
+		return fmt.Errorf("liveupdate: wal rotate: %w", err)
+	}
+	w.sealed = append(w.sealed, SegmentInfo{
+		Path:    sealedPath,
+		Index:   w.nextIndex,
+		LastSeq: lastSeq,
+		Bytes:   fi.Size(),
+		Sealed:  time.Now(),
+	})
+	w.nextIndex++
+	w.f = f
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Prune deletes sealed segments whose every record is at or below
+// throughSeq — the fence of the oldest label generation still live.
+// Segments above the fence are the history needed to rebuild the
+// current generation's delta from that oldest survivor, so they stay.
+// It returns how many segments were removed.
+func (w *WAL) Prune(throughSeq uint64) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	pruned := 0
+	for len(w.sealed) > 0 {
+		seg := w.sealed[0]
+		if seg.LastSeq == 0 || seg.LastSeq > throughSeq {
+			break
+		}
+		if err := os.Remove(seg.Path); err != nil {
+			return pruned, fmt.Errorf("liveupdate: wal prune: %w", err)
+		}
+		w.sealed = w.sealed[1:]
+		pruned++
+	}
+	return pruned, nil
+}
+
+// Sync makes every record appended before the call durable. It
+// fsyncs at most once: the caller that finds the flush lagging
+// becomes the leader, and callers arriving while the leader's fsync
+// is in flight wait on it and then return without issuing their own
+// — the group-commit window that lets N concurrent mutation batches
+// share one disk flush.
+func (w *WAL) Sync() error {
+	target := w.appendTicket.Load()
+	if w.flushedTicket.Load() >= target {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.flushedTicket.Load() >= target {
+		return nil // the previous leader's fsync covered us
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil // Close already flushed everything
+	}
+	f := w.f
+	covered := w.appendTicket.Load()
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("liveupdate: wal sync: %w", err)
+	}
+	w.flushes.Add(1)
+	w.creditFlushed(covered)
+	return nil
+}
+
+// creditFlushed advances the flushed ticket to at least t.
+func (w *WAL) creditFlushed(t uint64) {
+	for {
+		old := w.flushedTicket.Load()
+		if old >= t || w.flushedTicket.CompareAndSwap(old, t) {
+			return
+		}
+	}
 }
 
 // Close fsyncs and closes the journal — the graceful-drain path, so a
@@ -320,7 +550,13 @@ func (w *WAL) Close() error {
 	if w.closed {
 		return nil
 	}
-	syncErr := w.syncLocked()
+	var syncErr error
+	if t := w.appendTicket.Load(); w.flushedTicket.Load() < t {
+		if syncErr = w.f.Sync(); syncErr == nil {
+			w.flushes.Add(1)
+			w.creditFlushed(t)
+		}
+	}
 	w.closed = true
 	if err := w.f.Close(); err != nil {
 		return err
@@ -337,11 +573,33 @@ func (w *WAL) Seq() uint64 {
 
 // FlushedTotal reports how many fsyncs have completed — the
 // fsdl_wal_flushed_total metric.
-func (w *WAL) FlushedTotal() int64 {
+func (w *WAL) FlushedTotal() int64 { return w.flushes.Load() }
+
+// Segments returns the sealed segments currently retained, oldest
+// first.
+func (w *WAL) Segments() []SegmentInfo {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.flushes
+	out := make([]SegmentInfo, len(w.sealed))
+	copy(out, w.sealed)
+	return out
 }
 
-// Path returns the journal's file path.
+// Stats summarizes the journal for status surfaces.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WALStats{Segments: len(w.sealed), Seq: w.seq, Flushes: w.flushes.Load()}
+	if len(w.sealed) > 0 {
+		st.OldestSealed = w.sealed[0].Sealed
+	}
+	if !w.closed {
+		if fi, err := w.f.Stat(); err == nil {
+			st.ActiveBytes = fi.Size()
+		}
+	}
+	return st
+}
+
+// Path returns the active journal file's path.
 func (w *WAL) Path() string { return w.path }

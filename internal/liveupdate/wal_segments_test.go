@@ -1,0 +1,273 @@
+package liveupdate
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fsdl/internal/gen"
+)
+
+func walMuts(n int, start int32) []Mutation {
+	var muts []Mutation
+	for i := int32(0); i < int32(n); i++ {
+		muts = append(muts, Mutation{Op: MutInsert, U: start + i, V: start + i + 1})
+	}
+	return muts
+}
+
+// TestWALSegmentRotation: a compaction marker seals the active file
+// into a numbered segment and starts a fresh one; reopening replays
+// sealed segments and the active tail in order.
+func TestWALSegmentRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh wal replayed %d records", len(recs))
+	}
+	seq, err := w.Append(walMuts(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCompaction(2, seq); err != nil {
+		t.Fatal(err)
+	}
+	sealed := segmentPath(path, 0)
+	if _, err := os.Stat(sealed); err != nil {
+		t.Fatalf("sealed segment missing: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("active segment not fresh after rotation: %v (size %d)", err, fi.Size())
+	}
+	if _, err := w.Append(walMuts(2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Segments != 1 || st.OldestSealed.IsZero() {
+		t.Fatalf("stats after rotation: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 6 { // 3 muts + marker + 2 muts
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+	if !recs[3].Compaction || recs[3].Generation != 2 {
+		t.Fatalf("record 3 is not the compaction marker: %+v", recs[3])
+	}
+	if recs[5].Seq != 5 || w2.Seq() != 5 {
+		t.Fatalf("sequence not resumed: last rec %d, seq %d", recs[5].Seq, w2.Seq())
+	}
+	if got := w2.Stats().Segments; got != 1 {
+		t.Fatalf("reopened wal sees %d segments, want 1", got)
+	}
+}
+
+// TestWALTornTailAfterRotation: a crash mid-append tears only the
+// active segment; sealed history replays intact and the torn bytes
+// are truncated, never replayed.
+func TestWALTornTailAfterRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Append(walMuts(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCompaction(2, seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(walMuts(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 4 { // 2 muts + marker + 1 mut; garbage dropped
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := fi.Size()
+	buf, _ := os.ReadFile(path)
+	if rs, tornAt := DecodeRecords(buf); tornAt != int(torn) || len(rs) != 1 {
+		t.Fatalf("active segment not truncated cleanly: %d records, torn at %d of %d", len(rs), tornAt, torn)
+	}
+}
+
+// TestWALCorruptSealedSegment: sealed segments were fsynced before
+// the rename, so a bad frame inside one is corruption and must fail
+// the open instead of being silently truncated.
+func TestWALCorruptSealedSegment(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.Append(walMuts(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCompaction(2, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := segmentPath(path, 0)
+	buf, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0xff
+	if err := os.WriteFile(sealed, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil {
+		t.Fatal("corrupt sealed segment opened without error")
+	}
+}
+
+// TestWALRetentionFollowsOldestLiveGeneration: committing generation
+// G prunes segments fully covered by generation G-1's fence, so the
+// journal retains exactly the history between the two live
+// generations plus the active tail.
+func TestWALRetentionFollowsOldestLiveGeneration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.wal")
+	base := gen.Grid2D(5, 4)
+	p, err := Open(Config{Base: base, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compactOnce := func(muts []Mutation) {
+		t.Helper()
+		if _, err := p.Apply(muts); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compact(p, dir, CompactOptions{Epsilon: 2.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Commit(res.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compactOnce([]Mutation{{Op: MutDelete, U: 0, V: 1}})
+	st, _ := p.WALStats()
+	if st.Segments != 1 {
+		t.Fatalf("after first compaction: %d segments, want 1", st.Segments)
+	}
+	compactOnce([]Mutation{{Op: MutInsert, U: 0, V: 1}})
+	st, _ = p.WALStats()
+	if st.Segments != 1 {
+		t.Fatalf("after second compaction: %d segments, want 1 (oldest pruned)", st.Segments)
+	}
+	if _, err := os.Stat(segmentPath(path, 0)); !os.IsNotExist(err) {
+		t.Fatalf("segment 0 not pruned: %v", err)
+	}
+	if _, err := os.Stat(segmentPath(path, 1)); err != nil {
+		t.Fatalf("segment 1 missing: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A restart replays only live segments and resumes the committed
+	// generation with an empty pending delta.
+	p2, err := Open(Config{Base: base, WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.Generation(); got != 3 {
+		t.Fatalf("resumed generation %d, want 3", got)
+	}
+	if got := p2.Pending(); got != 0 {
+		t.Fatalf("resumed pending %d, want 0", got)
+	}
+}
+
+// TestWALGroupCommit: Sync fsyncs only when appends outpace flushes —
+// repeated Syncs with nothing new are free, and concurrent
+// append+sync pairs share leaders without losing records.
+func TestWALGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(walMuts(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n1 := w.FlushedTotal()
+	if n1 == 0 {
+		t.Fatal("sync did not flush")
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.FlushedTotal(); got != n1 {
+		t.Fatalf("redundant syncs flushed: %d -> %d", n1, got)
+	}
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := w.Append(walMuts(1, int32(10+2*i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.Sync(); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 1+writers {
+		t.Fatalf("lost records under concurrency: %d, want %d", len(recs), 1+writers)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -78,6 +79,49 @@ func (h *Hierarchy) Nearest(i, v int) (point int, dist int32) {
 // in increasing vertex order, making the construction deterministic.
 func Build(g *graph.Graph) (*Hierarchy, error) {
 	return BuildWithOrderWorkers(g, nil, 0)
+}
+
+// ScatteredOrder returns a fixed pseudo-random permutation of 0..n-1:
+// vertices sorted by a splitmix64 hash of their id. The permutation
+// depends only on n, never on the graph's edges.
+//
+// The greedy W(r) scan is the lexicographically-first maximal
+// independent set of the (r−1)-ball graph under the scan order, so a
+// vertex's selection depends on earlier-ranked picks within one ball —
+// recursively, on rank-decreasing chains of overlapping balls. Under
+// increasing-id order those chains follow the id gradient and one edge
+// mutation can phase-shift every later pick (on a ring lattice it
+// reseats nearly all net points). Under a hashed order the chains have
+// expected O(log n) length, so a local edge change only reseats nearby
+// net points — which is what keeps incremental rebuilds delta-scoped.
+// The scheme builders in internal/core scan in this order.
+func ScatteredOrder(n int) []int {
+	type keyed struct {
+		key uint64
+		v   int32
+	}
+	ks := make([]keyed, n)
+	for v := range ks {
+		// splitmix64 finalizer: a full-avalanche mix of the vertex id.
+		z := uint64(v) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		ks[v] = keyed{key: z ^ (z >> 31), v: int32(v)}
+	}
+	slices.SortFunc(ks, func(a, b keyed) int {
+		if a.key != b.key {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		}
+		return int(a.v - b.v)
+	})
+	order := make([]int, n)
+	for i, k := range ks {
+		order[i] = int(k.v)
+	}
+	return order
 }
 
 // BuildWorkers is Build with an explicit worker count for the parallel

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -21,7 +23,7 @@ import (
 //	POST /v1/fail            {"vertices":[...], "edges":[[u,v],...]}           → State
 //	POST /v1/recover         same                                              → State
 //	POST /v1/mutate          {"mutations":[{"op":"insert","u":..,"v":..},...]} → MutateState
-//	POST /v1/compact         (no body)                                         → CompactResult
+//	POST /v1/compact         optional {"mode":"auto"|"full"|"incremental"}     → CompactResult
 //	GET  /v1/state                                                             → State
 //	GET  /healthz                                                              → {"status":"ok"}
 //	GET  /metrics                                                              → Prometheus text
@@ -360,7 +362,26 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("use POST"))
 		return
 	}
-	res, err := s.Compact()
+	// The body is optional (a bare POST keeps its historical meaning,
+	// mode auto), so this can't go through decodeBody, which treats an
+	// empty body as malformed.
+	var req struct {
+		Mode string `json:"mode"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<16))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	res, err := s.CompactMode(req.Mode)
 	if err != nil {
 		s.writeError(w, err)
 		return

@@ -29,10 +29,26 @@ type MutateState struct {
 	Exact      bool   `json:"exact"`
 }
 
+// Compaction modes accepted by CompactMode and the optional
+// /v1/compact request body.
+const (
+	// CompactAuto builds incrementally when the previous generation's
+	// build state is retained in memory and still current, and falls
+	// back to a full rebuild otherwise. The default.
+	CompactAuto = "auto"
+	// CompactFull forces a from-scratch rebuild.
+	CompactFull = "full"
+	// CompactIncremental requires the delta-scoped path and errors when
+	// no usable base generation is retained (e.g. right after a
+	// restart) — for callers that would rather fail than eat a full
+	// build.
+	CompactIncremental = "incremental"
+)
+
 // CompactResult is the outcome of a completed compaction + swap.
 type CompactResult struct {
 	Generation uint64 `json:"generation"`
-	Dir        string `json:"dir"`
+	Dir        string `json:"dir,omitempty"`
 	Seq        uint64 `json:"seq"`
 	// Pending counts delta edges that streamed in while the build ran
 	// and thus survive into the next compaction window.
@@ -40,6 +56,21 @@ type CompactResult struct {
 	// Epoch is the new ring epoch when the swap went through a cluster
 	// frontend (0 for a local store swap).
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Incremental reports that the delta-scoped build produced this
+	// generation (byte-identical to a full build, but only DirtyLabels
+	// labels were re-extracted).
+	Incremental bool `json:"incremental,omitempty"`
+	// DirtyLabels counts re-extracted labels (= n on a full build).
+	DirtyLabels int `json:"dirty_labels,omitempty"`
+	// ChangedShards lists the partitions with at least one dirty label
+	// — the shards a scoped cluster swap reloaded from disk.
+	ChangedShards []string `json:"changed_shards,omitempty"`
+	// Noop reports the empty-delta fast path: nothing was built or
+	// swapped, and Generation/Seq describe the generation already
+	// serving. A no-op is 200, not an error — the caller asked for the
+	// delta to be baked and it (vacuously) is. Only a compaction
+	// already in flight is a 409.
+	Noop bool `json:"noop,omitempty"`
 }
 
 // Mutate applies an ordered edge-mutation batch atomically: every
@@ -65,12 +96,26 @@ func (s *Server) Mutate(muts []liveupdate.Mutation) (MutateState, error) {
 	}, nil
 }
 
-// Compact bakes the pending delta into the next label generation
-// (using the parallel offline build) and swaps it into the serving
-// path without dropping a query. One compaction runs at a time;
-// mutations keep streaming in while the build runs and are reconciled
-// by Commit afterwards.
+// Compact bakes the pending delta into the next label generation and
+// swaps it into the serving path without dropping a query, choosing
+// the build mode automatically. See CompactMode.
 func (s *Server) Compact() (CompactResult, error) {
+	return s.CompactMode(CompactAuto)
+}
+
+// CompactMode bakes the pending delta into the next label generation
+// (delta-scoped or from scratch per mode) and swaps it into the
+// serving path without dropping a query. One compaction runs at a
+// time (ErrCompacting, HTTP 409, otherwise); mutations keep streaming
+// in while the build runs and are reconciled by Commit afterwards. An
+// empty delta short-circuits: nothing is built and the current
+// generation is returned with Noop set (HTTP 200).
+func (s *Server) CompactMode(mode string) (CompactResult, error) {
+	switch mode {
+	case "", CompactAuto, CompactFull, CompactIncremental:
+	default:
+		return CompactResult{}, fmt.Errorf("server: unknown compaction mode %q (want %q, %q or %q)", mode, CompactAuto, CompactFull, CompactIncremental)
+	}
 	if s.live == nil {
 		return CompactResult{}, fmt.Errorf("server: live updates disabled (start with a mutation pipeline)")
 	}
@@ -82,14 +127,36 @@ func (s *Server) Compact() (CompactResult, error) {
 	}
 	defer s.live.EndCompaction()
 
+	// Empty-delta fast path: the delta the caller wants baked is
+	// already (vacuously) baked, so don't burn a build or bump the
+	// generation. The check sits inside BeginCompaction so it can't
+	// race a concurrent mutation batch into a half-observed window.
+	if s.live.Pending() == 0 {
+		return CompactResult{Generation: s.live.Generation(), Seq: s.live.Seq(), Noop: true}, nil
+	}
+
+	prev := s.retainedPrev(mode)
+	if mode == CompactIncremental && prev == nil {
+		return CompactResult{}, fmt.Errorf("server: incremental compaction has no base: the previous generation's build state is not retained (run one full compaction first)")
+	}
+
 	res, err := liveupdate.Compact(s.live, s.cfg.LiveRoot, liveupdate.CompactOptions{
-		Epsilon: s.cfg.Epsilon,
-		Workers: s.cfg.CompactWorkers,
+		Epsilon:    s.cfg.Epsilon,
+		Workers:    s.cfg.CompactWorkers,
+		Partitions: s.cfg.Partitions,
+		Prev:       prev,
 	})
 	if err != nil {
 		return CompactResult{}, err
 	}
-	out := CompactResult{Generation: res.Snapshot.Generation, Dir: res.Dir, Seq: res.Snapshot.Seq}
+	out := CompactResult{
+		Generation:    res.Snapshot.Generation,
+		Dir:           res.Dir,
+		Seq:           res.Snapshot.Seq,
+		Incremental:   res.Incremental,
+		DirtyLabels:   res.DirtyLabels,
+		ChangedShards: res.ChangedPartitions,
+	}
 
 	// Swap before Commit. Between the two, queries see the new labels
 	// with the old delta still applied — re-forbidding already-removed
@@ -99,7 +166,16 @@ func (s *Server) Compact() (CompactResult, error) {
 	// the old generation cannot provide.
 	switch src := s.src.(type) {
 	case GenerationSwapper:
-		epoch, err := src.SwapGeneration(res.Snapshot.Generation)
+		var epoch uint64
+		var err error
+		// After an incremental build only ChangedShards differ on disk;
+		// a scope-aware frontend reloads those and re-tags the rest in
+		// place, so an ε-sized delta flips in ε-sized work.
+		if sc, ok := src.(ScopedGenerationSwapper); ok && res.Incremental {
+			epoch, err = sc.SwapGenerationScoped(res.Snapshot.Generation, res.ChangedPartitions)
+		} else {
+			epoch, err = src.SwapGeneration(res.Snapshot.Generation)
+		}
 		if err != nil {
 			return CompactResult{}, fmt.Errorf("server: swap to generation %d: %w", res.Snapshot.Generation, err)
 		}
@@ -112,10 +188,39 @@ func (s *Server) Compact() (CompactResult, error) {
 	if err := s.live.Commit(res.Snapshot); err != nil {
 		return CompactResult{}, err
 	}
+	s.prevMu.Lock()
+	s.prevGen = res
+	s.prevMu.Unlock()
 	s.cache.Flush()
 	s.met.cacheFlushes.Add(1)
 	out.Pending = s.live.Pending()
 	return out, nil
+}
+
+// retainedPrev returns the retained previous-generation build state as
+// an incremental base, or nil when the mode forbids it or the
+// retained result no longer matches the pipeline's generation (a
+// compaction that failed mid-swap, or none yet this process).
+func (s *Server) retainedPrev(mode string) *liveupdate.PrevGeneration {
+	if mode == CompactFull {
+		return nil
+	}
+	s.prevMu.Lock()
+	prev := s.prevGen
+	s.prevMu.Unlock()
+	if prev == nil || prev.Snapshot.Generation != s.live.Generation() {
+		return nil
+	}
+	return &liveupdate.PrevGeneration{
+		Generation: prev.Snapshot.Generation,
+		Dir:        prev.Dir,
+		Scheme:     prev.Scheme,
+		Store:      prev.Store,
+		// The layout is fixed by config, so the retained generation's
+		// partition files were written with exactly this map — the
+		// hard-link precondition.
+		Partitions: s.cfg.Partitions,
+	}
 }
 
 // Close drains the live pipeline: the mutation WAL is fsynced and

@@ -170,4 +170,5 @@ func renderLive(sb *strings.Builder, m liveupdate.Metrics) {
 	gauge("fsdl_live_generation", "Label generation currently served.", int64(m.Generation))
 	gauge("fsdl_live_seq", "Last applied mutation sequence.", int64(m.Seq))
 	gauge("fsdl_live_compacted_seq", "Last mutation sequence baked into a generation.", int64(m.CompactedSeq))
+	gauge("fsdl_wal_segments", "Sealed mutation-WAL segments retained on disk (0 without a WAL).", int64(m.WALSegments))
 }

@@ -88,6 +88,12 @@ type Config struct {
 	// CompactWorkers bounds compaction build parallelism (0 =
 	// GOMAXPROCS).
 	CompactWorkers int
+	// Partitions optionally maps shard names to the vertex ids each
+	// serves; compaction then writes one partition file per shard into
+	// every generation directory, and an incremental compaction reports
+	// which shards actually changed so a cluster swap can reload only
+	// those.
+	Partitions map[string][]int
 }
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -157,6 +163,14 @@ type Server struct {
 
 	cache *resultCache
 	met   *metrics
+
+	// prevMu guards prevGen, the last committed compaction retained in
+	// memory as the base of the next incremental build. It is valid
+	// only while its generation still matches the pipeline's — anything
+	// else (a restart, a failed commit) silently falls back to a full
+	// build.
+	prevMu  sync.Mutex
+	prevGen *liveupdate.CompactionResult
 
 	// slots is the worker-pool semaphore; queued counts admissions in
 	// flight (executing + waiting), capped at Workers+QueueDepth.

@@ -81,6 +81,16 @@ type (
 		Generation() uint64
 		SwapGeneration(gen uint64) (uint64, error)
 	}
+	// ScopedGenerationSwapper is a GenerationSwapper that can flip a
+	// generation while reloading from disk only the shards the
+	// compaction reported changed; every other shard re-tags the
+	// byte-identical partition it already serves. Incremental
+	// compaction routes its swap here so an ε-sized delta costs an
+	// ε-sized flip. cluster.Frontend implements it.
+	ScopedGenerationSwapper interface {
+		GenerationSwapper
+		SwapGenerationScoped(gen uint64, changed []string) (uint64, error)
+	}
 )
 
 // storeSource adapts the in-process labelstore.Store to LabelSource.
