@@ -7,7 +7,11 @@
 //
 //	fsdl-serve -store labels.fsdl [-addr :8080] [-salvage] [-graph graph.txt]
 //	           [-workers N] [-queue N] [-deadline 5s] [-budget 0]
-//	           [-cache 4096] [-cache-shards 8] [-eps 2]
+//	           [-cache 4096] [-cache-shards 8] [-eps 2] [-mmap]
+//
+// With -mmap an FSDL3 store (see docs/STORAGE.md) is served straight
+// from the OS page cache, so stores larger than RAM stay servable;
+// -compress makes live compactions emit compressed FSDL3 generations.
 //
 // Cluster mode replaces the local store with a scatter-gather frontend
 // over fsdl-shard servers (see docs/CLUSTER.md):
@@ -60,6 +64,8 @@ func run(args []string) error {
 	repairEvery := fs.Duration("repair", 2*time.Second, "cluster: anti-entropy repair sweep interval (0 disables)")
 	retryBudget := fs.Float64("retry-budget", 0, "cluster: retries+hedges per first attempt (0 = 0.1, negative disables)")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged store: skip corrupt records, answer conservatively")
+	mmap := fs.Bool("mmap", false, "serve an FSDL3 store from the OS page cache (mmap) instead of loading it into heap")
+	compress := fs.Bool("compress", false, "live: compactions write compressed FSDL3 generations")
 	graphPath := fs.String("graph", "", "graph file; enables the dynamic-oracle query path")
 	eps := fs.Float64("eps", 2, "dynamic oracle precision epsilon")
 	addr := fs.String("addr", ":8080", "listen address")
@@ -118,12 +124,7 @@ func run(args []string) error {
 		member = m
 		cfg.Source = fe
 	case *salvage:
-		f, err := os.Open(*storePath)
-		if err != nil {
-			return err
-		}
-		st, rep, err := labelstore.LoadPartial(f)
-		f.Close()
+		st, rep, err := labelstore.OpenPartial(*storePath)
 		if err != nil {
 			return err
 		}
@@ -137,16 +138,18 @@ func run(args []string) error {
 		}
 		cfg.Store, cfg.Report = st, rep
 	default:
-		f, err := os.Open(*storePath)
-		if err != nil {
-			return err
+		open := labelstore.OpenHeap
+		if *mmap {
+			open = labelstore.Open
 		}
-		st, err := labelstore.Load(f)
-		f.Close()
+		st, err := open(*storePath)
 		if err != nil {
 			return fmt.Errorf("load %s: %w (use -salvage to tolerate damage)", *storePath, err)
 		}
 		cfg.Store = st
+	}
+	if *compress {
+		cfg.CompactFormat, cfg.CompactCompress = 3, true
 	}
 
 	if *graphPath != "" {

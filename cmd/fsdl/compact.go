@@ -19,6 +19,7 @@ import (
 //
 //	fsdl compact -root gens/ [-wal gens/mutations.wal] [-in graph.txt]
 //	             [-eps 2] [-workers N] [-members members.txt] [-force]
+//	             [-format fsdl3] [-compress]
 //
 // The base graph comes from the newest generation already in -root
 // (its graph.txt snapshot); -in seeds the very first compaction, when
@@ -35,7 +36,13 @@ func cmdCompact(args []string, out io.Writer) error {
 	members := fs.String("members", "", "cluster membership file; also write per-shard partition files")
 	force := fs.Bool("force", false, "build a generation even with no pending mutations")
 	incremental := fs.Bool("incremental", false, "delta-scoped rebuild off the newest generation (byte-identical output; requires an existing generation)")
+	format := fs.String("format", "fsdl2", "label container written into the generation: fsdl2 or fsdl3 (mmap-first)")
+	compress := fs.Bool("compress", false, "compress FSDL3 record payloads (requires -format fsdl3)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format3, err := parseFormat(*format, *compress)
+	if err != nil {
 		return err
 	}
 	if *root == "" {
@@ -83,7 +90,10 @@ func cmdCompact(args []string, out io.Writer) error {
 		return nil
 	}
 
-	opts := liveupdate.CompactOptions{Epsilon: *eps, Workers: *workers}
+	opts := liveupdate.CompactOptions{Epsilon: *eps, Workers: *workers, Compress: *compress}
+	if format3 {
+		opts.Format = 3
+	}
 	if *members != "" {
 		m, err := cluster.LoadMembership(*members)
 		if err != nil {

@@ -6,16 +6,17 @@
 //
 //	fsdl gen   -kind grid -size 16 [-out graph.txt]
 //	fsdl stats -in graph.txt [-eps 2]
+//	fsdl stats labels.fsdl            (label store statistics; see docs/STORAGE.md)
 //	fsdl label -in graph.txt -v 12 [-eps 2]
 //	fsdl query -in graph.txt -s 0 -t 99 [-eps 2] [-fail 5,17] [-failedge 3-4]
 //	fsdl route -in graph.txt -s 0 -t 99 [-eps 2] [-fail 5,17]
 //	fsdl verify -in graph.txt [-eps 2] [-maxfaults 3]
 //	fsdl labels -in graph.txt -out labels.fsdl [-region 12 -radius 5] [-workers N]
-//	fsdl querydb -db labels.fsdl -s 0 -t 99 [-fail 5,17] [-salvage] [-path]
+//	fsdl querydb -db labels.fsdl -s 0 -t 99 [-fail 5,17] [-salvage] [-path] [-mmap]
 //	fsdl trace -size 12 -s 0 [-fail 60,61,62]
 //	fsdl buildscheme -in graph.txt -out scheme.fsdls [-eps 2] [-workers N]
 //	fsdl wquery -in roads.gr -s 0 -t 99 [-fail 5,17]
-//	fsdl partition -db labels.fsdl -members members.txt -out shards/
+//	fsdl partition -db labels.fsdl -members members.txt -out shards/ [-format fsdl3 -compress]
 //	fsdl cluster status|join|leave|drain -frontend http://host:8080 [...]
 //	fsdl compact -root gens/ [-wal gens/mutations.wal] [-in graph.txt] [-members members.txt]
 package main
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand"
 	"os"
 	"strconv"
@@ -142,8 +144,17 @@ func cmdLabels(args []string, out io.Writer) error {
 	region := fs.Int("region", -1, "center vertex of a region bundle (-1 = all labels)")
 	radius := fs.Int("radius", 0, "region radius (with -region)")
 	workers := fs.Int("workers", 0, "preprocessing workers (0 = all CPUs; output is identical for any count)")
+	format := fs.String("format", "fsdl2", "label container: fsdl2 (heap stream) or fsdl3 (mmap-first, see docs/STORAGE.md)")
+	compress := fs.Bool("compress", false, "compress FSDL3 record payloads (requires -format fsdl3)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	format3, err := parseFormat(*format, *compress)
+	if err != nil {
+		return err
+	}
+	if format3 && *region >= 0 {
+		return fmt.Errorf("-region bundles are FSDL2-only")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -158,9 +169,12 @@ func cmdLabels(args []string, out io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	if *region >= 0 {
+	switch {
+	case *region >= 0:
 		err = labelstore.SaveRegion(f, s, *region, int32(*radius))
-	} else {
+	case format3:
+		err = labelstore.SaveFormat3(f, s, nil, *compress)
+	default:
 		err = labelstore.Save(f, s, nil)
 	}
 	if err != nil {
@@ -183,20 +197,16 @@ func cmdQueryDB(args []string, out io.Writer) error {
 	failEdges := fs.String("failedge", "", "comma-separated failed edges as u-v")
 	salvage := fs.Bool("salvage", false, "tolerate a damaged store: skip corrupt records and answer conservatively (safe upper bounds)")
 	withPath := fs.Bool("path", false, "also print the witness path (a walk in G \\ F realizing the answer)")
+	mmap := fs.Bool("mmap", false, "serve an FSDL3 store from the page cache (mmap) instead of loading it into heap")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	f, err := os.Open(*db)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	faults, err := parseFaults(*failList, *failEdges)
 	if err != nil {
 		return err
 	}
 	if *salvage {
-		st, rep, err := labelstore.LoadPartial(f)
+		st, rep, err := labelstore.OpenPartial(*db)
 		if err != nil {
 			return err
 		}
@@ -230,7 +240,11 @@ func cmdQueryDB(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	st, err := labelstore.Load(f)
+	open := labelstore.OpenHeap
+	if *mmap {
+		open = labelstore.Open
+	}
+	st, err := open(*db)
 	if err != nil {
 		return err
 	}
@@ -360,6 +374,11 @@ func cmdStats(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// `fsdl stats <store>`: container-level statistics of a label store
+	// file instead of graph/scheme statistics.
+	if fs.NArg() > 0 {
+		return storeStats(fs.Arg(0), out)
+	}
 	g, err := loadGraph(*in)
 	if err != nil {
 		return err
@@ -399,6 +418,100 @@ func cmdStats(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  level %2d: %6d net points, %8d net edges\n", ls.Level, ls.NetPoints, ls.NetEdges)
 	}
 	return nil
+}
+
+// storeStats prints container-level statistics of a label store file:
+// the format and encoding, stored vs canonical payload bytes, bytes per
+// vertex, index/framing overhead, and a per-record size histogram. The
+// store is opened mmap-first, so statting a store much larger than RAM
+// streams through the page cache instead of loading it.
+func storeStats(path string, out io.Writer) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	st, err := labelstore.Open(path)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	desc := "FSDL" + strconv.Itoa(st.Format())
+	if st.Compressed() {
+		desc += " compressed"
+	}
+	if st.Mapped() {
+		desc += ", mmap"
+	}
+	var (
+		records, corrupt    int
+		stored, canonical   int64
+		hist                [33]int // bucket i: stored size in [2^i, 2^(i+1))
+		maxBucket, maxCount int
+	)
+	st.Records(func(r labelstore.RecordInfo) {
+		records++
+		if r.Corrupt {
+			corrupt++
+		}
+		stored += int64(r.StoredBytes)
+		canonical += int64((r.Bits + 7) / 8)
+		b := bits.Len(uint(r.StoredBytes))
+		hist[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+		if hist[b] > maxCount {
+			maxCount = hist[b]
+		}
+	})
+	n := st.NumVertices()
+	fmt.Fprintf(out, "store %s: %s, n=%d vertices, %d records, %d bytes on disk\n",
+		path, desc, n, records, fi.Size())
+	saved := ""
+	if st.Compressed() && canonical > 0 {
+		saved = fmt.Sprintf(" (%.1f%% smaller than canonical)", 100*(1-float64(stored)/float64(canonical)))
+	}
+	fmt.Fprintf(out, "payload: %d stored bytes, %d canonical bytes%s\n", stored, canonical, saved)
+	fmt.Fprintf(out, "index/framing overhead: %d bytes (%.1f%% of file)\n",
+		st.IndexOverheadBytes(), 100*float64(st.IndexOverheadBytes())/float64(fi.Size()))
+	if n > 0 {
+		fmt.Fprintf(out, "bytes/vertex: %.1f on disk, %.1f payload\n",
+			float64(fi.Size())/float64(n), float64(stored)/float64(n))
+	}
+	if corrupt > 0 {
+		fmt.Fprintf(out, "corrupt records: %d (served as unknown; repair with Put or re-fetch)\n", corrupt)
+	}
+	fmt.Fprintln(out, "record size histogram (stored bytes):")
+	for b := 0; b <= maxBucket; b++ {
+		if hist[b] == 0 {
+			continue
+		}
+		lo, hi := 0, 0
+		if b > 0 {
+			lo, hi = 1<<(b-1), 1<<b-1
+		}
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", 1+hist[b]*40/maxCount)
+		}
+		fmt.Fprintf(out, "  %7d..%-7d %7d %s\n", lo, hi, hist[b], bar)
+	}
+	return nil
+}
+
+// parseFormat maps a -format flag value onto the container choice and
+// checks the -compress pairing.
+func parseFormat(format string, compress bool) (format3 bool, err error) {
+	switch format {
+	case "", "fsdl2", "2":
+		if compress {
+			return false, fmt.Errorf("-compress requires -format fsdl3")
+		}
+		return false, nil
+	case "fsdl3", "3":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown container format %q (want fsdl2 or fsdl3)", format)
 }
 
 func cmdLabel(args []string, out io.Writer) error {
@@ -643,7 +756,13 @@ func cmdPartition(args []string, out io.Writer) error {
 	db := fs.String("db", "labels.fsdl", "label store file to split")
 	members := fs.String("members", "", "cluster membership file (required; see docs/CLUSTER.md)")
 	outDir := fs.String("out", ".", "directory for the per-shard stores (<name>.fsdl)")
+	format := fs.String("format", "fsdl2", "partition container: fsdl2 (heap stream) or fsdl3 (mmap-first)")
+	compress := fs.Bool("compress", false, "compress FSDL3 record payloads (requires -format fsdl3)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	format3, err := parseFormat(*format, *compress)
+	if err != nil {
 		return err
 	}
 	if *members == "" {
@@ -653,12 +772,7 @@ func cmdPartition(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*db)
-	if err != nil {
-		return err
-	}
-	st, err := labelstore.Load(f)
-	f.Close()
+	st, err := labelstore.Open(*db)
 	if err != nil {
 		return err
 	}
@@ -681,7 +795,12 @@ func cmdPartition(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := st.SaveVertices(pf, ids); err != nil {
+		if format3 {
+			err = st.SaveVerticesFormat3(pf, ids, *compress)
+		} else {
+			err = st.SaveVertices(pf, ids)
+		}
+		if err != nil {
 			pf.Close()
 			return fmt.Errorf("write %s: %w", path, err)
 		}

@@ -382,3 +382,99 @@ func loadStoreFile(t *testing.T, path string) *labelstore.Store {
 	}
 	return st
 }
+
+// TestCLIFormat3Pipeline: `fsdl labels -format fsdl3 -compress` →
+// `fsdl stats <store>` → `fsdl partition -format fsdl3` → `fsdl
+// querydb -mmap` — the FSDL3 path end to end through the CLI.
+func TestCLIFormat3Pipeline(t *testing.T) {
+	dir := t.TempDir()
+	// Big enough that the FSDL3 page-aligned header+index (8 KiB floor)
+	// stops masking the payload compression.
+	gpath := filepath.Join(dir, "g.txt")
+	if _, err := runCLI(t, "gen", "-kind", "grid", "-size", "16", "-out", gpath); err != nil {
+		t.Fatal(err)
+	}
+	dbPath := filepath.Join(dir, "labels.fsdl")
+	db3Path := filepath.Join(dir, "labels3.fsdl")
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", dbPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", db3Path, "-format", "fsdl3", "-compress"); err != nil {
+		t.Fatal(err)
+	}
+	fi2, err := os.Stat(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi3, err := os.Stat(db3Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi3.Size() >= fi2.Size() {
+		t.Fatalf("compressed FSDL3 store (%d bytes) not smaller than FSDL2 (%d bytes)", fi3.Size(), fi2.Size())
+	}
+
+	// Store-mode stats reports the container and the histogram.
+	out, err := runCLI(t, "stats", db3Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FSDL3 compressed", "bytes/vertex", "index/framing overhead", "record size histogram"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if out2, err := runCLI(t, "stats", dbPath); err != nil || !strings.Contains(out2, "FSDL2") {
+		t.Fatalf("stats on FSDL2 store: %v\n%s", err, out2)
+	}
+
+	// Same answers from both containers, mmap'd or not.
+	q := func(db string, extra ...string) string {
+		t.Helper()
+		args := append([]string{"querydb", "-db", db, "-s", "0", "-t", "35", "-fail", "7,8"}, extra...)
+		out, err := runCLI(t, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if want, got := q(dbPath), q(db3Path, "-mmap"); want != got {
+		t.Fatalf("querydb answers differ across containers:\n%s\nvs\n%s", want, got)
+	}
+
+	// FSDL3 partitions round-trip the same record bytes.
+	members := filepath.Join(dir, "members.txt")
+	if err := os.WriteFile(members, []byte("replication 1\nshard0 127.0.0.1:9000\nshard1 127.0.0.1:9001\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "shards")
+	if _, err := runCLI(t, "partition", "-db", db3Path, "-members", members, "-out", shardDir, "-format", "fsdl3", "-compress"); err != nil {
+		t.Fatal(err)
+	}
+	orig := loadStoreFile(t, dbPath)
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(shardDir, "shard"+strconv.Itoa(i)+".fsdl")
+		ps, err := labelstore.Open(path)
+		if err != nil {
+			t.Fatalf("open partition %s: %v", path, err)
+		}
+		if ps.Format() != 3 || !ps.Compressed() {
+			t.Fatalf("partition %s: format=%d compressed=%v, want compressed FSDL3", path, ps.Format(), ps.Compressed())
+		}
+		for _, v := range ps.Vertices() {
+			wantBits, wantData, ok := orig.Raw(v)
+			gotBits, gotData, _ := ps.Raw(v)
+			if !ok || gotBits != wantBits || !bytes.Equal(gotData, wantData) {
+				t.Fatalf("label bytes for vertex %d differ through the FSDL3 partition", v)
+			}
+		}
+	}
+
+	// Guard rails: -compress without fsdl3, and -region with fsdl3.
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", db3Path, "-compress"); err == nil {
+		t.Fatal("labels -compress without -format fsdl3 must error")
+	}
+	if _, err := runCLI(t, "labels", "-in", gpath, "-out", db3Path, "-format", "fsdl3", "-region", "0"); err == nil {
+		t.Fatal("labels -region with -format fsdl3 must error")
+	}
+}

@@ -193,6 +193,16 @@ func (r *Reader) ReadDelta() (uint64, error) {
 	return (1<<nbMinus1 | low) - 1, nil
 }
 
+// UvarintLen returns the number of bits WriteUvarint(v) emits: 8 per
+// 7-bit group (continuation bit + payload).
+func UvarintLen(v uint64) int {
+	nb := bits.Len64(v)
+	if nb == 0 {
+		nb = 1
+	}
+	return 8 * ((nb + 6) / 7)
+}
+
 // GammaLen returns the number of bits WriteGamma(v) emits.
 func GammaLen(v uint64) int {
 	nb := bits.Len64(v + 1)

@@ -114,6 +114,11 @@ func TestLenFunctionsMatchWriter(t *testing.T) {
 		if wd.Len() != DeltaLen(v) {
 			t.Fatalf("DeltaLen(%d) = %d, writer used %d", v, DeltaLen(v), wd.Len())
 		}
+		var wu Writer
+		wu.WriteUvarint(v)
+		if wu.Len() != UvarintLen(v) {
+			t.Fatalf("UvarintLen(%d) = %d, writer used %d", v, UvarintLen(v), wu.Len())
+		}
 	}
 }
 

@@ -49,6 +49,18 @@ type ShardConfig struct {
 	// temp+rename) after each repair pull that installed records, so a
 	// repaired shard survives its own restart.
 	PersistPath string
+	// Mmap makes generation activation open FSDL3 partition files via
+	// labelstore.Open — served from the OS page cache instead of heap,
+	// so the shard's servable store is bounded by disk, not RAM.
+	// FSDL1/2 files still load to heap (they have no other mode).
+	Mmap bool
+	// PersistFormat3 switches PersistPath rewrites (and repair
+	// persists) to the FSDL3 container; PersistCompress additionally
+	// compresses the record payloads. Mixed-format replicas stay
+	// digest- and wire-compatible — records are canonical bytes
+	// everywhere above the container.
+	PersistFormat3  bool
+	PersistCompress bool
 	// RepairRate caps how many records per second repair pulls install
 	// (default 50000; negative = unlimited). The cap is what keeps
 	// rebuilding a shard from starving the query traffic it is already
@@ -244,7 +256,7 @@ func (s *ShardServer) serveConn(conn net.Conn) {
 		switch op {
 		case OpPing:
 			st, gen := s.currentStore()
-			bufs.payload = AppendPong(bufs.payload[:0], st.NumVertices(), st.NumLabels(), s.pongFlags(), gen)
+			bufs.payload = AppendPong(bufs.payload[:0], st.NumVertices(), st.NumLabels(), s.pongFlags(st), gen)
 			werr = s.writeFrame(bw, bufs, OpPong, bufs.payload)
 		case OpGetLabels:
 			st, _ := s.currentStore()
@@ -451,12 +463,14 @@ func (s *ShardServer) LoadGeneration(gen uint64) error {
 	if s.cfg.Name != "" && m.File(s.cfg.Name+".fsdl") != nil {
 		name = s.cfg.Name + ".fsdl"
 	}
-	f, err := os.Open(filepath.Join(dir, name))
-	if err != nil {
-		return fmt.Errorf("cluster: load generation %d: %w", gen, err)
+	open := labelstore.OpenHeap
+	if s.cfg.Mmap {
+		// FSDL3 generations map straight from the page cache; the
+		// shard serves record slices out of the mapping without ever
+		// materialising the container on the heap.
+		open = labelstore.Open
 	}
-	defer f.Close()
-	st, err := labelstore.Load(f)
+	st, err := open(filepath.Join(dir, name))
 	if err != nil {
 		return fmt.Errorf("cluster: load generation %d: %w", gen, err)
 	}
@@ -512,6 +526,14 @@ func (s *ShardServer) lookupRecord(st *labelstore.Store, v int32) LabelRecord {
 		s.LabelsServed.Add(1)
 		return rec
 	}
+	if st.Corrupt(int(v)) {
+		// An FSDL3 record whose lazy CRC check failed: the vertex is in
+		// the index, so absence is known to be damage, not authority.
+		// Answer Unknown and let the frontend fail over to a replica
+		// while the digest audit heals the record in place.
+		rec.Unknown = true
+		return rec
+	}
 	s.salvMu.RLock()
 	defer s.salvMu.RUnlock()
 	if s.salvageTrunc || s.bootstrap {
@@ -526,12 +548,15 @@ func (s *ShardServer) lookupRecord(st *labelstore.Store, v int32) LabelRecord {
 	return rec
 }
 
-// pongFlags reports the shard's status bits for health probes.
-func (s *ShardServer) pongFlags() uint64 {
+// pongFlags reports the shard's status bits for health probes. A store
+// with known-corrupt FSDL3 records is flagged exactly like a salvage
+// loss: the repairer's digest audit can still heal it, but until then
+// its absences must not be trusted.
+func (s *ShardServer) pongFlags(st *labelstore.Store) uint64 {
 	s.salvMu.RLock()
 	defer s.salvMu.RUnlock()
 	var flags uint64
-	if s.salvageTrunc || s.bootstrap || len(s.salvageLost) > 0 {
+	if s.salvageTrunc || s.bootstrap || len(s.salvageLost) > 0 || st.CorruptCount() > 0 {
 		flags |= PongNonAuthoritative
 	}
 	return flags
@@ -719,7 +744,12 @@ func (s *ShardServer) persist() error {
 	}
 	defer os.Remove(tmp.Name())
 	store, _ := s.currentStore()
-	if err := store.Save(tmp); err != nil {
+	if s.cfg.PersistFormat3 {
+		err = store.SaveVerticesFormat3(tmp, store.Vertices(), s.cfg.PersistCompress)
+	} else {
+		err = store.Save(tmp)
+	}
+	if err != nil {
 		tmp.Close()
 		return fmt.Errorf("cluster: persist repair: %w", err)
 	}
@@ -731,6 +761,9 @@ func (s *ShardServer) persist() error {
 		return fmt.Errorf("cluster: persist repair: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), s.cfg.PersistPath); err != nil {
+		return fmt.Errorf("cluster: persist repair: %w", err)
+	}
+	if err := labelstore.FsyncParentDir(s.cfg.PersistPath); err != nil {
 		return fmt.Errorf("cluster: persist repair: %w", err)
 	}
 	return nil

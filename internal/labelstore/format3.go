@@ -1,0 +1,715 @@
+// FSDL3: the out-of-core container version. Where FSDL2 is a stream of
+// varint-framed records that must be parsed front to back into heap maps,
+// FSDL3 is a random-access, page-aligned layout built to be mmap'd and
+// served straight from the OS page cache:
+//
+//	page 0 (4096 B):  magic "FSDL3", flags, n, count, data offset/length,
+//	                  scheme parameters, header CRC32; zero-padded
+//	index:            count × 24-byte entries at offset 4096, sorted by
+//	                  vertex: u32 vertex, u32 canonical bit length,
+//	                  u64 payload offset (relative to the data section),
+//	                  u32 payload byte length, u32 record CRC
+//	data:             payloads packed back to back, section start aligned
+//	                  to the next 4096-byte boundary
+//
+// The per-entry CRC is recordChecksum(vertex, bits, payload) — the same
+// integrity word FSDL2 stores and the anti-entropy digests fold, so the
+// index doubles as a precomputed digest table for uncompressed stores.
+//
+// Payloads are either the canonical label encoding (Label.Encode bytes,
+// identical to what FSDL2 frames) or, when the header's compressed flag
+// is set, the FSDL3 compressed record encoding. The compressed encoding
+// squeezes the canonical form by dropping everything a reader already
+// knows and tightening the per-entry codes:
+//
+//   - no per-record header: the scheme parameters (ε, c, maxLevel,
+//     rShrink) are identical across a store and live in the file header;
+//     the vertex id comes from the index entry
+//   - point distances: first point's d_G(v,x) in gamma, then
+//     zigzag(ΔD) in gamma — distances of id-sorted ball points are
+//     locally correlated, so deltas are small either way
+//   - edge targets: within a run of equal XI, gamma(YI−prevYI−1); at a
+//     run start, gamma(YI−XI−1) instead of an absolute YI (edges always
+//     satisfy XI < YI, so the gap from XI is the tight base)
+//   - edge lengths: omitted at the lowest level (unit edges, D = 1
+//     always); at level ℓ stored as D−1 in exactly ℓ+1 fixed bits, the
+//     information bound since 0 < D ≤ λ_ℓ = 2^(ℓ+1) — gamma coding these
+//     was the single largest cost in the canonical form (~60% of all
+//     label bits on grids)
+//
+// The index always records the *canonical* bit length, whatever the
+// payload encoding: canonical bytes are the universal currency of the
+// wire protocol, the digests and Put, so a compressed store transcodes
+// (decode + deterministic re-encode) where raw canonical bytes are
+// demanded and both formats interoperate record for record.
+package labelstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"slices"
+
+	"fsdl/internal/bitio"
+	"fsdl/internal/core"
+)
+
+var magicV3 = []byte("FSDL3")
+
+const (
+	format3Page      = 4096
+	format3HeaderLen = 64 // used bytes of page 0; the rest is zero padding
+	format3EntryLen  = 24
+
+	// flag bits (header byte 5)
+	format3FlagCompressed = 1 << 0
+)
+
+// rec3Params are the scheme parameters hoisted out of every record into
+// the FSDL3 store header (compressed payloads cannot be decoded without
+// them; uncompressed stores carry them per record and keep zeros here).
+type rec3Params struct {
+	epsQ     uint64
+	c        int
+	maxLevel int
+	rShrink  int
+	set      bool
+}
+
+func paramsOf(l *core.Label) rec3Params {
+	return rec3Params{
+		epsQ:     uint64(l.Epsilon * 65536),
+		c:        l.C,
+		maxLevel: l.MaxLevel,
+		rShrink:  l.RShrink,
+		set:      true,
+	}
+}
+
+// canonicalBitLen returns the exact bit length Label.Encode would emit,
+// without materializing the encoding — the index stores canonical bit
+// lengths even for compressed payloads.
+func canonicalBitLen(l *core.Label) int {
+	n := bitio.UvarintLen(uint64(l.V)) +
+		bitio.UvarintLen(uint64(l.Epsilon*65536)) +
+		bitio.UvarintLen(uint64(l.C)) +
+		bitio.UvarintLen(uint64(l.MaxLevel)) +
+		bitio.UvarintLen(uint64(l.RShrink))
+	for _, lv := range l.Levels {
+		n += bitio.DeltaLen(uint64(len(lv.Points)))
+		prev := int64(-1)
+		for _, pe := range lv.Points {
+			n += bitio.DeltaLen(uint64(int64(pe.X) - prev - 1))
+			prev = int64(pe.X)
+			n += bitio.GammaLen(uint64(pe.D))
+		}
+		n += bitio.DeltaLen(uint64(len(lv.Edges)))
+		var prevXI, prevYI int64
+		for _, e := range lv.Edges {
+			dx := int64(e.XI) - prevXI
+			n += bitio.GammaLen(uint64(dx))
+			if dx != 0 {
+				prevYI = 0
+			}
+			n += bitio.GammaLen(uint64(int64(e.YI) - prevYI))
+			prevXI, prevYI = int64(e.XI), int64(e.YI)
+			n += bitio.GammaLen(uint64(e.D))
+		}
+	}
+	return n
+}
+
+// encodeRecord3 appends the compressed record encoding of l to w. The
+// label must be structurally valid (Validate); the fixed-width edge
+// length field in particular relies on D ≤ λ_ℓ.
+func encodeRecord3(l *core.Label, w *bitio.Writer) error {
+	for k := range l.Levels {
+		lv := &l.Levels[k]
+		w.WriteDelta(uint64(len(lv.Points)))
+		prev := int64(-1)
+		prevD := int64(0)
+		for i, pe := range lv.Points {
+			w.WriteDelta(uint64(int64(pe.X) - prev - 1))
+			prev = int64(pe.X)
+			if i == 0 {
+				w.WriteGamma(uint64(pe.D))
+			} else {
+				d := int64(pe.D) - prevD
+				w.WriteGamma(uint64(d<<1) ^ uint64(d>>63)) // zigzag
+			}
+			prevD = int64(pe.D)
+		}
+		w.WriteDelta(uint64(len(lv.Edges)))
+		dBits := l.Level(k) + 1 // D−1 fits exactly: 0 < D ≤ λ_ℓ = 2^(ℓ+1)
+		if k > 0 && len(lv.Edges) > 0 && dBits > 31 {
+			return fmt.Errorf("labelstore: level %d edge width %d bits unencodable", l.Level(k), dBits)
+		}
+		var prevXI, prevYI int64
+		for _, e := range lv.Edges {
+			dx := int64(e.XI) - prevXI
+			w.WriteGamma(uint64(dx))
+			if dx != 0 {
+				// run start: YI is gap-coded from XI (always YI > XI)
+				w.WriteGamma(uint64(int64(e.YI) - int64(e.XI) - 1))
+			} else {
+				w.WriteGamma(uint64(int64(e.YI) - prevYI - 1))
+			}
+			prevXI, prevYI = int64(e.XI), int64(e.YI)
+			if k > 0 {
+				if e.D <= 0 || int64(e.D) > int64(1)<<uint(dBits) {
+					return fmt.Errorf("labelstore: level %d edge length %d exceeds λ", l.Level(k), e.D)
+				}
+				w.WriteBits(uint64(e.D-1), dBits)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeRecord3 parses a compressed record payload into a validated
+// label. The payload is byte-padded (records sit at byte offsets), so
+// after the structure is consumed only sub-byte zero padding may remain.
+func decodeRecord3(payload []byte, v int32, p rec3Params) (*core.Label, error) {
+	if !p.set {
+		return nil, fmt.Errorf("labelstore: compressed record without store parameters")
+	}
+	numLevels := p.maxLevel - p.c
+	if numLevels < 0 || numLevels > 64 {
+		return nil, fmt.Errorf("labelstore: implausible level count %d", numLevels)
+	}
+	r := bitio.NewReader(payload, 8*len(payload))
+	l := &core.Label{
+		V:        v,
+		Epsilon:  float64(p.epsQ) / 65536,
+		C:        p.c,
+		MaxLevel: p.maxLevel,
+		RShrink:  p.rShrink,
+		Levels:   make([]core.LevelLabel, numLevels),
+	}
+	for k := range l.Levels {
+		np, err := r.ReadDelta()
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: decode level %d points: %w", k, err)
+		}
+		// Each point costs at least 2 bits; reject counts beyond the
+		// payload before allocating (same guard as core.DecodeLabel).
+		if np > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("labelstore: level %d point count %d exceeds payload", k, np)
+		}
+		pts := make([]core.PointEntry, np)
+		prev := int64(-1)
+		prevD := int64(0)
+		for i := range pts {
+			gap, err := r.ReadDelta()
+			if err != nil {
+				return nil, fmt.Errorf("labelstore: decode point gap: %w", err)
+			}
+			prev += int64(gap) + 1
+			zz, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("labelstore: decode point dist: %w", err)
+			}
+			var d int64
+			if i == 0 {
+				d = int64(zz)
+			} else {
+				d = prevD + (int64(zz>>1) ^ -int64(zz&1))
+			}
+			if prev > math.MaxInt32 || d < 0 || d > math.MaxInt32 {
+				return nil, fmt.Errorf("labelstore: decode point out of range")
+			}
+			pts[i] = core.PointEntry{X: int32(prev), D: int32(d)}
+			prevD = d
+		}
+		ne, err := r.ReadDelta()
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: decode level %d edges: %w", k, err)
+		}
+		if ne > uint64(r.Remaining()) {
+			return nil, fmt.Errorf("labelstore: level %d edge count %d exceeds payload", k, ne)
+		}
+		dBits := p.c + 1 + k + 1
+		if k > 0 && ne > 0 && dBits > 31 {
+			return nil, fmt.Errorf("labelstore: level %d edge width %d bits implausible", k, dBits)
+		}
+		edges := make([]core.EdgeEntry, ne)
+		var prevXI, prevYI int64
+		for i := range edges {
+			dx, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("labelstore: decode edge xi: %w", err)
+			}
+			xi := prevXI + int64(dx)
+			g, err := r.ReadGamma()
+			if err != nil {
+				return nil, fmt.Errorf("labelstore: decode edge yi: %w", err)
+			}
+			var yi int64
+			if dx != 0 {
+				yi = xi + int64(g) + 1
+			} else {
+				yi = prevYI + int64(g) + 1
+			}
+			d := int64(1) // lowest level: original unit edges, length omitted
+			if k > 0 {
+				raw, err := r.ReadBits(dBits)
+				if err != nil {
+					return nil, fmt.Errorf("labelstore: decode edge dist: %w", err)
+				}
+				d = int64(raw) + 1
+			}
+			if xi >= int64(len(pts)) || yi >= int64(len(pts)) {
+				return nil, fmt.Errorf("labelstore: decode edge index out of range")
+			}
+			edges[i] = core.EdgeEntry{XI: int32(xi), YI: int32(yi), D: int32(d)}
+			prevXI, prevYI = xi, yi
+		}
+		l.Levels[k] = core.LevelLabel{Points: pts, Edges: edges}
+	}
+	if r.Remaining() >= 8 {
+		return nil, fmt.Errorf("labelstore: %d trailing bits after record", r.Remaining())
+	}
+	for r.Remaining() > 0 {
+		b, _ := r.ReadBit()
+		if b != 0 {
+			return nil, fmt.Errorf("labelstore: nonzero padding after record")
+		}
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// format3Header is the parsed page-0 content of an FSDL3 file.
+type format3Header struct {
+	flags   byte
+	n       uint64
+	count   uint64
+	dataOff uint64
+	dataLen uint64
+	prm     rec3Params
+}
+
+func (h *format3Header) compressed() bool { return h.flags&format3FlagCompressed != 0 }
+
+func encodeFormat3Header(h *format3Header) []byte {
+	buf := make([]byte, format3Page)
+	copy(buf, magicV3)
+	buf[5] = h.flags
+	le := binary.LittleEndian
+	le.PutUint64(buf[8:], h.n)
+	le.PutUint64(buf[16:], h.count)
+	le.PutUint64(buf[24:], h.dataOff)
+	le.PutUint64(buf[32:], h.dataLen)
+	le.PutUint64(buf[40:], h.prm.epsQ)
+	le.PutUint32(buf[48:], uint32(h.prm.c))
+	le.PutUint32(buf[52:], uint32(h.prm.maxLevel))
+	le.PutUint32(buf[56:], uint32(h.prm.rShrink))
+	le.PutUint32(buf[60:], crc32.ChecksumIEEE(buf[:60]))
+	return buf
+}
+
+func parseFormat3Header(buf []byte) (*format3Header, error) {
+	if len(buf) < format3HeaderLen {
+		return nil, fmt.Errorf("labelstore: FSDL3 header truncated (%d bytes)", len(buf))
+	}
+	if string(buf[:5]) != string(magicV3) {
+		return nil, fmt.Errorf("labelstore: bad magic %q", buf[:5])
+	}
+	le := binary.LittleEndian
+	if got, want := le.Uint32(buf[60:]), crc32.ChecksumIEEE(buf[:60]); got != want {
+		return nil, fmt.Errorf("labelstore: FSDL3 header checksum mismatch")
+	}
+	h := &format3Header{
+		flags:   buf[5],
+		n:       le.Uint64(buf[8:]),
+		count:   le.Uint64(buf[16:]),
+		dataOff: le.Uint64(buf[24:]),
+		dataLen: le.Uint64(buf[32:]),
+		prm: rec3Params{
+			epsQ:     le.Uint64(buf[40:]),
+			c:        int(le.Uint32(buf[48:])),
+			maxLevel: int(le.Uint32(buf[52:])),
+			rShrink:  int(le.Uint32(buf[56:])),
+		},
+	}
+	h.prm.set = h.count > 0 && h.compressed()
+	if h.count > h.n {
+		return nil, fmt.Errorf("labelstore: count %d exceeds n %d", h.count, h.n)
+	}
+	if h.n > math.MaxInt32 {
+		return nil, fmt.Errorf("labelstore: implausible n %d", h.n)
+	}
+	wantData := pageAlign(format3Page + int64(h.count)*format3EntryLen)
+	if int64(h.dataOff) != wantData {
+		return nil, fmt.Errorf("labelstore: data offset %d, want %d", h.dataOff, wantData)
+	}
+	return h, nil
+}
+
+func pageAlign(off int64) int64 {
+	return (off + format3Page - 1) &^ (format3Page - 1)
+}
+
+// index3Entry is one parsed index slot.
+type index3Entry struct {
+	vertex uint32
+	bits   uint32 // canonical bit length
+	off    uint64 // relative to the data section
+	length uint32 // payload bytes
+	crc    uint32 // recordChecksum(vertex, bits, payload)
+}
+
+func parseIndex3Entry(b []byte) index3Entry {
+	le := binary.LittleEndian
+	return index3Entry{
+		vertex: le.Uint32(b),
+		bits:   le.Uint32(b[4:]),
+		off:    le.Uint64(b[8:]),
+		length: le.Uint32(b[16:]),
+		crc:    le.Uint32(b[20:]),
+	}
+}
+
+// checkIndex3Entry verifies the structural invariants of an entry:
+// in-range vertex, plausible bit length, payload window inside the data
+// section, and — for uncompressed stores — byte length implied by bits.
+func checkIndex3Entry(e index3Entry, h *format3Header) error {
+	if uint64(e.vertex) >= h.n {
+		return fmt.Errorf("labelstore: vertex %d out of range", e.vertex)
+	}
+	if uint64(e.bits) > maxLabelBits {
+		return fmt.Errorf("labelstore: implausible label size %d bits", e.bits)
+	}
+	if e.off > h.dataLen || uint64(e.length) > h.dataLen-e.off {
+		return fmt.Errorf("labelstore: record window [%d,+%d) outside data section", e.off, e.length)
+	}
+	if !h.compressed() && uint64(e.length) != (uint64(e.bits)+7)/8 {
+		return fmt.Errorf("labelstore: record length %d, %d bits need %d", e.length, e.bits, (e.bits+7)/8)
+	}
+	return nil
+}
+
+// fileLike is what the FSDL3 writer needs from its output: *os.File
+// satisfies it. The header and index are reserved up front and written
+// last, once every payload offset is known.
+type fileLike interface {
+	io.Writer
+	io.WriterAt
+	io.Seeker
+}
+
+// Format3Writer streams records into an FSDL3 file. Records must be
+// added in strictly ascending vertex order (the index is binary-searched
+// at read time); Finish seals the file by writing the header page and
+// index. The writer buffers only the index in memory — payloads stream
+// to the data section as they are added.
+type Format3Writer struct {
+	f        fileLike
+	n        int
+	count    int
+	added    int
+	compress bool
+	prm      rec3Params
+	entries  []byte
+	dataOff  int64
+	pos      int64 // next payload offset, relative to dataOff
+	lastV    int64
+	enc      bitio.Writer
+}
+
+// NewFormat3Writer positions f for an n-vertex store that will hold
+// exactly count records.
+func NewFormat3Writer(f fileLike, n, count int, compress bool) (*Format3Writer, error) {
+	if n <= 0 || count < 0 || count > n {
+		return nil, fmt.Errorf("labelstore: bad FSDL3 shape n=%d count=%d", n, count)
+	}
+	w := &Format3Writer{
+		f:        f,
+		n:        n,
+		count:    count,
+		compress: compress,
+		entries:  make([]byte, 0, count*format3EntryLen),
+		dataOff:  pageAlign(format3Page + int64(count)*format3EntryLen),
+		lastV:    -1,
+	}
+	if _, err := f.Seek(w.dataOff, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("labelstore: seek to data section: %w", err)
+	}
+	return w, nil
+}
+
+// AddLabel appends the record of a live label — the scheme-save path.
+func (w *Format3Writer) AddLabel(v int, l *core.Label) error {
+	bits := canonicalBitLen(l)
+	if !w.compress {
+		buf, nbits := l.Encode()
+		if nbits != bits {
+			return fmt.Errorf("labelstore: canonical length mismatch for vertex %d (%d vs %d bits)", v, nbits, bits)
+		}
+		return w.add(v, bits, buf[:(nbits+7)/8])
+	}
+	if err := w.captureParams(paramsOf(l), v); err != nil {
+		return err
+	}
+	w.enc = bitio.Writer{}
+	if err := encodeRecord3(l, &w.enc); err != nil {
+		return err
+	}
+	return w.add(v, bits, w.enc.Bytes())
+}
+
+// AddCanonical appends a record given its canonical serialized form —
+// the splice/repartition path when the source record is FSDL2-encoded.
+// When the writer compresses, the payload is decoded (and thereby
+// CRC-independently validated) and re-encoded.
+func (w *Format3Writer) AddCanonical(v, bits int, data []byte) error {
+	if !w.compress {
+		return w.add(v, bits, data)
+	}
+	l, err := core.DecodeLabel(data, bits)
+	if err != nil {
+		return fmt.Errorf("labelstore: record for vertex %d does not decode: %w", v, err)
+	}
+	return w.AddLabel(v, l)
+}
+
+// AddStored appends a payload already in this writer's target encoding —
+// the incremental-compaction fast path, copying a clean compressed
+// record from the previous generation without transcoding. The caller
+// vouches that the payload came from a store with identical parameters.
+func (w *Format3Writer) AddStored(v, bits int, payload []byte, prm rec3Params) error {
+	if w.compress {
+		if err := w.captureParams(prm, v); err != nil {
+			return err
+		}
+	}
+	return w.add(v, bits, payload)
+}
+
+func (w *Format3Writer) captureParams(p rec3Params, v int) error {
+	if !p.set {
+		return fmt.Errorf("labelstore: vertex %d record carries no parameters", v)
+	}
+	if !w.prm.set {
+		w.prm = p
+		return nil
+	}
+	if w.prm != p {
+		return fmt.Errorf("labelstore: vertex %d parameters differ from the store's", v)
+	}
+	return nil
+}
+
+func (w *Format3Writer) add(v, bits int, payload []byte) error {
+	if v < 0 || v >= w.n {
+		return fmt.Errorf("labelstore: vertex %d out of range [0,%d)", v, w.n)
+	}
+	if int64(v) <= w.lastV {
+		return fmt.Errorf("labelstore: vertex %d out of order (last %d)", v, w.lastV)
+	}
+	if w.added >= w.count {
+		return fmt.Errorf("labelstore: more than %d records added", w.count)
+	}
+	if bits < 0 || bits > maxLabelBits {
+		return fmt.Errorf("labelstore: implausible label size %d bits for vertex %d", bits, v)
+	}
+	var ent [format3EntryLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(ent[0:], uint32(v))
+	le.PutUint32(ent[4:], uint32(bits))
+	le.PutUint64(ent[8:], uint64(w.pos))
+	le.PutUint32(ent[16:], uint32(len(payload)))
+	le.PutUint32(ent[20:], recordChecksum(v, bits, payload))
+	w.entries = append(w.entries, ent[:]...)
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
+	}
+	w.pos += int64(len(payload))
+	w.lastV = int64(v)
+	w.added++
+	return nil
+}
+
+// Finish writes the index and header page, sealing the file.
+func (w *Format3Writer) Finish() error {
+	if w.added != w.count {
+		return fmt.Errorf("labelstore: %d records added, header promised %d", w.added, w.count)
+	}
+	flags := byte(0)
+	if w.compress {
+		flags |= format3FlagCompressed
+	}
+	h := &format3Header{
+		flags:   flags,
+		n:       uint64(w.n),
+		count:   uint64(w.count),
+		dataOff: uint64(w.dataOff),
+		dataLen: uint64(w.pos),
+		prm:     w.prm,
+	}
+	if len(w.entries) > 0 {
+		if _, err := w.f.WriteAt(w.entries, format3Page); err != nil {
+			return fmt.Errorf("labelstore: write index: %w", err)
+		}
+		// Zero-fill the alignment gap between index end and data start so
+		// the file has no undefined bytes.
+		gapStart := format3Page + int64(len(w.entries))
+		if gap := w.dataOff - gapStart; gap > 0 {
+			if _, err := w.f.WriteAt(make([]byte, gap), gapStart); err != nil {
+				return fmt.Errorf("labelstore: write index padding: %w", err)
+			}
+		}
+	}
+	if _, err := w.f.WriteAt(encodeFormat3Header(h), 0); err != nil {
+		return fmt.Errorf("labelstore: write header: %w", err)
+	}
+	return nil
+}
+
+// SaveFormat3 writes the labels of the given vertices (all when nil) of
+// scheme s as an FSDL3 file — the mmap-era sibling of Save. Vertices are
+// deduplicated and written in ascending order.
+func SaveFormat3(f fileLike, s *core.Scheme, vertices []int, compress bool) error {
+	n := s.Graph().NumVertices()
+	ids, err := normalizeVertices(vertices, n)
+	if err != nil {
+		return err
+	}
+	w, err := NewFormat3Writer(f, n, len(ids), compress)
+	if err != nil {
+		return err
+	}
+	const chunk = 256
+	for off := 0; off < len(ids); off += chunk {
+		part := ids[off:min(off+chunk, len(ids))]
+		labels := s.Labels(part)
+		for i, v := range part {
+			if err := w.AddLabel(v, labels[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Finish()
+}
+
+// SaveSplicedFormat3 is SaveSpliced for FSDL3 output: dirty vertices are
+// re-extracted from s, clean ones are copied from prev — payload bytes
+// verbatim when prev is a compressed FSDL3 store of the same shape, via
+// canonical bytes (transcoding as needed) otherwise. The output is
+// byte-identical to SaveFormat3(f, s, vertices, compress).
+func SaveSplicedFormat3(f fileLike, s *core.Scheme, prev *Store, dirty []int32, vertices []int, compress bool) error {
+	n := s.Graph().NumVertices()
+	if prev.NumVertices() != n {
+		return fmt.Errorf("labelstore: splice base has n=%d, scheme has %d", prev.NumVertices(), n)
+	}
+	ids, err := normalizeVertices(vertices, n)
+	if err != nil {
+		return err
+	}
+	isDirty := make(map[int32]struct{}, len(dirty))
+	for _, v := range dirty {
+		isDirty[v] = struct{}{}
+	}
+	w, err := NewFormat3Writer(f, n, len(ids), compress)
+	if err != nil {
+		return err
+	}
+	// Stored-payload copies are only valid when the previous generation
+	// uses the exact target encoding.
+	fastCopy := compress && prev.f3 != nil && prev.f3.hdr.compressed()
+	const chunk = 256
+	part := make([]int, 0, chunk)
+	for off := 0; off < len(ids); off += chunk {
+		span := ids[off:min(off+chunk, len(ids))]
+		part = part[:0]
+		for _, v := range span {
+			if _, ok := isDirty[int32(v)]; ok {
+				part = append(part, v)
+			}
+		}
+		labels := s.Labels(part)
+		li := 0
+		for _, v := range span {
+			if li < len(part) && part[li] == v {
+				err = w.AddLabel(v, labels[li])
+				li++
+			} else if fastCopy {
+				bits, payload, ok := prev.f3.storedPayload(int32(v))
+				if !ok {
+					return fmt.Errorf("labelstore: splice base is missing clean vertex %d", v)
+				}
+				err = w.AddStored(v, bits, payload, prev.f3.hdr.prm)
+			} else {
+				bits, data, ok := prev.Raw(v)
+				if !ok {
+					return fmt.Errorf("labelstore: splice base is missing clean vertex %d", v)
+				}
+				err = w.AddCanonical(v, bits, data)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return w.Finish()
+}
+
+// SaveVerticesFormat3 writes a store holding only the given vertices as
+// FSDL3 — the partition path. Output is deterministic: ascending vertex
+// order, duplicates collapsed, byte-identical to SaveFormat3 over the
+// same records.
+func (st *Store) SaveVerticesFormat3(f fileLike, vertices []int, compress bool) error {
+	ids, err := normalizeVertices(vertices, st.n)
+	if err != nil {
+		return err
+	}
+	w, err := NewFormat3Writer(f, st.n, len(ids), compress)
+	if err != nil {
+		return err
+	}
+	fastCopy := compress && st.f3 != nil && st.f3.hdr.compressed()
+	for _, v := range ids {
+		if fastCopy && !st.inOverlay(int32(v)) {
+			bits, payload, ok := st.f3.storedPayload(int32(v))
+			if !ok {
+				return fmt.Errorf("labelstore: no label for vertex %d", v)
+			}
+			if err := w.AddStored(v, bits, payload, st.f3.hdr.prm); err != nil {
+				return err
+			}
+			continue
+		}
+		bits, data, ok := st.Raw(v)
+		if !ok {
+			return fmt.Errorf("labelstore: no label for vertex %d", v)
+		}
+		if err := w.AddCanonical(v, bits, data); err != nil {
+			return err
+		}
+	}
+	return w.Finish()
+}
+
+// normalizeVertices sorts and deduplicates ids (0..n-1 when nil),
+// rejecting out-of-range vertices.
+func normalizeVertices(vertices []int, n int) ([]int, error) {
+	if vertices == nil {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids, nil
+	}
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("labelstore: vertex %d out of range [0,%d)", v, n)
+		}
+	}
+	ids := slices.Clone(vertices)
+	slices.Sort(ids)
+	return slices.Compact(ids), nil
+}

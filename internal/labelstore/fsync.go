@@ -1,0 +1,36 @@
+package labelstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// FsyncDir fsyncs a directory, making previously-renamed entries in it
+// durable. Every temp+rename commit point (generation directories,
+// MANIFEST files, shard persists) must call this on the parent after
+// the rename — POSIX makes the rename atomic but not durable, so a
+// crash before the directory metadata reaches disk can silently lose a
+// "committed" file even though the data blocks of the renamed file were
+// fsynced. No-op on platforms whose directory handles reject Sync.
+func FsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("labelstore: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if runtime.GOOS == "windows" {
+			return nil // directory handles are not syncable there
+		}
+		return fmt.Errorf("labelstore: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// FsyncParentDir is FsyncDir on the parent directory of path — the
+// common shape at commit points, which rename into the parent.
+func FsyncParentDir(path string) error {
+	return FsyncDir(filepath.Dir(path))
+}

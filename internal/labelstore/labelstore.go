@@ -17,6 +17,13 @@
 // turn silent bit rot into detected corruption: Load fails loudly, while
 // LoadPartial salvages every intact record and reports what was lost.
 //
+// Version "FSDL3" (format3.go, mmapstore.go) is the out-of-core sibling:
+// a page-aligned random-access layout with the record index up front,
+// opened via Open/OpenHeap/OpenPartial and served from an mmap of the
+// file, optionally with compressed record payloads. All versions carry
+// the same canonical record bytes (Label.Encode output), so digests,
+// the cluster wire format and Put interoperate across them.
+//
 // Stores can hold all n labels (the full oracle) or any subset — e.g. a
 // region bundle produced by SaveRegion.
 package labelstore
@@ -291,10 +298,20 @@ func SaveRegion(w io.Writer, s *core.Scheme, center int, radius int32) error {
 // anti-entropy repair path installs records into a live shard's store
 // while queries read it.
 type Store struct {
-	n int
+	n      int
+	format int // container version: 1/2 heap streams, 3 mmap-first files
 
+	// labels is the heap overlay: everything an FSDL1/2 load parsed, plus
+	// records Put installed (repair ingest). For an FSDL3-backed store it
+	// shadows the on-disk copy — a healed record wins over a corrupt one.
 	mu     sync.RWMutex
 	labels map[int32]record
+
+	// f3 is the FSDL3 backing (mmap'd or flat heap bytes), nil otherwise.
+	f3 *file3
+	// rawCache memoizes canonical transcodes of compressed FSDL3 records
+	// for the wire-serving path; nil unless the backing is compressed.
+	rawCache *lru.Cache[int32, record]
 
 	cache       *lru.Cache[int32, *core.Label]
 	cacheHits   atomic.Int64
@@ -333,6 +350,7 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, err
 	}
 	st := newStore(int(n), count)
+	st.format = version
 	for i := uint64(0); i < count; i++ {
 		v, rec, crcOK, err := readRecord(br, n, version == 2)
 		if err != nil {
@@ -349,7 +367,7 @@ func Load(r io.Reader) (*Store, error) {
 // SalvageReport describes what LoadPartial recovered from a damaged
 // store file.
 type SalvageReport struct {
-	// Version is the container version that was read (1 or 2).
+	// Version is the container version that was read (1, 2 or 3).
 	Version int
 	// Total is the record count the header declared; Kept is how many
 	// records survived intact.
@@ -382,6 +400,7 @@ func LoadPartial(r io.Reader) (*Store, *SalvageReport, error) {
 		return nil, nil, err
 	}
 	st := newStore(int(n), count)
+	st.format = version
 	rep := &SalvageReport{Version: version, Total: int(count)}
 	for i := uint64(0); i < count; i++ {
 		v, rec, crcOK, err := readRecord(br, n, version == 2)
@@ -407,19 +426,30 @@ func LoadPartial(r io.Reader) (*Store, *SalvageReport, error) {
 // NumVertices returns the vertex-id space of the underlying graph.
 func (st *Store) NumVertices() int { return st.n }
 
-// NumLabels returns how many labels the store holds.
+// NumLabels returns how many servable labels the store holds: heap
+// overlay records plus intact on-disk records (known-corrupt, unhealed
+// FSDL3 records are not counted).
 func (st *Store) NumLabels() int {
 	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.labels)
+	n := len(st.labels)
+	st.mu.RUnlock()
+	if st.f3 != nil {
+		n += st.f3.idxCount - st.f3.corruptCount()
+	}
+	return n
 }
 
-// Has reports whether the label of v is present.
+// Has reports whether the label of v is present (in the heap overlay or
+// the on-disk index) and not known corrupt.
 func (st *Store) Has(v int) bool {
 	st.mu.RLock()
-	defer st.mu.RUnlock()
 	_, ok := st.labels[int32(v)]
-	return ok
+	st.mu.RUnlock()
+	if ok || st.f3 == nil {
+		return ok
+	}
+	e, slot, ok := st.f3.find(int32(v))
+	return ok && st.f3.verify(e, slot)
 }
 
 // Vertices returns the sorted vertex ids whose labels the store holds —
@@ -431,32 +461,63 @@ func (st *Store) Vertices() []int {
 		ids = append(ids, int(v))
 	}
 	st.mu.RUnlock()
+	if st.f3 != nil {
+		st.f3.mu.RLock()
+		for i := 0; i < st.f3.idxCount; i++ {
+			e := st.f3.entry(i)
+			if _, bad := st.f3.corrupt[int32(e.vertex)]; !bad {
+				ids = append(ids, int(e.vertex))
+			}
+		}
+		st.f3.mu.RUnlock()
+	}
 	slices.Sort(ids)
-	return ids
+	return slices.Compact(ids)
 }
 
-// Raw returns the serialized label record of v without decoding it —
-// the shard-serving path, which ships records over the wire and leaves
-// decoding to the frontend. The returned bytes are shared and must not
-// be mutated (records are immutable once installed, so releasing the
-// lock before returning is safe).
+// Raw returns the canonical serialized label record of v without
+// decoding it — the shard-serving path, which ships records over the
+// wire and leaves decoding to the frontend. For an uncompressed FSDL3
+// backing the returned bytes alias the mapping (zero copy); compressed
+// records are transcoded to canonical form (memoized). The returned
+// bytes are shared and must not be mutated.
 func (st *Store) Raw(v int) (bits int, data []byte, ok bool) {
 	st.mu.RLock()
 	rec, ok := st.labels[int32(v)]
 	st.mu.RUnlock()
-	if !ok {
+	if ok {
+		return rec.bits, rec.data, true
+	}
+	if st.f3 == nil {
 		return 0, nil, false
 	}
-	return rec.bits, rec.data, true
+	return st.rawFrom3(int32(v))
 }
 
-// SizeBits returns the total stored label payload in bits.
+// SizeBits returns the total stored label payload in canonical bits
+// (known-corrupt records excluded — their length fields are not
+// trustworthy).
 func (st *Store) SizeBits() int64 {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	var total int64
-	for _, rec := range st.labels {
+	st.mu.RLock()
+	shadowed := make(map[int32]struct{}, len(st.labels))
+	for v, rec := range st.labels {
 		total += int64(rec.bits)
+		shadowed[v] = struct{}{}
+	}
+	st.mu.RUnlock()
+	if st.f3 != nil {
+		st.f3.mu.RLock()
+		for i := 0; i < st.f3.idxCount; i++ {
+			e := st.f3.entry(i)
+			if _, bad := st.f3.corrupt[int32(e.vertex)]; bad {
+				continue
+			}
+			if _, dup := shadowed[int32(e.vertex)]; !dup {
+				total += int64(e.bits)
+			}
+		}
+		st.f3.mu.RUnlock()
 	}
 	return total
 }
@@ -469,15 +530,22 @@ func (st *Store) Label(v int) (*core.Label, error) {
 		st.cacheHits.Add(1)
 		return l, nil
 	}
+	var l *core.Label
 	st.mu.RLock()
 	rec, ok := st.labels[int32(v)]
 	st.mu.RUnlock()
-	if !ok {
+	if ok {
+		var err error
+		if l, err = core.DecodeLabel(rec.data, rec.bits); err != nil {
+			return nil, err
+		}
+	} else if st.f3 != nil {
+		var err error
+		if l, err = st.label3(int32(v)); err != nil {
+			return nil, err
+		}
+	} else {
 		return nil, fmt.Errorf("labelstore: no label for vertex %d", v)
-	}
-	l, err := core.DecodeLabel(rec.data, rec.bits)
-	if err != nil {
-		return nil, err
 	}
 	st.cacheMisses.Add(1)
 	st.cache.Put(int32(v), l)
@@ -613,16 +681,20 @@ func Merge(stores ...*Store) (*Store, error) {
 		if st.n != out.n {
 			return nil, fmt.Errorf("labelstore: store %d has n=%d, want %d", si, st.n, out.n)
 		}
-		st.mu.RLock()
-		defer st.mu.RUnlock()
-		for v, rec := range st.labels {
-			if prev, ok := out.labels[v]; ok {
-				if prev.bits != rec.bits || !bytesEqual(prev.data, rec.data) {
+		// Iterate via Vertices/Raw so FSDL3-backed stores merge too (the
+		// merged result is a heap store of canonical records).
+		for _, v := range st.Vertices() {
+			bits, data, ok := st.Raw(v)
+			if !ok {
+				continue // discovered corrupt mid-merge: salvage semantics, skip
+			}
+			if prev, ok := out.labels[int32(v)]; ok {
+				if prev.bits != bits || !bytesEqual(prev.data, data) {
 					return nil, fmt.Errorf("labelstore: conflicting labels for vertex %d", v)
 				}
 				continue
 			}
-			out.labels[v] = rec
+			out.labels[int32(v)] = record{bits: bits, data: data}
 		}
 	}
 	return out, nil
@@ -673,13 +745,11 @@ func (st *Store) SaveVertices(w io.Writer, vertices []int) error {
 		return err
 	}
 	for _, v := range ids {
-		st.mu.RLock()
-		rec, ok := st.labels[int32(v)]
-		st.mu.RUnlock()
+		bits, data, ok := st.Raw(v)
 		if !ok {
 			return fmt.Errorf("labelstore: no label for vertex %d", v)
 		}
-		if err := writeRecord(bw, v, rec.bits, rec.data); err != nil {
+		if err := writeRecord(bw, v, bits, data); err != nil {
 			return fmt.Errorf("labelstore: write record for vertex %d: %w", v, err)
 		}
 	}
@@ -716,6 +786,18 @@ func (st *Store) Put(v int, bits int, data []byte) error {
 	if _, err := core.DecodeLabel(data, bits); err != nil {
 		return fmt.Errorf("labelstore: record for vertex %d does not decode: %w", v, err)
 	}
+	// An intact on-disk FSDL3 copy is authoritative: identical re-puts are
+	// idempotent no-ops, different bytes are a conflict. A *corrupt*
+	// on-disk copy is healable — the put lands in the heap overlay, which
+	// shadows the damaged record from then on.
+	if st.f3 != nil && !st.inOverlay(int32(v)) {
+		if pbits, pdata, ok := st.rawFrom3(int32(v)); ok {
+			if pbits == bits && bytesEqual(pdata, data) {
+				return nil
+			}
+			return fmt.Errorf("labelstore: conflicting record for vertex %d", v)
+		}
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if prev, ok := st.labels[int32(v)]; ok {
@@ -741,15 +823,28 @@ func (st *Store) DigestVertices(ids []int32) (digest uint32, present int, missin
 	sorted = slices.Compact(sorted)
 	h := crc32.NewIEEE()
 	var word [4]byte
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	for _, v := range sorted {
+		st.mu.RLock()
 		rec, ok := st.labels[v]
-		if !ok {
+		st.mu.RUnlock()
+		var sum uint32
+		if ok {
+			sum = recordChecksum(int(v), rec.bits, rec.data)
+		} else if st.f3 != nil {
+			// For an uncompressed FSDL3 backing the verified index CRC is
+			// already the digest word — the on-disk index doubles as a
+			// precomputed digest table. Verification here also means the
+			// digest audit detects bit rot in mapped payloads, so
+			// anti-entropy repair can heal rotten records in place.
+			if sum, ok = st.digestWord3(v); !ok {
+				missing = append(missing, v)
+				continue
+			}
+		} else {
 			missing = append(missing, v)
 			continue
 		}
-		binary.LittleEndian.PutUint32(word[:], recordChecksum(int(v), rec.bits, rec.data))
+		binary.LittleEndian.PutUint32(word[:], sum)
 		h.Write(word[:])
 		present++
 	}

@@ -323,7 +323,12 @@ func WriteManifestFile(dir string, m *Manifest) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, ManifestName))
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	// The rename is atomic but not durable until the directory metadata
+	// reaches disk; without this a crash can lose a "committed" manifest.
+	return FsyncDir(dir)
 }
 
 // ReadManifestDir reads and verifies dir/MANIFEST, then checks that

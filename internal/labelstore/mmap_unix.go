@@ -1,0 +1,31 @@
+//go:build unix
+
+package labelstore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mapFile maps the first size bytes of f read-only. The mapping outlives
+// the file descriptor (mmap holds its own reference), so callers may
+// close f immediately after. A finalizer on the returned region unmaps
+// abandoned mappings.
+func mapFile(f *os.File, size int64) ([]byte, *mmapRegion, error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("labelstore: cannot map empty file")
+	}
+	if size > math.MaxInt {
+		return nil, nil, fmt.Errorf("labelstore: file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("labelstore: mmap %s: %w", f.Name(), err)
+	}
+	r := &mmapRegion{data: data, unmap: syscall.Munmap}
+	runtime.SetFinalizer(r, func(r *mmapRegion) { r.Close() })
+	return data, r, nil
+}

@@ -1,0 +1,630 @@
+// Out-of-core store backing: an FSDL3 file opened here is not parsed
+// into heap maps — the whole file is mmap'd (or, on request, read into
+// one flat heap slice) and records are served by binary-searching the
+// on-disk index directly in the mapping. The OS page cache does the
+// tiering: hot index and record pages stay resident, cold ones are
+// just disk, and store size is bounded by disk rather than RAM.
+//
+// Integrity is verified lazily: the header and index structure are
+// checked at open (cheap, O(count) over index bytes), while each
+// record's CRC is checked the first time it is accessed and the result
+// memoized in a bitset. A record that fails its check is remembered in
+// a corrupt set — lookups treat it as damaged (not absent), which the
+// cluster shard surfaces as a non-authoritative Unknown so the
+// frontend fails over to a healthy replica, and the anti-entropy
+// repair path may later heal it by Putting an intact copy into the
+// heap overlay, which shadows the damaged on-disk record.
+package labelstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"fsdl/internal/core"
+	"fsdl/internal/lru"
+)
+
+// mmapRegion owns one read-only file mapping. Close unmaps it; a
+// finalizer unmaps abandoned regions, so dropping the last reference to
+// a Store (e.g. on a generation swap) cannot leak address space. Close
+// must not race in-flight readers of the mapped bytes — serving paths
+// rely on the finalizer (which only runs once no reader can exist)
+// and explicit Close is reserved for CLI/test lifecycles.
+type mmapRegion struct {
+	mu    sync.Mutex
+	data  []byte
+	unmap func([]byte) error
+}
+
+// Close releases the mapping. Idempotent.
+func (r *mmapRegion) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.data == nil {
+		return nil
+	}
+	data := r.data
+	r.data = nil
+	return r.unmap(data)
+}
+
+// file3 is the FSDL3 backing of a Store: the raw file bytes (mapped or
+// heap), the parsed header, and lazy per-record verification state.
+type file3 struct {
+	data     []byte
+	region   *mmapRegion // nil when data is a heap copy
+	hdr      *format3Header
+	index    []byte // the index section (may be clamped by salvage)
+	payloads []byte // the data section (may be clamped by salvage)
+	idxCount int    // readable index entries
+
+	verified []atomic.Uint32 // per-slot CRC-checked-ok bitset
+
+	mu      sync.RWMutex
+	corrupt map[int32]struct{}
+}
+
+func newFile3(data []byte, region *mmapRegion, hdr *format3Header) *file3 {
+	f := &file3{data: data, region: region, hdr: hdr, corrupt: make(map[int32]struct{})}
+	idxEnd := int64(format3Page) + int64(hdr.count)*format3EntryLen
+	if idxEnd > int64(len(data)) {
+		idxEnd = int64(len(data))
+	}
+	if idxEnd < format3Page {
+		idxEnd = format3Page
+	}
+	if int64(len(data)) >= format3Page {
+		f.index = data[format3Page:idxEnd]
+	}
+	f.idxCount = len(f.index) / format3EntryLen
+	if int64(len(data)) > int64(hdr.dataOff) {
+		end := int64(hdr.dataOff) + int64(hdr.dataLen)
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		f.payloads = data[hdr.dataOff:end]
+	}
+	f.verified = make([]atomic.Uint32, (f.idxCount+31)/32)
+	return f
+}
+
+// entry returns the parsed index slot i.
+func (f *file3) entry(i int) index3Entry {
+	return parseIndex3Entry(f.index[i*format3EntryLen:])
+}
+
+// find binary-searches the on-disk index for v.
+func (f *file3) find(v int32) (index3Entry, int, bool) {
+	lo, hi := 0, f.idxCount
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int32(f.entry(mid).vertex) < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < f.idxCount {
+		if e := f.entry(lo); int32(e.vertex) == v {
+			return e, lo, true
+		}
+	}
+	return index3Entry{}, 0, false
+}
+
+// payload returns the stored bytes of an entry, or nil when its window
+// falls outside the (possibly truncated) data section.
+func (f *file3) payload(e index3Entry) []byte {
+	if e.off > uint64(len(f.payloads)) || uint64(e.length) > uint64(len(f.payloads))-e.off {
+		return nil
+	}
+	return f.payloads[e.off : e.off+uint64(e.length) : e.off+uint64(e.length)]
+}
+
+// verify CRC-checks the record of slot i once, memoizing the verdict.
+func (f *file3) verify(e index3Entry, slot int) bool {
+	if f.verified[slot/32].Load()&(1<<(slot%32)) != 0 {
+		return true
+	}
+	f.mu.RLock()
+	_, bad := f.corrupt[int32(e.vertex)]
+	f.mu.RUnlock()
+	if bad {
+		return false
+	}
+	p := f.payload(e)
+	if p == nil || recordChecksum(int(e.vertex), int(e.bits), p) != e.crc {
+		f.markCorrupt(int32(e.vertex))
+		return false
+	}
+	word := &f.verified[slot/32]
+	for {
+		old := word.Load()
+		if word.CompareAndSwap(old, old|1<<(slot%32)) {
+			return true
+		}
+	}
+}
+
+func (f *file3) markCorrupt(v int32) {
+	f.mu.Lock()
+	f.corrupt[v] = struct{}{}
+	f.mu.Unlock()
+}
+
+// storedPayload returns the verified on-disk payload of v in its stored
+// encoding (canonical or compressed).
+func (f *file3) storedPayload(v int32) (bits int, payload []byte, ok bool) {
+	e, slot, ok := f.find(v)
+	if !ok || !f.verify(e, slot) {
+		return 0, nil, false
+	}
+	return int(e.bits), f.payload(e), true
+}
+
+// corruptAt reports whether v is present in the index but damaged.
+func (f *file3) corruptAt(v int32) bool {
+	e, slot, ok := f.find(v)
+	return ok && !f.verify(e, slot)
+}
+
+func (f *file3) corruptCount() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.corrupt)
+}
+
+// Open opens a store file, auto-detecting the container version: FSDL3
+// files are mmap'd and served out-of-core, FSDL1/2 files are read into
+// heap exactly as Load would. It is strict about structure — a damaged
+// header or index fails the open (use OpenPartial to salvage) — while
+// FSDL3 record payloads are CRC-verified lazily on first access, with
+// failures surfacing as corrupt-record lookups rather than errors.
+func Open(path string) (*Store, error) {
+	return openAuto(path, true, false)
+}
+
+// OpenHeap is Open without the mapping: an FSDL3 file is read into one
+// heap slice (identical semantics, no page-cache tiering) — the
+// portable fallback and the right choice for short-lived CLI reads of
+// small stores.
+func OpenHeap(path string) (*Store, error) {
+	return openAuto(path, false, false)
+}
+
+func openAuto(path string, useMmap, partial bool) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [5]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("labelstore: read magic: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != string(magicV3) {
+		return Load(f)
+	}
+	st, _, err := open3(f, useMmap, partial)
+	return st, err
+}
+
+// SniffFormat reports the container version (1, 2, or 3) of a store
+// file and, for FSDL3, whether its record payloads are compressed —
+// from the first six bytes alone. Compaction uses it to decide whether
+// a previous generation's partition file may be hard-linked forward:
+// linking an FSDL2 file into a generation built with -format fsdl3
+// would silently break the byte-identity of incremental builds.
+func SniffFormat(path string) (version int, compressed bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	var head [6]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return 0, false, fmt.Errorf("labelstore: sniff %s: %w", path, err)
+	}
+	switch string(head[:5]) {
+	case string(magicV1):
+		return 1, false, nil
+	case string(magicV2):
+		return 2, false, nil
+	case string(magicV3):
+		return 3, head[5]&format3FlagCompressed != 0, nil
+	}
+	return 0, false, fmt.Errorf("labelstore: %s: unrecognized container magic", path)
+}
+
+// OpenPartial is Open with salvage semantics, the file-level analogue of
+// LoadPartial: a damaged body yields a usable Store plus a report of
+// what was lost. For FSDL3 every record is eagerly CRC-checked and
+// decode-checked; damaged or unreachable records land in the corrupt
+// set (lookups report them via Corrupt, and the store stays mmap-backed
+// so salvage does not force the file into heap).
+func OpenPartial(path string) (*Store, *SalvageReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var magic [5]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("labelstore: read magic: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	if string(magic[:]) != string(magicV3) {
+		st, rep, err := LoadPartial(f)
+		return st, rep, err
+	}
+	return open3(f, true, true)
+}
+
+func open3(f *os.File, useMmap, partial bool) (*Store, *SalvageReport, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size < format3HeaderLen {
+		return nil, nil, fmt.Errorf("labelstore: FSDL3 file truncated (%d bytes)", size)
+	}
+	var data []byte
+	var region *mmapRegion
+	if useMmap {
+		data, region, err = mapFile(f, size)
+	} else {
+		data = make([]byte, size)
+		_, err = io.ReadFull(io.NewSectionReader(f, 0, size), data)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr, err := parseFormat3Header(data)
+	if err != nil {
+		if region != nil {
+			region.Close()
+		}
+		return nil, nil, err
+	}
+	f3 := newFile3(data, region, hdr)
+	rep := &SalvageReport{Version: 3, Total: int(hdr.count)}
+	need := int64(hdr.dataOff) + int64(hdr.dataLen)
+	truncated := size < need || f3.idxCount < int(hdr.count)
+	if truncated && !partial {
+		if region != nil {
+			region.Close()
+		}
+		return nil, nil, fmt.Errorf("labelstore: FSDL3 file truncated (%d bytes, need %d)", size, need)
+	}
+	rep.Truncated = truncated
+	// Structural pass over the index: strictly ascending vertices with
+	// sane windows. Strict opens reject any violation; salvage marks the
+	// offending entries corrupt (binary search may then miss records
+	// shadowed by out-of-order junk — lost, never wrong, since every hit
+	// is vertex- and CRC-checked before serving).
+	lastV := int64(-1)
+	for i := 0; i < f3.idxCount; i++ {
+		e := f3.entry(i)
+		bad := checkIndex3Entry(e, hdr) != nil || int64(e.vertex) <= lastV
+		if !bad {
+			lastV = int64(e.vertex)
+		}
+		if bad {
+			if !partial {
+				if region != nil {
+					region.Close()
+				}
+				err := checkIndex3Entry(e, hdr)
+				if err == nil {
+					err = fmt.Errorf("labelstore: index entry %d out of order", i)
+				}
+				return nil, nil, err
+			}
+			f3.markCorrupt(int32(e.vertex))
+			continue
+		}
+		if partial {
+			// Eager salvage scan: CRC plus a full decode check, exactly
+			// what LoadPartial applies per record.
+			if !f3.verify(e, i) {
+				continue
+			}
+			p := f3.payload(e)
+			var derr error
+			if hdr.compressed() {
+				_, derr = decodeRecord3(p, int32(e.vertex), hdr.prm)
+			} else {
+				_, derr = core.DecodeLabel(p, int(e.bits))
+			}
+			if derr != nil {
+				f3.markCorrupt(int32(e.vertex))
+			}
+		}
+	}
+	st := newStore(int(hdr.n), 0)
+	st.format = 3
+	st.f3 = f3
+	if hdr.compressed() {
+		st.rawCache = lru.New[int32, record](DefaultDecodedCacheSize, 8, func(k int32) uint64 { return lru.HashU32(uint32(k)) })
+	}
+	f3.mu.RLock()
+	for v := range f3.corrupt {
+		rep.Corrupt = append(rep.Corrupt, v)
+	}
+	f3.mu.RUnlock()
+	slices.Sort(rep.Corrupt)
+	rep.Kept = rep.Total - len(rep.Corrupt)
+	if f3.idxCount < rep.Total {
+		// Entries beyond the truncation point never made it into the
+		// corrupt list (their ids are unreadable); they are lost too.
+		rep.Kept = f3.idxCount - len(rep.Corrupt)
+	}
+	if !partial {
+		return st, nil, nil
+	}
+	return st, rep, nil
+}
+
+// Close releases resources held outside the heap (the FSDL3 mapping).
+// A finalizer covers abandoned stores; Close is for deterministic
+// teardown and must not race in-flight readers.
+func (st *Store) Close() error {
+	if st.f3 != nil && st.f3.region != nil {
+		return st.f3.region.Close()
+	}
+	return nil
+}
+
+// Format returns the container version backing this store: 1 or 2 for
+// heap-loaded streams, 3 for an FSDL3 file.
+func (st *Store) Format() int {
+	if st.format == 0 {
+		return 2
+	}
+	return st.format
+}
+
+// Mapped reports whether the store serves records from an mmap'd file.
+func (st *Store) Mapped() bool {
+	return st.f3 != nil && st.f3.region != nil
+}
+
+// Compressed reports whether the backing file stores compressed record
+// payloads.
+func (st *Store) Compressed() bool {
+	return st.f3 != nil && st.f3.hdr.compressed()
+}
+
+// Corrupt reports whether the stored record of v is present but known
+// damaged (CRC or decode failure) and not shadowed by a repaired
+// in-heap copy. The cluster shard maps this to a non-authoritative
+// Unknown so frontends fail over instead of trusting absence.
+func (st *Store) Corrupt(v int) bool {
+	st.mu.RLock()
+	_, ok := st.labels[int32(v)]
+	st.mu.RUnlock()
+	if ok || st.f3 == nil {
+		return false
+	}
+	return st.f3.corruptAt(int32(v))
+}
+
+// CorruptVertices returns the sorted vertices currently known corrupt
+// and unhealed — diagnostics for stats and repair tooling.
+func (st *Store) CorruptVertices() []int32 {
+	if st.f3 == nil {
+		return nil
+	}
+	st.f3.mu.RLock()
+	ids := make([]int32, 0, len(st.f3.corrupt))
+	for v := range st.f3.corrupt {
+		ids = append(ids, v)
+	}
+	st.f3.mu.RUnlock()
+	slices.Sort(ids)
+	out := ids[:0]
+	for _, v := range ids {
+		st.mu.RLock()
+		_, healed := st.labels[v]
+		st.mu.RUnlock()
+		if !healed {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CorruptCount reports how many stored records are currently known
+// corrupt and unhealed. Cheap enough for health probes: shards fold it
+// into the non-authoritative pong flag so frontends fail over while
+// the digest audit repairs the damage.
+func (st *Store) CorruptCount() int {
+	if st.f3 == nil {
+		return 0
+	}
+	st.f3.mu.RLock()
+	n := len(st.f3.corrupt)
+	st.f3.mu.RUnlock()
+	if n == 0 {
+		return 0
+	}
+	return len(st.CorruptVertices())
+}
+
+// SetDecodedCacheCapacity resizes the decoded-label LRU (and the
+// transcoded-record LRU of a compressed store) — memory-ceiling tuning
+// for out-of-core serving, where cached decoded labels are the dominant
+// heap cost. Must be called before the store is shared across
+// goroutines (boot-time configuration).
+func (st *Store) SetDecodedCacheCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	st.cache = lru.New[int32, *core.Label](capacity, 8, func(k int32) uint64 { return lru.HashU32(uint32(k)) })
+	if st.rawCache != nil {
+		st.rawCache = lru.New[int32, record](capacity, 8, func(k int32) uint64 { return lru.HashU32(uint32(k)) })
+	}
+}
+
+// inOverlay reports whether v has a heap-overlay record (a Put-repaired
+// or FSDL2-loaded label) shadowing any on-disk copy.
+func (st *Store) inOverlay(v int32) bool {
+	st.mu.RLock()
+	_, ok := st.labels[v]
+	st.mu.RUnlock()
+	return ok
+}
+
+// rawFrom3 returns the canonical record bytes of v from the FSDL3
+// backing, transcoding compressed payloads (memoized in rawCache —
+// transcodes cost a decode + re-encode, and the wire path hits the same
+// hot vertices repeatedly).
+func (st *Store) rawFrom3(v int32) (int, []byte, bool) {
+	bits, payload, ok := st.f3.storedPayload(v)
+	if !ok {
+		return 0, nil, false
+	}
+	if !st.f3.hdr.compressed() {
+		return bits, payload, true
+	}
+	if rec, ok := st.rawCache.Get(v); ok {
+		return rec.bits, rec.data, true
+	}
+	l, err := decodeRecord3(payload, v, st.f3.hdr.prm)
+	if err != nil {
+		st.f3.markCorrupt(v)
+		return 0, nil, false
+	}
+	buf, nbits := l.Encode()
+	if nbits != bits {
+		// The stored canonical length disagrees with the deterministic
+		// re-encode: the index entry lies, treat the record as damaged.
+		st.f3.markCorrupt(v)
+		return 0, nil, false
+	}
+	rec := record{bits: nbits, data: buf}
+	st.rawCache.Put(v, rec)
+	return rec.bits, rec.data, true
+}
+
+// label3 decodes the label of v from the FSDL3 backing.
+func (st *Store) label3(v int32) (*core.Label, error) {
+	bits, payload, ok := st.f3.storedPayload(v)
+	if !ok {
+		if st.f3.corruptAt(v) {
+			return nil, fmt.Errorf("labelstore: record for vertex %d is corrupt", v)
+		}
+		return nil, fmt.Errorf("labelstore: no label for vertex %d", v)
+	}
+	if st.f3.hdr.compressed() {
+		l, err := decodeRecord3(payload, v, st.f3.hdr.prm)
+		if err != nil {
+			st.f3.markCorrupt(v)
+			return nil, err
+		}
+		return l, nil
+	}
+	l, err := core.DecodeLabel(payload, bits)
+	if err != nil {
+		st.f3.markCorrupt(v)
+		return nil, err
+	}
+	return l, nil
+}
+
+// digestWord3 returns the canonical record checksum of v from the FSDL3
+// backing — for uncompressed stores the verified index CRC is already
+// that word; compressed stores transcode.
+func (st *Store) digestWord3(v int32) (uint32, bool) {
+	if !st.f3.hdr.compressed() {
+		e, slot, ok := st.f3.find(v)
+		if !ok || !st.f3.verify(e, slot) {
+			return 0, false
+		}
+		return e.crc, true
+	}
+	bits, data, ok := st.rawFrom3(v)
+	if !ok {
+		return 0, false
+	}
+	return recordChecksum(int(v), bits, data), true
+}
+
+// RecordInfo describes one stored record for introspection (fsdl stats).
+type RecordInfo struct {
+	Vertex      int32
+	Bits        int  // canonical bit length
+	StoredBytes int  // payload bytes on disk / in heap
+	Corrupt     bool // known damaged and unhealed
+}
+
+// Records calls fn for every record the store knows about (heap overlay
+// and FSDL3 backing), in ascending vertex order.
+func (st *Store) Records(fn func(RecordInfo)) {
+	st.mu.RLock()
+	overlay := make(map[int32]record, len(st.labels))
+	for v, rec := range st.labels {
+		overlay[v] = rec
+	}
+	st.mu.RUnlock()
+	seen := make(map[int32]struct{}, len(overlay))
+	var infos []RecordInfo
+	for v, rec := range overlay {
+		seen[v] = struct{}{}
+		infos = append(infos, RecordInfo{Vertex: v, Bits: rec.bits, StoredBytes: len(rec.data)})
+	}
+	if st.f3 != nil {
+		for i := 0; i < st.f3.idxCount; i++ {
+			e := st.f3.entry(i)
+			if _, ok := seen[int32(e.vertex)]; ok {
+				continue
+			}
+			infos = append(infos, RecordInfo{
+				Vertex:      int32(e.vertex),
+				Bits:        int(e.bits),
+				StoredBytes: int(e.length),
+				Corrupt:     st.f3.corruptAt(int32(e.vertex)),
+			})
+		}
+	}
+	slices.SortFunc(infos, func(a, b RecordInfo) int { return int(a.Vertex) - int(b.Vertex) })
+	for _, info := range infos {
+		fn(info)
+	}
+}
+
+// IndexOverheadBytes returns the container bytes that are not record
+// payload: for FSDL3 the header page, index and alignment padding; for
+// heap-loaded FSDL2 the per-record varint framing and checksums plus
+// the stream header.
+func (st *Store) IndexOverheadBytes() int64 {
+	if st.f3 != nil {
+		return int64(st.f3.hdr.dataOff)
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	total := int64(len(magicV2)) + varintLen(uint64(st.n)) + varintLen(uint64(len(st.labels)))
+	for v, rec := range st.labels {
+		total += varintLen(uint64(v)) + varintLen(uint64(rec.bits)) + 4
+	}
+	return total
+}
+
+func varintLen(v uint64) int64 {
+	n := int64(1)
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

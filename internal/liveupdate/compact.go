@@ -51,6 +51,14 @@ type CompactOptions struct {
 	// space) — a mismatch is an error, not a silent full build, so
 	// callers choose the mode explicitly.
 	Prev *PrevGeneration
+	// Format selects the label container written for labels.fsdl and
+	// every partition file: 0 or 2 writes the FSDL2 stream, 3 the
+	// mmap-first FSDL3 container. Readers auto-detect either, so a
+	// cluster can swap between formats generation by generation.
+	Format int
+	// Compress stores FSDL3 record payloads in the compressed
+	// encoding; it requires Format 3.
+	Compress bool
 }
 
 // PrevGeneration hands an incremental compaction the previous
@@ -123,6 +131,15 @@ func Compact(p *Pipeline, root string, opts CompactOptions) (*CompactionResult, 
 // is delta-scoped (see CompactOptions.Prev); the generation written is
 // byte-identical either way.
 func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*CompactionResult, error) {
+	switch opts.Format {
+	case 0, 2, 3:
+	default:
+		return nil, fmt.Errorf("liveupdate: unsupported label container format %d", opts.Format)
+	}
+	if opts.Compress && opts.Format != 3 {
+		return nil, fmt.Errorf("liveupdate: compressed records require the FSDL3 container")
+	}
+	format3 := opts.Format == 3
 	var (
 		scheme *core.Scheme
 		dirty  []int32 // meaningful only on the incremental path
@@ -196,10 +213,16 @@ func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*Compact
 	}
 
 	if err := addFile(LabelsFileName, m.N, func(f *os.File) error {
-		if incremental {
+		switch {
+		case format3 && incremental:
+			return labelstore.SaveSplicedFormat3(f, scheme, opts.Prev.Store, dirty, nil, opts.Compress)
+		case format3:
+			return labelstore.SaveFormat3(f, scheme, nil, opts.Compress)
+		case incremental:
 			return labelstore.SaveSpliced(f, scheme, opts.Prev.Store, dirty, nil)
+		default:
+			return labelstore.Save(f, scheme, nil)
 		}
-		return labelstore.Save(f, scheme, nil)
 	}); err != nil {
 		return nil, err
 	}
@@ -250,14 +273,25 @@ func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*Compact
 		// A partition with no dirty vertex and an unchanged id list is
 		// byte-identical to the previous generation's file: hard-link
 		// it instead of rewriting (fall back to writing when linking
-		// is unsupported or the precondition fails).
+		// is unsupported or the precondition fails). The previous file
+		// must also be in the requested container format — linking an
+		// FSDL2 partition into an FSDL3 build would break the
+		// byte-identity of incremental builds (readers would still
+		// auto-detect it, but identical inputs must yield identical
+		// generations).
 		if nDirty == 0 && incremental && opts.Prev.Dir != "" && slices.Equal(opts.Prev.Partitions[name], ids) {
-			if err := linkFile(m, tmp, opts.Prev.Dir, name+".fsdl", len(ids), ids); err == nil {
-				continue
+			ver, comp, err := labelstore.SniffFormat(filepath.Join(opts.Prev.Dir, name+".fsdl"))
+			if err == nil && formatMatches(ver, comp, opts) {
+				if err := linkFile(m, tmp, opts.Prev.Dir, name+".fsdl", len(ids), ids); err == nil {
+					continue
+				}
 			}
 		}
 		ids := ids
 		if err := addFile(name+".fsdl", len(ids), func(f *os.File) error {
+			if format3 {
+				return store.SaveVerticesFormat3(f, ids, opts.Compress)
+			}
 			return store.SaveVertices(f, ids)
 		}); err != nil {
 			return nil, err
@@ -277,6 +311,11 @@ func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*Compact
 	if err := os.Rename(tmp, final); err != nil {
 		return nil, err
 	}
+	// Make the generation's rename durable: fsync the live root so the
+	// committed gen-<id> directory entry survives a crash.
+	if err := labelstore.FsyncParentDir(final); err != nil {
+		return nil, err
+	}
 	dirtyLabels := len(dirty)
 	if !incremental {
 		dirtyLabels = m.N
@@ -294,14 +333,21 @@ func CompactSnapshot(snap *Snapshot, root string, opts CompactOptions) (*Compact
 	}, nil
 }
 
-// loadStoreFile loads a label store file.
-func loadStoreFile(path string) (*labelstore.Store, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// formatMatches reports whether an existing file's sniffed container
+// (version, compressed) is the one a build with opts would write.
+func formatMatches(version int, compressed bool, opts CompactOptions) bool {
+	if opts.Format == 3 {
+		return version == 3 && compressed == opts.Compress
 	}
-	defer f.Close()
-	return labelstore.Load(f)
+	return version == 2
+}
+
+// loadStoreFile loads a label store file, auto-detecting the container:
+// FSDL3 generations come back mmap-backed, so the store handed to the
+// serving swap (and retained as the next incremental build's splice
+// source) reads record bytes from the page cache, not the heap.
+func loadStoreFile(path string) (*labelstore.Store, error) {
+	return labelstore.Open(path)
 }
 
 // linkFile hard-links name from the previous generation directory into
@@ -341,12 +387,8 @@ func LoadGenerationBase(dir string) (*graph.Graph, error) {
 }
 
 // LoadGenerationStore loads the full label store of a generation
-// directory.
+// directory, auto-detecting the container format (FSDL3 files are
+// opened mmap-backed).
 func LoadGenerationStore(dir string) (*labelstore.Store, error) {
-	f, err := os.Open(filepath.Join(dir, LabelsFileName))
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return labelstore.Load(f)
+	return labelstore.Open(filepath.Join(dir, LabelsFileName))
 }

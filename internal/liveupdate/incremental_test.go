@@ -215,3 +215,139 @@ func TestIncrementalCompactRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalCompactFormat3: the incremental build's byte-identity
+// guarantee holds for the FSDL3 container too, compressed or not, and
+// FSDL3 generations load back (mmap-backed) with the same answers.
+func TestIncrementalCompactFormat3(t *testing.T) {
+	const eps = 2.0
+	base := gen.Grid2D(8, 5)
+	parts := map[string][]int{}
+	for v := 0; v < 40; v++ {
+		name := "shard-a"
+		if v >= 20 {
+			name = "shard-b"
+		}
+		parts[name] = append(parts[name], v)
+	}
+	batch := []Mutation{
+		{Op: MutInsert, U: 9, V: 18},
+		{Op: MutDelete, U: 21, V: 22},
+	}
+	for _, compress := range []bool{false, true} {
+		full := CompactOptions{Epsilon: eps, Partitions: parts, Format: 3, Compress: compress}
+		p, err := Open(Config{Base: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res1, err := Compact(p, t.TempDir(), full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res1.Store.Format(); got != 3 {
+			t.Fatalf("compress=%v: reloaded store format %d, want 3", compress, got)
+		}
+		if res1.Store.Compressed() != compress {
+			t.Fatalf("compress=%v: reloaded store compressed=%v", compress, res1.Store.Compressed())
+		}
+		if err := p.Commit(res1.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := p.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CompactSnapshot(snap, t.TempDir(), full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc := full
+		inc.Prev = &PrevGeneration{
+			Generation: res1.Snapshot.Generation,
+			Dir:        res1.Dir,
+			Scheme:     res1.Scheme,
+			Store:      res1.Store,
+			Partitions: parts,
+		}
+		res2, err := CompactSnapshot(snap, t.TempDir(), inc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res2.Incremental {
+			t.Fatalf("compress=%v: incremental build not taken", compress)
+		}
+		for _, name := range []string{LabelsFileName, "shard-a.fsdl", "shard-b.fsdl"} {
+			if !bytes.Equal(readGenFile(t, want.Dir, name), readGenFile(t, res2.Dir, name)) {
+				t.Fatalf("compress=%v: %s differs from full FSDL3 build", compress, name)
+			}
+		}
+		if _, err := labelstore.ReadManifestDir(res2.Dir); err != nil {
+			t.Fatalf("compress=%v: FSDL3 generation fails manifest verification: %v", compress, err)
+		}
+		st, err := LoadGenerationStore(res2.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Format() != 3 || st.Compressed() != compress {
+			t.Fatalf("compress=%v: reloaded generation format=%d compressed=%v", compress, st.Format(), st.Compressed())
+		}
+	}
+}
+
+// TestIncrementalCompactFormatUpgrade: switching a pipeline from FSDL2
+// generations to -format fsdl3 must rewrite even clean partitions —
+// hard-linking the old FSDL2 file forward would break the invariant
+// that identical inputs yield identical generations.
+func TestIncrementalCompactFormatUpgrade(t *testing.T) {
+	base := gen.Grid2D(6, 5)
+	parts := map[string][]int{"s0": {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, "s1": {10, 15, 20, 25, 29}}
+	p, err := Open(Config{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Compact(p, t.TempDir(), CompactOptions{Epsilon: 2.0, Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(res1.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CompactOptions{
+		Epsilon: 2.0, Partitions: parts, Format: 3, Compress: true,
+		Prev: &PrevGeneration{
+			Generation: res1.Snapshot.Generation,
+			Dir:        res1.Dir,
+			Scheme:     res1.Scheme,
+			Store:      res1.Store,
+			Partitions: parts,
+		},
+	}
+	res2, err := CompactSnapshot(snap, t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range parts {
+		ver, comp, err := labelstore.SniffFormat(filepath.Join(res2.Dir, name+".fsdl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver != 3 || !comp {
+			t.Fatalf("partition %s carried forward as version %d (compressed=%v), want fresh FSDL3", name, ver, comp)
+		}
+	}
+	// And the reverse precondition: compression without FSDL3 is a
+	// configuration error, not a silent downgrade.
+	if _, err := CompactSnapshot(snap, t.TempDir(), CompactOptions{Epsilon: 2.0, Format: 2, Compress: true}); err == nil {
+		t.Fatal("Compress with FSDL2 accepted")
+	}
+	if _, err := CompactSnapshot(snap, t.TempDir(), CompactOptions{Epsilon: 2.0, Format: 7}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

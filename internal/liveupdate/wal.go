@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"fsdl/internal/frame"
+	"fsdl/internal/labelstore"
 )
 
 // MutOp is the kind of an edge mutation.
@@ -464,18 +465,8 @@ func (w *WAL) rotateLocked(lastSeq uint64) error {
 }
 
 // syncDir fsyncs a directory so a just-renamed or just-created entry
-// survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
+// survives a crash — the shared commit-point helper.
+func syncDir(dir string) error { return labelstore.FsyncDir(dir) }
 
 // Prune deletes sealed segments whose every record is at or below
 // throughSeq — the fence of the oldest label generation still live.

@@ -88,6 +88,11 @@ type Config struct {
 	// CompactWorkers bounds compaction build parallelism (0 =
 	// GOMAXPROCS).
 	CompactWorkers int
+	// CompactFormat selects the label container compaction writes
+	// (0 or 2 = FSDL2 stream, 3 = mmap-first FSDL3); CompactCompress
+	// additionally compresses FSDL3 record payloads.
+	CompactFormat   int
+	CompactCompress bool
 	// Partitions optionally maps shard names to the vertex ids each
 	// serves; compaction then writes one partition file per shard into
 	// every generation directory, and an incremental compaction reports
