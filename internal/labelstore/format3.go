@@ -637,7 +637,11 @@ func SaveSplicedFormat3(f fileLike, s *core.Scheme, prev *Store, dirty []int32, 
 			if li < len(part) && part[li] == v {
 				err = w.AddLabel(v, labels[li])
 				li++
-			} else if fastCopy {
+			} else if fastCopy && !prev.inOverlay(int32(v)) {
+				// The overlay guard matches SaveVerticesFormat3: a clean
+				// vertex healed via Put must be copied from its repaired
+				// heap record (the Raw path below), not the damaged disk
+				// payload.
 				bits, payload, ok := prev.f3.storedPayload(int32(v))
 				if !ok {
 					return fmt.Errorf("labelstore: splice base is missing clean vertex %d", v)

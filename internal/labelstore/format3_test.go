@@ -363,6 +363,208 @@ func TestFormat3SalvageParity(t *testing.T) {
 	}
 }
 
+// TestFormat3DecodeCorruptionSticks covers the damage class the CRC
+// cannot see: a record whose checksum passes (verify memoizes ok) but
+// whose payload does not decode. The corrupt verdict reached on first
+// decode must override the memoized verified bit — Has, Corrupt, Raw
+// and storedPayload must all treat the record as damaged afterwards,
+// exactly like a CRC failure.
+func TestFormat3DecodeCorruptionSticks(t *testing.T) {
+	g := gen.Grid2D(8, 8)
+	s := buildScheme(t, g)
+	n := g.NumVertices()
+	const victim = 13
+
+	for _, compress := range []bool{false, true} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "store"+suffix(compress))
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewFormat3Writer(f, n, n, compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prm := paramsOf(s.Label(0))
+		for v := 0; v < n; v++ {
+			l := s.Label(v)
+			if v != victim {
+				if err := w.AddLabel(v, l); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			// The writer checksums whatever payload it is handed, so a
+			// garbage AddStored body yields a valid-CRC, undecodable
+			// record — for the uncompressed store the payload length must
+			// still match the claimed canonical bit length.
+			bits := canonicalBitLen(l)
+			junk := bytes.Repeat([]byte{0xff}, (bits+7)/8)
+			if !compress {
+				if _, err := core.DecodeLabel(junk, bits); err == nil {
+					t.Fatal("junk payload unexpectedly decodes")
+				}
+			} else if _, err := decodeRecord3(junk, victim, prm); err == nil {
+				t.Fatal("junk payload unexpectedly decodes")
+			}
+			if err := w.AddStored(v, bits, junk, prm); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		st, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Before discovery the CRC passes, so the record looks held.
+		if !st.Has(victim) {
+			t.Fatalf("compress=%v: undiscovered record not held", compress)
+		}
+		if _, err := st.Label(victim); err == nil {
+			t.Fatalf("compress=%v: garbage payload decoded", compress)
+		}
+		// The decode failure must stick despite the memoized CRC pass.
+		if st.Has(victim) {
+			t.Fatalf("compress=%v: decode-corrupt record still reported held", compress)
+		}
+		if !st.Corrupt(victim) {
+			t.Fatalf("compress=%v: decode-corrupt record not reported corrupt", compress)
+		}
+		if _, _, ok := st.f3.storedPayload(victim); ok {
+			t.Fatalf("compress=%v: storedPayload serves decode-corrupt record", compress)
+		}
+		if compress {
+			if _, _, ok := st.Raw(victim); ok {
+				t.Fatalf("compress=%v: Raw serves decode-corrupt record", compress)
+			}
+		}
+		if got := st.CorruptCount(); got != 1 {
+			t.Fatalf("compress=%v: CorruptCount = %d, want 1", compress, got)
+		}
+		st.Close()
+
+		// OpenPartial's eager salvage scan reaches the same verdict and
+		// the store it returns must agree with its report.
+		sp, rep, err := OpenPartial(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Corrupt) != 1 || rep.Corrupt[0] != victim || rep.Kept != n-1 {
+			t.Fatalf("compress=%v: salvage report %+v", compress, rep)
+		}
+		if sp.Has(victim) || !sp.Corrupt(victim) {
+			t.Fatalf("compress=%v: salvaged store contradicts its report", compress)
+		}
+		sp.Close()
+	}
+}
+
+// TestFormat3SpliceHealedOverlay: incremental compaction from a base
+// whose corrupt record was healed via Put must copy the healed overlay
+// record (Raw path), not fail on — or worse, fast-copy — the damaged
+// on-disk payload. Output stays byte-identical to a full save.
+func TestFormat3SpliceHealedOverlay(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Grid2D(8, 8)
+	s := buildScheme(t, g)
+	const victim = 27
+
+	want, err := os.ReadFile(writeFormat3File(t, dir, "full.fsdl3c", s, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPath := writeFormat3File(t, dir, "prev.fsdl3c", s, nil, true)
+	clean, err := Open(prevPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, ok := clean.f3.find(victim)
+	if !ok {
+		t.Fatal("victim record missing")
+	}
+	dataOff := int64(clean.f3.hdr.dataOff)
+	clean.Close()
+	corruptFileByte(t, prevPath, dataOff+int64(e.off)+int64(e.length)/2)
+
+	prev, err := Open(prevPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prev.Label(victim); err == nil {
+		t.Fatal("damaged record decoded")
+	}
+	buf, bits := s.Label(victim).Encode()
+	if err := prev.Put(victim, bits, buf); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+
+	// victim is clean (not dirty), so without the overlay guard the
+	// fast-copy path would hit the damaged on-disk payload.
+	path := filepath.Join(dir, "spliced")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveSplicedFormat3(f, s, prev, []int32{3, 17}, nil, true); err != nil {
+		t.Fatalf("splice from healed base: %v", err)
+	}
+	f.Close()
+	prev.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("splice from healed base differs from full save")
+	}
+}
+
+// TestMergeOwnsFormat3Records: a merged store must own its record bytes
+// — records merged out of an mmap-backed source must stay readable after
+// the source store (and its mapping) is gone.
+func TestMergeOwnsFormat3Records(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Grid2D(8, 8)
+	s := buildScheme(t, g)
+	n := g.NumVertices()
+
+	var buf bytes.Buffer
+	if err := Save(&buf, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := Open(writeFormat3File(t, dir, "store.fsdl3", s, nil, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Mapped() {
+		t.Skip("mmap unavailable on this platform")
+	}
+	merged, err := Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unmap the source: reading the merged records now faults unless
+	// Merge copied them out of the mapping.
+	src.Close()
+	for v := 0; v < n; v++ {
+		wb, wd, wok := ref.Raw(v)
+		gb, gd, gok := merged.Raw(v)
+		if wok != gok || wb != gb || !bytes.Equal(wd, gd) {
+			t.Fatalf("merged record %d differs after source unmap", v)
+		}
+	}
+}
+
 // TestFormat3TruncatedFile: strict open rejects, salvage reports
 // Truncated and keeps the readable prefix.
 func TestFormat3TruncatedFile(t *testing.T) {

@@ -688,6 +688,12 @@ func Merge(stores ...*Store) (*Store, error) {
 			if !ok {
 				continue // discovered corrupt mid-merge: salvage semantics, skip
 			}
+			if st.f3 != nil {
+				// Raw bytes from an FSDL3 backing may alias the mmap (or
+				// the shared transcode cache); the merged store must own
+				// its records — it can outlive the source's mapping.
+				data = slices.Clone(data)
+			}
 			if prev, ok := out.labels[int32(v)]; ok {
 				if prev.bits != bits || !bytesEqual(prev.data, data) {
 					return nil, fmt.Errorf("labelstore: conflicting labels for vertex %d", v)

@@ -63,6 +63,7 @@ type file3 struct {
 	idxCount int    // readable index entries
 
 	verified []atomic.Uint32 // per-slot CRC-checked-ok bitset
+	ncorrupt atomic.Int64   // len(corrupt); gates the corrupt-set check in verify
 
 	mu      sync.RWMutex
 	corrupt map[int32]struct{}
@@ -126,15 +127,22 @@ func (f *file3) payload(e index3Entry) []byte {
 }
 
 // verify CRC-checks the record of slot i once, memoizing the verdict.
+// The corrupt set overrides the memoized verified bit: a record can be
+// condemned after its CRC passed (decode failure in the salvage scan,
+// transcode failure or canonical-length mismatch in rawFrom3), and that
+// verdict must stick. The ncorrupt gate keeps the common all-clean path
+// down to two atomic loads with no lock.
 func (f *file3) verify(e index3Entry, slot int) bool {
+	if f.ncorrupt.Load() != 0 {
+		f.mu.RLock()
+		_, bad := f.corrupt[int32(e.vertex)]
+		f.mu.RUnlock()
+		if bad {
+			return false
+		}
+	}
 	if f.verified[slot/32].Load()&(1<<(slot%32)) != 0 {
 		return true
-	}
-	f.mu.RLock()
-	_, bad := f.corrupt[int32(e.vertex)]
-	f.mu.RUnlock()
-	if bad {
-		return false
 	}
 	p := f.payload(e)
 	if p == nil || recordChecksum(int(e.vertex), int(e.bits), p) != e.crc {
@@ -152,7 +160,10 @@ func (f *file3) verify(e index3Entry, slot int) bool {
 
 func (f *file3) markCorrupt(v int32) {
 	f.mu.Lock()
-	f.corrupt[v] = struct{}{}
+	if _, dup := f.corrupt[v]; !dup {
+		f.corrupt[v] = struct{}{}
+		f.ncorrupt.Add(1)
+	}
 	f.mu.Unlock()
 }
 
